@@ -1,0 +1,44 @@
+//===- bench_util.h - Shared helpers for the experiment harnesses ---------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCH_UTIL_H
+#define BENCH_BENCH_UTIL_H
+
+#include "apps/AppSources.h"
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace bench {
+
+inline std::string appSource(const std::string &Name) {
+  if (Name == "AES")
+    return nova::apps::aesNovaSource();
+  if (Name == "Kasumi")
+    return nova::apps::kasumiNovaSource();
+  return nova::apps::natNovaSource();
+}
+
+/// Compiles one of the paper's applications with a solve-time budget.
+inline std::unique_ptr<nova::driver::CompileResult>
+compileApp(const std::string &Name, bool Allocate = true,
+           double TimeLimit = 600.0) {
+  nova::driver::CompileOptions Opts;
+  Opts.Allocate = Allocate;
+  Opts.Alloc.Mip.TimeLimitSeconds = TimeLimit;
+  auto R = nova::driver::compileNova(appSource(Name), Name, Opts);
+  if (!R->Ok)
+    std::fprintf(stderr, "%s failed: %s\n", Name.c_str(),
+                 R->ErrorText.c_str());
+  return R;
+}
+
+} // namespace bench
+
+#endif // BENCH_BENCH_UTIL_H

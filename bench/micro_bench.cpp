@@ -1,0 +1,110 @@
+//===- micro_bench.cpp - google-benchmark micro benchmarks ----------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+// Micro benchmarks of the substrates: LP solves, presolve, compilation
+// front end, bitfield planning, and the simulator's execution rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cps/Convert.h"
+#include "cps/Opt.h"
+#include "driver/Compiler.h"
+#include "ilp/MipSolver.h"
+#include "nova/Layout.h"
+#include "sim/Simulator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace nova;
+
+namespace {
+
+/// Random-ish assignment LP of the given size.
+ilp::Model assignmentModel(unsigned N) {
+  ilp::Model M;
+  std::vector<std::vector<ilp::VarId>> X(N);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J = 0; J != N; ++J)
+      X[I].push_back(M.addBinary("x", double((I * 7 + J * 13) % 17)));
+  for (unsigned I = 0; I != N; ++I) {
+    ilp::LinExpr Row, Col;
+    for (unsigned J = 0; J != N; ++J) {
+      Row += ilp::LinExpr(X[I][J]);
+      Col += ilp::LinExpr(X[J][I]);
+    }
+    M.addConstraint(std::move(Row), ilp::Rel::EQ, 1.0);
+    M.addConstraint(std::move(Col), ilp::Rel::EQ, 1.0);
+  }
+  return M;
+}
+
+void BM_MipAssignment(benchmark::State &State) {
+  ilp::Model M = assignmentModel(State.range(0));
+  for (auto _ : State) {
+    ilp::MipSolver Solver(M);
+    benchmark::DoNotOptimize(Solver.solve().Objective);
+  }
+}
+BENCHMARK(BM_MipAssignment)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_Presolve(benchmark::State &State) {
+  ilp::Model M = assignmentModel(12);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ilp::presolve(M).Reduced.numVars());
+}
+BENCHMARK(BM_Presolve);
+
+void BM_BitfieldPlan(benchmark::State &State) {
+  for (auto _ : State)
+    for (unsigned Off = 0; Off != 64; ++Off)
+      benchmark::DoNotOptimize(planBitfield(Off, 1 + Off % 32));
+}
+BENCHMARK(BM_BitfieldPlan);
+
+const char *LoopProgram = "fun main(n : word) {"
+                          "  let i = 0;"
+                          "  let s = 0;"
+                          "  while (i < n) { s = s + i; i = i + 1; }"
+                          "  s"
+                          "}";
+
+void BM_FrontEndAndCps(benchmark::State &State) {
+  driver::CompileOptions Opts;
+  Opts.Allocate = false;
+  for (auto _ : State) {
+    auto R = driver::compileNova(LoopProgram, "bench", Opts);
+    benchmark::DoNotOptimize(R->Machine.numInstructions());
+  }
+}
+BENCHMARK(BM_FrontEndAndCps);
+
+void BM_SimulatorLoop(benchmark::State &State) {
+  driver::CompileOptions Opts;
+  Opts.Allocate = false;
+  auto R = driver::compileNova(LoopProgram, "bench", Opts);
+  for (auto _ : State) {
+    sim::Memory Mem;
+    benchmark::DoNotOptimize(
+        sim::runFunctional(R->Machine, {1000}, Mem).Instructions);
+  }
+}
+BENCHMARK(BM_SimulatorLoop);
+
+void BM_IlpAllocationSmall(benchmark::State &State) {
+  const char *Src = "fun main(z : word) {"
+                    "  let (a, b, c, d) = sram(0);"
+                    "  sram(8) <- (d, c, b, a);"
+                    "  a + d"
+                    "}";
+  for (auto _ : State) {
+    auto R = driver::compileNova(Src, "bench");
+    benchmark::DoNotOptimize(R->Alloc.Stats.Moves);
+  }
+}
+BENCHMARK(BM_IlpAllocationSmall)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

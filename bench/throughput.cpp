@@ -1,0 +1,130 @@
+//===- throughput.cpp - Section 11: measured bit rates --------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+// Regenerates the paper's throughput measurements: "For Rijndael we
+// measured 270 Mbps for payloads of 16 bytes, and 320, 210, and 60 Mbps
+// for 8, 16, and 256 byte payloads using Kasumi." The paper used a
+// 233 MHz IXP1200 with a hardware packet generator; we run the compiled
+// code on the cycle-model simulator and apply the same
+// bits-per-packet / cycles-per-packet arithmetic. Absolute numbers
+// depend on the latency model; the series' shape (throughput falling
+// with payload size once per-block work dominates, Kasumi@8 above
+// AES@16) is the reproduction target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "ref/Aes.h"
+#include "sim/Simulator.h"
+
+using namespace nova;
+
+namespace {
+
+/// The IXP1200 hides memory latency behind its four hardware threads per
+/// engine; the paper's line-rate numbers are in that regime. This preset
+/// charges each operation its issue cost rather than its latency,
+/// approximating perfect thread overlap.
+sim::LatencyModel overlappedLatencies() {
+  sim::LatencyModel L;
+  L.SramAccess = 2;
+  L.SdramAccess = 3;
+  L.ScratchAccess = 1;
+  L.HashOp = 2;
+  return L;
+}
+
+uint64_t aesCycles(driver::CompileResult &App, unsigned PayloadBytes,
+                   const sim::LatencyModel &Lat) {
+  sim::Memory Mem;
+  apps::loadAesEnvironment(Mem);
+  std::vector<uint32_t> Pkt = {0x45000000u | (20 + PayloadBytes), 0, 0, 0,
+                               0};
+  for (unsigned I = 0; I != PayloadBytes / 4; ++I)
+    Pkt.push_back(0x01020304u * (I + 1));
+  apps::storePacket(Mem.Sdram, 0x100, Pkt);
+  sim::RunResult R = sim::runAllocated(App.Alloc.Prog,
+                                       {0x100, 0x800, PayloadBytes}, Mem,
+                                       Lat);
+  if (!R.Ok) {
+    std::fprintf(stderr, "aes run failed: %s\n", R.Error.c_str());
+    return 0;
+  }
+  return R.Cycles;
+}
+
+uint64_t kasumiCycles(driver::CompileResult &App, unsigned PayloadBytes,
+                      const sim::LatencyModel &Lat) {
+  // The Kasumi fast path processes one 64-bit block per invocation; a
+  // packet of N bytes costs N/8 invocations.
+  uint64_t Total = 0;
+  unsigned Blocks = PayloadBytes / 8;
+  for (unsigned B = 0; B != Blocks; ++B) {
+    sim::Memory Mem;
+    apps::loadKasumiEnvironment(Mem);
+    Mem.Sdram[0x300] = 0x11111111u * (B + 1);
+    Mem.Sdram[0x301] = 0x22222222u ^ B;
+    sim::RunResult R =
+        sim::runAllocated(App.Alloc.Prog, {0x300, 0x500}, Mem, Lat);
+    if (!R.Ok) {
+      std::fprintf(stderr, "kasumi run failed: %s\n", R.Error.c_str());
+      return 0;
+    }
+    Total += R.Cycles;
+  }
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Section 11 throughput (233 MHz micro-engine, one thread)\n");
+  std::printf("(paper: AES 270 Mbps @16B; Kasumi 320/210/60 Mbps @ "
+              "8/16/256B)\n\n");
+
+  auto Aes = bench::compileApp("AES");
+  auto Kasumi = bench::compileApp("Kasumi");
+  if (!Aes->Ok || !Kasumi->Ok)
+    return 1;
+
+  std::printf("%-8s %8s | %12s %8s | %12s %8s | %6s\n", "cipher",
+              "payload", "raw cyc/pkt", "rawMbps", "ovl cyc/pkt",
+              "ovlMbps", "paper");
+  struct Row {
+    const char *Name;
+    unsigned Bytes;
+    const char *Paper;
+  };
+  sim::LatencyModel Raw;
+  sim::LatencyModel Ovl = overlappedLatencies();
+  for (const Row &R :
+       {Row{"AES", 16, "270"}, Row{"AES", 64, "-"}, Row{"AES", 256, "-"},
+        Row{"Kasumi", 8, "320"}, Row{"Kasumi", 16, "210"},
+        Row{"Kasumi", 256, "60"}}) {
+    bool IsAes = std::string(R.Name) == "AES";
+    uint64_t RawCycles = IsAes ? aesCycles(*Aes, R.Bytes, Raw)
+                               : kasumiCycles(*Kasumi, R.Bytes, Raw);
+    uint64_t OvlCycles = IsAes ? aesCycles(*Aes, R.Bytes, Ovl)
+                               : kasumiCycles(*Kasumi, R.Bytes, Ovl);
+    if (!RawCycles || !OvlCycles)
+      return 1;
+    std::printf("%-8s %7uB | %12llu %8.0f | %12llu %8.0f | %6s\n", R.Name,
+                R.Bytes, static_cast<unsigned long long>(RawCycles),
+                sim::throughputMbps(R.Bytes, double(RawCycles)),
+                static_cast<unsigned long long>(OvlCycles),
+                sim::throughputMbps(R.Bytes, double(OvlCycles)), R.Paper);
+  }
+  std::printf(
+      "\nNotes: 'raw' charges full single-thread memory latencies; 'ovl'\n"
+      "charges issue costs only, approximating the hardware's 4-way\n"
+      "thread latency hiding (the regime of the paper's measurements).\n"
+      "The paper's Kasumi series *falls* with payload size because\n"
+      "multi-engine memory contention grows with sustained load — an\n"
+      "effect outside this single-thread model; here Mbps is roughly\n"
+      "flat in payload once the per-packet overhead is amortized, and\n"
+      "Kasumi@8B outruns AES@16B as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- ilp_playground.cpp - Using the ILP substrate directly --------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+// Demonstrates the AMPL-replacement modeling layer and the branch & bound
+// solver on the paper's Figure 2 example and on a small knapsack.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/MipSolver.h"
+
+#include <cstdio>
+
+using namespace nova::ilp;
+
+int main() {
+  // Figure 2 of the paper: variables x[t,r] over tasks T = {t1 t2} and
+  // resources R = {r1 r2 r3}, with per-task assignment constraints.
+  {
+    Model M;
+    const char *Tasks[] = {"t1", "t2"};
+    double Cost[] = {3, 4};
+    VarId X[2][3];
+    for (int T = 0; T != 2; ++T) {
+      LinExpr Row;
+      for (int R = 0; R != 3; ++R) {
+        X[T][R] = M.addBinary(std::string("x_") + Tasks[T] + "_r" +
+                                  std::to_string(R + 1),
+                              Cost[T] * (R + 1));
+        Row += LinExpr(X[T][R]);
+      }
+      // Like the instantiated "x_{t,r1}+x_{t,r2}+x_{t,r3} = 1" rows the
+      // paper shows (it displays the sums 3 and 4 before normalization).
+      M.addConstraint(std::move(Row), Rel::EQ, 1.0,
+                      std::string("assign_") + Tasks[T]);
+    }
+    // No two tasks on one resource.
+    for (int R = 0; R != 3; ++R)
+      M.addConstraint(LinExpr(X[0][R]) + LinExpr(X[1][R]), Rel::LE, 1.0);
+
+    std::printf("=== Figure 2 style model ===\n%s\n",
+                M.toLpString().c_str());
+    MipResult Res = MipSolver(M).solve();
+    std::printf("status optimal=%d objective=%.1f\n",
+                Res.Status == MipStatus::Optimal, Res.Objective);
+    for (int T = 0; T != 2; ++T)
+      for (int R = 0; R != 3; ++R)
+        if (Res.X[X[T][R].Index] > 0.5)
+          std::printf("  %s -> r%d\n", Tasks[T], R + 1);
+  }
+
+  // A knapsack, to show the solver statistics of Figure 7's columns.
+  {
+    Model M;
+    LinExpr Weight;
+    for (int I = 0; I != 12; ++I) {
+      VarId V = M.addBinary("item" + std::to_string(I),
+                            -double(3 + (I * 7) % 11)); // maximize value
+      Weight += double(2 + (I * 5) % 9) * LinExpr(V);
+    }
+    M.addConstraint(std::move(Weight), Rel::LE, 30.0, "capacity");
+    MipResult Res = MipSolver(M).solve();
+    std::printf("\n=== Knapsack ===\nvalue=%.0f nodes=%u rootLP=%.4fs "
+                "total=%.4fs lp-iterations=%u\n",
+                -Res.Objective, Res.Stats.Nodes, Res.Stats.RootLpSeconds,
+                Res.Stats.TotalSeconds, Res.Stats.LpIterations);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- quickstart.cpp - Compile and run a first Nova program --------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+// Compiles a small packet filter end to end — parse, type check, CPS,
+// optimize, instruction selection, ILP register/bank allocation — then
+// prints each stage and executes the allocated code on the micro-engine
+// simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Verifier.h"
+#include "driver/Compiler.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+
+using namespace nova;
+
+int main() {
+  const char *Source = R"nova(
+// A tiny fast path: read a header word, bump a TTL-style field with
+// layout-driven extraction, write it back, and return the old value.
+layout hdr = { ver : 4, ihl : 4, tos : 8, len : 16 };
+
+fun main(pkt : word) {
+  let (w0, w1) = sram(pkt);
+  let h = unpack[hdr](w0);
+  let sum = w0 + w1;
+  let out = pack[hdr] [ ver = h.ver, ihl = h.ihl, tos = h.tos,
+                        len = h.len + 1 ];
+  sram(pkt + 8) <- (out.0, sum);
+  h.len
+}
+)nova";
+
+  auto R = driver::compileNova(Source, "quickstart.nova");
+  if (!R->Ok) {
+    std::fprintf(stderr, "compilation failed:\n%s\n", R->ErrorText.c_str());
+    return 1;
+  }
+
+  std::printf("=== Optimized CPS ===\n%s\n", R->Cps.print().c_str());
+  std::printf("=== Machine IR (virtual temps) ===\n%s\n",
+              R->Machine.print().c_str());
+  std::printf("=== Allocated code (+ marks allocator-inserted moves) ===\n%s\n",
+              R->Alloc.Prog.print().c_str());
+
+  std::printf("=== Allocation statistics ===\n");
+  std::printf("inter-bank moves: %u, spills: %u, objective: %.2f\n",
+              R->Alloc.Stats.Moves, R->Alloc.Stats.Spills,
+              R->Alloc.Stats.Objective);
+  std::printf("ILP: %u vars, %u constraints (a naive per-point model: %u "
+              "vars)\n",
+              R->Alloc.Stats.IlpSize.NumVariables,
+              R->Alloc.Stats.IlpSize.NumConstraints,
+              R->Alloc.Stats.Build.RawVariables);
+
+  auto Violations = alloc::verifyAllocated(R->Alloc.Prog);
+  std::printf("verifier: %s\n",
+              Violations.empty() ? "all data-path rules satisfied"
+                                 : Violations.front().c_str());
+
+  // Execute: header word 0x45001234 (len field = 0x1234), payload word 7.
+  sim::Memory Mem;
+  Mem.Sram[100] = 0x45001234;
+  Mem.Sram[101] = 7;
+  sim::RunResult Run = sim::runAllocated(R->Alloc.Prog, {100}, Mem);
+  if (!Run.Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Run.Error.c_str());
+    return 1;
+  }
+  std::printf("\n=== Execution ===\n");
+  std::printf("returned len = 0x%X (expected 0x1234)\n", Run.HaltValues[0]);
+  std::printf("stored header = 0x%08X (len bumped to 0x1235)\n",
+              Mem.Sram[108]);
+  std::printf("stored sum    = 0x%08X\n", Mem.Sram[109]);
+  std::printf("cycles: %llu, instructions: %llu\n",
+              static_cast<unsigned long long>(Run.Cycles),
+              static_cast<unsigned long long>(Run.Instructions));
+  return 0;
+}

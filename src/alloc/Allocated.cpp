@@ -1,0 +1,65 @@
+//===- Allocated.cpp ------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Allocated.h"
+
+#include <sstream>
+
+using namespace nova;
+using namespace nova::alloc;
+using namespace nova::ixp;
+
+std::string PhysLoc::str() const {
+  return std::string(bankName(B)) + std::to_string(Reg);
+}
+
+std::string AllocatedProgram::print() const {
+  std::ostringstream OS;
+  for (unsigned B = 0; B != Blocks.size(); ++B) {
+    OS << (B == Entry ? "entry " : "") << "block b" << B << ":\n";
+    for (const AllocInstr &I : Blocks[B].Instrs) {
+      OS << (I.Inserted ? "  + " : "    ");
+      if (!I.Dsts.empty()) {
+        for (unsigned K = 0; K != I.Dsts.size(); ++K)
+          OS << (K ? ", " : "") << I.Dsts[K].str();
+        OS << " = ";
+      }
+      OS << mopName(I.Op);
+      switch (I.Op) {
+      case MOp::Alu:
+        OS << '.' << cps::primOpName(I.Alu);
+        break;
+      case MOp::Imm:
+        OS << ' ' << I.Imm;
+        break;
+      case MOp::MemRead:
+      case MOp::MemWrite:
+      case MOp::BitTestSet:
+        OS << '.' << cps::memSpaceName(I.Space);
+        break;
+      case MOp::Branch:
+        OS << '.' << cps::cmpOpName(I.Cmp);
+        break;
+      default:
+        break;
+      }
+      for (const AOperand &S : I.Srcs) {
+        OS << ' ';
+        if (S.IsConst)
+          OS << S.Value;
+        else
+          OS << S.Loc.str();
+      }
+      if (I.Op == MOp::Branch)
+        OS << " -> b" << I.Target << " / b" << I.TargetElse;
+      if (I.Op == MOp::Jump)
+        OS << " -> b" << I.Target;
+      OS << '\n';
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,840 @@
+//===- Allocator.cpp - ILP-based register/bank allocator -------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Allocator.h"
+
+#include "ixp/Frequency.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace nova;
+using namespace nova::alloc;
+using namespace nova::ixp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Register assignment within banks
+//===----------------------------------------------------------------------===//
+
+/// Assigns register numbers to every bank residency the ILP decided.
+/// The unit of assignment is a *stay*: a maximal region of segments over
+/// which a value remains in one bank (segments joined by identity moves,
+/// and clone starts joined to their original — co-located clones share a
+/// register, paper Section 10). Color-critical temps carry their ILP
+/// transfer-bank colors as precolors; entry parameters are precolored to
+/// A0..A(n-1); everything else is colored greedily with an
+/// optimistic-coalescing preference for Move endpoints (Section 9's
+/// Park-Moon flavour). The ILP's K/capacity constraints keep the greedy
+/// feasible in practice.
+class RegColoring {
+public:
+  RegColoring(const MachineProgram &M, const PointMap &Points,
+              const AllocModel &Model, const BankAnalysis &Banks,
+              const std::vector<double> &X)
+      : M(M), Points(Points), Model(Model), Banks(Banks), X(X) {}
+
+  bool run(std::string &Error) {
+    // Optimistic coalescing with undo: identity-move joins are coalesced
+    // first; if coloring gets stuck, the failing stay is split back at
+    // its joins and an extra register-register copy is emitted there
+    // (the paper keeps an A register free for exactly this, Section 6).
+    for (unsigned Attempt = 0; Attempt != 64; ++Attempt) {
+      reset();
+      collectSlots();
+      uniteIdentityMoves();
+      uniteCloneStarts();
+      applyPrecolors();
+      buildAffinities();
+      Temp FailedTemp = ~0u;
+      if (color(Error, FailedTemp))
+        return true;
+      if (FailedTemp == ~0u)
+        return false; // precolor conflict: nothing to split
+      // Split every identity join of the failing temp and retry.
+      bool AnySplit = false;
+      for (auto &[Key, IsSplit] : SplitCandidates)
+        if (Key.second == FailedTemp && !IsSplit) {
+          IsSplit = true;
+          AnySplit = true;
+        }
+      if (!AnySplit)
+        return false; // already fully split: genuine failure
+    }
+    return false;
+  }
+
+  /// Identity moves turned into real copies by coalescing undo; the
+  /// extractor emits a same-bank Move there.
+  const std::map<std::pair<PointId, Temp>, bool> &splits() const {
+    return SplitCandidates;
+  }
+
+  bool isSplit(PointId P, Temp V) const {
+    auto It = SplitCandidates.find({P, V});
+    return It != SplitCandidates.end() && It->second;
+  }
+
+  /// Register of temp \p V resident in \p B at point \p P (side: false =
+  /// before the point's moves, true = after).
+  uint16_t regOf(Temp V, Bank B, PointId P, bool AfterSide) const {
+    uint32_t C = Model.segmentOf(P, V, AfterSide);
+    auto It = VertexOfClass.find(C);
+    assert(It != VertexOfClass.end() && "no stay for this residency");
+    auto RegIt = Reg.find(findRoot(It->second));
+    assert(RegIt != Reg.end() && "stay was not colored");
+    (void)B;
+    return RegIt->second;
+  }
+
+private:
+  struct Vertex {
+    Bank B = Bank::A;
+    Temp AnyTemp = 0;
+    Temp CloneRep = 0;
+    std::set<uint32_t> Residency; ///< (point << 1) | side
+    uint32_t First = ~0u;
+    int Precolor = -1;
+  };
+
+  uint32_t vertexOf(uint32_t Class, Temp V, Bank B) {
+    auto It = VertexOfClass.find(Class);
+    if (It != VertexOfClass.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Vertices.size());
+    VertexOfClass.emplace(Class, Id);
+    Parent.push_back(Id);
+    Vertex Vx;
+    Vx.B = B;
+    Vx.AnyTemp = V;
+    Vx.CloneRep = Banks.cloneRep(V);
+    Vertices.push_back(std::move(Vx));
+    return Id;
+  }
+
+  uint32_t findRoot(uint32_t Id) const {
+    while (Parent[Id] != Id)
+      Id = Parent[Id] = Parent[Parent[Id]];
+    return Id;
+  }
+
+  void unite(uint32_t A, uint32_t B) {
+    A = findRoot(A);
+    B = findRoot(B);
+    if (A == B)
+      return;
+    Parent[B] = A;
+    Vertices[A].Residency.insert(Vertices[B].Residency.begin(),
+                                 Vertices[B].Residency.end());
+    Vertices[A].First = std::min(Vertices[A].First, Vertices[B].First);
+    if (Vertices[A].Precolor < 0)
+      Vertices[A].Precolor = Vertices[B].Precolor;
+  }
+
+  void collectSlots() {
+    for (PointId P = 0; P != Points.numPoints(); ++P)
+      for (Temp V : Points.existsAt(P))
+        for (unsigned Side = 0; Side != 2; ++Side) {
+          Bank B = Model.bankAt(X, P, V, Side != 0);
+          if (B == Bank::M || B == Bank::C)
+            continue;
+          uint32_t C = Model.segmentOf(P, V, Side != 0);
+          uint32_t Id = vertexOf(C, V, B);
+          uint32_t Root = findRoot(Id);
+          Vertices[Root].Residency.insert((P << 1) | Side);
+          Vertices[Root].First =
+              std::min(Vertices[Root].First, (P << 1) | Side);
+        }
+  }
+
+  void reset() {
+    VertexOfClass.clear();
+    Parent.clear();
+    Vertices.clear();
+    Reg.clear();
+    Affinities.clear();
+  }
+
+  void uniteIdentityMoves() {
+    // A move opportunity where the bank does not change keeps the value
+    // in place: the surrounding segments form one stay — unless a prior
+    // coloring failure marked this join as split.
+    for (PointId P = 0; P != Points.numPoints(); ++P)
+      for (Temp V : Points.existsAt(P)) {
+        if (!Model.isMovePoint(P, V))
+          continue;
+        auto Pair = Model.chosenMovePair(X, P, V);
+        if (!Pair || Pair->first != Pair->second)
+          continue;
+        if (Pair->first == Bank::M || Pair->first == Bank::C)
+          continue;
+        auto It = SplitCandidates.find({P, V});
+        if (It == SplitCandidates.end())
+          It = SplitCandidates.emplace(std::make_pair(P, V), false).first;
+        if (It->second)
+          continue; // split: the two sides stay separate stays
+        unite(vertexOf(Model.segmentOf(P, V, false), V, Pair->first),
+              vertexOf(Model.segmentOf(P, V, true), V, Pair->first));
+      }
+  }
+
+  void uniteCloneStarts() {
+    // A clone starts in the same register as its original, in any bank
+    // (paper Section 10: co-located clones occupy one register).
+    for (const Block &Blk : M.Blocks)
+      for (unsigned I = 0; I != Blk.Instrs.size(); ++I) {
+        const MachineInstr &MI = Blk.Instrs[I];
+        if (MI.Op != MOp::Clone || MI.Srcs[0].IsConst)
+          continue;
+        PointId P1 = Points.pointAt(Blk.Id, I);
+        Temp S = MI.Srcs[0].T;
+        Bank SB = Model.bankAt(X, P1, S, /*AfterSide=*/true);
+        if (SB == Bank::M || SB == Bank::C)
+          continue;
+        for (Temp D : MI.Dsts) {
+          Bank DB = Model.bankAt(X, P1 + 1, D, /*AfterSide=*/false);
+          if (DB != SB)
+            continue; // the model forbids this; stay safe anyway
+          unite(vertexOf(Model.segmentOf(P1, S, true), S, SB),
+                vertexOf(Model.segmentOf(P1 + 1, D, false), D, DB));
+        }
+      }
+  }
+
+  void applyPrecolors() {
+    // ILP transfer-bank colors are point-independent per temp: every stay
+    // of the temp in that bank takes the same register.
+    for (auto &[Class, Id] : VertexOfClass) {
+      Vertex &Root = Vertices[findRoot(Id)];
+      if (!isTransferBank(Root.B))
+        continue;
+      Temp V = Vertices[Id].AnyTemp;
+      if (auto C = Model.colorOf(X, V, Root.B))
+        Root.Precolor = static_cast<int>(*C);
+    }
+    // ABI: entry parameters arrive in A0..A(n-1).
+    if (M.Entry != NoBlock) {
+      PointId P0 = Points.entryPoint(M.Entry);
+      for (unsigned I = 0; I != M.EntryParams.size(); ++I) {
+        Temp Param = M.EntryParams[I];
+        if (!Points.exists(P0, Param))
+          continue;
+        uint32_t C = Model.segmentOf(P0, Param, /*AfterSide=*/false);
+        auto It = VertexOfClass.find(C);
+        if (It != VertexOfClass.end())
+          Vertices[findRoot(It->second)].Precolor = static_cast<int>(I);
+      }
+    }
+  }
+
+  void buildAffinities() {
+    // Move instructions whose endpoints land in the same GP bank want
+    // the same register (the move then coalesces into a no-op).
+    for (const Block &Blk : M.Blocks)
+      for (unsigned I = 0; I != Blk.Instrs.size(); ++I) {
+        const MachineInstr &MI = Blk.Instrs[I];
+        if (MI.Op != MOp::Move || MI.Srcs[0].IsConst)
+          continue;
+        PointId P1 = Points.pointAt(Blk.Id, I);
+        Bank SB = Model.bankAt(X, P1, MI.Srcs[0].T, /*AfterSide=*/true);
+        Bank DB = Model.bankAt(X, P1 + 1, MI.Dsts[0], /*AfterSide=*/false);
+        if (SB == DB && (SB == Bank::A || SB == Bank::B))
+          Affinities.emplace_back(
+              findRoot(vertexOf(Model.segmentOf(P1, MI.Srcs[0].T, true),
+                                MI.Srcs[0].T, SB)),
+              findRoot(vertexOf(Model.segmentOf(P1 + 1, MI.Dsts[0], false),
+                                MI.Dsts[0], DB)));
+      }
+  }
+
+  static bool overlaps(const std::set<uint32_t> &A,
+                       const std::set<uint32_t> &B) {
+    const std::set<uint32_t> &Small = A.size() < B.size() ? A : B;
+    const std::set<uint32_t> &Big = &Small == &A ? B : A;
+    for (uint32_t S : Small)
+      if (Big.count(S))
+        return true;
+    return false;
+  }
+
+  bool conflicts(const Vertex &V1, const Vertex &V2) const {
+    if (V1.B != V2.B)
+      return false;
+    // Clone-set members hold the same value; sharing is always legal.
+    if (V1.CloneRep == V2.CloneRep)
+      return false;
+    return overlaps(V1.Residency, V2.Residency);
+  }
+
+  bool color(std::string &Error, Temp &FailedTemp) {
+    std::vector<uint32_t> Roots;
+    for (uint32_t Id = 0; Id != Vertices.size(); ++Id)
+      if (findRoot(Id) == Id)
+        Roots.push_back(Id);
+
+    // A has 16 physical registers; the ILP's K row admits only 15
+    // simultaneous residents, so the 16th register is the slack the
+    // paper reserves for optimistic-coalescing repair and copy cycles
+    // (Section 6). The parallel-copy sequencer picks whatever register
+    // is free at its point.
+    auto Capacity = [&](Bank B) -> unsigned {
+      return B == Bank::B || B == Bank::A ? 16 : 8;
+    };
+    auto TryAssign = [&](uint32_t Id) -> bool {
+      Vertex &Vx = Vertices[Id];
+      std::set<uint16_t> Used;
+      for (uint32_t Other : Roots) {
+        if (Other == Id)
+          continue;
+        auto It = Reg.find(Other);
+        if (It != Reg.end() && conflicts(Vx, Vertices[Other]))
+          Used.insert(It->second);
+      }
+      if (Vx.Precolor >= 0) {
+        if (Used.count(static_cast<uint16_t>(Vx.Precolor))) {
+          Error = formatf("register assignment: precolored %s%d of %s "
+                          "conflicts",
+                          bankName(Vx.B), Vx.Precolor,
+                          M.tempName(Vx.AnyTemp).c_str());
+          return false;
+        }
+        Reg[Id] = static_cast<uint16_t>(Vx.Precolor);
+        return true;
+      }
+      // Affinity preference (optimistic coalescing of Move endpoints).
+      for (auto &[R1, R2] : Affinities) {
+        uint32_t Other = findRoot(R1) == Id   ? findRoot(R2)
+                         : findRoot(R2) == Id ? findRoot(R1)
+                                              : ~0u;
+        if (Other == ~0u || Vertices[Other].B != Vx.B)
+          continue;
+        auto It = Reg.find(Other);
+        if (It != Reg.end() && !Used.count(It->second)) {
+          Reg[Id] = It->second;
+          return true;
+        }
+      }
+      for (uint16_t R = 0; R != Capacity(Vx.B); ++R)
+        if (!Used.count(R)) {
+          Reg[Id] = R;
+          return true;
+        }
+      Error = formatf("register assignment ran out of %s registers "
+                      "(temp %s)",
+                      bankName(Vx.B), M.tempName(Vx.AnyTemp).c_str());
+      LastFailedTemp = Vx.AnyTemp;
+      return false;
+    };
+
+    // Precolored vertices are pinned first.
+    LastFailedTemp = ~0u;
+    std::vector<uint32_t> Work;
+    for (uint32_t Id : Roots) {
+      if (Vertices[Id].Precolor >= 0) {
+        if (!TryAssign(Id)) {
+          FailedTemp = ~0u; // precolor conflicts are not splittable here
+          return false;
+        }
+      } else {
+        Work.push_back(Id);
+      }
+    }
+
+    // Chaitin-Briggs simplify: peel vertices whose degree among the
+    // still-unpeeled is below the bank capacity; when none qualifies,
+    // peel the max-degree vertex optimistically. Select in reverse.
+    std::vector<bool> Peeled(Vertices.size(), false);
+    auto Degree = [&](uint32_t Id) {
+      unsigned D = 0;
+      for (uint32_t Other : Work)
+        if (Other != Id && !Peeled[Other] &&
+            conflicts(Vertices[Id], Vertices[Other]))
+          ++D;
+      return D;
+    };
+    std::vector<uint32_t> Stack;
+    unsigned Remaining = Work.size();
+    while (Remaining) {
+      int Pick = -1;
+      unsigned PickDeg = ~0u;
+      for (uint32_t Id : Work) {
+        if (Peeled[Id])
+          continue;
+        unsigned D = Degree(Id);
+        if (D < Capacity(Vertices[Id].B) && D < PickDeg) {
+          Pick = static_cast<int>(Id);
+          PickDeg = D;
+        }
+      }
+      if (Pick < 0) {
+        // Optimistic: peel the highest-degree vertex and hope a color
+        // remains at select time (Park-Moon style optimism).
+        unsigned Best = 0;
+        for (uint32_t Id : Work) {
+          if (Peeled[Id])
+            continue;
+          unsigned D = Degree(Id);
+          if (Pick < 0 || D > Best) {
+            Pick = static_cast<int>(Id);
+            Best = D;
+          }
+        }
+      }
+      Peeled[Pick] = true;
+      Stack.push_back(static_cast<uint32_t>(Pick));
+      --Remaining;
+    }
+    for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+      if (!TryAssign(*It)) {
+        FailedTemp = LastFailedTemp;
+        return false;
+      }
+    return true;
+  }
+
+  Temp LastFailedTemp = ~0u;
+  std::map<std::pair<PointId, Temp>, bool> SplitCandidates;
+
+  const MachineProgram &M;
+  const PointMap &Points;
+  const AllocModel &Model;
+  const BankAnalysis &Banks;
+  const std::vector<double> &X;
+
+  std::map<uint32_t, uint32_t> VertexOfClass;
+  mutable std::vector<uint32_t> Parent;
+  std::vector<Vertex> Vertices;
+  std::map<uint32_t, uint16_t> Reg;
+  std::vector<std::pair<uint32_t, uint32_t>> Affinities;
+};
+
+//===----------------------------------------------------------------------===//
+// Solution extraction
+//===----------------------------------------------------------------------===//
+
+class Extractor {
+public:
+  Extractor(const MachineProgram &M, const PointMap &Points,
+            const AllocModel &Model, const BankAnalysis &Banks,
+            const std::vector<double> &X, AllocOptions Opts)
+      : M(M), Points(Points), Model(Model), Banks(Banks), X(X),
+        Opts(std::move(Opts)), Regs(M, Points, Model, Banks, X) {}
+
+  bool run(AllocatedProgram &Out, std::string &Error);
+
+private:
+  const MachineProgram &M;
+  const PointMap &Points;
+  const AllocModel &Model;
+  const BankAnalysis &Banks;
+  const std::vector<double> &X;
+  AllocOptions Opts;
+  RegColoring Regs;
+  std::map<Temp, unsigned> SpillSlot; ///< per clone representative
+  unsigned NumSpillSlots = 0;
+
+  unsigned spillSlotOf(Temp V) {
+    Temp Rep = Banks.cloneRep(V);
+    auto It = SpillSlot.find(Rep);
+    if (It != SpillSlot.end())
+      return It->second;
+    SpillSlot[Rep] = NumSpillSlots;
+    return NumSpillSlots++;
+  }
+
+  uint16_t regOf(Temp V, Bank B, PointId P, bool AfterSide) {
+    switch (B) {
+    case Bank::A:
+    case Bank::B:
+    case Bank::L:
+    case Bank::S:
+    case Bank::LD:
+    case Bank::SD:
+      return Regs.regOf(V, B, P, AfterSide);
+    case Bank::M:
+      return static_cast<uint16_t>(spillSlotOf(V));
+    case Bank::C:
+      return 0;
+    }
+    return 0;
+  }
+
+  PhysLoc locOf(Temp V, Bank B, PointId P, bool AfterSide) {
+    return {B, regOf(V, B, P, AfterSide)};
+  }
+
+  /// Occupied registers of \p B at point \p P (both sides), for transient
+  /// register selection.
+  std::set<uint16_t> occupiedRegs(PointId P, Bank B) {
+    std::set<uint16_t> Occ;
+    for (Temp V : Points.existsAt(P))
+      for (unsigned Side = 0; Side != 2; ++Side) {
+        if (!Banks.allowed(V, B))
+          continue;
+        if (Model.bankAt(X, P, V, Side != 0) == B)
+          Occ.insert(regOf(V, B, P, Side != 0));
+      }
+    return Occ;
+  }
+
+  struct MoveUnit {
+    Temp V;
+    Bank From, To;
+    PhysLoc Src, Dst;
+    std::vector<AllocInstr> Code;
+    std::vector<PhysLoc> Writes;
+  };
+
+  bool materializeUnit(PointId P, MoveUnit &U, std::string &Error);
+  bool emitPointMoves(PointId P, AllocBlock &Out, std::string &Error);
+  bool emitInstr(const MachineInstr &MI, PointId P1, AllocBlock &Out,
+                 std::string &Error);
+};
+
+bool Extractor::materializeUnit(PointId P, MoveUnit &U, std::string &Error) {
+  auto Path = interBankMovePath(U.From, U.To, Opts.Model.AllowSpills ||
+                                                  U.From == Bank::M ||
+                                                  U.To == Bank::M);
+  if (!Path || Path->size() < 2) {
+    Error = formatf("no data path %s -> %s", bankName(U.From),
+                    bankName(U.To));
+    return false;
+  }
+  U.Src = locOf(U.V, U.From, P, /*AfterSide=*/false);
+  U.Dst = locOf(U.V, U.To, P, /*AfterSide=*/true);
+
+  PhysLoc Cur = U.Src;
+  for (unsigned K = 1; K != Path->size(); ++K) {
+    Bank Next = (*Path)[K];
+    bool Final = K + 1 == Path->size();
+    PhysLoc Dst;
+    if (Final) {
+      Dst = U.Dst;
+    } else {
+      // Transient register in Next: any register free at P.
+      std::set<uint16_t> Occ = occupiedRegs(P, Next);
+      unsigned Cap = bankCapacity(Next) == ~0u ? 1 : bankCapacity(Next);
+      int Free = -1;
+      for (uint16_t R = 0; R != Cap; ++R)
+        if (!Occ.count(R)) {
+          Free = R;
+          break;
+        }
+      if (Next == Bank::M)
+        Free = static_cast<int>(spillSlotOf(U.V));
+      if (Free < 0) {
+        Error = formatf("no free transient register in %s at p%u",
+                        bankName(Next), P);
+        return false;
+      }
+      Dst = {Next, static_cast<uint16_t>(Free)};
+    }
+
+    AllocInstr I;
+    I.Inserted = true;
+    if (Next == Bank::M) {
+      // Spill store: scratch[SpillBase + slot] <- Cur (an S/SD register).
+      I.Op = MOp::MemWrite;
+      I.Space = MemSpace::Scratch;
+      I.Srcs = {AOperand::constant(Opts.SpillBase + Dst.Reg),
+                AOperand::reg(Cur)};
+    } else if (Cur.B == Bank::M) {
+      // Reload: L/LD register <- scratch[SpillBase + slot].
+      I.Op = MOp::MemRead;
+      I.Space = MemSpace::Scratch;
+      I.Srcs = {AOperand::constant(Opts.SpillBase + Cur.Reg)};
+      I.Dsts = {Dst};
+    } else {
+      I.Op = MOp::Move;
+      I.Srcs = {AOperand::reg(Cur)};
+      I.Dsts = {Dst};
+    }
+    if (!I.Dsts.empty())
+      U.Writes.push_back(I.Dsts[0]);
+    U.Code.push_back(std::move(I));
+    Cur = Dst;
+  }
+  return true;
+}
+
+bool Extractor::emitPointMoves(PointId P, AllocBlock &Out,
+                               std::string &Error) {
+  // Collect distinct moves. Clone-set members travelling between the
+  // same physical registers share one instruction; clones headed to
+  // *different* registers (e.g. distinct store-aggregate positions) each
+  // need their own move, even though the paper's objective counts the
+  // bank-level collection once (Section 10).
+  std::set<std::tuple<Temp, Bank, uint16_t, Bank, uint16_t>> Seen;
+  std::vector<MoveUnit> Units;
+  // Coalescing-undo splits: an identity move whose two sides were given
+  // different registers becomes a real same-bank copy.
+  for (Temp V : Points.existsAt(P)) {
+    if (!Regs.isSplit(P, V))
+      continue;
+    auto Pair = Model.chosenMovePair(X, P, V);
+    if (!Pair || Pair->first != Pair->second)
+      continue;
+    PhysLoc Src = locOf(V, Pair->first, P, /*AfterSide=*/false);
+    PhysLoc Dst = locOf(V, Pair->second, P, /*AfterSide=*/true);
+    if (Src == Dst)
+      continue;
+    if (!Seen.insert({Banks.cloneRep(V), Src.B, Src.Reg, Dst.B, Dst.Reg})
+             .second)
+      continue;
+    MoveUnit U;
+    U.V = V;
+    U.From = Pair->first;
+    U.To = Pair->second;
+    U.Src = Src;
+    U.Dst = Dst;
+    AllocInstr I;
+    I.Inserted = true;
+    I.Op = MOp::Move;
+    I.Srcs = {AOperand::reg(Src)};
+    I.Dsts = {Dst};
+    U.Writes.push_back(Dst);
+    U.Code.push_back(std::move(I));
+    Units.push_back(std::move(U));
+  }
+  for (Temp V : Points.existsAt(P)) {
+    auto Mv = Model.moveAt(X, P, V);
+    if (!Mv)
+      continue;
+    Temp Rep = Banks.cloneRep(V);
+    PhysLoc Src = locOf(V, Mv->first, P, /*AfterSide=*/false);
+    PhysLoc Dst = locOf(V, Mv->second, P, /*AfterSide=*/true);
+    if (!Seen.insert({Rep, Src.B, Src.Reg, Dst.B, Dst.Reg}).second)
+      continue;
+    MoveUnit U;
+    U.V = V;
+    U.From = Mv->first;
+    U.To = Mv->second;
+    if (!materializeUnit(P, U, Error))
+      return false;
+    Units.push_back(std::move(U));
+  }
+  if (Units.empty())
+    return true;
+
+  // Sequence units: U must run before W when W overwrites U's source.
+  std::vector<bool> Done(Units.size(), false);
+  unsigned Remaining = Units.size();
+  while (Remaining) {
+    bool Progress = false;
+    for (unsigned I = 0; I != Units.size(); ++I) {
+      if (Done[I])
+        continue;
+      bool Blocked = false;
+      for (unsigned J = 0; J != Units.size(); ++J) {
+        if (I == J || Done[J])
+          continue;
+        for (const PhysLoc &W : Units[I].Writes)
+          if (W == Units[J].Src)
+            Blocked = true;
+      }
+      if (Blocked)
+        continue;
+      for (AllocInstr &Instr : Units[I].Code)
+        Out.Instrs.push_back(std::move(Instr));
+      Done[I] = true;
+      --Remaining;
+      Progress = true;
+    }
+    if (Progress)
+      continue;
+    // Cycle: save one readable source into an A register that is free
+    // at this point (the ILP keeps at most 15 of A's 16 occupied).
+    int Pick = -1;
+    for (unsigned I = 0; I != Units.size() && Pick < 0; ++I)
+      if (!Done[I] && isAluInputBank(Units[I].Src.B))
+        Pick = static_cast<int>(I);
+    if (Pick < 0) {
+      Error = "unbreakable parallel-move cycle through write-only banks";
+      return false;
+    }
+    std::set<uint16_t> BusyA = occupiedRegs(P, Bank::A);
+    for (const MoveUnit &U : Units) {
+      if (U.Src.B == Bank::A)
+        BusyA.insert(U.Src.Reg);
+      for (const PhysLoc &W : U.Writes)
+        if (W.B == Bank::A)
+          BusyA.insert(W.Reg);
+    }
+    int FreeA = -1;
+    for (uint16_t R = 0; R != 16 && FreeA < 0; ++R)
+      if (!BusyA.count(R))
+        FreeA = R;
+    if (FreeA < 0) {
+      Error = "no free A register for a parallel-move cycle";
+      return false;
+    }
+    PhysLoc Saved = {Bank::A, static_cast<uint16_t>(FreeA)};
+    AllocInstr Save;
+    Save.Inserted = true;
+    Save.Op = MOp::Move;
+    Save.Srcs = {AOperand::reg(Units[Pick].Src)};
+    Save.Dsts = {Saved};
+    Out.Instrs.push_back(std::move(Save));
+    // The unit now reads from the saved copy.
+    for (AllocInstr &Instr : Units[Pick].Code)
+      for (AOperand &S : Instr.Srcs)
+        if (!S.IsConst && S.Loc == Units[Pick].Src)
+          S.Loc = Saved;
+    Units[Pick].Src = Saved;
+  }
+  return true;
+}
+
+bool Extractor::emitInstr(const MachineInstr &MI, PointId P1,
+                          AllocBlock &Out, std::string &Error) {
+  PointId P2 = P1 + 1;
+  AllocInstr I;
+  I.Op = MI.Op;
+  I.Alu = MI.Alu;
+  I.Cmp = MI.Cmp;
+  I.Space = MI.Space;
+  I.Imm = MI.Imm;
+  I.Target = MI.Target;
+  I.TargetElse = MI.TargetElse;
+
+  auto SrcOperand = [&](const MOperand &S) {
+    if (S.IsConst)
+      return AOperand::constant(S.Value);
+    Bank B = Model.bankAt(X, P1, S.T, /*AfterSide=*/true);
+    return AOperand::reg(locOf(S.T, B, P1, /*AfterSide=*/true));
+  };
+  auto DstLoc = [&](Temp D) {
+    Bank B = Model.bankAt(X, P2, D, /*AfterSide=*/false);
+    return locOf(D, B, P2, /*AfterSide=*/false);
+  };
+
+  switch (MI.Op) {
+  case MOp::Clone:
+    // Clones share the original's location: no code.
+    return true;
+  case MOp::Move: {
+    AOperand S = SrcOperand(MI.Srcs[0]);
+    PhysLoc D = DstLoc(MI.Dsts[0]);
+    if (!S.IsConst && S.Loc == D)
+      return true; // coalesced
+    I.Srcs = {S};
+    I.Dsts = {D};
+    break;
+  }
+  default:
+    for (const MOperand &S : MI.Srcs)
+      I.Srcs.push_back(SrcOperand(S));
+    for (Temp D : MI.Dsts)
+      I.Dsts.push_back(DstLoc(D));
+    break;
+  }
+  (void)Error;
+  Out.Instrs.push_back(std::move(I));
+  return true;
+}
+
+bool Extractor::run(AllocatedProgram &Out, std::string &Error) {
+  if (!Regs.run(Error))
+    return false;
+
+  Out.Blocks.resize(M.Blocks.size());
+  Out.Entry = M.Entry;
+  Out.NumEntryArgs = M.EntryParams.size();
+  Out.SpillBase = Opts.SpillBase;
+  for (const Block &Blk : M.Blocks) {
+    AllocBlock &OB = Out.Blocks[Blk.Id];
+    for (unsigned Idx = 0; Idx != Blk.Instrs.size(); ++Idx) {
+      PointId P = Points.pointAt(Blk.Id, Idx);
+      if (!emitPointMoves(P, OB, Error))
+        return false;
+      if (!emitInstr(Blk.Instrs[Idx], P, OB, Error))
+        return false;
+    }
+  }
+  Out.NumSpillSlots = NumSpillSlots;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+AllocationResult alloc::allocate(const MachineProgram &M,
+                                 DiagnosticEngine &Diags,
+                                 const AllocOptions &Opts) {
+  AllocationResult Result;
+  if (M.EntryParams.size() > 15) {
+    Result.Error = "entry takes more than 15 arguments (bank A capacity)";
+    return Result;
+  }
+
+  Liveness LV(M);
+  PointMap Points(M, LV);
+  FrequencyInfo Freq(M);
+
+  auto TryOnce = [&](bool WithSpills,
+                     AllocationResult &R) -> ilp::MipStatus {
+    ModelOptions MO = Opts.Model;
+    MO.AllowSpills = WithSpills;
+    BankAnalysis Banks(M, WithSpills);
+    AllocModel Model(M, LV, Points, Freq, Banks, MO);
+    if (!Model.build(Diags)) {
+      R.Error = "model construction failed (see diagnostics)";
+      return ilp::MipStatus::Infeasible;
+    }
+    R.Stats.Build = Model.stats();
+    R.Stats.IlpSize = Model.model().stats();
+
+    ilp::MipSolver Solver(Model.model(), Opts.Mip);
+    ilp::MipResult Mip = Solver.solve();
+    R.Stats.Solve = Mip.Stats;
+    R.Stats.UsedSpillModel = WithSpills;
+    if (Mip.Status != ilp::MipStatus::Optimal &&
+        Mip.Status != ilp::MipStatus::Feasible) {
+      R.Error = Mip.Status == ilp::MipStatus::Infeasible
+                    ? "ILP infeasible"
+                    : "ILP solve hit a limit without a solution";
+      return Mip.Status;
+    }
+    R.Stats.Objective = Mip.Objective;
+    R.Stats.Moves = Model.countMoves(Mip.X);
+    R.Stats.Spills = Model.countSpills(Mip.X);
+
+    Extractor Ext(M, Points, Model, Banks, Mip.X, [&] {
+      AllocOptions O = Opts;
+      O.Model = MO;
+      return O;
+    }());
+    std::string Error;
+    AllocatedProgram Prog;
+    if (!Ext.run(Prog, Error)) {
+      R.Error = "extraction failed: " + Error;
+      return ilp::MipStatus::NoSolution;
+    }
+    R.Prog = std::move(Prog);
+    R.Ok = true;
+    return Mip.Status;
+  };
+
+  if (!Opts.ForceSpillModel) {
+    ilp::MipStatus S = TryOnce(/*WithSpills=*/false, Result);
+    if (Result.Ok)
+      return Result;
+    if (S != ilp::MipStatus::Infeasible)
+      return Result; // structural or budget failure: do not retry
+    // Spill-free model infeasible: retry with the spill-aware model.
+    Result = AllocationResult();
+  }
+  TryOnce(/*WithSpills=*/true, Result);
+  return Result;
+}

@@ -1,0 +1,91 @@
+//===- BankAnalysis.cpp ---------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BankAnalysis.h"
+
+using namespace nova;
+using namespace nova::alloc;
+using namespace nova::ixp;
+
+namespace {
+uint16_t bit(Bank B) { return static_cast<uint16_t>(1u << static_cast<unsigned>(B)); }
+} // namespace
+
+Temp BankAnalysis::cloneRep(Temp T) const {
+  while (CloneParent[T] != T)
+    T = CloneParent[T] = CloneParent[CloneParent[T]];
+  return T;
+}
+
+BankAnalysis::BankAnalysis(const MachineProgram &M, bool AllowSpills) {
+  uint16_t Base = bit(Bank::A) | bit(Bank::B);
+  if (AllowSpills)
+    Base |= bit(Bank::M);
+  Masks.assign(M.NumTemps, Base);
+  CloneParent.resize(M.NumTemps);
+  for (Temp T = 0; T != M.NumTemps; ++T)
+    CloneParent[T] = T;
+
+  auto Unite = [&](Temp A, Temp B) {
+    Temp RA = cloneRep(A), RB = cloneRep(B);
+    if (RA != RB)
+      CloneParent[RB] = RA;
+  };
+
+  for (const Block &B : M.Blocks) {
+    for (const MachineInstr &I : B.Instrs) {
+      switch (I.Op) {
+      case MOp::MemRead: {
+        Bank Dst = I.Space == MemSpace::Sdram ? Bank::LD : Bank::L;
+        for (Temp D : I.Dsts)
+          Masks[D] |= bit(Dst);
+        break;
+      }
+      case MOp::MemWrite: {
+        Bank Src = I.Space == MemSpace::Sdram ? Bank::SD : Bank::S;
+        for (unsigned K = 1; K != I.Srcs.size(); ++K)
+          if (!I.Srcs[K].IsConst)
+            Masks[I.Srcs[K].T] |= bit(Src);
+        break;
+      }
+      case MOp::Hash:
+        Masks[I.Dsts[0]] |= bit(Bank::L);
+        if (!I.Srcs[0].IsConst)
+          Masks[I.Srcs[0].T] |= bit(Bank::S);
+        break;
+      case MOp::BitTestSet:
+        Masks[I.Dsts[0]] |= bit(Bank::L);
+        if (!I.Srcs[1].IsConst)
+          Masks[I.Srcs[1].T] |= bit(Bank::S);
+        break;
+      case MOp::Clone:
+        if (!I.Srcs[0].IsConst)
+          for (Temp D : I.Dsts)
+            Unite(I.Srcs[0].T, D);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  // Clone sets share allowed banks: a clone begins wherever its original
+  // is, and may later need any bank its own uses demand.
+  std::vector<uint16_t> SetMask(M.NumTemps, 0);
+  for (Temp T = 0; T != M.NumTemps; ++T)
+    SetMask[cloneRep(T)] |= Masks[T];
+  for (Temp T = 0; T != M.NumTemps; ++T)
+    Masks[T] = SetMask[cloneRep(T)];
+}
+
+std::vector<Bank> BankAnalysis::allowedBanks(Temp T) const {
+  std::vector<Bank> Out;
+  for (Bank B : AllocatableBanks)
+    if (allowed(T, B))
+      Out.push_back(B);
+  return Out;
+}

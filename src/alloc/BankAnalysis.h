@@ -1,0 +1,73 @@
+//===- BankAnalysis.h - Section 8 variable pruning --------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static analysis of paper Section 8 ("A million variables"): for
+/// each temporary, the set of banks it could ever usefully occupy. A
+/// temporary loaded from SRAM that is never stored anywhere has no reason
+/// to ever be in S, SD, or LD; ruling such banks out shrinks the ILP
+/// dramatically without affecting optimality in practice.
+///
+/// Rules implemented (unioned over all def/use sites of the temp):
+///  - A and B are always allowed (general-purpose);
+///  - L  iff defined by an SRAM/scratch read, a hash, or a bit-test-set;
+///  - LD iff defined by an SDRAM read;
+///  - S  iff consumed by an SRAM/scratch write, a hash, or a bit-test-set;
+///  - SD iff consumed by an SDRAM write;
+///  - M  (spill memory) as directed by the caller: spill-enabled models
+///    allow it everywhere, the fast path omits it and retries on
+///    infeasibility (the paper's "determine whether spills are required
+///    at all" refinement, Section 11);
+///  - clone sets share their allowed banks (a clone starts wherever its
+///    original is).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOC_BANKANALYSIS_H
+#define ALLOC_BANKANALYSIS_H
+
+#include "ixp/MachineIr.h"
+
+#include <vector>
+
+namespace nova {
+namespace alloc {
+
+/// Allowed-bank sets per temporary, as small bitmasks indexed by Bank.
+class BankAnalysis {
+public:
+  BankAnalysis(const ixp::MachineProgram &M, bool AllowSpills);
+
+  bool allowed(ixp::Temp T, ixp::Bank B) const {
+    return (Masks[T] >> static_cast<unsigned>(B)) & 1;
+  }
+
+  /// All allowed banks of \p T in enum order.
+  std::vector<ixp::Bank> allowedBanks(ixp::Temp T) const;
+
+  unsigned allowedCount(ixp::Temp T) const {
+    return __builtin_popcount(Masks[T]);
+  }
+
+  /// Representative of the clone set containing \p T (union-find root);
+  /// temps not involved in clones are their own representative.
+  ixp::Temp cloneRep(ixp::Temp T) const;
+
+  /// True if T and U are clones of one another (same clone set).
+  bool sameCloneSet(ixp::Temp T, ixp::Temp U) const {
+    return cloneRep(T) == cloneRep(U);
+  }
+
+private:
+  std::vector<uint16_t> Masks;
+  mutable std::vector<ixp::Temp> CloneParent;
+};
+
+} // namespace alloc
+} // namespace nova
+
+#endif // ALLOC_BANKANALYSIS_H

@@ -1,0 +1,1041 @@
+//===- IlpModel.cpp - The paper's ILP allocation model ---------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/IlpModel.h"
+
+#include "support/Debug.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace nova;
+using namespace nova::alloc;
+using namespace nova::ixp;
+using ilp::LinExpr;
+using ilp::Rel;
+using ilp::VarId;
+
+namespace {
+uint8_t bankIdx(Bank B) { return static_cast<uint8_t>(B); }
+} // namespace
+
+AllocModel::AllocModel(const MachineProgram &M, const Liveness &LV,
+                       const PointMap &Points, const FrequencyInfo &Freq,
+                       const BankAnalysis &Banks, const ModelOptions &Opts)
+    : M(M), LV(LV), Points(Points), Freq(Freq), Banks(Banks), Opts(Opts) {}
+
+//===----------------------------------------------------------------------===//
+// Slots and segments
+//===----------------------------------------------------------------------===//
+
+uint32_t AllocModel::slotIndex(PointId P, Temp V, bool AfterSide) const {
+  auto It = SlotBase.find({P, V});
+  assert(It != SlotBase.end() && "no slot: temp does not exist at point");
+  return It->second + (AfterSide ? 1 : 0);
+}
+
+uint32_t AllocModel::findRoot(uint32_t Slot) const {
+  while (Dsu[Slot] != Slot)
+    Slot = Dsu[Slot] = Dsu[Dsu[Slot]];
+  return Slot;
+}
+
+uint32_t AllocModel::classOf(PointId P, Temp V, bool AfterSide) const {
+  return findRoot(slotIndex(P, V, AfterSide));
+}
+
+bool AllocModel::isMovePoint(PointId P, Temp V) const {
+  auto It = MoveAllowed.find({P, V});
+  return It != MoveAllowed.end() && It->second;
+}
+
+void AllocModel::computeMovePoints() {
+  for (PointId P = 0; P != Points.numPoints(); ++P) {
+    BlockId B = Points.blockOf(P);
+    unsigned Idx = P - Points.entryPoint(B);
+    const Block &Blk = M.Blocks[B];
+    // No moves at block exit points: they would sit after the terminator.
+    // Cross-block bank changes happen at the successor's entry point,
+    // whose before-side is shared with every predecessor's exit.
+    bool IsExit = Idx == Blk.Instrs.size();
+    bool IsEntry = Idx == 0;
+    const MachineInstr *Prev = Idx > 0 ? &Blk.Instrs[Idx - 1] : nullptr;
+    const MachineInstr *Next =
+        Idx < Blk.Instrs.size() ? &Blk.Instrs[Idx] : nullptr;
+
+    for (Temp V : Points.existsAt(P)) {
+      if (IsExit) {
+        MoveAllowed[{P, V}] = false;
+        continue;
+      }
+      bool Allowed = true;
+      if (Opts.RestrictMovePoints) {
+        auto Touches = [V](const MachineInstr *I) {
+          if (!I)
+            return false;
+          for (Temp D : I->Dsts)
+            if (D == V)
+              return true;
+          for (const MOperand &S : I->Srcs)
+            if (!S.IsConst && S.T == V)
+              return true;
+          return false;
+        };
+        // Moves happen where the temp is defined or used, or at block
+        // entries. An eviction that some later instruction forces can
+        // always be hoisted to one of these points at equal weight
+        // within the block (and block entries cover cross-block
+        // placement), so this restriction barely affects optimality
+        // while shrinking the model dramatically (the paper's Section 8
+        // theme).
+        Allowed = IsEntry || Touches(Prev) || Touches(Next);
+      }
+      MoveAllowed[{P, V}] = Allowed;
+      if (Allowed)
+        ++Stats.NumMovePoints;
+    }
+  }
+}
+
+void AllocModel::buildSegments() {
+  // Enumerate slots.
+  uint32_t NumSlots = 0;
+  for (PointId P = 0; P != Points.numPoints(); ++P)
+    for (Temp V : Points.existsAt(P)) {
+      SlotBase[{P, V}] = NumSlots;
+      NumSlots += 2;
+    }
+  Dsu.resize(NumSlots);
+  TempOfSlot.resize(NumSlots);
+  for (uint32_t I = 0; I != NumSlots; ++I)
+    Dsu[I] = I;
+  for (auto &[Key, Base] : SlotBase) {
+    TempOfSlot[Base] = Key.second;
+    TempOfSlot[Base + 1] = Key.second;
+  }
+
+  auto Union = [&](uint32_t A, uint32_t B) {
+    uint32_t RA = findRoot(A), RB = findRoot(B);
+    if (RA != RB)
+      Dsu[RB] = RA;
+  };
+
+  // Before ~ after at non-move points.
+  for (auto &[Key, Base] : SlotBase)
+    if (!isMovePoint(Key.first, Key.second))
+      Union(Base, Base + 1);
+  // Carried-unchanged links (instructions not touching v, control edges).
+  for (const PointMap::CopyEntry &C : Points.copies())
+    Union(slotIndex(C.P1, C.V, /*AfterSide=*/true),
+          slotIndex(C.P2, C.V, /*AfterSide=*/false));
+
+  std::set<uint32_t> Roots;
+  for (uint32_t I = 0; I != NumSlots; ++I)
+    Roots.insert(findRoot(I));
+  Stats.NumSegments = Roots.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Variables
+//===----------------------------------------------------------------------===//
+
+std::optional<VarId> AllocModel::locVar(uint32_t Class, Bank B) const {
+  auto It = Loc.find({Class, bankIdx(B)});
+  if (It == Loc.end())
+    return std::nullopt;
+  return It->second;
+}
+
+LinExpr AllocModel::locExpr(uint32_t Class, Bank B) const {
+  if (auto V = locVar(Class, B))
+    return LinExpr(*V);
+  // No variable: the class has a single allowed bank.
+  Temp T = TempOfSlot[Class];
+  return LinExpr(Banks.allowedCount(T) == 1 && Banks.allowed(T, B) ? 1.0
+                                                                   : 0.0);
+}
+
+double AllocModel::locValue(const std::vector<double> &X, uint32_t Class,
+                            Bank B) const {
+  if (auto V = locVar(Class, B))
+    return X[V->Index];
+  Temp T = TempOfSlot[Class];
+  return Banks.allowedCount(T) == 1 && Banks.allowed(T, B) ? 1.0 : 0.0;
+}
+
+void AllocModel::buildLocVars() {
+  std::set<uint32_t> Done;
+  for (auto &[Key, Base] : SlotBase) {
+    for (unsigned Side = 0; Side != 2; ++Side) {
+      uint32_t C = findRoot(Base + Side);
+      if (!Done.insert(C).second)
+        continue;
+      Temp T = TempOfSlot[C];
+      std::vector<Bank> Allowed = Banks.allowedBanks(T);
+      if (Allowed.size() <= 1)
+        continue; // location is a constant
+      LinExpr Sum;
+      for (Bank B : Allowed) {
+        VarId V = Ilp.addBinary(formatf("loc_c%u_%s", C, bankName(B)));
+        Loc[{C, bankIdx(B)}] = V;
+        Sum += LinExpr(V);
+      }
+      // In-one-place (paper Section 6).
+      Ilp.addConstraint(std::move(Sum), Rel::EQ, 1.0,
+                        formatf("oneplace_c%u", C));
+    }
+  }
+}
+
+void AllocModel::buildMoves() {
+  for (auto &[Key, Allowed] : MoveAllowed) {
+    if (!Allowed)
+      continue;
+    auto [P, V] = Key;
+    if (Banks.allowedCount(V) <= 1)
+      continue;
+    uint32_t C1 = classOf(P, V, /*AfterSide=*/false);
+    uint32_t C2 = classOf(P, V, /*AfterSide=*/true);
+    if (C1 == C2)
+      continue; // a cycle of copies re-joined the sides: no move possible
+    MovePointList.push_back(Key);
+    auto &Vars = MoveVars[Key];
+    std::vector<Bank> Allowed2 = Banks.allowedBanks(V);
+    for (Bank B1 : Allowed2)
+      for (Bank B2 : Allowed2) {
+        auto Cost =
+            interBankMoveCost(B1, B2, Opts.Costs, Opts.AllowSpills);
+        if (!Cost)
+          continue;
+        VarId MV = Ilp.addBinary(formatf("mv_p%u_t%u_%s_%s", P, V,
+                                         bankName(B1), bankName(B2)));
+        Vars[{bankIdx(B1), bankIdx(B2)}] = MV;
+      }
+    // Link: Before = sum of moves out of each bank; After = sum in.
+    for (Bank B1 : Allowed2) {
+      LinExpr Sum;
+      bool Any = false;
+      for (Bank B2 : Allowed2)
+        if (auto It = Vars.find({bankIdx(B1), bankIdx(B2)});
+            It != Vars.end()) {
+          Sum += LinExpr(It->second);
+          Any = true;
+        }
+      LinExpr Before = locExpr(C1, B1);
+      if (Any)
+        Ilp.addConstraint(Before - Sum, Rel::EQ, 0.0,
+                          formatf("mvout_p%u_t%u_%s", P, V, bankName(B1)));
+      else
+        Ilp.addConstraint(std::move(Before), Rel::EQ, 0.0);
+    }
+    for (Bank B2 : Allowed2) {
+      LinExpr Sum;
+      bool Any = false;
+      for (Bank B1 : Allowed2)
+        if (auto It = Vars.find({bankIdx(B1), bankIdx(B2)});
+            It != Vars.end()) {
+          Sum += LinExpr(It->second);
+          Any = true;
+        }
+      LinExpr After = locExpr(C2, B2);
+      if (Any)
+        Ilp.addConstraint(After - Sum, Rel::EQ, 0.0,
+                          formatf("mvin_p%u_t%u_%s", P, V, bankName(B2)));
+      else
+        Ilp.addConstraint(std::move(After), Rel::EQ, 0.0);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction operand and result constraints
+//===----------------------------------------------------------------------===//
+
+bool AllocModel::buildInstrConstraints(DiagnosticEngine &Diags) {
+  bool Ok = true;
+
+  /// Forbids every allowed bank of the slot's temp outside \p Subset.
+  auto Restrict = [&](PointId P, Temp V, bool AfterSide,
+                      std::initializer_list<Bank> Subset,
+                      const char *What) {
+    uint32_t C = classOf(P, V, AfterSide);
+    bool AnyPossible = false;
+    for (Bank B : Banks.allowedBanks(V)) {
+      bool InSubset = std::find(Subset.begin(), Subset.end(), B) !=
+                      Subset.end();
+      if (InSubset) {
+        AnyPossible = true;
+        continue;
+      }
+      if (auto Var = locVar(C, B))
+        Ilp.fix(*Var, 0.0);
+      else {
+        // Single-bank temp pinned to a non-subset bank: impossible.
+        Diags.error(SourceLoc::invalid(),
+                    formatf("allocator: %s of %s cannot be satisfied "
+                            "(temp pinned to %s)",
+                            What, M.tempName(V).c_str(), bankName(B)));
+        Ok = false;
+      }
+    }
+    if (!AnyPossible) {
+      Diags.error(SourceLoc::invalid(),
+                  formatf("allocator: %s of %s has no feasible bank", What,
+                          M.tempName(V).c_str()));
+      Ok = false;
+    }
+  };
+
+  /// The paper's Arith pairing rules between two register operands.
+  auto Pairing = [&](PointId P1, Temp X, Temp Y) {
+    uint32_t CX = classOf(P1, X, /*AfterSide=*/true);
+    uint32_t CY = classOf(P1, Y, /*AfterSide=*/true);
+    // Not both from the same bank.
+    for (Bank B : {Bank::A, Bank::B, Bank::L, Bank::LD}) {
+      if (!Banks.allowed(X, B) || !Banks.allowed(Y, B))
+        continue;
+      Ilp.addConstraint(locExpr(CX, B) + locExpr(CY, B), Rel::LE, 1.0,
+                        formatf("pair_p%u_%s", P1, bankName(B)));
+    }
+    // At most one operand from the read-transfer banks L+LD.
+    for (Bank BX : {Bank::L, Bank::LD})
+      for (Bank BY : {Bank::L, Bank::LD}) {
+        if (BX == BY)
+          continue; // covered by the same-bank rule
+        if (!Banks.allowed(X, BX) || !Banks.allowed(Y, BY))
+          continue;
+        Ilp.addConstraint(locExpr(CX, BX) + locExpr(CY, BY), Rel::LE, 1.0,
+                          formatf("xfer_p%u", P1));
+      }
+  };
+
+  // Entry parameters arrive in bank A (harness ABI).
+  if (M.Entry != NoBlock) {
+    PointId P0 = Points.entryPoint(M.Entry);
+    for (Temp Param : M.EntryParams)
+      if (Points.exists(P0, Param))
+        Restrict(P0, Param, /*AfterSide=*/false, {Bank::A},
+                 "entry parameter");
+  }
+
+  for (const Block &Blk : M.Blocks) {
+    for (unsigned I = 0; I != Blk.Instrs.size(); ++I) {
+      const MachineInstr &MI = Blk.Instrs[I];
+      PointId P1 = Points.pointAt(Blk.Id, I);
+      PointId P2 = Points.pointAt(Blk.Id, I + 1);
+      switch (MI.Op) {
+      case MOp::Alu: {
+        Restrict(P2, MI.Dsts[0], false,
+                 {Bank::A, Bank::B, Bank::S, Bank::SD}, "ALU result");
+        std::vector<Temp> RegSrcs;
+        for (const MOperand &S : MI.Srcs)
+          if (!S.IsConst)
+            RegSrcs.push_back(S.T);
+        for (Temp S : RegSrcs)
+          Restrict(P1, S, true, {Bank::A, Bank::B, Bank::L, Bank::LD},
+                   "ALU operand");
+        if (RegSrcs.size() == 2 && RegSrcs[0] != RegSrcs[1])
+          Pairing(P1, RegSrcs[0], RegSrcs[1]);
+        break;
+      }
+      case MOp::Imm:
+        Restrict(P2, MI.Dsts[0], false,
+                 {Bank::A, Bank::B, Bank::S, Bank::SD}, "immediate");
+        break;
+      case MOp::Move:
+        Restrict(P2, MI.Dsts[0], false,
+                 {Bank::A, Bank::B, Bank::S, Bank::SD}, "move result");
+        if (!MI.Srcs[0].IsConst)
+          Restrict(P1, MI.Srcs[0].T, true,
+                   {Bank::A, Bank::B, Bank::L, Bank::LD}, "move source");
+        break;
+      case MOp::MemRead: {
+        Bank DB = MI.Space == MemSpace::Sdram ? Bank::LD : Bank::L;
+        for (Temp D : MI.Dsts) {
+          Restrict(P2, D, false, {DB}, "memory read result");
+          ++(MI.Space == MemSpace::Sdram ? Stats.Aggregates.DefLD
+                                         : Stats.Aggregates.DefL);
+        }
+        if (!MI.Srcs[0].IsConst)
+          Restrict(P1, MI.Srcs[0].T, true, {Bank::A, Bank::B},
+                   "memory address");
+        break;
+      }
+      case MOp::MemWrite: {
+        Bank SB = MI.Space == MemSpace::Sdram ? Bank::SD : Bank::S;
+        if (!MI.Srcs[0].IsConst)
+          Restrict(P1, MI.Srcs[0].T, true, {Bank::A, Bank::B},
+                   "memory address");
+        for (unsigned K = 1; K != MI.Srcs.size(); ++K) {
+          Restrict(P1, MI.Srcs[K].T, true, {SB}, "store operand");
+          ++(MI.Space == MemSpace::Sdram ? Stats.Aggregates.UseSD
+                                         : Stats.Aggregates.UseS);
+        }
+        break;
+      }
+      case MOp::Hash:
+        Restrict(P2, MI.Dsts[0], false, {Bank::L}, "hash result");
+        Restrict(P1, MI.Srcs[0].T, true, {Bank::S}, "hash operand");
+        ++Stats.Aggregates.DefL;
+        ++Stats.Aggregates.UseS;
+        break;
+      case MOp::BitTestSet:
+        Restrict(P2, MI.Dsts[0], false, {Bank::L}, "bit-test-set result");
+        if (!MI.Srcs[0].IsConst)
+          Restrict(P1, MI.Srcs[0].T, true, {Bank::A, Bank::B},
+                   "memory address");
+        Restrict(P1, MI.Srcs[1].T, true, {Bank::S}, "bit-test-set operand");
+        ++Stats.Aggregates.DefL;
+        ++Stats.Aggregates.UseS;
+        break;
+      case MOp::Clone: {
+        // Clones start exactly where the original is (paper Section 10).
+        Temp S = MI.Srcs[0].T;
+        uint32_t CS = classOf(P1, S, /*AfterSide=*/true);
+        for (Temp D : MI.Dsts) {
+          uint32_t CD = classOf(P2, D, /*AfterSide=*/false);
+          std::set<Bank> Union;
+          for (Bank B : Banks.allowedBanks(S))
+            Union.insert(B);
+          for (Bank B : Banks.allowedBanks(D))
+            Union.insert(B);
+          for (Bank B : Union)
+            Ilp.addConstraint(locExpr(CD, B) - locExpr(CS, B), Rel::EQ,
+                              0.0, formatf("clone_p%u_t%u", P2, D));
+        }
+        break;
+      }
+      case MOp::Branch: {
+        std::vector<Temp> RegSrcs;
+        for (const MOperand &S : MI.Srcs)
+          if (!S.IsConst)
+            RegSrcs.push_back(S.T);
+        for (Temp S : RegSrcs)
+          Restrict(P1, S, true, {Bank::A, Bank::B, Bank::L, Bank::LD},
+                   "branch operand");
+        if (RegSrcs.size() == 2 && RegSrcs[0] != RegSrcs[1])
+          Pairing(P1, RegSrcs[0], RegSrcs[1]);
+        break;
+      }
+      case MOp::Jump:
+        break;
+      case MOp::Halt:
+        for (const MOperand &S : MI.Srcs)
+          if (!S.IsConst)
+            Restrict(P1, S.T, true, {Bank::A, Bank::B, Bank::L, Bank::LD},
+                     "program result");
+        break;
+      }
+    }
+  }
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// K constraints for the general-purpose banks (paper Section 6), with the
+// clone-representative counting of Section 10
+//===----------------------------------------------------------------------===//
+
+void AllocModel::buildKConstraints() {
+  // Lazily created "some member of this clone group (these classes) is in
+  // bank B" indicator variables.
+  std::map<std::pair<std::string, uint8_t>, VarId> GroupVar;
+  auto GroupExpr = [&](const std::vector<uint32_t> &Classes,
+                       Bank B) -> LinExpr {
+    if (Classes.size() == 1)
+      return locExpr(Classes[0], B);
+    std::string Key;
+    for (uint32_t C : Classes)
+      Key += std::to_string(C) + ",";
+    auto It = GroupVar.find({Key, bankIdx(B)});
+    VarId GV;
+    if (It != GroupVar.end()) {
+      GV = It->second;
+    } else {
+      GV = Ilp.addBinary(formatf("cloneloc_%s_%s", Key.c_str(),
+                                 bankName(B)));
+      GroupVar[{Key, bankIdx(B)}] = GV;
+      LinExpr Sum;
+      for (uint32_t C : Classes) {
+        // GV >= Loc_c,B  (counts the whole set once when any member is
+        // present; members co-resident in B share one register).
+        Ilp.addConstraint(LinExpr(GV) - locExpr(C, B), Rel::GE, 0.0);
+        Sum += locExpr(C, B);
+      }
+      Ilp.addConstraint(LinExpr(GV) - Sum, Rel::LE, 0.0);
+    }
+    return LinExpr(GV);
+  };
+
+  std::set<std::string> SeenRows;
+  for (PointId P = 0; P != Points.numPoints(); ++P) {
+    const std::set<Temp> &Live = Points.existsAt(P);
+    for (unsigned Side = 0; Side != 2; ++Side) {
+      for (Bank B : {Bank::A, Bank::B, Bank::L, Bank::S, Bank::LD,
+                     Bank::SD}) {
+        // Group live temps by clone set (co-located clones share one
+        // register in the GP banks). In transfer banks clones may sit at
+        // distinct aggregate positions, so each temp counts there.
+        std::map<Temp, std::vector<uint32_t>> Groups;
+        for (Temp V : Live) {
+          if (!Banks.allowed(V, B))
+            continue;
+          Temp Key = isTransferBank(B) ? V : Banks.cloneRep(V);
+          Groups[Key].push_back(classOf(P, V, Side != 0));
+        }
+        if (Groups.size() <= bankCapacity(B))
+          continue;
+        // Deduplicate identical rows across adjacent points.
+        std::string Sig = std::string(bankName(B)) + ":";
+        for (auto &[Rep, Classes] : Groups) {
+          auto Sorted = Classes;
+          std::sort(Sorted.begin(), Sorted.end());
+          Sorted.erase(std::unique(Sorted.begin(), Sorted.end()),
+                       Sorted.end());
+          for (uint32_t C : Sorted)
+            Sig += std::to_string(C) + ",";
+          Sig += ";";
+        }
+        if (!SeenRows.insert(Sig).second)
+          continue;
+        LinExpr Sum;
+        for (auto &[Rep, Classes] : Groups) {
+          auto Sorted = Classes;
+          std::sort(Sorted.begin(), Sorted.end());
+          Sorted.erase(std::unique(Sorted.begin(), Sorted.end()),
+                       Sorted.end());
+          Sum += GroupExpr(Sorted, B);
+        }
+        Ilp.addConstraint(std::move(Sum), Rel::LE,
+                          static_cast<double>(bankCapacity(B)),
+                          formatf("K_p%u_%s", P, bankName(B)));
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer-bank colors: interference, aggregates, SameReg, clone ties,
+// and the spill spare-register bookkeeping (paper Sections 9-10)
+//===----------------------------------------------------------------------===//
+
+void AllocModel::buildColors() {
+  // ILP colors exist only for "color-critical" temps: members of
+  // aggregates of two or more registers, SameReg participants, and their
+  // clone sets — the cases where register numbers genuinely interact
+  // with bank assignment (paper Section 9). Every other temp takes any
+  // free register of its bank in a post-pass; the transfer-bank capacity
+  // rows emitted in buildKConstraints keep that pass feasible.
+  std::set<Temp> Critical;
+  for (const Block &Blk : M.Blocks)
+    for (const MachineInstr &MI : Blk.Instrs) {
+      switch (MI.Op) {
+      case MOp::MemRead:
+        if (MI.Dsts.size() >= 2)
+          for (Temp D : MI.Dsts)
+            Critical.insert(D);
+        break;
+      case MOp::MemWrite:
+        if (MI.Srcs.size() >= 3) // addr + at least two values
+          for (unsigned K = 1; K != MI.Srcs.size(); ++K)
+            Critical.insert(MI.Srcs[K].T);
+        break;
+      case MOp::Hash:
+        Critical.insert(MI.Dsts[0]);
+        Critical.insert(MI.Srcs[0].T);
+        break;
+      case MOp::BitTestSet:
+        Critical.insert(MI.Dsts[0]);
+        Critical.insert(MI.Srcs[1].T);
+        break;
+      default:
+        break;
+      }
+    }
+  // Criticality extends over clone sets (clone color ties).
+  {
+    std::set<Temp> Reps;
+    for (Temp V : Critical)
+      Reps.insert(Banks.cloneRep(V));
+    for (Temp V = 0; V != M.NumTemps; ++V)
+      if (Reps.count(Banks.cloneRep(V)))
+        Critical.insert(V);
+  }
+
+  auto EnsureColors = [&](Temp V, Bank B) -> std::array<VarId, 8> & {
+    auto It = ColorVars.find({V, bankIdx(B)});
+    if (It != ColorVars.end())
+      return It->second;
+    std::array<VarId, 8> &Arr = ColorVars[{V, bankIdx(B)}];
+    LinExpr Sum;
+    for (unsigned R = 0; R != 8; ++R) {
+      Arr[R] = Ilp.addBinary(formatf("col_t%u_%s_%u", V, bankName(B), R));
+      Sum += LinExpr(Arr[R]);
+    }
+    Ilp.addConstraint(std::move(Sum), Rel::EQ, 1.0,
+                      formatf("onecolor_t%u_%s", V, bankName(B)));
+    return Arr;
+  };
+
+  // Pairs whose distinct colors in a given bank are already implied by
+  // the adjacency chain of one aggregate in that bank (no pairwise
+  // constraint needed there; other banks still need one).
+  std::set<std::tuple<Temp, Temp, uint8_t>> AggMates;
+
+  // 1. Aggregates: adjacency + the paper's "redundant" position bounds.
+  auto Aggregate = [&](const std::vector<Temp> &Members, Bank B) {
+    unsigned N = Members.size();
+    if (N < 2)
+      return; // singletons take any register in the post-pass
+    for (unsigned I = 0; I != N; ++I)
+      for (unsigned J = I + 1; J != N; ++J)
+        AggMates.insert({std::min(Members[I], Members[J]),
+                         std::max(Members[I], Members[J]), bankIdx(B)});
+    for (unsigned K = 0; K != N; ++K) {
+      auto &CK = EnsureColors(Members[K], B);
+      for (unsigned R = 0; R != 8; ++R)
+        if (R < K || R > 8 - N + K)
+          Ilp.fix(CK[R], 0.0);
+    }
+    for (unsigned K = 0; K + 1 < N; ++K) {
+      auto &CK = EnsureColors(Members[K], B);
+      auto &CK1 = EnsureColors(Members[K + 1], B);
+      for (unsigned R = K; R + 1 <= 8 - N + K + 1 && R + 1 < 8; ++R)
+        Ilp.addConstraint(LinExpr(CK[R]) - LinExpr(CK1[R + 1]), Rel::EQ,
+                          0.0, formatf("agg_t%u_r%u", Members[K], R));
+    }
+  };
+
+  for (const Block &Blk : M.Blocks) {
+    for (unsigned I = 0; I != Blk.Instrs.size(); ++I) {
+      const MachineInstr &MI = Blk.Instrs[I];
+      PointId P1 = Points.pointAt(Blk.Id, I);
+      PointId P2 = P1 + 1;
+      switch (MI.Op) {
+      case MOp::MemRead:
+        Aggregate(MI.Dsts,
+                  MI.Space == MemSpace::Sdram ? Bank::LD : Bank::L);
+        break;
+      case MOp::MemWrite: {
+        std::vector<Temp> Vals;
+        for (unsigned K = 1; K != MI.Srcs.size(); ++K)
+          Vals.push_back(MI.Srcs[K].T);
+        Aggregate(Vals, MI.Space == MemSpace::Sdram ? Bank::SD : Bank::S);
+        break;
+      }
+      case MOp::Hash:
+      case MOp::BitTestSet: {
+        // SameReg: the result's L register equals the operand's S
+        // register (paper Section 9).
+        Temp D = MI.Dsts[0];
+        Temp S = MI.Op == MOp::Hash ? MI.Srcs[0].T : MI.Srcs[1].T;
+        auto &CD = EnsureColors(D, Bank::L);
+        auto &CS = EnsureColors(S, Bank::S);
+        for (unsigned R = 0; R != 8; ++R)
+          Ilp.addConstraint(LinExpr(CD[R]) - LinExpr(CS[R]), Rel::EQ, 0.0,
+                            formatf("samereg_t%u_r%u", D, R));
+        break;
+      }
+      case MOp::Clone: {
+        // Conditional color tie: when a clone starts in transfer bank B,
+        // it shares the original's register there. Only color-critical
+        // sets carry ILP colors; the post-pass handles the rest.
+        Temp S = MI.Srcs[0].T;
+        if (!Critical.count(S))
+          break;
+        for (Temp D : MI.Dsts) {
+          for (Bank B : TransferBanks) {
+            if (!Banks.allowed(S, B) || !Banks.allowed(D, B))
+              continue;
+            uint32_t CD = classOf(P2, D, /*AfterSide=*/false);
+            auto &ColD = EnsureColors(D, B);
+            auto &ColS = EnsureColors(S, B);
+            for (unsigned R = 0; R != 8; ++R) {
+              // |ColD - ColS| <= 1 - Loc(D starts in B).
+              Ilp.addConstraint(LinExpr(ColD[R]) - LinExpr(ColS[R]) +
+                                    locExpr(CD, B),
+                                Rel::LE, 1.0);
+              Ilp.addConstraint(LinExpr(ColS[R]) - LinExpr(ColD[R]) +
+                                    locExpr(CD, B),
+                                Rel::LE, 1.0);
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  // 2. Interference: co-located color-critical temps in one transfer
+  // bank need distinct registers (a per-(pair, bank) co-location
+  // indicator keeps the row count linear in co-live points). Pairs
+  // inside one aggregate are already distinct via the adjacency chain.
+  struct PairInfo {
+    std::set<std::pair<uint32_t, uint32_t>> ClassPairs;
+  };
+  std::map<std::tuple<Temp, Temp, uint8_t>, PairInfo> Pairs;
+  for (PointId P = 0; P != Points.numPoints(); ++P) {
+    const std::set<Temp> &Live = Points.existsAt(P);
+    for (auto It1 = Live.begin(); It1 != Live.end(); ++It1)
+      for (auto It2 = std::next(It1); It2 != Live.end(); ++It2) {
+        Temp V1 = *It1, V2 = *It2;
+        if (!Critical.count(V1) || !Critical.count(V2))
+          continue;
+        if (Banks.sameCloneSet(V1, V2))
+          continue; // clones do not interfere (Section 10)
+        for (Bank B : TransferBanks) {
+          if (AggMates.count(
+                  {std::min(V1, V2), std::max(V1, V2), bankIdx(B)}))
+            continue;
+          if (!Banks.allowed(V1, B) || !Banks.allowed(V2, B))
+            continue;
+          for (unsigned Side = 0; Side != 2; ++Side) {
+            uint32_t C1 = classOf(P, V1, Side != 0);
+            uint32_t C2 = classOf(P, V2, Side != 0);
+            Pairs[{V1, V2, bankIdx(B)}].ClassPairs.insert({C1, C2});
+          }
+        }
+      }
+  }
+  Stats.InterferingPairs = Pairs.size();
+  for (auto &[Key, Info] : Pairs) {
+    auto [V1, V2, BI] = Key;
+    Bank B = static_cast<Bank>(BI);
+    VarId CoLive = Ilp.addBinary(
+        formatf("colive_t%u_t%u_%s", V1, V2, bankName(B)));
+    for (auto &[C1, C2] : Info.ClassPairs)
+      Ilp.addConstraint(LinExpr(CoLive) - locExpr(C1, B) - locExpr(C2, B),
+                        Rel::GE, -1.0);
+    auto &Col1 = EnsureColors(V1, B);
+    auto &Col2 = EnsureColors(V2, B);
+    for (unsigned R = 0; R != 8; ++R)
+      Ilp.addConstraint(LinExpr(Col1[R]) + LinExpr(Col2[R]) +
+                            LinExpr(CoLive),
+                        Rel::LE, 2.0,
+                        formatf("distinct_t%u_t%u_r%u", V1, V2, R));
+  }
+
+  // 3. Spill spare registers: a move whose data path transits L or S at a
+  // point needs a free register there (paper Section 9, "K and Spilling
+  // for transfer banks").
+  if (!Opts.AllowSpills)
+    return;
+  for (const auto &Key : MovePointList) {
+    auto [P, V] = Key;
+    const auto &Vars = MoveVars.at(Key);
+    for (Bank Transit : {Bank::L, Bank::S}) {
+      LinExpr NeedsSum;
+      bool Any = false;
+      for (auto &[BB, MV] : Vars) {
+        Bank B1 = static_cast<Bank>(BB.first);
+        Bank B2 = static_cast<Bank>(BB.second);
+        if (B1 == B2)
+          continue;
+        auto Path = interBankMovePath(B1, B2, Opts.AllowSpills);
+        if (!Path)
+          continue;
+        bool Transits = false;
+        for (unsigned K = 1; K + 1 < Path->size(); ++K)
+          Transits |= (*Path)[K] == Transit;
+        if (Transits) {
+          NeedsSum += LinExpr(MV);
+          Any = true;
+        }
+      }
+      if (!Any)
+        continue;
+      VarId Needs = Ilp.addBinary(
+          formatf("needspill_p%u_t%u_%s", P, V, bankName(Transit)));
+      // needs >= each transiting move; needs <= sum (tightening).
+      Ilp.addConstraint(LinExpr(Needs) - NeedsSum, Rel::LE, 0.0);
+      for (auto &[BB, MV] : Vars) {
+        Bank B1 = static_cast<Bank>(BB.first);
+        Bank B2 = static_cast<Bank>(BB.second);
+        if (B1 == B2)
+          continue;
+        auto Path = interBankMovePath(B1, B2, Opts.AllowSpills);
+        if (!Path)
+          continue;
+        bool Transits = false;
+        for (unsigned K = 1; K + 1 < Path->size(); ++K)
+          Transits |= (*Path)[K] == Transit;
+        if (Transits)
+          Ilp.addConstraint(LinExpr(Needs) - LinExpr(MV), Rel::GE, 0.0);
+      }
+      // Occupancy of the transit bank at P must leave one register free.
+      LinExpr Occupied;
+      unsigned Residents = 0;
+      for (Temp U : Points.existsAt(P)) {
+        if (!Banks.allowed(U, Transit))
+          continue;
+        VarId Occ = Ilp.addBinary(
+            formatf("occ_p%u_t%u_%s", P, U, bankName(Transit)));
+        for (unsigned Side = 0; Side != 2; ++Side) {
+          uint32_t C = classOf(P, U, Side != 0);
+          Ilp.addConstraint(LinExpr(Occ) - locExpr(C, Transit), Rel::GE,
+                            0.0);
+        }
+        Occupied += LinExpr(Occ);
+        ++Residents;
+      }
+      if (Residents >= bankCapacity(Transit))
+        Ilp.addConstraint(Occupied + LinExpr(Needs), Rel::LE,
+                          static_cast<double>(bankCapacity(Transit)));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Clone counting in the objective + the objective itself (Section 7)
+//===----------------------------------------------------------------------===//
+
+void AllocModel::buildCloneCounting() {
+  // Group move points at the same program point by clone set; members of
+  // a group have their move cost counted once through a cloneMove
+  // variable (paper Section 10).
+  std::map<std::pair<PointId, Temp>, std::vector<std::pair<PointId, Temp>>>
+      Grouped;
+  for (const auto &Key : MovePointList)
+    Grouped[{Key.first, Banks.cloneRep(Key.second)}].push_back(Key);
+  for (auto &[GroupKey, Members] : Grouped) {
+    if (Members.size() < 2)
+      continue;
+    ++Stats.CloneSets;
+    double Weight = Freq.blockFreq(Points.blockOf(GroupKey.first));
+    // For each (b1,b2) pair appearing in any member, one shared counter.
+    std::set<std::pair<uint8_t, uint8_t>> AllPairs;
+    for (const auto &MK : Members)
+      for (auto &[BB, MV] : MoveVars.at(MK))
+        if (BB.first != BB.second)
+          AllPairs.insert(BB);
+    for (auto &BB : AllPairs) {
+      Bank B1 = static_cast<Bank>(BB.first);
+      Bank B2 = static_cast<Bank>(BB.second);
+      auto Cost = interBankMoveCost(B1, B2, Opts.Costs, Opts.AllowSpills);
+      if (!Cost || *Cost == 0.0)
+        continue;
+      VarId CM = Ilp.addBinary(
+          formatf("clonemv_p%u_s%u_%s_%s", GroupKey.first, GroupKey.second,
+                  bankName(B1), bankName(B2)),
+          Weight * *Cost);
+      for (const auto &MK : Members) {
+        auto It = MoveVars.at(MK).find(BB);
+        if (It != MoveVars.at(MK).end())
+          Ilp.addConstraint(LinExpr(CM) - LinExpr(It->second), Rel::GE,
+                            0.0);
+      }
+    }
+    for (const auto &MK : Members)
+      MoveCostCountedViaCloneSet[MK] = true;
+  }
+}
+
+void AllocModel::buildObjective() {
+  for (const auto &Key : MovePointList) {
+    if (MoveCostCountedViaCloneSet.count(Key))
+      continue;
+    double Weight = Freq.blockFreq(Points.blockOf(Key.first));
+    for (auto &[BB, MV] : MoveVars.at(Key)) {
+      Bank B1 = static_cast<Bank>(BB.first);
+      Bank B2 = static_cast<Bank>(BB.second);
+      if (B1 == B2)
+        continue;
+      auto Cost = interBankMoveCost(B1, B2, Opts.Costs, Opts.AllowSpills);
+      if (Cost && *Cost > 0.0)
+        Ilp.var(MV).Objective += Weight * *Cost;
+    }
+  }
+}
+
+void AllocModel::computeRawStats() {
+  unsigned E = Points.totalExists();
+  unsigned NumXferColorTemps = 0;
+  for (Temp V = 0; V != M.NumTemps; ++V)
+    for (Bank B : TransferBanks)
+      if (Banks.allowed(V, B))
+        ++NumXferColorTemps;
+  // A per-point formulation over 7 banks: Move 49 + Before 7 + After 7
+  // per (point, temp); colors 8 per (temp, transfer bank); colorAvail
+  // 16 per point.
+  Stats.RawVariables = 63 * E + 8 * NumXferColorTemps +
+                       16 * Points.numPoints();
+  // in-before/in-after links (14), one-place (1) per (p,v); copy (7 per
+  // entry); K (4 per point); interference bundles dominated by pairs.
+  Stats.RawConstraints = 15 * E + 7 * Points.copies().size() +
+                         4 * Points.numPoints();
+}
+
+bool AllocModel::build(DiagnosticEngine &Diags) {
+  Stats.NumPoints = Points.numPoints();
+  Stats.ExistsSize = Points.totalExists();
+  Stats.CopySize = Points.copies().size();
+  computeMovePoints();
+  buildSegments();
+  buildLocVars();
+  buildMoves();
+  if (!buildInstrConstraints(Diags))
+    return false;
+  buildKConstraints();
+  buildColors();
+  buildCloneCounting();
+  buildObjective();
+  computeRawStats();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Solution queries
+//===----------------------------------------------------------------------===//
+
+Bank AllocModel::bankAt(const std::vector<double> &X, PointId P, Temp V,
+                        bool AfterSide) const {
+  uint32_t C = classOf(P, V, AfterSide);
+  for (Bank B : Banks.allowedBanks(V))
+    if (locValue(X, C, B) > 0.5)
+      return B;
+  NOVA_UNREACHABLE("solution assigns no bank");
+}
+
+std::optional<unsigned> AllocModel::colorOf(const std::vector<double> &X,
+                                            Temp V, Bank B) const {
+  auto It = ColorVars.find({V, bankIdx(B)});
+  if (It == ColorVars.end())
+    return std::nullopt;
+  for (unsigned R = 0; R != 8; ++R)
+    if (X[It->second[R].Index] > 0.5)
+      return R;
+  return std::nullopt;
+}
+
+std::optional<std::pair<Bank, Bank>>
+AllocModel::chosenMovePair(const std::vector<double> &X, PointId P,
+                           Temp V) const {
+  auto It = MoveVars.find({P, V});
+  if (It == MoveVars.end())
+    return std::nullopt;
+  for (auto &[BB, MV] : It->second)
+    if (X[MV.Index] > 0.5)
+      return std::make_pair(static_cast<Bank>(BB.first),
+                            static_cast<Bank>(BB.second));
+  return std::nullopt;
+}
+
+std::optional<std::pair<Bank, Bank>>
+AllocModel::moveAt(const std::vector<double> &X, PointId P, Temp V) const {
+  auto It = MoveVars.find({P, V});
+  if (It == MoveVars.end())
+    return std::nullopt;
+  for (auto &[BB, MV] : It->second) {
+    if (BB.first == BB.second)
+      continue;
+    if (X[MV.Index] > 0.5)
+      return std::make_pair(static_cast<Bank>(BB.first),
+                            static_cast<Bank>(BB.second));
+  }
+  return std::nullopt;
+}
+
+unsigned AllocModel::countMoves(const std::vector<double> &X) const {
+  std::set<std::tuple<PointId, Temp, uint8_t, uint8_t>> Counted;
+  for (const auto &Key : MovePointList) {
+    auto Mv = moveAt(X, Key.first, Key.second);
+    if (!Mv)
+      continue;
+    Temp Rep = Banks.cloneRep(Key.second);
+    Counted.insert({Key.first, Rep, bankIdx(Mv->first), bankIdx(Mv->second)});
+  }
+  return Counted.size();
+}
+
+unsigned AllocModel::countSpills(const std::vector<double> &X) const {
+  unsigned N = 0;
+  for (const auto &Key : MovePointList) {
+    auto Mv = moveAt(X, Key.first, Key.second);
+    if (!Mv)
+      continue;
+    auto Path = interBankMovePath(Mv->first, Mv->second, Opts.AllowSpills);
+    if (!Path)
+      continue;
+    for (Bank B : *Path)
+      if (B == Bank::M) {
+        ++N;
+        break;
+      }
+  }
+  return N;
+}
+
+std::string AllocModel::dumpSetsAmpl(const MachineProgram &Prog) const {
+  std::ostringstream OS;
+  OS << "set P := {";
+  for (PointId P = 0; P != Points.numPoints(); ++P)
+    OS << (P ? " " : "") << 'p' << P;
+  OS << "}\nset V := {";
+  bool First = true;
+  std::set<Temp> AllTemps;
+  for (PointId P = 0; P != Points.numPoints(); ++P)
+    for (Temp V : Points.existsAt(P))
+      AllTemps.insert(V);
+  for (Temp V : AllTemps) {
+    OS << (First ? "" : " ") << Prog.tempName(V);
+    First = false;
+  }
+  OS << "}\n";
+
+  auto DumpAgg = [&](const char *Name, MOp Op, MemSpace WantSdram,
+                     bool IsRead) {
+    OS << "set " << Name << " := {";
+    bool F = true;
+    for (const Block &Blk : Prog.Blocks)
+      for (unsigned I = 0; I != Blk.Instrs.size(); ++I) {
+        const MachineInstr &MI = Blk.Instrs[I];
+        bool SdramWanted = WantSdram == MemSpace::Sdram;
+        bool IsSdram = MI.Space == MemSpace::Sdram;
+        if (MI.Op != Op || SdramWanted != IsSdram)
+          continue;
+        OS << (F ? "" : " ") << "(p" << Points.pointAt(Blk.Id, I) << ", p"
+           << Points.pointAt(Blk.Id, I + 1);
+        if (IsRead)
+          for (Temp D : MI.Dsts)
+            OS << ", " << Prog.tempName(D);
+        else
+          for (unsigned K = 1; K != MI.Srcs.size(); ++K)
+            OS << ", " << Prog.tempName(MI.Srcs[K].T);
+        OS << ")";
+        F = false;
+      }
+    OS << "}\n";
+  };
+  DumpAgg("DefL", MOp::MemRead, MemSpace::Sram, true);
+  DumpAgg("DefLD", MOp::MemRead, MemSpace::Sdram, true);
+  DumpAgg("UseS", MOp::MemWrite, MemSpace::Sram, false);
+  DumpAgg("UseSD", MOp::MemWrite, MemSpace::Sdram, false);
+
+  OS << "set Exists := {";
+  First = true;
+  for (PointId P = 0; P != Points.numPoints(); ++P)
+    for (Temp V : Points.existsAt(P)) {
+      OS << (First ? "" : " ") << "(p" << P << ", " << Prog.tempName(V)
+         << ")";
+      First = false;
+    }
+  OS << "}\nset Copy := {";
+  First = true;
+  for (const PointMap::CopyEntry &C : Points.copies()) {
+    OS << (First ? "" : " ") << "(p" << C.P1 << ", p" << C.P2 << ", "
+       << Prog.tempName(C.V) << ")";
+    First = false;
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,66 @@
+//===- Points.cpp ---------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Points.h"
+
+using namespace nova;
+using namespace nova::alloc;
+using namespace nova::ixp;
+
+PointMap::PointMap(const MachineProgram &M, const Liveness &LV) {
+  unsigned NumBlocks = M.Blocks.size();
+  FirstPoint.resize(NumBlocks);
+  NumInstrs.resize(NumBlocks);
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    FirstPoint[B] = NumPoints;
+    NumInstrs[B] = M.Blocks[B].Instrs.size();
+    NumPoints += NumInstrs[B] + 1;
+  }
+  BlockOfPoint.resize(NumPoints);
+  for (unsigned B = 0; B != NumBlocks; ++B)
+    for (unsigned P = FirstPoint[B]; P != FirstPoint[B] + NumInstrs[B] + 1;
+         ++P)
+      BlockOfPoint[P] = B;
+
+  // Exists: live sets, plus dead results at the point after their def.
+  Exists.resize(NumPoints);
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const Block &Blk = M.Blocks[B];
+    Exists[pointAt(B, 0)] = LV.blockLiveIn(B);
+    for (unsigned I = 0; I != Blk.Instrs.size(); ++I) {
+      std::set<Temp> At = LV.liveAfter(B, I);
+      // Results that are immediately dead still exist at the point after
+      // the instruction (paper Section 5.2).
+      for (Temp D : instrDefs(Blk.Instrs[I]))
+        At.insert(D);
+      Exists[pointAt(B, I + 1)] = std::move(At);
+    }
+  }
+
+  // Control edges.
+  for (unsigned B = 0; B != NumBlocks; ++B)
+    for (BlockId S : M.Blocks[B].successors())
+      Edges.emplace_back(exitPoint(B), entryPoint(S));
+
+  // Copy set: across instructions that do not define v, and along edges.
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const Block &Blk = M.Blocks[B];
+    for (unsigned I = 0; I != Blk.Instrs.size(); ++I) {
+      PointId P1 = pointAt(B, I), P2 = pointAt(B, I + 1);
+      const std::set<Temp> &LiveAfter = LV.liveAfter(B, I);
+      std::set<Temp> Defs(instrDefs(Blk.Instrs[I]).begin(),
+                          instrDefs(Blk.Instrs[I]).end());
+      for (Temp V : Exists[P1])
+        if (LiveAfter.count(V) && !Defs.count(V))
+          Copies.push_back({P1, P2, V});
+    }
+  }
+  for (auto &[P1, P2] : Edges)
+    for (Temp V : Exists[P2])
+      if (Exists[P1].count(V))
+        Copies.push_back({P1, P2, V});
+}

@@ -1,0 +1,92 @@
+//===- Points.h - Program points of the ILP model ---------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerates the program points of a machine flowgraph in the paper's
+/// sense (Section 5.2): every instruction lies between two points; the
+/// point after a block's terminator is connected to the entry points of
+/// the successor blocks. Also materializes the Exists and Copy sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOC_POINTS_H
+#define ALLOC_POINTS_H
+
+#include "ixp/Liveness.h"
+#include "ixp/MachineIr.h"
+
+#include <set>
+#include <vector>
+
+namespace nova {
+namespace alloc {
+
+using PointId = uint32_t;
+using ixp::BlockId;
+using ixp::Temp;
+
+/// Point-indexed view of a machine program.
+class PointMap {
+public:
+  PointMap(const ixp::MachineProgram &M, const ixp::Liveness &LV);
+
+  unsigned numPoints() const { return NumPoints; }
+
+  /// Point before instruction \p Idx of block \p B (Idx == #instrs gives
+  /// the block's exit point).
+  PointId pointAt(BlockId B, unsigned Idx) const {
+    return FirstPoint[B] + Idx;
+  }
+
+  PointId entryPoint(BlockId B) const { return FirstPoint[B]; }
+  PointId exitPoint(BlockId B) const {
+    return FirstPoint[B] + NumInstrs[B];
+  }
+
+  BlockId blockOf(PointId P) const { return BlockOfPoint[P]; }
+
+  /// Exists set of the paper: temporaries live at (or defined dead into)
+  /// each point.
+  const std::set<Temp> &existsAt(PointId P) const { return Exists[P]; }
+  bool exists(PointId P, Temp T) const { return Exists[P].count(T) != 0; }
+
+  /// Control-flow edges between points: (exit point of block, entry point
+  /// of successor).
+  const std::vector<std::pair<PointId, PointId>> &edges() const {
+    return Edges;
+  }
+
+  /// Copy set: (p1, p2, v) with v carried unchanged from p1 to p2 — both
+  /// across instructions that do not redefine v and along control edges.
+  struct CopyEntry {
+    PointId P1, P2;
+    Temp V;
+  };
+  const std::vector<CopyEntry> &copies() const { return Copies; }
+
+  /// Sum over points of |existsAt| (a size measure for diagnostics).
+  unsigned totalExists() const {
+    unsigned N = 0;
+    for (const auto &S : Exists)
+      N += S.size();
+    return N;
+  }
+
+private:
+  unsigned NumPoints = 0;
+  std::vector<PointId> FirstPoint;  ///< per block
+  std::vector<unsigned> NumInstrs;  ///< per block
+  std::vector<BlockId> BlockOfPoint;
+  std::vector<std::set<Temp>> Exists;
+  std::vector<std::pair<PointId, PointId>> Edges;
+  std::vector<CopyEntry> Copies;
+};
+
+} // namespace alloc
+} // namespace nova
+
+#endif // ALLOC_POINTS_H

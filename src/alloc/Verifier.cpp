@@ -1,0 +1,213 @@
+//===- Verifier.cpp -------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Verifier.h"
+
+#include "support/StringUtils.h"
+
+using namespace nova;
+using namespace nova::alloc;
+using namespace nova::ixp;
+
+namespace {
+
+class Verifier {
+public:
+  explicit Verifier(const AllocatedProgram &P) : P(P) {}
+
+  std::vector<std::string> run() {
+    for (unsigned B = 0; B != P.Blocks.size(); ++B)
+      for (unsigned I = 0; I != P.Blocks[B].Instrs.size(); ++I)
+        check(B, I, P.Blocks[B].Instrs[I]);
+    return std::move(Violations);
+  }
+
+private:
+  const AllocatedProgram &P;
+  std::vector<std::string> Violations;
+
+  void fail(unsigned B, unsigned I, const std::string &Msg) {
+    Violations.push_back(formatf("b%u[%u]: %s", B, I, Msg.c_str()));
+  }
+
+  void checkCapacity(unsigned B, unsigned I, PhysLoc L) {
+    unsigned Cap;
+    switch (L.B) {
+    case Bank::A:
+    case Bank::B:
+      Cap = 16; // the reserved A register is a legal physical register
+      break;
+    case Bank::L:
+    case Bank::S:
+    case Bank::LD:
+    case Bank::SD:
+      Cap = 8;
+      break;
+    default:
+      return; // M slots unbounded
+    }
+    if (L.Reg >= Cap)
+      fail(B, I, formatf("register %s out of range", L.str().c_str()));
+  }
+
+  void requireAluResult(unsigned B, unsigned I, PhysLoc L) {
+    checkCapacity(B, I, L);
+    if (!isAluOutputBank(L.B))
+      fail(B, I,
+           formatf("ALU result written to non-writable bank %s",
+                   L.str().c_str()));
+  }
+
+  void requireReadable(unsigned B, unsigned I, const AOperand &O) {
+    if (O.IsConst)
+      return;
+    checkCapacity(B, I, O.Loc);
+    if (!isAluInputBank(O.Loc.B))
+      fail(B, I,
+           formatf("operand read from non-readable bank %s",
+                   O.Loc.str().c_str()));
+  }
+
+  void requireGpAddress(unsigned B, unsigned I, const AOperand &O,
+                        bool AllowConst) {
+    if (O.IsConst) {
+      if (!AllowConst)
+        fail(B, I, "memory address must come from a register");
+      return;
+    }
+    checkCapacity(B, I, O.Loc);
+    if (O.Loc.B != Bank::A && O.Loc.B != Bank::B)
+      fail(B, I, formatf("memory address in bank %s (need A or B)",
+                         bankName(O.Loc.B)));
+  }
+
+  void requirePairing(unsigned B, unsigned I, const AOperand &X,
+                      const AOperand &Y) {
+    if (X.IsConst || Y.IsConst)
+      return;
+    Bank BX = X.Loc.B, BY = Y.Loc.B;
+    if (BX == BY && (BX == Bank::A || BX == Bank::B || BX == Bank::L ||
+                     BX == Bank::LD))
+      fail(B, I, formatf("both operands from bank %s", bankName(BX)));
+    bool XferX = BX == Bank::L || BX == Bank::LD;
+    bool XferY = BY == Bank::L || BY == Bank::LD;
+    if (XferX && XferY)
+      fail(B, I, "both operands from the read-transfer banks");
+  }
+
+  void requireAggregate(unsigned B, unsigned I,
+                        const std::vector<PhysLoc> &Locs, Bank Want) {
+    for (unsigned K = 0; K != Locs.size(); ++K) {
+      checkCapacity(B, I, Locs[K]);
+      if (Locs[K].B != Want)
+        fail(B, I, formatf("aggregate element %u in bank %s (need %s)", K,
+                           bankName(Locs[K].B), bankName(Want)));
+      if (K && Locs[K].Reg != Locs[K - 1].Reg + 1)
+        fail(B, I,
+             formatf("aggregate not consecutive: %s after %s",
+                     Locs[K].str().c_str(), Locs[K - 1].str().c_str()));
+    }
+  }
+
+  void check(unsigned B, unsigned I, const AllocInstr &MI) {
+    switch (MI.Op) {
+    case MOp::Alu: {
+      requireAluResult(B, I, MI.Dsts[0]);
+      for (const AOperand &S : MI.Srcs)
+        if (!S.IsConst)
+          requireReadable(B, I, S);
+      std::vector<const AOperand *> Regs;
+      for (const AOperand &S : MI.Srcs)
+        if (!S.IsConst)
+          Regs.push_back(&S);
+      if (Regs.size() == 2 && !(Regs[0]->Loc == Regs[1]->Loc))
+        requirePairing(B, I, *Regs[0], *Regs[1]);
+      break;
+    }
+    case MOp::Imm:
+      requireAluResult(B, I, MI.Dsts[0]);
+      break;
+    case MOp::Move:
+      requireAluResult(B, I, MI.Dsts[0]);
+      requireReadable(B, I, MI.Srcs[0]);
+      break;
+    case MOp::MemRead: {
+      Bank Want = MI.Space == MemSpace::Sdram ? Bank::LD : Bank::L;
+      requireAggregate(B, I, MI.Dsts, Want);
+      requireGpAddress(B, I, MI.Srcs[0], /*AllowConst=*/MI.Space ==
+                                             MemSpace::Scratch);
+      break;
+    }
+    case MOp::MemWrite: {
+      Bank Want = MI.Space == MemSpace::Sdram ? Bank::SD : Bank::S;
+      requireGpAddress(B, I, MI.Srcs[0], /*AllowConst=*/MI.Space ==
+                                             MemSpace::Scratch);
+      std::vector<PhysLoc> Locs;
+      for (unsigned K = 1; K != MI.Srcs.size(); ++K) {
+        if (MI.Srcs[K].IsConst) {
+          fail(B, I, "store value must come from a register");
+          continue;
+        }
+        Locs.push_back(MI.Srcs[K].Loc);
+      }
+      requireAggregate(B, I, Locs, Want);
+      break;
+    }
+    case MOp::Hash: {
+      if (MI.Dsts[0].B != Bank::L)
+        fail(B, I, "hash result must land in L");
+      if (MI.Srcs[0].IsConst || MI.Srcs[0].Loc.B != Bank::S)
+        fail(B, I, "hash operand must come from S");
+      else if (MI.Dsts[0].Reg != MI.Srcs[0].Loc.Reg)
+        fail(B, I, formatf("hash SameReg violated: %s vs %s",
+                           MI.Dsts[0].str().c_str(),
+                           MI.Srcs[0].Loc.str().c_str()));
+      break;
+    }
+    case MOp::BitTestSet: {
+      requireGpAddress(B, I, MI.Srcs[0], /*AllowConst=*/false);
+      if (MI.Dsts[0].B != Bank::L)
+        fail(B, I, "bit-test-set result must land in L");
+      if (MI.Srcs[1].IsConst || MI.Srcs[1].Loc.B != Bank::S)
+        fail(B, I, "bit-test-set operand must come from S");
+      else if (MI.Dsts[0].Reg != MI.Srcs[1].Loc.Reg)
+        fail(B, I, "bit-test-set SameReg violated");
+      break;
+    }
+    case MOp::Clone:
+      fail(B, I, "clone pseudo survived allocation");
+      break;
+    case MOp::Branch: {
+      std::vector<const AOperand *> Regs;
+      for (const AOperand &S : MI.Srcs)
+        if (!S.IsConst)
+          Regs.push_back(&S);
+      for (const AOperand *S : Regs)
+        requireReadable(B, I, *S);
+      if (Regs.size() == 2 && !(Regs[0]->Loc == Regs[1]->Loc))
+        requirePairing(B, I, *Regs[0], *Regs[1]);
+      if (MI.Target >= P.Blocks.size() || MI.TargetElse >= P.Blocks.size())
+        fail(B, I, "branch target out of range");
+      break;
+    }
+    case MOp::Jump:
+      if (MI.Target >= P.Blocks.size())
+        fail(B, I, "jump target out of range");
+      break;
+    case MOp::Halt:
+      for (const AOperand &S : MI.Srcs)
+        requireReadable(B, I, S);
+      break;
+    }
+  }
+};
+
+} // namespace
+
+std::vector<std::string> alloc::verifyAllocated(const AllocatedProgram &P) {
+  return Verifier(P).run();
+}

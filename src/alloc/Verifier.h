@@ -1,0 +1,43 @@
+//===- Verifier.h - Static legality checks on allocated code ----*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks an allocated program against the IXP1200's data-path rules:
+///  - ALU results in {A,B,S,SD}; operands in {A,B,L,LD} with at most one
+///    operand from each of A, B, and L+LD;
+///  - memory reads define consecutive ascending registers of the right
+///    read-transfer bank; writes consume consecutive registers of the
+///    right write-transfer bank;
+///  - hash/bit-test-set results and operands share a register number in
+///    L and S respectively;
+///  - memory addresses come from general-purpose registers (immediates
+///    allowed for allocator-inserted spill slots);
+///  - register indices stay within bank capacities.
+///
+/// Value correctness is established separately by running the allocated
+/// program against the functional simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOC_VERIFIER_H
+#define ALLOC_VERIFIER_H
+
+#include "alloc/Allocated.h"
+
+#include <string>
+#include <vector>
+
+namespace nova {
+namespace alloc {
+
+/// Returns all violations found (empty means legal).
+std::vector<std::string> verifyAllocated(const AllocatedProgram &P);
+
+} // namespace alloc
+} // namespace nova
+
+#endif // ALLOC_VERIFIER_H

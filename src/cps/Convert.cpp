@@ -1,0 +1,1002 @@
+//===- Convert.cpp - AST to CPS conversion --------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cps/Convert.h"
+
+#include "nova/Layout.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace nova;
+using namespace nova::cps;
+
+namespace {
+
+/// Flattened value: one Atom per leaf slot (words/bools are Const or Temp
+/// atoms, exceptions are Label or Temp atoms).
+using FlatVal = std::vector<Atom>;
+
+/// Number of flattened slots a value of type \p T occupies.
+unsigned slotCount(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Word:
+  case TypeKind::Bool:
+  case TypeKind::Exn:
+    return 1;
+  case TypeKind::Never:
+    return 0;
+  case TypeKind::Tuple:
+  case TypeKind::Record: {
+    unsigned N = 0;
+    for (const Type *E : T->elems())
+      N += slotCount(E);
+    return N;
+  }
+  }
+  NOVA_UNREACHABLE("unhandled type kind");
+}
+
+/// Slot offset of field \p Index within tuple/record type \p T.
+unsigned slotOffset(const Type *T, unsigned Index) {
+  unsigned Off = 0;
+  for (unsigned I = 0; I != Index; ++I)
+    Off += slotCount(T->elems()[I]);
+  return Off;
+}
+
+/// Collects the unpacked leaves of a layout in record-flattening order
+/// (DFS, skipping gaps and anonymous leaves; every overlay alternative is
+/// included).
+void collectUnpackLeaves(const LayoutNode &N,
+                         std::vector<const LayoutNode *> &Out) {
+  for (const LayoutNode &C : N.Children) {
+    switch (C.NodeKind) {
+    case LayoutNode::Kind::Gap:
+      break;
+    case LayoutNode::Kind::Leaf:
+      if (!C.Name.empty())
+        Out.push_back(&C);
+      break;
+    case LayoutNode::Kind::Group:
+    case LayoutNode::Kind::Overlay:
+      collectUnpackLeaves(C, Out);
+      break;
+    }
+  }
+}
+
+/// Collects variables assigned anywhere inside an expression/statement
+/// subtree (used to compute join-continuation parameters).
+class AssignedCollector {
+public:
+  AssignedCollector(const SemaResult &Sema,
+                    std::set<const VarSymbol *> &Out)
+      : Sema(Sema), Out(Out) {}
+
+  void visit(const Expr *E) {
+    if (!E)
+      return;
+    visit(E->Lhs);
+    visit(E->Rhs);
+    visit(E->Cond);
+    visit(E->Then);
+    visit(E->Else);
+    visit(E->Tail);
+    visit(E->Body);
+    for (const Arg &A : E->Args)
+      visit(A.Value);
+    for (const Expr *El : E->Elems)
+      visit(El);
+    for (const Stmt *S : E->Stmts)
+      visit(S);
+    for (const Handler &H : E->Handlers)
+      visit(H.Body);
+  }
+
+  void visit(const Stmt *S) {
+    if (!S)
+      return;
+    if (S->Kind == StmtKind::Assign) {
+      auto It = Sema.AssignTarget.find(S);
+      if (It != Sema.AssignTarget.end())
+        Out.insert(It->second);
+    }
+    visit(S->Value);
+    visit(S->Addr);
+    visit(S->Cond);
+    visit(S->Body);
+  }
+
+private:
+  const SemaResult &Sema;
+  std::set<const VarSymbol *> &Out;
+};
+
+class Converter {
+public:
+  Converter(const Program &Ast, const SemaResult &Sema,
+            DiagnosticEngine &Diags, CpsProgram &P)
+      : Ast(Ast), Sema(Sema), Diags(Diags), P(P) {}
+
+  bool run();
+
+private:
+  using MetaK = std::function<Exp *(FlatVal)>;
+  using ArmK = std::function<Exp *()>;
+
+  const Program &Ast;
+  const SemaResult &Sema;
+  DiagnosticEngine &Diags;
+  CpsProgram &P;
+
+  std::map<const VarSymbol *, FlatVal> Env;
+  std::map<const FunDecl *, FuncId> FunIds;
+  std::map<const FunDecl *, ValueId> RetContOf;
+  bool Failed = false;
+
+  const Type *typeOf(const Expr *E) const { return Sema.typeOf(E); }
+
+  Exp *fail(SourceLoc Loc, const std::string &Msg) {
+    if (!Failed)
+      Diags.error(Loc, "cps conversion: " + Msg);
+    Failed = true;
+    return P.newExp(ExpKind::Halt);
+  }
+
+  /// Fresh temps for every slot of \p T, with debug names derived from
+  /// \p Base.
+  FlatVal freshSlots(const Type *T, const std::string &Base) {
+    FlatVal V;
+    unsigned N = slotCount(T);
+    for (unsigned I = 0; I != N; ++I)
+      V.push_back(Atom::temp(
+          P.newValue(N == 1 ? Base : Base + "." + std::to_string(I))));
+    return V;
+  }
+
+  /// Assigned variables inside a subtree that are currently in scope,
+  /// ordered by symbol id for determinism.
+  template <typename Node>
+  std::vector<const VarSymbol *> scopedAssigned(const Node *N) {
+    std::set<const VarSymbol *> Set;
+    AssignedCollector C(Sema, Set);
+    C.visit(N);
+    std::vector<const VarSymbol *> Out;
+    for (const VarSymbol *Sym : Set)
+      if (Env.count(Sym))
+        Out.push_back(Sym);
+    std::sort(Out.begin(), Out.end(),
+              [](const VarSymbol *A, const VarSymbol *B) {
+                return A->Id < B->Id;
+              });
+    return Out;
+  }
+
+  /// Current flattened values of \p Syms concatenated.
+  FlatVal currentValues(const std::vector<const VarSymbol *> &Syms) {
+    FlatVal V;
+    for (const VarSymbol *Sym : Syms) {
+      const FlatVal &SV = Env.at(Sym);
+      V.insert(V.end(), SV.begin(), SV.end());
+    }
+    return V;
+  }
+
+  /// Rebinds \p Syms to fresh parameter temps, appending the temps to
+  /// \p Params.
+  void bindFreshParams(const std::vector<const VarSymbol *> &Syms,
+                       std::vector<ValueId> &Params) {
+    for (const VarSymbol *Sym : Syms) {
+      FlatVal V = freshSlots(Sym->Ty, Sym->Name);
+      for (const Atom &A : V)
+        Params.push_back(A.Id);
+      Env[Sym] = std::move(V);
+    }
+  }
+
+  Exp *emitPrim(PrimOp Op, Atom A, Atom B, ValueId R, Exp *Cont) {
+    Exp *E = P.newExp(ExpKind::Prim);
+    E->Prim = Op;
+    E->Args = Op == PrimOp::Not ? std::vector<Atom>{A}
+                                : std::vector<Atom>{A, B};
+    E->Results = {R};
+    E->Cont = Cont;
+    return E;
+  }
+
+  Exp *emitApp(Atom Callee, FlatVal Args) {
+    Exp *E = P.newExp(ExpKind::App);
+    E->Callee = Callee;
+    E->Args = std::move(Args);
+    return E;
+  }
+
+  /// Wraps a Fix node defining \p Funcs around \p Cont.
+  Exp *emitFix(std::vector<FuncId> Funcs, Exp *Cont) {
+    Exp *E = P.newExp(ExpKind::Fix);
+    E->FixFuncs = std::move(Funcs);
+    E->Cont = Cont;
+    return E;
+  }
+
+  // Expression conversion.
+  Exp *convert(const Expr *E, const MetaK &K);
+  Exp *convertList(const std::vector<const Expr *> &Es, unsigned I,
+                   FlatVal Acc, const MetaK &K);
+  Exp *convertArgs(const std::vector<Arg> &Args, unsigned I, FlatVal Acc,
+                   const MetaK &K);
+  Exp *convertBlock(const Expr *Block, unsigned StmtIdx, const MetaK &K);
+  Exp *convertIf(const Expr *E, const MetaK &K);
+  Exp *convertTry(const Expr *E, const MetaK &K);
+  Exp *convertCall(const Expr *E, const MetaK &K);
+  Exp *convertRaise(const Expr *E);
+  Exp *convertPack(const Expr *E, const MetaK &K);
+  Exp *convertUnpack(const Expr *E, const MetaK &K);
+
+  /// Boolean expression compiled to control flow. ThenK/ElseK are each
+  /// invoked exactly once.
+  Exp *convertCond(const Expr *E, const ArmK &ThenK, const ArmK &ElseK);
+
+  /// Materializes a boolean as a 0/1 word through a join continuation.
+  Exp *materializeBool(const Expr *E, const MetaK &K);
+
+  /// Converts a function declaration into a CPS function (once).
+  FuncId functionFor(const FunDecl *F);
+};
+
+//===----------------------------------------------------------------------===//
+// Core traversal
+//===----------------------------------------------------------------------===//
+
+Exp *Converter::convertList(const std::vector<const Expr *> &Es, unsigned I,
+                            FlatVal Acc, const MetaK &K) {
+  if (I == Es.size())
+    return K(std::move(Acc));
+  return convert(Es[I], [this, &Es, I, Acc = std::move(Acc),
+                         &K](FlatVal V) mutable {
+    Acc.insert(Acc.end(), V.begin(), V.end());
+    return convertList(Es, I + 1, std::move(Acc), K);
+  });
+}
+
+Exp *Converter::convertArgs(const std::vector<Arg> &Args, unsigned I,
+                            FlatVal Acc, const MetaK &K) {
+  if (I == Args.size())
+    return K(std::move(Acc));
+  return convert(Args[I].Value, [this, &Args, I, Acc = std::move(Acc),
+                                 &K](FlatVal V) mutable {
+    Acc.insert(Acc.end(), V.begin(), V.end());
+    return convertArgs(Args, I + 1, std::move(Acc), K);
+  });
+}
+
+Exp *Converter::convert(const Expr *E, const MetaK &K) {
+  const Type *T = typeOf(E);
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return K({Atom::constant(static_cast<uint32_t>(E->IntValue))});
+  case ExprKind::BoolLit:
+    return K({Atom::constant(E->BoolValue ? 1 : 0)});
+  case ExprKind::VarRef: {
+    const VarSymbol *Sym = Sema.VarBinding.at(E);
+    auto It = Env.find(Sym);
+    if (It == Env.end())
+      return fail(E->Loc, "variable '" + Sym->Name + "' not in scope");
+    return K(It->second);
+  }
+  case ExprKind::Unary:
+    switch (E->UOp) {
+    case UnaryOp::BitNot:
+      return convert(E->Lhs, [this, &K](FlatVal V) {
+        ValueId R = P.newValue();
+        return emitPrim(PrimOp::Not, V[0], Atom::constant(0), R,
+                        K({Atom::temp(R)}));
+      });
+    case UnaryOp::Neg:
+      return convert(E->Lhs, [this, &K](FlatVal V) {
+        ValueId R = P.newValue();
+        return emitPrim(PrimOp::Sub, Atom::constant(0), V[0], R,
+                        K({Atom::temp(R)}));
+      });
+    case UnaryOp::Not:
+      return materializeBool(E, K);
+    }
+    NOVA_UNREACHABLE("unhandled unary op");
+  case ExprKind::Binary:
+    switch (E->BOp) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::And:
+    case BinaryOp::Or:
+    case BinaryOp::Xor:
+    case BinaryOp::Shl:
+    case BinaryOp::Shr: {
+      PrimOp Op = [&] {
+        switch (E->BOp) {
+        case BinaryOp::Add: return PrimOp::Add;
+        case BinaryOp::Sub: return PrimOp::Sub;
+        case BinaryOp::And: return PrimOp::And;
+        case BinaryOp::Or:  return PrimOp::Or;
+        case BinaryOp::Xor: return PrimOp::Xor;
+        case BinaryOp::Shl: return PrimOp::Shl;
+        default:            return PrimOp::Shr;
+        }
+      }();
+      return convert(E->Lhs, [this, E, Op, &K](FlatVal A) {
+        return convert(E->Rhs, [this, A, Op, &K](FlatVal B) {
+          ValueId R = P.newValue();
+          return emitPrim(Op, A[0], B[0], R, K({Atom::temp(R)}));
+        });
+      });
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge:
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+      return materializeBool(E, K);
+    }
+    NOVA_UNREACHABLE("unhandled binary op");
+  case ExprKind::Call:
+    return convertCall(E, K);
+  case ExprKind::RecordLit:
+    return convertArgs(E->Args, 0, {}, K);
+  case ExprKind::TupleLit:
+    return convertList(E->Elems, 0, {}, K);
+  case ExprKind::Field: {
+    const Type *BaseT = typeOf(E->Lhs);
+    unsigned Index =
+        E->FieldIndex >= 0
+            ? static_cast<unsigned>(E->FieldIndex)
+            : static_cast<unsigned>(BaseT->fieldIndex(E->Name));
+    return convert(E->Lhs, [BaseT, Index, &K](FlatVal V) {
+      unsigned Off = slotOffset(BaseT, Index);
+      unsigned W = slotCount(BaseT->elems()[Index]);
+      return K(FlatVal(V.begin() + Off, V.begin() + Off + W));
+    });
+  }
+  case ExprKind::If:
+    return convertIf(E, K);
+  case ExprKind::Block:
+    return convertBlock(E, 0, K);
+  case ExprKind::Pack:
+    return convertPack(E, K);
+  case ExprKind::Unpack:
+    return convertUnpack(E, K);
+  case ExprKind::MemRead:
+    return fail(E->Loc, "memory read outside let");
+  case ExprKind::Hash:
+    return convert(E->Lhs, [this, &K](FlatVal V) {
+      Exp *N = P.newExp(ExpKind::Hash);
+      N->Args = {V[0]};
+      ValueId R = P.newValue("hash");
+      N->Results = {R};
+      N->Cont = K({Atom::temp(R)});
+      return N;
+    });
+  case ExprKind::BitTestSet:
+    return convert(E->Lhs, [this, E, &K](FlatVal A) {
+      return convert(E->Rhs, [this, A, &K](FlatVal B) {
+        Exp *N = P.newExp(ExpKind::BitTestSet);
+        N->Space = MemSpace::Sram;
+        N->Args = {A[0], B[0]};
+        ValueId R = P.newValue("bts");
+        N->Results = {R};
+        N->Cont = K({Atom::temp(R)});
+        return N;
+      });
+    });
+  case ExprKind::Raise:
+    return convertRaise(E);
+  case ExprKind::Try:
+    return convertTry(E, K);
+  }
+  (void)T;
+  NOVA_UNREACHABLE("unhandled expression kind");
+}
+
+Exp *Converter::materializeBool(const Expr *E, const MetaK &K) {
+  // join(r): K(r)   ...   branch arms jump join(1) / join(0).
+  FuncId Join = P.newFunction("bool", FuncKind::Join);
+  ValueId R = P.newValue("b");
+  P.func(Join).Params = {R};
+  // Convert the condition before invoking K: K continues the surrounding
+  // computation and may rebind variables in Env.
+  Exp *Inner = convertCond(
+      E, [&] { return emitApp(Atom::label(Join), {Atom::constant(1)}); },
+      [&] { return emitApp(Atom::label(Join), {Atom::constant(0)}); });
+  P.func(Join).Body = K({Atom::temp(R)});
+  return emitFix({Join}, Inner);
+}
+
+Exp *Converter::convertCond(const Expr *E, const ArmK &ThenK,
+                            const ArmK &ElseK) {
+  switch (E->Kind) {
+  case ExprKind::BoolLit:
+    return E->BoolValue ? ThenK() : ElseK();
+  case ExprKind::Unary:
+    if (E->UOp == UnaryOp::Not)
+      return convertCond(E->Lhs, ElseK, ThenK);
+    break;
+  case ExprKind::Binary:
+    switch (E->BOp) {
+    case BinaryOp::LogAnd: {
+      // Wrap the else arm in a join so it is emitted once.
+      FuncId ElseJ = P.newFunction("and_else", FuncKind::Join);
+      P.func(ElseJ).Body = ElseK();
+      auto JumpElse = [&] { return emitApp(Atom::label(ElseJ), {}); };
+      Exp *Inner = convertCond(
+          E->Lhs,
+          [&] { return convertCond(E->Rhs, ThenK, JumpElse); }, JumpElse);
+      return emitFix({ElseJ}, Inner);
+    }
+    case BinaryOp::LogOr: {
+      FuncId ThenJ = P.newFunction("or_then", FuncKind::Join);
+      P.func(ThenJ).Body = ThenK();
+      auto JumpThen = [&] { return emitApp(Atom::label(ThenJ), {}); };
+      Exp *Inner = convertCond(
+          E->Lhs, JumpThen,
+          [&] { return convertCond(E->Rhs, JumpThen, ElseK); });
+      return emitFix({ThenJ}, Inner);
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge: {
+      CmpOp Op = [&] {
+        switch (E->BOp) {
+        case BinaryOp::Eq: return CmpOp::Eq;
+        case BinaryOp::Ne: return CmpOp::Ne;
+        case BinaryOp::Lt: return CmpOp::Lt;
+        case BinaryOp::Gt: return CmpOp::Gt;
+        case BinaryOp::Le: return CmpOp::Le;
+        default:           return CmpOp::Ge;
+        }
+      }();
+      return convert(E->Lhs, [this, E, Op, &ThenK, &ElseK](FlatVal A) {
+        return convert(E->Rhs, [this, A, Op, &ThenK, &ElseK](FlatVal B) {
+          Exp *Br = P.newExp(ExpKind::Branch);
+          Br->Cmp = Op;
+          Br->Args = {A[0], B[0]};
+          Br->Then = ThenK();
+          Br->Else = ElseK();
+          return Br;
+        });
+      });
+    }
+    default:
+      break;
+    }
+    break;
+  default:
+    break;
+  }
+  // Generic boolean data: compare against zero.
+  return convert(E, [this, &ThenK, &ElseK](FlatVal V) {
+    Exp *Br = P.newExp(ExpKind::Branch);
+    Br->Cmp = CmpOp::Ne;
+    Br->Args = {V[0], Atom::constant(0)};
+    Br->Then = ThenK();
+    Br->Else = ElseK();
+    return Br;
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Statements, joins, loops
+//===----------------------------------------------------------------------===//
+
+Exp *Converter::convertBlock(const Expr *Block, unsigned StmtIdx,
+                             const MetaK &K) {
+  if (StmtIdx == Block->Stmts.size()) {
+    if (Block->Tail)
+      return convert(Block->Tail, K);
+    return K({});
+  }
+  const Stmt *S = Block->Stmts[StmtIdx];
+  auto Rest = [this, Block, StmtIdx, &K](FlatVal) {
+    return convertBlock(Block, StmtIdx + 1, K);
+  };
+  switch (S->Kind) {
+  case StmtKind::Let: {
+    const auto &Syms = Sema.LetSymbols.at(S);
+    if (S->Value->Kind == ExprKind::MemRead) {
+      unsigned Count = Sema.MemReadCount.at(S->Value);
+      const Expr *ReadE = S->Value;
+      return convert(ReadE->Lhs, [this, ReadE, Count, &Syms,
+                                  Rest](FlatVal Addr) {
+        Exp *N = P.newExp(ExpKind::MemRead);
+        N->Space = ReadE->Space;
+        N->Args = {Addr[0]};
+        for (unsigned I = 0; I != Count; ++I) {
+          ValueId R = P.newValue(I < Syms.size() ? Syms[I]->Name : "ld");
+          N->Results.push_back(R);
+        }
+        // Bind pattern names (one word each, or the whole aggregate to a
+        // single name).
+        if (Syms.size() == Count) {
+          for (unsigned I = 0; I != Count; ++I)
+            Env[Syms[I]] = {Atom::temp(N->Results[I])};
+        } else {
+          FlatVal All;
+          for (ValueId R : N->Results)
+            All.push_back(Atom::temp(R));
+          Env[Syms[0]] = std::move(All);
+        }
+        N->Cont = Rest({});
+        return N;
+      });
+    }
+    return convert(S->Value, [this, S, &Syms, Rest](FlatVal V) {
+      if (Syms.size() == 1) {
+        Env[Syms[0]] = std::move(V);
+      } else {
+        unsigned Off = 0;
+        for (const VarSymbol *Sym : Syms) {
+          unsigned W = slotCount(Sym->Ty);
+          Env[Sym] = FlatVal(V.begin() + Off, V.begin() + Off + W);
+          Off += W;
+        }
+      }
+      (void)S;
+      return Rest({});
+    });
+  }
+  case StmtKind::Assign: {
+    const VarSymbol *Sym = Sema.AssignTarget.at(S);
+    return convert(S->Value, [this, Sym, Rest](FlatVal V) {
+      Env[Sym] = std::move(V);
+      return Rest({});
+    });
+  }
+  case StmtKind::ExprStmt:
+    return convert(S->Value, [Rest](FlatVal) { return Rest({}); });
+  case StmtKind::Store:
+    return convert(S->Addr, [this, S, Rest](FlatVal Addr) {
+      return convert(S->Value, [this, S, Addr, Rest](FlatVal V) {
+        Exp *N = P.newExp(ExpKind::MemWrite);
+        N->Space = S->Space;
+        N->Args = {Addr[0]};
+        N->Args.insert(N->Args.end(), V.begin(), V.end());
+        N->Cont = Rest({});
+        return N;
+      });
+    });
+  case StmtKind::While: {
+    std::vector<const VarSymbol *> Assigned = scopedAssigned(S->Body);
+    {
+      std::set<const VarSymbol *> CondSet;
+      AssignedCollector C(Sema, CondSet);
+      C.visit(S->Cond);
+      for (const VarSymbol *Sym : CondSet)
+        if (Env.count(Sym) &&
+            std::find(Assigned.begin(), Assigned.end(), Sym) ==
+                Assigned.end())
+          Assigned.push_back(Sym);
+      std::sort(Assigned.begin(), Assigned.end(),
+                [](const VarSymbol *A, const VarSymbol *B) {
+                  return A->Id < B->Id;
+                });
+    }
+    FuncId Loop = P.newFunction("loop", FuncKind::Loop);
+    FlatVal EntryArgs = currentValues(Assigned);
+    std::vector<ValueId> Params;
+    bindFreshParams(Assigned, Params);
+    P.func(Loop).Params = std::move(Params);
+
+    // Loop body: cond ? (body; jump Loop(updated)) : (rest of block).
+    P.func(Loop).Body = convertCond(
+        S->Cond,
+        [&] {
+          auto SavedEnv = Env;
+          Exp *BodyExp =
+              convert(S->Body, [this, Loop, &Assigned](FlatVal) {
+                return emitApp(Atom::label(Loop), currentValues(Assigned));
+              });
+          Env = std::move(SavedEnv);
+          return BodyExp;
+        },
+        [&] { return convertBlock(Block, StmtIdx + 1, K); });
+    return emitFix({Loop}, emitApp(Atom::label(Loop), std::move(EntryArgs)));
+  }
+  }
+  NOVA_UNREACHABLE("unhandled statement kind");
+}
+
+Exp *Converter::convertIf(const Expr *E, const MetaK &K) {
+  const Type *T = typeOf(E);
+  unsigned ResultSlots = slotCount(T);
+
+  std::vector<const VarSymbol *> Assigned;
+  {
+    std::set<const VarSymbol *> Set;
+    AssignedCollector C(Sema, Set);
+    C.visit(E->Then);
+    C.visit(E->Else);
+    for (const VarSymbol *Sym : Set)
+      if (Env.count(Sym))
+        Assigned.push_back(Sym);
+    std::sort(Assigned.begin(), Assigned.end(),
+              [](const VarSymbol *A, const VarSymbol *B) {
+                return A->Id < B->Id;
+              });
+  }
+
+  FuncId Join = P.newFunction("endif", FuncKind::Join);
+  std::vector<ValueId> Params;
+  auto ArmExp = [&](const Expr *Arm) {
+    auto SavedEnv = Env;
+    Exp *X;
+    if (Arm) {
+      X = convert(Arm, [this, &Assigned, Join](FlatVal V) {
+        FlatVal Args = currentValues(Assigned);
+        Args.insert(Args.end(), V.begin(), V.end());
+        return emitApp(Atom::label(Join), std::move(Args));
+      });
+    } else {
+      X = emitApp(Atom::label(Join), currentValues(Assigned));
+    }
+    Env = std::move(SavedEnv);
+    return X;
+  };
+
+  Exp *Inner = convertCond(
+      E->Cond, [&] { return ArmExp(E->Then); },
+      [&] { return ArmExp(E->Else); });
+
+  // Join body: rebind assigned vars and continue with the result.
+  bindFreshParams(Assigned, Params);
+  FlatVal Result;
+  for (unsigned I = 0; I != ResultSlots; ++I) {
+    ValueId R = P.newValue("phi");
+    Params.push_back(R);
+    Result.push_back(Atom::temp(R));
+  }
+  P.func(Join).Params = std::move(Params);
+  P.func(Join).Body = K(std::move(Result));
+  return emitFix({Join}, Inner);
+}
+
+Exp *Converter::convertTry(const Expr *E, const MetaK &K) {
+  const Type *T = typeOf(E);
+  unsigned ResultSlots = slotCount(T);
+
+  std::vector<const VarSymbol *> Assigned = scopedAssigned(E);
+
+  FuncId Join = P.newFunction("endtry", FuncKind::Join);
+  auto TryEntryEnv = Env;
+
+  // Handlers are converted in the try-entry environment.
+  std::vector<FuncId> Fixed;
+  for (const Handler &H : E->Handlers) {
+    FuncId HF = P.newFunction("handle_" + H.ExnName, FuncKind::Handler);
+    auto SavedEnv = Env;
+    Env = TryEntryEnv;
+    std::vector<ValueId> HParams;
+    const auto &ParamSyms = Sema.HandlerParamSymbols.at(&H);
+    for (const VarSymbol *Sym : ParamSyms) {
+      FlatVal V = freshSlots(Sym->Ty, Sym->Name);
+      for (const Atom &A : V)
+        HParams.push_back(A.Id);
+      Env[Sym] = std::move(V);
+    }
+    P.func(HF).Params = std::move(HParams);
+    P.func(HF).Body =
+        convert(H.Body, [this, &Assigned, Join](FlatVal V) {
+          FlatVal Args = currentValues(Assigned);
+          Args.insert(Args.end(), V.begin(), V.end());
+          return emitApp(Atom::label(Join), std::move(Args));
+        });
+    Env = std::move(SavedEnv);
+    Env[Sema.HandlerExnSymbol.at(&H)] = {Atom::label(HF)};
+    Fixed.push_back(HF);
+  }
+
+  // Body with handlers in scope.
+  Exp *BodyExp = convert(E->Body, [this, &Assigned, Join](FlatVal V) {
+    FlatVal Args = currentValues(Assigned);
+    Args.insert(Args.end(), V.begin(), V.end());
+    return emitApp(Atom::label(Join), std::move(Args));
+  });
+
+  // Join continuation.
+  std::vector<ValueId> Params;
+  bindFreshParams(Assigned, Params);
+  FlatVal Result;
+  for (unsigned I = 0; I != ResultSlots; ++I) {
+    ValueId R = P.newValue("tryv");
+    Params.push_back(R);
+    Result.push_back(Atom::temp(R));
+  }
+  P.func(Join).Params = std::move(Params);
+  P.func(Join).Body = K(std::move(Result));
+
+  Fixed.push_back(Join);
+  return emitFix(std::move(Fixed), BodyExp);
+}
+
+Exp *Converter::convertRaise(const Expr *E) {
+  const VarSymbol *ExnSym = Sema.RaiseTarget.at(E);
+  auto It = Env.find(ExnSym);
+  if (It == Env.end())
+    return fail(E->Loc, "exception '" + ExnSym->Name + "' not in scope");
+  Atom Callee = It->second[0];
+  const Type *Payload = ExnSym->Ty->exnPayload();
+
+  // Named args are reordered to payload field order.
+  std::vector<Arg> Ordered(E->Args);
+  if (!Ordered.empty() && !Ordered[0].Name.empty() &&
+      Payload->kind() == TypeKind::Record) {
+    std::sort(Ordered.begin(), Ordered.end(),
+              [Payload](const Arg &A, const Arg &B) {
+                return Payload->fieldIndex(A.Name) <
+                       Payload->fieldIndex(B.Name);
+              });
+  }
+  return convertArgs(Ordered, 0, {}, [this, Callee](FlatVal Args) {
+    return emitApp(Callee, std::move(Args));
+  });
+}
+
+Exp *Converter::convertCall(const Expr *E, const MetaK &K) {
+  const FunDecl *Callee = Sema.CallTarget.at(E);
+  FuncId F = functionFor(Callee);
+  const Type *ResultT = Sema.FunResultType.at(Callee);
+  unsigned ResultSlots = slotCount(ResultT);
+
+  // Named args are reordered to parameter order.
+  std::vector<Arg> Ordered(E->Args);
+  if (!Ordered.empty() && !Ordered[0].Name.empty()) {
+    auto ParamIndex = [Callee](const std::string &Name) {
+      for (unsigned I = 0; I != Callee->Params.size(); ++I)
+        if (Callee->Params[I].Name == Name)
+          return I;
+      return ~0u;
+    };
+    std::sort(Ordered.begin(), Ordered.end(),
+              [&](const Arg &A, const Arg &B) {
+                return ParamIndex(A.Name) < ParamIndex(B.Name);
+              });
+  }
+
+  // Return continuation carrying the call results.
+  FuncId Ret = P.newFunction("ret_" + Callee->Name, FuncKind::ReturnPt);
+  std::vector<ValueId> Params;
+  FlatVal Result;
+  for (unsigned I = 0; I != ResultSlots; ++I) {
+    ValueId R = P.newValue("r");
+    Params.push_back(R);
+    Result.push_back(Atom::temp(R));
+  }
+  P.func(Ret).Params = std::move(Params);
+
+  // Arguments are converted in the pre-call environment; only then may K
+  // run (it continues the caller and can rebind variables).
+  Exp *CallExp =
+      convertArgs(Ordered, 0, {}, [this, F, Ret](FlatVal Args) {
+        Args.push_back(Atom::label(Ret));
+        return emitApp(Atom::label(F), std::move(Args));
+      });
+  P.func(Ret).Body = K(std::move(Result));
+  return emitFix({Ret}, CallExp);
+}
+
+Exp *Converter::convertPack(const Expr *E, const MetaK &K) {
+  const LayoutNode *Layout = Sema.PackLayout.at(E);
+  unsigned Words = Layout->packedWords();
+
+  // Pair each chosen leaf with its value expression by walking the record
+  // literal along the layout (mirrors Sema::checkPackArg).
+  std::vector<std::pair<const LayoutNode *, const Expr *>> Leaves;
+  std::function<void(const Expr *, const LayoutNode &)> Walk =
+      [&](const Expr *Lit, const LayoutNode &N) {
+        switch (N.NodeKind) {
+        case LayoutNode::Kind::Leaf:
+          Leaves.emplace_back(&N, Lit);
+          return;
+        case LayoutNode::Kind::Gap:
+          return;
+        case LayoutNode::Kind::Group:
+          for (const Arg &A : Lit->Args)
+            for (const LayoutNode &C : N.Children)
+              if (C.Name == A.Name)
+                Walk(A.Value, C);
+          return;
+        case LayoutNode::Kind::Overlay:
+          for (const LayoutNode &C : N.Children)
+            if (C.Name == Lit->Args[0].Name)
+              Walk(Lit->Args[0].Value, C);
+          return;
+        }
+      };
+  Walk(E->Lhs, *Layout);
+
+  // Convert the leaf values left to right, then deposit them.
+  std::vector<const Expr *> Exprs;
+  for (auto &[Node, Ex] : Leaves)
+    Exprs.push_back(Ex);
+  return convertList(Exprs, 0, {}, [this, Leaves, Words,
+                                    &K](FlatVal Values) {
+    // Accumulate each word as an OR-chain of deposited pieces.
+    std::vector<Atom> WordAcc(Words, Atom::constant(0));
+    Exp *Head = nullptr;
+    Exp **Tail = &Head;
+    auto Emit = [&](Exp *N) {
+      *Tail = N;
+      Tail = &N->Cont;
+    };
+    for (unsigned I = 0; I != Leaves.size(); ++I) {
+      const LayoutNode *Leaf = Leaves[I].first;
+      Atom V = Values[I];
+      for (const BitPiece &Piece :
+           planBitfield(Leaf->OffsetBits, Leaf->WidthBits)) {
+        Atom Cur = V;
+        if (Piece.ValueShift) {
+          ValueId R = P.newValue();
+          Emit(emitPrim(PrimOp::Shr, Cur, Atom::constant(Piece.ValueShift),
+                        R, nullptr));
+          Cur = Atom::temp(R);
+        }
+        // Mask off bits that belong to other pieces/fields. Skipped when
+        // the piece already covers a full word.
+        if (Piece.Mask != 0xFFFFFFFFu) {
+          ValueId R = P.newValue();
+          Emit(emitPrim(PrimOp::And, Cur, Atom::constant(Piece.Mask), R,
+                        nullptr));
+          Cur = Atom::temp(R);
+        }
+        if (Piece.WordShift) {
+          ValueId R = P.newValue();
+          Emit(emitPrim(PrimOp::Shl, Cur, Atom::constant(Piece.WordShift),
+                        R, nullptr));
+          Cur = Atom::temp(R);
+        }
+        ValueId R = P.newValue();
+        Emit(emitPrim(PrimOp::Or, WordAcc[Piece.WordIndex], Cur, R,
+                      nullptr));
+        WordAcc[Piece.WordIndex] = Atom::temp(R);
+      }
+    }
+    *Tail = K(std::move(WordAcc));
+    return Head;
+  });
+}
+
+Exp *Converter::convertUnpack(const Expr *E, const MetaK &K) {
+  const LayoutNode *Layout = Sema.PackLayout.at(E);
+  std::vector<const LayoutNode *> Leaves;
+  if (Layout->NodeKind == LayoutNode::Kind::Leaf)
+    Leaves.push_back(Layout);
+  else
+    collectUnpackLeaves(*Layout, Leaves);
+
+  return convert(E->Lhs, [this, Leaves, &K](FlatVal Words) {
+    Exp *Head = nullptr;
+    Exp **Tail = &Head;
+    auto Emit = [&](Exp *N) {
+      *Tail = N;
+      Tail = &N->Cont;
+    };
+    FlatVal Result;
+    for (const LayoutNode *Leaf : Leaves) {
+      Atom Acc = Atom::constant(0);
+      bool First = true;
+      for (const BitPiece &Piece :
+           planBitfield(Leaf->OffsetBits, Leaf->WidthBits)) {
+        Atom Cur = Words[Piece.WordIndex];
+        if (Piece.WordShift) {
+          ValueId R = P.newValue();
+          Emit(emitPrim(PrimOp::Shr, Cur, Atom::constant(Piece.WordShift),
+                        R, nullptr));
+          Cur = Atom::temp(R);
+        }
+        // Mask unless the extracted piece already fills the word top-down
+        // (shift has pushed out all higher bits).
+        if (Piece.Mask != 0xFFFFFFFFu &&
+            Piece.WordShift + Piece.PieceWidth != 32) {
+          ValueId R = P.newValue();
+          Emit(emitPrim(PrimOp::And, Cur, Atom::constant(Piece.Mask), R,
+                        nullptr));
+          Cur = Atom::temp(R);
+        }
+        if (Piece.ValueShift) {
+          ValueId R = P.newValue();
+          Emit(emitPrim(PrimOp::Shl, Cur, Atom::constant(Piece.ValueShift),
+                        R, nullptr));
+          Cur = Atom::temp(R);
+        }
+        if (First) {
+          Acc = Cur;
+          First = false;
+        } else {
+          ValueId R = P.newValue(Leaf->Name);
+          Emit(emitPrim(PrimOp::Or, Acc, Cur, R, nullptr));
+          Acc = Atom::temp(R);
+        }
+      }
+      Result.push_back(Acc);
+    }
+    *Tail = K(std::move(Result));
+    return Head;
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and program entry
+//===----------------------------------------------------------------------===//
+
+FuncId Converter::functionFor(const FunDecl *F) {
+  auto It = FunIds.find(F);
+  if (It != FunIds.end())
+    return It->second;
+  FuncId Id = P.newFunction(F->Name, FuncKind::UserFun);
+  FunIds[F] = Id;
+
+  auto SavedEnv = std::move(Env);
+  Env.clear();
+  std::vector<ValueId> Params;
+  const auto &ParamSyms = Sema.ParamSymbols.at(F);
+  for (const VarSymbol *Sym : ParamSyms) {
+    FlatVal V = freshSlots(Sym->Ty, Sym->Name);
+    for (const Atom &A : V)
+      Params.push_back(A.Id);
+    Env[Sym] = std::move(V);
+  }
+  ValueId RetCont = P.newValue("retk");
+  Params.push_back(RetCont);
+  RetContOf[F] = RetCont;
+  P.func(Id).Params = std::move(Params);
+  P.func(Id).Body = convert(F->Body, [this, RetCont](FlatVal V) {
+    return emitApp(Atom::temp(RetCont), std::move(V));
+  });
+  Env = std::move(SavedEnv);
+  return Id;
+}
+
+bool Converter::run() {
+  const FunDecl *Main = Ast.findFun("main");
+  if (!Main) {
+    Diags.error(SourceLoc::invalid(), "program has no 'main' function");
+    return false;
+  }
+  // The entry is converted specially: its continuation is Halt.
+  FuncId Entry = P.newFunction("main", FuncKind::UserFun);
+  P.Entry = Entry;
+  Env.clear();
+  std::vector<ValueId> Params;
+  for (const VarSymbol *Sym : Sema.ParamSymbols.at(Main)) {
+    FlatVal V = freshSlots(Sym->Ty, Sym->Name);
+    for (const Atom &A : V)
+      Params.push_back(A.Id);
+    Env[Sym] = std::move(V);
+  }
+  P.func(Entry).Params = std::move(Params);
+  P.func(Entry).Body = convert(Main->Body, [this](FlatVal V) {
+    Exp *H = P.newExp(ExpKind::Halt);
+    H->Args = std::move(V);
+    return H;
+  });
+  return !Failed;
+}
+
+} // namespace
+
+bool cps::convertToCps(const Program &Ast, const SemaResult &Sema,
+                       DiagnosticEngine &Diags, CpsProgram &Out) {
+  Converter C(Ast, Sema, Diags, Out);
+  return C.run();
+}

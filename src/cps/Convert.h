@@ -1,0 +1,39 @@
+//===- Convert.h - AST to CPS conversion ------------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts the type-checked AST into CPS (paper Section 4.1):
+///  - records and tuples are flattened, each leaf field becoming an
+///    independent CPS value;
+///  - booleans are encoded as control flow and only materialized as 0/1
+///    when used as data;
+///  - assignments are eliminated by threading the assigned variables
+///    through join/loop continuations, yielding SSA by construction;
+///  - exceptions become continuation values (labels) passed as arguments;
+///  - pack/unpack become shift/mask primitive sequences planned by the
+///    layout engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPS_CONVERT_H
+#define CPS_CONVERT_H
+
+#include "cps/Ir.h"
+#include "nova/Sema.h"
+
+namespace nova {
+namespace cps {
+
+/// Converts a checked program. The entry point is the function named
+/// "main". Returns false (with diagnostics) if conversion is impossible.
+bool convertToCps(const Program &Ast, const SemaResult &Sema,
+                  DiagnosticEngine &Diags, CpsProgram &Out);
+
+} // namespace cps
+} // namespace nova
+
+#endif // CPS_CONVERT_H

@@ -1,0 +1,60 @@
+//===- Eval.h - Reference CPS interpreter -----------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct interpreter for CPS programs. It defines the language's
+/// observable semantics and serves as the oracle against which the
+/// optimizer, the allocator, and the micro-engine simulator are tested:
+/// source -> CPS -> evaluate must equal source -> ... -> simulate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPS_EVAL_H
+#define CPS_EVAL_H
+
+#include "cps/Ir.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nova {
+namespace cps {
+
+/// Word-addressed memories of the evaluation environment.
+struct EvalMemory {
+  std::map<uint32_t, uint32_t> Sram;
+  std::map<uint32_t, uint32_t> Sdram;
+  std::map<uint32_t, uint32_t> Scratch;
+
+  std::map<uint32_t, uint32_t> &space(MemSpace S) {
+    switch (S) {
+    case MemSpace::Sram:    return Sram;
+    case MemSpace::Sdram:   return Sdram;
+    case MemSpace::Scratch: return Scratch;
+    }
+    return Sram;
+  }
+};
+
+struct EvalResult {
+  bool Ok = false;
+  std::string Error;
+  std::vector<uint32_t> HaltValues;
+  unsigned Steps = 0;
+};
+
+/// Runs the program entry with \p Args (one word per entry parameter).
+/// Memory is read and mutated in place. \p MaxSteps bounds execution.
+EvalResult evaluate(const CpsProgram &P, const std::vector<uint32_t> &Args,
+                    EvalMemory &Mem, unsigned MaxSteps = 1'000'000);
+
+} // namespace cps
+} // namespace nova
+
+#endif // CPS_EVAL_H

@@ -1,0 +1,218 @@
+//===- Ir.cpp - CPS printer -----------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cps/Ir.h"
+
+#include "support/Debug.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+using namespace nova;
+using namespace nova::cps;
+
+const char *cps::primOpName(PrimOp Op) {
+  switch (Op) {
+  case PrimOp::Add: return "add";
+  case PrimOp::Sub: return "sub";
+  case PrimOp::And: return "and";
+  case PrimOp::Or:  return "or";
+  case PrimOp::Xor: return "xor";
+  case PrimOp::Shl: return "shl";
+  case PrimOp::Shr: return "shr";
+  case PrimOp::Not: return "not";
+  }
+  return "?";
+}
+
+const char *cps::cmpOpName(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::Eq: return "==";
+  case CmpOp::Ne: return "!=";
+  case CmpOp::Lt: return "<";
+  case CmpOp::Gt: return ">";
+  case CmpOp::Le: return "<=";
+  case CmpOp::Ge: return ">=";
+  }
+  return "?";
+}
+
+const char *cps::memSpaceName(MemSpace Space) {
+  switch (Space) {
+  case MemSpace::Sram:    return "sram";
+  case MemSpace::Sdram:   return "sdram";
+  case MemSpace::Scratch: return "scratch";
+  }
+  return "?";
+}
+
+namespace {
+
+class Printer {
+public:
+  explicit Printer(const CpsProgram &P) : P(P) {}
+
+  std::string run() {
+    // Fix-declared functions are printed at their declaration point; only
+    // roots (entry + top-level) are printed here.
+    std::set<FuncId> FixDeclared;
+    std::function<void(const Exp *)> Scan = [&](const Exp *E) {
+      for (; E;) {
+        if (E->Kind == ExpKind::Fix)
+          for (FuncId F : E->FixFuncs) {
+            FixDeclared.insert(F);
+            Scan(P.func(F).Body);
+          }
+        if (E->Kind == ExpKind::Branch) {
+          Scan(E->Then);
+          Scan(E->Else);
+          return;
+        }
+        E = E->Cont;
+      }
+    };
+    for (const Function &F : P.functions())
+      if (F.Body)
+        Scan(F.Body);
+    for (const Function &F : P.functions()) {
+      if (!F.Body || FixDeclared.count(F.Id))
+        continue;
+      OS << (F.Id == P.Entry ? "entry " : "fun ") << 'f' << F.Id << '_'
+         << F.Name << '(';
+      for (unsigned I = 0; I != F.Params.size(); ++I)
+        OS << (I ? ", " : "") << val(F.Params[I]);
+      OS << ") {\n";
+      print(F.Body, 1);
+      OS << "}\n";
+    }
+    return OS.str();
+  }
+
+private:
+  std::string val(ValueId Id) const {
+    std::string Name = P.valueName(Id);
+    return "v" + std::to_string(Id) + (Name.empty() ? "" : "." + Name);
+  }
+
+  std::string atom(const Atom &A) const {
+    switch (A.K) {
+    case Atom::Kind::Temp:
+      return val(A.Id);
+    case Atom::Kind::Const: {
+      std::ostringstream S;
+      S << A.Value;
+      return S.str();
+    }
+    case Atom::Kind::Label:
+      return "&f" + std::to_string(A.Func) + "_" + P.func(A.Func).Name;
+    }
+    return "?";
+  }
+
+  void indent(int N) {
+    for (int I = 0; I != N; ++I)
+      OS << "  ";
+  }
+
+  void print(const Exp *E, int Ind) {
+    for (; E; ) {
+      indent(Ind);
+      switch (E->Kind) {
+      case ExpKind::Prim:
+        OS << val(E->Results[0]) << " = " << primOpName(E->Prim);
+        for (const Atom &A : E->Args)
+          OS << ' ' << atom(A);
+        OS << '\n';
+        E = E->Cont;
+        continue;
+      case ExpKind::MemRead: {
+        OS << '(';
+        for (unsigned I = 0; I != E->Results.size(); ++I)
+          OS << (I ? ", " : "") << val(E->Results[I]);
+        OS << ") = " << memSpaceName(E->Space) << '[' << atom(E->Args[0])
+           << "]\n";
+        E = E->Cont;
+        continue;
+      }
+      case ExpKind::MemWrite: {
+        OS << memSpaceName(E->Space) << '[' << atom(E->Args[0]) << "] <- (";
+        for (unsigned I = 1; I != E->Args.size(); ++I)
+          OS << (I > 1 ? ", " : "") << atom(E->Args[I]);
+        OS << ")\n";
+        E = E->Cont;
+        continue;
+      }
+      case ExpKind::Hash:
+        OS << val(E->Results[0]) << " = hash " << atom(E->Args[0]) << '\n';
+        E = E->Cont;
+        continue;
+      case ExpKind::BitTestSet:
+        OS << val(E->Results[0]) << " = bit_test_set "
+           << memSpaceName(E->Space) << '[' << atom(E->Args[0]) << "] "
+           << atom(E->Args[1]) << '\n';
+        E = E->Cont;
+        continue;
+      case ExpKind::Clone: {
+        OS << '(';
+        for (unsigned I = 0; I != E->Results.size(); ++I)
+          OS << (I ? ", " : "") << val(E->Results[I]);
+        OS << ") = clone " << atom(E->Args[0]) << '\n';
+        E = E->Cont;
+        continue;
+      }
+      case ExpKind::Fix:
+        for (FuncId F : E->FixFuncs) {
+          const Function &Fn = P.func(F);
+          OS << "fix f" << F << '_' << Fn.Name << '(';
+          for (unsigned I = 0; I != Fn.Params.size(); ++I)
+            OS << (I ? ", " : "") << val(Fn.Params[I]);
+          OS << ") {\n";
+          print(Fn.Body, Ind + 1);
+          indent(Ind);
+          OS << "}\n";
+          indent(Ind);
+        }
+        OS << "in\n";
+        E = E->Cont;
+        continue;
+      case ExpKind::Branch:
+        OS << "if " << atom(E->Args[0]) << ' ' << cmpOpName(E->Cmp) << ' '
+           << atom(E->Args[1]) << " {\n";
+        print(E->Then, Ind + 1);
+        indent(Ind);
+        OS << "} else {\n";
+        print(E->Else, Ind + 1);
+        indent(Ind);
+        OS << "}\n";
+        return;
+      case ExpKind::App: {
+        OS << "jump " << atom(E->Callee) << '(';
+        for (unsigned I = 0; I != E->Args.size(); ++I)
+          OS << (I ? ", " : "") << atom(E->Args[I]);
+        OS << ")\n";
+        return;
+      }
+      case ExpKind::Halt: {
+        OS << "halt(";
+        for (unsigned I = 0; I != E->Args.size(); ++I)
+          OS << (I ? ", " : "") << atom(E->Args[I]);
+        OS << ")\n";
+        return;
+      }
+      }
+      NOVA_UNREACHABLE("unhandled exp kind");
+    }
+  }
+
+  const CpsProgram &P;
+  std::ostringstream OS;
+};
+
+} // namespace
+
+std::string CpsProgram::print() const { return Printer(*this).run(); }

@@ -1,0 +1,162 @@
+//===- Ir.h - Continuation-passing-style IR ---------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's CPS intermediate representation (paper Section 4).
+/// Every value is one machine word; records and tuples were flattened
+/// during conversion. Continuations are ordinary functions; `App` is the
+/// only transfer of control, so the IR is SSA by construction (each
+/// ValueId has exactly one binding site).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPS_IR_H
+#define CPS_IR_H
+
+#include "nova/Ast.h" // for MemSpace
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace nova {
+namespace cps {
+
+using ValueId = uint32_t;
+using FuncId = uint32_t;
+inline constexpr FuncId NoFunc = ~0u;
+
+/// Word-level ALU operations (matching the IXP micro-engine).
+enum class PrimOp : uint8_t { Add, Sub, And, Or, Xor, Shl, Shr, Not };
+
+/// Branch comparisons; all unsigned 32-bit.
+enum class CmpOp : uint8_t { Eq, Ne, Lt, Gt, Le, Ge };
+
+/// An operand: a temporary, an immediate constant, or a function label
+/// (labels appear when exceptions/continuations are passed as values; the
+/// optimizer resolves them before instruction selection).
+struct Atom {
+  enum class Kind : uint8_t { Temp, Const, Label } K = Kind::Const;
+  ValueId Id = 0;      ///< Temp
+  uint32_t Value = 0;  ///< Const
+  FuncId Func = NoFunc;///< Label
+
+  static Atom temp(ValueId Id) { return {Kind::Temp, Id, 0, NoFunc}; }
+  static Atom constant(uint32_t V) { return {Kind::Const, 0, V, NoFunc}; }
+  static Atom label(FuncId F) { return {Kind::Label, 0, 0, F}; }
+
+  bool isTemp() const { return K == Kind::Temp; }
+  bool isConst() const { return K == Kind::Const; }
+  bool isLabel() const { return K == Kind::Label; }
+  bool operator==(const Atom &O) const {
+    return K == O.K && Id == O.Id && Value == O.Value && Func == O.Func;
+  }
+};
+
+enum class ExpKind : uint8_t {
+  Prim,       ///< Results[0] = Prim(Args...); Cont
+  MemRead,    ///< Results[0..n) = Space[Args[0]]; Cont
+  MemWrite,   ///< Space[Args[0]] <- Args[1..]; Cont
+  Hash,       ///< Results[0] = hash(Args[0]); Cont
+  BitTestSet, ///< Results[0] = bit_test_set(Space[Args[0]], Args[1]); Cont
+  Clone,      ///< Results[0..k) = clone(Args[0]); Cont  (inserted by SSU)
+  Fix,        ///< defines the (mutually recursive) functions FixFuncs; Cont
+  Branch,     ///< if (Args[0] Cmp Args[1]) Then else Else
+  App,        ///< jump/call Callee(Args...)
+  Halt,       ///< program exit with Args as results
+};
+
+/// One CPS expression node. Tree-structured: straight-line nodes chain
+/// through Cont, Branch forks into Then/Else, App and Halt are leaves.
+struct Exp {
+  ExpKind Kind = ExpKind::Halt;
+  PrimOp Prim = PrimOp::Add;
+  CmpOp Cmp = CmpOp::Eq;
+  MemSpace Space = MemSpace::Sram;
+  std::vector<Atom> Args;
+  std::vector<ValueId> Results;
+  std::vector<FuncId> FixFuncs; ///< Fix: functions scoped at this point
+  Atom Callee;        ///< App: Label or Temp
+  Exp *Cont = nullptr;
+  Exp *Then = nullptr;
+  Exp *Else = nullptr;
+};
+
+/// Why a function exists; drives inlining policy and diagnostics.
+enum class FuncKind : uint8_t {
+  UserFun,  ///< a source-level Nova function
+  Join,     ///< merge continuation from if/try
+  Loop,     ///< while-loop header
+  Handler,  ///< exception handler
+  ReturnPt, ///< return continuation of a non-tail call
+};
+
+struct Function {
+  FuncId Id = NoFunc;
+  std::string Name;
+  FuncKind Kind = FuncKind::UserFun;
+  std::vector<ValueId> Params;
+  Exp *Body = nullptr;
+};
+
+/// A whole CPS program. Owns every Exp node.
+class CpsProgram {
+public:
+  Exp *newExp(ExpKind Kind) {
+    Arena.emplace_back();
+    Arena.back().Kind = Kind;
+    return &Arena.back();
+  }
+
+  ValueId newValue(std::string DebugName = "") {
+    if (!DebugName.empty())
+      ValueNames.resize(NextValue + 1), ValueNames[NextValue] =
+                                            std::move(DebugName);
+    return NextValue++;
+  }
+
+  FuncId newFunction(std::string Name, FuncKind Kind) {
+    Function F;
+    F.Id = static_cast<FuncId>(Funcs.size());
+    F.Name = std::move(Name);
+    F.Kind = Kind;
+    Funcs.push_back(std::move(F));
+    return Funcs.back().Id;
+  }
+
+  Function &func(FuncId Id) { return Funcs[Id]; }
+  const Function &func(FuncId Id) const { return Funcs[Id]; }
+  std::vector<Function> &functions() { return Funcs; }
+  const std::vector<Function> &functions() const { return Funcs; }
+
+  FuncId Entry = NoFunc;
+  unsigned numValues() const { return NextValue; }
+
+  /// Debug name of a value ("" if none was recorded).
+  std::string valueName(ValueId Id) const {
+    return Id < ValueNames.size() ? ValueNames[Id] : "";
+  }
+
+  /// Renders the program as text (for tests and -debug dumps).
+  std::string print() const;
+
+private:
+  std::deque<Exp> Arena;
+  std::vector<Function> Funcs;
+  std::vector<std::string> ValueNames;
+  ValueId NextValue = 0;
+};
+
+const char *primOpName(PrimOp Op);
+const char *cmpOpName(CmpOp Op);
+const char *memSpaceName(MemSpace Space);
+
+} // namespace cps
+} // namespace nova
+
+#endif // CPS_IR_H

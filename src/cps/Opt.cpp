@@ -1,0 +1,952 @@
+//===- Opt.cpp - CPS optimizer --------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cps/Opt.h"
+
+#include "support/Debug.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace nova;
+using namespace nova::cps;
+
+namespace {
+
+/// Logical shifts with counts >= 32 produce 0 (the folder, the CPS
+/// evaluator, and the micro-engine simulator all agree on this).
+uint32_t evalPrim(PrimOp Op, uint32_t A, uint32_t B) {
+  switch (Op) {
+  case PrimOp::Add: return A + B;
+  case PrimOp::Sub: return A - B;
+  case PrimOp::And: return A & B;
+  case PrimOp::Or:  return A | B;
+  case PrimOp::Xor: return A ^ B;
+  case PrimOp::Shl: return B >= 32 ? 0 : A << B;
+  case PrimOp::Shr: return B >= 32 ? 0 : A >> B;
+  case PrimOp::Not: return ~A;
+  }
+  return 0;
+}
+
+bool evalCmp(CmpOp Op, uint32_t A, uint32_t B) {
+  switch (Op) {
+  case CmpOp::Eq: return A == B;
+  case CmpOp::Ne: return A != B;
+  case CmpOp::Lt: return A < B;
+  case CmpOp::Gt: return A > B;
+  case CmpOp::Le: return A <= B;
+  case CmpOp::Ge: return A >= B;
+  }
+  return false;
+}
+
+/// The functions that act as traversal roots: the entry plus every
+/// function not declared by any Fix node (user functions are top-level).
+std::vector<FuncId> rootFunctions(const CpsProgram &P) {
+  std::set<FuncId> FixDeclared;
+  std::function<void(const Exp *)> Scan = [&](const Exp *E) {
+    for (; E;) {
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs) {
+          FixDeclared.insert(F);
+          Scan(P.func(F).Body);
+        }
+      if (E->Kind == ExpKind::Branch) {
+        Scan(E->Then);
+        Scan(E->Else);
+        return;
+      }
+      E = E->Cont;
+    }
+  };
+  for (const Function &F : P.functions())
+    if (F.Body)
+      Scan(F.Body);
+  std::vector<FuncId> Roots;
+  for (const Function &F : P.functions())
+    if (F.Body && !FixDeclared.count(F.Id))
+      Roots.push_back(F.Id);
+  return Roots;
+}
+
+/// Applies \p Visit to every live Exp node, entering Fix-declared function
+/// bodies at their declaration point.
+template <typename Fn>
+void forEachExp(CpsProgram &P, Fn Visit) {
+  std::function<void(Exp *)> Walk = [&](Exp *E) {
+    for (; E;) {
+      Visit(E);
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs)
+          Walk(P.func(F).Body);
+      if (E->Kind == ExpKind::Branch) {
+        Walk(E->Then);
+        Walk(E->Else);
+        return;
+      }
+      E = E->Cont;
+    }
+  };
+  for (FuncId F : rootFunctions(P))
+    Walk(P.func(F).Body);
+}
+
+/// Use counts of values and function labels across the live program.
+struct Census {
+  std::vector<unsigned> ValueUses;
+  std::vector<unsigned> LabelUses; ///< label occurrences anywhere
+  std::vector<unsigned> CallUses;  ///< label occurrences as App callee
+
+  explicit Census(CpsProgram &P)
+      : ValueUses(P.numValues(), 0), LabelUses(P.functions().size(), 0),
+        CallUses(P.functions().size(), 0) {
+    forEachExp(P, [&](Exp *E) {
+      for (const Atom &A : E->Args)
+        count(A, false);
+      if (E->Kind == ExpKind::App)
+        count(E->Callee, true);
+    });
+  }
+
+  void count(const Atom &A, bool IsCallee) {
+    if (A.isTemp()) {
+      ++ValueUses[A.Id];
+    } else if (A.isLabel()) {
+      ++LabelUses[A.Func];
+      if (IsCallee)
+        ++CallUses[A.Func];
+    }
+  }
+};
+
+/// Deep-copies an Exp tree, freshening bound values and Fix-declared
+/// functions; used when inlining a function at (possibly) multiple sites.
+class Copier {
+public:
+  Copier(CpsProgram &P) : P(P) {}
+
+  std::map<ValueId, Atom> VSub;
+
+  Exp *copy(const Exp *E) {
+    if (!E)
+      return nullptr;
+    Exp *N = P.newExp(E->Kind);
+    N->Prim = E->Prim;
+    N->Cmp = E->Cmp;
+    N->Space = E->Space;
+    for (const Atom &A : E->Args)
+      N->Args.push_back(remap(A));
+    N->Callee = remap(E->Callee);
+    for (ValueId R : E->Results) {
+      ValueId Fresh = P.newValue(P.valueName(R));
+      VSub[R] = Atom::temp(Fresh);
+      N->Results.push_back(Fresh);
+    }
+    if (E->Kind == ExpKind::Fix) {
+      // Two phases so mutually recursive Fix functions remap correctly.
+      for (FuncId F : E->FixFuncs) {
+        FuncId Fresh = P.newFunction(P.func(F).Name, P.func(F).Kind);
+        FSub[F] = Fresh;
+        N->FixFuncs.push_back(Fresh);
+      }
+      for (FuncId F : E->FixFuncs) {
+        FuncId Fresh = FSub[F];
+        std::vector<ValueId> Params;
+        for (ValueId Param : P.func(F).Params) {
+          ValueId FP = P.newValue(P.valueName(Param));
+          VSub[Param] = Atom::temp(FP);
+          Params.push_back(FP);
+        }
+        P.func(Fresh).Params = std::move(Params);
+        P.func(Fresh).Body = copy(P.func(F).Body);
+      }
+    }
+    N->Cont = copy(E->Cont);
+    N->Then = copy(E->Then);
+    N->Else = copy(E->Else);
+    return N;
+  }
+
+private:
+  Atom remap(const Atom &A) {
+    if (A.isTemp()) {
+      auto It = VSub.find(A.Id);
+      return It != VSub.end() ? It->second : A;
+    }
+    if (A.isLabel()) {
+      auto It = FSub.find(A.Func);
+      return It != FSub.end() ? Atom::label(It->second) : A;
+    }
+    return A;
+  }
+
+  CpsProgram &P;
+  std::map<FuncId, FuncId> FSub;
+};
+
+/// Applies a value substitution (and optional label substitution) in
+/// place over a subtree (including Fix-declared bodies).
+void applySubst(CpsProgram &P, Exp *Root,
+                const std::map<ValueId, Atom> &VSub,
+                const std::map<FuncId, Atom> &LSub = {}) {
+  auto Remap = [&](Atom &A) {
+    // Chase chains: a -> b -> const.
+    for (int Guard = 0; Guard < 64; ++Guard) {
+      if (A.isTemp()) {
+        auto It = VSub.find(A.Id);
+        if (It != VSub.end() && !(It->second == A)) {
+          A = It->second;
+          continue;
+        }
+      } else if (A.isLabel()) {
+        auto It = LSub.find(A.Func);
+        if (It != LSub.end() && !(It->second == A)) {
+          A = It->second;
+          continue;
+        }
+      }
+      return;
+    }
+  };
+  std::function<void(Exp *)> Walk = [&](Exp *E) {
+    for (; E;) {
+      for (Atom &A : E->Args)
+        Remap(A);
+      if (E->Kind == ExpKind::App)
+        Remap(E->Callee);
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs)
+          Walk(P.func(F).Body);
+      if (E->Kind == ExpKind::Branch) {
+        Walk(E->Then);
+        Walk(E->Else);
+        return;
+      }
+      E = E->Cont;
+    }
+  };
+  Walk(Root);
+}
+
+/// Rewrites the whole program in place with a substitution.
+void applySubstEverywhere(CpsProgram &P, const std::map<ValueId, Atom> &VSub,
+                          const std::map<FuncId, Atom> &LSub = {}) {
+  for (FuncId F : rootFunctions(P))
+    applySubst(P, P.func(F).Body, VSub, LSub);
+}
+
+/// The set of functions whose label is reachable from their own body
+/// (loops and recursive user functions).
+std::set<FuncId> recursiveFunctions(CpsProgram &P) {
+  // Build the label-reference graph F -> G (G's label occurs in F's body,
+  // not entering nested Fix bodies... labels inside nested bodies still
+  // execute as part of F, so include them).
+  unsigned N = P.functions().size();
+  std::vector<std::set<FuncId>> Refs(N);
+  for (const Function &F : P.functions()) {
+    if (!F.Body)
+      continue;
+    std::function<void(const Exp *)> Walk = [&](const Exp *E) {
+      for (; E;) {
+        for (const Atom &A : E->Args)
+          if (A.isLabel())
+            Refs[F.Id].insert(A.Func);
+        if (E->Kind == ExpKind::App && E->Callee.isLabel())
+          Refs[F.Id].insert(E->Callee.Func);
+        if (E->Kind == ExpKind::Fix)
+          for (FuncId G : E->FixFuncs) {
+            Refs[F.Id].insert(G); // scope nesting counts as a reference
+            // Nested bodies are walked via their own Function entry below.
+          }
+        if (E->Kind == ExpKind::Branch) {
+          Walk(E->Then);
+          Walk(E->Else);
+          return;
+        }
+        E = E->Cont;
+      }
+    };
+    Walk(F.Body);
+  }
+  // F is recursive if F is reachable from any function F references.
+  std::set<FuncId> Recursive;
+  for (unsigned F = 0; F != N; ++F) {
+    if (!P.func(F).Body)
+      continue;
+    std::set<FuncId> Seen;
+    std::vector<FuncId> Stack(Refs[F].begin(), Refs[F].end());
+    bool Found = false;
+    while (!Stack.empty() && !Found) {
+      FuncId G = Stack.back();
+      Stack.pop_back();
+      if (!Seen.insert(G).second)
+        continue;
+      if (G == F) {
+        Found = true;
+        break;
+      }
+      for (FuncId H : Refs[G])
+        Stack.push_back(H);
+    }
+    if (Found)
+      Recursive.insert(F);
+  }
+  return Recursive;
+}
+
+//===----------------------------------------------------------------------===//
+// Passes
+//===----------------------------------------------------------------------===//
+
+class Optimizer {
+public:
+  Optimizer(CpsProgram &P, OptStats &Stats) : P(P), Stats(Stats) {}
+
+  bool round() {
+    unsigned Before = totalChanges();
+    resolveKnownCallees();
+    inlineUserFuns();
+    contract();
+    foldAndPropagate();
+    removeUselessParams();
+    eliminateDead();
+    removeDeadFunctions();
+    etaReduce();
+    return totalChanges() != Before;
+  }
+
+private:
+  CpsProgram &P;
+  OptStats &Stats;
+
+  unsigned totalChanges() const {
+    return Stats.ConstantsFolded + Stats.BranchesFolded +
+           Stats.FunctionsInlined + Stats.Contracted + Stats.EtaReduced +
+           Stats.DeadValues + Stats.DeadFunctions + Stats.ReadsTrimmed +
+           Stats.ParamsResolved + Stats.ParamsRemoved;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Known-callee / constant argument propagation
+  //===--------------------------------------------------------------------===//
+
+  void resolveKnownCallees() {
+    unsigned N = P.functions().size();
+    // Collect argument vectors per callee and escape information.
+    std::vector<std::vector<const Exp *>> Calls(N);
+    std::vector<bool> Escapes(N, false);
+    forEachExp(P, [&](Exp *E) {
+      for (const Atom &A : E->Args)
+        if (A.isLabel())
+          Escapes[A.Func] = true;
+      if (E->Kind == ExpKind::App) {
+        if (E->Callee.isLabel())
+          Calls[E->Callee.Func].push_back(E);
+        // Indirect calls could target anything that escaped; escaped
+        // functions are excluded anyway.
+      }
+    });
+
+    std::map<ValueId, Atom> VSub;
+    for (unsigned F = 0; F != N; ++F) {
+      const Function &Fn = P.func(F);
+      if (!Fn.Body || Escapes[F] || Calls[F].empty())
+        continue;
+      bool ArityOk = true;
+      for (const Exp *Call : Calls[F])
+        ArityOk &= Call->Args.size() == Fn.Params.size();
+      if (!ArityOk)
+        continue;
+      for (unsigned I = 0; I != Fn.Params.size(); ++I) {
+        Atom Candidate;
+        bool Unique = true, Any = false;
+        for (const Exp *Call : Calls[F]) {
+          Atom A = Call->Args[I];
+          if (A.isTemp() && A.Id == Fn.Params[I])
+            continue; // self-pass in recursion
+          if (!Any) {
+            Candidate = A;
+            Any = true;
+          } else if (!(A == Candidate)) {
+            Unique = false;
+            break;
+          }
+        }
+        if (Any && Unique && (Candidate.isConst() || Candidate.isLabel()) &&
+            !VSub.count(Fn.Params[I])) {
+          VSub[Fn.Params[I]] = Candidate;
+          ++Stats.ParamsResolved;
+        }
+      }
+    }
+    if (!VSub.empty())
+      applySubstEverywhere(P, VSub);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // De-proceduralization: inline every call to a non-recursive user
+  // function.
+  //===--------------------------------------------------------------------===//
+
+  void inlineUserFuns() {
+    std::set<FuncId> Recursive = recursiveFunctions(P);
+    unsigned Budget = 1000; // guard against pathological growth
+
+    std::function<Exp *(Exp *)> Rewrite = [&](Exp *E) -> Exp * {
+      if (!E)
+        return nullptr;
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs)
+          P.func(F).Body = Rewrite(P.func(F).Body);
+      if (E->Kind == ExpKind::Branch) {
+        E->Then = Rewrite(E->Then);
+        E->Else = Rewrite(E->Else);
+        return E;
+      }
+      if (E->Kind == ExpKind::App && E->Callee.isLabel() && Budget) {
+        FuncId F = E->Callee.Func;
+        const Function &Fn = P.func(F);
+        if (Fn.Kind == FuncKind::UserFun && F != P.Entry && Fn.Body &&
+            !Recursive.count(F) && Fn.Params.size() == E->Args.size()) {
+          --Budget;
+          ++Stats.FunctionsInlined;
+          Copier C(P);
+          for (unsigned I = 0; I != Fn.Params.size(); ++I)
+            C.VSub[Fn.Params[I]] = E->Args[I];
+          return Rewrite(C.copy(Fn.Body));
+        }
+      }
+      E->Cont = Rewrite(E->Cont);
+      return E;
+    };
+
+    for (FuncId F : rootFunctions(P))
+      P.func(F).Body = Rewrite(P.func(F).Body);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Contraction: inline functions applied exactly once.
+  //===--------------------------------------------------------------------===//
+
+  void contract() {
+    Census C(P);
+    std::set<FuncId> Recursive = recursiveFunctions(P);
+
+    std::function<Exp *(Exp *)> Rewrite = [&](Exp *E) -> Exp * {
+      if (!E)
+        return nullptr;
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs)
+          P.func(F).Body = Rewrite(P.func(F).Body);
+      if (E->Kind == ExpKind::Branch) {
+        E->Then = Rewrite(E->Then);
+        E->Else = Rewrite(E->Else);
+        return E;
+      }
+      if (E->Kind == ExpKind::App && E->Callee.isLabel()) {
+        FuncId F = E->Callee.Func;
+        Function &Fn = P.func(F);
+        if (F != P.Entry && Fn.Body && C.LabelUses[F] == 1 &&
+            C.CallUses[F] == 1 && !Recursive.count(F) &&
+            Fn.Params.size() == E->Args.size()) {
+          ++Stats.Contracted;
+          std::map<ValueId, Atom> VSub;
+          for (unsigned I = 0; I != Fn.Params.size(); ++I)
+            VSub[Fn.Params[I]] = E->Args[I];
+          Exp *Body = Fn.Body;
+          Fn.Body = nullptr; // now owned by the call site
+          applySubst(P, Body, VSub);
+          return Rewrite(Body);
+        }
+      }
+      E->Cont = Rewrite(E->Cont);
+      return E;
+    };
+
+    for (FuncId F : rootFunctions(P))
+      if (P.func(F).Body)
+        P.func(F).Body = Rewrite(P.func(F).Body);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Constant folding + copy propagation
+  //===--------------------------------------------------------------------===//
+
+  std::map<ValueId, Atom> FoldSub;
+
+  Atom resolved(Atom A) {
+    for (int Guard = 0; Guard < 64 && A.isTemp(); ++Guard) {
+      auto It = FoldSub.find(A.Id);
+      if (It == FoldSub.end())
+        return A;
+      A = It->second;
+    }
+    return A;
+  }
+
+  /// Attempts to simplify one Prim; returns the replacement atom for the
+  /// result, or an invalid atom when the node must stay.
+  std::pair<bool, Atom> foldPrim(Exp *E) {
+    PrimOp Op = E->Prim;
+    Atom A = E->Args[0];
+    Atom B = E->Args.size() > 1 ? E->Args[1] : Atom::constant(0);
+    if (Op == PrimOp::Not) {
+      if (A.isConst())
+        return {true, Atom::constant(~A.Value)};
+      return {false, {}};
+    }
+    if (A.isConst() && B.isConst())
+      return {true, Atom::constant(evalPrim(Op, A.Value, B.Value))};
+
+    // Normalize constants to the right for commutative operators.
+    bool Commutative = Op == PrimOp::Add || Op == PrimOp::And ||
+                       Op == PrimOp::Or || Op == PrimOp::Xor;
+    if (Commutative && A.isConst() && !B.isConst()) {
+      std::swap(A, B);
+      E->Args[0] = A;
+      E->Args[1] = B;
+    }
+    bool SameTemp = A.isTemp() && B.isTemp() && A.Id == B.Id;
+    switch (Op) {
+    case PrimOp::Add:
+    case PrimOp::Or:
+    case PrimOp::Xor:
+      if (B.isConst() && B.Value == 0)
+        return {true, A};
+      if (SameTemp && Op == PrimOp::Or)
+        return {true, A};
+      if (SameTemp && Op == PrimOp::Xor)
+        return {true, Atom::constant(0)};
+      break;
+    case PrimOp::Sub:
+      if (B.isConst() && B.Value == 0)
+        return {true, A};
+      if (SameTemp)
+        return {true, Atom::constant(0)};
+      break;
+    case PrimOp::And:
+      if (B.isConst() && B.Value == 0)
+        return {true, Atom::constant(0)};
+      if (B.isConst() && B.Value == 0xFFFFFFFFu)
+        return {true, A};
+      if (SameTemp)
+        return {true, A};
+      break;
+    case PrimOp::Shl:
+    case PrimOp::Shr:
+      if (B.isConst() && B.Value == 0)
+        return {true, A};
+      if (B.isConst() && B.Value >= 32)
+        return {true, Atom::constant(0)};
+      if (A.isConst() && A.Value == 0)
+        return {true, Atom::constant(0)};
+      break;
+    case PrimOp::Not:
+      break;
+    }
+    return {false, {}};
+  }
+
+  void foldAndPropagate() {
+    FoldSub.clear();
+    std::function<Exp *(Exp *)> Rewrite = [&](Exp *E) -> Exp * {
+      if (!E)
+        return nullptr;
+      for (Atom &A : E->Args)
+        A = resolved(A);
+      if (E->Kind == ExpKind::App)
+        E->Callee = resolved(E->Callee);
+
+      switch (E->Kind) {
+      case ExpKind::Prim: {
+        auto [Folded, Result] = foldPrim(E);
+        if (Folded) {
+          ++Stats.ConstantsFolded;
+          FoldSub[E->Results[0]] = Result;
+          return Rewrite(E->Cont);
+        }
+        break;
+      }
+      case ExpKind::Branch:
+        if (E->Args[0].isConst() && E->Args[1].isConst()) {
+          ++Stats.BranchesFolded;
+          bool Taken = evalCmp(E->Cmp, E->Args[0].Value, E->Args[1].Value);
+          return Rewrite(Taken ? E->Then : E->Else);
+        }
+        E->Then = Rewrite(E->Then);
+        E->Else = Rewrite(E->Else);
+        return E;
+      case ExpKind::Fix:
+        for (FuncId F : E->FixFuncs)
+          P.func(F).Body = Rewrite(P.func(F).Body);
+        break;
+      default:
+        break;
+      }
+      E->Cont = Rewrite(E->Cont);
+      return E;
+    };
+
+    for (FuncId F : rootFunctions(P))
+      P.func(F).Body = Rewrite(P.func(F).Body);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Useless-variable / dead-code elimination and read trimming
+  //===--------------------------------------------------------------------===//
+
+  void eliminateDead() {
+    Census C(P);
+    std::function<Exp *(Exp *)> Rewrite = [&](Exp *E) -> Exp * {
+      if (!E)
+        return nullptr;
+      switch (E->Kind) {
+      case ExpKind::Prim:
+      case ExpKind::Hash:
+      case ExpKind::Clone: {
+        bool AnyUsed = false;
+        for (ValueId R : E->Results)
+          AnyUsed |= C.ValueUses[R] != 0;
+        if (!AnyUsed) {
+          ++Stats.DeadValues;
+          return Rewrite(E->Cont);
+        }
+        if (E->Kind == ExpKind::Clone) {
+          // Drop individually-dead clone results.
+          std::vector<ValueId> Live;
+          for (ValueId R : E->Results)
+            if (C.ValueUses[R] != 0)
+              Live.push_back(R);
+          if (Live.size() != E->Results.size()) {
+            ++Stats.DeadValues;
+            E->Results = std::move(Live);
+          }
+        }
+        break;
+      }
+      case ExpKind::MemRead: {
+        bool AnyUsed = false;
+        for (ValueId R : E->Results)
+          AnyUsed |= C.ValueUses[R] != 0;
+        if (!AnyUsed) {
+          ++Stats.ReadsTrimmed;
+          return Rewrite(E->Cont);
+        }
+        // Trim trailing unused registers (pairs for SDRAM).
+        unsigned Step = E->Space == MemSpace::Sdram ? 2 : 1;
+        while (E->Results.size() > Step) {
+          bool TailDead = true;
+          for (unsigned I = 0; I != Step; ++I)
+            TailDead &=
+                C.ValueUses[E->Results[E->Results.size() - 1 - I]] == 0;
+          if (!TailDead)
+            break;
+          for (unsigned I = 0; I != Step; ++I)
+            E->Results.pop_back();
+          ++Stats.ReadsTrimmed;
+        }
+        break;
+      }
+      case ExpKind::Fix:
+        for (FuncId F : E->FixFuncs)
+          P.func(F).Body = Rewrite(P.func(F).Body);
+        break;
+      case ExpKind::Branch:
+        E->Then = Rewrite(E->Then);
+        E->Else = Rewrite(E->Else);
+        return E;
+      default:
+        break;
+      }
+      E->Cont = Rewrite(E->Cont);
+      return E;
+    };
+    for (FuncId F : rootFunctions(P))
+      P.func(F).Body = Rewrite(P.func(F).Body);
+  }
+
+  /// Drops parameters that are never used in a function's body, together
+  /// with the corresponding arguments at every call site (the paper's
+  /// "useless variable elimination"). Functions whose label escapes as a
+  /// value keep their arity.
+  void removeUselessParams() {
+    Census C(P);
+    unsigned N = P.functions().size();
+    std::vector<std::vector<Exp *>> Calls(N);
+    std::vector<bool> Escapes(N, false);
+    forEachExp(P, [&](Exp *E) {
+      for (const Atom &A : E->Args)
+        if (A.isLabel())
+          Escapes[A.Func] = true;
+      if (E->Kind == ExpKind::App && E->Callee.isLabel())
+        Calls[E->Callee.Func].push_back(E);
+    });
+
+    for (unsigned F = 0; F != N; ++F) {
+      Function &Fn = P.func(F);
+      if (!Fn.Body || F == P.Entry || Escapes[F] || Calls[F].empty())
+        continue;
+      bool ArityOk = true;
+      for (const Exp *Call : Calls[F])
+        ArityOk &= Call->Args.size() == Fn.Params.size();
+      if (!ArityOk)
+        continue;
+      std::vector<unsigned> Keep;
+      for (unsigned I = 0; I != Fn.Params.size(); ++I)
+        if (C.ValueUses[Fn.Params[I]] != 0)
+          Keep.push_back(I);
+      if (Keep.size() == Fn.Params.size())
+        continue;
+      Stats.ParamsRemoved += Fn.Params.size() - Keep.size();
+      std::vector<ValueId> NewParams;
+      for (unsigned I : Keep)
+        NewParams.push_back(Fn.Params[I]);
+      Fn.Params = std::move(NewParams);
+      for (Exp *Call : Calls[F]) {
+        std::vector<Atom> NewArgs;
+        for (unsigned I : Keep)
+          NewArgs.push_back(Call->Args[I]);
+        Call->Args = std::move(NewArgs);
+      }
+    }
+  }
+
+  /// Reachability sweep from the entry: anything not reachable through
+  /// label references is deleted (its Fix declarations included).
+  void removeDeadFunctions() {
+    std::set<FuncId> Reachable;
+    std::vector<FuncId> Work;
+    // Top-level user functions that still have call sites are reached via
+    // labels from the entry's traversal, so the entry is the only seed.
+    auto Visit = [&](FuncId F) {
+      if (F != NoFunc && P.func(F).Body && Reachable.insert(F).second)
+        Work.push_back(F);
+    };
+    Visit(P.Entry);
+    while (!Work.empty()) {
+      FuncId F = Work.back();
+      Work.pop_back();
+      std::function<void(const Exp *)> Walk = [&](const Exp *E) {
+        for (; E;) {
+          for (const Atom &A : E->Args)
+            if (A.isLabel())
+              Visit(A.Func);
+          if (E->Kind == ExpKind::App && E->Callee.isLabel())
+            Visit(E->Callee.Func);
+          // Fix declarations alone do not make a function reachable; its
+          // label must be referenced.
+          if (E->Kind == ExpKind::Branch) {
+            Walk(E->Then);
+            Walk(E->Else);
+            return;
+          }
+          E = E->Cont;
+        }
+      };
+      Walk(P.func(F).Body);
+    }
+    for (Function &F : P.functions()) {
+      if (!F.Body || Reachable.count(F.Id))
+        continue;
+      F.Body = nullptr;
+      ++Stats.DeadFunctions;
+    }
+    // Purge dead declarations from Fix nodes.
+    forEachExp(P, [&](Exp *E) {
+      if (E->Kind != ExpKind::Fix)
+        return;
+      std::vector<FuncId> Live;
+      for (FuncId F : E->FixFuncs)
+        if (P.func(F).Body)
+          Live.push_back(F);
+      E->FixFuncs = std::move(Live);
+    });
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Eta reduction: f(x...) = g(x...)  =>  f := g
+  //===--------------------------------------------------------------------===//
+
+  void etaReduce() {
+    std::map<FuncId, Atom> LSub;
+    for (Function &F : P.functions()) {
+      if (!F.Body || F.Id == P.Entry || F.Body->Kind != ExpKind::App)
+        continue;
+      const Exp *A = F.Body;
+      if (A->Callee.isLabel() && A->Callee.Func == F.Id)
+        continue;
+      if (A->Args.size() != F.Params.size())
+        continue;
+      bool Exact = true;
+      for (unsigned I = 0; I != A->Args.size(); ++I)
+        Exact &= A->Args[I].isTemp() && A->Args[I].Id == F.Params[I];
+      if (!Exact)
+        continue;
+      // A temp callee must not be one of f's own params (it would escape
+      // its binder after substitution).
+      if (A->Callee.isTemp()) {
+        bool OwnParam = false;
+        for (ValueId Param : F.Params)
+          OwnParam |= Param == A->Callee.Id;
+        if (OwnParam)
+          continue;
+      }
+      LSub[F.Id] = A->Callee;
+      ++Stats.EtaReduced;
+    }
+    if (!LSub.empty())
+      applySubstEverywhere(P, {}, LSub);
+  }
+};
+
+} // namespace
+
+OptStats cps::optimize(CpsProgram &P) {
+  OptStats Stats;
+  Optimizer Opt(P, Stats);
+  for (unsigned Round = 0; Round != 16; ++Round) {
+    ++Stats.Rounds;
+    if (!Opt.round())
+      break;
+  }
+  return Stats;
+}
+
+bool cps::allCalleesKnown(const CpsProgram &P) {
+  bool Ok = true;
+  forEachExp(const_cast<CpsProgram &>(P), [&](Exp *E) {
+    if (E->Kind == ExpKind::App && !E->Callee.isLabel())
+      Ok = false;
+  });
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Static single use (cloning)
+//===----------------------------------------------------------------------===//
+
+unsigned cps::makeStaticSingleUse(CpsProgram &P) {
+  // Count, per value: total uses and uses as store operands (the address
+  // operand of a MemWrite is not a transfer-bank operand, so it does not
+  // participate).
+  std::vector<unsigned> TotalUses(P.numValues(), 0);
+  std::vector<unsigned> StoreUses(P.numValues(), 0);
+  forEachExp(P, [&](Exp *E) {
+    for (unsigned I = 0; I != E->Args.size(); ++I) {
+      const Atom &A = E->Args[I];
+      if (!A.isTemp())
+        continue;
+      ++TotalUses[A.Id];
+      if (E->Kind == ExpKind::MemWrite && I > 0)
+        ++StoreUses[A.Id];
+      if (E->Kind == ExpKind::BitTestSet && I == 1)
+        ++StoreUses[A.Id];
+      // A hash source occupies an S register with a SameReg color tie, so
+      // it is store-like for SSU purposes.
+      if (E->Kind == ExpKind::Hash && I == 0)
+        ++StoreUses[A.Id];
+    }
+    if (E->Kind == ExpKind::App && E->Callee.isTemp())
+      ++TotalUses[E->Callee.Id];
+  });
+
+  // A value needs cloning when a store use is not its only use.
+  std::vector<bool> NeedsClone(P.numValues(), false);
+  unsigned NumCloned = 0;
+  for (ValueId V = 0; V != P.numValues(); ++V)
+    if (StoreUses[V] >= 1 && TotalUses[V] > 1)
+      NeedsClone[V] = true;
+
+  // Walk each function; after a definition of a value that needs clones,
+  // insert a Clone producing one fresh value per store occurrence in the
+  // remainder of the program, then rewrite store occurrences (each one
+  // consumes the next unused clone).
+  std::map<ValueId, std::vector<ValueId>> FreshClones;
+  std::map<ValueId, unsigned> NextClone;
+
+  auto makeClonesAfter = [&](Exp *Def, ValueId V) {
+    unsigned K = StoreUses[V];
+    Exp *CloneExp = P.newExp(ExpKind::Clone);
+    CloneExp->Args = {Atom::temp(V)};
+    std::vector<ValueId> Fresh;
+    for (unsigned I = 0; I != K; ++I) {
+      ValueId C = P.newValue(P.valueName(V) + ".c" + std::to_string(I));
+      Fresh.push_back(C);
+      CloneExp->Results.push_back(C);
+    }
+    FreshClones[V] = std::move(Fresh);
+    NextClone[V] = 0;
+    ++NumCloned;
+    CloneExp->Cont = Def->Cont;
+    Def->Cont = CloneExp;
+  };
+
+  // Insert clones after definitions.
+  forEachExp(P, [&](Exp *E) {
+    switch (E->Kind) {
+    case ExpKind::Prim:
+    case ExpKind::MemRead:
+    case ExpKind::Hash:
+    case ExpKind::BitTestSet:
+      for (ValueId R : E->Results)
+        if (NeedsClone[R] && !FreshClones.count(R))
+          makeClonesAfter(E, R);
+      break;
+    default:
+      break;
+    }
+  });
+  // Parameters: insert at function entry.
+  for (Function &F : P.functions()) {
+    if (!F.Body)
+      continue;
+    for (ValueId Param : F.Params) {
+      if (!NeedsClone[Param] || FreshClones.count(Param))
+        continue;
+      Exp *CloneExp = P.newExp(ExpKind::Clone);
+      CloneExp->Args = {Atom::temp(Param)};
+      std::vector<ValueId> Fresh;
+      for (unsigned I = 0; I != StoreUses[Param]; ++I) {
+        ValueId C =
+            P.newValue(P.valueName(Param) + ".c" + std::to_string(I));
+        Fresh.push_back(C);
+        CloneExp->Results.push_back(C);
+      }
+      FreshClones[Param] = std::move(Fresh);
+      NextClone[Param] = 0;
+      ++NumCloned;
+      CloneExp->Cont = F.Body;
+      F.Body = CloneExp;
+    }
+  }
+
+  // Rewrite store operands to use the clones.
+  forEachExp(P, [&](Exp *E) {
+    if (E->Kind == ExpKind::Clone)
+      return; // do not rewrite the clone's own source
+    auto RewriteUse = [&](Atom &A) {
+      if (!A.isTemp() || !NeedsClone[A.Id])
+        return;
+      auto It = FreshClones.find(A.Id);
+      assert(It != FreshClones.end() && "clone missing for store operand");
+      unsigned &Next = NextClone[A.Id];
+      assert(Next < It->second.size() && "clone pool exhausted");
+      A = Atom::temp(It->second[Next++]);
+    };
+    if (E->Kind == ExpKind::MemWrite)
+      for (unsigned I = 1; I != E->Args.size(); ++I)
+        RewriteUse(E->Args[I]);
+    if (E->Kind == ExpKind::BitTestSet)
+      RewriteUse(E->Args[1]);
+    if (E->Kind == ExpKind::Hash)
+      RewriteUse(E->Args[0]);
+  });
+  return NumCloned;
+}

@@ -1,0 +1,58 @@
+//===- Opt.h - CPS optimizer ------------------------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CPS optimization pipeline of paper Section 4.4: constant folding,
+/// global constant propagation (including continuation labels, which
+/// resolves exception values to known handlers), eta reduction,
+/// contraction (inlining of called-once continuations), useless-variable
+/// elimination, dead code elimination, memory-read trimming, and full
+/// inlining of user functions in non-tail position (de-proceduralization,
+/// Section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPS_OPT_H
+#define CPS_OPT_H
+
+#include "cps/Ir.h"
+
+namespace nova {
+namespace cps {
+
+struct OptStats {
+  unsigned ConstantsFolded = 0;
+  unsigned BranchesFolded = 0;
+  unsigned FunctionsInlined = 0;
+  unsigned Contracted = 0;
+  unsigned EtaReduced = 0;
+  unsigned DeadValues = 0;
+  unsigned DeadFunctions = 0;
+  unsigned ReadsTrimmed = 0;
+  unsigned ParamsResolved = 0;
+  unsigned ParamsRemoved = 0;
+  unsigned Rounds = 0;
+};
+
+/// Runs the pipeline to fixpoint (bounded). Returns pass statistics.
+OptStats optimize(CpsProgram &P);
+
+/// After optimize(), every reachable App must target a known label for
+/// instruction selection to proceed; returns false if an indirect callee
+/// survives.
+bool allCalleesKnown(const CpsProgram &P);
+
+/// Rewrites the program into static single use form for memory-write
+/// operands (paper Sections 4.5 and 10): after this pass, every use of a
+/// temporary as a store operand is that temporary's only use; clones are
+/// introduced right after the original's definition.
+unsigned makeStaticSingleUse(CpsProgram &P);
+
+} // namespace cps
+} // namespace nova
+
+#endif // CPS_OPT_H

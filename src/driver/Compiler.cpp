@@ -1,0 +1,84 @@
+//===- Compiler.cpp -------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "cps/Convert.h"
+#include "ixp/ISel.h"
+#include "nova/Parser.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace nova;
+using namespace nova::driver;
+
+std::unique_ptr<CompileResult>
+driver::compileNova(const std::string &Source, const std::string &Name,
+                    const CompileOptions &Opts) {
+  auto R = std::make_unique<CompileResult>();
+  uint32_t Buf = R->SM.addBuffer(Name, Source);
+  R->Diags = std::make_unique<DiagnosticEngine>(R->SM);
+
+  auto Fail = [&] {
+    R->Ok = false;
+    R->ErrorText = R->Diags->render();
+    return std::move(R);
+  };
+
+  Parser P(R->SM, Buf, R->Arena, *R->Diags);
+  R->Ast = P.parseProgram();
+  if (R->Diags->hasErrors())
+    return Fail();
+
+  R->Sema = std::make_unique<SemaResult>(*R->Diags);
+  runSema(R->Ast, R->SM, *R->Diags, *R->Sema);
+  if (!R->Sema->Success)
+    return Fail();
+
+  if (!cps::convertToCps(R->Ast, *R->Sema, *R->Diags, R->Cps))
+    return Fail();
+
+  if (Opts.Optimize) {
+    R->Opt = cps::optimize(R->Cps);
+    cps::makeStaticSingleUse(R->Cps);
+    if (!cps::allCalleesKnown(R->Cps)) {
+      R->Diags->error(SourceLoc::invalid(),
+                      "a continuation value could not be resolved to a "
+                      "known label (unsupported indirect control flow)");
+      return Fail();
+    }
+  }
+
+  if (!ixp::selectInstructions(R->Cps, *R->Diags, R->Machine))
+    return Fail();
+
+  if (Opts.Allocate) {
+    R->Alloc = alloc::allocate(R->Machine, *R->Diags, Opts.Alloc);
+    if (!R->Alloc.Ok) {
+      R->ErrorText = R->Alloc.Error + "\n" + R->Diags->render();
+      R->Ok = false;
+      return R;
+    }
+  }
+
+  R->Ok = true;
+  return R;
+}
+
+std::unique_ptr<CompileResult>
+driver::compileNovaFile(const std::string &Path, const CompileOptions &Opts) {
+  std::ifstream In(Path);
+  if (!In) {
+    auto R = std::make_unique<CompileResult>();
+    R->ErrorText = "cannot open " + Path;
+    return R;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return compileNova(SS.str(), Path, Opts);
+}

@@ -1,0 +1,73 @@
+//===- Compiler.h - One-call Nova compilation pipeline ----------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public compiler entry point: Nova source -> parse -> type check ->
+/// CPS -> optimize -> SSU -> instruction selection -> ILP register/bank
+/// allocation -> allocated micro-engine code. Each stage's artifacts stay
+/// accessible for inspection, benchmarking, and the paper's statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRIVER_COMPILER_H
+#define DRIVER_COMPILER_H
+
+#include "alloc/Allocator.h"
+#include "cps/Ir.h"
+#include "cps/Opt.h"
+#include "ixp/MachineIr.h"
+#include "nova/Ast.h"
+#include "nova/Sema.h"
+
+#include <memory>
+#include <string>
+
+namespace nova {
+namespace driver {
+
+struct CompileOptions {
+  /// Run the CPS optimizer and SSU (required for allocation; off only for
+  /// front-end inspection).
+  bool Optimize = true;
+  /// Run the ILP allocator (the compiler's back end).
+  bool Allocate = true;
+  alloc::AllocOptions Alloc;
+};
+
+/// All artifacts of one compilation. Movable, not copyable.
+struct CompileResult {
+  bool Ok = false;
+  std::string ErrorText;
+
+  SourceManager SM;
+  AstArena Arena;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  Program Ast;
+  std::unique_ptr<SemaResult> Sema;
+  cps::CpsProgram Cps;
+  cps::OptStats Opt;
+  ixp::MachineProgram Machine;
+  alloc::AllocationResult Alloc;
+
+  /// Figure 5 statistics: Nova lines, machine instruction count, layout
+  /// specs, pack/unpack/raise/handle counts.
+  ProgramStats novaStats() const { return Sema ? Sema->Stats : ProgramStats{}; }
+};
+
+/// Compiles Nova source text (name used in diagnostics).
+std::unique_ptr<CompileResult> compileNova(const std::string &Source,
+                                           const std::string &Name = "input",
+                                           const CompileOptions &Opts = {});
+
+/// Reads and compiles a .nova file.
+std::unique_ptr<CompileResult> compileNovaFile(const std::string &Path,
+                                               const CompileOptions &Opts = {});
+
+} // namespace driver
+} // namespace nova
+
+#endif // DRIVER_COMPILER_H

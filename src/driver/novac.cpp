@@ -1,0 +1,100 @@
+//===- novac.cpp - The Nova compiler command-line driver ------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Verifier.h"
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace nova;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: novac [options] <file.nova>\n"
+      "  --dump-cps        print the optimized CPS\n"
+      "  --dump-machine    print the pre-allocation machine IR\n"
+      "  --dump-alloc      print the allocated micro-engine code (default)\n"
+      "  --no-alloc        stop before register allocation\n"
+      "  --stats           print Figure 5/6/7 style statistics\n"
+      "  --spill-model     always build the spill-aware ILP model\n"
+      "  --time-limit <s>  ILP solve budget in seconds (default 600)\n");
+}
+
+int main(int argc, char **argv) {
+  bool DumpCps = false, DumpMachine = false, DumpAlloc = false;
+  bool Stats = false;
+  driver::CompileOptions Opts;
+  Opts.Alloc.Mip.TimeLimitSeconds = 600.0;
+  const char *File = nullptr;
+
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--dump-cps"))
+      DumpCps = true;
+    else if (!std::strcmp(argv[I], "--dump-machine"))
+      DumpMachine = true;
+    else if (!std::strcmp(argv[I], "--dump-alloc"))
+      DumpAlloc = true;
+    else if (!std::strcmp(argv[I], "--no-alloc"))
+      Opts.Allocate = false;
+    else if (!std::strcmp(argv[I], "--stats"))
+      Stats = true;
+    else if (!std::strcmp(argv[I], "--spill-model"))
+      Opts.Alloc.ForceSpillModel = true;
+    else if (!std::strcmp(argv[I], "--time-limit") && I + 1 < argc)
+      Opts.Alloc.Mip.TimeLimitSeconds = std::atof(argv[++I]);
+    else if (argv[I][0] != '-' && !File)
+      File = argv[I];
+    else {
+      usage();
+      return 2;
+    }
+  }
+  if (!File) {
+    usage();
+    return 2;
+  }
+  if (!DumpCps && !DumpMachine && !Stats)
+    DumpAlloc = true;
+
+  auto R = driver::compileNovaFile(File, Opts);
+  if (!R->Ok) {
+    std::fprintf(stderr, "%s", R->ErrorText.c_str());
+    return 1;
+  }
+
+  if (DumpCps)
+    std::printf("%s", R->Cps.print().c_str());
+  if (DumpMachine)
+    std::printf("%s", R->Machine.print().c_str());
+  if (DumpAlloc && Opts.Allocate) {
+    auto Violations = alloc::verifyAllocated(R->Alloc.Prog);
+    std::printf("%s", R->Alloc.Prog.print().c_str());
+    if (!Violations.empty()) {
+      for (const std::string &V : Violations)
+        std::fprintf(stderr, "verifier: %s\n", V.c_str());
+      return 1;
+    }
+  }
+  if (Stats) {
+    ProgramStats S = R->novaStats();
+    std::printf("lines=%u instructions=%u layouts=%u pack=%u unpack=%u "
+                "raise=%u handle=%u\n",
+                S.NovaLines, R->Machine.numInstructions(), S.LayoutSpecs,
+                S.PackCount, S.UnpackCount, S.RaiseCount, S.HandleCount);
+    if (Opts.Allocate) {
+      const alloc::AllocStats &A = R->Alloc.Stats;
+      std::printf("ilp: vars=%u cons=%u objterms=%u rootLP=%.2fs "
+                  "total=%.2fs nodes=%u moves=%u spills=%u\n",
+                  A.IlpSize.NumVariables, A.IlpSize.NumConstraints,
+                  A.IlpSize.NumObjectiveTerms, A.Solve.RootLpSeconds,
+                  A.Solve.TotalSeconds, A.Solve.Nodes, A.Moves, A.Spills);
+    }
+  }
+  return 0;
+}

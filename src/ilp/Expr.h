@@ -1,0 +1,105 @@
+//===- Expr.h - Linear expressions for ILP models ---------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse linear expressions with operator overloading so model-building
+/// code in src/alloc reads close to the paper's AMPL formulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILP_EXPR_H
+#define ILP_EXPR_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace nova {
+namespace ilp {
+
+/// Index of a decision variable within a Model.
+struct VarId {
+  uint32_t Index = ~0u;
+
+  bool isValid() const { return Index != ~0u; }
+  bool operator==(const VarId &O) const { return Index == O.Index; }
+  bool operator<(const VarId &O) const { return Index < O.Index; }
+};
+
+/// One coefficient of a linear expression.
+struct Term {
+  VarId Var;
+  double Coeff;
+};
+
+/// A sparse linear expression `Constant + sum Coeff_i * Var_i`.
+///
+/// Terms may mention the same variable more than once while building; call
+/// normalize() (done automatically when a constraint is added) to merge
+/// duplicates and drop zeros.
+class LinExpr {
+public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double C) : Constant(C) {}
+  /*implicit*/ LinExpr(VarId V) { Terms.push_back({V, 1.0}); }
+
+  LinExpr &operator+=(const LinExpr &O) {
+    Terms.insert(Terms.end(), O.Terms.begin(), O.Terms.end());
+    Constant += O.Constant;
+    return *this;
+  }
+
+  LinExpr &operator-=(const LinExpr &O) {
+    for (const Term &T : O.Terms)
+      Terms.push_back({T.Var, -T.Coeff});
+    Constant -= O.Constant;
+    return *this;
+  }
+
+  LinExpr &operator*=(double S) {
+    for (Term &T : Terms)
+      T.Coeff *= S;
+    Constant *= S;
+    return *this;
+  }
+
+  /// Adds Coeff * Var.
+  void add(VarId Var, double Coeff) { Terms.push_back({Var, Coeff}); }
+
+  /// Merges duplicate variables and removes terms with coefficient ~0.
+  void normalize() {
+    std::sort(Terms.begin(), Terms.end(),
+              [](const Term &A, const Term &B) { return A.Var < B.Var; });
+    size_t Out = 0;
+    for (size_t I = 0; I != Terms.size();) {
+      Term Merged = Terms[I++];
+      while (I != Terms.size() && Terms[I].Var == Merged.Var)
+        Merged.Coeff += Terms[I++].Coeff;
+      if (Merged.Coeff != 0.0)
+        Terms[Out++] = Merged;
+    }
+    Terms.resize(Out);
+  }
+
+  const std::vector<Term> &terms() const { return Terms; }
+  double constant() const { return Constant; }
+  bool empty() const { return Terms.empty(); }
+
+private:
+  std::vector<Term> Terms;
+  double Constant = 0.0;
+};
+
+inline LinExpr operator+(LinExpr A, const LinExpr &B) { return A += B; }
+inline LinExpr operator-(LinExpr A, const LinExpr &B) { return A -= B; }
+inline LinExpr operator*(double S, LinExpr A) { return A *= S; }
+inline LinExpr operator*(LinExpr A, double S) { return A *= S; }
+
+} // namespace ilp
+} // namespace nova
+
+#endif // ILP_EXPR_H

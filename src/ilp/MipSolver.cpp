@@ -1,0 +1,295 @@
+//===- MipSolver.cpp ------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/MipSolver.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace nova;
+using namespace nova::ilp;
+
+namespace {
+constexpr double IntTol = 1e-6;
+
+/// Returns the index of the most fractional integer variable, or ~0u if
+/// the point is integral on all integer variables.
+unsigned pickBranchVar(const Model &M, const std::vector<double> &X) {
+  unsigned Best = ~0u;
+  double BestScore = IntTol;
+  for (unsigned J = 0; J != M.numVars(); ++J) {
+    if (!M.var(VarId{J}).Integer)
+      continue;
+    double Frac = X[J] - std::floor(X[J]);
+    double Dist = std::min(Frac, 1.0 - Frac);
+    if (Dist > BestScore) {
+      BestScore = Dist;
+      Best = J;
+    }
+  }
+  return Best;
+}
+
+/// Rounds integer variables of \p X to the nearest integer in place.
+void roundIntegers(const Model &M, std::vector<double> &X) {
+  for (unsigned J = 0; J != M.numVars(); ++J)
+    if (M.var(VarId{J}).Integer)
+      X[J] = std::round(X[J]);
+}
+
+/// Search state over the reduced model.
+struct Searcher {
+  const Model &RM;
+  const MipOptions &Opts;
+  Simplex Lp;
+  Timer Clock;
+  MipStats &Stats;
+
+  double Incumbent = Inf;
+  std::vector<double> IncumbentX;
+
+  Searcher(const Model &RM, const MipOptions &Opts, MipStats &Stats)
+      : RM(RM), Opts(Opts), Lp(RM), Stats(Stats) {}
+
+  bool timedOut() const { return Clock.seconds() > Opts.TimeLimitSeconds; }
+
+  double cutoff() const {
+    if (!std::isfinite(Incumbent))
+      return Inf;
+    return Incumbent - std::max(1e-9, Opts.RelGap * std::fabs(Incumbent));
+  }
+
+  void offerIncumbent(std::vector<double> X, double Obj) {
+    if (Obj < Incumbent) {
+      Incumbent = Obj;
+      IncumbentX = std::move(X);
+    }
+  }
+
+  /// Tries to turn the current LP point into an integer point by rounding;
+  /// validates against the model directly.
+  void tryRounding() {
+    std::vector<double> X = Lp.values();
+    roundIntegers(RM, X);
+    if (isFeasible(RM, X, 1e-6))
+      offerIncumbent(std::move(X), objectiveValue(RM, X));
+  }
+
+  /// Diving heuristic: repeatedly fix the *least* fractional variable to
+  /// its rounded value and re-solve, hoping to reach an integer point
+  /// cheaply. All bound changes are undone afterwards.
+  void dive() {
+    struct Saved {
+      VarId Var;
+      double Lo, Up;
+    };
+    std::vector<Saved> Trail;
+    unsigned LpBudget = Opts.DiveLpLimit;
+    while (LpBudget-- && !timedOut()) {
+      std::vector<double> X = Lp.values();
+      unsigned Frac = pickBranchVar(RM, X);
+      if (Frac == ~0u) {
+        roundIntegers(RM, X);
+        if (isFeasible(RM, X, 1e-6)) {
+          double Obj = objectiveValue(RM, X);
+          offerIncumbent(std::move(X), Obj);
+        }
+        break;
+      }
+      // Fix the variable whose fractional part is closest to an integer.
+      unsigned Pick = ~0u;
+      double BestDist = 2.0;
+      for (unsigned J = 0; J != RM.numVars(); ++J) {
+        if (!RM.var(VarId{J}).Integer)
+          continue;
+        double F = X[J] - std::floor(X[J]);
+        double Dist = std::min(F, 1.0 - F);
+        if (Dist <= IntTol)
+          continue;
+        if (Dist < BestDist) {
+          BestDist = Dist;
+          Pick = J;
+        }
+      }
+      if (Pick == ~0u)
+        break;
+      double Val = std::round(X[Pick]);
+      Trail.push_back({VarId{Pick}, Lp.lowerBound(VarId{Pick}),
+                       Lp.upperBound(VarId{Pick})});
+      Lp.setVarBounds(VarId{Pick}, Val, Val);
+      LpResult R = Lp.solve();
+      Stats.LpIterations += R.Iterations;
+      if (R.Status != LpStatus::Optimal || R.Objective >= cutoff())
+        break;
+    }
+    for (auto It = Trail.rbegin(); It != Trail.rend(); ++It)
+      Lp.setVarBounds(It->Var, It->Lo, It->Up);
+  }
+
+  /// Depth-first branch & bound with an explicit trail. Returns true if
+  /// the search ran to completion (not stopped by a limit).
+  bool search() {
+    struct Frame {
+      VarId Var;
+      double SavedLo, SavedUp;
+      double FirstVal;  ///< value tried first
+      bool SecondDone;  ///< both children explored
+    };
+    std::vector<Frame> Path;
+
+    auto backtrack = [&]() -> bool {
+      while (!Path.empty()) {
+        Frame &F = Path.back();
+        if (!F.SecondDone) {
+          F.SecondDone = true;
+          double Other = 1.0 - F.FirstVal;
+          Lp.setVarBounds(F.Var, Other, Other);
+          return true;
+        }
+        Lp.setVarBounds(F.Var, F.SavedLo, F.SavedUp);
+        Path.pop_back();
+      }
+      return false;
+    };
+
+    while (true) {
+      if (Stats.Nodes >= Opts.NodeLimit || timedOut())
+        return false;
+      ++Stats.Nodes;
+
+      LpResult R = Lp.solve();
+      Stats.LpIterations += R.Iterations;
+      bool Prune = false;
+      if (R.Status == LpStatus::Infeasible) {
+        Prune = true;
+      } else if (R.Status != LpStatus::Optimal) {
+        // Numerical trouble: treat conservatively as unprunable is unsafe
+        // for completeness bookkeeping, so give up on proving optimality.
+        return false;
+      } else if (R.Objective >= cutoff()) {
+        Prune = true;
+      } else {
+        std::vector<double> X = Lp.values();
+        unsigned BranchVar = pickBranchVar(RM, X);
+        if (BranchVar == ~0u) {
+          roundIntegers(RM, X);
+          if (isFeasible(RM, X, 1e-5))
+            offerIncumbent(std::move(X), R.Objective);
+          Prune = true;
+        } else {
+          Frame F;
+          F.Var = VarId{BranchVar};
+          F.SavedLo = Lp.lowerBound(F.Var);
+          F.SavedUp = Lp.upperBound(F.Var);
+          F.FirstVal = X[BranchVar] >= 0.5 ? 1.0 : 0.0;
+          F.SecondDone = false;
+          Path.push_back(F);
+          Lp.setVarBounds(F.Var, F.FirstVal, F.FirstVal);
+          continue;
+        }
+      }
+      if (Prune && !backtrack())
+        return true; // Tree exhausted.
+    }
+  }
+};
+
+} // namespace
+
+MipSolver::MipSolver(const Model &Mdl, MipOptions Options)
+    : M(Mdl), Opts(Options) {}
+
+void MipSolver::setIncumbent(const std::vector<double> &X) {
+  if (isFeasible(M, X, 1e-6))
+    SeedX = X;
+}
+
+MipResult MipSolver::solve() {
+  MipResult Result;
+  Timer Total;
+
+  PresolveResult P;
+  if (Opts.EnablePresolve) {
+    P = presolve(M);
+  } else {
+    // Identity presolve.
+    P.OrigToReduced.resize(M.numVars());
+    P.FixedValue.assign(M.numVars(), 0.0);
+    for (unsigned I = 0; I != M.numVars(); ++I) {
+      const Variable &V = M.var(VarId{I});
+      VarId NewId = V.Integer
+                        ? P.Reduced.addBinary(V.Name, V.Objective)
+                        : P.Reduced.addContinuous(V.Name, V.Lower, V.Upper,
+                                                  V.Objective);
+      P.Reduced.var(NewId).Lower = V.Lower;
+      P.Reduced.var(NewId).Upper = V.Upper;
+      P.OrigToReduced[I] = NewId.Index;
+    }
+    for (const Constraint &C : M.constraints()) {
+      LinExpr E;
+      for (const Term &T : C.Terms)
+        E.add(VarId{P.OrigToReduced[T.Var.Index]}, T.Coeff);
+      P.Reduced.addConstraint(std::move(E), C.Relation, C.Rhs);
+    }
+  }
+  Result.Stats.PresolveFixedVars = P.NumFixed;
+  Result.Stats.PresolveDroppedConstraints = P.NumDroppedConstraints;
+  Result.Stats.ReducedVars = P.Reduced.numVars();
+  Result.Stats.ReducedConstraints = P.Reduced.numConstraints();
+
+  if (P.Infeasible) {
+    Result.Status = MipStatus::Infeasible;
+    Result.Stats.TotalSeconds = Total.seconds();
+    return Result;
+  }
+
+  Searcher S(P.Reduced, Opts, Result.Stats);
+
+  // Seed incumbent from the caller, translated into reduced space.
+  if (!SeedX.empty()) {
+    std::vector<double> ReducedSeed;
+    if (P.reduceSolution(SeedX, ReducedSeed) &&
+        isFeasible(P.Reduced, ReducedSeed, 1e-6))
+      S.offerIncumbent(std::move(ReducedSeed),
+                       objectiveValue(P.Reduced, ReducedSeed));
+  }
+
+  // Root relaxation (Figure 7's "Root" column).
+  Timer RootClock;
+  LpResult Root = S.Lp.solve();
+  Result.Stats.LpIterations += Root.Iterations;
+  Result.Stats.RootLpSeconds = RootClock.seconds();
+  if (Root.Status == LpStatus::Infeasible) {
+    Result.Status = MipStatus::Infeasible;
+    Result.Stats.TotalSeconds = Total.seconds();
+    return Result;
+  }
+  if (Root.Status == LpStatus::Optimal) {
+    Result.Stats.RootObjective =
+        Root.Objective + P.FixedObjective + M.objectiveConstant();
+    S.tryRounding();
+    S.dive();
+    // Diving perturbed the working basis; restore a clean root solve so
+    // the DFS starts from the true relaxation.
+    LpResult Again = S.Lp.solve();
+    Result.Stats.LpIterations += Again.Iterations;
+  }
+
+  bool Complete = S.search();
+
+  Result.Stats.TotalSeconds = Total.seconds();
+  if (!std::isfinite(S.Incumbent)) {
+    Result.Status = Complete ? MipStatus::Infeasible : MipStatus::NoSolution;
+    return Result;
+  }
+  Result.Status = Complete ? MipStatus::Optimal : MipStatus::Feasible;
+  Result.X = P.liftSolution(S.IncumbentX);
+  Result.Objective = objectiveValue(M, Result.X);
+  return Result;
+}

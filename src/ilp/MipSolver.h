@@ -1,0 +1,86 @@
+//===- MipSolver.h - 0-1 branch & bound -------------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Depth-first branch & bound over LP relaxations, playing the role CPLEX
+/// played for the paper. Reports the root-relaxation and integer solve
+/// statistics that Figure 7 tabulates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILP_MIPSOLVER_H
+#define ILP_MIPSOLVER_H
+
+#include "ilp/Model.h"
+#include "ilp/Presolve.h"
+#include "ilp/Simplex.h"
+
+#include <vector>
+
+namespace nova {
+namespace ilp {
+
+enum class MipStatus {
+  Optimal,    ///< proved within the gap tolerance
+  Feasible,   ///< stopped at a limit with an incumbent in hand
+  Infeasible, ///< no integer point exists
+  NoSolution  ///< stopped at a limit with no incumbent
+};
+
+/// Knobs for the branch & bound search.
+struct MipOptions {
+  /// Relative optimality gap; the paper stopped "within 0.01% of optimal".
+  double RelGap = 1e-4;
+  unsigned NodeLimit = 2'000'000;
+  double TimeLimitSeconds = 600.0;
+  /// Number of LP re-solves the root diving heuristic may spend.
+  unsigned DiveLpLimit = 400;
+  bool EnablePresolve = true;
+};
+
+/// Solve statistics mirroring the paper's Figure 7 columns.
+struct MipStats {
+  double RootLpSeconds = 0.0;
+  double TotalSeconds = 0.0;
+  double RootObjective = 0.0;
+  unsigned Nodes = 0;
+  unsigned LpIterations = 0;
+  unsigned PresolveFixedVars = 0;
+  unsigned PresolveDroppedConstraints = 0;
+  unsigned ReducedVars = 0;
+  unsigned ReducedConstraints = 0;
+};
+
+/// Result of a MIP solve; X is in the *original* model's variable space.
+struct MipResult {
+  MipStatus Status = MipStatus::NoSolution;
+  double Objective = 0.0;
+  std::vector<double> X;
+  MipStats Stats;
+};
+
+/// Branch & bound solver for models whose integer variables are 0-1.
+class MipSolver {
+public:
+  explicit MipSolver(const Model &M, MipOptions Opts = {});
+
+  /// Seeds the search with a known feasible point (e.g. from a heuristic
+  /// allocator). Ignored if infeasible for the model.
+  void setIncumbent(const std::vector<double> &X);
+
+  MipResult solve();
+
+private:
+  const Model &M;
+  MipOptions Opts;
+  std::vector<double> SeedX; // original space; empty if none
+};
+
+} // namespace ilp
+} // namespace nova
+
+#endif // ILP_MIPSOLVER_H

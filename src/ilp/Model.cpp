@@ -1,0 +1,115 @@
+//===- Model.cpp ----------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/Model.h"
+
+#include <sstream>
+
+using namespace nova;
+using namespace nova::ilp;
+
+VarId Model::addBinary(std::string Name, double ObjCoeff) {
+  Vars.push_back({std::move(Name), 0.0, 1.0, ObjCoeff, /*Integer=*/true});
+  return VarId{static_cast<uint32_t>(Vars.size() - 1)};
+}
+
+VarId Model::addContinuous(std::string Name, double Lower, double Upper,
+                           double ObjCoeff) {
+  assert(Lower <= Upper && "inverted bounds");
+  Vars.push_back({std::move(Name), Lower, Upper, ObjCoeff, /*Integer=*/false});
+  return VarId{static_cast<uint32_t>(Vars.size() - 1)};
+}
+
+void Model::addConstraint(LinExpr Expr, Rel Relation, double Rhs,
+                          std::string Name) {
+  Expr.normalize();
+  Constraint C;
+  C.Terms = Expr.terms();
+  C.Relation = Relation;
+  C.Rhs = Rhs - Expr.constant();
+  C.Name = std::move(Name);
+  for ([[maybe_unused]] const Term &T : C.Terms)
+    assert(T.Var.Index < Vars.size() && "constraint mentions unknown var");
+  Cons.push_back(std::move(C));
+}
+
+void Model::addObjective(const LinExpr &Expr) {
+  for (const Term &T : Expr.terms())
+    Vars[T.Var.Index].Objective += T.Coeff;
+  ObjConstant += Expr.constant();
+}
+
+ModelStats Model::stats() const {
+  ModelStats S;
+  S.NumVariables = Vars.size();
+  S.NumConstraints = Cons.size();
+  for (const Variable &V : Vars)
+    if (V.Objective != 0.0)
+      ++S.NumObjectiveTerms;
+  for (const Constraint &C : Cons)
+    S.NumNonzeros += C.Terms.size();
+  return S;
+}
+
+static void appendTerm(std::ostringstream &OS, bool First, double Coeff,
+                       const std::string &Name) {
+  if (Coeff >= 0)
+    OS << (First ? "" : " + ");
+  else
+    OS << (First ? "-" : " - ");
+  double A = Coeff < 0 ? -Coeff : Coeff;
+  if (A != 1.0)
+    OS << A << ' ';
+  OS << Name;
+}
+
+std::string Model::toLpString() const {
+  std::ostringstream OS;
+  OS << "Minimize\n obj:";
+  bool First = true;
+  for (unsigned I = 0; I != Vars.size(); ++I) {
+    if (Vars[I].Objective == 0.0)
+      continue;
+    OS << ' ';
+    appendTerm(OS, First, Vars[I].Objective, Vars[I].Name);
+    First = false;
+  }
+  if (First)
+    OS << " 0";
+  OS << "\nSubject To\n";
+  for (unsigned I = 0; I != Cons.size(); ++I) {
+    const Constraint &C = Cons[I];
+    OS << ' ' << (C.Name.empty() ? "c" + std::to_string(I) : C.Name) << ':';
+    bool F = true;
+    for (const Term &T : C.Terms) {
+      OS << ' ';
+      appendTerm(OS, F, T.Coeff, Vars[T.Var.Index].Name);
+      F = false;
+    }
+    switch (C.Relation) {
+    case Rel::LE:
+      OS << " <= ";
+      break;
+    case Rel::GE:
+      OS << " >= ";
+      break;
+    case Rel::EQ:
+      OS << " = ";
+      break;
+    }
+    OS << C.Rhs << '\n';
+  }
+  OS << "Bounds\n";
+  for (const Variable &V : Vars)
+    OS << ' ' << V.Lower << " <= " << V.Name << " <= " << V.Upper << '\n';
+  OS << "Binaries\n";
+  for (const Variable &V : Vars)
+    if (V.Integer)
+      OS << ' ' << V.Name << '\n';
+  OS << "End\n";
+  return OS.str();
+}

@@ -1,0 +1,107 @@
+//===- Model.h - 0-1 ILP model container ------------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mixed 0-1 / continuous linear optimization model: bounded variables,
+/// linear constraints, and a linear objective (always minimization). This
+/// plays the role AMPL played in the paper — the allocator builds one of
+/// these, and MipSolver solves it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILP_MODEL_H
+#define ILP_MODEL_H
+
+#include "ilp/Expr.h"
+
+#include <cassert>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nova {
+namespace ilp {
+
+/// Relational operator of a linear constraint.
+enum class Rel { LE, GE, EQ };
+
+/// Infinity marker for variable bounds.
+inline constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// A linear constraint `sum Coeff_i * Var_i  Rel  Rhs`.
+struct Constraint {
+  std::vector<Term> Terms;
+  Rel Relation = Rel::LE;
+  double Rhs = 0.0;
+  std::string Name;
+};
+
+/// A decision variable with bounds and objective coefficient.
+struct Variable {
+  std::string Name;
+  double Lower = 0.0;
+  double Upper = 1.0;
+  double Objective = 0.0;
+  bool Integer = true;
+};
+
+/// Aggregate size statistics used to reproduce the paper's Figure 7
+/// ("Variables x1000, Constraints x1000, Terms in Objective x1000").
+struct ModelStats {
+  unsigned NumVariables = 0;
+  unsigned NumConstraints = 0;
+  unsigned NumObjectiveTerms = 0;
+  unsigned NumNonzeros = 0;
+};
+
+/// Container for an optimization model under construction.
+class Model {
+public:
+  /// Adds a binary (0-1) variable with the given objective coefficient.
+  VarId addBinary(std::string Name, double ObjCoeff = 0.0);
+
+  /// Adds a bounded continuous variable.
+  VarId addContinuous(std::string Name, double Lower, double Upper,
+                      double ObjCoeff = 0.0);
+
+  /// Adds `Expr Relation Rhs` after folding Expr's constant into the rhs.
+  void addConstraint(LinExpr Expr, Rel Relation, double Rhs,
+                     std::string Name = "");
+
+  /// Adds to the (minimized) objective.
+  void addObjective(const LinExpr &Expr);
+
+  /// Fixes a variable to a value by tightening both bounds.
+  void fix(VarId Var, double Value) {
+    assert(Var.Index < Vars.size() && "invalid variable");
+    Vars[Var.Index].Lower = Vars[Var.Index].Upper = Value;
+  }
+
+  unsigned numVars() const { return Vars.size(); }
+  unsigned numConstraints() const { return Cons.size(); }
+  const Variable &var(VarId Id) const { return Vars[Id.Index]; }
+  Variable &var(VarId Id) { return Vars[Id.Index]; }
+  const std::vector<Variable> &vars() const { return Vars; }
+  const std::vector<Constraint> &constraints() const { return Cons; }
+  double objectiveConstant() const { return ObjConstant; }
+
+  ModelStats stats() const;
+
+  /// Renders the model in CPLEX LP-like text format for debugging and
+  /// golden tests.
+  std::string toLpString() const;
+
+private:
+  std::vector<Variable> Vars;
+  std::vector<Constraint> Cons;
+  double ObjConstant = 0.0;
+};
+
+} // namespace ilp
+} // namespace nova
+
+#endif // ILP_MODEL_H

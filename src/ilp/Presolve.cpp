@@ -1,0 +1,281 @@
+//===- Presolve.cpp -------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/Presolve.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace nova;
+using namespace nova::ilp;
+
+namespace {
+constexpr double Tol = 1e-9;
+
+/// Working bounds for one variable during propagation.
+struct WorkVar {
+  double Lo, Up;
+  bool Integer;
+};
+
+/// One ranged row `RowLo <= sum a_i x_i <= RowHi`.
+struct WorkRow {
+  std::vector<Term> Terms;
+  double Lo, Hi;
+  bool Dropped = false;
+};
+
+double minContrib(double Coeff, const WorkVar &V) {
+  return Coeff > 0 ? Coeff * V.Lo : Coeff * V.Up;
+}
+
+double maxContrib(double Coeff, const WorkVar &V) {
+  return Coeff > 0 ? Coeff * V.Up : Coeff * V.Lo;
+}
+
+} // namespace
+
+PresolveResult ilp::presolve(const Model &M) {
+  PresolveResult R;
+  unsigned NumVars = M.numVars();
+
+  std::vector<WorkVar> Vars(NumVars);
+  for (unsigned I = 0; I != NumVars; ++I) {
+    const Variable &V = M.var(VarId{I});
+    Vars[I] = {V.Lower, V.Upper, V.Integer};
+  }
+
+  std::vector<WorkRow> Rows;
+  Rows.reserve(M.numConstraints());
+  for (const Constraint &C : M.constraints()) {
+    WorkRow Row;
+    Row.Terms = C.Terms;
+    switch (C.Relation) {
+    case Rel::LE:
+      Row.Lo = -Inf;
+      Row.Hi = C.Rhs;
+      break;
+    case Rel::GE:
+      Row.Lo = C.Rhs;
+      Row.Hi = Inf;
+      break;
+    case Rel::EQ:
+      Row.Lo = Row.Hi = C.Rhs;
+      break;
+    }
+    Rows.push_back(std::move(Row));
+  }
+
+  // Fixpoint propagation.
+  bool Changed = true;
+  unsigned Passes = 0;
+  while (Changed && Passes++ < 50) {
+    Changed = false;
+    for (WorkRow &Row : Rows) {
+      if (Row.Dropped)
+        continue;
+      double MinAct = 0.0, MaxAct = 0.0;
+      for (const Term &T : Row.Terms) {
+        MinAct += minContrib(T.Coeff, Vars[T.Var.Index]);
+        MaxAct += maxContrib(T.Coeff, Vars[T.Var.Index]);
+      }
+      if (MinAct > Row.Hi + 1e-6 || MaxAct < Row.Lo - 1e-6) {
+        R.Infeasible = true;
+        return R;
+      }
+      if (MinAct >= Row.Lo - Tol && MaxAct <= Row.Hi + Tol) {
+        Row.Dropped = true;
+        Changed = true;
+        continue;
+      }
+      // Forcing rows pin every variable at one bound.
+      if (MinAct >= Row.Hi - Tol) {
+        for (const Term &T : Row.Terms) {
+          WorkVar &V = Vars[T.Var.Index];
+          double Val = T.Coeff > 0 ? V.Lo : V.Up;
+          if (V.Lo != Val || V.Up != Val) {
+            V.Lo = V.Up = Val;
+            Changed = true;
+          }
+        }
+        Row.Dropped = true;
+        continue;
+      }
+      if (MaxAct <= Row.Lo + Tol) {
+        for (const Term &T : Row.Terms) {
+          WorkVar &V = Vars[T.Var.Index];
+          double Val = T.Coeff > 0 ? V.Up : V.Lo;
+          if (V.Lo != Val || V.Up != Val) {
+            V.Lo = V.Up = Val;
+            Changed = true;
+          }
+        }
+        Row.Dropped = true;
+        continue;
+      }
+      // Per-variable bound tightening against both row bounds.
+      for (const Term &T : Row.Terms) {
+        WorkVar &V = Vars[T.Var.Index];
+        if (V.Lo >= V.Up)
+          continue;
+        double RestMin = MinAct - minContrib(T.Coeff, V);
+        double RestMax = MaxAct - maxContrib(T.Coeff, V);
+        double NewLo = V.Lo, NewUp = V.Up;
+        if (std::isfinite(Row.Hi)) {
+          double Limit = (Row.Hi - RestMin) / T.Coeff;
+          if (T.Coeff > 0)
+            NewUp = std::min(NewUp, Limit);
+          else
+            NewLo = std::max(NewLo, Limit);
+        }
+        if (std::isfinite(Row.Lo)) {
+          double Limit = (Row.Lo - RestMax) / T.Coeff;
+          if (T.Coeff > 0)
+            NewLo = std::max(NewLo, Limit);
+          else
+            NewUp = std::min(NewUp, Limit);
+        }
+        if (V.Integer) {
+          NewLo = std::ceil(NewLo - 1e-7);
+          NewUp = std::floor(NewUp + 1e-7);
+        }
+        if (NewLo > V.Lo + Tol || NewUp < V.Up - Tol) {
+          if (NewLo > NewUp + 1e-6) {
+            R.Infeasible = true;
+            return R;
+          }
+          V.Lo = std::max(V.Lo, std::min(NewLo, NewUp));
+          V.Up = std::min(V.Up, std::max(NewLo, NewUp));
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // Build the reduced model: fixed variables are substituted away.
+  R.OrigToReduced.assign(NumVars, ~0u);
+  R.FixedValue.assign(NumVars, 0.0);
+  for (unsigned I = 0; I != NumVars; ++I) {
+    const Variable &OV = M.var(VarId{I});
+    if (Vars[I].Lo >= Vars[I].Up - Tol) {
+      R.FixedValue[I] = Vars[I].Lo;
+      R.FixedObjective += OV.Objective * Vars[I].Lo;
+      ++R.NumFixed;
+      continue;
+    }
+    VarId NewId =
+        Vars[I].Integer
+            ? R.Reduced.addBinary(OV.Name, OV.Objective)
+            : R.Reduced.addContinuous(OV.Name, Vars[I].Lo, Vars[I].Up,
+                                      OV.Objective);
+    // Tightened integer bounds other than [0,1] still apply.
+    R.Reduced.var(NewId).Lower = Vars[I].Lo;
+    R.Reduced.var(NewId).Upper = Vars[I].Up;
+    R.OrigToReduced[I] = NewId.Index;
+  }
+
+  for (const WorkRow &Row : Rows) {
+    if (Row.Dropped) {
+      ++R.NumDroppedConstraints;
+      continue;
+    }
+    LinExpr E;
+    double Shift = 0.0;
+    bool AnyFree = false;
+    for (const Term &T : Row.Terms) {
+      uint32_t NewIdx = R.OrigToReduced[T.Var.Index];
+      if (NewIdx == ~0u) {
+        Shift += T.Coeff * R.FixedValue[T.Var.Index];
+      } else {
+        E.add(VarId{NewIdx}, T.Coeff);
+        AnyFree = true;
+      }
+    }
+    double Lo = Row.Lo - Shift, Hi = Row.Hi - Shift;
+    if (!AnyFree) {
+      if (0.0 > Hi + 1e-6 || 0.0 < Lo - 1e-6)
+        R.Infeasible = true;
+      continue;
+    }
+    if (std::isfinite(Lo) && std::isfinite(Hi) &&
+        std::fabs(Lo - Hi) <= Tol) {
+      R.Reduced.addConstraint(std::move(E), Rel::EQ, Hi);
+    } else if (!std::isfinite(Lo)) {
+      R.Reduced.addConstraint(std::move(E), Rel::LE, Hi);
+    } else if (!std::isfinite(Hi)) {
+      R.Reduced.addConstraint(std::move(E), Rel::GE, Lo);
+    } else {
+      LinExpr E2 = E;
+      R.Reduced.addConstraint(std::move(E), Rel::LE, Hi);
+      R.Reduced.addConstraint(std::move(E2), Rel::GE, Lo);
+    }
+  }
+  return R;
+}
+
+std::vector<double>
+PresolveResult::liftSolution(const std::vector<double> &ReducedX) const {
+  std::vector<double> X(OrigToReduced.size());
+  for (unsigned I = 0; I != OrigToReduced.size(); ++I)
+    X[I] = OrigToReduced[I] == ~0u ? FixedValue[I] : ReducedX[OrigToReduced[I]];
+  return X;
+}
+
+bool PresolveResult::reduceSolution(const std::vector<double> &OrigX,
+                                    std::vector<double> &ReducedX) const {
+  assert(OrigX.size() == OrigToReduced.size() && "dimension mismatch");
+  ReducedX.assign(Reduced.numVars(), 0.0);
+  for (unsigned I = 0; I != OrigToReduced.size(); ++I) {
+    if (OrigToReduced[I] == ~0u) {
+      if (std::fabs(OrigX[I] - FixedValue[I]) > 1e-6)
+        return false;
+    } else {
+      ReducedX[OrigToReduced[I]] = OrigX[I];
+    }
+  }
+  return true;
+}
+
+bool ilp::isFeasible(const Model &M, const std::vector<double> &X,
+                     double FeasTol) {
+  if (X.size() != M.numVars())
+    return false;
+  for (unsigned I = 0; I != M.numVars(); ++I) {
+    const Variable &V = M.var(VarId{I});
+    if (X[I] < V.Lower - FeasTol || X[I] > V.Upper + FeasTol)
+      return false;
+    if (V.Integer && std::fabs(X[I] - std::round(X[I])) > FeasTol)
+      return false;
+  }
+  for (const Constraint &C : M.constraints()) {
+    double Act = 0.0;
+    for (const Term &T : C.Terms)
+      Act += T.Coeff * X[T.Var.Index];
+    switch (C.Relation) {
+    case Rel::LE:
+      if (Act > C.Rhs + FeasTol)
+        return false;
+      break;
+    case Rel::GE:
+      if (Act < C.Rhs - FeasTol)
+        return false;
+      break;
+    case Rel::EQ:
+      if (std::fabs(Act - C.Rhs) > FeasTol)
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+double ilp::objectiveValue(const Model &M, const std::vector<double> &X) {
+  double Obj = M.objectiveConstant();
+  for (unsigned I = 0; I != M.numVars(); ++I)
+    Obj += M.var(VarId{I}).Objective * X[I];
+  return Obj;
+}

@@ -1,0 +1,66 @@
+//===- Presolve.h - Model reduction before branch & bound -------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bound-propagation presolve for 0-1 models. The allocator's models are
+/// dominated by "sum == 1" and implication rows; fixpoint propagation fixes
+/// a large fraction of variables before the LP ever runs — the same kind of
+/// model-shrinking engineering Section 8 of the paper calls critical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILP_PRESOLVE_H
+#define ILP_PRESOLVE_H
+
+#include "ilp/Model.h"
+
+#include <vector>
+
+namespace nova {
+namespace ilp {
+
+/// Result of presolving a Model.
+struct PresolveResult {
+  bool Infeasible = false;
+  Model Reduced;
+  /// OrigToReduced[i] is the reduced-model index of original variable i, or
+  /// ~0u if the variable was fixed by presolve.
+  std::vector<uint32_t> OrigToReduced;
+  /// FixedValue[i] is meaningful when OrigToReduced[i] == ~0u.
+  std::vector<double> FixedValue;
+  /// Objective contribution of fixed variables (added to the reduced
+  /// model's optimum to recover the original objective).
+  double FixedObjective = 0.0;
+  unsigned NumFixed = 0;
+  unsigned NumDroppedConstraints = 0;
+
+  /// Expands a reduced-space solution vector into original space.
+  std::vector<double> liftSolution(const std::vector<double> &ReducedX) const;
+
+  /// Projects an original-space point into reduced space. Returns false if
+  /// the point contradicts a presolve fixing (then it cannot seed the
+  /// search).
+  bool reduceSolution(const std::vector<double> &OrigX,
+                      std::vector<double> &ReducedX) const;
+};
+
+/// Runs fixpoint bound propagation on \p M.
+PresolveResult presolve(const Model &M);
+
+/// Checks a candidate point against all bounds, integrality requirements,
+/// and constraints of \p M. Used by tests and to validate heuristic
+/// incumbents.
+bool isFeasible(const Model &M, const std::vector<double> &X,
+                double Tol = 1e-6);
+
+/// Objective value of a point under \p M (including the model constant).
+double objectiveValue(const Model &M, const std::vector<double> &X);
+
+} // namespace ilp
+} // namespace nova
+
+#endif // ILP_PRESOLVE_H

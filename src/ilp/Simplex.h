@@ -1,0 +1,119 @@
+//===- Simplex.h - Bounded-variable revised simplex -------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A primal revised simplex solver for linear programs with bounded
+/// variables, used for the LP relaxations inside MipSolver and to obtain
+/// the "root relaxation" numbers of the paper's Figure 7.
+///
+/// Design notes:
+///  - One slack per row turns every constraint into an equality; slack
+///    bounds encode <=, >= and ==.
+///  - The basis inverse is kept as a dense column-major matrix updated by
+///    eta pivots; it is rebuilt from scratch (Gauss-Jordan) only when
+///    numerical drift is detected.
+///  - Phase I uses the composite (artificial-free) method: the cost vector
+///    is the subgradient of the sum of primal bound violations, recomputed
+///    each iteration. This allows warm starts from any basis, which the
+///    branch-and-bound driver relies on after bound changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILP_SIMPLEX_H
+#define ILP_SIMPLEX_H
+
+#include "ilp/Model.h"
+
+#include <vector>
+
+namespace nova {
+namespace ilp {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/// Result of one LP solve.
+struct LpResult {
+  LpStatus Status = LpStatus::IterationLimit;
+  double Objective = 0.0;
+  unsigned Iterations = 0;
+};
+
+/// Primal bounded-variable revised simplex over the LP relaxation of a
+/// Model. The instance keeps its basis across solve() calls, so bound
+/// changes (branching) re-solve quickly.
+class Simplex {
+public:
+  /// Builds the LP relaxation of \p M (integrality dropped).
+  explicit Simplex(const Model &M);
+
+  /// Overrides the bounds of structural variable \p Var for subsequent
+  /// solves. Used by branch-and-bound; does not modify the Model.
+  void setVarBounds(VarId Var, double Lower, double Upper);
+
+  /// Current working bounds of a structural variable.
+  double lowerBound(VarId Var) const { return Lower[Var.Index]; }
+  double upperBound(VarId Var) const { return Upper[Var.Index]; }
+
+  /// Solves from the current basis (cold start on first call).
+  LpResult solve();
+
+  /// Value of a structural variable in the last solved basis.
+  double value(VarId Var) const;
+
+  /// Values of all structural variables.
+  std::vector<double> values() const;
+
+  unsigned numRows() const { return M; }
+  unsigned numCols() const { return NumStructural; }
+
+  /// Total simplex iterations across all solve() calls.
+  unsigned totalIterations() const { return TotalIters; }
+
+private:
+  enum class State : uint8_t { Basic, AtLower, AtUpper };
+
+  // Problem data. Columns 0..NumStructural-1 are structural, the rest are
+  // slacks (one per row).
+  unsigned M = 0;             ///< number of rows
+  unsigned N = 0;             ///< total columns incl. slacks
+  unsigned NumStructural = 0; ///< structural column count
+  std::vector<std::vector<Term>> Cols; ///< sparse columns (row, coeff)
+  std::vector<double> Cost;            ///< phase-II objective
+  std::vector<double> Lower, Upper;    ///< working bounds per column
+  std::vector<double> Rhs;             ///< row right-hand sides
+
+  // Basis state.
+  bool HasBasis = false;
+  std::vector<uint32_t> Basic;  ///< Basic[i] = column basic in row i
+  std::vector<State> VarState;  ///< per-column state
+  std::vector<uint32_t> RowOf;  ///< RowOf[col] = basic row, or ~0u
+  std::vector<double> BasicVal; ///< value of basic var per row
+  std::vector<double> Binv;     ///< dense column-major m*m basis inverse
+  unsigned TotalIters = 0;
+
+  // Scratch.
+  std::vector<double> WorkY, WorkW;
+
+  double nonbasicValue(unsigned Col) const;
+  void installSlackBasis();
+  void computeBasicValues();
+  bool refactorize();
+  void applyEta(const std::vector<double> &W, unsigned PivotRow);
+  void priceInto(const std::vector<double> &CB, std::vector<double> &Y) const;
+  double reducedCost(unsigned Col, const std::vector<double> &Y) const;
+  void ftran(unsigned Col, std::vector<double> &W) const;
+  double infeasibilitySum() const;
+
+  /// One phase of the simplex loop. \p PhaseOne selects the composite
+  /// infeasibility objective. Returns the terminating status.
+  LpStatus iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit);
+};
+
+} // namespace ilp
+} // namespace nova
+
+#endif // ILP_SIMPLEX_H

@@ -1,0 +1,125 @@
+//===- Frequency.cpp ------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ixp/Frequency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+using namespace nova;
+using namespace nova::ixp;
+
+double ixp::dempsterShafer(double P1, double P2) {
+  double Num = P1 * P2;
+  double Den = Num + (1.0 - P1) * (1.0 - P2);
+  return Den == 0.0 ? 0.5 : Num / Den;
+}
+
+bool FrequencyInfo::isBackEdge(BlockId From, BlockId To) const {
+  return std::find(BackEdges.begin(), BackEdges.end(),
+                   std::make_pair(From, To)) != BackEdges.end();
+}
+
+FrequencyInfo::FrequencyInfo(const MachineProgram &M) {
+  unsigned N = M.Blocks.size();
+  Freq.assign(N, 0.0);
+  TakenProb.assign(N, 0.5);
+  if (M.Entry == NoBlock || N == 0)
+    return;
+
+  // Back edges via iterative DFS with an on-stack marker.
+  enum { White, Grey, Black };
+  std::vector<int> Color(N, White);
+  std::function<void(BlockId)> Dfs = [&](BlockId B) {
+    Color[B] = Grey;
+    for (BlockId S : M.Blocks[B].successors()) {
+      if (Color[S] == Grey)
+        BackEdges.emplace_back(B, S);
+      else if (Color[S] == White)
+        Dfs(S);
+    }
+    Color[B] = Black;
+  };
+  Dfs(M.Entry);
+
+  // Whether block To can reach block From again (the edge continues a
+  // loop). Cached per query; graphs here are small.
+  auto Reaches = [&M, N](BlockId From, BlockId To) {
+    std::vector<bool> Seen(N, false);
+    std::vector<BlockId> Work = {From};
+    Seen[From] = true;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      if (B == To)
+        return true;
+      for (BlockId S : M.Blocks[B].successors())
+        if (!Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+    }
+    return false;
+  };
+
+  // Branch probabilities: combine heuristics with Dempster-Shafer.
+  for (unsigned B = 0; B != N; ++B) {
+    const Block &Blk = M.Blocks[B];
+    if (Blk.Instrs.empty() || Blk.terminator().Op != MOp::Branch)
+      continue;
+    const MachineInstr &Br = Blk.terminator();
+    double P = 0.5;
+    // Loop heuristic: the side that keeps the loop spinning is likely.
+    bool TakenLoops = Reaches(Br.Target, B);
+    bool ElseLoops = Reaches(Br.TargetElse, B);
+    if (TakenLoops && !ElseLoops)
+      P = dempsterShafer(P, 0.88);
+    else if (ElseLoops && !TakenLoops)
+      P = dempsterShafer(P, 0.12);
+    // Opcode heuristic: equality is unlikely, inequality likely.
+    if (Br.Cmp == cps::CmpOp::Eq)
+      P = dempsterShafer(P, 0.3);
+    else if (Br.Cmp == cps::CmpOp::Ne)
+      P = dempsterShafer(P, 0.7);
+    TakenProb[B] = P;
+  }
+
+  // Damped flow propagation (handles irreducible graphs): f = e + d*T'f.
+  // Damping slightly underestimates deep loop nests but always converges.
+  const double Damping = 0.995;
+  std::vector<double> Next(N, 0.0);
+  Freq[M.Entry] = 1.0;
+  for (unsigned Iter = 0; Iter != 2000; ++Iter) {
+    std::fill(Next.begin(), Next.end(), 0.0);
+    Next[M.Entry] = 1.0;
+    for (unsigned B = 0; B != N; ++B) {
+      if (Freq[B] == 0.0)
+        continue;
+      const Block &Blk = M.Blocks[B];
+      if (Blk.Instrs.empty())
+        continue;
+      const MachineInstr &T = Blk.terminator();
+      if (T.Op == MOp::Branch) {
+        Next[T.Target] += Damping * Freq[B] * TakenProb[B];
+        Next[T.TargetElse] += Damping * Freq[B] * (1.0 - TakenProb[B]);
+      } else if (T.Op == MOp::Jump) {
+        Next[T.Target] += Damping * Freq[B];
+      }
+    }
+    double Delta = 0.0;
+    for (unsigned B = 0; B != N; ++B)
+      Delta += std::fabs(Next[B] - Freq[B]);
+    Freq.swap(Next);
+    if (Delta < 1e-9)
+      break;
+  }
+  // Numerical floor so every reachable block carries some weight.
+  for (unsigned B = 0; B != N; ++B)
+    if (Freq[B] == 0.0 && Color[B] != White)
+      Freq[B] = 1e-6;
+}

@@ -1,0 +1,61 @@
+//===- Frequency.h - Static execution frequency estimation ------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static frequency estimation in the style of Wu-Larus, combining branch
+/// heuristics with Dempster-Shafer evidence combination (paper Section 7:
+/// "Our own variation of the Wu-Larus frequency estimation can cope with
+/// irreducible flowgraphs"). Frequencies weight the move costs in the
+/// ILP objective.
+///
+/// Heuristics used:
+///  - loop heuristic: the back-edge side of a branch is taken with
+///    probability 0.88;
+///  - opcode heuristic: equality tests succeed with probability 0.3 (and
+///    inequality with 0.7).
+///
+/// Block frequencies are obtained by damped flow propagation from the
+/// entry, which converges on irreducible graphs too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IXP_FREQUENCY_H
+#define IXP_FREQUENCY_H
+
+#include "ixp/MachineIr.h"
+
+#include <vector>
+
+namespace nova {
+namespace ixp {
+
+/// Combines two probability estimates with Dempster-Shafer:
+/// p = p1 p2 / (p1 p2 + (1-p1)(1-p2)).
+double dempsterShafer(double P1, double P2);
+
+class FrequencyInfo {
+public:
+  explicit FrequencyInfo(const MachineProgram &M);
+
+  /// Estimated executions of block \p B per entry execution.
+  double blockFreq(BlockId B) const { return Freq[B]; }
+
+  /// Probability that the Branch terminating \p B is taken (Target side).
+  double takenProb(BlockId B) const { return TakenProb[B]; }
+
+  bool isBackEdge(BlockId From, BlockId To) const;
+
+private:
+  std::vector<double> Freq;
+  std::vector<double> TakenProb;
+  std::vector<std::pair<BlockId, BlockId>> BackEdges;
+};
+
+} // namespace ixp
+} // namespace nova
+
+#endif // IXP_FREQUENCY_H

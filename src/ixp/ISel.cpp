@@ -1,0 +1,351 @@
+//===- ISel.cpp - CPS to IXP instruction selection -------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ixp/ISel.h"
+
+#include "support/Debug.h"
+#include "support/StringUtils.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace nova;
+using namespace nova::ixp;
+using cps::Atom;
+using cps::CpsProgram;
+using cps::Exp;
+using cps::ExpKind;
+using cps::FuncId;
+
+namespace {
+
+class Selector {
+public:
+  Selector(const CpsProgram &P, DiagnosticEngine &Diags, MachineProgram &M)
+      : P(P), Diags(Diags), M(M) {}
+
+  bool run();
+
+private:
+  const CpsProgram &P;
+  DiagnosticEngine &Diags;
+  MachineProgram &M;
+
+  std::map<cps::ValueId, Temp> TempOf;
+  std::map<FuncId, BlockId> BlockOf;
+  std::map<FuncId, std::vector<Temp>> ParamTemps;
+  bool Failed = false;
+
+  Temp tempFor(cps::ValueId V) {
+    auto It = TempOf.find(V);
+    if (It != TempOf.end())
+      return It->second;
+    Temp T = M.newTemp(P.valueName(V));
+    TempOf[V] = T;
+    return T;
+  }
+
+  BlockId newBlock(const std::string &Name) {
+    BlockId Id = static_cast<BlockId>(M.Blocks.size());
+    M.Blocks.push_back(Block{Id, Name, {}});
+    return Id;
+  }
+
+  /// Appending to M.Blocks can reallocate, so blocks are addressed by id.
+  void emit(BlockId B, MachineInstr I) {
+    M.Blocks[B].Instrs.push_back(std::move(I));
+  }
+
+  /// Materializes an atom as an operand; constants become Imm loads
+  /// unless \p AllowConst (immediate-capable position).
+  MOperand operand(BlockId B, const Atom &A, bool AllowConst) {
+    switch (A.K) {
+    case Atom::Kind::Temp:
+      return MOperand::temp(tempFor(A.Id));
+    case Atom::Kind::Const: {
+      if (AllowConst)
+        return MOperand::constant(A.Value);
+      Temp T = M.newTemp("k" + std::to_string(A.Value));
+      MachineInstr I;
+      I.Op = MOp::Imm;
+      I.Imm = A.Value;
+      I.Dsts = {T};
+      emit(B, std::move(I));
+      return MOperand::temp(T);
+    }
+    case Atom::Kind::Label:
+      Diags.error(SourceLoc::invalid(),
+                  "instruction selection: a continuation label is used as "
+                  "data (unresolved exception value)");
+      Failed = true;
+      return MOperand::constant(0);
+    }
+    NOVA_UNREACHABLE("unhandled atom kind");
+  }
+
+  /// Emits the parallel copy `Dsts[i] <- Args[i]` before a jump,
+  /// sequentializing with cycle breaking.
+  void emitParallelCopy(BlockId B, const std::vector<Temp> &Dsts,
+                        const std::vector<Atom> &Args) {
+    struct Pair {
+      Temp Dst;
+      Temp Src;
+    };
+    std::vector<Pair> Pairs;
+    std::vector<std::pair<Temp, uint32_t>> ConstMoves;
+    for (unsigned I = 0; I != Dsts.size(); ++I) {
+      const Atom &A = Args[I];
+      if (A.isConst()) {
+        ConstMoves.push_back({Dsts[I], A.Value});
+        continue;
+      }
+      if (A.isLabel()) {
+        Diags.error(SourceLoc::invalid(),
+                    "instruction selection: label passed as a jump "
+                    "argument");
+        Failed = true;
+        continue;
+      }
+      Temp Src = tempFor(A.Id);
+      if (Src != Dsts[I])
+        Pairs.push_back({Dsts[I], Src});
+    }
+
+    auto EmitMove = [&](Temp Dst, Temp Src) {
+      MachineInstr I;
+      I.Op = MOp::Move;
+      I.Srcs = {MOperand::temp(Src)};
+      I.Dsts = {Dst};
+      emit(B, std::move(I));
+    };
+
+    while (!Pairs.empty()) {
+      // Find a pair whose destination is not needed as a source.
+      bool Progress = false;
+      for (unsigned I = 0; I != Pairs.size(); ++I) {
+        bool DstIsSource = false;
+        for (const Pair &Q : Pairs)
+          DstIsSource |= Q.Src == Pairs[I].Dst;
+        if (DstIsSource)
+          continue;
+        EmitMove(Pairs[I].Dst, Pairs[I].Src);
+        Pairs.erase(Pairs.begin() + I);
+        Progress = true;
+        break;
+      }
+      if (Progress)
+        continue;
+      // Cycle: rotate through a scratch temp (the allocator keeps one A
+      // register free for exactly this, paper Section 6).
+      Temp Scratch = M.newTemp("cyc");
+      Temp Broken = Pairs[0].Dst;
+      EmitMove(Scratch, Broken);
+      for (Pair &Q : Pairs)
+        if (Q.Src == Broken)
+          Q.Src = Scratch;
+    }
+    for (auto &[Dst, Value] : ConstMoves) {
+      MachineInstr I;
+      I.Op = MOp::Imm;
+      I.Imm = Value;
+      I.Dsts = {Dst};
+      emit(B, std::move(I));
+    }
+  }
+
+  /// Ensures function \p F has a block (creating and scheduling it).
+  BlockId blockFor(FuncId F) {
+    auto It = BlockOf.find(F);
+    if (It != BlockOf.end())
+      return It->second;
+    const cps::Function &Fn = P.func(F);
+    BlockId B = newBlock(Fn.Name);
+    BlockOf[F] = B;
+    std::vector<Temp> Params;
+    for (cps::ValueId V : Fn.Params)
+      Params.push_back(tempFor(V));
+    ParamTemps[F] = std::move(Params);
+    Pending.push_back(F);
+    return B;
+  }
+
+  std::vector<FuncId> Pending;
+
+  void lower(BlockId B, const Exp *E);
+
+  void lowerBranchArm(BlockId ArmBlock, const Exp *Arm) {
+    lower(ArmBlock, Arm);
+  }
+};
+
+void Selector::lower(BlockId B, const Exp *E) {
+  for (; E;) {
+    switch (E->Kind) {
+    case ExpKind::Prim: {
+      MachineInstr I;
+      if (E->Args[0].isConst() && E->Prim != cps::PrimOp::Not &&
+          E->Args.size() > 1 && E->Args[1].isConst()) {
+        // Both constant: the optimizer normally folds this; keep a
+        // fallback for unoptimized programs.
+        I.Op = MOp::Imm;
+        uint32_t A = E->Args[0].Value, Bv = E->Args[1].Value;
+        switch (E->Prim) {
+        case cps::PrimOp::Add: I.Imm = A + Bv; break;
+        case cps::PrimOp::Sub: I.Imm = A - Bv; break;
+        case cps::PrimOp::And: I.Imm = A & Bv; break;
+        case cps::PrimOp::Or:  I.Imm = A | Bv; break;
+        case cps::PrimOp::Xor: I.Imm = A ^ Bv; break;
+        case cps::PrimOp::Shl: I.Imm = Bv >= 32 ? 0 : A << Bv; break;
+        case cps::PrimOp::Shr: I.Imm = Bv >= 32 ? 0 : A >> Bv; break;
+        case cps::PrimOp::Not: break;
+        }
+        I.Dsts = {tempFor(E->Results[0])};
+        emit(B, std::move(I));
+        E = E->Cont;
+        continue;
+      }
+      I.Op = MOp::Alu;
+      I.Alu = E->Prim;
+      bool ShiftCount = E->Prim == cps::PrimOp::Shl ||
+                        E->Prim == cps::PrimOp::Shr;
+      I.Srcs.push_back(operand(B, E->Args[0], /*AllowConst=*/false));
+      if (E->Args.size() > 1)
+        I.Srcs.push_back(operand(B, E->Args[1], /*AllowConst=*/ShiftCount));
+      I.Dsts = {tempFor(E->Results[0])};
+      emit(B, std::move(I));
+      E = E->Cont;
+      continue;
+    }
+    case ExpKind::MemRead: {
+      MachineInstr I;
+      I.Op = MOp::MemRead;
+      I.Space = E->Space;
+      I.Srcs = {operand(B, E->Args[0], /*AllowConst=*/false)};
+      for (cps::ValueId R : E->Results)
+        I.Dsts.push_back(tempFor(R));
+      emit(B, std::move(I));
+      E = E->Cont;
+      continue;
+    }
+    case ExpKind::MemWrite: {
+      MachineInstr I;
+      I.Op = MOp::MemWrite;
+      I.Space = E->Space;
+      I.Srcs.push_back(operand(B, E->Args[0], /*AllowConst=*/false));
+      for (unsigned K = 1; K != E->Args.size(); ++K)
+        I.Srcs.push_back(operand(B, E->Args[K], /*AllowConst=*/false));
+      emit(B, std::move(I));
+      E = E->Cont;
+      continue;
+    }
+    case ExpKind::Hash: {
+      MachineInstr I;
+      I.Op = MOp::Hash;
+      I.Srcs = {operand(B, E->Args[0], /*AllowConst=*/false)};
+      I.Dsts = {tempFor(E->Results[0])};
+      emit(B, std::move(I));
+      E = E->Cont;
+      continue;
+    }
+    case ExpKind::BitTestSet: {
+      MachineInstr I;
+      I.Op = MOp::BitTestSet;
+      I.Space = E->Space;
+      I.Srcs = {operand(B, E->Args[0], /*AllowConst=*/false),
+                operand(B, E->Args[1], /*AllowConst=*/false)};
+      I.Dsts = {tempFor(E->Results[0])};
+      emit(B, std::move(I));
+      E = E->Cont;
+      continue;
+    }
+    case ExpKind::Clone: {
+      MachineInstr I;
+      I.Op = MOp::Clone;
+      I.Srcs = {operand(B, E->Args[0], /*AllowConst=*/false)};
+      for (cps::ValueId R : E->Results)
+        I.Dsts.push_back(tempFor(R));
+      emit(B, std::move(I));
+      E = E->Cont;
+      continue;
+    }
+    case ExpKind::Fix:
+      // Scoping only; referenced functions get blocks on demand.
+      E = E->Cont;
+      continue;
+    case ExpKind::Branch: {
+      MachineInstr I;
+      I.Op = MOp::Branch;
+      I.Cmp = E->Cmp;
+      I.Srcs = {operand(B, E->Args[0], /*AllowConst=*/false),
+                operand(B, E->Args[1], /*AllowConst=*/false)};
+      BlockId ThenB = newBlock("then");
+      BlockId ElseB = newBlock("else");
+      I.Target = ThenB;
+      I.TargetElse = ElseB;
+      emit(B, std::move(I));
+      lower(ThenB, E->Then);
+      lower(ElseB, E->Else);
+      return;
+    }
+    case ExpKind::App: {
+      if (!E->Callee.isLabel()) {
+        Diags.error(SourceLoc::invalid(),
+                    "instruction selection: jump to unresolved "
+                    "continuation value");
+        Failed = true;
+        return;
+      }
+      FuncId F = E->Callee.Func;
+      BlockId TargetB = blockFor(F);
+      emitParallelCopy(B, ParamTemps[F], E->Args);
+      MachineInstr I;
+      I.Op = MOp::Jump;
+      I.Target = TargetB;
+      emit(B, std::move(I));
+      return;
+    }
+    case ExpKind::Halt: {
+      MachineInstr I;
+      I.Op = MOp::Halt;
+      for (const Atom &A : E->Args)
+        I.Srcs.push_back(operand(B, A, /*AllowConst=*/true));
+      emit(B, std::move(I));
+      return;
+    }
+    }
+    NOVA_UNREACHABLE("unhandled exp kind");
+  }
+  // A null expression chain is a conversion bug upstream.
+  Diags.error(SourceLoc::invalid(),
+              "instruction selection: truncated expression chain");
+  Failed = true;
+}
+
+bool Selector::run() {
+  if (P.Entry == cps::NoFunc) {
+    Diags.error(SourceLoc::invalid(), "no entry function");
+    return false;
+  }
+  BlockId EntryB = blockFor(P.Entry);
+  M.Entry = EntryB;
+  while (!Pending.empty()) {
+    FuncId F = Pending.back();
+    Pending.pop_back();
+    lower(BlockOf[F], P.func(F).Body);
+  }
+  M.EntryParams = ParamTemps[P.Entry];
+  return !Failed;
+}
+
+} // namespace
+
+bool ixp::selectInstructions(const CpsProgram &P, DiagnosticEngine &Diags,
+                             MachineProgram &Out) {
+  Selector S(P, Diags, Out);
+  return S.run();
+}

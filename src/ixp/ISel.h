@@ -1,0 +1,38 @@
+//===- ISel.h - CPS to IXP instruction selection ----------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers optimized CPS into the machine flowgraph:
+///  - every reachable CPS function becomes a block (loop headers, join
+///    points and handlers are the only functions left after
+///    de-proceduralization);
+///  - jumps with arguments become parallel-copy Move sequences (cycles
+///    broken through a scratch temporary);
+///  - constants become Imm instructions, except shift counts, which the
+///    ISA encodes as immediates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IXP_ISEL_H
+#define IXP_ISEL_H
+
+#include "cps/Ir.h"
+#include "ixp/MachineIr.h"
+#include "support/Diagnostics.h"
+
+namespace nova {
+namespace ixp {
+
+/// Selects instructions for \p P. Fails (with diagnostics) if an App with
+/// an unresolved (non-label) callee survives optimization.
+bool selectInstructions(const cps::CpsProgram &P, DiagnosticEngine &Diags,
+                        MachineProgram &Out);
+
+} // namespace ixp
+} // namespace nova
+
+#endif // IXP_ISEL_H

@@ -1,0 +1,77 @@
+//===- Liveness.cpp -------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ixp/Liveness.h"
+
+using namespace nova;
+using namespace nova::ixp;
+
+std::vector<Temp> ixp::instrUses(const MachineInstr &I) {
+  std::vector<Temp> Uses;
+  for (const MOperand &S : I.Srcs)
+    if (!S.IsConst)
+      Uses.push_back(S.T);
+  return Uses;
+}
+
+const std::vector<Temp> &ixp::instrDefs(const MachineInstr &I) {
+  return I.Dsts;
+}
+
+Liveness::Liveness(const MachineProgram &M) {
+  unsigned N = M.Blocks.size();
+  In.resize(N);
+  Out.resize(N);
+  Before.resize(N);
+  After.resize(N);
+  for (unsigned B = 0; B != N; ++B) {
+    Before[B].resize(M.Blocks[B].Instrs.size());
+    After[B].resize(M.Blocks[B].Instrs.size());
+  }
+
+  // Block-level fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = N; B-- > 0;) {
+      const Block &Blk = M.Blocks[B];
+      std::set<Temp> Live;
+      for (BlockId S : Blk.successors())
+        Live.insert(In[S].begin(), In[S].end());
+      if (Live != Out[B]) {
+        Out[B] = Live;
+        Changed = true;
+      }
+      for (unsigned I = Blk.Instrs.size(); I-- > 0;) {
+        const MachineInstr &MI = Blk.Instrs[I];
+        for (Temp D : instrDefs(MI))
+          Live.erase(D);
+        for (Temp U : instrUses(MI))
+          Live.insert(U);
+      }
+      if (Live != In[B]) {
+        In[B] = std::move(Live);
+        Changed = true;
+      }
+    }
+  }
+
+  // Per-instruction sets.
+  for (unsigned B = 0; B != N; ++B) {
+    const Block &Blk = M.Blocks[B];
+    std::set<Temp> Live = Out[B];
+    for (unsigned I = Blk.Instrs.size(); I-- > 0;) {
+      After[B][I] = Live;
+      const MachineInstr &MI = Blk.Instrs[I];
+      for (Temp D : instrDefs(MI))
+        Live.erase(D);
+      for (Temp U : instrUses(MI))
+        Live.insert(U);
+      Before[B][I] = Live;
+    }
+  }
+}

@@ -1,0 +1,57 @@
+//===- Liveness.h - Per-point liveness analysis -----------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward liveness over the machine flowgraph, exposed per program
+/// point (before/after every instruction) — exactly the granularity the
+/// ILP model's Exists and Copy sets need (paper Section 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IXP_LIVENESS_H
+#define IXP_LIVENESS_H
+
+#include "ixp/MachineIr.h"
+
+#include <set>
+#include <vector>
+
+namespace nova {
+namespace ixp {
+
+/// Temps an instruction reads (register operands only).
+std::vector<Temp> instrUses(const MachineInstr &I);
+
+/// Temps an instruction defines.
+const std::vector<Temp> &instrDefs(const MachineInstr &I);
+
+class Liveness {
+public:
+  explicit Liveness(const MachineProgram &M);
+
+  /// Live temps immediately before instruction \p Idx of block \p B.
+  const std::set<Temp> &liveBefore(BlockId B, unsigned Idx) const {
+    return Before[B][Idx];
+  }
+
+  /// Live temps immediately after instruction \p Idx of block \p B.
+  const std::set<Temp> &liveAfter(BlockId B, unsigned Idx) const {
+    return After[B][Idx];
+  }
+
+  const std::set<Temp> &blockLiveIn(BlockId B) const { return In[B]; }
+  const std::set<Temp> &blockLiveOut(BlockId B) const { return Out[B]; }
+
+private:
+  std::vector<std::set<Temp>> In, Out;
+  std::vector<std::vector<std::set<Temp>>> Before, After;
+};
+
+} // namespace ixp
+} // namespace nova
+
+#endif // IXP_LIVENESS_H

@@ -1,0 +1,130 @@
+//===- Machine.cpp --------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ixp/Machine.h"
+
+#include <limits>
+
+using namespace nova;
+using namespace nova::ixp;
+
+const char *ixp::bankName(Bank B) {
+  switch (B) {
+  case Bank::A:  return "A";
+  case Bank::B:  return "B";
+  case Bank::L:  return "L";
+  case Bank::S:  return "S";
+  case Bank::LD: return "LD";
+  case Bank::SD: return "SD";
+  case Bank::M:  return "M";
+  case Bank::C:  return "C";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Edge {
+  Bank From, To;
+  double Cost;
+};
+
+/// Atomic data-path edges of the micro-engine:
+///  - the ALU can forward any readable register to any writable one
+///    (one instruction, cost mvC; B sources carry the paper's bias);
+///  - S/SD contents can be stored to scratch (the spill area);
+///  - scratch can be reloaded into the read transfer banks.
+std::vector<Edge> atomicEdges(const CostModel &Costs) {
+  std::vector<Edge> Edges;
+  for (Bank From : {Bank::A, Bank::B, Bank::L, Bank::LD}) {
+    double C = From == Bank::B ? Costs.MoveCost * Costs.BBias
+                               : Costs.MoveCost;
+    for (Bank To : {Bank::A, Bank::B, Bank::S, Bank::SD})
+      if (From != To)
+        Edges.push_back({From, To, C});
+  }
+  Edges.push_back({Bank::S, Bank::M, Costs.StoreCost});
+  Edges.push_back({Bank::SD, Bank::M, Costs.StoreCost});
+  Edges.push_back({Bank::M, Bank::L, Costs.LoadCost});
+  Edges.push_back({Bank::M, Bank::LD, Costs.LoadCost});
+  return Edges;
+}
+
+struct PathResult {
+  double Cost;
+  std::vector<Bank> Nodes;
+};
+
+/// Bellman-Ford with predecessor tracking over the 8-bank graph.
+std::optional<PathResult> shortest(Bank From, Bank To,
+                                   const CostModel &Costs,
+                                   bool AllowSpillTransit, bool UnitCosts) {
+  if (From == To)
+    return PathResult{0.0, {From}};
+  constexpr double Inf = std::numeric_limits<double>::infinity();
+  std::array<double, NumBanks> Dist;
+  std::array<int, NumBanks> Pred;
+  Dist.fill(Inf);
+  Pred.fill(-1);
+  Dist[static_cast<unsigned>(From)] = 0.0;
+  std::vector<Edge> Edges = atomicEdges(Costs);
+  for (unsigned Iter = 0; Iter != NumBanks; ++Iter)
+    for (const Edge &E : Edges) {
+      // M may appear only as an endpoint when spill transit is forbidden.
+      if (!AllowSpillTransit &&
+          ((E.From == Bank::M && From != Bank::M) ||
+           (E.To == Bank::M && To != Bank::M)))
+        continue;
+      double C = UnitCosts ? 1.0 : E.Cost;
+      unsigned F = static_cast<unsigned>(E.From);
+      unsigned T = static_cast<unsigned>(E.To);
+      if (Dist[F] + C < Dist[T]) {
+        Dist[T] = Dist[F] + C;
+        Pred[T] = static_cast<int>(F);
+      }
+    }
+  unsigned T = static_cast<unsigned>(To);
+  if (Dist[T] == Inf)
+    return std::nullopt;
+  PathResult R;
+  R.Cost = Dist[T];
+  std::vector<Bank> Rev;
+  for (int N = static_cast<int>(T); N != -1;
+       N = Pred[static_cast<unsigned>(N)])
+    Rev.push_back(static_cast<Bank>(N));
+  R.Nodes.assign(Rev.rbegin(), Rev.rend());
+  return R;
+}
+
+} // namespace
+
+std::optional<double> ixp::interBankMoveCost(Bank From, Bank To,
+                                             const CostModel &Costs,
+                                             bool AllowSpillTransit) {
+  auto R = shortest(From, To, Costs, AllowSpillTransit, /*UnitCosts=*/false);
+  if (!R)
+    return std::nullopt;
+  return R->Cost;
+}
+
+std::optional<unsigned> ixp::interBankMoveSteps(Bank From, Bank To) {
+  auto R = shortest(From, To, CostModel{}, /*AllowSpillTransit=*/true,
+                    /*UnitCosts=*/true);
+  if (!R)
+    return std::nullopt;
+  return static_cast<unsigned>(R->Nodes.size() - 1);
+}
+
+std::optional<std::vector<Bank>> ixp::interBankMovePath(Bank From, Bank To,
+                                                        bool AllowSpillTransit) {
+  auto R = shortest(From, To, CostModel{}, AllowSpillTransit,
+                    /*UnitCosts=*/false);
+  if (!R)
+    return std::nullopt;
+  return R->Nodes;
+}
+

@@ -1,0 +1,113 @@
+//===- Machine.h - IXP1200 micro-engine machine model -----------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-bank structure and data-path rules of one IXP1200
+/// micro-engine thread (paper Figure 1), shared by the allocator's ILP
+/// model, the allocation verifier, and the simulator:
+///
+///  - general purpose banks A and B (16 registers each; the allocator
+///    reserves one A register for parallel-copy cycles, hence K_A = 15);
+///  - read transfer banks L (SRAM/scratch loads) and LD (SDRAM loads),
+///    8 registers each, written only by memory reads;
+///  - write transfer banks S and SD (8 each), sources of all stores,
+///    written only by the ALU, and unreadable by the ALU once written;
+///  - scratch memory M used as the spill area (unbounded capacity);
+///  - a virtual constant bank C for the re-materialization extension of
+///    the paper's future-work section.
+///
+/// ALU inputs come from {A, B, L, LD} with at most one operand from each
+/// of A, B, and L+LD; outputs go to {A, B, S, SD}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IXP_MACHINE_H
+#define IXP_MACHINE_H
+
+#include <array>
+#include <vector>
+#include <cstdint>
+#include <optional>
+
+namespace nova {
+namespace ixp {
+
+enum class Bank : uint8_t { A, B, L, S, LD, SD, M, C };
+inline constexpr unsigned NumBanks = 8;
+
+/// Banks that participate in the ILP model's Move/Before/After variables
+/// (all but the virtual constant bank, which is an opt-in extension).
+inline constexpr std::array<Bank, 7> AllocatableBanks = {
+    Bank::A, Bank::B, Bank::L, Bank::S, Bank::LD, Bank::SD, Bank::M};
+
+inline constexpr std::array<Bank, 4> TransferBanks = {Bank::L, Bank::S,
+                                                      Bank::LD, Bank::SD};
+
+const char *bankName(Bank B);
+
+/// Register capacity of a bank (paper Section 6); ~0u means unbounded.
+inline unsigned bankCapacity(Bank B) {
+  switch (B) {
+  case Bank::A:
+    return 15; // one register reserved for parallel-copy cycles
+  case Bank::B:
+    return 16;
+  case Bank::L:
+  case Bank::S:
+  case Bank::LD:
+  case Bank::SD:
+    return 8;
+  case Bank::M:
+  case Bank::C:
+    return ~0u;
+  }
+  return 0;
+}
+
+inline bool isTransferBank(Bank B) {
+  return B == Bank::L || B == Bank::S || B == Bank::LD || B == Bank::SD;
+}
+
+inline bool isAluInputBank(Bank B) {
+  return B == Bank::A || B == Bank::B || B == Bank::L || B == Bank::LD;
+}
+
+inline bool isAluOutputBank(Bank B) {
+  return B == Bank::A || B == Bank::B || B == Bank::S || B == Bank::SD;
+}
+
+/// Cost parameters of the paper's objective function (Section 7).
+struct CostModel {
+  double MoveCost = 1.0;    ///< mvC: register-register move
+  double LoadCost = 200.0;  ///< ldC: reload from spill memory
+  double StoreCost = 200.0; ///< stC: store to spill memory
+  double BBias = 1.01;      ///< bias against B-bank moves
+};
+
+/// Cost of moving a value from \p From to \p To along the cheapest legal
+/// data path (composing ALU moves, spill stores, and reloads), or nullopt
+/// if no path exists. From == To costs 0. When \p AllowSpillTransit is
+/// false, paths through spill memory M are forbidden (used by the
+/// spill-free fast path).
+std::optional<double> interBankMoveCost(Bank From, Bank To,
+                                        const CostModel &Costs = {},
+                                        bool AllowSpillTransit = true);
+
+/// Number of machine instructions on that cheapest path (0 for From==To).
+/// Used by solution extraction to materialize the move.
+std::optional<unsigned> interBankMoveSteps(Bank From, Bank To);
+
+/// The bank sequence of the cheapest path From -> ... -> To (inclusive of
+/// both endpoints; {From} when From == To). Nullopt if unreachable.
+std::optional<std::vector<Bank>> interBankMovePath(Bank From, Bank To,
+                                                   bool AllowSpillTransit =
+                                                       true);
+
+} // namespace ixp
+} // namespace nova
+
+#endif // IXP_MACHINE_H

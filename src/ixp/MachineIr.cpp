@@ -1,0 +1,84 @@
+//===- MachineIr.cpp ------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ixp/MachineIr.h"
+
+#include <sstream>
+
+using namespace nova;
+using namespace nova::ixp;
+
+const char *ixp::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::Alu:        return "alu";
+  case MOp::Imm:        return "imm";
+  case MOp::Move:       return "mov";
+  case MOp::MemRead:    return "read";
+  case MOp::MemWrite:   return "write";
+  case MOp::Hash:       return "hash";
+  case MOp::BitTestSet: return "bts";
+  case MOp::Clone:      return "clone";
+  case MOp::Branch:     return "br";
+  case MOp::Jump:       return "jmp";
+  case MOp::Halt:       return "halt";
+  }
+  return "?";
+}
+
+std::string MachineProgram::print() const {
+  std::ostringstream OS;
+  auto Operand = [&](const MOperand &O) {
+    if (O.IsConst) {
+      OS << O.Value;
+    } else {
+      OS << tempName(O.T);
+    }
+  };
+  for (const Block &B : Blocks) {
+    OS << (B.Id == Entry ? "entry " : "") << "block b" << B.Id;
+    if (!B.Name.empty())
+      OS << '_' << B.Name;
+    OS << ":\n";
+    for (const MachineInstr &I : B.Instrs) {
+      OS << "  ";
+      if (!I.Dsts.empty()) {
+        for (unsigned K = 0; K != I.Dsts.size(); ++K)
+          OS << (K ? ", " : "") << tempName(I.Dsts[K]);
+        OS << " = ";
+      }
+      OS << mopName(I.Op);
+      switch (I.Op) {
+      case MOp::Alu:
+        OS << '.' << cps::primOpName(I.Alu);
+        break;
+      case MOp::Imm:
+        OS << ' ' << I.Imm;
+        break;
+      case MOp::MemRead:
+      case MOp::MemWrite:
+      case MOp::BitTestSet:
+        OS << '.' << cps::memSpaceName(I.Space);
+        break;
+      case MOp::Branch:
+        OS << '.' << cps::cmpOpName(I.Cmp);
+        break;
+      default:
+        break;
+      }
+      for (const MOperand &S : I.Srcs) {
+        OS << ' ';
+        Operand(S);
+      }
+      if (I.Op == MOp::Branch)
+        OS << " -> b" << I.Target << " / b" << I.TargetElse;
+      if (I.Op == MOp::Jump)
+        OS << " -> b" << I.Target;
+      OS << '\n';
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,144 @@
+//===- MachineIr.h - IXP machine-level flowgraph ----------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-level program representation the allocator works on: a
+/// flowgraph of basic blocks over virtual temporaries. Program points sit
+/// between instructions exactly as in the paper's model (Section 5.2):
+/// every instruction lies between two points, and the point after a
+/// block's terminator connects to the entry points of its successors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IXP_MACHINEIR_H
+#define IXP_MACHINEIR_H
+
+#include "cps/Ir.h" // PrimOp, CmpOp, MemSpace
+#include "ixp/Machine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nova {
+namespace ixp {
+
+using Temp = uint32_t;
+using BlockId = uint32_t;
+inline constexpr BlockId NoBlock = ~0u;
+
+/// Machine opcodes. Operand bank constraints (paper Sections 5-6):
+///  - Alu/Move/Imm results go to {A,B,S,SD}; Alu sources come from
+///    {A,B,L,LD} with the pairing rules (not both from one bank, not one
+///    from L and one from LD);
+///  - reads define consecutive registers in L (SRAM/scratch) or LD
+///    (SDRAM); writes consume consecutive registers in S or SD;
+///  - Hash and BitTestSet define an L register and consume an S register
+///    with the same register number (SameReg);
+///  - Clone is the SSU pseudo: targets may share the source's location;
+///  - Branch compares two ALU-input operands.
+enum class MOp : uint8_t {
+  Alu,        ///< Dsts[0] = Prim(Srcs...)
+  Imm,        ///< Dsts[0] = constant (1-2 cycle load per paper §12)
+  Move,       ///< Dsts[0] = Srcs[0] (ALU pass-through)
+  MemRead,    ///< Dsts[0..n) = Space[Srcs[0]]
+  MemWrite,   ///< Space[Srcs[0]] <- Srcs[1..]
+  Hash,       ///< Dsts[0] = hash(Srcs[0])
+  BitTestSet, ///< Dsts[0] = bit_test_set(Space[Srcs[0]], Srcs[1])
+  Clone,      ///< Dsts[0..k) = Srcs[0]
+  Branch,     ///< if (Srcs[0] Cmp Srcs[1]) goto Target else TargetElse
+  Jump,       ///< goto Target
+  Halt,       ///< end of program; Srcs are the observable results
+};
+
+/// An instruction operand: a temporary or an inline constant. Inline
+/// constants are legal only where the ISA encodes immediates (shift
+/// counts); everything else is materialized through Imm.
+struct MOperand {
+  bool IsConst = false;
+  Temp T = 0;
+  uint32_t Value = 0;
+
+  static MOperand temp(Temp T) { return {false, T, 0}; }
+  static MOperand constant(uint32_t V) { return {true, 0, V}; }
+};
+
+struct MachineInstr {
+  MOp Op = MOp::Halt;
+  cps::PrimOp Alu = cps::PrimOp::Add;
+  cps::CmpOp Cmp = cps::CmpOp::Eq;
+  MemSpace Space = MemSpace::Sram;
+  uint32_t Imm = 0; ///< constant of an Imm instruction
+  std::vector<MOperand> Srcs;
+  std::vector<Temp> Dsts;
+  BlockId Target = NoBlock;     ///< Branch taken / Jump target
+  BlockId TargetElse = NoBlock; ///< Branch fallthrough
+
+  bool isTerminator() const {
+    return Op == MOp::Branch || Op == MOp::Jump || Op == MOp::Halt;
+  }
+};
+
+struct Block {
+  BlockId Id = NoBlock;
+  std::string Name;
+  std::vector<MachineInstr> Instrs;
+
+  const MachineInstr &terminator() const { return Instrs.back(); }
+  std::vector<BlockId> successors() const {
+    const MachineInstr &T = Instrs.back();
+    switch (T.Op) {
+    case MOp::Branch:
+      return {T.Target, T.TargetElse};
+    case MOp::Jump:
+      return {T.Target};
+    default:
+      return {};
+    }
+  }
+};
+
+/// A whole machine program (one micro-engine thread's code).
+struct MachineProgram {
+  std::vector<Block> Blocks;
+  BlockId Entry = NoBlock;
+  /// Temps holding the program arguments on entry (the harness places
+  /// them in the A bank, registers 0..n-1).
+  std::vector<Temp> EntryParams;
+  unsigned NumTemps = 0;
+  /// Debug names per temp (may be shorter than NumTemps).
+  std::vector<std::string> TempNames;
+
+  Temp newTemp(const std::string &Name = "") {
+    if (!Name.empty()) {
+      TempNames.resize(NumTemps + 1);
+      TempNames.back() = Name;
+    }
+    return NumTemps++;
+  }
+
+  std::string tempName(Temp T) const {
+    std::string N = T < TempNames.size() ? TempNames[T] : "";
+    return "t" + std::to_string(T) + (N.empty() ? "" : "." + N);
+  }
+
+  unsigned numInstructions() const {
+    unsigned N = 0;
+    for (const Block &B : Blocks)
+      N += B.Instrs.size();
+    return N;
+  }
+
+  std::string print() const;
+};
+
+const char *mopName(MOp Op);
+
+} // namespace ixp
+} // namespace nova
+
+#endif // IXP_MACHINEIR_H

@@ -1,0 +1,223 @@
+//===- Layout.cpp ---------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Layout.h"
+
+#include "support/Debug.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace nova;
+
+std::vector<BitPiece> nova::planBitfield(unsigned OffsetBits,
+                                         unsigned WidthBits) {
+  assert(WidthBits >= 1 && WidthBits <= 32 && "bitfield width out of range");
+  std::vector<BitPiece> Pieces;
+  unsigned End = OffsetBits + WidthBits;
+  for (unsigned W = OffsetBits / 32; W * 32 < End; ++W) {
+    unsigned WordStart = W * 32;
+    unsigned SegStart = std::max(OffsetBits, WordStart);
+    unsigned SegEnd = std::min(End, WordStart + 32);
+    unsigned SegWidth = SegEnd - SegStart;
+    BitPiece P;
+    P.WordIndex = W;
+    // Bit 0 of the layout is the MSB of word 0.
+    P.WordShift = 32 - (SegStart - WordStart) - SegWidth;
+    P.ValueShift = WidthBits - (SegStart - OffsetBits) - SegWidth;
+    P.PieceWidth = SegWidth;
+    P.Mask = SegWidth >= 32 ? 0xFFFFFFFFu : ((1u << SegWidth) - 1u);
+    Pieces.push_back(P);
+  }
+  assert(!Pieces.empty() && Pieces.size() <= 2 && "impossible piece count");
+  return Pieces;
+}
+
+bool LayoutTable::addDecl(const LayoutDecl &Decl) {
+  if (Named.count(Decl.Name)) {
+    Diags.error(Decl.Loc,
+                formatf("layout '%s' redefined", Decl.Name.c_str()));
+    return false;
+  }
+  LayoutNode Root;
+  if (!resolveAt(Decl.Value, 0, Root))
+    return false;
+  Root.Name = Decl.Name;
+  Named.emplace(Decl.Name, std::move(Root));
+  return true;
+}
+
+const LayoutNode *LayoutTable::find(const std::string &Name) const {
+  auto It = Named.find(Name);
+  return It == Named.end() ? nullptr : &It->second;
+}
+
+bool LayoutTable::resolve(const LayoutExpr *L, LayoutNode &Out) {
+  return resolveAt(L, 0, Out);
+}
+
+/// Shifts every offset in \p Node by \p Delta (used when instantiating a
+/// named layout at a nonzero position).
+static void shiftOffsets(LayoutNode &Node, unsigned Delta) {
+  Node.OffsetBits += Delta;
+  for (LayoutNode &C : Node.Children)
+    shiftOffsets(C, Delta);
+}
+
+bool LayoutTable::resolveAt(const LayoutExpr *L, unsigned Offset,
+                            LayoutNode &Out) {
+  switch (L->Kind) {
+  case LayoutExprKind::Name: {
+    const LayoutNode *Ref = find(L->Name);
+    if (!Ref) {
+      Diags.error(L->Loc, formatf("unknown layout '%s'", L->Name.c_str()));
+      return false;
+    }
+    Out = *Ref; // deep copy
+    shiftOffsets(Out, Offset);
+    Out.OffsetBits = Offset;
+    // The instantiation is anonymous; when used as a field the caller
+    // assigns the field's name, and inside a concatenation an anonymous
+    // group flattens into the parent (paper: `{16} ## lyt ## {24}` exposes
+    // lyt's fields directly).
+    Out.Name.clear();
+    return true;
+  }
+  case LayoutExprKind::Gap:
+    if (L->GapBits == 0) {
+      Diags.error(L->Loc, "gap must be at least one bit");
+      return false;
+    }
+    Out.NodeKind = LayoutNode::Kind::Gap;
+    Out.OffsetBits = Offset;
+    Out.WidthBits = L->GapBits;
+    Out.Children.clear();
+    return true;
+  case LayoutExprKind::Seq: {
+    Out.NodeKind = LayoutNode::Kind::Group;
+    Out.OffsetBits = Offset;
+    Out.Children.clear();
+    unsigned Cursor = Offset;
+    for (const LayoutFieldAst &F : L->Fields) {
+      LayoutNode Child;
+      if (F.Sub) {
+        if (!resolveAt(F.Sub, Cursor, Child))
+          return false;
+      } else {
+        if (F.Width < 1 || F.Width > 32) {
+          Diags.error(F.Loc,
+                      formatf("bitfield '%s' must be 1..32 bits wide, got %u",
+                              F.Name.c_str(), F.Width));
+          return false;
+        }
+        Child.NodeKind = LayoutNode::Kind::Leaf;
+        Child.OffsetBits = Cursor;
+        Child.WidthBits = F.Width;
+      }
+      Child.Name = F.Name;
+      Cursor += Child.WidthBits;
+      Out.Children.push_back(std::move(Child));
+    }
+    Out.WidthBits = Cursor - Offset;
+    return true;
+  }
+  case LayoutExprKind::Overlay: {
+    Out.NodeKind = LayoutNode::Kind::Overlay;
+    Out.OffsetBits = Offset;
+    Out.Children.clear();
+    unsigned Width = 0;
+    for (const LayoutFieldAst &F : L->Fields) {
+      LayoutNode Alt;
+      if (F.Sub) {
+        if (!resolveAt(F.Sub, Offset, Alt))
+          return false;
+      } else {
+        if (F.Width < 1 || F.Width > 32) {
+          Diags.error(F.Loc, formatf("overlay alternative '%s' must be 1..32 "
+                                     "bits wide, got %u",
+                                     F.Name.c_str(), F.Width));
+          return false;
+        }
+        Alt.NodeKind = LayoutNode::Kind::Leaf;
+        Alt.OffsetBits = Offset;
+        Alt.WidthBits = F.Width;
+      }
+      Alt.Name = F.Name;
+      if (!Out.Children.empty() && Alt.WidthBits != Width) {
+        Diags.error(F.Loc,
+                    formatf("overlay alternative '%s' is %u bits but earlier "
+                            "alternatives are %u bits",
+                            F.Name.c_str(), Alt.WidthBits, Width));
+        return false;
+      }
+      Width = Alt.WidthBits;
+      Out.Children.push_back(std::move(Alt));
+    }
+    Out.WidthBits = Width;
+    return true;
+  }
+  case LayoutExprKind::Concat: {
+    LayoutNode L1, L2;
+    if (!resolveAt(L->Lhs, Offset, L1))
+      return false;
+    if (!resolveAt(L->Rhs, Offset + L1.WidthBits, L2))
+      return false;
+    // Concatenation merges into one anonymous group; named children keep
+    // their names, so `lyt ## {40}` behaves like lyt followed by a gap.
+    Out.NodeKind = LayoutNode::Kind::Group;
+    Out.OffsetBits = Offset;
+    Out.WidthBits = L1.WidthBits + L2.WidthBits;
+    Out.Children.clear();
+    auto Absorb = [&Out](LayoutNode &&N) {
+      // An anonymous group is flattened into the parent; anything named
+      // (or a leaf/overlay/gap) is kept as a child.
+      if (N.NodeKind == LayoutNode::Kind::Group && N.Name.empty()) {
+        for (LayoutNode &C : N.Children)
+          Out.Children.push_back(std::move(C));
+      } else {
+        Out.Children.push_back(std::move(N));
+      }
+    };
+    Absorb(std::move(L1));
+    Absorb(std::move(L2));
+    return true;
+  }
+  }
+  NOVA_UNREACHABLE("unhandled layout kind");
+}
+
+void LayoutTable::collectLeaves(
+    const LayoutNode &Root,
+    std::vector<std::pair<std::string, const LayoutNode *>> &Out) {
+  struct Walker {
+    std::vector<std::pair<std::string, const LayoutNode *>> &Out;
+    void walk(const LayoutNode &N, const std::string &Prefix) {
+      std::string Path = N.Name.empty()
+                             ? Prefix
+                             : (Prefix.empty() ? N.Name
+                                               : Prefix + "." + N.Name);
+      switch (N.NodeKind) {
+      case LayoutNode::Kind::Leaf:
+        Out.emplace_back(Path, &N);
+        return;
+      case LayoutNode::Kind::Gap:
+        return;
+      case LayoutNode::Kind::Group:
+      case LayoutNode::Kind::Overlay:
+        for (const LayoutNode &C : N.Children)
+          walk(C, Path);
+        return;
+      }
+    }
+  };
+  Walker W{Out};
+  // The root's own name is not part of field paths.
+  for (const LayoutNode &C : Root.Children)
+    W.walk(C, "");
+  if (Root.NodeKind == LayoutNode::Kind::Leaf)
+    Out.emplace_back(Root.Name, &Root);
+}

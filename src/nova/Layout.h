@@ -1,0 +1,95 @@
+//===- Layout.h - Nova layout resolution and bit planning -------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves layout expressions (Section 3.2 of the paper) into trees with
+/// absolute bit offsets, and plans the shift/mask instruction sequences
+/// needed to extract (unpack) or deposit (pack) each bitfield — including
+/// fields that straddle a 32-bit word boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOVA_LAYOUT_H
+#define NOVA_LAYOUT_H
+
+#include "nova/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nova {
+
+/// A resolved layout tree node. Offsets are absolute within the packed
+/// word tuple; bit 0 is the most significant bit of word 0 (network
+/// order).
+struct LayoutNode {
+  enum class Kind : uint8_t { Leaf, Group, Overlay, Gap };
+
+  Kind NodeKind = Kind::Leaf;
+  std::string Name; ///< field name within the parent; empty for gaps/root
+  unsigned OffsetBits = 0;
+  unsigned WidthBits = 0;
+  std::vector<LayoutNode> Children; ///< Group fields / Overlay alternatives
+
+  /// Number of 32-bit words of the packed representation rooted here when
+  /// this node is a top-level layout.
+  unsigned packedWords() const { return (OffsetBits + WidthBits + 31) / 32; }
+};
+
+/// One shift/mask step of a bitfield plan; see planExtract/planInsert.
+struct BitPiece {
+  unsigned WordIndex; ///< which packed word this piece touches
+  unsigned WordShift; ///< bit position (from LSB) of the piece in the word
+  unsigned ValueShift;///< bit position (from LSB) of the piece in the value
+  uint32_t Mask;      ///< mask of PieceWidth low bits
+  unsigned PieceWidth;
+};
+
+/// Extraction: value = OR over pieces of
+///   ((word[WordIndex] >> WordShift) & Mask) << ValueShift.
+/// Deposit: word[WordIndex] |= ((value >> ValueShift) & Mask) << WordShift.
+/// A field of width <= 32 produces one piece, or two when it straddles a
+/// word boundary.
+std::vector<BitPiece> planBitfield(unsigned OffsetBits, unsigned WidthBits);
+
+/// Registry of named layouts, resolved in declaration order.
+class LayoutTable {
+public:
+  explicit LayoutTable(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  /// Resolves and registers a declaration. Returns false (with a
+  /// diagnostic) on undefined references, zero/oversized leaf widths, or
+  /// overlay alternatives of unequal sizes.
+  bool addDecl(const LayoutDecl &Decl);
+
+  /// Returns the resolved tree for a named layout, or nullptr.
+  const LayoutNode *find(const std::string &Name) const;
+
+  /// Resolves an arbitrary layout expression (which may reference named
+  /// layouts) into a tree rooted at bit offset 0. Returns false on error.
+  bool resolve(const LayoutExpr *L, LayoutNode &Out);
+
+  /// Collects every leaf (bitfield) of a resolved tree in layout order,
+  /// including leaves inside every overlay alternative. Gap nodes are
+  /// skipped. Paths are dotted (e.g. "verpri.parts.version").
+  static void collectLeaves(const LayoutNode &Root,
+                            std::vector<std::pair<std::string,
+                                                  const LayoutNode *>> &Out);
+
+private:
+  bool resolveAt(const LayoutExpr *L, unsigned Offset, LayoutNode &Out);
+
+  DiagnosticEngine &Diags;
+  std::map<std::string, LayoutNode> Named;
+};
+
+} // namespace nova
+
+#endif // NOVA_LAYOUT_H

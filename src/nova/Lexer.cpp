@@ -1,0 +1,243 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace nova;
+
+const char *nova::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::Integer:    return "integer literal";
+  case TokenKind::KwLayout:   return "'layout'";
+  case TokenKind::KwOverlay:  return "'overlay'";
+  case TokenKind::KwFun:      return "'fun'";
+  case TokenKind::KwLet:      return "'let'";
+  case TokenKind::KwIf:       return "'if'";
+  case TokenKind::KwElse:     return "'else'";
+  case TokenKind::KwWhile:    return "'while'";
+  case TokenKind::KwTry:      return "'try'";
+  case TokenKind::KwHandle:   return "'handle'";
+  case TokenKind::KwRaise:    return "'raise'";
+  case TokenKind::KwPack:     return "'pack'";
+  case TokenKind::KwUnpack:   return "'unpack'";
+  case TokenKind::KwTrue:     return "'true'";
+  case TokenKind::KwFalse:    return "'false'";
+  case TokenKind::KwWord:     return "'word'";
+  case TokenKind::KwBool:     return "'bool'";
+  case TokenKind::KwExn:      return "'exn'";
+  case TokenKind::KwPacked:   return "'packed'";
+  case TokenKind::KwUnpacked: return "'unpacked'";
+  case TokenKind::KwHalt:     return "'halt'";
+  case TokenKind::LBrace:     return "'{'";
+  case TokenKind::RBrace:     return "'}'";
+  case TokenKind::LParen:     return "'('";
+  case TokenKind::RParen:     return "')'";
+  case TokenKind::LBracket:   return "'['";
+  case TokenKind::RBracket:   return "']'";
+  case TokenKind::Comma:      return "','";
+  case TokenKind::Semi:       return "';'";
+  case TokenKind::Colon:      return "':'";
+  case TokenKind::Dot:        return "'.'";
+  case TokenKind::HashHash:   return "'##'";
+  case TokenKind::LeftArrow:  return "'<-'";
+  case TokenKind::ThinArrow:  return "'->'";
+  case TokenKind::Assign:     return "'='";
+  case TokenKind::EqEq:       return "'=='";
+  case TokenKind::NotEq:      return "'!='";
+  case TokenKind::Less:       return "'<'";
+  case TokenKind::Greater:    return "'>'";
+  case TokenKind::LessEq:     return "'<='";
+  case TokenKind::GreaterEq:  return "'>='";
+  case TokenKind::Plus:       return "'+'";
+  case TokenKind::Minus:      return "'-'";
+  case TokenKind::Amp:        return "'&'";
+  case TokenKind::Pipe:       return "'|'";
+  case TokenKind::Caret:      return "'^'";
+  case TokenKind::Tilde:      return "'~'";
+  case TokenKind::Bang:       return "'!'";
+  case TokenKind::Shl:        return "'<<'";
+  case TokenKind::Shr:        return "'>>'";
+  case TokenKind::AmpAmp:     return "'&&'";
+  case TokenKind::PipePipe:   return "'||'";
+  case TokenKind::Eof:        return "end of file";
+  case TokenKind::Error:      return "invalid token";
+  }
+  return "token";
+}
+
+static TokenKind keywordKind(std::string_view Word) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"layout", TokenKind::KwLayout},   {"overlay", TokenKind::KwOverlay},
+      {"fun", TokenKind::KwFun},         {"let", TokenKind::KwLet},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"try", TokenKind::KwTry},
+      {"handle", TokenKind::KwHandle},   {"raise", TokenKind::KwRaise},
+      {"pack", TokenKind::KwPack},       {"unpack", TokenKind::KwUnpack},
+      {"true", TokenKind::KwTrue},       {"false", TokenKind::KwFalse},
+      {"word", TokenKind::KwWord},       {"bool", TokenKind::KwBool},
+      {"exn", TokenKind::KwExn},         {"packed", TokenKind::KwPacked},
+      {"unpacked", TokenKind::KwUnpacked}, {"halt", TokenKind::KwHalt},
+  };
+  auto It = Keywords.find(Word);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+Lexer::Lexer(const SourceManager &SM, uint32_t BufferId,
+             DiagnosticEngine &Diags)
+    : SM(SM), BufferId(BufferId), Diags(Diags),
+      Text(SM.bufferContents(BufferId)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() { return Pos < Text.size() ? Text[Pos++] : '\0'; }
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  ++Pos;
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Text.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Text.size() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t Start = Pos;
+      Pos += 2;
+      while (Pos < Text.size() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (Pos >= Text.size()) {
+        Diags.error({BufferId, Start}, "unterminated block comment");
+        return;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, uint32_t Begin) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = {BufferId, Begin};
+  T.Text = Text.substr(Begin, Pos - Begin);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  uint32_t Begin = Pos;
+  if (Pos >= Text.size())
+    return makeToken(TokenKind::Eof, Begin);
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      ++Pos;
+    Token T = makeToken(TokenKind::Identifier, Begin);
+    T.Kind = keywordKind(T.Text);
+    return T;
+  }
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    if (C == '0' && (peek() == 'x' || peek() == 'X')) {
+      ++Pos;
+      while (std::isxdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    } else if (C == '0' && (peek() == 'b' || peek() == 'B')) {
+      ++Pos;
+      while (peek() == '0' || peek() == '1')
+        ++Pos;
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    Token T = makeToken(TokenKind::Integer, Begin);
+    if (auto V = parseInteger(T.Text); V && *V <= 0xFFFFFFFFull) {
+      T.IntValue = *V;
+    } else {
+      Diags.error(T.Loc, "integer literal does not fit in a 32-bit word");
+      T.Kind = TokenKind::Error;
+    }
+    return T;
+  }
+
+  switch (C) {
+  case '{': return makeToken(TokenKind::LBrace, Begin);
+  case '}': return makeToken(TokenKind::RBrace, Begin);
+  case '(': return makeToken(TokenKind::LParen, Begin);
+  case ')': return makeToken(TokenKind::RParen, Begin);
+  case '[': return makeToken(TokenKind::LBracket, Begin);
+  case ']': return makeToken(TokenKind::RBracket, Begin);
+  case ',': return makeToken(TokenKind::Comma, Begin);
+  case ';': return makeToken(TokenKind::Semi, Begin);
+  case ':': return makeToken(TokenKind::Colon, Begin);
+  case '.': return makeToken(TokenKind::Dot, Begin);
+  case '+': return makeToken(TokenKind::Plus, Begin);
+  case '^': return makeToken(TokenKind::Caret, Begin);
+  case '~': return makeToken(TokenKind::Tilde, Begin);
+  case '#':
+    if (match('#'))
+      return makeToken(TokenKind::HashHash, Begin);
+    break;
+  case '-':
+    if (match('>'))
+      return makeToken(TokenKind::ThinArrow, Begin);
+    return makeToken(TokenKind::Minus, Begin);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqEq : TokenKind::Assign, Begin);
+  case '!':
+    return makeToken(match('=') ? TokenKind::NotEq : TokenKind::Bang, Begin);
+  case '<':
+    if (match('-'))
+      return makeToken(TokenKind::LeftArrow, Begin);
+    if (match('<'))
+      return makeToken(TokenKind::Shl, Begin);
+    return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less, Begin);
+  case '>':
+    if (match('>'))
+      return makeToken(TokenKind::Shr, Begin);
+    return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater,
+                     Begin);
+  case '&':
+    return makeToken(match('&') ? TokenKind::AmpAmp : TokenKind::Amp, Begin);
+  case '|':
+    return makeToken(match('|') ? TokenKind::PipePipe : TokenKind::Pipe,
+                     Begin);
+  default:
+    break;
+  }
+  Diags.error({BufferId, Begin},
+              formatf("unexpected character '%c'", C));
+  return makeToken(TokenKind::Error, Begin);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

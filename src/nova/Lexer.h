@@ -1,0 +1,50 @@
+//===- Lexer.h - Nova lexer -------------------------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for Nova. Comments are `//` to end of line and
+/// `/* ... */` (non-nesting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOVA_LEXER_H
+#define NOVA_LEXER_H
+
+#include "nova/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace nova {
+
+/// Lexes one buffer into a token stream (terminated by an Eof token).
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, uint32_t BufferId, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer. Malformed input produces Error tokens plus
+  /// diagnostics but never stops the scan.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, uint32_t Begin);
+
+  const SourceManager &SM;
+  uint32_t BufferId;
+  DiagnosticEngine &Diags;
+  std::string_view Text;
+  uint32_t Pos = 0;
+};
+
+} // namespace nova
+
+#endif // NOVA_LEXER_H

@@ -1,0 +1,857 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Parser.h"
+
+#include "support/StringUtils.h"
+
+using namespace nova;
+
+Parser::Parser(const SourceManager &SM, uint32_t BufferId, AstArena &Arena,
+               DiagnosticEngine &Diags)
+    : SM(SM), Arena(Arena), Diags(Diags) {
+  Lexer Lex(SM, BufferId, Diags);
+  Tokens = Lex.lexAll();
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  unsigned I = Cursor + Ahead;
+  return I < Tokens.size() ? Tokens[I] : Tokens.back();
+}
+
+const Token &Parser::advance() {
+  const Token &T = peek();
+  if (Cursor + 1 < Tokens.size())
+    ++Cursor;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(peek().Loc, formatf("expected %s %s, found %s",
+                                  tokenKindName(Kind), Context,
+                                  tokenKindName(peek().Kind)));
+  return false;
+}
+
+void Parser::synchronizeDecl() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::KwFun) &&
+         !check(TokenKind::KwLayout))
+    advance();
+}
+
+void Parser::synchronizeStmt() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::Semi) &&
+         !check(TokenKind::RBrace))
+    advance();
+  match(TokenKind::Semi);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+Program Parser::parseProgram() {
+  Program P;
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwLayout)) {
+      parseLayoutDecl(P);
+    } else if (check(TokenKind::KwFun)) {
+      parseFunDecl(P);
+    } else {
+      Diags.error(peek().Loc,
+                  formatf("expected 'layout' or 'fun' at top level, found %s",
+                          tokenKindName(peek().Kind)));
+      synchronizeDecl();
+    }
+  }
+  return P;
+}
+
+void Parser::parseLayoutDecl(Program &P) {
+  LayoutDecl D;
+  D.Loc = peek().Loc;
+  advance(); // layout
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected layout name");
+    synchronizeDecl();
+    return;
+  }
+  D.Name = std::string(advance().Text);
+  if (!expect(TokenKind::Assign, "after layout name")) {
+    synchronizeDecl();
+    return;
+  }
+  D.Value = parseLayoutExpr();
+  expect(TokenKind::Semi, "after layout definition");
+  if (D.Value)
+    P.LayoutDecls.push_back(std::move(D));
+}
+
+void Parser::parseFunDecl(Program &P) {
+  FunDecl F;
+  F.Loc = peek().Loc;
+  advance(); // fun
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected function name");
+    synchronizeDecl();
+    return;
+  }
+  F.Name = std::string(advance().Text);
+
+  TokenKind Close;
+  if (match(TokenKind::LParen)) {
+    Close = TokenKind::RParen;
+  } else if (match(TokenKind::LBracket)) {
+    Close = TokenKind::RBracket;
+    F.RecordParams = true;
+  } else {
+    Diags.error(peek().Loc, "expected parameter list");
+    synchronizeDecl();
+    return;
+  }
+  if (!check(Close)) {
+    do {
+      FunParam Param;
+      Param.Loc = peek().Loc;
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected parameter name");
+        synchronizeDecl();
+        return;
+      }
+      Param.Name = std::string(advance().Text);
+      if (!expect(TokenKind::Colon, "before parameter type")) {
+        synchronizeDecl();
+        return;
+      }
+      Param.Type = parseTypeExpr();
+      if (!Param.Type) {
+        synchronizeDecl();
+        return;
+      }
+      F.Params.push_back(std::move(Param));
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(Close, "after parameters")) {
+    synchronizeDecl();
+    return;
+  }
+  if (match(TokenKind::ThinArrow) || match(TokenKind::Colon))
+    F.Result = parseTypeExpr();
+  if (!check(TokenKind::LBrace)) {
+    Diags.error(peek().Loc, "expected function body");
+    synchronizeDecl();
+    return;
+  }
+  F.Body = parseBlock();
+  if (F.Body)
+    P.FunDecls.push_back(std::move(F));
+}
+
+//===----------------------------------------------------------------------===//
+// Layout expressions
+//===----------------------------------------------------------------------===//
+
+const LayoutExpr *Parser::parseLayoutExpr() {
+  const LayoutExpr *L = parseLayoutPrimary();
+  while (L && check(TokenKind::HashHash)) {
+    SourceLoc Loc = advance().Loc;
+    const LayoutExpr *R = parseLayoutPrimary();
+    if (!R)
+      return nullptr;
+    LayoutExpr *C = Arena.newLayout(LayoutExprKind::Concat, Loc);
+    C->Lhs = L;
+    C->Rhs = R;
+    L = C;
+  }
+  return L;
+}
+
+bool Parser::parseLayoutField(LayoutFieldAst &Out) {
+  Out.Loc = peek().Loc;
+  if (!check(TokenKind::Identifier) && !check(TokenKind::KwOverlay)) {
+    Diags.error(peek().Loc, "expected field name in layout");
+    return false;
+  }
+  if (check(TokenKind::Identifier)) {
+    Out.Name = std::string(advance().Text);
+    if (!expect(TokenKind::Colon, "after layout field name"))
+      return false;
+  }
+  // `name : 16` | `name : <layout-expr>` | `name : overlay {...}` and the
+  // unnamed-overlay shorthand `overlay {...}` handled by falling through.
+  if (check(TokenKind::Integer)) {
+    Out.Width = static_cast<unsigned>(advance().IntValue);
+    return true;
+  }
+  Out.Sub = parseLayoutExpr();
+  return Out.Sub != nullptr;
+}
+
+const LayoutExpr *Parser::parseLayoutPrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokenKind::Identifier)) {
+    LayoutExpr *L = Arena.newLayout(LayoutExprKind::Name, Loc);
+    L->Name = std::string(advance().Text);
+    return L;
+  }
+  if (match(TokenKind::KwOverlay)) {
+    if (!expect(TokenKind::LBrace, "after 'overlay'"))
+      return nullptr;
+    LayoutExpr *L = Arena.newLayout(LayoutExprKind::Overlay, Loc);
+    do {
+      LayoutFieldAst Alt;
+      if (!parseLayoutField(Alt))
+        return nullptr;
+      L->Fields.push_back(std::move(Alt));
+    } while (match(TokenKind::Pipe));
+    if (!expect(TokenKind::RBrace, "after overlay alternatives"))
+      return nullptr;
+    if (L->Fields.size() < 2)
+      Diags.error(Loc, "overlay needs at least two alternatives");
+    return L;
+  }
+  if (match(TokenKind::LBrace)) {
+    // `{n}` gap vs `{name : ...}` sequential group.
+    if (check(TokenKind::Integer) && peek(1).is(TokenKind::RBrace)) {
+      LayoutExpr *L = Arena.newLayout(LayoutExprKind::Gap, Loc);
+      L->GapBits = static_cast<unsigned>(advance().IntValue);
+      advance(); // }
+      return L;
+    }
+    LayoutExpr *L = Arena.newLayout(LayoutExprKind::Seq, Loc);
+    do {
+      LayoutFieldAst Field;
+      if (!parseLayoutField(Field))
+        return nullptr;
+      L->Fields.push_back(std::move(Field));
+    } while (match(TokenKind::Comma));
+    if (!expect(TokenKind::RBrace, "after layout fields"))
+      return nullptr;
+    return L;
+  }
+  Diags.error(Loc, formatf("expected layout expression, found %s",
+                           tokenKindName(peek().Kind)));
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Type expressions
+//===----------------------------------------------------------------------===//
+
+const TypeExpr *Parser::parseTypeExpr() {
+  SourceLoc Loc = peek().Loc;
+  if (match(TokenKind::KwWord)) {
+    if (match(TokenKind::LBracket)) {
+      TypeExpr *T = Arena.newType(TypeExprKind::WordArray, Loc);
+      if (!check(TokenKind::Integer)) {
+        Diags.error(peek().Loc, "expected array length");
+        return nullptr;
+      }
+      T->ArrayLen = static_cast<unsigned>(advance().IntValue);
+      if (!expect(TokenKind::RBracket, "after array length"))
+        return nullptr;
+      return T;
+    }
+    return Arena.newType(TypeExprKind::Word, Loc);
+  }
+  if (match(TokenKind::KwBool))
+    return Arena.newType(TypeExprKind::Bool, Loc);
+  if (check(TokenKind::KwPacked) || check(TokenKind::KwUnpacked)) {
+    bool IsPacked = advance().Kind == TokenKind::KwPacked;
+    if (!expect(TokenKind::LParen, "after packed/unpacked"))
+      return nullptr;
+    TypeExpr *T = Arena.newType(
+        IsPacked ? TypeExprKind::Packed : TypeExprKind::Unpacked, Loc);
+    T->Layout = parseLayoutExpr();
+    if (!T->Layout || !expect(TokenKind::RParen, "after layout"))
+      return nullptr;
+    return T;
+  }
+  if (match(TokenKind::KwExn)) {
+    TypeExpr *T = Arena.newType(TypeExprKind::Exn, Loc);
+    if (match(TokenKind::LParen)) {
+      if (!check(TokenKind::RParen)) {
+        do {
+          const TypeExpr *E = parseTypeExpr();
+          if (!E)
+            return nullptr;
+          T->Elems.push_back(E);
+        } while (match(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen, "after exn payload"))
+        return nullptr;
+    } else if (match(TokenKind::LBracket)) {
+      T->ExnRecordPayload = true;
+      if (!check(TokenKind::RBracket)) {
+        do {
+          TypeFieldAst F;
+          if (!check(TokenKind::Identifier)) {
+            Diags.error(peek().Loc, "expected field name");
+            return nullptr;
+          }
+          F.Name = std::string(advance().Text);
+          if (!expect(TokenKind::Colon, "after field name"))
+            return nullptr;
+          F.Type = parseTypeExpr();
+          if (!F.Type)
+            return nullptr;
+          T->Fields.push_back(std::move(F));
+        } while (match(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RBracket, "after exn payload"))
+        return nullptr;
+    } else {
+      Diags.error(peek().Loc, "expected exn payload type");
+      return nullptr;
+    }
+    return T;
+  }
+  if (match(TokenKind::LParen)) {
+    TypeExpr *T = Arena.newType(TypeExprKind::Tuple, Loc);
+    if (!check(TokenKind::RParen)) {
+      do {
+        const TypeExpr *E = parseTypeExpr();
+        if (!E)
+          return nullptr;
+        T->Elems.push_back(E);
+      } while (match(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "after tuple type"))
+      return nullptr;
+    return T;
+  }
+  if (match(TokenKind::LBracket)) {
+    TypeExpr *T = Arena.newType(TypeExprKind::Record, Loc);
+    do {
+      TypeFieldAst F;
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected record field name");
+        return nullptr;
+      }
+      F.Name = std::string(advance().Text);
+      if (!expect(TokenKind::Colon, "after record field name"))
+        return nullptr;
+      F.Type = parseTypeExpr();
+      if (!F.Type)
+        return nullptr;
+      T->Fields.push_back(std::move(F));
+    } while (match(TokenKind::Comma));
+    if (!expect(TokenKind::RBracket, "after record type"))
+      return nullptr;
+    return T;
+  }
+  Diags.error(Loc, formatf("expected type, found %s",
+                           tokenKindName(peek().Kind)));
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+const Expr *Parser::parseBlock() {
+  SourceLoc Loc = peek().Loc;
+  if (!expect(TokenKind::LBrace, "to open block"))
+    return nullptr;
+  Expr *B = Arena.newExpr(ExprKind::Block, Loc);
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (check(TokenKind::KwLet)) {
+      if (const Stmt *S = parseLet())
+        B->Stmts.push_back(S);
+      else
+        synchronizeStmt();
+      continue;
+    }
+    if (check(TokenKind::KwWhile)) {
+      if (const Stmt *S = parseWhile())
+        B->Stmts.push_back(S);
+      else
+        synchronizeStmt();
+      continue;
+    }
+    // Assignment: `x = e;` (identifier followed by plain '=').
+    if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Assign)) {
+      Stmt *S = Arena.newStmt(StmtKind::Assign, peek().Loc);
+      S->Name = std::string(advance().Text);
+      advance(); // =
+      S->Value = parseExpr();
+      if (!S->Value || !expect(TokenKind::Semi, "after assignment")) {
+        synchronizeStmt();
+        continue;
+      }
+      B->Stmts.push_back(S);
+      continue;
+    }
+    const Expr *E = parseExpr();
+    if (!E) {
+      synchronizeStmt();
+      continue;
+    }
+    // Store statement: `sram(addr) <- value;`.
+    if (E->Kind == ExprKind::MemRead && check(TokenKind::LeftArrow)) {
+      Stmt *S = Arena.newStmt(StmtKind::Store, E->Loc);
+      S->Space = E->Space;
+      S->Addr = E->Lhs;
+      advance(); // <-
+      S->Value = parseExpr();
+      if (!S->Value || !expect(TokenKind::Semi, "after store")) {
+        synchronizeStmt();
+        continue;
+      }
+      B->Stmts.push_back(S);
+      continue;
+    }
+    if (match(TokenKind::Semi)) {
+      Stmt *S = Arena.newStmt(StmtKind::ExprStmt, E->Loc);
+      S->Value = E;
+      B->Stmts.push_back(S);
+      continue;
+    }
+    if (check(TokenKind::RBrace)) {
+      B->Tail = E;
+      break;
+    }
+    // Brace-ended expressions used as statements need no semicolon.
+    if (E->Kind == ExprKind::If || E->Kind == ExprKind::Try ||
+        E->Kind == ExprKind::Block) {
+      Stmt *S = Arena.newStmt(StmtKind::ExprStmt, E->Loc);
+      S->Value = E;
+      B->Stmts.push_back(S);
+      continue;
+    }
+    Diags.error(peek().Loc, formatf("expected ';' after expression, found %s",
+                                    tokenKindName(peek().Kind)));
+    synchronizeStmt();
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return B;
+}
+
+const Stmt *Parser::parseLet() {
+  Stmt *S = Arena.newStmt(StmtKind::Let, peek().Loc);
+  advance(); // let
+  S->Pat.Loc = peek().Loc;
+  if (match(TokenKind::LParen)) {
+    S->Pat.IsTuple = true;
+    do {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected name in tuple pattern");
+        return nullptr;
+      }
+      S->Pat.Names.push_back(std::string(advance().Text));
+    } while (match(TokenKind::Comma));
+    if (!expect(TokenKind::RParen, "after tuple pattern"))
+      return nullptr;
+  } else if (check(TokenKind::Identifier)) {
+    S->Pat.Names.push_back(std::string(advance().Text));
+  } else {
+    Diags.error(peek().Loc, "expected binding pattern after 'let'");
+    return nullptr;
+  }
+  if (match(TokenKind::Colon)) {
+    S->Annot = parseTypeExpr();
+    if (!S->Annot)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Assign, "in let binding"))
+    return nullptr;
+  S->Value = parseExpr();
+  if (!S->Value)
+    return nullptr;
+  if (!expect(TokenKind::Semi, "after let binding"))
+    return nullptr;
+  return S;
+}
+
+const Stmt *Parser::parseWhile() {
+  Stmt *S = Arena.newStmt(StmtKind::While, peek().Loc);
+  advance(); // while
+  if (!expect(TokenKind::LParen, "after 'while'"))
+    return nullptr;
+  S->Cond = parseExpr();
+  if (!S->Cond || !expect(TokenKind::RParen, "after loop condition"))
+    return nullptr;
+  S->Body = parseBlock();
+  return S->Body ? S : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Binding power of a binary operator, or -1.
+int binaryPrec(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:  return 1;
+  case TokenKind::AmpAmp:    return 2;
+  case TokenKind::Pipe:      return 3;
+  case TokenKind::Caret:     return 4;
+  case TokenKind::Amp:       return 5;
+  case TokenKind::EqEq:
+  case TokenKind::NotEq:     return 6;
+  case TokenKind::Less:
+  case TokenKind::Greater:
+  case TokenKind::LessEq:
+  case TokenKind::GreaterEq: return 7;
+  case TokenKind::Shl:
+  case TokenKind::Shr:       return 8;
+  case TokenKind::Plus:
+  case TokenKind::Minus:     return 9;
+  default:                   return -1;
+  }
+}
+
+BinaryOp binaryOpFor(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:  return BinaryOp::LogOr;
+  case TokenKind::AmpAmp:    return BinaryOp::LogAnd;
+  case TokenKind::Pipe:      return BinaryOp::Or;
+  case TokenKind::Caret:     return BinaryOp::Xor;
+  case TokenKind::Amp:       return BinaryOp::And;
+  case TokenKind::EqEq:      return BinaryOp::Eq;
+  case TokenKind::NotEq:     return BinaryOp::Ne;
+  case TokenKind::Less:      return BinaryOp::Lt;
+  case TokenKind::Greater:   return BinaryOp::Gt;
+  case TokenKind::LessEq:    return BinaryOp::Le;
+  case TokenKind::GreaterEq: return BinaryOp::Ge;
+  case TokenKind::Shl:       return BinaryOp::Shl;
+  case TokenKind::Shr:       return BinaryOp::Shr;
+  case TokenKind::Plus:      return BinaryOp::Add;
+  case TokenKind::Minus:     return BinaryOp::Sub;
+  default:                   return BinaryOp::Add;
+  }
+}
+} // namespace
+
+const Expr *Parser::parseExpr() { return parseBinary(1); }
+
+const Expr *Parser::parseBinary(int MinPrec) {
+  const Expr *L = parseUnary();
+  if (!L)
+    return nullptr;
+  while (true) {
+    int Prec = binaryPrec(peek().Kind);
+    if (Prec < MinPrec)
+      return L;
+    Token Op = advance();
+    const Expr *R = parseBinary(Prec + 1);
+    if (!R)
+      return nullptr;
+    Expr *B = Arena.newExpr(ExprKind::Binary, Op.Loc);
+    B->BOp = binaryOpFor(Op.Kind);
+    B->Lhs = L;
+    B->Rhs = R;
+    L = B;
+  }
+}
+
+const Expr *Parser::parseUnary() {
+  SourceLoc Loc = peek().Loc;
+  if (match(TokenKind::Bang)) {
+    Expr *E = Arena.newExpr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::Not;
+    E->Lhs = parseUnary();
+    return E->Lhs ? E : nullptr;
+  }
+  if (match(TokenKind::Tilde)) {
+    Expr *E = Arena.newExpr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::BitNot;
+    E->Lhs = parseUnary();
+    return E->Lhs ? E : nullptr;
+  }
+  if (match(TokenKind::Minus)) {
+    Expr *E = Arena.newExpr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::Neg;
+    E->Lhs = parseUnary();
+    return E->Lhs ? E : nullptr;
+  }
+  return parsePostfix();
+}
+
+const Expr *Parser::parsePostfix() {
+  const Expr *E = parsePrimary();
+  while (E && check(TokenKind::Dot)) {
+    SourceLoc Loc = advance().Loc;
+    Expr *F = Arena.newExpr(ExprKind::Field, Loc);
+    F->Lhs = E;
+    if (check(TokenKind::Identifier)) {
+      F->Name = std::string(advance().Text);
+    } else if (check(TokenKind::Integer)) {
+      F->FieldIndex = static_cast<int>(advance().IntValue);
+    } else {
+      Diags.error(peek().Loc, "expected field name or tuple index after '.'");
+      return nullptr;
+    }
+    E = F;
+  }
+  return E;
+}
+
+std::vector<Arg> Parser::parseArgs(TokenKind Open, TokenKind Close) {
+  std::vector<Arg> Args;
+  if (!expect(Open, "for argument list"))
+    return Args;
+  if (match(Close))
+    return Args;
+  do {
+    Arg A;
+    if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Assign)) {
+      A.Name = std::string(advance().Text);
+      advance(); // =
+    }
+    A.Value = parseExpr();
+    if (!A.Value)
+      return Args;
+    Args.push_back(std::move(A));
+  } while (match(TokenKind::Comma));
+  expect(Close, "after arguments");
+  return Args;
+}
+
+const Expr *Parser::parseRecordLit() {
+  SourceLoc Loc = peek().Loc;
+  Expr *E = Arena.newExpr(ExprKind::RecordLit, Loc);
+  E->Args = parseArgs(TokenKind::LBracket, TokenKind::RBracket);
+  for (const Arg &A : E->Args)
+    if (A.Name.empty())
+      Diags.error(A.Value ? A.Value->Loc : Loc,
+                  "record literal fields must be named");
+  return E;
+}
+
+const Expr *Parser::parseArmExpr() {
+  if (check(TokenKind::LBrace))
+    return parseBlock();
+  return parseExpr();
+}
+
+const Expr *Parser::parseIf() {
+  SourceLoc Loc = peek().Loc;
+  advance(); // if
+  if (!expect(TokenKind::LParen, "after 'if'"))
+    return nullptr;
+  Expr *E = Arena.newExpr(ExprKind::If, Loc);
+  E->Cond = parseExpr();
+  if (!E->Cond || !expect(TokenKind::RParen, "after condition"))
+    return nullptr;
+  E->Then = parseArmExpr();
+  if (!E->Then)
+    return nullptr;
+  if (match(TokenKind::KwElse)) {
+    E->Else = check(TokenKind::KwIf) ? parseIf() : parseArmExpr();
+    if (!E->Else)
+      return nullptr;
+  }
+  return E;
+}
+
+const Expr *Parser::parseTry() {
+  SourceLoc Loc = peek().Loc;
+  advance(); // try
+  Expr *E = Arena.newExpr(ExprKind::Try, Loc);
+  E->Body = parseBlock();
+  if (!E->Body)
+    return nullptr;
+  while (check(TokenKind::KwHandle)) {
+    Handler H;
+    H.Loc = advance().Loc;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected exception name after 'handle'");
+      return nullptr;
+    }
+    H.ExnName = std::string(advance().Text);
+    TokenKind Close;
+    if (match(TokenKind::LParen)) {
+      Close = TokenKind::RParen;
+    } else if (match(TokenKind::LBracket)) {
+      Close = TokenKind::RBracket;
+      H.RecordPayload = true;
+    } else {
+      Diags.error(peek().Loc, "expected handler parameter list");
+      return nullptr;
+    }
+    if (!check(Close)) {
+      do {
+        if (!check(TokenKind::Identifier)) {
+          Diags.error(peek().Loc, "expected handler parameter name");
+          return nullptr;
+        }
+        std::string Name(advance().Text);
+        const TypeExpr *T = nullptr;
+        if (match(TokenKind::Colon)) {
+          T = parseTypeExpr();
+          if (!T)
+            return nullptr;
+        }
+        H.Params.emplace_back(std::move(Name), T);
+      } while (match(TokenKind::Comma));
+    }
+    if (!expect(Close, "after handler parameters"))
+      return nullptr;
+    H.Body = parseBlock();
+    if (!H.Body)
+      return nullptr;
+    E->Handlers.push_back(std::move(H));
+  }
+  if (E->Handlers.empty())
+    Diags.error(Loc, "try block needs at least one handler");
+  return E;
+}
+
+const Expr *Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokenKind::Integer: {
+    Expr *E = Arena.newExpr(ExprKind::IntLit, Loc);
+    E->IntValue = advance().IntValue;
+    return E;
+  }
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse: {
+    Expr *E = Arena.newExpr(ExprKind::BoolLit, Loc);
+    E->BoolValue = advance().is(TokenKind::KwTrue);
+    return E;
+  }
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwTry:
+    return parseTry();
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwRaise: {
+    advance();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected exception name after 'raise'");
+      return nullptr;
+    }
+    Expr *E = Arena.newExpr(ExprKind::Raise, Loc);
+    E->Name = std::string(advance().Text);
+    if (check(TokenKind::LParen))
+      E->Args = parseArgs(TokenKind::LParen, TokenKind::RParen);
+    else if (check(TokenKind::LBracket))
+      E->Args = parseArgs(TokenKind::LBracket, TokenKind::RBracket);
+    return E;
+  }
+  case TokenKind::KwPack:
+  case TokenKind::KwUnpack: {
+    bool IsPack = advance().is(TokenKind::KwPack);
+    if (!expect(TokenKind::LBracket, "after pack/unpack"))
+      return nullptr;
+    const LayoutExpr *L = parseLayoutExpr();
+    if (!L || !expect(TokenKind::RBracket, "after layout argument"))
+      return nullptr;
+    Expr *E = Arena.newExpr(IsPack ? ExprKind::Pack : ExprKind::Unpack, Loc);
+    E->Layout = L;
+    if (IsPack && check(TokenKind::LBracket)) {
+      E->Lhs = parseRecordLit();
+    } else {
+      if (!expect(TokenKind::LParen, "around pack/unpack operand"))
+        return nullptr;
+      E->Lhs = parseExpr();
+      if (!E->Lhs || !expect(TokenKind::RParen, "after pack/unpack operand"))
+        return nullptr;
+    }
+    return E->Lhs ? E : nullptr;
+  }
+  case TokenKind::LParen: {
+    advance();
+    if (match(TokenKind::RParen)) {
+      // Unit literal: empty tuple.
+      return Arena.newExpr(ExprKind::TupleLit, Loc);
+    }
+    const Expr *First = parseExpr();
+    if (!First)
+      return nullptr;
+    if (!check(TokenKind::Comma)) {
+      expect(TokenKind::RParen, "after parenthesized expression");
+      return First;
+    }
+    Expr *T = Arena.newExpr(ExprKind::TupleLit, Loc);
+    T->Elems.push_back(First);
+    while (match(TokenKind::Comma)) {
+      const Expr *E = parseExpr();
+      if (!E)
+        return nullptr;
+      T->Elems.push_back(E);
+    }
+    if (!expect(TokenKind::RParen, "after tuple"))
+      return nullptr;
+    return T;
+  }
+  case TokenKind::LBracket:
+    return parseRecordLit();
+  case TokenKind::Identifier: {
+    std::string Name(advance().Text);
+    // Memory and hardware intrinsics get dedicated node kinds.
+    bool IsMem = Name == "sram" || Name == "sdram" || Name == "scratch";
+    if (IsMem && check(TokenKind::LParen)) {
+      advance();
+      Expr *E = Arena.newExpr(ExprKind::MemRead, Loc);
+      E->Space = Name == "sram"    ? MemSpace::Sram
+                 : Name == "sdram" ? MemSpace::Sdram
+                                   : MemSpace::Scratch;
+      E->Lhs = parseExpr();
+      if (!E->Lhs || !expect(TokenKind::RParen, "after memory address"))
+        return nullptr;
+      return E;
+    }
+    if (Name == "hash" && check(TokenKind::LParen)) {
+      advance();
+      Expr *E = Arena.newExpr(ExprKind::Hash, Loc);
+      E->Lhs = parseExpr();
+      if (!E->Lhs || !expect(TokenKind::RParen, "after hash operand"))
+        return nullptr;
+      return E;
+    }
+    if (Name == "sram_bit_test_set" && check(TokenKind::LParen)) {
+      advance();
+      Expr *E = Arena.newExpr(ExprKind::BitTestSet, Loc);
+      E->Lhs = parseExpr();
+      if (!E->Lhs || !expect(TokenKind::Comma, "between address and source"))
+        return nullptr;
+      E->Rhs = parseExpr();
+      if (!E->Rhs || !expect(TokenKind::RParen, "after operands"))
+        return nullptr;
+      return E;
+    }
+    if (check(TokenKind::LParen)) {
+      Expr *E = Arena.newExpr(ExprKind::Call, Loc);
+      E->Name = std::move(Name);
+      E->Args = parseArgs(TokenKind::LParen, TokenKind::RParen);
+      return E;
+    }
+    if (check(TokenKind::LBracket)) {
+      Expr *E = Arena.newExpr(ExprKind::Call, Loc);
+      E->Name = std::move(Name);
+      E->Args = parseArgs(TokenKind::LBracket, TokenKind::RBracket);
+      for (const Arg &A : E->Args)
+        if (A.Name.empty())
+          Diags.error(A.Value ? A.Value->Loc : Loc,
+                      "record-style call arguments must be named");
+      return E;
+    }
+    Expr *E = Arena.newExpr(ExprKind::VarRef, Loc);
+    E->Name = std::move(Name);
+    return E;
+  }
+  default:
+    Diags.error(Loc, formatf("expected expression, found %s",
+                             tokenKindName(peek().Kind)));
+    advance();
+    return nullptr;
+  }
+}

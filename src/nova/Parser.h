@@ -1,0 +1,77 @@
+//===- Parser.h - Nova recursive-descent parser ------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the AST of Ast.h. Errors are
+/// reported to the DiagnosticEngine with panic-mode recovery at statement
+/// and declaration boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOVA_PARSER_H
+#define NOVA_PARSER_H
+
+#include "nova/Ast.h"
+#include "nova/Lexer.h"
+
+namespace nova {
+
+class Parser {
+public:
+  Parser(const SourceManager &SM, uint32_t BufferId, AstArena &Arena,
+         DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer; check Diags.hasErrors() afterwards.
+  Program parseProgram();
+
+private:
+  // Token cursor.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeDecl();
+  void synchronizeStmt();
+
+  // Declarations.
+  void parseLayoutDecl(Program &P);
+  void parseFunDecl(Program &P);
+
+  // Layouts.
+  const LayoutExpr *parseLayoutExpr();
+  const LayoutExpr *parseLayoutPrimary();
+  bool parseLayoutField(LayoutFieldAst &Out);
+
+  // Types.
+  const TypeExpr *parseTypeExpr();
+
+  // Statements and expressions.
+  const Expr *parseBlock();
+  const Stmt *parseLet();
+  const Stmt *parseWhile();
+  const Expr *parseExpr();
+  const Expr *parseBinary(int MinPrec);
+  const Expr *parseUnary();
+  const Expr *parsePostfix();
+  const Expr *parsePrimary();
+  const Expr *parseIf();
+  const Expr *parseTry();
+  const Expr *parseRecordLit();
+  std::vector<Arg> parseArgs(TokenKind Open, TokenKind Close);
+  const Expr *parseArmExpr(); ///< if/else arm: block or expression
+
+  const SourceManager &SM;
+  AstArena &Arena;
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  unsigned Cursor = 0;
+};
+
+} // namespace nova
+
+#endif // NOVA_PARSER_H

@@ -1,0 +1,771 @@
+//===- Sema.cpp -----------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Sema.h"
+
+#include "support/Debug.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace nova;
+
+namespace {
+
+/// Lexically scoped symbol table.
+class Scope {
+public:
+  explicit Scope(Scope *Parent = nullptr) : Parent(Parent) {}
+
+  const VarSymbol *lookup(const std::string &Name) const {
+    for (const Scope *S = this; S; S = S->Parent) {
+      auto It = S->Bindings.find(Name);
+      if (It != S->Bindings.end())
+        return It->second;
+    }
+    return nullptr;
+  }
+
+  void bind(const std::string &Name, const VarSymbol *Sym) {
+    Bindings[Name] = Sym; // shadowing allowed
+  }
+
+private:
+  Scope *Parent;
+  std::unordered_map<std::string, const VarSymbol *> Bindings;
+};
+
+class Checker {
+public:
+  Checker(const Program &P, const SourceManager &SM, DiagnosticEngine &Diags,
+          SemaResult &R)
+      : P(P), SM(SM), Diags(Diags), R(R) {}
+
+  void run();
+
+private:
+  const Program &P;
+  const SourceManager &SM;
+  DiagnosticEngine &Diags;
+  SemaResult &R;
+
+  /// Functions currently being checked (for recursion detection).
+  std::set<const FunDecl *> InProgress;
+  std::set<const FunDecl *> Done;
+  const FunDecl *CurrentFun = nullptr;
+
+  const Type *err(SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    return R.Types.never();
+  }
+
+  const Type *resolveTypeExpr(const TypeExpr *T);
+  const Type *payloadTypeOf(const Handler &H);
+  void checkFunction(const FunDecl &F);
+
+  /// Checks a statement; mutates the scope with new bindings.
+  void checkStmt(const Stmt *S, Scope &Sc);
+
+  /// Checks an expression and records its type. \p Tail marks syntactic
+  /// tail position for the recursion restriction.
+  const Type *check(const Expr *E, Scope &Sc, bool Tail);
+  const Type *checkCall(const Expr *E, Scope &Sc, bool Tail);
+  const Type *checkPack(const Expr *E, Scope &Sc);
+  const Type *checkUnpack(const Expr *E, Scope &Sc);
+  const Type *checkRaise(const Expr *E, Scope &Sc);
+  const Type *checkTry(const Expr *E, Scope &Sc, bool Tail);
+
+  /// Checks the pack argument \p Lit against layout node \p N.
+  bool checkPackArg(const Expr *Lit, const LayoutNode &N, Scope &Sc);
+
+  /// Unifies two arm types (Never absorbs).
+  const Type *unify(SourceLoc Loc, const Type *A, const Type *B,
+                    const char *What);
+};
+
+const Type *Checker::resolveTypeExpr(const TypeExpr *T) {
+  switch (T->Kind) {
+  case TypeExprKind::Word:
+    return R.Types.word();
+  case TypeExprKind::Bool:
+    return R.Types.boolean();
+  case TypeExprKind::WordArray:
+    if (T->ArrayLen == 0)
+      return err(T->Loc, "word array length must be positive");
+    return R.Types.wordTuple(T->ArrayLen);
+  case TypeExprKind::Tuple: {
+    std::vector<const Type *> Elems;
+    for (const TypeExpr *E : T->Elems) {
+      const Type *ET = resolveTypeExpr(E);
+      if (ET->isNever())
+        return ET;
+      Elems.push_back(ET);
+    }
+    return R.Types.tuple(std::move(Elems));
+  }
+  case TypeExprKind::Record: {
+    std::vector<std::string> Names;
+    std::vector<const Type *> Elems;
+    for (const TypeFieldAst &F : T->Fields) {
+      const Type *FT = resolveTypeExpr(F.Type);
+      if (FT->isNever())
+        return FT;
+      Names.push_back(F.Name);
+      Elems.push_back(FT);
+    }
+    return R.Types.record(std::move(Names), std::move(Elems));
+  }
+  case TypeExprKind::Packed: {
+    LayoutNode Node;
+    if (!R.Layouts.resolve(T->Layout, Node))
+      return R.Types.never();
+    return R.Types.wordTuple(Node.packedWords());
+  }
+  case TypeExprKind::Unpacked: {
+    LayoutNode Node;
+    if (!R.Layouts.resolve(T->Layout, Node))
+      return R.Types.never();
+    const Type *U = R.Types.unpackedOf(Node);
+    return U ? U : err(T->Loc, "layout has no unpacked form");
+  }
+  case TypeExprKind::Exn: {
+    if (T->ExnRecordPayload) {
+      std::vector<std::string> Names;
+      std::vector<const Type *> Elems;
+      for (const TypeFieldAst &F : T->Fields) {
+        Names.push_back(F.Name);
+        Elems.push_back(resolveTypeExpr(F.Type));
+      }
+      return R.Types.exn(R.Types.record(std::move(Names), std::move(Elems)));
+    }
+    std::vector<const Type *> Elems;
+    for (const TypeExpr *E : T->Elems)
+      Elems.push_back(resolveTypeExpr(E));
+    return R.Types.exn(R.Types.tuple(std::move(Elems)));
+  }
+  }
+  NOVA_UNREACHABLE("unhandled type expression");
+}
+
+const Type *Checker::payloadTypeOf(const Handler &H) {
+  std::vector<std::string> Names;
+  std::vector<const Type *> Elems;
+  for (const auto &[Name, TE] : H.Params) {
+    const Type *T = TE ? resolveTypeExpr(TE) : R.Types.word();
+    Names.push_back(Name);
+    Elems.push_back(T);
+  }
+  if (H.RecordPayload)
+    return R.Types.record(std::move(Names), std::move(Elems));
+  return R.Types.tuple(std::move(Elems));
+}
+
+const Type *Checker::unify(SourceLoc Loc, const Type *A, const Type *B,
+                           const char *What) {
+  if (A->isNever())
+    return B;
+  if (B->isNever())
+    return A;
+  if (A == B)
+    return A;
+  return err(Loc, formatf("%s have mismatched types: %s vs %s", What,
+                          A->str().c_str(), B->str().c_str()));
+}
+
+void Checker::run() {
+  // Layout declarations first (they are order-dependent).
+  for (const LayoutDecl &D : P.LayoutDecls) {
+    R.Layouts.addDecl(D);
+    ++R.Stats.LayoutSpecs;
+  }
+  // Duplicate function names.
+  std::set<std::string> Seen;
+  for (const FunDecl &F : P.FunDecls)
+    if (!Seen.insert(F.Name).second)
+      Diags.error(F.Loc, formatf("function '%s' redefined", F.Name.c_str()));
+  for (const FunDecl &F : P.FunDecls)
+    checkFunction(F);
+}
+
+void Checker::checkFunction(const FunDecl &F) {
+  if (Done.count(&F) || InProgress.count(&F))
+    return;
+  InProgress.insert(&F);
+  const FunDecl *PrevFun = CurrentFun;
+  CurrentFun = &F;
+
+  Scope Sc;
+  std::vector<const VarSymbol *> Params;
+  for (const FunParam &Param : F.Params) {
+    const Type *T = resolveTypeExpr(Param.Type);
+    VarSymbol *Sym = R.newSymbol(Param.Name, T);
+    Sc.bind(Param.Name, Sym);
+    Params.push_back(Sym);
+  }
+  R.ParamSymbols[&F] = std::move(Params);
+
+  if (F.Result)
+    R.FunResultType[&F] = resolveTypeExpr(F.Result);
+
+  const Type *BodyT = check(F.Body, Sc, /*Tail=*/true);
+
+  auto It = R.FunResultType.find(&F);
+  if (It != R.FunResultType.end()) {
+    unify(F.Loc, It->second, BodyT, "function body and result annotation");
+  } else {
+    R.FunResultType[&F] = BodyT;
+  }
+
+  CurrentFun = PrevFun;
+  InProgress.erase(&F);
+  Done.insert(&F);
+}
+
+void Checker::checkStmt(const Stmt *S, Scope &Sc) {
+  switch (S->Kind) {
+  case StmtKind::Let: {
+    const Type *Annot = S->Annot ? resolveTypeExpr(S->Annot) : nullptr;
+
+    // Memory reads take their aggregate arity from the pattern (or the
+    // annotation).
+    if (S->Value->Kind == ExprKind::MemRead) {
+      unsigned Count = 1;
+      if (S->Pat.IsTuple)
+        Count = S->Pat.Names.size();
+      else if (Annot && Annot->kind() == TypeKind::Tuple)
+        Count = Annot->elems().size();
+      unsigned MaxCount = 8;
+      if (S->Value->Space == MemSpace::Sdram && Count % 2 != 0)
+        Diags.error(S->Loc, "sdram aggregates must be a multiple of two "
+                            "registers");
+      if (Count < 1 || Count > MaxCount)
+        Diags.error(S->Loc,
+                    formatf("memory aggregates are 1..8 registers, got %u",
+                            Count));
+      R.MemReadCount[S->Value] = Count;
+      const Type *AddrT =
+          check(S->Value->Lhs, Sc, /*Tail=*/false);
+      if (!AddrT->isWord() && !AddrT->isNever())
+        Diags.error(S->Value->Lhs->Loc, "memory address must be a word");
+      R.ExprTypes[S->Value] =
+          Count == 1 && !S->Pat.IsTuple ? R.Types.word()
+                                        : R.Types.wordTuple(Count);
+    } else {
+      check(S->Value, Sc, /*Tail=*/false);
+    }
+
+    const Type *InitT = R.typeOf(S->Value);
+    if (Annot && !InitT->isNever())
+      InitT = unify(S->Loc, Annot, InitT, "let annotation and initializer");
+
+    std::vector<const VarSymbol *> Syms;
+    if (S->Pat.IsTuple) {
+      if (InitT->kind() != TypeKind::Tuple ||
+          InitT->elems().size() != S->Pat.Names.size()) {
+        Diags.error(S->Pat.Loc,
+                    formatf("tuple pattern of %zu names does not match "
+                            "initializer type %s",
+                            S->Pat.Names.size(), InitT->str().c_str()));
+        // Bind names to word to limit cascading errors.
+        for (const std::string &Name : S->Pat.Names) {
+          VarSymbol *Sym = R.newSymbol(Name, R.Types.word());
+          Sc.bind(Name, Sym);
+          Syms.push_back(Sym);
+        }
+      } else {
+        for (unsigned I = 0; I != S->Pat.Names.size(); ++I) {
+          VarSymbol *Sym =
+              R.newSymbol(S->Pat.Names[I], InitT->elems()[I]);
+          if (S->Pat.Names[I] != "_")
+            Sc.bind(S->Pat.Names[I], Sym);
+          Syms.push_back(Sym);
+        }
+      }
+    } else {
+      VarSymbol *Sym = R.newSymbol(S->Pat.Names[0], InitT);
+      if (S->Pat.Names[0] != "_")
+        Sc.bind(S->Pat.Names[0], Sym);
+      Syms.push_back(Sym);
+    }
+    R.LetSymbols[S] = std::move(Syms);
+    return;
+  }
+  case StmtKind::Assign: {
+    const VarSymbol *Sym = Sc.lookup(S->Name);
+    if (!Sym) {
+      Diags.error(S->Loc, formatf("assignment to undefined variable '%s'",
+                                  S->Name.c_str()));
+      return;
+    }
+    const Type *VT = check(S->Value, Sc, /*Tail=*/false);
+    unify(S->Loc, Sym->Ty, VT, "assignment target and value");
+    R.AssignTarget[S] = Sym;
+    return;
+  }
+  case StmtKind::ExprStmt:
+    check(S->Value, Sc, /*Tail=*/false);
+    return;
+  case StmtKind::Store: {
+    const Type *AddrT = check(S->Addr, Sc, /*Tail=*/false);
+    if (!AddrT->isWord() && !AddrT->isNever())
+      Diags.error(S->Addr->Loc, "memory address must be a word");
+    const Type *VT = check(S->Value, Sc, /*Tail=*/false);
+    unsigned Count;
+    if (VT->isWord()) {
+      Count = 1;
+    } else if (VT->kind() == TypeKind::Tuple && !VT->elems().empty() &&
+               VT->flatWordCount() == VT->elems().size()) {
+      Count = VT->elems().size();
+    } else {
+      Diags.error(S->Value->Loc,
+                  formatf("store value must be a word or word tuple, got %s",
+                          VT->str().c_str()));
+      return;
+    }
+    if (S->Space == MemSpace::Sdram && Count % 2 != 0)
+      Diags.error(S->Loc,
+                  "sdram aggregates must be a multiple of two registers");
+    if (Count > 8)
+      Diags.error(S->Loc, "memory aggregates are 1..8 registers");
+    return;
+  }
+  case StmtKind::While: {
+    const Type *CT = check(S->Cond, Sc, /*Tail=*/false);
+    if (!CT->isBool() && !CT->isNever())
+      Diags.error(S->Cond->Loc, "loop condition must be bool");
+    Scope Inner(&Sc);
+    check(S->Body, Inner, /*Tail=*/false);
+    return;
+  }
+  }
+  NOVA_UNREACHABLE("unhandled statement kind");
+}
+
+const Type *Checker::check(const Expr *E, Scope &Sc, bool Tail) {
+  const Type *T = [&]() -> const Type * {
+    switch (E->Kind) {
+    case ExprKind::IntLit:
+      return R.Types.word();
+    case ExprKind::BoolLit:
+      return R.Types.boolean();
+    case ExprKind::VarRef: {
+      const VarSymbol *Sym = Sc.lookup(E->Name);
+      if (!Sym)
+        return err(E->Loc,
+                   formatf("undefined variable '%s'", E->Name.c_str()));
+      R.VarBinding[E] = Sym;
+      return Sym->Ty;
+    }
+    case ExprKind::Unary: {
+      const Type *A = check(E->Lhs, Sc, false);
+      if (A->isNever())
+        return A;
+      switch (E->UOp) {
+      case UnaryOp::Not:
+        if (!A->isBool())
+          return err(E->Loc, "'!' needs a bool operand");
+        return A;
+      case UnaryOp::BitNot:
+      case UnaryOp::Neg:
+        if (!A->isWord())
+          return err(E->Loc, "operand must be a word");
+        return A;
+      }
+      NOVA_UNREACHABLE("unhandled unary op");
+    }
+    case ExprKind::Binary: {
+      const Type *A = check(E->Lhs, Sc, false);
+      const Type *B = check(E->Rhs, Sc, false);
+      if (A->isNever())
+        return B->isNever() ? A : B->isBool() || B->isWord() ? B : A;
+      switch (E->BOp) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::And:
+      case BinaryOp::Or:
+      case BinaryOp::Xor:
+      case BinaryOp::Shl:
+      case BinaryOp::Shr:
+        if (!A->isWord() || !(B->isWord() || B->isNever()))
+          return err(E->Loc, "arithmetic needs word operands");
+        return R.Types.word();
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+        if (A != B && !B->isNever())
+          return err(E->Loc, "comparison operands must have the same type");
+        if (!A->isWord() && !A->isBool())
+          return err(E->Loc, "only words and bools can be compared");
+        return R.Types.boolean();
+      case BinaryOp::Lt:
+      case BinaryOp::Gt:
+      case BinaryOp::Le:
+      case BinaryOp::Ge:
+        if (!A->isWord() || !(B->isWord() || B->isNever()))
+          return err(E->Loc, "ordering comparison needs word operands");
+        return R.Types.boolean();
+      case BinaryOp::LogAnd:
+      case BinaryOp::LogOr:
+        if (!A->isBool() || !(B->isBool() || B->isNever()))
+          return err(E->Loc, "logical operator needs bool operands");
+        return R.Types.boolean();
+      }
+      NOVA_UNREACHABLE("unhandled binary op");
+    }
+    case ExprKind::Call:
+      return checkCall(E, Sc, Tail);
+    case ExprKind::RecordLit: {
+      std::vector<std::string> Names;
+      std::vector<const Type *> Elems;
+      for (const Arg &A : E->Args) {
+        Names.push_back(A.Name);
+        Elems.push_back(check(A.Value, Sc, false));
+      }
+      return R.Types.record(std::move(Names), std::move(Elems));
+    }
+    case ExprKind::TupleLit: {
+      std::vector<const Type *> Elems;
+      for (const Expr *El : E->Elems)
+        Elems.push_back(check(El, Sc, false));
+      return R.Types.tuple(std::move(Elems));
+    }
+    case ExprKind::Field: {
+      const Type *A = check(E->Lhs, Sc, false);
+      if (A->isNever())
+        return A;
+      if (E->FieldIndex >= 0) {
+        if (A->kind() != TypeKind::Tuple)
+          return err(E->Loc, formatf("tuple index on non-tuple type %s",
+                                     A->str().c_str()));
+        if (static_cast<unsigned>(E->FieldIndex) >= A->elems().size())
+          return err(E->Loc, formatf("tuple index %d out of range for %s",
+                                     E->FieldIndex, A->str().c_str()));
+        return A->elems()[E->FieldIndex];
+      }
+      if (A->kind() != TypeKind::Record)
+        return err(E->Loc, formatf("field access on non-record type %s",
+                                   A->str().c_str()));
+      int Idx = A->fieldIndex(E->Name);
+      if (Idx < 0)
+        return err(E->Loc, formatf("no field '%s' in %s", E->Name.c_str(),
+                                   A->str().c_str()));
+      return A->elems()[Idx];
+    }
+    case ExprKind::If: {
+      const Type *CT = check(E->Cond, Sc, false);
+      if (!CT->isBool() && !CT->isNever())
+        err(E->Cond->Loc, "if condition must be bool");
+      Scope ThenSc(&Sc);
+      const Type *TT = check(E->Then, ThenSc, Tail);
+      if (!E->Else) {
+        if (!TT->isUnit() && !TT->isNever())
+          err(E->Loc, "if without else must have unit type");
+        return R.Types.unit();
+      }
+      Scope ElseSc(&Sc);
+      const Type *ET = check(E->Else, ElseSc, Tail);
+      return unify(E->Loc, TT, ET, "if branches");
+    }
+    case ExprKind::Block: {
+      Scope Inner(&Sc);
+      for (const Stmt *S : E->Stmts)
+        checkStmt(S, Inner);
+      if (E->Tail)
+        return check(E->Tail, Inner, Tail);
+      return R.Types.unit();
+    }
+    case ExprKind::Pack:
+      ++R.Stats.PackCount;
+      return checkPack(E, Sc);
+    case ExprKind::Unpack:
+      ++R.Stats.UnpackCount;
+      return checkUnpack(E, Sc);
+    case ExprKind::MemRead:
+      return err(E->Loc, "memory reads may only appear as the initializer "
+                         "of a let binding");
+    case ExprKind::Hash: {
+      const Type *A = check(E->Lhs, Sc, false);
+      if (!A->isWord() && !A->isNever())
+        err(E->Lhs->Loc, "hash operand must be a word");
+      return R.Types.word();
+    }
+    case ExprKind::BitTestSet: {
+      const Type *A = check(E->Lhs, Sc, false);
+      const Type *B = check(E->Rhs, Sc, false);
+      if ((!A->isWord() && !A->isNever()) || (!B->isWord() && !B->isNever()))
+        err(E->Loc, "sram_bit_test_set operands must be words");
+      return R.Types.word();
+    }
+    case ExprKind::Raise:
+      ++R.Stats.RaiseCount;
+      return checkRaise(E, Sc);
+    case ExprKind::Try:
+      return checkTry(E, Sc, Tail);
+    }
+    NOVA_UNREACHABLE("unhandled expression kind");
+  }();
+  R.ExprTypes[E] = T;
+  return T;
+}
+
+const Type *Checker::checkCall(const Expr *E, Scope &Sc, bool Tail) {
+  const FunDecl *Callee = P.findFun(E->Name);
+  if (!Callee)
+    return err(E->Loc, formatf("call to undefined function '%s'",
+                               E->Name.c_str()));
+  R.CallTarget[E] = Callee;
+
+  // Check arguments against declared parameter types.
+  std::vector<const Type *> ParamTypes;
+  for (const FunParam &Param : Callee->Params)
+    ParamTypes.push_back(resolveTypeExpr(Param.Type));
+
+  bool Named = !E->Args.empty() && !E->Args[0].Name.empty();
+  if (Named) {
+    std::set<std::string> Given;
+    for (const Arg &A : E->Args) {
+      if (!Given.insert(A.Name).second)
+        err(A.Value->Loc,
+            formatf("argument '%s' given twice", A.Name.c_str()));
+      int Idx = -1;
+      for (unsigned I = 0; I != Callee->Params.size(); ++I)
+        if (Callee->Params[I].Name == A.Name)
+          Idx = static_cast<int>(I);
+      if (Idx < 0) {
+        err(A.Value->Loc, formatf("function '%s' has no parameter '%s'",
+                                  E->Name.c_str(), A.Name.c_str()));
+        check(A.Value, Sc, false);
+        continue;
+      }
+      const Type *AT = check(A.Value, Sc, false);
+      unify(A.Value->Loc, ParamTypes[Idx], AT, "parameter and argument");
+    }
+    if (Given.size() != Callee->Params.size())
+      err(E->Loc, formatf("call to '%s' provides %zu of %zu parameters",
+                          E->Name.c_str(), Given.size(),
+                          Callee->Params.size()));
+  } else {
+    if (E->Args.size() != Callee->Params.size())
+      err(E->Loc, formatf("call to '%s' needs %zu arguments, got %zu",
+                          E->Name.c_str(), Callee->Params.size(),
+                          E->Args.size()));
+    for (unsigned I = 0; I != E->Args.size(); ++I) {
+      const Type *AT = check(E->Args[I].Value, Sc, false);
+      if (I < ParamTypes.size())
+        unify(E->Args[I].Value->Loc, ParamTypes[I], AT,
+              "parameter and argument");
+    }
+  }
+
+  // Result type: recurse into the callee if it has not been checked yet.
+  if (!Done.count(Callee) && !InProgress.count(Callee))
+    checkFunction(*Callee);
+  if (InProgress.count(Callee)) {
+    // (Mutually) recursive call: must be a tail call, and the callee needs
+    // an explicit result annotation to break the cycle.
+    if (!Tail)
+      err(E->Loc, formatf("recursive call to '%s' must be in tail position "
+                          "(Nova has no stack)",
+                          E->Name.c_str()));
+    auto It = R.FunResultType.find(Callee);
+    if (It != R.FunResultType.end())
+      return It->second;
+    return err(E->Loc,
+               formatf("recursive function '%s' needs a result annotation",
+                       Callee->Name.c_str()));
+  }
+  return R.FunResultType.at(Callee);
+}
+
+bool Checker::checkPackArg(const Expr *Lit, const LayoutNode &N, Scope &Sc) {
+  switch (N.NodeKind) {
+  case LayoutNode::Kind::Leaf: {
+    const Type *T = check(Lit, Sc, false);
+    if (!T->isWord() && !T->isNever()) {
+      err(Lit->Loc, formatf("bitfield '%s' needs a word value, got %s",
+                            N.Name.c_str(), T->str().c_str()));
+      return false;
+    }
+    return true;
+  }
+  case LayoutNode::Kind::Gap:
+    NOVA_UNREACHABLE("gap cannot be packed directly");
+  case LayoutNode::Kind::Group: {
+    if (Lit->Kind != ExprKind::RecordLit) {
+      err(Lit->Loc, "pack needs a record literal for a layout group");
+      return false;
+    }
+    bool Ok = true;
+    std::set<std::string> Given;
+    for (const Arg &A : Lit->Args) {
+      const LayoutNode *Child = nullptr;
+      for (const LayoutNode &C : N.Children)
+        if (C.Name == A.Name)
+          Child = &C;
+      if (!Child) {
+        err(A.Value->Loc,
+            formatf("layout has no field '%s'", A.Name.c_str()));
+        Ok = false;
+        continue;
+      }
+      Given.insert(A.Name);
+      Ok &= checkPackArg(A.Value, *Child, Sc);
+    }
+    for (const LayoutNode &C : N.Children) {
+      if (C.NodeKind == LayoutNode::Kind::Gap || C.Name.empty())
+        continue;
+      if (!Given.count(C.Name)) {
+        err(Lit->Loc,
+            formatf("pack is missing a value for field '%s'",
+                    C.Name.c_str()));
+        Ok = false;
+      }
+    }
+    return Ok;
+  }
+  case LayoutNode::Kind::Overlay: {
+    // Exactly one alternative must be chosen.
+    if (Lit->Kind != ExprKind::RecordLit || Lit->Args.size() != 1) {
+      err(Lit->Loc, "pack must choose exactly one overlay alternative");
+      return false;
+    }
+    const Arg &A = Lit->Args[0];
+    for (const LayoutNode &C : N.Children)
+      if (C.Name == A.Name)
+        return checkPackArg(A.Value, C, Sc);
+    err(A.Value->Loc,
+        formatf("overlay has no alternative '%s'", A.Name.c_str()));
+    return false;
+  }
+  }
+  NOVA_UNREACHABLE("unhandled layout node kind");
+}
+
+const Type *Checker::checkPack(const Expr *E, Scope &Sc) {
+  LayoutNode Node;
+  if (!R.Layouts.resolve(E->Layout, Node))
+    return R.Types.never();
+  const LayoutNode *Stored = R.storeLayout(std::move(Node));
+  R.PackLayout[E] = Stored;
+  checkPackArg(E->Lhs, *Stored, Sc);
+  return R.Types.wordTuple(Stored->packedWords());
+}
+
+const Type *Checker::checkUnpack(const Expr *E, Scope &Sc) {
+  LayoutNode Node;
+  if (!R.Layouts.resolve(E->Layout, Node))
+    return R.Types.never();
+  const LayoutNode *Stored = R.storeLayout(std::move(Node));
+  R.PackLayout[E] = Stored;
+  const Type *ArgT = check(E->Lhs, Sc, false);
+  const Type *WantT = R.Types.wordTuple(Stored->packedWords());
+  if (Stored->packedWords() == 1 && (ArgT->isWord() || ArgT->isNever())) {
+    // A one-word packed value may be a plain word.
+  } else if (ArgT != WantT && !ArgT->isNever()) {
+    err(E->Lhs->Loc,
+        formatf("unpack argument has type %s but the layout needs %s",
+                ArgT->str().c_str(), WantT->str().c_str()));
+  }
+  const Type *U = R.Types.unpackedOf(*Stored);
+  return U ? U : err(E->Loc, "layout has no unpacked form");
+}
+
+const Type *Checker::checkRaise(const Expr *E, Scope &Sc) {
+  const VarSymbol *Sym = Sc.lookup(E->Name);
+  if (!Sym)
+    return err(E->Loc,
+               formatf("undefined exception '%s'", E->Name.c_str()));
+  if (!Sym->Ty->isExn())
+    return err(E->Loc, formatf("'%s' is not an exception (type %s)",
+                               E->Name.c_str(), Sym->Ty->str().c_str()));
+  R.RaiseTarget[E] = Sym;
+
+  const Type *Payload = Sym->Ty->exnPayload();
+  bool Named = !E->Args.empty() && !E->Args[0].Name.empty();
+  if (Named || Payload->kind() == TypeKind::Record) {
+    if (Payload->kind() != TypeKind::Record) {
+      return err(E->Loc, "exception payload is not a record");
+    }
+    std::set<std::string> Given;
+    for (const Arg &A : E->Args) {
+      int Idx = Payload->fieldIndex(A.Name);
+      const Type *AT = check(A.Value, Sc, false);
+      if (Idx < 0) {
+        err(A.Value->Loc, formatf("exception payload has no field '%s'",
+                                  A.Name.c_str()));
+        continue;
+      }
+      Given.insert(A.Name);
+      unify(A.Value->Loc, Payload->elems()[Idx], AT,
+            "payload field and argument");
+    }
+    if (Given.size() != Payload->elems().size())
+      err(E->Loc, "raise must provide every payload field");
+  } else {
+    if (E->Args.size() != Payload->elems().size()) {
+      err(E->Loc, formatf("raise needs %zu payload values, got %zu",
+                          Payload->elems().size(), E->Args.size()));
+    }
+    for (unsigned I = 0; I != E->Args.size(); ++I) {
+      const Type *AT = check(E->Args[I].Value, Sc, false);
+      if (I < Payload->elems().size())
+        unify(E->Args[I].Value->Loc, Payload->elems()[I], AT,
+              "payload element and argument");
+    }
+  }
+  return R.Types.never();
+}
+
+const Type *Checker::checkTry(const Expr *E, Scope &Sc, bool Tail) {
+  // Handlers introduce their exception names over the body.
+  Scope BodySc(&Sc);
+  for (const Handler &H : E->Handlers) {
+    ++R.Stats.HandleCount;
+    const Type *Payload = payloadTypeOf(H);
+    VarSymbol *ExnSym = R.newSymbol(H.ExnName, R.Types.exn(Payload));
+    BodySc.bind(H.ExnName, ExnSym);
+    R.HandlerExnSymbol[&H] = ExnSym;
+  }
+  const Type *T = check(E->Body, BodySc, Tail);
+  for (const Handler &H : E->Handlers) {
+    Scope HandlerSc(&Sc);
+    std::vector<const VarSymbol *> Syms;
+    const Type *Payload = R.HandlerExnSymbol[&H]->Ty->exnPayload();
+    for (unsigned I = 0; I != H.Params.size(); ++I) {
+      VarSymbol *Sym =
+          R.newSymbol(H.Params[I].first, Payload->elems()[I]);
+      HandlerSc.bind(H.Params[I].first, Sym);
+      Syms.push_back(Sym);
+    }
+    R.HandlerParamSymbols[&H] = std::move(Syms);
+    const Type *HT = check(H.Body, HandlerSc, Tail);
+    T = unify(H.Loc, T, HT, "try body and handler");
+  }
+  return T;
+}
+
+} // namespace
+
+void nova::runSema(const Program &P, const SourceManager &SM,
+                   DiagnosticEngine &Diags, SemaResult &Result) {
+  unsigned Before = Diags.errorCount();
+  Checker C(P, SM, Diags, Result);
+  C.run();
+
+  // Nova line count for Figure 5 (wc-style, including blanks/comments).
+  for (unsigned B = 0; B != SM.numBuffers(); ++B) {
+    std::string_view Text = SM.bufferContents(B);
+    unsigned Lines = 0;
+    for (char Ch : Text)
+      if (Ch == '\n')
+        ++Lines;
+    if (!Text.empty() && Text.back() != '\n')
+      ++Lines;
+    Result.Stats.NovaLines += Lines;
+  }
+  Result.Success = Diags.errorCount() == Before;
+}

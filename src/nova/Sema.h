@@ -1,0 +1,115 @@
+//===- Sema.h - Nova name resolution and type checking ----------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Elaboration and type checking for Nova. Produces the side tables the
+/// CPS converter needs (expression types, variable bindings, resolved
+/// layouts, memory-aggregate arities) plus the static program statistics
+/// of the paper's Figure 5.
+///
+/// Notable rules enforced here, following the paper:
+///  - recursive (and mutually recursive) calls must be in tail position
+///    (Nova has no stack);
+///  - exceptions are lexically scoped values of exn type introduced by
+///    try/handle, and may be passed to functions;
+///  - pack takes a record literal choosing exactly one alternative of
+///    every overlay; unpack produces all alternatives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOVA_SEMA_H
+#define NOVA_SEMA_H
+
+#include "nova/Ast.h"
+#include "nova/Layout.h"
+#include "nova/Types.h"
+#include "support/Diagnostics.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace nova {
+
+/// A unique binding of a name (function parameter, let, handler parameter,
+/// or handler-introduced exception).
+struct VarSymbol {
+  unsigned Id = 0;
+  std::string Name;
+  const Type *Ty = nullptr;
+};
+
+/// Static program statistics (paper Figure 5).
+struct ProgramStats {
+  unsigned NovaLines = 0;
+  unsigned LayoutSpecs = 0;
+  unsigned PackCount = 0;
+  unsigned UnpackCount = 0;
+  unsigned RaiseCount = 0;
+  unsigned HandleCount = 0;
+};
+
+/// Everything later phases need from the front end. Owns the type context
+/// and all symbols; AST nodes are owned by the caller's AstArena.
+class SemaResult {
+public:
+  explicit SemaResult(DiagnosticEngine &Diags) : Layouts(Diags) {}
+
+  bool Success = false;
+  TypeContext Types;
+  LayoutTable Layouts;
+  ProgramStats Stats;
+
+  std::unordered_map<const Expr *, const Type *> ExprTypes;
+  std::unordered_map<const Expr *, const VarSymbol *> VarBinding;
+  std::unordered_map<const Expr *, const FunDecl *> CallTarget;
+  /// Resolved layout of each Pack/Unpack expression.
+  std::unordered_map<const Expr *, const LayoutNode *> PackLayout;
+  /// Aggregate word count of each MemRead.
+  std::unordered_map<const Expr *, unsigned> MemReadCount;
+  std::unordered_map<const Stmt *, std::vector<const VarSymbol *>> LetSymbols;
+  std::unordered_map<const FunDecl *, std::vector<const VarSymbol *>>
+      ParamSymbols;
+  std::unordered_map<const Handler *, std::vector<const VarSymbol *>>
+      HandlerParamSymbols;
+  /// The exn-typed symbol each handler clause introduces over the try body.
+  std::unordered_map<const Handler *, const VarSymbol *> HandlerExnSymbol;
+  /// Resolution of `raise X` to the exn symbol X.
+  std::unordered_map<const Expr *, const VarSymbol *> RaiseTarget;
+  std::unordered_map<const Stmt *, const VarSymbol *> AssignTarget;
+  std::unordered_map<const FunDecl *, const Type *> FunResultType;
+
+  const Type *typeOf(const Expr *E) const {
+    auto It = ExprTypes.find(E);
+    return It == ExprTypes.end() ? nullptr : It->second;
+  }
+
+  VarSymbol *newSymbol(std::string Name, const Type *Ty) {
+    Symbols.push_back({NextSymbolId++, std::move(Name), Ty});
+    return &Symbols.back();
+  }
+
+  /// Stable storage for resolved layout trees referenced by PackLayout.
+  const LayoutNode *storeLayout(LayoutNode Node) {
+    StoredLayouts.push_back(std::move(Node));
+    return &StoredLayouts.back();
+  }
+
+private:
+  std::deque<VarSymbol> Symbols;
+  std::deque<LayoutNode> StoredLayouts;
+  unsigned NextSymbolId = 0;
+};
+
+/// Runs semantic analysis over \p P. On failure, diagnostics explain why
+/// and Result.Success is false.
+void runSema(const Program &P, const SourceManager &SM,
+             DiagnosticEngine &Diags, SemaResult &Result);
+
+} // namespace nova
+
+#endif // NOVA_SEMA_H

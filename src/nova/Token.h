@@ -1,0 +1,102 @@
+//===- Token.h - Nova lexical tokens ----------------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the Nova language of George & Blume (PLDI 2003).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOVA_TOKEN_H
+#define NOVA_TOKEN_H
+
+#include "support/SourceManager.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace nova {
+
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Identifier,
+  Integer,
+
+  // Keywords.
+  KwLayout,
+  KwOverlay,
+  KwFun,
+  KwLet,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwTry,
+  KwHandle,
+  KwRaise,
+  KwPack,
+  KwUnpack,
+  KwTrue,
+  KwFalse,
+  KwWord,
+  KwBool,
+  KwExn,
+  KwPacked,
+  KwUnpacked,
+  KwHalt,
+
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  HashHash,   ///< layout concatenation ##
+  LeftArrow,  ///< <- memory store
+  ThinArrow,  ///< -> function result type
+  Assign,     ///< =
+  EqEq,
+  NotEq,
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+  Plus,
+  Minus,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,
+  Shr,
+  AmpAmp,
+  PipePipe,
+
+  Eof,
+  Error,
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token; Text views into the source buffer.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text;
+  uint64_t IntValue = 0; ///< valid when Kind == Integer
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace nova
+
+#endif // NOVA_TOKEN_H

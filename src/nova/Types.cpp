@@ -1,0 +1,162 @@
+//===- Types.cpp ----------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Types.h"
+
+#include "nova/Layout.h"
+#include "support/Debug.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace nova;
+
+unsigned Type::flatWordCount() const {
+  switch (Kind) {
+  case TypeKind::Word:
+  case TypeKind::Bool:
+    return 1;
+  case TypeKind::Never:
+  case TypeKind::Exn:
+    return 0;
+  case TypeKind::Tuple:
+  case TypeKind::Record: {
+    unsigned N = 0;
+    for (const Type *E : Elems)
+      N += E->flatWordCount();
+    return N;
+  }
+  }
+  NOVA_UNREACHABLE("unhandled type kind");
+}
+
+std::string Type::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case TypeKind::Word:
+    return "word";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Never:
+    return "never";
+  case TypeKind::Tuple: {
+    OS << '(';
+    for (unsigned I = 0; I != Elems.size(); ++I)
+      OS << (I ? ", " : "") << Elems[I]->str();
+    OS << ')';
+    return OS.str();
+  }
+  case TypeKind::Record: {
+    OS << '[';
+    for (unsigned I = 0; I != Elems.size(); ++I)
+      OS << (I ? ", " : "") << Names[I] << " : " << Elems[I]->str();
+    OS << ']';
+    return OS.str();
+  }
+  case TypeKind::Exn:
+    OS << "exn " << (Elems.empty() ? "()" : Elems[0]->str());
+    return OS.str();
+  }
+  NOVA_UNREACHABLE("unhandled type kind");
+}
+
+TypeContext::TypeContext() {
+  Type W;
+  W.Kind = TypeKind::Word;
+  WordTy = intern(std::move(W));
+  Type B;
+  B.Kind = TypeKind::Bool;
+  BoolTy = intern(std::move(B));
+  Type N;
+  N.Kind = TypeKind::Never;
+  NeverTy = intern(std::move(N));
+  Type U;
+  U.Kind = TypeKind::Tuple;
+  UnitTy = intern(std::move(U));
+}
+
+const Type *TypeContext::intern(Type T) {
+  // Children are already interned, so their pointer identities form a
+  // canonical key.
+  std::ostringstream Key;
+  Key << static_cast<int>(T.Kind);
+  for (const Type *E : T.Elems)
+    Key << ':' << E;
+  for (const std::string &Name : T.Names)
+    Key << ';' << Name;
+  auto It = Pool.find(Key.str());
+  if (It != Pool.end())
+    return It->second.get();
+  auto Owned = std::make_unique<Type>(std::move(T));
+  const Type *Ptr = Owned.get();
+  Pool.emplace(Key.str(), std::move(Owned));
+  return Ptr;
+}
+
+const Type *TypeContext::tuple(std::vector<const Type *> Elems) {
+  if (Elems.empty())
+    return UnitTy;
+  Type T;
+  T.Kind = TypeKind::Tuple;
+  T.Elems = std::move(Elems);
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::record(std::vector<std::string> Names,
+                                std::vector<const Type *> Elems) {
+  assert(Names.size() == Elems.size() && "record shape mismatch");
+  Type T;
+  T.Kind = TypeKind::Record;
+  T.Names = std::move(Names);
+  T.Elems = std::move(Elems);
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::exn(const Type *Payload) {
+  Type T;
+  T.Kind = TypeKind::Exn;
+  T.Elems = {Payload};
+  return intern(std::move(T));
+}
+
+const Type *TypeContext::wordTuple(unsigned N) {
+  return tuple(std::vector<const Type *>(N, WordTy));
+}
+
+const Type *TypeContext::unpackedOf(const LayoutNode &Layout) {
+  switch (Layout.NodeKind) {
+  case LayoutNode::Kind::Leaf:
+    return word();
+  case LayoutNode::Kind::Gap:
+    return nullptr; // gaps have no unpacked representation
+  case LayoutNode::Kind::Group:
+  case LayoutNode::Kind::Overlay: {
+    std::vector<std::string> Names;
+    std::vector<const Type *> Elems;
+    for (const LayoutNode &C : Layout.Children) {
+      const Type *CT = unpackedOf(C);
+      if (!CT)
+        continue; // skip gaps
+      // Anonymous sub-groups (from ## concatenation) are flattened into
+      // the parent record.
+      if (C.Name.empty() && CT->kind() == TypeKind::Record) {
+        for (unsigned I = 0; I != CT->elems().size(); ++I) {
+          Names.push_back(CT->fieldNames()[I]);
+          Elems.push_back(CT->elems()[I]);
+        }
+        continue;
+      }
+      if (C.Name.empty())
+        continue; // anonymous leaf: inaccessible, treated as padding
+      Names.push_back(C.Name);
+      Elems.push_back(CT);
+    }
+    return record(std::move(Names), std::move(Elems));
+  }
+  }
+  NOVA_UNREACHABLE("unhandled layout node kind");
+}

@@ -1,0 +1,108 @@
+//===- Types.h - Nova semantic types ----------------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned semantic types. Nova's type system is stratified into types
+/// and layouts (paper Section 3); packed(l)/unpacked(l) are expanded
+/// structurally into word tuples and records here, so downstream phases
+/// never see layout-dependent types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NOVA_TYPES_H
+#define NOVA_TYPES_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nova {
+
+struct LayoutNode;
+
+enum class TypeKind : uint8_t {
+  Word,
+  Bool,
+  Never, ///< type of `raise`; unifies with everything
+  Tuple, ///< includes unit, the empty tuple
+  Record,
+  Exn, ///< exception with a payload type (tuple or record)
+};
+
+/// An interned, immutable type. Pointer equality is type equality.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+  bool isWord() const { return Kind == TypeKind::Word; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isNever() const { return Kind == TypeKind::Never; }
+  bool isUnit() const { return Kind == TypeKind::Tuple && Elems.empty(); }
+  bool isExn() const { return Kind == TypeKind::Exn; }
+
+  const std::vector<const Type *> &elems() const { return Elems; }
+  const std::vector<std::string> &fieldNames() const { return Names; }
+  const Type *exnPayload() const { return Elems.empty() ? nullptr : Elems[0]; }
+
+  /// Index of a record field, or -1.
+  int fieldIndex(const std::string &Name) const {
+    for (unsigned I = 0; I != Names.size(); ++I)
+      if (Names[I] == Name)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Number of machine words after record/tuple flattening. Exn members
+  /// occupy no data words (they are compile-time control values).
+  unsigned flatWordCount() const;
+
+  /// Human-readable rendering for diagnostics.
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  TypeKind Kind = TypeKind::Word;
+  std::vector<const Type *> Elems;
+  std::vector<std::string> Names; ///< parallel to Elems for records
+};
+
+/// Interning factory; owns all types it creates.
+class TypeContext {
+public:
+  TypeContext();
+
+  const Type *word() const { return WordTy; }
+  const Type *boolean() const { return BoolTy; }
+  const Type *never() const { return NeverTy; }
+  const Type *unit() const { return UnitTy; }
+
+  const Type *tuple(std::vector<const Type *> Elems);
+  const Type *record(std::vector<std::string> Names,
+                     std::vector<const Type *> Elems);
+  const Type *exn(const Type *Payload);
+
+  /// `word[n]` — the packed representation type.
+  const Type *wordTuple(unsigned N);
+
+  /// Builds unpacked(l): a record mirroring the layout structure with all
+  /// bitfields (including every overlay alternative) as word fields.
+  const Type *unpackedOf(const LayoutNode &Layout);
+
+private:
+  const Type *intern(Type T);
+
+  std::map<std::string, std::unique_ptr<Type>> Pool;
+  const Type *WordTy;
+  const Type *BoolTy;
+  const Type *NeverTy;
+  const Type *UnitTy;
+};
+
+} // namespace nova
+
+#endif // NOVA_TYPES_H

@@ -1,0 +1,160 @@
+//===- Aes.cpp - Reference AES-128 ----------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ref/Aes.h"
+
+using namespace nova;
+using namespace nova::ref;
+
+namespace {
+
+/// GF(2^8) multiplication modulo x^8 + x^4 + x^3 + x + 1.
+uint8_t gmul(uint8_t A, uint8_t B) {
+  uint8_t P = 0;
+  for (int I = 0; I != 8; ++I) {
+    if (B & 1)
+      P ^= A;
+    bool Hi = A & 0x80;
+    A <<= 1;
+    if (Hi)
+      A ^= 0x1B;
+    B >>= 1;
+  }
+  return P;
+}
+
+/// S-box from first principles: inverse in GF(2^8), then the affine map.
+std::array<uint8_t, 256> computeSbox() {
+  // Build inverses by brute force (the field is tiny).
+  std::array<uint8_t, 256> Inv{};
+  for (unsigned X = 1; X != 256; ++X)
+    for (unsigned Y = 1; Y != 256; ++Y)
+      if (gmul(static_cast<uint8_t>(X), static_cast<uint8_t>(Y)) == 1) {
+        Inv[X] = static_cast<uint8_t>(Y);
+        break;
+      }
+  std::array<uint8_t, 256> S{};
+  for (unsigned X = 0; X != 256; ++X) {
+    uint8_t B = Inv[X];
+    uint8_t R = 0;
+    for (int I = 0; I != 8; ++I) {
+      uint8_t Bit = (B >> I) & 1;
+      Bit ^= (B >> ((I + 4) & 7)) & 1;
+      Bit ^= (B >> ((I + 5) & 7)) & 1;
+      Bit ^= (B >> ((I + 6) & 7)) & 1;
+      Bit ^= (B >> ((I + 7) & 7)) & 1;
+      Bit ^= (0x63 >> I) & 1;
+      R |= Bit << I;
+    }
+    S[X] = R;
+  }
+  return S;
+}
+
+const std::array<uint8_t, 256> &sboxBytes() {
+  static const std::array<uint8_t, 256> S = computeSbox();
+  return S;
+}
+
+std::array<std::array<uint32_t, 256>, 4> computeTables() {
+  const auto &S = sboxBytes();
+  std::array<std::array<uint32_t, 256>, 4> Te{};
+  for (unsigned X = 0; X != 256; ++X) {
+    uint8_t s = S[X];
+    uint32_t T0 = (static_cast<uint32_t>(gmul(s, 2)) << 24) |
+                  (static_cast<uint32_t>(s) << 16) |
+                  (static_cast<uint32_t>(s) << 8) |
+                  static_cast<uint32_t>(gmul(s, 3));
+    Te[0][X] = T0;
+    Te[1][X] = (T0 >> 8) | (T0 << 24);
+    Te[2][X] = (T0 >> 16) | (T0 << 16);
+    Te[3][X] = (T0 >> 24) | (T0 << 8);
+  }
+  return Te;
+}
+
+uint32_t subWord(uint32_t W) {
+  const auto &S = sboxBytes();
+  return (static_cast<uint32_t>(S[(W >> 24) & 0xFF]) << 24) |
+         (static_cast<uint32_t>(S[(W >> 16) & 0xFF]) << 16) |
+         (static_cast<uint32_t>(S[(W >> 8) & 0xFF]) << 8) |
+         static_cast<uint32_t>(S[W & 0xFF]);
+}
+
+} // namespace
+
+const std::array<std::array<uint32_t, 256>, 4> &Aes128::tables() {
+  static const std::array<std::array<uint32_t, 256>, 4> Te =
+      computeTables();
+  return Te;
+}
+
+const std::array<uint32_t, 256> &Aes128::sbox() {
+  static const std::array<uint32_t, 256> S = [] {
+    std::array<uint32_t, 256> W{};
+    for (unsigned X = 0; X != 256; ++X)
+      W[X] = sboxBytes()[X];
+    return W;
+  }();
+  return S;
+}
+
+Aes128::Aes128(const std::array<uint32_t, 4> &Key) {
+  for (unsigned I = 0; I != 4; ++I)
+    Rk[I] = Key[I];
+  uint8_t Rcon = 1;
+  for (unsigned I = 4; I != 44; ++I) {
+    uint32_t T = Rk[I - 1];
+    if (I % 4 == 0) {
+      T = subWord((T << 8) | (T >> 24)) ^
+          (static_cast<uint32_t>(Rcon) << 24);
+      Rcon = gmul(Rcon, 2);
+    }
+    Rk[I] = Rk[I - 4] ^ T;
+  }
+}
+
+std::array<uint32_t, 4>
+Aes128::encrypt(const std::array<uint32_t, 4> &In) const {
+  const auto &Te = tables();
+  const auto &S = sbox();
+  uint32_t S0 = In[0] ^ Rk[0];
+  uint32_t S1 = In[1] ^ Rk[1];
+  uint32_t S2 = In[2] ^ Rk[2];
+  uint32_t S3 = In[3] ^ Rk[3];
+  for (unsigned Round = 1; Round != 10; ++Round) {
+    uint32_t T0 = Te[0][S0 >> 24] ^ Te[1][(S1 >> 16) & 0xFF] ^
+                  Te[2][(S2 >> 8) & 0xFF] ^ Te[3][S3 & 0xFF] ^
+                  Rk[4 * Round];
+    uint32_t T1 = Te[0][S1 >> 24] ^ Te[1][(S2 >> 16) & 0xFF] ^
+                  Te[2][(S3 >> 8) & 0xFF] ^ Te[3][S0 & 0xFF] ^
+                  Rk[4 * Round + 1];
+    uint32_t T2 = Te[0][S2 >> 24] ^ Te[1][(S3 >> 16) & 0xFF] ^
+                  Te[2][(S0 >> 8) & 0xFF] ^ Te[3][S1 & 0xFF] ^
+                  Rk[4 * Round + 2];
+    uint32_t T3 = Te[0][S3 >> 24] ^ Te[1][(S0 >> 16) & 0xFF] ^
+                  Te[2][(S1 >> 8) & 0xFF] ^ Te[3][S2 & 0xFF] ^
+                  Rk[4 * Round + 3];
+    S0 = T0;
+    S1 = T1;
+    S2 = T2;
+    S3 = T3;
+  }
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  auto FinalWord = [&](uint32_t A, uint32_t B, uint32_t C, uint32_t D,
+                       uint32_t K) {
+    uint32_t W = (S[A >> 24] << 24) | (S[(B >> 16) & 0xFF] << 16) |
+                 (S[(C >> 8) & 0xFF] << 8) | S[D & 0xFF];
+    return W ^ K;
+  };
+  std::array<uint32_t, 4> Out;
+  Out[0] = FinalWord(S0, S1, S2, S3, Rk[40]);
+  Out[1] = FinalWord(S1, S2, S3, S0, Rk[41]);
+  Out[2] = FinalWord(S2, S3, S0, S1, Rk[42]);
+  Out[3] = FinalWord(S3, S0, S1, S2, Rk[43]);
+  return Out;
+}

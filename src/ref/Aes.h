@@ -1,0 +1,53 @@
+//===- Aes.h - Reference AES-128 (FIPS-197) ---------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch AES-128 encryptor used as the oracle for the Nova AES
+/// application (paper Section 11, "AES Rijndael"). The S-box is computed
+/// from first principles (multiplicative inverse in GF(2^8) plus the
+/// affine transform), and the T-tables (the "fast C reference
+/// implementation" style the paper's Nova code mirrors) are derived from
+/// it, so no opaque constant tables are embedded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REF_AES_H
+#define REF_AES_H
+
+#include <array>
+#include <cstdint>
+
+namespace nova {
+namespace ref {
+
+/// AES-128 encryption tables and round keys.
+class Aes128 {
+public:
+  /// \p Key is the 16-byte cipher key, big-endian packed into 4 words.
+  explicit Aes128(const std::array<uint32_t, 4> &Key);
+
+  /// Encrypts one 16-byte block (4 big-endian words), T-table style.
+  std::array<uint32_t, 4> encrypt(const std::array<uint32_t, 4> &In) const;
+
+  /// The 44 round-key words of the expanded key schedule.
+  const std::array<uint32_t, 44> &roundKeys() const { return Rk; }
+
+  /// The four encryption T-tables (256 words each):
+  /// Te0[x] = (2*S, S, S, 3*S), rotated right by one byte per table.
+  static const std::array<std::array<uint32_t, 256>, 4> &tables();
+
+  /// The plain S-box as 256 words (for the final round).
+  static const std::array<uint32_t, 256> &sbox();
+
+private:
+  std::array<uint32_t, 44> Rk;
+};
+
+} // namespace ref
+} // namespace nova
+
+#endif // REF_AES_H

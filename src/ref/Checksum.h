@@ -1,0 +1,42 @@
+//===- Checksum.h - Internet ones'-complement checksum ----------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RFC 1071 checksum over big-endian packed words — the oracle for the
+/// checksum maintenance the paper's AES/Kasumi/NAT applications perform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REF_CHECKSUM_H
+#define REF_CHECKSUM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace nova {
+namespace ref {
+
+/// Sums the 16-bit halves of each word with end-around carry; returns
+/// the folded 16-bit sum (not complemented).
+inline uint16_t onesComplementSum(const std::vector<uint32_t> &Words) {
+  uint64_t Sum = 0;
+  for (uint32_t W : Words)
+    Sum += (W >> 16) + (W & 0xFFFF);
+  while (Sum >> 16)
+    Sum = (Sum & 0xFFFF) + (Sum >> 16);
+  return static_cast<uint16_t>(Sum);
+}
+
+/// The IPv4 header checksum: complement of the folded sum.
+inline uint16_t ipChecksum(const std::vector<uint32_t> &HeaderWords) {
+  return static_cast<uint16_t>(~onesComplementSum(HeaderWords));
+}
+
+} // namespace ref
+} // namespace nova
+
+#endif // REF_CHECKSUM_H

@@ -1,0 +1,65 @@
+//===- Kasumi.h - Kasumi-structured reference cipher ------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cipher with exactly KASUMI's structure (3GPP TS 35.202): an 8-round
+/// Feistel network over 64-bit blocks with FL (AND/OR/rotate) and FO
+/// (three FI rounds) functions, FI built from S9 and S7 substitution
+/// boxes, and a 128-bit key schedule of rotated subkeys.
+///
+/// Substitution note (documented in DESIGN.md): the 3GPP S7/S9 box
+/// contents are specification constants we do not embed; the boxes here
+/// are deterministic bijections generated from a fixed-feedback LFSR
+/// shuffle. The compiler-facing behaviour the paper measures — table
+/// sizes, lookup counts, rounds, register pressure — is identical, and
+/// the Nova application is validated bit-for-bit against this reference
+/// using the same generated tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REF_KASUMI_H
+#define REF_KASUMI_H
+
+#include <array>
+#include <cstdint>
+
+namespace nova {
+namespace ref {
+
+class Kasumi {
+public:
+  /// \p Key is the 128-bit key as 4 big-endian words.
+  explicit Kasumi(const std::array<uint32_t, 4> &Key);
+
+  /// Encrypts one 64-bit block (hi, lo).
+  std::pair<uint32_t, uint32_t> encrypt(uint32_t Hi, uint32_t Lo) const;
+
+  /// Decrypts one 64-bit block (inverse of encrypt).
+  std::pair<uint32_t, uint32_t> decrypt(uint32_t Hi, uint32_t Lo) const;
+
+  /// S-boxes: S7 has 128 entries (7-bit), S9 has 512 entries (9-bit).
+  static const std::array<uint16_t, 128> &s7();
+  static const std::array<uint16_t, 512> &s9();
+
+  /// Per-round subkeys, each 16 bits: KL1,KL2,KO1,KO2,KO3,KI1,KI2,KI3.
+  struct RoundKeys {
+    uint16_t KL1, KL2, KO1, KO2, KO3, KI1, KI2, KI3;
+  };
+  const std::array<RoundKeys, 8> &roundKeys() const { return Rk; }
+
+private:
+  uint32_t fo(uint32_t X, const RoundKeys &K) const;
+  uint32_t fl(uint32_t X, const RoundKeys &K) const;
+  static uint16_t fi(uint16_t X, uint16_t KI);
+
+  std::array<RoundKeys, 8> Rk;
+};
+
+} // namespace ref
+} // namespace nova
+
+#endif // REF_KASUMI_H

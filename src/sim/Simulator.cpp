@@ -1,0 +1,288 @@
+//===- Simulator.cpp ------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "support/HwHash.h"
+#include "support/StringUtils.h"
+
+using namespace nova;
+using namespace nova::sim;
+using namespace nova::ixp;
+
+namespace {
+
+uint32_t evalAlu(cps::PrimOp Op, uint32_t A, uint32_t B) {
+  switch (Op) {
+  case cps::PrimOp::Add: return A + B;
+  case cps::PrimOp::Sub: return A - B;
+  case cps::PrimOp::And: return A & B;
+  case cps::PrimOp::Or:  return A | B;
+  case cps::PrimOp::Xor: return A ^ B;
+  case cps::PrimOp::Shl: return B >= 32 ? 0 : A << B;
+  case cps::PrimOp::Shr: return B >= 32 ? 0 : A >> B;
+  case cps::PrimOp::Not: return ~A;
+  }
+  return 0;
+}
+
+bool evalCmp(cps::CmpOp Op, uint32_t A, uint32_t B) {
+  switch (Op) {
+  case cps::CmpOp::Eq: return A == B;
+  case cps::CmpOp::Ne: return A != B;
+  case cps::CmpOp::Lt: return A < B;
+  case cps::CmpOp::Gt: return A > B;
+  case cps::CmpOp::Le: return A <= B;
+  case cps::CmpOp::Ge: return A >= B;
+  }
+  return false;
+}
+
+} // namespace
+
+double sim::throughputMbps(unsigned PayloadBytes, double CyclesPerPacket,
+                           double ClockHz) {
+  if (CyclesPerPacket <= 0)
+    return 0.0;
+  double PacketsPerSec = ClockHz / CyclesPerPacket;
+  return PacketsPerSec * PayloadBytes * 8.0 / 1e6;
+}
+
+RunResult sim::runAllocated(const alloc::AllocatedProgram &P,
+                            const std::vector<uint32_t> &Args, Memory &Mem,
+                            const LatencyModel &Lat,
+                            uint64_t MaxInstructions) {
+  using alloc::AllocInstr;
+  using alloc::AOperand;
+  using alloc::PhysLoc;
+
+  RunResult R;
+  if (P.Entry == NoBlock) {
+    R.Error = "no entry block";
+    return R;
+  }
+  if (Args.size() > 15) {
+    R.Error = "too many entry arguments";
+    return R;
+  }
+
+  // Register files.
+  uint32_t RegA[16] = {0}, RegB[16] = {0}, RegL[8] = {0}, RegS[8] = {0},
+           RegLD[8] = {0}, RegSD[8] = {0};
+  auto RegFile = [&](Bank B) -> uint32_t * {
+    switch (B) {
+    case Bank::A:  return RegA;
+    case Bank::B:  return RegB;
+    case Bank::L:  return RegL;
+    case Bank::S:  return RegS;
+    case Bank::LD: return RegLD;
+    case Bank::SD: return RegSD;
+    default:       return nullptr;
+    }
+  };
+  auto Read = [&](const AOperand &O, bool &Err) -> uint32_t {
+    if (O.IsConst)
+      return O.Value;
+    uint32_t *F = RegFile(O.Loc.B);
+    if (!F) {
+      Err = true;
+      return 0;
+    }
+    return F[O.Loc.Reg & 15];
+  };
+  auto Write = [&](PhysLoc L, uint32_t V, bool &Err) {
+    uint32_t *F = RegFile(L.B);
+    if (!F) {
+      Err = true;
+      return;
+    }
+    F[L.Reg & 15] = V;
+  };
+
+  for (unsigned I = 0; I != Args.size(); ++I)
+    RegA[I] = Args[I];
+
+  BlockId B = P.Entry;
+  unsigned Idx = 0;
+  while (true) {
+    if (++R.Instructions > MaxInstructions) {
+      R.Error = "instruction limit exceeded";
+      return R;
+    }
+    if (Idx >= P.Blocks[B].Instrs.size()) {
+      R.Error = formatf("fell off the end of block b%u", B);
+      return R;
+    }
+    const AllocInstr &I = P.Blocks[B].Instrs[Idx++];
+    bool Err = false;
+    switch (I.Op) {
+    case MOp::Alu: {
+      uint32_t A = Read(I.Srcs[0], Err);
+      uint32_t Bv = I.Srcs.size() > 1 ? Read(I.Srcs[1], Err) : 0;
+      Write(I.Dsts[0], evalAlu(I.Alu, A, Bv), Err);
+      R.Cycles += Lat.Alu;
+      break;
+    }
+    case MOp::Imm:
+      Write(I.Dsts[0], I.Imm, Err);
+      // Large constants need two instructions on the IXP (paper §12).
+      R.Cycles += I.Imm <= 0xFFFF || (I.Imm & 0xFFFF) == 0 ? Lat.Imm
+                                                           : Lat.Imm + 1;
+      break;
+    case MOp::Move:
+      Write(I.Dsts[0], Read(I.Srcs[0], Err), Err);
+      R.Cycles += Lat.Alu;
+      break;
+    case MOp::MemRead: {
+      uint32_t Addr = Read(I.Srcs[0], Err);
+      auto &Space = Mem.space(I.Space);
+      for (unsigned K = 0; K != I.Dsts.size(); ++K)
+        Write(I.Dsts[K], Space[Addr + K], Err);
+      R.Cycles += Lat.memAccess(I.Space);
+      break;
+    }
+    case MOp::MemWrite: {
+      uint32_t Addr = Read(I.Srcs[0], Err);
+      auto &Space = Mem.space(I.Space);
+      for (unsigned K = 1; K != I.Srcs.size(); ++K)
+        Space[Addr + K - 1] = Read(I.Srcs[K], Err);
+      R.Cycles += Lat.memAccess(I.Space);
+      break;
+    }
+    case MOp::Hash:
+      Write(I.Dsts[0], hwHash(Read(I.Srcs[0], Err)), Err);
+      R.Cycles += Lat.HashOp;
+      break;
+    case MOp::BitTestSet: {
+      uint32_t Addr = Read(I.Srcs[0], Err);
+      uint32_t Bits = Read(I.Srcs[1], Err);
+      auto &Space = Mem.space(I.Space);
+      uint32_t Old = Space[Addr];
+      Space[Addr] = Old | Bits;
+      Write(I.Dsts[0], Old, Err);
+      R.Cycles += Lat.memAccess(I.Space);
+      break;
+    }
+    case MOp::Clone:
+      R.Error = "clone pseudo in allocated code";
+      return R;
+    case MOp::Branch:
+      B = evalCmp(I.Cmp, Read(I.Srcs[0], Err), Read(I.Srcs[1], Err))
+              ? I.Target
+              : I.TargetElse;
+      Idx = 0;
+      R.Cycles += Lat.Branch;
+      break;
+    case MOp::Jump:
+      B = I.Target;
+      Idx = 0;
+      R.Cycles += Lat.Branch;
+      break;
+    case MOp::Halt:
+      for (const AOperand &S : I.Srcs)
+        R.HaltValues.push_back(Read(S, Err));
+      R.Ok = !Err;
+      if (Err)
+        R.Error = "illegal register access at halt";
+      return R;
+    }
+    if (Err) {
+      R.Error = formatf("illegal register access in block b%u", B);
+      return R;
+    }
+  }
+}
+
+RunResult sim::runFunctional(const MachineProgram &M,
+                             const std::vector<uint32_t> &Args, Memory &Mem,
+                             uint64_t MaxInstructions) {
+  RunResult R;
+  if (M.Entry == NoBlock) {
+    R.Error = "no entry block";
+    return R;
+  }
+  if (Args.size() != M.EntryParams.size()) {
+    R.Error = formatf("entry takes %zu args, got %zu",
+                      M.EntryParams.size(), Args.size());
+    return R;
+  }
+  std::vector<uint32_t> T(M.NumTemps, 0);
+  for (unsigned I = 0; I != Args.size(); ++I)
+    T[M.EntryParams[I]] = Args[I];
+
+  auto Val = [&](const MOperand &O) { return O.IsConst ? O.Value : T[O.T]; };
+
+  BlockId B = M.Entry;
+  unsigned Idx = 0;
+  while (true) {
+    if (++R.Instructions > MaxInstructions) {
+      R.Error = "instruction limit exceeded";
+      return R;
+    }
+    if (Idx >= M.Blocks[B].Instrs.size()) {
+      R.Error = formatf("fell off the end of block b%u", B);
+      return R;
+    }
+    const MachineInstr &I = M.Blocks[B].Instrs[Idx++];
+    switch (I.Op) {
+    case MOp::Alu:
+      T[I.Dsts[0]] = evalAlu(I.Alu, Val(I.Srcs[0]),
+                             I.Srcs.size() > 1 ? Val(I.Srcs[1]) : 0);
+      break;
+    case MOp::Imm:
+      T[I.Dsts[0]] = I.Imm;
+      break;
+    case MOp::Move:
+      T[I.Dsts[0]] = Val(I.Srcs[0]);
+      break;
+    case MOp::MemRead: {
+      uint32_t Addr = Val(I.Srcs[0]);
+      auto &Space = Mem.space(I.Space);
+      for (unsigned K = 0; K != I.Dsts.size(); ++K)
+        T[I.Dsts[K]] = Space[Addr + K];
+      break;
+    }
+    case MOp::MemWrite: {
+      uint32_t Addr = Val(I.Srcs[0]);
+      auto &Space = Mem.space(I.Space);
+      for (unsigned K = 1; K != I.Srcs.size(); ++K)
+        Space[Addr + K - 1] = Val(I.Srcs[K]);
+      break;
+    }
+    case MOp::Hash:
+      T[I.Dsts[0]] = hwHash(Val(I.Srcs[0]));
+      break;
+    case MOp::BitTestSet: {
+      uint32_t Addr = Val(I.Srcs[0]);
+      uint32_t Bits = Val(I.Srcs[1]);
+      auto &Space = Mem.space(I.Space);
+      uint32_t Old = Space[Addr];
+      Space[Addr] = Old | Bits;
+      T[I.Dsts[0]] = Old;
+      break;
+    }
+    case MOp::Clone:
+      for (Temp D : I.Dsts)
+        T[D] = Val(I.Srcs[0]);
+      break;
+    case MOp::Branch:
+      B = evalCmp(I.Cmp, Val(I.Srcs[0]), Val(I.Srcs[1])) ? I.Target
+                                                         : I.TargetElse;
+      Idx = 0;
+      break;
+    case MOp::Jump:
+      B = I.Target;
+      Idx = 0;
+      break;
+    case MOp::Halt:
+      for (const MOperand &S : I.Srcs)
+        R.HaltValues.push_back(Val(S));
+      R.Ok = true;
+      return R;
+    }
+  }
+}

@@ -1,0 +1,33 @@
+//===- Debug.h - Assertion and unreachable helpers --------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small debugging helpers shared across all libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_DEBUG_H
+#define SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nova {
+
+/// Reports an internal error and aborts. Used for code paths that are
+/// unconditionally bugs when reached (never for user-input errors).
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         int Line) {
+  std::fprintf(stderr, "UNREACHABLE at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace nova
+
+#define NOVA_UNREACHABLE(MSG) ::nova::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // SUPPORT_DEBUG_H

@@ -1,0 +1,36 @@
+//===- HwHash.h - The micro-engine hash unit's function ---------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shared definition of the IXP hash unit's word hash so the CPS
+/// evaluator and the micro-engine simulator agree bit-for-bit. (The real
+/// IXP1200 used a polynomial hash over 48/64-bit quantities; a 32-bit
+/// mixer preserves the relevant behaviour: a deterministic, well-mixed,
+/// single-result hardware operation.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_HWHASH_H
+#define SUPPORT_HWHASH_H
+
+#include <cstdint>
+
+namespace nova {
+
+/// MurmurHash3 finalizer; deterministic across platforms.
+inline uint32_t hwHash(uint32_t X) {
+  X ^= X >> 16;
+  X *= 0x85ebca6bu;
+  X ^= X >> 13;
+  X *= 0xc2b2ae35u;
+  X ^= X >> 16;
+  return X;
+}
+
+} // namespace nova
+
+#endif // SUPPORT_HWHASH_H

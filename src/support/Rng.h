@@ -1,0 +1,67 @@
+//===- Rng.h - Deterministic random number generator ------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by workload
+/// generators and property tests so runs are reproducible across
+/// platforms — unlike std::mt19937 distribution behaviour, which is
+/// implementation-defined for std::uniform_int_distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_RNG_H
+#define SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace nova {
+
+/// SplitMix64 PRNG with convenience helpers for bounded draws.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform draw in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Debiased modulo via rejection; Bound is small in all our uses, so the
+    // rejection loop terminates almost immediately.
+    uint64_t Threshold = -Bound % Bound;
+    while (true) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform draw in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace nova
+
+#endif // SUPPORT_RNG_H

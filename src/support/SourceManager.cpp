@@ -1,0 +1,63 @@
+//===- SourceManager.cpp --------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nova;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Contents) {
+  Buffers.push_back(Buffer{std::move(Name), std::move(Contents), {}});
+  return static_cast<uint32_t>(Buffers.size() - 1);
+}
+
+const SourceManager::Buffer &SourceManager::buffer(uint32_t Id) const {
+  assert(Id < Buffers.size() && "invalid buffer id");
+  return Buffers[Id];
+}
+
+std::string_view SourceManager::bufferName(uint32_t Id) const {
+  return buffer(Id).Name;
+}
+
+std::string_view SourceManager::bufferContents(uint32_t Id) const {
+  return buffer(Id).Contents;
+}
+
+void SourceManager::computeLineStarts(const Buffer &B) {
+  if (!B.LineStarts.empty())
+    return;
+  B.LineStarts.push_back(0);
+  for (uint32_t I = 0, E = B.Contents.size(); I != E; ++I)
+    if (B.Contents[I] == '\n')
+      B.LineStarts.push_back(I + 1);
+}
+
+LineColumn SourceManager::lineColumn(SourceLoc Loc) const {
+  if (!Loc.isValid())
+    return {};
+  const Buffer &B = buffer(Loc.BufferId);
+  computeLineStarts(B);
+  uint32_t Off = std::min<uint32_t>(Loc.Offset, B.Contents.size());
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(), Off);
+  uint32_t LineIdx = static_cast<uint32_t>(It - B.LineStarts.begin()) - 1;
+  return {LineIdx + 1, Off - B.LineStarts[LineIdx] + 1};
+}
+
+std::string_view SourceManager::lineText(SourceLoc Loc) const {
+  if (!Loc.isValid())
+    return {};
+  const Buffer &B = buffer(Loc.BufferId);
+  computeLineStarts(B);
+  LineColumn LC = lineColumn(Loc);
+  uint32_t Start = B.LineStarts[LC.Line - 1];
+  uint32_t End = LC.Line < B.LineStarts.size() ? B.LineStarts[LC.Line] - 1
+                                               : B.Contents.size();
+  return std::string_view(B.Contents).substr(Start, End - Start);
+}

@@ -1,0 +1,80 @@
+//===- SourceManager.h - Source buffers and locations -----------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns source buffers and maps byte offsets to human-readable line/column
+/// positions for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_SOURCEMANAGER_H
+#define SUPPORT_SOURCEMANAGER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nova {
+
+/// A location inside a source buffer, identified by buffer id and byte
+/// offset. Offset == ~0u denotes an invalid/unknown location.
+struct SourceLoc {
+  uint32_t BufferId = 0;
+  uint32_t Offset = ~0u;
+
+  bool isValid() const { return Offset != ~0u; }
+  static SourceLoc invalid() { return SourceLoc(); }
+};
+
+/// A half-open [Begin, End) range of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+};
+
+/// Line/column pair (both 1-based) resolved from a SourceLoc.
+struct LineColumn {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+};
+
+/// Registry of in-memory source buffers. Buffers are immutable once added.
+class SourceManager {
+public:
+  /// Adds a buffer and returns its id. \p Name is used in diagnostics.
+  uint32_t addBuffer(std::string Name, std::string Contents);
+
+  std::string_view bufferName(uint32_t Id) const;
+  std::string_view bufferContents(uint32_t Id) const;
+  unsigned numBuffers() const { return Buffers.size(); }
+
+  /// Resolves a location to 1-based line and column. Returns {0,0} for an
+  /// invalid location.
+  LineColumn lineColumn(SourceLoc Loc) const;
+
+  /// Returns the full text of the line containing \p Loc (without the
+  /// trailing newline), for use in caret diagnostics.
+  std::string_view lineText(SourceLoc Loc) const;
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Contents;
+    /// Byte offsets of line starts, computed lazily on first query.
+    mutable std::vector<uint32_t> LineStarts;
+  };
+
+  const Buffer &buffer(uint32_t Id) const;
+  static void computeLineStarts(const Buffer &B);
+
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace nova
+
+#endif // SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,11 @@
+//===- Timer.cpp ----------------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+// Timer is header-only; this file exists so the support library always has
+// at least one object per header group and anchors future out-of-line code.

@@ -1,0 +1,39 @@
+//===- Timer.h - Wall-clock timing helpers ----------------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock stopwatch used to report solver times (Figure 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TIMER_H
+#define SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace nova {
+
+/// A stopwatch that starts on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace nova
+
+#endif // SUPPORT_TIMER_H

@@ -1,0 +1,465 @@
+//===- alloc_test.cpp - ILP allocator end-to-end tests --------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+// Every test compiles Nova source through the full pipeline, then checks:
+//  (a) the allocated program passes the static legality verifier;
+//  (b) executing it on the bank-level simulator produces the same halt
+//      values and memory as the CPS oracle;
+//  (c) model- or solution-level properties the paper promises.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Verifier.h"
+#include "cps/Eval.h"
+#include "driver/Compiler.h"
+#include "sim/Simulator.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+using namespace nova::alloc;
+
+namespace {
+
+/// Compiles + allocates, verifying and cross-checking execution.
+std::unique_ptr<driver::CompileResult>
+compileAndCheck(const std::string &Source,
+                const std::vector<uint32_t> &Args,
+                cps::EvalMemory InitMem = {},
+                driver::CompileOptions Opts = {}) {
+  auto R = driver::compileNova(Source, "test.nova", Opts);
+  EXPECT_TRUE(R->Ok) << R->ErrorText;
+  if (!R->Ok)
+    return R;
+
+  // Static legality.
+  std::vector<std::string> Violations = verifyAllocated(R->Alloc.Prog);
+  EXPECT_TRUE(Violations.empty())
+      << Violations.front() << "\n"
+      << R->Alloc.Prog.print();
+
+  // Oracle.
+  cps::EvalMemory OracleMem = InitMem;
+  cps::EvalResult Oracle = cps::evaluate(R->Cps, Args, OracleMem);
+  EXPECT_TRUE(Oracle.Ok) << Oracle.Error;
+
+  // Bank-level execution.
+  sim::Memory Mem;
+  Mem.Sram = InitMem.Sram;
+  Mem.Sdram = InitMem.Sdram;
+  Mem.Scratch = InitMem.Scratch;
+  sim::RunResult Run = sim::runAllocated(R->Alloc.Prog, Args, Mem);
+  EXPECT_TRUE(Run.Ok) << Run.Error << "\n" << R->Alloc.Prog.print();
+  if (Oracle.Ok && Run.Ok) {
+    EXPECT_EQ(Run.HaltValues, Oracle.HaltValues)
+        << R->Alloc.Prog.print();
+    EXPECT_EQ(Mem.Sram, OracleMem.Sram);
+    EXPECT_EQ(Mem.Sdram, OracleMem.Sdram);
+    // The allocator may spill into high scratch; compare only the
+    // addresses the oracle knows about.
+    for (auto &[Addr, Val] : OracleMem.Scratch)
+      EXPECT_EQ(Mem.Scratch[Addr], Val) << "scratch[" << Addr << "]";
+  }
+  return R;
+}
+
+} // namespace
+
+TEST(Allocator, StraightLineArith) {
+  auto R = compileAndCheck("fun main(x : word, y : word) {"
+                           "  (x + y) ^ (x - y)"
+                           "}",
+                           {100, 42});
+  EXPECT_EQ(R->Alloc.Stats.Spills, 0u);
+}
+
+TEST(Allocator, Figure3Program) {
+  // The paper's running example (Figure 3): two reads, two ALU ops, two
+  // writes with interleaved operands.
+  cps::EvalMemory Mem;
+  for (uint32_t I = 0; I != 4; ++I)
+    Mem.Sram[100 + I] = I + 1;
+  for (uint32_t I = 0; I != 6; ++I)
+    Mem.Sram[200 + I] = 10 * (I + 1);
+  auto R = compileAndCheck("fun main(z : word) {"
+                           "  let (a, b, c, d) = sram(100);"
+                           "  let (e, f, g, h, i, j) = sram(200);"
+                           "  let u = a + c;"
+                           "  let v = g + h;"
+                           "  sram(300) <- (b, e, v, u);"
+                           "  sram(500) <- (f, j, d, i);"
+                           "  u + v"
+                           "}",
+                           {0}, Mem);
+  ASSERT_TRUE(R->Ok);
+  // Zero spills, like every program in the paper's Figure 7.
+  EXPECT_EQ(R->Alloc.Stats.Spills, 0u);
+  // Both reads fill L with 4 and 6 registers: some values must be moved
+  // out of the transfer bank to make room (paper Section 9's example).
+  EXPECT_GT(R->Alloc.Stats.Moves, 0u);
+  // Figure 6 style statistics.
+  EXPECT_EQ(R->Alloc.Stats.Build.Aggregates.DefL, 10u);
+  EXPECT_EQ(R->Alloc.Stats.Build.Aggregates.UseS, 8u);
+}
+
+TEST(Allocator, TransferBankOverflowForcesEviction) {
+  // 8 values loaded, all still needed after a second 4-word read: the L
+  // bank (8 regs) cannot hold 12 values.
+  cps::EvalMemory Mem;
+  for (uint32_t I = 0; I != 12; ++I)
+    Mem.Sram[I] = I * 7 + 1;
+  auto R = compileAndCheck(
+      "fun main(z : word) {"
+      "  let (a, b, c, d, e, f, g, h) = sram(0);"
+      "  let (p, q, r, s) = sram(8);"
+      "  ((a + p) ^ (b + q)) + ((c + r) ^ (d + s)) + (e + f) + (g + h)"
+      "}",
+      {0}, Mem);
+  ASSERT_TRUE(R->Ok);
+  EXPECT_GT(R->Alloc.Stats.Moves, 0u);
+}
+
+TEST(Allocator, LoopAllocation) {
+  auto R = compileAndCheck("fun main(n : word) {"
+                           "  let i = 0;"
+                           "  let sum = 0;"
+                           "  while (i < n) {"
+                           "    sum = sum + i;"
+                           "    i = i + 1;"
+                           "  }"
+                           "  sum"
+                           "}",
+                           {25});
+  ASSERT_TRUE(R->Ok);
+  EXPECT_EQ(R->Alloc.Stats.Spills, 0u);
+}
+
+TEST(Allocator, StoreCloningSatisfiesConflictingPositions) {
+  // x appears at two different store positions and in arithmetic — the
+  // paper's Section 2.1 conflict, resolved by cloning.
+  cps::EvalMemory Mem;
+  auto R = compileAndCheck("fun main(a : word, x : word) {"
+                           "  sram(a) <- (1, x, 3, 4);"
+                           "  sram(a + 8) <- (x, 2, 3, 4);"
+                           "  x + 1"
+                           "}",
+                           {64, 9}, Mem);
+  ASSERT_TRUE(R->Ok);
+}
+
+TEST(Allocator, SsaAvoidsReadPositionConflicts) {
+  // Paper Section 9 item 3: (a,b,X,Y) = sram(..); (Y,X,u,v) = sram(..)
+  // would be unsolvable, but SSA means the second read defines fresh
+  // names. This is the closest legal Nova program.
+  cps::EvalMemory Mem;
+  for (uint32_t I = 0; I != 8; ++I)
+    Mem.Sram[I] = I + 100;
+  auto R = compileAndCheck("fun main(z : word) {"
+                           "  let (a, b, x1, y1) = sram(0);"
+                           "  let (y2, x2, u, v) = sram(4);"
+                           "  (x1 + y2) ^ (y1 + x2) ^ (a + u) ^ (b + v)"
+                           "}",
+                           {0}, Mem);
+  ASSERT_TRUE(R->Ok);
+}
+
+TEST(Allocator, HashSameRegister) {
+  auto R = compileAndCheck("fun main(k : word) {"
+                           "  let h = hash(k);"
+                           "  h & 0xFFFF"
+                           "}",
+                           {0xDEAD});
+  ASSERT_TRUE(R->Ok);
+  // Find the hash instruction and check SameReg held (the verifier did
+  // too; this is belt and braces on the printed form).
+  bool Found = false;
+  for (const AllocBlock &B : R->Alloc.Prog.Blocks)
+    for (const AllocInstr &I : B.Instrs)
+      if (I.Op == ixp::MOp::Hash) {
+        Found = true;
+        EXPECT_EQ(I.Dsts[0].B, ixp::Bank::L);
+        EXPECT_EQ(I.Srcs[0].Loc.B, ixp::Bank::S);
+        EXPECT_EQ(I.Dsts[0].Reg, I.Srcs[0].Loc.Reg);
+      }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Allocator, BitTestSetSameRegister) {
+  cps::EvalMemory Mem;
+  Mem.Sram[5] = 0b1100;
+  auto R = compileAndCheck("fun main(a : word, v : word) {"
+                           "  let old = sram_bit_test_set(a, v);"
+                           "  old"
+                           "}",
+                           {5, 0b0011}, Mem);
+  ASSERT_TRUE(R->Ok);
+}
+
+TEST(Allocator, SdramUsesLdAndSd) {
+  cps::EvalMemory Mem;
+  Mem.Sdram[16] = 0xAAAA;
+  Mem.Sdram[17] = 0xBBBB;
+  auto R = compileAndCheck("fun main(z : word) {"
+                           "  let (x, y) = sdram(16);"
+                           "  sdram(32) <- (y, x);"
+                           "  x ^ y"
+                           "}",
+                           {0}, Mem);
+  ASSERT_TRUE(R->Ok);
+  bool SawLd = false, SawSd = false;
+  for (const AllocBlock &B : R->Alloc.Prog.Blocks)
+    for (const AllocInstr &I : B.Instrs) {
+      if (I.Op == ixp::MOp::MemRead && I.Space == MemSpace::Sdram)
+        for (const PhysLoc &D : I.Dsts)
+          SawLd |= D.B == ixp::Bank::LD;
+      if (I.Op == ixp::MOp::MemWrite && I.Space == MemSpace::Sdram)
+        for (unsigned K = 1; K != I.Srcs.size(); ++K)
+          SawSd |= I.Srcs[K].Loc.B == ixp::Bank::SD;
+    }
+  EXPECT_TRUE(SawLd);
+  EXPECT_TRUE(SawSd);
+}
+
+TEST(Allocator, PackedHeaderPipeline) {
+  cps::EvalMemory Mem;
+  Mem.Sram[0] = 0x45001234;
+  Mem.Sram[1] = 0xBEEF4000;
+  auto R = compileAndCheck(
+      "layout hdr = { ver : 4, ihl : 4, tos : 8, len : 16,"
+      "               id : 16, flags : 3, frag : 13 };"
+      "fun main(base : word) {"
+      "  let (w0, w1) = sram(base);"
+      "  let h = unpack[hdr]((w0, w1));"
+      "  let out = pack[hdr] [ ver = h.ver, ihl = h.ihl, tos = 0,"
+      "                        len = h.len + 8, id = h.id,"
+      "                        flags = h.flags, frag = h.frag ];"
+      "  sram(base + 16) <- (out.0, out.1);"
+      "  h.len"
+      "}",
+      {0}, Mem);
+  ASSERT_TRUE(R->Ok);
+  EXPECT_EQ(R->Alloc.Stats.Spills, 0u);
+}
+
+TEST(Allocator, BranchyProgram) {
+  const char *Src = "fun main(x : word, y : word) {"
+                    "  let (a, b) = sram(0);"
+                    "  let r = 0;"
+                    "  if (x > y) {"
+                    "    r = a + x;"
+                    "  } else {"
+                    "    if (x == 0) { r = b; } else { r = y - x; }"
+                    "  }"
+                    "  sram(8) <- (r, r + 1);"
+                    "  r"
+                    "}";
+  cps::EvalMemory Mem;
+  Mem.Sram[0] = 1000;
+  Mem.Sram[1] = 2000;
+  compileAndCheck(Src, {5, 9}, Mem);
+  compileAndCheck(Src, {9, 5}, Mem);
+  compileAndCheck(Src, {0, 5}, Mem);
+}
+
+TEST(Allocator, ObjectivePrefersCheapMoves) {
+  // The solve must report a finite objective consistent with the move
+  // count (every move costs >= mvC).
+  auto R = compileAndCheck("fun main(z : word) {"
+                           "  let (a, b, c, d, e, f, g, h) = sram(0);"
+                           "  let (p, q, r, s) = sram(8);"
+                           "  (a+p) + (b+q) + (c+r) + (d+s) + e + f + g + h"
+                           "}",
+                           {0});
+  ASSERT_TRUE(R->Ok);
+  EXPECT_GE(R->Alloc.Stats.Objective,
+            1.0 * R->Alloc.Stats.Moves - 1e-6);
+}
+
+TEST(Allocator, MoveInstructionOverheadIsTracked) {
+  auto R = compileAndCheck("fun main(z : word) {"
+                           "  let (a, b, c, d, e, f, g, h) = sram(0);"
+                           "  let (p, q, r, s) = sram(8);"
+                           "  (a+p) ^ (b+q) ^ (c+r) ^ (d+s) ^ e ^ f ^ g ^ h"
+                           "}",
+                           {0});
+  ASSERT_TRUE(R->Ok);
+  EXPECT_GE(R->Alloc.Prog.numInserted(), R->Alloc.Stats.Moves);
+}
+
+TEST(Allocator, ModelStatsPopulated) {
+  auto R = compileAndCheck("fun main(x : word) {"
+                           "  let (a, b) = sram(x);"
+                           "  a + b"
+                           "}",
+                           {50});
+  ASSERT_TRUE(R->Ok);
+  const AllocStats &S = R->Alloc.Stats;
+  EXPECT_GT(S.Build.NumPoints, 0u);
+  EXPECT_GT(S.Build.ExistsSize, 0u);
+  EXPECT_GT(S.Build.NumSegments, 0u);
+  EXPECT_GT(S.IlpSize.NumVariables, 0u);
+  EXPECT_GT(S.IlpSize.NumConstraints, 0u);
+  EXPECT_GT(S.Build.RawVariables, S.IlpSize.NumVariables);
+  EXPECT_GE(S.Solve.TotalSeconds, S.Solve.RootLpSeconds);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized end-to-end property: allocated code == oracle
+//===----------------------------------------------------------------------===//
+
+class AllocRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocRandom, AllocatedCodeMatchesOracle) {
+  Rng R(GetParam() * 6007 + 13);
+  std::string Src = "fun main(a : word, b : word) {\n";
+  std::vector<std::string> Vars = {"a", "b"};
+  unsigned ReadBase = 0, WriteBase = 400;
+  cps::EvalMemory Mem;
+  for (uint32_t I = 0; I != 64; ++I)
+    Mem.Sram[I] = static_cast<uint32_t>(R.next());
+
+  for (int I = 0; I != 8; ++I) {
+    switch (R.below(4)) {
+    case 0: { // aggregate read
+      unsigned N = 1 + R.below(4);
+      Src += "  let (";
+      for (unsigned K = 0; K != N; ++K) {
+        std::string V = "r" + std::to_string(I) + "_" + std::to_string(K);
+        Src += (K ? ", " : "") + V;
+        Vars.push_back(V);
+      }
+      Src += ") = sram(" + std::to_string(ReadBase) + ");\n";
+      ReadBase += N;
+      break;
+    }
+    case 1: { // aggregate write
+      unsigned N = 1 + R.below(3);
+      Src += "  sram(" + std::to_string(WriteBase) + ") <- (";
+      for (unsigned K = 0; K != N; ++K)
+        Src += (K ? ", " : "") + Vars[R.below(Vars.size())];
+      Src += ");\n";
+      WriteBase += N + 1;
+      break;
+    }
+    case 2: { // arithmetic
+      std::string V = "t" + std::to_string(I);
+      const char *Ops[] = {"+", "-", "&", "|", "^"};
+      Src += "  let " + V + " = " + Vars[R.below(Vars.size())] + " " +
+             Ops[R.below(5)] + " " + Vars[R.below(Vars.size())] + ";\n";
+      Vars.push_back(V);
+      break;
+    }
+    case 3: { // conditional
+      std::string V = "c" + std::to_string(I);
+      Src += "  let " + V + " = if (" + Vars[R.below(Vars.size())] +
+             " > " + Vars[R.below(Vars.size())] + ") " +
+             Vars[R.below(Vars.size())] + " else " +
+             Vars[R.below(Vars.size())] + ";\n";
+      Vars.push_back(V);
+      break;
+    }
+    }
+  }
+  Src += "  " + Vars.back() + "\n}\n";
+
+  std::vector<uint32_t> Args = {static_cast<uint32_t>(R.next()),
+                                static_cast<uint32_t>(R.next())};
+  compileAndCheck(Src, Args, Mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocRandom, ::testing::Range(0, 25));
+
+//===----------------------------------------------------------------------===//
+// Memory-home baseline allocator
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Baseline.h"
+
+namespace {
+
+/// Compiles without ILP allocation and runs the baseline allocator,
+/// checking legality and oracle agreement.
+void checkBaseline(const std::string &Source,
+                   const std::vector<uint32_t> &Args,
+                   cps::EvalMemory InitMem = {}) {
+  driver::CompileOptions Opts;
+  Opts.Allocate = false;
+  auto R = driver::compileNova(Source, "base.nova", Opts);
+  ASSERT_TRUE(R->Ok) << R->ErrorText;
+
+  BaselineResult B = allocateBaseline(R->Machine);
+  ASSERT_TRUE(B.Ok) << B.Error;
+  std::vector<std::string> V = verifyAllocated(B.Prog);
+  ASSERT_TRUE(V.empty()) << V.front() << "\n" << B.Prog.print();
+
+  cps::EvalMemory OracleMem = InitMem;
+  cps::EvalResult Oracle = cps::evaluate(R->Cps, Args, OracleMem);
+  ASSERT_TRUE(Oracle.Ok) << Oracle.Error;
+
+  sim::Memory Mem;
+  Mem.Sram = InitMem.Sram;
+  Mem.Sdram = InitMem.Sdram;
+  Mem.Scratch = InitMem.Scratch;
+  sim::RunResult Run = sim::runAllocated(B.Prog, Args, Mem);
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  EXPECT_EQ(Run.HaltValues, Oracle.HaltValues) << B.Prog.print();
+  EXPECT_EQ(Mem.Sram, OracleMem.Sram);
+  EXPECT_EQ(Mem.Sdram, OracleMem.Sdram);
+}
+
+} // namespace
+
+TEST(Baseline, StraightLine) {
+  checkBaseline("fun main(x : word, y : word) { (x + y) ^ (x - y) }",
+                {100, 42});
+}
+
+TEST(Baseline, AggregatesAndLoops) {
+  cps::EvalMemory Mem;
+  for (uint32_t I = 0; I != 8; ++I)
+    Mem.Sram[I] = I * 3 + 1;
+  checkBaseline("fun main(n : word) {"
+                "  let (a, b, c, d) = sram(0);"
+                "  let s = 0;"
+                "  let i = 0;"
+                "  while (i < n) { s = s + a + d; i = i + 1; }"
+                "  sram(16) <- (s, b, c, s);"
+                "  s"
+                "}",
+                {5}, Mem);
+}
+
+TEST(Baseline, HashBtsAndClones) {
+  cps::EvalMemory Mem;
+  Mem.Sram[9] = 4;
+  checkBaseline("fun main(a : word, x : word) {"
+                "  let h = hash(x);"
+                "  let old = sram_bit_test_set(a, h & 0xF);"
+                "  sram(20) <- (x, old, x, h);"
+                "  old ^ h"
+                "}",
+                {9, 77}, Mem);
+}
+
+TEST(Baseline, CostsFarMoreThanIlp) {
+  const char *Src = "fun main(z : word) {"
+                    "  let (a, b, c, d) = sram(0);"
+                    "  sram(8) <- (d, c, b, a);"
+                    "  a + d"
+                    "}";
+  auto Ilp = driver::compileNova(Src, "x.nova");
+  ASSERT_TRUE(Ilp->Ok) << Ilp->ErrorText;
+  BaselineResult B = allocateBaseline(Ilp->Machine);
+  ASSERT_TRUE(B.Ok);
+  sim::Memory M1, M2;
+  for (uint32_t I = 0; I != 4; ++I)
+    M1.Sram[I] = M2.Sram[I] = I + 1;
+  sim::RunResult R1 = sim::runAllocated(Ilp->Alloc.Prog, {0}, M1);
+  sim::RunResult R2 = sim::runAllocated(B.Prog, {0}, M2);
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_EQ(R1.HaltValues, R2.HaltValues);
+  EXPECT_GT(R2.Cycles, 2 * R1.Cycles); // the paper's "nearly intolerable"
+}

@@ -1,0 +1,588 @@
+//===- cps_test.cpp - CPS conversion, optimization, SSU tests -------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+// Strategy: compile Nova sources to CPS, then check that (a) evaluation
+// gives the expected results, (b) the optimizer preserves them, and (c)
+// the structural invariants (known callees, SSU) hold afterwards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cps/Convert.h"
+#include "cps/Eval.h"
+#include "cps/Opt.h"
+#include "nova/Parser.h"
+#include "nova/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+using namespace nova::cps;
+
+namespace {
+
+struct Pipeline {
+  SourceManager SM;
+  AstArena Arena;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  Program Prog;
+  std::unique_ptr<SemaResult> Sema;
+  CpsProgram Cps;
+
+  bool compile(const std::string &Source) {
+    uint32_t Buf = SM.addBuffer("test.nova", Source);
+    Diags = std::make_unique<DiagnosticEngine>(SM);
+    Parser P(SM, Buf, Arena, *Diags);
+    Prog = P.parseProgram();
+    if (Diags->hasErrors())
+      return false;
+    Sema = std::make_unique<SemaResult>(*Diags);
+    runSema(Prog, SM, *Diags, *Sema);
+    if (!Sema->Success)
+      return false;
+    return convertToCps(Prog, *Sema, *Diags, Cps);
+  }
+
+  std::string errors() const { return Diags ? Diags->render() : ""; }
+};
+
+/// Compiles, runs the unoptimized CPS, optimizes + SSU, runs again, and
+/// checks both runs agree (and match \p Expected when provided).
+void checkProgram(const std::string &Source,
+                  const std::vector<uint32_t> &Args,
+                  std::optional<uint32_t> Expected,
+                  EvalMemory InitMem = {}) {
+  Pipeline P;
+  ASSERT_TRUE(P.compile(Source)) << P.errors();
+
+  EvalMemory MemBefore = InitMem;
+  EvalResult Before = evaluate(P.Cps, Args, MemBefore);
+  ASSERT_TRUE(Before.Ok) << Before.Error << "\n" << P.Cps.print();
+
+  optimize(P.Cps);
+  EXPECT_TRUE(allCalleesKnown(P.Cps)) << P.Cps.print();
+  makeStaticSingleUse(P.Cps);
+
+  EvalMemory MemAfter = InitMem;
+  EvalResult After = evaluate(P.Cps, Args, MemAfter);
+  ASSERT_TRUE(After.Ok) << After.Error << "\n" << P.Cps.print();
+
+  EXPECT_EQ(Before.HaltValues, After.HaltValues) << P.Cps.print();
+  EXPECT_EQ(MemBefore.Sram, MemAfter.Sram);
+  EXPECT_EQ(MemBefore.Sdram, MemAfter.Sdram);
+  EXPECT_EQ(MemBefore.Scratch, MemAfter.Scratch);
+  if (Expected) {
+    ASSERT_EQ(After.HaltValues.size(), 1u);
+    EXPECT_EQ(After.HaltValues[0], *Expected);
+  }
+}
+
+} // namespace
+
+TEST(CpsEval, Arithmetic) {
+  checkProgram("fun main(x : word) { (x + 3) << 2 }", {5}, (5 + 3) << 2);
+  checkProgram("fun main(x : word) { ~x & 0xFF }", {0x12345678},
+               (~0x12345678u) & 0xFF);
+  checkProgram("fun main(x : word) { -x }", {7}, static_cast<uint32_t>(-7));
+}
+
+TEST(CpsEval, IfExpression) {
+  const char *Src = "fun main(x : word) { if (x > 10) x - 10 else x }";
+  checkProgram(Src, {25}, 15);
+  checkProgram(Src, {5}, 5);
+}
+
+TEST(CpsEval, LogicalOperators) {
+  const char *Src = "fun main(x : word, y : word) {"
+                    "  if (x > 1 && y > 1 || x == 0) 1 else 0"
+                    "}";
+  checkProgram(Src, {2, 2}, 1);
+  checkProgram(Src, {2, 1}, 0);
+  checkProgram(Src, {0, 9}, 1);
+}
+
+TEST(CpsEval, BoolMaterialization) {
+  checkProgram("fun main(x : word) { let b = x < 5; if (b) 1 else 2 }", {3},
+               1);
+  checkProgram("fun main(x : word) { let b = !(x < 5); if (b) 1 else 2 }",
+               {3}, 2);
+}
+
+TEST(CpsEval, WhileLoopSum) {
+  const char *Src = "fun main(n : word) {"
+                    "  let i = 0;"
+                    "  let sum = 0;"
+                    "  while (i < n) {"
+                    "    sum = sum + i;"
+                    "    i = i + 1;"
+                    "  }"
+                    "  sum"
+                    "}";
+  checkProgram(Src, {10}, 45);
+  checkProgram(Src, {0}, 0);
+}
+
+TEST(CpsEval, NestedLoops) {
+  const char *Src = "fun main(n : word) {"
+                    "  let total = 0;"
+                    "  let i = 0;"
+                    "  while (i < n) {"
+                    "    let j = 0;"
+                    "    while (j < n) {"
+                    "      total = total + 1;"
+                    "      j = j + 1;"
+                    "    }"
+                    "    i = i + 1;"
+                    "  }"
+                    "  total"
+                    "}";
+  checkProgram(Src, {5}, 25);
+}
+
+TEST(CpsEval, FunctionCallInlining) {
+  const char *Src = "fun double(x : word) { x + x }"
+                    "fun main(a : word) { double(a) + double(a + 1) }";
+  checkProgram(Src, {10}, 20 + 22);
+}
+
+TEST(CpsEval, TailRecursionBecomesLoop) {
+  const char *Src =
+      "fun sum(n : word, acc : word) -> word {"
+      "  if (n == 0) acc else sum(n - 1, acc + n)"
+      "}"
+      "fun main(n : word) { sum(n, 0) }";
+  checkProgram(Src, {100}, 5050);
+}
+
+TEST(CpsEval, MemoryReadWrite) {
+  EvalMemory Mem;
+  Mem.Sram[100] = 11;
+  Mem.Sram[101] = 22;
+  Mem.Sram[102] = 33;
+  Mem.Sram[103] = 44;
+  const char *Src = "fun main(base : word) {"
+                    "  let (a, b, c, d) = sram(base);"
+                    "  sram(base + 10) <- (d, c, b, a);"
+                    "  a + d"
+                    "}";
+  Pipeline P;
+  ASSERT_TRUE(P.compile(Src)) << P.errors();
+  optimize(P.Cps);
+  makeStaticSingleUse(P.Cps);
+  EvalResult R = evaluate(P.Cps, {100}, Mem);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.HaltValues, std::vector<uint32_t>{55});
+  EXPECT_EQ(Mem.Sram[110], 44u);
+  EXPECT_EQ(Mem.Sram[113], 11u);
+}
+
+TEST(CpsEval, TryHandleRaise) {
+  const char *Src = "fun main(x : word) {"
+                    "  try {"
+                    "    if (x == 0) { raise Bad [why = 77] };"
+                    "    x + 1"
+                    "  } handle Bad [why : word] { why }"
+                    "}";
+  checkProgram(Src, {0}, 77);
+  checkProgram(Src, {5}, 6);
+}
+
+TEST(CpsEval, ExceptionPassedToFunction) {
+  const char *Src =
+      "fun check(v : word, bad : exn [code : word]) {"
+      "  if (v > 100) { raise bad [code = v] };"
+      "  v"
+      "}"
+      "fun main(x : word) {"
+      "  try { check(x, Overflow) + 1000 }"
+      "  handle Overflow [code : word] { code - 100 }"
+      "}";
+  checkProgram(Src, {5}, 1005);
+  checkProgram(Src, {150}, 50);
+}
+
+TEST(CpsEval, UnpackPaperExample) {
+  // fun f from Section 4.4 of the paper.
+  const char *Src =
+      "layout p = { a : 16, b : 32, c : 16 };"
+      "fun f(p1 : packed(p), p2 : packed(p)) {"
+      "  let u1 = unpack[p](p1);"
+      "  let u2 = unpack[p](p2);"
+      "  (if (u1.c > 10) u1 else u2).b"
+      "}"
+      "fun main(w0 : word, w1 : word, x0 : word, x1 : word) {"
+      "  f((w0, w1), (x0, x1))"
+      "}";
+  // Layout: a = bits[0..16), b = bits[16..48), c = bits[48..64).
+  // p1: a=0x1111 b=0x22223333 c=0x0fff (> 10) -> picks u1.b.
+  uint32_t W0 = 0x11112222, W1 = 0x33330fff;
+  uint32_t X0 = 0xAAAABBBB, X1 = 0xCCCC0001;
+  checkProgram(Src, {W0, W1, X0, X1}, 0x22223333);
+  // p1.c = 1 (not > 10) -> picks u2.b = 0xBBBBCCCC.
+  checkProgram(Src, {W0, 0x33330001u & 0xFFFF0001u, X0, X1}, 0xBBBBCCCC);
+}
+
+TEST(CpsEval, PackUnpackRoundTrip) {
+  const char *Src =
+      "layout h = { f1 : 4, f2 : 12, f3 : 16, f4 : 32 };"
+      "fun main(a : word, b : word, c : word, d : word) {"
+      "  let p = pack[h] [ f1 = a, f2 = b, f3 = c, f4 = d ];"
+      "  let u = unpack[h](p);"
+      "  ((u.f1 == a && u.f2 == b) && (u.f3 == c && u.f4 == d))"
+      "    == true"
+      "}";
+  Pipeline P;
+  ASSERT_TRUE(P.compile(Src)) << P.errors();
+  optimize(P.Cps);
+  EvalMemory Mem;
+  EvalResult R = evaluate(P.Cps, {0xF, 0xABC, 0x1234, 0xDEADBEEF}, Mem);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.HaltValues, std::vector<uint32_t>{1});
+}
+
+TEST(CpsEval, PackWithOverlay) {
+  const char *Src =
+      "layout h = { verpri : overlay { whole : 8"
+      "                              | parts : { ver : 4, pri : 4 } },"
+      "             rest : 24 };"
+      "fun main(x : word) {"
+      "  let a = pack[h] [ verpri = [ whole = 0x65 ], rest = x ];"
+      "  let b = pack[h] [ verpri = [ parts = [ver = 6, pri = 5] ],"
+      "                    rest = x ];"
+      "  if (a.0 == b.0) 1 else 0"
+      "}";
+  checkProgram(Src, {0x123456}, 1);
+}
+
+TEST(CpsEval, MisalignedLayoutVariants) {
+  // The paper's alignment example: the same layout at offsets 0/16/24.
+  const char *Src =
+      "layout lyt = { x : 16, y : 32, z : 8 };"
+      "fun main(sel : word, w0 : word, w1 : word, w2 : word) {"
+      "  let u = if (sel == 0)      unpack[lyt ## {40}]((w0, w1, w2))"
+      "          else if (sel == 1) unpack[{16} ## lyt ## {24}]((w0, w1, w2))"
+      "          else               unpack[{24} ## lyt ## {16}]((w0, w1, w2));"
+      "  u.y"
+      "}";
+  // Words: 0xAABBCCDD 0x11223344 0x55667788.
+  // sel=0: y at bits [16,48) = 0xCCDD1122.
+  // sel=1: y at bits [32,64) = 0x11223344.
+  // sel=2: y at bits [40,72) = 0x22334455.
+  checkProgram(Src, {0, 0xAABBCCDD, 0x11223344, 0x55667788}, 0xCCDD1122);
+  checkProgram(Src, {1, 0xAABBCCDD, 0x11223344, 0x55667788}, 0x11223344);
+  checkProgram(Src, {2, 0xAABBCCDD, 0x11223344, 0x55667788}, 0x22334455);
+}
+
+TEST(CpsEval, HashIsDeterministic) {
+  const char *Src = "fun main(x : word) { hash(x) ^ hash(x) }";
+  checkProgram(Src, {123}, 0);
+}
+
+TEST(CpsEval, BitTestSet) {
+  EvalMemory Mem;
+  Mem.Sram[50] = 0b1010;
+  const char *Src = "fun main(a : word) {"
+                    "  let old = sram_bit_test_set(a, 0b0110);"
+                    "  old"
+                    "}";
+  Pipeline P;
+  ASSERT_TRUE(P.compile(Src)) << P.errors();
+  optimize(P.Cps);
+  EvalResult R = evaluate(P.Cps, {50}, Mem);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.HaltValues, std::vector<uint32_t>{0b1010});
+  EXPECT_EQ(Mem.Sram[50], 0b1110u);
+}
+
+//===----------------------------------------------------------------------===//
+// Optimizer-specific structure checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Counts live Exp nodes of a given kind.
+unsigned countKind(CpsProgram &P, ExpKind Kind) {
+  unsigned N = 0;
+  // Reuse the printer to avoid exposing traversal; instead walk manually.
+  std::function<void(const Exp *)> Walk = [&](const Exp *E) {
+    for (; E;) {
+      if (E->Kind == Kind)
+        ++N;
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs)
+          Walk(P.func(F).Body);
+      if (E->Kind == ExpKind::Branch) {
+        Walk(E->Then);
+        Walk(E->Else);
+        return;
+      }
+      E = E->Cont;
+    }
+  };
+  std::set<FuncId> FixDeclared;
+  std::function<void(const Exp *)> Scan = [&](const Exp *E) {
+    for (; E;) {
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs) {
+          FixDeclared.insert(F);
+          Scan(P.func(F).Body);
+        }
+      if (E->Kind == ExpKind::Branch) {
+        Scan(E->Then);
+        Scan(E->Else);
+        return;
+      }
+      E = E->Cont;
+    }
+  };
+  for (const Function &F : P.functions())
+    if (F.Body)
+      Scan(F.Body);
+  for (const Function &F : P.functions())
+    if (F.Body && !FixDeclared.count(F.Id))
+      Walk(F.Body);
+  return N;
+}
+
+} // namespace
+
+TEST(CpsOpt, ConstantProgramFoldsCompletely) {
+  Pipeline P;
+  ASSERT_TRUE(P.compile("fun main(x : word) { (2 + 3) << 4 }"))
+      << P.errors();
+  optimize(P.Cps);
+  EXPECT_EQ(countKind(P.Cps, ExpKind::Prim), 0u);
+  EvalMemory Mem;
+  EvalResult R = evaluate(P.Cps, {0}, Mem);
+  EXPECT_EQ(R.HaltValues, std::vector<uint32_t>{80});
+}
+
+TEST(CpsOpt, UnusedUnpackFieldsAreNotExtracted) {
+  // The paper's claim (Section 4.4): u1.a, u2.a, u2.c are never used, so
+  // no instructions are generated for them. Field b of one struct needs 1
+  // shift-ish op; c needs a shift. After DCE only a handful of prims stay.
+  Pipeline P;
+  ASSERT_TRUE(P.compile(
+      "layout p = { a : 16, b : 32, c : 16 };"
+      "fun f(p1 : packed(p), p2 : packed(p)) {"
+      "  let u1 = unpack[p](p1);"
+      "  let u2 = unpack[p](p2);"
+      "  (if (u1.c > 10) u1 else u2).b"
+      "}"
+      "fun main(w0 : word, w1 : word, x0 : word, x1 : word) {"
+      "  f((w0, w1), (x0, x1))"
+      "}"))
+      << P.errors();
+  unsigned Before = countKind(P.Cps, ExpKind::Prim);
+  optimize(P.Cps);
+  unsigned After = countKind(P.Cps, ExpKind::Prim);
+  EXPECT_LT(After, Before);
+  // Extracting b twice (2 ops each: shl+or pieces) and c once (~1-2 ops)
+  // should stay well under 10 prims; the unused extractions are gone.
+  EXPECT_LE(After, 10u);
+}
+
+TEST(CpsOpt, InliningResolvesAllCallees) {
+  Pipeline P;
+  ASSERT_TRUE(P.compile(
+      "fun helper(v : word, bad : exn (word)) {"
+      "  if (v == 0) { raise bad (1) };"
+      "  v + 2"
+      "}"
+      "fun main(x : word) {"
+      "  try { helper(x, E) } handle E (c : word) { c }"
+      "}"))
+      << P.errors();
+  optimize(P.Cps);
+  EXPECT_TRUE(allCalleesKnown(P.Cps)) << P.Cps.print();
+}
+
+TEST(CpsOpt, DeadStoreValueStillStored) {
+  // Stores are never dead-code eliminated.
+  Pipeline P;
+  ASSERT_TRUE(P.compile("fun main(a : word) {"
+                        "  sram(a) <- (1, 2);"
+                        "  0"
+                        "}"))
+      << P.errors();
+  optimize(P.Cps);
+  EXPECT_EQ(countKind(P.Cps, ExpKind::MemWrite), 1u);
+}
+
+TEST(CpsOpt, FullyUnusedReadRemoved) {
+  Pipeline P;
+  ASSERT_TRUE(P.compile("fun main(a : word) {"
+                        "  let (x, y) = sram(a);"
+                        "  7"
+                        "}"))
+      << P.errors();
+  optimize(P.Cps);
+  EXPECT_EQ(countKind(P.Cps, ExpKind::MemRead), 0u);
+}
+
+TEST(CpsOpt, TrailingReadResultsTrimmed) {
+  Pipeline P;
+  ASSERT_TRUE(P.compile("fun main(a : word) {"
+                        "  let (x, y, z, w) = sram(a);"
+                        "  x + y"
+                        "}"))
+      << P.errors();
+  optimize(P.Cps);
+  bool FoundRead = false;
+  std::function<void(const Exp *)> Walk = [&](const Exp *E) {
+    for (; E;) {
+      if (E->Kind == ExpKind::MemRead) {
+        FoundRead = true;
+        EXPECT_EQ(E->Results.size(), 2u);
+      }
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs)
+          Walk(P.Cps.func(F).Body);
+      if (E->Kind == ExpKind::Branch) {
+        Walk(E->Then);
+        Walk(E->Else);
+        return;
+      }
+      E = E->Cont;
+    }
+  };
+  Walk(P.Cps.func(P.Cps.Entry).Body);
+  EXPECT_TRUE(FoundRead);
+}
+
+//===----------------------------------------------------------------------===//
+// Static single use
+//===----------------------------------------------------------------------===//
+
+TEST(CpsSsu, StoreOperandsBecomeSingleUse) {
+  // x is stored twice at different positions (the paper's Section 2.1
+  // example) and also used arithmetically.
+  Pipeline P;
+  ASSERT_TRUE(P.compile("fun main(a : word, x : word) {"
+                        "  sram(a) <- (1, x, 3, 4);"
+                        "  sram(a + 8) <- (x, 2, 3, 4);"
+                        "  x + 1"
+                        "}"))
+      << P.errors();
+  optimize(P.Cps);
+  unsigned Cloned = makeStaticSingleUse(P.Cps);
+  EXPECT_GE(Cloned, 1u);
+
+  // Verify the SSU property: every store operand temp has exactly one use
+  // in the whole program.
+  std::map<ValueId, unsigned> Total;
+  std::set<ValueId> StoreOperands;
+  std::function<void(const Exp *)> Walk = [&](const Exp *E) {
+    for (; E;) {
+      for (unsigned I = 0; I != E->Args.size(); ++I)
+        if (E->Args[I].isTemp()) {
+          ++Total[E->Args[I].Id];
+          if (E->Kind == ExpKind::MemWrite && I > 0)
+            StoreOperands.insert(E->Args[I].Id);
+        }
+      if (E->Kind == ExpKind::Fix)
+        for (FuncId F : E->FixFuncs)
+          Walk(P.Cps.func(F).Body);
+      if (E->Kind == ExpKind::Branch) {
+        Walk(E->Then);
+        Walk(E->Else);
+        return;
+      }
+      E = E->Cont;
+    }
+  };
+  for (const Function &F : P.Cps.functions())
+    if (F.Body)
+      Walk(F.Body);
+  for (ValueId V : StoreOperands)
+    EXPECT_EQ(Total[V], 1u) << "store operand v" << V << " used "
+                            << Total[V] << " times";
+
+  // Semantics preserved.
+  EvalMemory Mem;
+  EvalResult R = evaluate(P.Cps, {100, 42}, Mem);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.HaltValues, std::vector<uint32_t>{43});
+  EXPECT_EQ(Mem.Sram[101], 42u);
+  EXPECT_EQ(Mem.Sram[108], 42u);
+}
+
+TEST(CpsSsu, CloneCountMatchesStoreUses) {
+  Pipeline P;
+  ASSERT_TRUE(P.compile("fun main(a : word, x : word) {"
+                        "  sram(a) <- (x, x);"
+                        "  0"
+                        "}"))
+      << P.errors();
+  optimize(P.Cps);
+  makeStaticSingleUse(P.Cps);
+  unsigned CloneResults = 0;
+  std::function<void(const Exp *)> Walk = [&](const Exp *E) {
+    for (; E;) {
+      if (E->Kind == ExpKind::Clone)
+        CloneResults += E->Results.size();
+      if (E->Kind == ExpKind::Branch) {
+        Walk(E->Then);
+        Walk(E->Else);
+        return;
+      }
+      E = E->Cont;
+    }
+  };
+  Walk(P.Cps.func(P.Cps.Entry).Body);
+  EXPECT_EQ(CloneResults, 2u);
+
+  EvalMemory Mem;
+  EvalResult R = evaluate(P.Cps, {10, 9}, Mem);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(Mem.Sram[10], 9u);
+  EXPECT_EQ(Mem.Sram[11], 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized optimizer equivalence
+//===----------------------------------------------------------------------===//
+
+class CpsRandomProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpsRandomProgram, OptimizerPreservesSemantics) {
+  // A crude random straight-line program generator over a small grammar.
+  unsigned Seed = GetParam();
+  std::string Src = "fun main(a : word, b : word) {\n";
+  uint32_t S = Seed * 2654435761u + 1;
+  auto Next = [&S]() {
+    S ^= S << 13;
+    S ^= S >> 17;
+    S ^= S << 5;
+    return S;
+  };
+  std::vector<std::string> Vars = {"a", "b"};
+  for (int I = 0; I != 12; ++I) {
+    std::string V = "t" + std::to_string(I);
+    const char *Ops[] = {"+", "-", "&", "|", "^"};
+    std::string X = Vars[Next() % Vars.size()];
+    std::string Y = Next() % 3 == 0 ? std::to_string(Next() % 64)
+                                    : Vars[Next() % Vars.size()];
+    Src += "  let " + V + " = " + X + " " + Ops[Next() % 5] + " " + Y + ";\n";
+    if (Next() % 4 == 0)
+      Src += "  let u" + std::to_string(I) + " = if (" + V + " > " + X +
+             ") " + V + " else " + X + ";\n",
+          Vars.push_back("u" + std::to_string(I));
+    Vars.push_back(V);
+  }
+  Src += "  " + Vars.back() + "\n}\n";
+
+  Pipeline P;
+  ASSERT_TRUE(P.compile(Src)) << Src << "\n" << P.errors();
+  EvalMemory M1, M2;
+  EvalResult Before = evaluate(P.Cps, {Seed * 3u, Seed * 7u + 1}, M1);
+  ASSERT_TRUE(Before.Ok) << Before.Error;
+  optimize(P.Cps);
+  makeStaticSingleUse(P.Cps);
+  EvalResult After = evaluate(P.Cps, {Seed * 3u, Seed * 7u + 1}, M2);
+  ASSERT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(Before.HaltValues, After.HaltValues) << Src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpsRandomProgram, ::testing::Range(1, 30));

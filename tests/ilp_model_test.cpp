@@ -1,0 +1,190 @@
+//===- ilp_model_test.cpp - Model, LinExpr, and presolve tests -----------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/Model.h"
+#include "ilp/Presolve.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova::ilp;
+
+TEST(LinExpr, NormalizeMergesDuplicates) {
+  Model M;
+  VarId X = M.addBinary("x");
+  VarId Y = M.addBinary("y");
+  LinExpr E;
+  E.add(X, 1.0);
+  E.add(Y, 2.0);
+  E.add(X, 3.0);
+  E.add(Y, -2.0); // cancels
+  E.normalize();
+  ASSERT_EQ(E.terms().size(), 1u);
+  EXPECT_EQ(E.terms()[0].Var, X);
+  EXPECT_DOUBLE_EQ(E.terms()[0].Coeff, 4.0);
+}
+
+TEST(LinExpr, OperatorAlgebra) {
+  Model M;
+  VarId X = M.addBinary("x");
+  VarId Y = M.addBinary("y");
+  LinExpr E = 2.0 * LinExpr(X) + LinExpr(Y) - 1.0;
+  E.normalize();
+  EXPECT_EQ(E.terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(E.constant(), -1.0);
+}
+
+TEST(Model, ConstantFoldsIntoRhs) {
+  Model M;
+  VarId X = M.addBinary("x");
+  M.addConstraint(LinExpr(X) + 3.0, Rel::LE, 5.0);
+  ASSERT_EQ(M.numConstraints(), 1u);
+  EXPECT_DOUBLE_EQ(M.constraints()[0].Rhs, 2.0);
+}
+
+TEST(Model, StatsCountObjectiveTerms) {
+  Model M;
+  VarId X = M.addBinary("x", 1.0);
+  VarId Y = M.addBinary("y");
+  M.addBinary("z", 2.0);
+  M.addObjective(LinExpr(Y) * 0.5);
+  M.addConstraint(LinExpr(X) + LinExpr(Y), Rel::LE, 1);
+  ModelStats S = M.stats();
+  EXPECT_EQ(S.NumVariables, 3u);
+  EXPECT_EQ(S.NumConstraints, 1u);
+  EXPECT_EQ(S.NumObjectiveTerms, 3u);
+  EXPECT_EQ(S.NumNonzeros, 2u);
+}
+
+TEST(Model, LpStringMentionsPieces) {
+  Model M;
+  VarId X = M.addBinary("move_p1", 1.5);
+  M.addConstraint(LinExpr(X), Rel::EQ, 1.0, "onehot");
+  std::string S = M.toLpString();
+  EXPECT_NE(S.find("Minimize"), std::string::npos);
+  EXPECT_NE(S.find("move_p1"), std::string::npos);
+  EXPECT_NE(S.find("onehot"), std::string::npos);
+  EXPECT_NE(S.find("Binaries"), std::string::npos);
+}
+
+TEST(Model, FixTightensBothBounds) {
+  Model M;
+  VarId X = M.addBinary("x");
+  M.fix(X, 1.0);
+  EXPECT_DOUBLE_EQ(M.var(X).Lower, 1.0);
+  EXPECT_DOUBLE_EQ(M.var(X).Upper, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Presolve
+//===----------------------------------------------------------------------===//
+
+TEST(Presolve, SingletonEqualityFixes) {
+  Model M;
+  VarId X = M.addBinary("x", 5.0);
+  VarId Y = M.addBinary("y", 1.0);
+  M.addConstraint(LinExpr(X), Rel::EQ, 1.0);
+  M.addConstraint(LinExpr(X) + LinExpr(Y), Rel::LE, 1.0);
+
+  PresolveResult P = presolve(M);
+  EXPECT_FALSE(P.Infeasible);
+  // x fixed to 1, which forces y to 0 through the second row.
+  EXPECT_EQ(P.NumFixed, 2u);
+  EXPECT_EQ(P.Reduced.numVars(), 0u);
+  EXPECT_DOUBLE_EQ(P.FixedValue[X.Index], 1.0);
+  EXPECT_DOUBLE_EQ(P.FixedValue[Y.Index], 0.0);
+  EXPECT_DOUBLE_EQ(P.FixedObjective, 5.0);
+}
+
+TEST(Presolve, DetectsInfeasible) {
+  Model M;
+  VarId X = M.addBinary("x");
+  VarId Y = M.addBinary("y");
+  M.addConstraint(LinExpr(X) + LinExpr(Y), Rel::GE, 3.0);
+  PresolveResult P = presolve(M);
+  EXPECT_TRUE(P.Infeasible);
+}
+
+TEST(Presolve, DropsRedundantRows) {
+  Model M;
+  VarId X = M.addBinary("x");
+  VarId Y = M.addBinary("y");
+  M.addConstraint(LinExpr(X) + LinExpr(Y), Rel::LE, 5.0); // always true
+  PresolveResult P = presolve(M);
+  EXPECT_FALSE(P.Infeasible);
+  EXPECT_EQ(P.Reduced.numConstraints(), 0u);
+  EXPECT_GE(P.NumDroppedConstraints, 1u);
+}
+
+TEST(Presolve, ForcingRowFixesAll) {
+  // x + y >= 2 with binaries forces both to 1.
+  Model M;
+  VarId X = M.addBinary("x");
+  VarId Y = M.addBinary("y");
+  M.addConstraint(LinExpr(X) + LinExpr(Y), Rel::GE, 2.0);
+  PresolveResult P = presolve(M);
+  EXPECT_FALSE(P.Infeasible);
+  EXPECT_DOUBLE_EQ(P.FixedValue[X.Index], 1.0);
+  EXPECT_DOUBLE_EQ(P.FixedValue[Y.Index], 1.0);
+}
+
+TEST(Presolve, LiftAndReduceRoundTrip) {
+  Model M;
+  VarId X = M.addBinary("x");
+  VarId Y = M.addBinary("y");
+  VarId Z = M.addBinary("z");
+  M.addConstraint(LinExpr(X), Rel::EQ, 1.0); // fixes x
+  M.addConstraint(LinExpr(Y) + LinExpr(Z), Rel::LE, 1.0);
+  PresolveResult P = presolve(M);
+  ASSERT_FALSE(P.Infeasible);
+  ASSERT_EQ(P.Reduced.numVars(), 2u);
+
+  std::vector<double> Orig = {1.0, 0.0, 1.0};
+  std::vector<double> Red;
+  ASSERT_TRUE(P.reduceSolution(Orig, Red));
+  std::vector<double> Back = P.liftSolution(Red);
+  EXPECT_EQ(Back, Orig);
+
+  // A point contradicting the fixing is rejected.
+  std::vector<double> Bad = {0.0, 0.0, 1.0};
+  EXPECT_FALSE(P.reduceSolution(Bad, Red));
+}
+
+TEST(Presolve, PropagationCascades) {
+  // Chain: x1 = 1; x1 <= x2 (as x1 - x2 <= 0); x2 <= x3. All become 1.
+  Model M;
+  VarId X1 = M.addBinary("x1");
+  VarId X2 = M.addBinary("x2");
+  VarId X3 = M.addBinary("x3");
+  M.addConstraint(LinExpr(X1), Rel::GE, 1.0);
+  M.addConstraint(LinExpr(X1) - LinExpr(X2), Rel::LE, 0.0);
+  M.addConstraint(LinExpr(X2) - LinExpr(X3), Rel::LE, 0.0);
+  PresolveResult P = presolve(M);
+  EXPECT_FALSE(P.Infeasible);
+  EXPECT_EQ(P.NumFixed, 3u);
+  EXPECT_DOUBLE_EQ(P.FixedValue[X3.Index], 1.0);
+}
+
+TEST(FeasibilityCheck, RespectsRelationsAndIntegrality) {
+  Model M;
+  VarId X = M.addBinary("x");
+  VarId Y = M.addContinuous("y", 0.0, 2.0);
+  M.addConstraint(LinExpr(X) + LinExpr(Y), Rel::GE, 1.5);
+
+  EXPECT_TRUE(isFeasible(M, {1.0, 0.5}));
+  EXPECT_FALSE(isFeasible(M, {0.5, 1.0}));  // fractional binary
+  EXPECT_FALSE(isFeasible(M, {1.0, 0.2}));  // violates GE
+  EXPECT_FALSE(isFeasible(M, {1.0, 3.0}));  // bound violation
+  EXPECT_FALSE(isFeasible(M, {1.0}));       // wrong dimension
+}
+
+TEST(ObjectiveValue, IncludesConstant) {
+  Model M;
+  VarId X = M.addBinary("x", 2.0);
+  M.addObjective(LinExpr(X) * 1.0 + 10.0);
+  EXPECT_DOUBLE_EQ(objectiveValue(M, {1.0}), 13.0);
+  EXPECT_DOUBLE_EQ(objectiveValue(M, {0.0}), 10.0);
+}

@@ -1,0 +1,450 @@
+//===- ixp_test.cpp - Machine model, isel, liveness, frequency tests ------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cps/Convert.h"
+#include "cps/Eval.h"
+#include "cps/Opt.h"
+#include "ixp/Frequency.h"
+#include "ixp/ISel.h"
+#include "ixp/Liveness.h"
+#include "ixp/Machine.h"
+#include "nova/Parser.h"
+#include "nova/Sema.h"
+#include "sim/Simulator.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+using namespace nova::ixp;
+
+//===----------------------------------------------------------------------===//
+// Machine model
+//===----------------------------------------------------------------------===//
+
+TEST(Machine, BankCapacities) {
+  EXPECT_EQ(bankCapacity(Bank::A), 15u); // one reserved for copy cycles
+  EXPECT_EQ(bankCapacity(Bank::B), 16u);
+  for (Bank B : TransferBanks)
+    EXPECT_EQ(bankCapacity(B), 8u);
+  EXPECT_EQ(bankCapacity(Bank::M), ~0u);
+}
+
+TEST(Machine, AluPortRules) {
+  EXPECT_TRUE(isAluInputBank(Bank::A));
+  EXPECT_TRUE(isAluInputBank(Bank::L));
+  EXPECT_TRUE(isAluInputBank(Bank::LD));
+  EXPECT_FALSE(isAluInputBank(Bank::S));
+  EXPECT_FALSE(isAluInputBank(Bank::SD));
+  EXPECT_TRUE(isAluOutputBank(Bank::S));
+  EXPECT_TRUE(isAluOutputBank(Bank::SD));
+  EXPECT_FALSE(isAluOutputBank(Bank::L));
+  EXPECT_FALSE(isAluOutputBank(Bank::LD));
+}
+
+TEST(Machine, MoveCostsMatchPaperObjective) {
+  CostModel C;
+  // A -> {B,S,SD}: one register-register move.
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::A, Bank::B, C), 1.0);
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::A, Bank::S, C), 1.0);
+  // A -> M: move to S then store (mvC + stC).
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::A, Bank::M, C), 201.0);
+  // A -> L: spill store + reload (mvC + stC + ldC).
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::A, Bank::L, C), 401.0);
+  // B moves carry the bias.
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::B, Bank::A, C), 1.01);
+  // M reload to L.
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::M, Bank::L, C), 200.0);
+  // S can only reach other banks through memory.
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::S, Bank::M, C), 200.0);
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::S, Bank::A, C), 401.0);
+  // L -> LD requires a full round trip through memory.
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::L, Bank::LD, C), 401.0);
+  // Identity.
+  EXPECT_DOUBLE_EQ(*interBankMoveCost(Bank::L, Bank::L, C), 0.0);
+}
+
+TEST(Machine, MoveStepCounts) {
+  EXPECT_EQ(*interBankMoveSteps(Bank::A, Bank::B), 1u);
+  EXPECT_EQ(*interBankMoveSteps(Bank::A, Bank::M), 2u);
+  EXPECT_EQ(*interBankMoveSteps(Bank::A, Bank::L), 3u);
+  EXPECT_EQ(*interBankMoveSteps(Bank::M, Bank::L), 1u);
+  EXPECT_EQ(*interBankMoveSteps(Bank::A, Bank::A), 0u);
+}
+
+TEST(Machine, DempsterShafer) {
+  EXPECT_DOUBLE_EQ(dempsterShafer(0.5, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(dempsterShafer(0.5, 0.88), 0.88);
+  EXPECT_GT(dempsterShafer(0.7, 0.88), 0.88);
+  EXPECT_LT(dempsterShafer(0.3, 0.12), 0.12);
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction selection, validated against the CPS evaluator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Lowered {
+  SourceManager SM;
+  AstArena Arena;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  Program Prog;
+  std::unique_ptr<SemaResult> Sema;
+  cps::CpsProgram Cps;
+  MachineProgram Machine;
+
+  bool compile(const std::string &Source, bool Optimize = true) {
+    uint32_t Buf = SM.addBuffer("test.nova", Source);
+    Diags = std::make_unique<DiagnosticEngine>(SM);
+    Parser P(SM, Buf, Arena, *Diags);
+    Prog = P.parseProgram();
+    if (Diags->hasErrors())
+      return false;
+    Sema = std::make_unique<SemaResult>(*Diags);
+    runSema(Prog, SM, *Diags, *Sema);
+    if (!Sema->Success)
+      return false;
+    if (!cps::convertToCps(Prog, *Sema, *Diags, Cps))
+      return false;
+    if (Optimize) {
+      cps::optimize(Cps);
+      cps::makeStaticSingleUse(Cps);
+    }
+    return selectInstructions(Cps, *Diags, Machine);
+  }
+
+  std::string errors() const { return Diags ? Diags->render() : ""; }
+};
+
+/// Compiles and checks that the machine program and the CPS oracle agree
+/// on halt values and final memory.
+void checkLowered(const std::string &Source,
+                  const std::vector<uint32_t> &Args,
+                  cps::EvalMemory InitMem = {}) {
+  Lowered L;
+  ASSERT_TRUE(L.compile(Source)) << L.errors();
+
+  cps::EvalMemory CpsMem = InitMem;
+  cps::EvalResult Oracle = cps::evaluate(L.Cps, Args, CpsMem);
+  ASSERT_TRUE(Oracle.Ok) << Oracle.Error;
+
+  sim::Memory SimMem;
+  SimMem.Sram = InitMem.Sram;
+  SimMem.Sdram = InitMem.Sdram;
+  SimMem.Scratch = InitMem.Scratch;
+  sim::RunResult R = sim::runFunctional(L.Machine, Args, SimMem);
+  ASSERT_TRUE(R.Ok) << R.Error << "\n" << L.Machine.print();
+
+  EXPECT_EQ(R.HaltValues, Oracle.HaltValues) << L.Machine.print();
+  EXPECT_EQ(SimMem.Sram, CpsMem.Sram);
+  EXPECT_EQ(SimMem.Sdram, CpsMem.Sdram);
+  EXPECT_EQ(SimMem.Scratch, CpsMem.Scratch);
+}
+
+} // namespace
+
+TEST(ISel, StraightLine) {
+  checkLowered("fun main(x : word) { (x + 3) << 2 }", {5});
+  checkLowered("fun main(x : word, y : word) { (x ^ y) - (x & y) }",
+               {0xF0F0, 0x1234});
+}
+
+TEST(ISel, ControlFlow) {
+  const char *Src = "fun main(x : word) {"
+                    "  let r = 0;"
+                    "  if (x > 10) { r = x - 10; } else { r = x; }"
+                    "  r + 1"
+                    "}";
+  checkLowered(Src, {25});
+  checkLowered(Src, {5});
+}
+
+TEST(ISel, LoopsBecomeBlocks) {
+  const char *Src = "fun main(n : word) {"
+                    "  let i = 0;"
+                    "  let sum = 0;"
+                    "  while (i < n) {"
+                    "    sum = sum + i;"
+                    "    i = i + 1;"
+                    "  }"
+                    "  sum"
+                    "}";
+  checkLowered(Src, {10});
+  checkLowered(Src, {0});
+
+  Lowered L;
+  ASSERT_TRUE(L.compile(Src));
+  // Expect a loop: some block jumps backwards.
+  FrequencyInfo FI(L.Machine);
+  bool AnyBack = false;
+  for (const Block &B : L.Machine.Blocks)
+    for (BlockId S : B.successors())
+      AnyBack |= FI.isBackEdge(B.Id, S);
+  EXPECT_TRUE(AnyBack);
+}
+
+TEST(ISel, MemoryAndAggregates) {
+  cps::EvalMemory Mem;
+  for (uint32_t I = 0; I != 6; ++I)
+    Mem.Sram[200 + I] = (I + 1) * 0x101;
+  const char *Src = "fun main(base : word) {"
+                    "  let (a, b, c, d) = sram(base);"
+                    "  let (e, f) = sram(base + 4);"
+                    "  sram(base + 16) <- (f, e, d, c, b, a);"
+                    "  a + f"
+                    "}";
+  checkLowered(Src, {200}, Mem);
+}
+
+TEST(ISel, SdramAggregates) {
+  cps::EvalMemory Mem;
+  Mem.Sdram[8] = 0xAA;
+  Mem.Sdram[9] = 0xBB;
+  const char *Src = "fun main(base : word) {"
+                    "  let (x, y) = sdram(base);"
+                    "  sdram(base + 2) <- (y, x);"
+                    "  x ^ y"
+                    "}";
+  checkLowered(Src, {8}, Mem);
+}
+
+TEST(ISel, ParallelCopyCycle) {
+  // Swapping loop variables forces a parallel-copy cycle at the back
+  // edge.
+  const char *Src = "fun main(n : word) {"
+                    "  let a = 1;"
+                    "  let b = 2;"
+                    "  let i = 0;"
+                    "  while (i < n) {"
+                    "    let t = a;"
+                    "    a = b;"
+                    "    b = t;"
+                    "    i = i + 1;"
+                    "  }"
+                    "  (a << 8) | b"
+                    "}";
+  checkLowered(Src, {4});
+  checkLowered(Src, {5});
+}
+
+TEST(ISel, HashAndBitTestSet) {
+  cps::EvalMemory Mem;
+  Mem.Sram[7] = 1;
+  checkLowered("fun main(k : word) {"
+               "  let h = hash(k) & 0xFF;"
+               "  let old = sram_bit_test_set(7, h);"
+               "  old + h"
+               "}",
+               {12345}, Mem);
+}
+
+TEST(ISel, PackUnpackPipeline) {
+  checkLowered(
+      "layout hdr = { ver : 4, ihl : 4, tos : 8, len : 16, id : 16,"
+      "               flags : 3, frag : 13 };"
+      "fun main(w0 : word, w1 : word) {"
+      "  let h = unpack[hdr]((w0, w1));"
+      "  let p = pack[hdr] [ ver = h.ver, ihl = h.ihl, tos = h.tos,"
+      "                      len = h.len + 1, id = h.id,"
+      "                      flags = h.flags, frag = h.frag ];"
+      "  p.0 ^ p.1"
+      "}",
+      {0x45001234, 0xBEEF4000});
+}
+
+TEST(ISel, ImmediatesAreMaterialized) {
+  Lowered L;
+  ASSERT_TRUE(L.compile("fun main(a : word) {"
+                        "  sram(a) <- (1, 2);"
+                        "  0"
+                        "}"))
+      << L.errors();
+  // Store values 1 and 2 cannot be inline constants: they must flow
+  // through registers (Imm instructions).
+  unsigned ImmCount = 0;
+  for (const Block &B : L.Machine.Blocks)
+    for (const MachineInstr &I : B.Instrs) {
+      if (I.Op == MOp::Imm)
+        ++ImmCount;
+      if (I.Op == MOp::MemWrite) {
+        for (unsigned K = 1; K != I.Srcs.size(); ++K)
+          EXPECT_FALSE(I.Srcs[K].IsConst);
+      }
+    }
+  EXPECT_GE(ImmCount, 2u);
+}
+
+TEST(ISel, ShiftCountsStayImmediate) {
+  Lowered L;
+  ASSERT_TRUE(L.compile("fun main(x : word) { x << 5 }")) << L.errors();
+  bool FoundShift = false;
+  for (const Block &B : L.Machine.Blocks)
+    for (const MachineInstr &I : B.Instrs)
+      if (I.Op == MOp::Alu && I.Alu == cps::PrimOp::Shl) {
+        FoundShift = true;
+        EXPECT_TRUE(I.Srcs[1].IsConst);
+      }
+  EXPECT_TRUE(FoundShift);
+}
+
+TEST(ISel, CloneSurvivesToMachineIr) {
+  Lowered L;
+  ASSERT_TRUE(L.compile("fun main(a : word, x : word) {"
+                        "  sram(a) <- (x, 1, x, 2);"
+                        "  x"
+                        "}"))
+      << L.errors();
+  unsigned Clones = 0;
+  for (const Block &B : L.Machine.Blocks)
+    for (const MachineInstr &I : B.Instrs)
+      if (I.Op == MOp::Clone)
+        ++Clones;
+  EXPECT_GE(Clones, 1u);
+  checkLowered("fun main(a : word, x : word) {"
+               "  sram(a) <- (x, 1, x, 2);"
+               "  x"
+               "}",
+               {30, 9});
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+TEST(Liveness, StraightLineRanges) {
+  Lowered L;
+  ASSERT_TRUE(L.compile("fun main(x : word, y : word) {"
+                        "  let a = x + y;"
+                        "  let b = a + x;"
+                        "  b"
+                        "}"))
+      << L.errors();
+  Liveness LV(L.Machine);
+  // Entry params are live at block entry.
+  const std::set<Temp> &In = LV.blockLiveIn(L.Machine.Entry);
+  for (Temp T : L.Machine.EntryParams)
+    EXPECT_TRUE(In.count(T));
+}
+
+TEST(Liveness, LoopCarriedValuesLiveAroundLoop) {
+  Lowered L;
+  ASSERT_TRUE(L.compile("fun main(n : word) {"
+                        "  let i = 0;"
+                        "  let sum = 0;"
+                        "  while (i < n) {"
+                        "    sum = sum + i;"
+                        "    i = i + 1;"
+                        "  }"
+                        "  sum"
+                        "}"))
+      << L.errors();
+  Liveness LV(L.Machine);
+  // Some block must have at least the three loop-carried temps live in.
+  bool Found = false;
+  for (const Block &B : L.Machine.Blocks)
+    Found |= LV.blockLiveIn(B.Id).size() >= 3;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Liveness, DefKillsLiveness) {
+  Lowered L;
+  ASSERT_TRUE(L.compile("fun main(x : word) { let a = x + 1; a }"))
+      << L.errors();
+  Liveness LV(L.Machine);
+  const Block &Entry = L.Machine.Blocks[L.Machine.Entry];
+  // Find the Alu def of a and check x is dead after it.
+  for (unsigned I = 0; I != Entry.Instrs.size(); ++I) {
+    const MachineInstr &MI = Entry.Instrs[I];
+    if (MI.Op == MOp::Alu) {
+      Temp X = L.Machine.EntryParams[0];
+      EXPECT_TRUE(LV.liveBefore(L.Machine.Entry, I).count(X));
+      EXPECT_FALSE(LV.liveAfter(L.Machine.Entry, I).count(X));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Frequency estimation
+//===----------------------------------------------------------------------===//
+
+TEST(Frequency, LoopBodyHotterThanExit) {
+  Lowered L;
+  ASSERT_TRUE(L.compile("fun main(n : word) {"
+                        "  let i = 0;"
+                        "  while (i < n) { i = i + 1; }"
+                        "  i"
+                        "}"))
+      << L.errors();
+  FrequencyInfo FI(L.Machine);
+  // The loop-header block must be hotter than the entry.
+  double MaxFreq = 0.0;
+  for (const Block &B : L.Machine.Blocks)
+    MaxFreq = std::max(MaxFreq, FI.blockFreq(B.Id));
+  EXPECT_GT(MaxFreq, 2.0);
+  EXPECT_DOUBLE_EQ(FI.blockFreq(L.Machine.Entry), 1.0);
+}
+
+TEST(Frequency, BranchesSplitFlow) {
+  Lowered L;
+  ASSERT_TRUE(L.compile("fun main(x : word) {"
+                        "  if (x > 7) x + 1 else x + 2"
+                        "}"))
+      << L.errors();
+  FrequencyInfo FI(L.Machine);
+  for (const Block &B : L.Machine.Blocks) {
+    if (B.Instrs.empty() || B.terminator().Op != MOp::Branch)
+      continue;
+    double P = FI.takenProb(B.Id);
+    double FThen = FI.blockFreq(B.terminator().Target);
+    double FElse = FI.blockFreq(B.terminator().TargetElse);
+    EXPECT_NEAR(FThen + FElse, FI.blockFreq(B.Id), 0.05);
+    EXPECT_NEAR(FThen / (FThen + FElse), P, 0.05);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized end-to-end: Nova -> machine IR vs CPS oracle
+//===----------------------------------------------------------------------===//
+
+class ISelRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ISelRandom, LoweringPreservesSemantics) {
+  Rng R(GetParam() * 7907 + 11);
+  // Random program over two inputs with arithmetic, branches, stores.
+  std::string Src = "fun main(a : word, b : word) {\n";
+  std::vector<std::string> Vars = {"a", "b"};
+  unsigned Stores = 0;
+  for (int I = 0; I != 10; ++I) {
+    std::string V = "t" + std::to_string(I);
+    const char *Ops[] = {"+", "-", "&", "|", "^", ">>", "<<"};
+    std::string X = Vars[R.below(Vars.size())];
+    std::string Y = R.chance(1, 3)
+                        ? std::to_string(R.below(31))
+                        : Vars[R.below(Vars.size())];
+    Src += "  let " + V + " = " + X + " " + std::string(Ops[R.below(7)]) +
+           " " + Y + ";\n";
+    Vars.push_back(V);
+    if (R.chance(1, 4)) {
+      Src += "  sram(" + std::to_string(100 + 4 * Stores++) + ") <- (" + V +
+             ", " + X + ");\n";
+    }
+    if (R.chance(1, 4)) {
+      std::string W = "w" + std::to_string(I);
+      Src += "  let " + W + " = if (" + V + " > " + X + ") " + V + " else " +
+             X + ";\n";
+      Vars.push_back(W);
+    }
+  }
+  Src += "  " + Vars.back() + "\n}\n";
+
+  std::vector<uint32_t> Args = {static_cast<uint32_t>(R.next()),
+                                static_cast<uint32_t>(R.next())};
+  checkLowered(Src, Args);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ISelRandom, ::testing::Range(0, 40));

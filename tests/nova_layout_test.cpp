@@ -1,0 +1,244 @@
+//===- nova_layout_test.cpp - Layout resolution and bit plan tests -------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Layout.h"
+#include "nova/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+
+namespace {
+
+/// Parses `layout t = <Source>;` and resolves it.
+class LayoutFixture : public ::testing::Test {
+protected:
+  bool resolveLayout(const std::string &LayoutSrc, LayoutNode &Out,
+                     const std::string &Prelude = "") {
+    Source = Prelude + "layout t = " + LayoutSrc + ";";
+    Buf = SM.addBuffer("test.nova", Source);
+    Diags = std::make_unique<DiagnosticEngine>(SM);
+    Parser P(SM, Buf, Arena, *Diags);
+    Program Prog = P.parseProgram();
+    EXPECT_FALSE(Diags->hasErrors()) << Diags->render();
+    Table = std::make_unique<LayoutTable>(*Diags);
+    for (const LayoutDecl &D : Prog.LayoutDecls)
+      if (!Table->addDecl(D))
+        return false;
+    const LayoutNode *N = Table->find("t");
+    if (!N)
+      return false;
+    Out = *N;
+    return !Diags->hasErrors();
+  }
+
+  SourceManager SM;
+  uint32_t Buf = 0;
+  std::string Source;
+  AstArena Arena;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<LayoutTable> Table;
+};
+
+const LayoutNode *childNamed(const LayoutNode &N, const std::string &Name) {
+  for (const LayoutNode &C : N.Children)
+    if (C.Name == Name)
+      return &C;
+  return nullptr;
+}
+
+} // namespace
+
+TEST_F(LayoutFixture, SimpleSequential) {
+  LayoutNode N;
+  ASSERT_TRUE(resolveLayout("{ x : 16, y : 32, z : 8 }", N));
+  EXPECT_EQ(N.WidthBits, 56u);
+  EXPECT_EQ(N.packedWords(), 2u);
+  const LayoutNode *Y = childNamed(N, "y");
+  ASSERT_NE(Y, nullptr);
+  EXPECT_EQ(Y->OffsetBits, 16u);
+  EXPECT_EQ(Y->WidthBits, 32u);
+}
+
+TEST_F(LayoutFixture, Ipv6HeaderFromPaper) {
+  LayoutNode N;
+  ASSERT_TRUE(resolveLayout(
+      "{ version : 4, priority : 4, flow_label : 24,"
+      "  payload_length : 16, next_header : 8, hop_limit : 8,"
+      "  src_address : ipv6_address, dst_address : ipv6_address }",
+      N,
+      "layout ipv6_address = {a1 : 32, a2 : 32, a3 : 32, a4 : 32};\n"));
+  // packed(ipv6_header) == word[10] per the paper.
+  EXPECT_EQ(N.WidthBits, 320u);
+  EXPECT_EQ(N.packedWords(), 10u);
+  const LayoutNode *Dst = childNamed(N, "dst_address");
+  ASSERT_NE(Dst, nullptr);
+  EXPECT_EQ(Dst->OffsetBits, 64u + 128u);
+  const LayoutNode *A4 = childNamed(*Dst, "a4");
+  ASSERT_NE(A4, nullptr);
+  EXPECT_EQ(A4->OffsetBits, 288u);
+}
+
+TEST_F(LayoutFixture, OverlayFromPaper) {
+  LayoutNode N;
+  ASSERT_TRUE(resolveLayout(
+      "{ verpri : overlay { whole : 8"
+      "                   | parts : { version : 4, priority : 4 } },"
+      "  flow_label : 24 }",
+      N));
+  EXPECT_EQ(N.WidthBits, 32u);
+  const LayoutNode *V = childNamed(N, "verpri");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->NodeKind, LayoutNode::Kind::Overlay);
+  EXPECT_EQ(V->WidthBits, 8u);
+  const LayoutNode *Parts = childNamed(*V, "parts");
+  ASSERT_NE(Parts, nullptr);
+  const LayoutNode *Priority = childNamed(*Parts, "priority");
+  ASSERT_NE(Priority, nullptr);
+  EXPECT_EQ(Priority->OffsetBits, 4u);
+  EXPECT_EQ(Priority->WidthBits, 4u);
+  // Both alternatives start at the same offset.
+  const LayoutNode *Whole = childNamed(*V, "whole");
+  ASSERT_NE(Whole, nullptr);
+  EXPECT_EQ(Whole->OffsetBits, 0u);
+}
+
+TEST_F(LayoutFixture, OverlayWidthMismatchIsError) {
+  LayoutNode N;
+  EXPECT_FALSE(
+      resolveLayout("{ v : overlay { a : 8 | b : { x : 4 } } }", N));
+}
+
+TEST_F(LayoutFixture, ConcatWithGapsFromPaper) {
+  // `{16} ## lyt ## {24}` — the paper's misalignment example.
+  LayoutNode N;
+  ASSERT_TRUE(resolveLayout("{16} ## lyt ## {24}", N,
+                            "layout lyt = { x : 16, y : 32, z : 8 };\n"));
+  EXPECT_EQ(N.WidthBits, 96u);
+  EXPECT_EQ(N.packedWords(), 3u);
+  const LayoutNode *X = childNamed(N, "x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->OffsetBits, 16u);
+  const LayoutNode *Y = childNamed(N, "y");
+  ASSERT_NE(Y, nullptr);
+  EXPECT_EQ(Y->OffsetBits, 32u); // straddles nothing at alignment 16
+}
+
+TEST_F(LayoutFixture, UnknownLayoutNameIsError) {
+  LayoutNode N;
+  EXPECT_FALSE(resolveLayout("{ a : missing }", N));
+}
+
+TEST_F(LayoutFixture, ZeroWidthFieldIsError) {
+  LayoutNode N;
+  EXPECT_FALSE(resolveLayout("{ a : 0 }", N));
+}
+
+TEST_F(LayoutFixture, OversizedFieldIsError) {
+  LayoutNode N;
+  EXPECT_FALSE(resolveLayout("{ a : 33 }", N));
+}
+
+TEST_F(LayoutFixture, CollectLeavesIncludesOverlayAlternatives) {
+  LayoutNode N;
+  ASSERT_TRUE(resolveLayout(
+      "{ v : overlay { whole : 8 | parts : { hi : 4, lo : 4 } }, rest : 8 }",
+      N));
+  std::vector<std::pair<std::string, const LayoutNode *>> Leaves;
+  LayoutTable::collectLeaves(N, Leaves);
+  ASSERT_EQ(Leaves.size(), 4u);
+  EXPECT_EQ(Leaves[0].first, "v.whole");
+  EXPECT_EQ(Leaves[1].first, "v.parts.hi");
+  EXPECT_EQ(Leaves[2].first, "v.parts.lo");
+  EXPECT_EQ(Leaves[3].first, "rest");
+}
+
+//===----------------------------------------------------------------------===//
+// Bitfield plans
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Interprets a plan against packed words — the same semantics the CPS
+/// converter compiles to shifts and masks.
+uint32_t extract(const std::vector<BitPiece> &Plan,
+                 const std::vector<uint32_t> &Words) {
+  uint32_t V = 0;
+  for (const BitPiece &P : Plan)
+    V |= ((Words[P.WordIndex] >> P.WordShift) & P.Mask) << P.ValueShift;
+  return V;
+}
+
+void deposit(const std::vector<BitPiece> &Plan, std::vector<uint32_t> &Words,
+             uint32_t Value) {
+  for (const BitPiece &P : Plan)
+    Words[P.WordIndex] |= ((Value >> P.ValueShift) & P.Mask) << P.WordShift;
+}
+
+} // namespace
+
+TEST(BitPlan, AlignedWholeWord) {
+  auto Plan = planBitfield(32, 32);
+  ASSERT_EQ(Plan.size(), 1u);
+  EXPECT_EQ(Plan[0].WordIndex, 1u);
+  EXPECT_EQ(Plan[0].WordShift, 0u);
+  EXPECT_EQ(Plan[0].Mask, 0xFFFFFFFFu);
+  EXPECT_EQ(extract(Plan, {0, 0xDEADBEEF}), 0xDEADBEEFu);
+}
+
+TEST(BitPlan, MsbField) {
+  // First 4 bits of word 0 (e.g. IPv6 version).
+  auto Plan = planBitfield(0, 4);
+  ASSERT_EQ(Plan.size(), 1u);
+  EXPECT_EQ(Plan[0].WordShift, 28u);
+  EXPECT_EQ(extract(Plan, {0x60000000}), 0x6u);
+}
+
+TEST(BitPlan, InteriorField) {
+  // Bits 4..8 of word 0 (IPv6 priority).
+  auto Plan = planBitfield(4, 4);
+  EXPECT_EQ(extract(Plan, {0x6A000000}), 0xAu);
+}
+
+TEST(BitPlan, StraddlingField) {
+  // 16-bit field at offset 24: 8 bits in word 0, 8 bits in word 1.
+  auto Plan = planBitfield(24, 16);
+  ASSERT_EQ(Plan.size(), 2u);
+  EXPECT_EQ(extract(Plan, {0x000000AB, 0xCD000000}), 0xABCDu);
+}
+
+TEST(BitPlan, Straddling32BitField) {
+  // Full word at offset 16: classic misaligned header word.
+  auto Plan = planBitfield(16, 32);
+  ASSERT_EQ(Plan.size(), 2u);
+  EXPECT_EQ(extract(Plan, {0x0000DEAD, 0xBEEF0000}), 0xDEADBEEFu);
+}
+
+TEST(BitPlan, DepositInvertsExtract) {
+  for (unsigned Offset : {0u, 3u, 24u, 30u, 33u, 60u}) {
+    for (unsigned Width : {1u, 4u, 8u, 16u, 32u}) {
+      auto Plan = planBitfield(Offset, Width);
+      uint32_t Value = 0xA5A5A5A5u & (Width >= 32 ? 0xFFFFFFFFu
+                                                  : ((1u << Width) - 1));
+      std::vector<uint32_t> Words(4, 0);
+      deposit(Plan, Words, Value);
+      EXPECT_EQ(extract(Plan, Words), Value)
+          << "offset=" << Offset << " width=" << Width;
+    }
+  }
+}
+
+TEST(BitPlan, PiecesCoverDisjointValueBits) {
+  auto Plan = planBitfield(24, 16);
+  uint32_t Covered = 0;
+  for (const BitPiece &P : Plan) {
+    uint32_t Bits = P.Mask << P.ValueShift;
+    EXPECT_EQ(Covered & Bits, 0u);
+    Covered |= Bits;
+  }
+  EXPECT_EQ(Covered, 0xFFFFu);
+}

@@ -1,0 +1,102 @@
+//===- nova_lexer_test.cpp - Lexer tests ----------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source,
+                       unsigned ExpectedErrors = 0) {
+  static SourceManager SM; // buffers must outlive returned string_views
+  uint32_t Buf = SM.addBuffer("test.nova", Source);
+  DiagnosticEngine Diags(SM);
+  Lexer L(SM, Buf, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_EQ(Diags.errorCount(), ExpectedErrors) << Diags.render();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, Keywords) {
+  auto Tokens = lex("layout fun let if else while try handle raise "
+                    "pack unpack true false word bool exn overlay");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwLayout, TokenKind::KwFun,    TokenKind::KwLet,
+      TokenKind::KwIf,     TokenKind::KwElse,   TokenKind::KwWhile,
+      TokenKind::KwTry,    TokenKind::KwHandle, TokenKind::KwRaise,
+      TokenKind::KwPack,   TokenKind::KwUnpack, TokenKind::KwTrue,
+      TokenKind::KwFalse,  TokenKind::KwWord,   TokenKind::KwBool,
+      TokenKind::KwExn,    TokenKind::KwOverlay, TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Tokens = lex("0 42 0x60 0xFFFFFFFF");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].IntValue, 0u);
+  EXPECT_EQ(Tokens[1].IntValue, 42u);
+  EXPECT_EQ(Tokens[2].IntValue, 0x60u);
+  EXPECT_EQ(Tokens[3].IntValue, 0xFFFFFFFFu);
+}
+
+TEST(Lexer, OverflowingLiteralIsError) {
+  auto Tokens = lex("0x100000000", /*ExpectedErrors=*/1);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, OperatorsAndArrows) {
+  auto Tokens = lex("<- -> == != <= >= << >> && || ## = < >");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LeftArrow, TokenKind::ThinArrow, TokenKind::EqEq,
+      TokenKind::NotEq,     TokenKind::LessEq,    TokenKind::GreaterEq,
+      TokenKind::Shl,       TokenKind::Shr,       TokenKind::AmpAmp,
+      TokenKind::PipePipe,  TokenKind::HashHash,  TokenKind::Assign,
+      TokenKind::Less,      TokenKind::Greater,   TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(Lexer, Comments) {
+  auto Tokens = lex("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  lex("a /* never ends", /*ExpectedErrors=*/1);
+}
+
+TEST(Lexer, UnknownCharacter) {
+  auto Tokens = lex("a @ b", /*ExpectedErrors=*/1);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, IdentifiersWithUnderscores) {
+  auto Tokens = lex("flow_label _tmp x1");
+  EXPECT_EQ(Tokens[0].Text, "flow_label");
+  EXPECT_EQ(Tokens[1].Text, "_tmp");
+  EXPECT_EQ(Tokens[2].Text, "x1");
+}
+
+TEST(Lexer, LocationsPointAtTokens) {
+  auto Tokens = lex("ab\ncd");
+  EXPECT_EQ(Tokens[0].Loc.Offset, 0u);
+  EXPECT_EQ(Tokens[1].Loc.Offset, 3u);
+}

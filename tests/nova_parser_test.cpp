@@ -1,0 +1,147 @@
+//===- nova_parser_test.cpp - Parser structure and error recovery ---------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+
+namespace {
+
+struct Parsed {
+  SourceManager SM;
+  AstArena Arena;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  Program Prog;
+
+  explicit Parsed(const std::string &Source) {
+    uint32_t Buf = SM.addBuffer("p.nova", Source);
+    Diags = std::make_unique<DiagnosticEngine>(SM);
+    Parser P(SM, Buf, Arena, *Diags);
+    Prog = P.parseProgram();
+  }
+};
+
+} // namespace
+
+TEST(Parser, TopLevelStructure) {
+  Parsed P("layout a = { x : 8 };"
+           "fun f(v : word) { v }"
+           "fun main(w : word) { f(w) }");
+  EXPECT_FALSE(P.Diags->hasErrors()) << P.Diags->render();
+  EXPECT_EQ(P.Prog.LayoutDecls.size(), 1u);
+  EXPECT_EQ(P.Prog.FunDecls.size(), 2u);
+  EXPECT_NE(P.Prog.findFun("main"), nullptr);
+  EXPECT_EQ(P.Prog.findFun("nothere"), nullptr);
+}
+
+TEST(Parser, PrecedenceShape) {
+  // a + b << 2 parses as (a + b) ... no: shift binds tighter than +?
+  // Our table: shifts (8) bind tighter than + (9)? Higher number binds
+  // tighter; + is 9, shl 8 -> a + (b << 2) is wrong... verify the actual
+  // intended C-like shape: + binds tighter than <<.
+  Parsed P("fun main(a : word, b : word) { a + b << 2 }");
+  ASSERT_FALSE(P.Diags->hasErrors()) << P.Diags->render();
+  const Expr *Body = P.Prog.findFun("main")->Body->Tail;
+  ASSERT_EQ(Body->Kind, ExprKind::Binary);
+  // C-like: << at lower precedence than +, so the root is <<.
+  EXPECT_EQ(Body->BOp, BinaryOp::Shl);
+  ASSERT_EQ(Body->Lhs->Kind, ExprKind::Binary);
+  EXPECT_EQ(Body->Lhs->BOp, BinaryOp::Add);
+}
+
+TEST(Parser, ComparisonAndLogicalShape) {
+  Parsed P("fun main(a : word, b : word) {"
+           "  if (a > 1 && b > 2 || a == 0) 1 else 0"
+           "}");
+  ASSERT_FALSE(P.Diags->hasErrors()) << P.Diags->render();
+  const Expr *Cond = P.Prog.findFun("main")->Body->Tail->Cond;
+  ASSERT_EQ(Cond->Kind, ExprKind::Binary);
+  EXPECT_EQ(Cond->BOp, BinaryOp::LogOr); // || is the loosest
+}
+
+TEST(Parser, ErrorRecoveryReportsMultiple) {
+  Parsed P("fun main(x : word) { x }"
+           "fun f(v : word) { let = 3; v }"
+           "fun g(w : word) { w + 1 2 }");
+  EXPECT_TRUE(P.Diags->hasErrors());
+  EXPECT_GE(P.Diags->errorCount(), 2u);
+  // Earlier declarations are unaffected by later errors.
+  EXPECT_NE(P.Prog.findFun("main"), nullptr);
+}
+
+TEST(Parser, MissingSemicolonDiagnosed) {
+  Parsed P("fun main(x : word) { let a = x + 1 a }");
+  EXPECT_TRUE(P.Diags->hasErrors());
+  EXPECT_NE(P.Diags->render().find("';'"), std::string::npos);
+}
+
+TEST(Parser, StoreStatementShape) {
+  Parsed P("fun main(a : word) { sram(a) <- (1, 2); 0 }");
+  ASSERT_FALSE(P.Diags->hasErrors()) << P.Diags->render();
+  const Expr *Body = P.Prog.findFun("main")->Body;
+  ASSERT_EQ(Body->Stmts.size(), 1u);
+  EXPECT_EQ(Body->Stmts[0]->Kind, StmtKind::Store);
+  EXPECT_EQ(Body->Stmts[0]->Space, MemSpace::Sram);
+}
+
+TEST(Parser, TryHandleStructure) {
+  Parsed P("fun main(x : word) {"
+           "  try { raise E [a = 1]; 0 }"
+           "  handle E [a : word] { a }"
+           "  handle F () { 2 }"
+           "}");
+  ASSERT_FALSE(P.Diags->hasErrors()) << P.Diags->render();
+  const Expr *T = P.Prog.findFun("main")->Body->Tail;
+  ASSERT_EQ(T->Kind, ExprKind::Try);
+  ASSERT_EQ(T->Handlers.size(), 2u);
+  EXPECT_EQ(T->Handlers[0].ExnName, "E");
+  EXPECT_TRUE(T->Handlers[0].RecordPayload);
+  EXPECT_FALSE(T->Handlers[1].RecordPayload);
+}
+
+TEST(Parser, TryWithoutHandlerRejected) {
+  Parsed P("fun main(x : word) { try { x } }");
+  EXPECT_TRUE(P.Diags->hasErrors());
+}
+
+TEST(Parser, LayoutConcatAndGaps) {
+  Parsed P("layout l = {16} ## { x : 8 } ## {8};"
+           "fun main(a : word) { a }");
+  ASSERT_FALSE(P.Diags->hasErrors()) << P.Diags->render();
+  ASSERT_EQ(P.Prog.LayoutDecls.size(), 1u);
+  const LayoutExpr *L = P.Prog.LayoutDecls[0].Value;
+  EXPECT_EQ(L->Kind, LayoutExprKind::Concat);
+}
+
+TEST(Parser, OverlayNeedsTwoAlternatives) {
+  Parsed P("layout l = { v : overlay { only : 8 } };"
+           "fun main(a : word) { a }");
+  EXPECT_TRUE(P.Diags->hasErrors());
+}
+
+TEST(Parser, RecordLiteralFieldsMustBeNamed) {
+  Parsed P("fun main(a : word) { let r = [a, 2]; 0 }");
+  EXPECT_TRUE(P.Diags->hasErrors());
+}
+
+TEST(Parser, NestedIfElseChains) {
+  Parsed P("fun main(x : word) {"
+           "  if (x == 0) 1 else if (x == 1) 2 else 3"
+           "}");
+  ASSERT_FALSE(P.Diags->hasErrors()) << P.Diags->render();
+  const Expr *If = P.Prog.findFun("main")->Body->Tail;
+  ASSERT_EQ(If->Kind, ExprKind::If);
+  ASSERT_NE(If->Else, nullptr);
+  EXPECT_EQ(If->Else->Kind, ExprKind::If);
+}
+
+TEST(Parser, UnitLiteralAndEmptyParens) {
+  Parsed P("fun main(x : word) { let u = (); x }");
+  EXPECT_FALSE(P.Diags->hasErrors()) << P.Diags->render();
+}

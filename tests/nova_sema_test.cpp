@@ -1,0 +1,339 @@
+//===- nova_sema_test.cpp - Parser + type checker tests -------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nova/Parser.h"
+#include "nova/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+
+namespace {
+
+struct Compilation {
+  SourceManager SM;
+  AstArena Arena;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  Program Prog;
+  std::unique_ptr<SemaResult> Sema;
+
+  bool run(const std::string &Source) {
+    uint32_t Buf = SM.addBuffer("test.nova", Source);
+    Diags = std::make_unique<DiagnosticEngine>(SM);
+    Parser P(SM, Buf, Arena, *Diags);
+    Prog = P.parseProgram();
+    if (Diags->hasErrors())
+      return false;
+    Sema = std::make_unique<SemaResult>(*Diags);
+    runSema(Prog, SM, *Diags, *Sema);
+    return Sema->Success;
+  }
+
+  std::string errors() const { return Diags ? Diags->render() : ""; }
+};
+
+} // namespace
+
+TEST(Sema, MinimalFunction) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(x : word) { x + 1 }")) << C.errors();
+  const FunDecl *F = C.Prog.findFun("main");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(C.Sema->FunResultType.at(F)->isWord());
+}
+
+TEST(Sema, UndefinedVariable) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(x : word) { y }"));
+}
+
+TEST(Sema, LetAndArithmetic) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(x : word) {"
+                    "  let a = x + 2;"
+                    "  let b = (a << 4) & 0xFF;"
+                    "  b ^ a"
+                    "}"))
+      << C.errors();
+}
+
+TEST(Sema, BoolAndWordDontMix) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(x : word) { x + (x == 1) }"));
+  Compilation C2;
+  EXPECT_FALSE(C2.run("fun main(x : word) { if (x) 1 else 2 }"));
+}
+
+TEST(Sema, IfBranchesMustAgree) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(x : word) { if (x == 0) 1 else true }"));
+  Compilation C2;
+  ASSERT_TRUE(C2.run("fun main(x : word) { if (x == 0) 1 else 2 }"))
+      << C2.errors();
+}
+
+TEST(Sema, TupleDestructuringFromSram) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(addr : word) {"
+                    "  let (a, b, c, d) = sram(addr);"
+                    "  a + b + c + d"
+                    "}"))
+      << C.errors();
+  // The MemRead aggregate arity is recorded for the allocator.
+  bool Found = false;
+  for (const auto &[E, N] : C.Sema->MemReadCount) {
+    EXPECT_EQ(N, 4u);
+    Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Sema, SdramOddAggregateRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(a : word) {"
+                     "  let (x, y, z) = sdram(a);"
+                     "  x"
+                     "}"));
+}
+
+TEST(Sema, AggregateTooLargeRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(a : word) {"
+                     "  let (x1,x2,x3,x4,x5,x6,x7,x8,x9) = sram(a);"
+                     "  x1"
+                     "}"));
+}
+
+TEST(Sema, MemReadOutsideLetRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(a : word) { sram(a) + 1 }"));
+}
+
+TEST(Sema, StoreStatement) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(a : word) {"
+                    "  let (x, y) = sram(a);"
+                    "  sram(a + 64) <- (y, x);"
+                    "  0"
+                    "}"))
+      << C.errors();
+}
+
+TEST(Sema, RecordsAndFieldAccess) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(x : word) {"
+                    "  let r = [lo = x & 0xFFFF, hi = x >> 16];"
+                    "  r.lo + r.hi"
+                    "}"))
+      << C.errors();
+  Compilation C2;
+  EXPECT_FALSE(C2.run("fun main(x : word) {"
+                      "  let r = [lo = x];"
+                      "  r.nothere"
+                      "}"));
+}
+
+TEST(Sema, TupleIndexAccess) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(x : word) {"
+                    "  let t = (x, x + 1, x + 2);"
+                    "  t.0 + t.2"
+                    "}"))
+      << C.errors();
+  Compilation C2;
+  EXPECT_FALSE(C2.run("fun main(x : word) { let t = (x, x); t.5 }"));
+}
+
+TEST(Sema, UnpackFromPaper) {
+  Compilation C;
+  ASSERT_TRUE(C.run(
+      "layout p = { a : 16, b : 32, c : 16 };"
+      "fun f(p1 : packed(p), p2 : packed(p)) {"
+      "  let u1 = unpack[p](p1);"
+      "  let u2 = unpack[p](p2);"
+      "  (if (u1.c > 10) u1 else u2).b"
+      "}"))
+      << C.errors();
+}
+
+TEST(Sema, UnpackWrongArity) {
+  Compilation C;
+  EXPECT_FALSE(C.run("layout p = { a : 16, b : 32, c : 16 };"
+                     "fun f(x : word) {"
+                     "  let u = unpack[p](x);" // needs word[2]
+                     "  u.a"
+                     "}"));
+}
+
+TEST(Sema, PackWithOverlayChoosesOneAlternative) {
+  Compilation C;
+  ASSERT_TRUE(C.run(
+      "layout h = { verpri : overlay { whole : 8"
+      "                              | parts : { version : 4, priority : 4 } },"
+      "             rest : 24 };"
+      "fun f(v : word) {"
+      "  let x = pack[h] [ verpri = [ whole = 0x60 ], rest = v ];"
+      "  let y = pack[h] [ verpri = [ parts = [version = 6, priority = 0] ],"
+      "                    rest = v ];"
+      "  x.0 ^ y.0"
+      "}"))
+      << C.errors();
+}
+
+TEST(Sema, PackBothOverlayAlternativesRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run(
+      "layout h = { v : overlay { whole : 8 | parts : { a : 4, b : 4 } } };"
+      "fun f(x : word) {"
+      "  let p = pack[h] [ v = [ whole = 1, parts = [a = 1, b = 2] ] ];"
+      "  p.0"
+      "}"));
+}
+
+TEST(Sema, PackMissingFieldRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run("layout h = { a : 16, b : 16 };"
+                     "fun f(x : word) { let p = pack[h] [ a = x ]; p.0 }"));
+}
+
+TEST(Sema, TryHandleRaise) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(x : word) {"
+                    "  try {"
+                    "    if (x == 0) { raise Bad [why = 7] };"
+                    "    x + 1"
+                    "  } handle Bad [why : word] { why }"
+                    "}"))
+      << C.errors();
+  EXPECT_EQ(C.Sema->Stats.RaiseCount, 1u);
+  EXPECT_EQ(C.Sema->Stats.HandleCount, 1u);
+}
+
+TEST(Sema, RaiseOutsideScopeRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(x : word) { raise Nowhere (); 1 }"));
+}
+
+TEST(Sema, ExceptionPassedToFunction) {
+  // The paper's pattern: g receives exceptions as arguments and raises
+  // them to jump back to the handler.
+  Compilation C;
+  ASSERT_TRUE(C.run("fun g(x : word, bad : exn [b : word, c : word]) {"
+                    "  if (x > 100) { raise bad [b = x, c = 1] };"
+                    "  x + 0"
+                    "}"
+                    "fun main(x : word) {"
+                    "  try {"
+                    "    g(x, X1) + 1"
+                    "  } handle X1 [b : word, c : word] { b + c }"
+                    "}"))
+      << C.errors();
+}
+
+TEST(Sema, HandlerPayloadTypeMismatchRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(x : word) {"
+                     "  try { raise E [a = (x, x)]; 0 }"
+                     "  handle E [a : word] { a }"
+                     "}"));
+}
+
+TEST(Sema, NonTailRecursionRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun f(x : word) -> word { f(x - 1) + 1 }"));
+}
+
+TEST(Sema, TailRecursionAccepted) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun f(x : word, acc : word) -> word {"
+                    "  if (x == 0) acc else f(x - 1, acc + x)"
+                    "}"
+                    "fun main(n : word) { f(n, 0) }"))
+      << C.errors();
+}
+
+TEST(Sema, RecursiveFunctionNeedsAnnotation) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun f(x : word) { if (x == 0) 0 else f(x - 1) }"));
+}
+
+TEST(Sema, WhileLoopWithAssignment) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(n : word) {"
+                    "  let i = 0;"
+                    "  let sum = 0;"
+                    "  while (i < n) {"
+                    "    sum = sum + i;"
+                    "    i = i + 1;"
+                    "  }"
+                    "  sum"
+                    "}"))
+      << C.errors();
+}
+
+TEST(Sema, AssignTypeMismatchRejected) {
+  Compilation C;
+  EXPECT_FALSE(C.run("fun main(n : word) {"
+                     "  let i = 0;"
+                     "  i = (n == 0);"
+                     "  0"
+                     "}"));
+}
+
+TEST(Sema, HashAndBitTestSet) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(k : word, a : word) {"
+                    "  let h = hash(k);"
+                    "  let old = sram_bit_test_set(a, h);"
+                    "  old"
+                    "}"))
+      << C.errors();
+}
+
+TEST(Sema, NamedCallArguments) {
+  Compilation C;
+  ASSERT_TRUE(C.run("fun add[a : word, b : word] { a + b }"
+                    "fun main(x : word) { add[b = x, a = 1] }"))
+      << C.errors();
+  Compilation C2;
+  EXPECT_FALSE(C2.run("fun add[a : word, b : word] { a + b }"
+                      "fun main(x : word) { add[a = x] }"));
+}
+
+TEST(Sema, Figure5StatsCollected) {
+  Compilation C;
+  ASSERT_TRUE(C.run("layout l1 = { a : 16, b : 16 };\n"
+                    "layout l2 = { c : 32 };\n"
+                    "fun main(x : word, p : packed(l1)) {\n"
+                    "  let u = unpack[l1](p);\n"
+                    "  let q = pack[l2] [ c = u.a ];\n"
+                    "  try { if (x == 0) { raise E (u.b) }; q.0 }\n"
+                    "  handle E (v : word) { v }\n"
+                    "}\n"))
+      << C.errors();
+  EXPECT_EQ(C.Sema->Stats.LayoutSpecs, 2u);
+  EXPECT_EQ(C.Sema->Stats.PackCount, 1u);
+  EXPECT_EQ(C.Sema->Stats.UnpackCount, 1u);
+  EXPECT_EQ(C.Sema->Stats.RaiseCount, 1u);
+  EXPECT_EQ(C.Sema->Stats.HandleCount, 1u);
+  EXPECT_EQ(C.Sema->Stats.NovaLines, 8u);
+}
+
+TEST(Sema, PaperFigure3Program) {
+  // The running example of the paper's Figure 3.
+  Compilation C;
+  ASSERT_TRUE(C.run("fun main(base : word) {"
+                    "  let (a, b, c, d) = sram(100);"
+                    "  let (e, f, g, h, i, j) = sram(200);"
+                    "  let u = a + c;"
+                    "  let v = g + h;"
+                    "  sram(300) <- (b, e, v, u);"
+                    "  sram(500) <- (f, j, d, i);"
+                    "  0"
+                    "}"))
+      << C.errors();
+}

@@ -1,0 +1,117 @@
+//===- ref_test.cpp - Reference crypto tests ------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ref/Aes.h"
+#include "ref/Checksum.h"
+#include "ref/Kasumi.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova::ref;
+
+TEST(Aes, Fips197KnownAnswer) {
+  // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+  Aes128 Aes({0x00010203, 0x04050607, 0x08090A0B, 0x0C0D0E0F});
+  auto Ct = Aes.encrypt({0x00112233, 0x44556677, 0x8899AABB, 0xCCDDEEFF});
+  EXPECT_EQ(Ct[0], 0x69C4E0D8u);
+  EXPECT_EQ(Ct[1], 0x6A7B0430u);
+  EXPECT_EQ(Ct[2], 0xD8CDB780u);
+  EXPECT_EQ(Ct[3], 0x70B4C55Au);
+}
+
+TEST(Aes, SboxIsAPermutationWithKnownAnchors) {
+  const auto &S = Aes128::sbox();
+  std::array<bool, 256> Seen{};
+  for (unsigned I = 0; I != 256; ++I) {
+    ASSERT_LT(S[I], 256u);
+    EXPECT_FALSE(Seen[S[I]]);
+    Seen[S[I]] = true;
+  }
+  // Famous anchor values.
+  EXPECT_EQ(S[0x00], 0x63u);
+  EXPECT_EQ(S[0x01], 0x7Cu);
+  EXPECT_EQ(S[0x53], 0xEDu);
+}
+
+TEST(Aes, KeyScheduleAnchors) {
+  // FIPS-197 Appendix A.1 expanded key for 2b7e1516...
+  Aes128 Aes({0x2B7E1516, 0x28AED2A6, 0xABF71588, 0x09CF4F3C});
+  const auto &Rk = Aes.roundKeys();
+  EXPECT_EQ(Rk[4], 0xA0FAFE17u);
+  EXPECT_EQ(Rk[43], 0xB6630CA6u);
+}
+
+TEST(Aes, TablesConsistentWithSbox) {
+  const auto &Te = Aes128::tables();
+  const auto &S = Aes128::sbox();
+  for (unsigned X = 0; X < 256; X += 17) {
+    uint32_t T0 = Te[0][X];
+    // Middle bytes of Te0 are S[x].
+    EXPECT_EQ((T0 >> 16) & 0xFF, S[X]);
+    EXPECT_EQ((T0 >> 8) & 0xFF, S[X]);
+    // Te1 is Te0 rotated right 8.
+    EXPECT_EQ(Te[1][X], (T0 >> 8) | (T0 << 24));
+  }
+}
+
+TEST(Aes, DifferentKeysDiffer) {
+  Aes128 A({1, 2, 3, 4}), B({1, 2, 3, 5});
+  EXPECT_NE(A.encrypt({9, 9, 9, 9}), B.encrypt({9, 9, 9, 9}));
+}
+
+TEST(Kasumi, EncryptDecryptRoundTrip) {
+  Kasumi K({0x9900AABB, 0xCCDDEEFF, 0x11223344, 0x55667788});
+  for (uint32_t I = 0; I != 50; ++I) {
+    uint32_t Hi = I * 0x9E3779B9u, Lo = ~I * 0x85EBCA6Bu;
+    auto [CHi, CLo] = K.encrypt(Hi, Lo);
+    auto [PHi, PLo] = K.decrypt(CHi, CLo);
+    EXPECT_EQ(PHi, Hi);
+    EXPECT_EQ(PLo, Lo);
+    EXPECT_NE(std::make_pair(CHi, CLo), std::make_pair(Hi, Lo));
+  }
+}
+
+TEST(Kasumi, SboxesAreBijections) {
+  std::array<bool, 128> Seen7{};
+  for (uint16_t V : Kasumi::s7()) {
+    ASSERT_LT(V, 128);
+    EXPECT_FALSE(Seen7[V]);
+    Seen7[V] = true;
+  }
+  std::array<bool, 512> Seen9{};
+  for (uint16_t V : Kasumi::s9()) {
+    ASSERT_LT(V, 512);
+    EXPECT_FALSE(Seen9[V]);
+    Seen9[V] = true;
+  }
+}
+
+TEST(Kasumi, KeyDependence) {
+  Kasumi A({1, 2, 3, 4}), B({1, 2, 3, 5});
+  EXPECT_NE(A.encrypt(7, 8), B.encrypt(7, 8));
+}
+
+TEST(Kasumi, AvalancheSanity) {
+  Kasumi K({0xDEADBEEF, 0x01234567, 0x89ABCDEF, 0x55AA55AA});
+  auto [H1, L1] = K.encrypt(0, 0);
+  auto [H2, L2] = K.encrypt(0, 1);
+  unsigned Flips = __builtin_popcount(H1 ^ H2) + __builtin_popcount(L1 ^ L2);
+  EXPECT_GT(Flips, 10u); // weak but meaningful diffusion check
+}
+
+TEST(Checksum, Rfc1071Basics) {
+  // Sum of halves with end-around carry.
+  EXPECT_EQ(onesComplementSum({0x00010002}), 3u);
+  EXPECT_EQ(onesComplementSum({0xFFFF0001}), 1u); // carry wraps
+  EXPECT_EQ(ipChecksum({0x00000000}), 0xFFFFu);
+  // A checksum-correct header sums to 0xFFFF.
+  std::vector<uint32_t> Hdr = {0x45000054, 0x00004000, 0x40010000,
+                               0x0A000001, 0x0A000002};
+  uint16_t C = ipChecksum(Hdr);
+  Hdr[2] |= C;
+  EXPECT_EQ(onesComplementSum(Hdr), 0xFFFFu);
+}

@@ -1,0 +1,157 @@
+//===- support_test.cpp - Unit tests for the support library -------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+
+TEST(SourceManager, LineColumnBasics) {
+  SourceManager SM;
+  uint32_t Buf = SM.addBuffer("test.nova", "abc\ndef\n\nxyz");
+  EXPECT_EQ(SM.bufferName(Buf), "test.nova");
+
+  LineColumn LC = SM.lineColumn({Buf, 0});
+  EXPECT_EQ(LC.Line, 1u);
+  EXPECT_EQ(LC.Column, 1u);
+
+  LC = SM.lineColumn({Buf, 2}); // 'c'
+  EXPECT_EQ(LC.Line, 1u);
+  EXPECT_EQ(LC.Column, 3u);
+
+  LC = SM.lineColumn({Buf, 4}); // 'd'
+  EXPECT_EQ(LC.Line, 2u);
+  EXPECT_EQ(LC.Column, 1u);
+
+  LC = SM.lineColumn({Buf, 8}); // empty line
+  EXPECT_EQ(LC.Line, 3u);
+  EXPECT_EQ(LC.Column, 1u);
+
+  LC = SM.lineColumn({Buf, 11}); // 'z'
+  EXPECT_EQ(LC.Line, 4u);
+  EXPECT_EQ(LC.Column, 3u);
+}
+
+TEST(SourceManager, LineText) {
+  SourceManager SM;
+  uint32_t Buf = SM.addBuffer("t", "first\nsecond\nthird");
+  EXPECT_EQ(SM.lineText({Buf, 0}), "first");
+  EXPECT_EQ(SM.lineText({Buf, 7}), "second");
+  EXPECT_EQ(SM.lineText({Buf, 14}), "third");
+}
+
+TEST(SourceManager, InvalidLocation) {
+  SourceManager SM;
+  SM.addBuffer("t", "x");
+  LineColumn LC = SM.lineColumn(SourceLoc::invalid());
+  EXPECT_EQ(LC.Line, 0u);
+  EXPECT_EQ(LC.Column, 0u);
+}
+
+TEST(Diagnostics, CollectsAndCounts) {
+  SourceManager SM;
+  uint32_t Buf = SM.addBuffer("f.nova", "let x = ;\n");
+  DiagnosticEngine DE(SM);
+  EXPECT_FALSE(DE.hasErrors());
+  DE.error({Buf, 8}, "expected expression");
+  DE.warning({Buf, 4}, "shadowed variable");
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.errorCount(), 1u);
+  EXPECT_EQ(DE.diagnostics().size(), 2u);
+
+  std::string Text = DE.render();
+  EXPECT_NE(Text.find("f.nova:1:9: error: expected expression"),
+            std::string::npos);
+  EXPECT_NE(Text.find("warning: shadowed variable"), std::string::npos);
+  EXPECT_NE(Text.find('^'), std::string::npos);
+}
+
+TEST(StringUtils, Split) {
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, ParseInteger) {
+  EXPECT_EQ(parseInteger("0"), 0u);
+  EXPECT_EQ(parseInteger("12345"), 12345u);
+  EXPECT_EQ(parseInteger("0x60"), 0x60u);
+  EXPECT_EQ(parseInteger("0xFFFFFFFF"), 0xFFFFFFFFu);
+  EXPECT_FALSE(parseInteger("").has_value());
+  EXPECT_FALSE(parseInteger("12a").has_value());
+  EXPECT_FALSE(parseInteger("0xZZ").has_value());
+  // Overflow of uint64_t.
+  EXPECT_FALSE(parseInteger("99999999999999999999999").has_value());
+}
+
+TEST(StringUtils, Formatf) {
+  EXPECT_EQ(formatf("%s=%d", "x", 42), "x=42");
+  EXPECT_EQ(formatf("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(10), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(11);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.chance(0, 10));
+    EXPECT_TRUE(R.chance(10, 10));
+  }
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  Timer T;
+  EXPECT_GE(T.seconds(), 0.0);
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(B, A);
+  T.reset();
+  EXPECT_GE(T.seconds(), 0.0);
+}
