@@ -13,10 +13,13 @@
 
 #include "alloc/Baseline.h"
 #include "alloc/Verifier.h"
+#include "bench_util.h"
 #include "driver/Compiler.h"
 #include "sim/Simulator.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace nova;
 
@@ -30,7 +33,22 @@ struct BenchProgram {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Threads = 1;
+  const char *JsonPath = "BENCH_solver.json";
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--mip-threads") && I + 1 < argc)
+      Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: baseline_vs_ilp [--mip-threads <n>] "
+                   "[--json <path>]\n");
+      return 2;
+    }
+  }
+
   std::vector<BenchProgram> Programs = {
       {"checksum",
        "fun main(base : word, n : word) {"
@@ -71,8 +89,11 @@ int main() {
               "ilp-inst", "ilp-cyc", "moves", "base-in", "base-cyc",
               "speedup");
 
+  std::vector<bench::SolverRun> Runs;
   for (const BenchProgram &P : Programs) {
-    auto C = driver::compileNova(P.Source, P.Name);
+    driver::CompileOptions Opts;
+    Opts.Alloc.Mip.Threads = Threads;
+    auto C = driver::compileNova(P.Source, P.Name, Opts);
     if (!C->Ok) {
       std::fprintf(stderr, "%s: %s\n", P.Name, C->ErrorText.c_str());
       return 1;
@@ -113,7 +134,10 @@ int main() {
                 C->Alloc.Stats.Moves, B.Prog.numInstructions(),
                 static_cast<unsigned long long>(R2.Cycles),
                 double(R2.Cycles) / double(R1.Cycles));
+    Runs.push_back(bench::solverRunFrom(P.Name, C->Alloc.Stats));
   }
+  if (!bench::writeSolverJson(JsonPath, Runs))
+    return 1;
   std::printf("\nShape check: the ILP-allocated code is several times "
               "faster — the paper's case for optimal allocation on the "
               "IXP.\n");

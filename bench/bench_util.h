@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace bench {
 
@@ -25,18 +26,89 @@ inline std::string appSource(const std::string &Name) {
   return nova::apps::natNovaSource();
 }
 
-/// Compiles one of the paper's applications with a solve-time budget.
+/// Compiles one of the paper's applications with a solve-time budget and a
+/// branch-and-bound thread count.
 inline std::unique_ptr<nova::driver::CompileResult>
 compileApp(const std::string &Name, bool Allocate = true,
-           double TimeLimit = 600.0) {
+           double TimeLimit = 600.0, unsigned MipThreads = 1,
+           bool Deterministic = false) {
   nova::driver::CompileOptions Opts;
   Opts.Allocate = Allocate;
   Opts.Alloc.Mip.TimeLimitSeconds = TimeLimit;
+  Opts.Alloc.Mip.Threads = MipThreads;
+  Opts.Alloc.Mip.Deterministic = Deterministic;
   auto R = nova::driver::compileNova(appSource(Name), Name, Opts);
   if (!R->Ok)
     std::fprintf(stderr, "%s failed: %s\n", Name.c_str(),
                  R->ErrorText.c_str());
   return R;
+}
+
+/// One solver run for the machine-readable perf trajectory
+/// (BENCH_solver.json): what the paper's Figure 7 tabulates plus the
+/// parallel-search counters.
+struct SolverRun {
+  std::string Program;
+  unsigned Threads = 1;
+  bool Deterministic = false;
+  unsigned Nodes = 0;
+  unsigned LpIterations = 0;
+  unsigned Steals = 0;
+  double RootSeconds = 0.0;
+  double TotalSeconds = 0.0;
+  double CpuSeconds = 0.0;
+  double Objective = 0.0;
+  unsigned Moves = 0;
+  unsigned Spills = 0;
+};
+
+inline SolverRun solverRunFrom(const std::string &Program,
+                               const nova::alloc::AllocStats &S,
+                               bool Deterministic = false) {
+  SolverRun R;
+  R.Program = Program;
+  R.Threads = S.Solve.Threads;
+  R.Deterministic = Deterministic;
+  R.Nodes = S.Solve.Nodes;
+  R.LpIterations = S.Solve.LpIterations;
+  R.Steals = S.Solve.Steals;
+  R.RootSeconds = S.Solve.RootLpSeconds;
+  R.TotalSeconds = S.Solve.TotalSeconds;
+  R.CpuSeconds = S.Solve.CpuSeconds;
+  R.Objective = S.Objective;
+  R.Moves = S.Moves;
+  R.Spills = S.Spills;
+  return R;
+}
+
+/// Writes the accumulated runs as a JSON array, one object per solve.
+/// Returns false (with a message on stderr) if the file cannot be written.
+inline bool writeSolverJson(const std::string &Path,
+                            const std::vector<SolverRun> &Runs) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::fprintf(F, "[\n");
+  for (size_t I = 0; I != Runs.size(); ++I) {
+    const SolverRun &R = Runs[I];
+    std::fprintf(
+        F,
+        "  {\"program\": \"%s\", \"threads\": %u, \"deterministic\": %s, "
+        "\"nodes\": %u, \"lp_iterations\": %u, \"steals\": %u, "
+        "\"root_seconds\": %.6f, \"total_seconds\": %.6f, "
+        "\"cpu_seconds\": %.6f, \"objective\": %.9g, \"moves\": %u, "
+        "\"spills\": %u}%s\n",
+        R.Program.c_str(), R.Threads, R.Deterministic ? "true" : "false",
+        R.Nodes, R.LpIterations, R.Steals, R.RootSeconds, R.TotalSeconds,
+        R.CpuSeconds, R.Objective, R.Moves, R.Spills,
+        I + 1 == Runs.size() ? "" : ",");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  std::printf("wrote %s (%zu runs)\n", Path.c_str(), Runs.size());
+  return true;
 }
 
 } // namespace bench

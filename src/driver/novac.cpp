@@ -23,7 +23,11 @@ static void usage() {
       "  --no-alloc        stop before register allocation\n"
       "  --stats           print Figure 5/6/7 style statistics\n"
       "  --spill-model     always build the spill-aware ILP model\n"
-      "  --time-limit <s>  ILP solve budget in seconds (default 600)\n");
+      "  --time-limit <s>  ILP solve budget in seconds (default 600)\n"
+      "  --mip-threads <n> branch & bound worker threads (default 1,\n"
+      "                    0 = one per hardware thread)\n"
+      "  --mip-deterministic  reproducible parallel search (fixed-order\n"
+      "                    node expansion at synchronization points)\n");
 }
 
 int main(int argc, char **argv) {
@@ -48,6 +52,10 @@ int main(int argc, char **argv) {
       Opts.Alloc.ForceSpillModel = true;
     else if (!std::strcmp(argv[I], "--time-limit") && I + 1 < argc)
       Opts.Alloc.Mip.TimeLimitSeconds = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--mip-threads") && I + 1 < argc)
+      Opts.Alloc.Mip.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--mip-deterministic"))
+      Opts.Alloc.Mip.Deterministic = true;
     else if (argv[I][0] != '-' && !File)
       File = argv[I];
     else {
@@ -90,10 +98,12 @@ int main(int argc, char **argv) {
     if (Opts.Allocate) {
       const alloc::AllocStats &A = R->Alloc.Stats;
       std::printf("ilp: vars=%u cons=%u objterms=%u rootLP=%.2fs "
-                  "total=%.2fs nodes=%u moves=%u spills=%u\n",
+                  "total=%.2fs cpu=%.2fs nodes=%u threads=%u steals=%u "
+                  "moves=%u spills=%u\n",
                   A.IlpSize.NumVariables, A.IlpSize.NumConstraints,
                   A.IlpSize.NumObjectiveTerms, A.Solve.RootLpSeconds,
-                  A.Solve.TotalSeconds, A.Solve.Nodes, A.Moves, A.Spills);
+                  A.Solve.TotalSeconds, A.Solve.CpuSeconds, A.Solve.Nodes,
+                  A.Solve.Threads, A.Solve.Steals, A.Moves, A.Spills);
     }
   }
   return 0;

@@ -40,12 +40,36 @@ struct MipOptions {
   /// Number of LP re-solves the root diving heuristic may spend.
   unsigned DiveLpLimit = 400;
   bool EnablePresolve = true;
+  /// Worker threads for the tree search. 1 = serial; 0 = one per hardware
+  /// thread. Each worker owns a warm-started Simplex and a private DFS
+  /// deque; idle workers steal open subtrees from the others.
+  unsigned Threads = 1;
+  /// Reproducible parallel search: nodes are expanded in fixed-order
+  /// synchronized rounds, so node counts and the optimal objective are
+  /// identical across runs at the same thread count (at some cost in
+  /// worker idle time at the round barriers).
+  bool Deterministic = false;
+  /// Pseudocost branching (per-variable up/down degradation averages),
+  /// falling back to most-fractional until degradations have been
+  /// observed. Disable to force the legacy most-fractional rule.
+  bool PseudocostBranching = true;
+};
+
+/// Per-worker search statistics (parallel solves only have >1 entry).
+struct MipWorkerStats {
+  unsigned Nodes = 0;        ///< nodes this worker expanded
+  unsigned Steals = 0;       ///< nodes taken from another worker's deque
+  unsigned LpIterations = 0; ///< simplex iterations on this worker's LP
 };
 
 /// Solve statistics mirroring the paper's Figure 7 columns.
 struct MipStats {
   double RootLpSeconds = 0.0;
   double TotalSeconds = 0.0;
+  /// Process CPU time over the whole solve; with T busy workers this
+  /// approaches T * TotalSeconds, so CpuSeconds / TotalSeconds estimates
+  /// effective parallelism.
+  double CpuSeconds = 0.0;
   double RootObjective = 0.0;
   unsigned Nodes = 0;
   unsigned LpIterations = 0;
@@ -53,6 +77,9 @@ struct MipStats {
   unsigned PresolveDroppedConstraints = 0;
   unsigned ReducedVars = 0;
   unsigned ReducedConstraints = 0;
+  unsigned Threads = 1;  ///< workers the search actually used
+  unsigned Steals = 0;   ///< total cross-worker subtree steals
+  std::vector<MipWorkerStats> Workers;
 };
 
 /// Result of a MIP solve; X is in the *original* model's variable space.

@@ -1,0 +1,73 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace nova;
+
+ThreadPool::ThreadPool(unsigned Threads) : NumWorkers(std::max(1u, Threads)) {
+  Helpers.reserve(NumWorkers - 1);
+  for (unsigned I = 1; I != NumWorkers; ++I)
+    Helpers.emplace_back([this, I] { helperMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ShuttingDown = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Helpers)
+    T.join();
+}
+
+void ThreadPool::runOnWorkers(const std::function<void(unsigned)> &Fn) {
+  if (NumWorkers == 1) {
+    Fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Job = &Fn;
+    Unfinished = NumWorkers - 1;
+    ++Generation;
+  }
+  WakeCv.notify_all();
+  Fn(0);
+  std::unique_lock<std::mutex> L(Mu);
+  DoneCv.wait(L, [&] { return Unfinished == 0; });
+  Job = nullptr;
+}
+
+void ThreadPool::helperMain(unsigned WorkerId) {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    const std::function<void(unsigned)> *MyJob = nullptr;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WakeCv.wait(L,
+                  [&] { return ShuttingDown || Generation != SeenGeneration; });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      MyJob = Job;
+    }
+    (*MyJob)(WorkerId);
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (--Unfinished == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+unsigned ThreadPool::defaultThreads() {
+  unsigned H = std::thread::hardware_concurrency();
+  return H ? H : 1u;
+}

@@ -1,0 +1,66 @@
+//===- ThreadPool.h - Persistent worker-thread pool -------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size pool of persistent worker threads dispatched in rounds:
+/// runOnWorkers(Fn) runs Fn(WorkerId) once on every worker concurrently and
+/// returns when all calls have finished. Workers are identified by a stable
+/// index in [0, size()), so callers can keep per-worker state (a warm
+/// simplex basis, a private DFS deque) alive across rounds — which is what
+/// the parallel branch-and-bound engine in src/ilp needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_THREADPOOL_H
+#define SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nova {
+
+class ThreadPool {
+public:
+  /// Spawns Threads-1 helper threads; the calling thread acts as worker 0,
+  /// so a pool of size 1 never context-switches.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return NumWorkers; }
+
+  /// Runs Fn(WorkerId) concurrently on every worker and blocks until all
+  /// calls return. Fn must be safe to call from multiple threads at once.
+  void runOnWorkers(const std::function<void(unsigned)> &Fn);
+
+  /// Thread count to substitute for a "0 = auto" knob: the hardware
+  /// concurrency, clamped to at least 1.
+  static unsigned defaultThreads();
+
+private:
+  void helperMain(unsigned WorkerId);
+
+  unsigned NumWorkers = 1;
+  std::vector<std::thread> Helpers;
+
+  std::mutex Mu;
+  std::condition_variable WakeCv, DoneCv;
+  const std::function<void(unsigned)> *Job = nullptr;
+  uint64_t Generation = 0;
+  unsigned Unfinished = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace nova
+
+#endif // SUPPORT_THREADPOOL_H

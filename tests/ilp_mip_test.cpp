@@ -192,6 +192,134 @@ TEST(MipSolver, StatsArePopulated) {
   EXPECT_NEAR(R.Stats.RootObjective, -1.0, 1e-6);
 }
 
+namespace {
+
+/// Builds a bank-assignment-flavored model at unit-test scale: the shape
+/// of the allocator's application models — "exactly one bank per item"
+/// partition rows, per-bank capacity rows, pairwise conflict rows, and a
+/// nonnegative move-cost objective.
+Model makeAppLikeModel(unsigned Items, unsigned Banks, unsigned Conflicts,
+                       uint64_t Seed) {
+  Rng R(Seed);
+  Model M;
+  std::vector<std::vector<VarId>> X(Items);
+  for (unsigned I = 0; I != Items; ++I) {
+    LinExpr Sum;
+    for (unsigned B = 0; B != Banks; ++B) {
+      X[I].push_back(M.addBinary("x" + std::to_string(I) + "_" +
+                                     std::to_string(B),
+                                 static_cast<double>(R.below(9))));
+      Sum += LinExpr(X[I][B]);
+    }
+    M.addConstraint(std::move(Sum), Rel::EQ, 1.0);
+  }
+  for (unsigned B = 0; B != Banks; ++B) {
+    LinExpr Load;
+    for (unsigned I = 0; I != Items; ++I)
+      Load += LinExpr(X[I][B]);
+    M.addConstraint(std::move(Load), Rel::LE,
+                    1.0 + (Items + Banks - 1) / Banks);
+  }
+  for (unsigned C = 0; C != Conflicts; ++C) {
+    unsigned I = R.below(Items), J = R.below(Items);
+    if (I == J)
+      continue;
+    unsigned B = R.below(Banks);
+    M.addConstraint(LinExpr(X[I][B]) + LinExpr(X[J][B]), Rel::LE, 1.0);
+  }
+  return M;
+}
+
+MipResult solveWith(const Model &M, unsigned Threads, bool Deterministic,
+                    const std::vector<double> *Seed = nullptr,
+                    bool Pseudocost = true) {
+  MipOptions Opts;
+  Opts.Threads = Threads;
+  Opts.Deterministic = Deterministic;
+  Opts.PseudocostBranching = Pseudocost;
+  MipSolver Solver(M, Opts);
+  if (Seed)
+    Solver.setIncumbent(*Seed);
+  return Solver.solve();
+}
+
+} // namespace
+
+// The parallel engine is an optimization, not a semantics change: 1-thread
+// and N-thread solves (both scheduling modes) must agree on the optimal
+// objective on allocator-shaped models.
+TEST(MipParallel, MatchesSerialOnAppLikeModels) {
+  for (uint64_t Seed : {11u, 22u, 33u, 44u}) {
+    Model M = makeAppLikeModel(10, 3, 12, Seed);
+    MipResult Serial = solveWith(M, 1, false);
+    ASSERT_EQ(Serial.Status, MipStatus::Optimal) << "seed " << Seed;
+    for (unsigned Threads : {2u, 4u}) {
+      MipResult Async = solveWith(M, Threads, false);
+      ASSERT_EQ(Async.Status, MipStatus::Optimal)
+          << "seed " << Seed << " threads " << Threads;
+      EXPECT_NEAR(Async.Objective, Serial.Objective, 1e-6);
+      EXPECT_TRUE(isFeasible(M, Async.X));
+      MipResult Det = solveWith(M, Threads, true);
+      ASSERT_EQ(Det.Status, MipStatus::Optimal);
+      EXPECT_NEAR(Det.Objective, Serial.Objective, 1e-6);
+    }
+  }
+}
+
+TEST(MipParallel, MatchesBruteForceWithFourThreads) {
+  Model M = makeAppLikeModel(5, 2, 4, 7);
+  ASSERT_LE(M.numVars(), 20u);
+  double Expected = bruteForce(M);
+  ASSERT_TRUE(std::isfinite(Expected));
+  MipResult R = solveWith(M, 4, false);
+  ASSERT_EQ(R.Status, MipStatus::Optimal);
+  EXPECT_NEAR(R.Objective, Expected, 1e-6);
+}
+
+// Deterministic mode's contract: identical node counts (and objective)
+// across repeated runs at the same thread count.
+TEST(MipParallel, DeterministicModeReproducesNodeCounts) {
+  Model M = makeAppLikeModel(12, 3, 16, 99);
+  MipResult A = solveWith(M, 4, true);
+  MipResult B = solveWith(M, 4, true);
+  ASSERT_EQ(A.Status, MipStatus::Optimal);
+  ASSERT_EQ(B.Status, MipStatus::Optimal);
+  EXPECT_EQ(A.Stats.Nodes, B.Stats.Nodes);
+  EXPECT_EQ(A.Stats.LpIterations, B.Stats.LpIterations);
+  EXPECT_NEAR(A.Objective, B.Objective, 1e-12);
+}
+
+// A seeded incumbent can only tighten the cutoff: with the branching rule
+// pinned (most-fractional, so decisions do not depend on pruning history),
+// seeding the known optimum must not enlarge the tree.
+TEST(MipParallel, SeededIncumbentPrunesNoWorse) {
+  Model M = makeAppLikeModel(12, 3, 20, 5);
+  MipResult Unseeded = solveWith(M, 1, false, nullptr, /*Pseudocost=*/false);
+  ASSERT_EQ(Unseeded.Status, MipStatus::Optimal);
+  MipResult Seeded =
+      solveWith(M, 1, false, &Unseeded.X, /*Pseudocost=*/false);
+  ASSERT_EQ(Seeded.Status, MipStatus::Optimal);
+  EXPECT_NEAR(Seeded.Objective, Unseeded.Objective, 1e-6);
+  EXPECT_LE(Seeded.Stats.Nodes, Unseeded.Stats.Nodes);
+}
+
+// Per-worker accounting must add up to the solve totals.
+TEST(MipParallel, WorkerStatsAreConsistent) {
+  Model M = makeAppLikeModel(10, 3, 10, 3);
+  MipResult R = solveWith(M, 4, false);
+  ASSERT_EQ(R.Status, MipStatus::Optimal);
+  EXPECT_EQ(R.Stats.Threads, 4u);
+  ASSERT_EQ(R.Stats.Workers.size(), 4u);
+  unsigned Nodes = 0, Steals = 0;
+  for (const MipWorkerStats &W : R.Stats.Workers) {
+    Nodes += W.Nodes;
+    Steals += W.Steals;
+  }
+  EXPECT_EQ(Nodes, R.Stats.Nodes);
+  EXPECT_EQ(Steals, R.Stats.Steals);
+  EXPECT_GE(R.Stats.CpuSeconds, 0.0);
+}
+
 // Property test: random 0-1 programs vs exhaustive enumeration.
 class MipRandom : public ::testing::TestWithParam<int> {};
 
