@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier1"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/tier1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for tier1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_spillfree.cpp" "bench/CMakeFiles/ablation_spillfree.dir/ablation_spillfree.cpp.o" "gcc" "bench/CMakeFiles/ablation_spillfree.dir/ablation_spillfree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/apps/CMakeFiles/nova_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/driver/CMakeFiles/nova_driver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alloc/CMakeFiles/nova_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ref/CMakeFiles/nova_ref.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ixp/CMakeFiles/nova_ixp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ilp/CMakeFiles/nova_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cps/CMakeFiles/nova_cps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nova/CMakeFiles/nova_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/nova_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spillfree.dir/ablation_spillfree.cpp.o"
+  "CMakeFiles/ablation_spillfree.dir/ablation_spillfree.cpp.o.d"
+  "ablation_spillfree"
+  "ablation_spillfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spillfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

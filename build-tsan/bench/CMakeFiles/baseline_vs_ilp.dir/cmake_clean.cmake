@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_vs_ilp.dir/baseline_vs_ilp.cpp.o"
+  "CMakeFiles/baseline_vs_ilp.dir/baseline_vs_ilp.cpp.o.d"
+  "baseline_vs_ilp"
+  "baseline_vs_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_vs_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sets.dir/fig3_sets.cpp.o"
+  "CMakeFiles/fig3_sets.dir/fig3_sets.cpp.o.d"
+  "fig3_sets"
+  "fig3_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_static.dir/fig5_static.cpp.o"
+  "CMakeFiles/fig5_static.dir/fig5_static.cpp.o.d"
+  "fig5_static"
+  "fig5_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ampl.dir/fig6_ampl.cpp.o"
+  "CMakeFiles/fig6_ampl.dir/fig6_ampl.cpp.o.d"
+  "fig6_ampl"
+  "fig6_ampl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ampl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

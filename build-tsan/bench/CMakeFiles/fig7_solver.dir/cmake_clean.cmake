@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_solver.dir/fig7_solver.cpp.o"
+  "CMakeFiles/fig7_solver.dir/fig7_solver.cpp.o.d"
+  "fig7_solver"
+  "fig7_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_playground.dir/ilp_playground.cpp.o"
+  "CMakeFiles/ilp_playground.dir/ilp_playground.cpp.o.d"
+  "ilp_playground"
+  "ilp_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_translation.dir/nat_translation.cpp.o"
+  "CMakeFiles/nat_translation.dir/nat_translation.cpp.o.d"
+  "nat_translation"
+  "nat_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_crypto.dir/packet_crypto.cpp.o"
+  "CMakeFiles/packet_crypto.dir/packet_crypto.cpp.o.d"
+  "packet_crypto"
+  "packet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

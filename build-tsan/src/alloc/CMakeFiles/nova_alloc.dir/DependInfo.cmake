@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/Allocated.cpp" "src/alloc/CMakeFiles/nova_alloc.dir/Allocated.cpp.o" "gcc" "src/alloc/CMakeFiles/nova_alloc.dir/Allocated.cpp.o.d"
+  "/root/repo/src/alloc/Allocator.cpp" "src/alloc/CMakeFiles/nova_alloc.dir/Allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/nova_alloc.dir/Allocator.cpp.o.d"
+  "/root/repo/src/alloc/BankAnalysis.cpp" "src/alloc/CMakeFiles/nova_alloc.dir/BankAnalysis.cpp.o" "gcc" "src/alloc/CMakeFiles/nova_alloc.dir/BankAnalysis.cpp.o.d"
+  "/root/repo/src/alloc/Baseline.cpp" "src/alloc/CMakeFiles/nova_alloc.dir/Baseline.cpp.o" "gcc" "src/alloc/CMakeFiles/nova_alloc.dir/Baseline.cpp.o.d"
+  "/root/repo/src/alloc/IlpModel.cpp" "src/alloc/CMakeFiles/nova_alloc.dir/IlpModel.cpp.o" "gcc" "src/alloc/CMakeFiles/nova_alloc.dir/IlpModel.cpp.o.d"
+  "/root/repo/src/alloc/Points.cpp" "src/alloc/CMakeFiles/nova_alloc.dir/Points.cpp.o" "gcc" "src/alloc/CMakeFiles/nova_alloc.dir/Points.cpp.o.d"
+  "/root/repo/src/alloc/Verifier.cpp" "src/alloc/CMakeFiles/nova_alloc.dir/Verifier.cpp.o" "gcc" "src/alloc/CMakeFiles/nova_alloc.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ixp/CMakeFiles/nova_ixp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ilp/CMakeFiles/nova_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/nova_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cps/CMakeFiles/nova_cps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nova/CMakeFiles/nova_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_alloc.dir/Allocated.cpp.o"
+  "CMakeFiles/nova_alloc.dir/Allocated.cpp.o.d"
+  "CMakeFiles/nova_alloc.dir/Allocator.cpp.o"
+  "CMakeFiles/nova_alloc.dir/Allocator.cpp.o.d"
+  "CMakeFiles/nova_alloc.dir/BankAnalysis.cpp.o"
+  "CMakeFiles/nova_alloc.dir/BankAnalysis.cpp.o.d"
+  "CMakeFiles/nova_alloc.dir/Baseline.cpp.o"
+  "CMakeFiles/nova_alloc.dir/Baseline.cpp.o.d"
+  "CMakeFiles/nova_alloc.dir/IlpModel.cpp.o"
+  "CMakeFiles/nova_alloc.dir/IlpModel.cpp.o.d"
+  "CMakeFiles/nova_alloc.dir/Points.cpp.o"
+  "CMakeFiles/nova_alloc.dir/Points.cpp.o.d"
+  "CMakeFiles/nova_alloc.dir/Verifier.cpp.o"
+  "CMakeFiles/nova_alloc.dir/Verifier.cpp.o.d"
+  "libnova_alloc.a"
+  "libnova_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_apps.dir/AppSources.cpp.o"
+  "CMakeFiles/nova_apps.dir/AppSources.cpp.o.d"
+  "libnova_apps.a"
+  "libnova_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_cps.dir/Convert.cpp.o"
+  "CMakeFiles/nova_cps.dir/Convert.cpp.o.d"
+  "CMakeFiles/nova_cps.dir/Eval.cpp.o"
+  "CMakeFiles/nova_cps.dir/Eval.cpp.o.d"
+  "CMakeFiles/nova_cps.dir/Ir.cpp.o"
+  "CMakeFiles/nova_cps.dir/Ir.cpp.o.d"
+  "CMakeFiles/nova_cps.dir/Opt.cpp.o"
+  "CMakeFiles/nova_cps.dir/Opt.cpp.o.d"
+  "libnova_cps.a"
+  "libnova_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

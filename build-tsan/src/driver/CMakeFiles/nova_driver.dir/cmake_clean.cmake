@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/nova_driver.dir/Compiler.cpp.o.d"
+  "libnova_driver.a"
+  "libnova_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

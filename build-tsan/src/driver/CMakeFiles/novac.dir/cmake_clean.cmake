@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novac.dir/novac.cpp.o"
+  "CMakeFiles/novac.dir/novac.cpp.o.d"
+  "novac"
+  "novac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

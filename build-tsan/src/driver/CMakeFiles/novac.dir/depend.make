@@ -1,0 +1,2 @@
+# Empty dependencies file for novac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilp/MipSolver.cpp" "src/ilp/CMakeFiles/nova_ilp.dir/MipSolver.cpp.o" "gcc" "src/ilp/CMakeFiles/nova_ilp.dir/MipSolver.cpp.o.d"
+  "/root/repo/src/ilp/Model.cpp" "src/ilp/CMakeFiles/nova_ilp.dir/Model.cpp.o" "gcc" "src/ilp/CMakeFiles/nova_ilp.dir/Model.cpp.o.d"
+  "/root/repo/src/ilp/Presolve.cpp" "src/ilp/CMakeFiles/nova_ilp.dir/Presolve.cpp.o" "gcc" "src/ilp/CMakeFiles/nova_ilp.dir/Presolve.cpp.o.d"
+  "/root/repo/src/ilp/Simplex.cpp" "src/ilp/CMakeFiles/nova_ilp.dir/Simplex.cpp.o" "gcc" "src/ilp/CMakeFiles/nova_ilp.dir/Simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/nova_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_ilp.dir/MipSolver.cpp.o"
+  "CMakeFiles/nova_ilp.dir/MipSolver.cpp.o.d"
+  "CMakeFiles/nova_ilp.dir/Model.cpp.o"
+  "CMakeFiles/nova_ilp.dir/Model.cpp.o.d"
+  "CMakeFiles/nova_ilp.dir/Presolve.cpp.o"
+  "CMakeFiles/nova_ilp.dir/Presolve.cpp.o.d"
+  "CMakeFiles/nova_ilp.dir/Simplex.cpp.o"
+  "CMakeFiles/nova_ilp.dir/Simplex.cpp.o.d"
+  "libnova_ilp.a"
+  "libnova_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

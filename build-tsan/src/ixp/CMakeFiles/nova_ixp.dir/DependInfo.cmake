@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ixp/Frequency.cpp" "src/ixp/CMakeFiles/nova_ixp.dir/Frequency.cpp.o" "gcc" "src/ixp/CMakeFiles/nova_ixp.dir/Frequency.cpp.o.d"
+  "/root/repo/src/ixp/ISel.cpp" "src/ixp/CMakeFiles/nova_ixp.dir/ISel.cpp.o" "gcc" "src/ixp/CMakeFiles/nova_ixp.dir/ISel.cpp.o.d"
+  "/root/repo/src/ixp/Liveness.cpp" "src/ixp/CMakeFiles/nova_ixp.dir/Liveness.cpp.o" "gcc" "src/ixp/CMakeFiles/nova_ixp.dir/Liveness.cpp.o.d"
+  "/root/repo/src/ixp/Machine.cpp" "src/ixp/CMakeFiles/nova_ixp.dir/Machine.cpp.o" "gcc" "src/ixp/CMakeFiles/nova_ixp.dir/Machine.cpp.o.d"
+  "/root/repo/src/ixp/MachineIr.cpp" "src/ixp/CMakeFiles/nova_ixp.dir/MachineIr.cpp.o" "gcc" "src/ixp/CMakeFiles/nova_ixp.dir/MachineIr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cps/CMakeFiles/nova_cps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/nova_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nova/CMakeFiles/nova_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

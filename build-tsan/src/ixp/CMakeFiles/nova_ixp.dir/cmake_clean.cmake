@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_ixp.dir/Frequency.cpp.o"
+  "CMakeFiles/nova_ixp.dir/Frequency.cpp.o.d"
+  "CMakeFiles/nova_ixp.dir/ISel.cpp.o"
+  "CMakeFiles/nova_ixp.dir/ISel.cpp.o.d"
+  "CMakeFiles/nova_ixp.dir/Liveness.cpp.o"
+  "CMakeFiles/nova_ixp.dir/Liveness.cpp.o.d"
+  "CMakeFiles/nova_ixp.dir/Machine.cpp.o"
+  "CMakeFiles/nova_ixp.dir/Machine.cpp.o.d"
+  "CMakeFiles/nova_ixp.dir/MachineIr.cpp.o"
+  "CMakeFiles/nova_ixp.dir/MachineIr.cpp.o.d"
+  "libnova_ixp.a"
+  "libnova_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nova/Layout.cpp" "src/nova/CMakeFiles/nova_frontend.dir/Layout.cpp.o" "gcc" "src/nova/CMakeFiles/nova_frontend.dir/Layout.cpp.o.d"
+  "/root/repo/src/nova/Lexer.cpp" "src/nova/CMakeFiles/nova_frontend.dir/Lexer.cpp.o" "gcc" "src/nova/CMakeFiles/nova_frontend.dir/Lexer.cpp.o.d"
+  "/root/repo/src/nova/Parser.cpp" "src/nova/CMakeFiles/nova_frontend.dir/Parser.cpp.o" "gcc" "src/nova/CMakeFiles/nova_frontend.dir/Parser.cpp.o.d"
+  "/root/repo/src/nova/Sema.cpp" "src/nova/CMakeFiles/nova_frontend.dir/Sema.cpp.o" "gcc" "src/nova/CMakeFiles/nova_frontend.dir/Sema.cpp.o.d"
+  "/root/repo/src/nova/Types.cpp" "src/nova/CMakeFiles/nova_frontend.dir/Types.cpp.o" "gcc" "src/nova/CMakeFiles/nova_frontend.dir/Types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/nova_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

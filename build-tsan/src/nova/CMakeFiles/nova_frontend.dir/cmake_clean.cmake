@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_frontend.dir/Layout.cpp.o"
+  "CMakeFiles/nova_frontend.dir/Layout.cpp.o.d"
+  "CMakeFiles/nova_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/nova_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/nova_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/nova_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/nova_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/nova_frontend.dir/Sema.cpp.o.d"
+  "CMakeFiles/nova_frontend.dir/Types.cpp.o"
+  "CMakeFiles/nova_frontend.dir/Types.cpp.o.d"
+  "libnova_frontend.a"
+  "libnova_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

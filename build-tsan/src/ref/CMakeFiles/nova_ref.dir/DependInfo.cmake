@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ref/Aes.cpp" "src/ref/CMakeFiles/nova_ref.dir/Aes.cpp.o" "gcc" "src/ref/CMakeFiles/nova_ref.dir/Aes.cpp.o.d"
+  "/root/repo/src/ref/Kasumi.cpp" "src/ref/CMakeFiles/nova_ref.dir/Kasumi.cpp.o" "gcc" "src/ref/CMakeFiles/nova_ref.dir/Kasumi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/nova_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_ref.dir/Aes.cpp.o"
+  "CMakeFiles/nova_ref.dir/Aes.cpp.o.d"
+  "CMakeFiles/nova_ref.dir/Kasumi.cpp.o"
+  "CMakeFiles/nova_ref.dir/Kasumi.cpp.o.d"
+  "libnova_ref.a"
+  "libnova_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

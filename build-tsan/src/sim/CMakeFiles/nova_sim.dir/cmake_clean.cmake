@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/nova_sim.dir/Simulator.cpp.o.d"
+  "libnova_sim.a"
+  "libnova_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/nova_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/nova_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/nova_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/nova_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/nova_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/nova_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/nova_support.dir/ThreadPool.cpp.o.d"
+  "CMakeFiles/nova_support.dir/Timer.cpp.o"
+  "CMakeFiles/nova_support.dir/Timer.cpp.o.d"
+  "libnova_support.a"
+  "libnova_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cps_test.dir/cps_test.cpp.o"
+  "CMakeFiles/cps_test.dir/cps_test.cpp.o.d"
+  "cps_test"
+  "cps_test.pdb"
+  "cps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_test.dir/ixp_test.cpp.o"
+  "CMakeFiles/ixp_test.dir/ixp_test.cpp.o.d"
+  "ixp_test"
+  "ixp_test.pdb"
+  "ixp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

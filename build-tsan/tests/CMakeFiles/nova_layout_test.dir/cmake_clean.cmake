@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_layout_test.dir/nova_layout_test.cpp.o"
+  "CMakeFiles/nova_layout_test.dir/nova_layout_test.cpp.o.d"
+  "nova_layout_test"
+  "nova_layout_test.pdb"
+  "nova_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_lexer_test.dir/nova_lexer_test.cpp.o"
+  "CMakeFiles/nova_lexer_test.dir/nova_lexer_test.cpp.o.d"
+  "nova_lexer_test"
+  "nova_lexer_test.pdb"
+  "nova_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

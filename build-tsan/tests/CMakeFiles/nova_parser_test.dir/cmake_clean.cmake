@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_parser_test.dir/nova_parser_test.cpp.o"
+  "CMakeFiles/nova_parser_test.dir/nova_parser_test.cpp.o.d"
+  "nova_parser_test"
+  "nova_parser_test.pdb"
+  "nova_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

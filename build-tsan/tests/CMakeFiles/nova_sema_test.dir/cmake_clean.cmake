@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_sema_test.dir/nova_sema_test.cpp.o"
+  "CMakeFiles/nova_sema_test.dir/nova_sema_test.cpp.o.d"
+  "nova_sema_test"
+  "nova_sema_test.pdb"
+  "nova_sema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

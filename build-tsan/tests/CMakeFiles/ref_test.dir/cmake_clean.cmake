@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_test.dir/ref_test.cpp.o"
+  "CMakeFiles/ref_test.dir/ref_test.cpp.o.d"
+  "ref_test"
+  "ref_test.pdb"
+  "ref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/support_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ilp_model_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ilp_simplex_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ilp_mip_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nova_lexer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nova_layout_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nova_sema_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cps_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ixp_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/alloc_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ref_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nova_parser_test[1]_include.cmake")
+add_test(apps_test "/root/repo/build-tsan/tests/apps_test")
+set_tests_properties(apps_test PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")
