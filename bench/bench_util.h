@@ -58,8 +58,15 @@ struct SolverRun {
   double TotalSeconds = 0.0;
   double CpuSeconds = 0.0;
   double Objective = 0.0;
+  double RootObjective = 0.0;
   unsigned Moves = 0;
   unsigned Spills = 0;
+  // LP-engine counters (sparse LU basis): how often the factors were
+  // rebuilt, how many pivots the eta files absorbed, and how many full
+  // reduced-cost recomputations ran.
+  unsigned Factorizations = 0;
+  unsigned EtaPivots = 0;
+  unsigned PricingPasses = 0;
 };
 
 inline SolverRun solverRunFrom(const std::string &Program,
@@ -76,8 +83,12 @@ inline SolverRun solverRunFrom(const std::string &Program,
   R.TotalSeconds = S.Solve.TotalSeconds;
   R.CpuSeconds = S.Solve.CpuSeconds;
   R.Objective = S.Objective;
+  R.RootObjective = S.Solve.RootObjective;
   R.Moves = S.Moves;
   R.Spills = S.Spills;
+  R.Factorizations = S.Solve.Factorizations;
+  R.EtaPivots = S.Solve.EtaPivots;
+  R.PricingPasses = S.Solve.PricingPasses;
   return R;
 }
 
@@ -98,11 +109,14 @@ inline bool writeSolverJson(const std::string &Path,
         "  {\"program\": \"%s\", \"threads\": %u, \"deterministic\": %s, "
         "\"nodes\": %u, \"lp_iterations\": %u, \"steals\": %u, "
         "\"root_seconds\": %.6f, \"total_seconds\": %.6f, "
-        "\"cpu_seconds\": %.6f, \"objective\": %.9g, \"moves\": %u, "
-        "\"spills\": %u}%s\n",
+        "\"cpu_seconds\": %.6f, \"objective\": %.9g, "
+        "\"root_objective\": %.9g, \"moves\": %u, \"spills\": %u, "
+        "\"factorizations\": %u, \"eta_pivots\": %u, "
+        "\"pricing_passes\": %u}%s\n",
         R.Program.c_str(), R.Threads, R.Deterministic ? "true" : "false",
         R.Nodes, R.LpIterations, R.Steals, R.RootSeconds, R.TotalSeconds,
-        R.CpuSeconds, R.Objective, R.Moves, R.Spills,
+        R.CpuSeconds, R.Objective, R.RootObjective, R.Moves, R.Spills,
+        R.Factorizations, R.EtaPivots, R.PricingPasses,
         I + 1 == Runs.size() ? "" : ",");
   }
   std::fprintf(F, "]\n");

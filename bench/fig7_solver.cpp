@@ -37,6 +37,9 @@ int main(int argc, char **argv) {
   unsigned Threads = 4;
   bool Compare = true;
   const char *JsonPath = "BENCH_solver.json";
+  const char *Only = nullptr;
+  double ExpectRoot = 0.0;
+  bool HaveExpectRoot = false;
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--mip-threads") && I + 1 < argc)
       Threads = static_cast<unsigned>(std::atoi(argv[++I]));
@@ -44,10 +47,16 @@ int main(int argc, char **argv) {
       Compare = false;
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
-    else {
+    else if (!std::strcmp(argv[I], "--only") && I + 1 < argc)
+      Only = argv[++I];
+    else if (!std::strcmp(argv[I], "--expect-root") && I + 1 < argc) {
+      ExpectRoot = std::atof(argv[++I]);
+      HaveExpectRoot = true;
+    } else {
       std::fprintf(stderr,
                    "usage: fig7_solver [--mip-threads <n>] [--no-compare] "
-                   "[--json <path>]\n");
+                   "[--json <path>] [--only <AES|Kasumi|NAT>] "
+                   "[--expect-root <objective>]\n");
       return 2;
     }
   }
@@ -64,6 +73,8 @@ int main(int argc, char **argv) {
 
   std::vector<bench::SolverRun> Runs;
   for (const char *Name : {"AES", "Kasumi", "NAT"}) {
+    if (Only && std::strcmp(Name, Only))
+      continue;
     double SerialSeconds = 0.0;
     double SerialObjective = 0.0;
     std::vector<unsigned> Plan;
@@ -76,6 +87,14 @@ int main(int argc, char **argv) {
       if (!C->Ok)
         return 1;
       const alloc::AllocStats &S = C->Alloc.Stats;
+      // CI smoke: the root relaxation objective is a deterministic model
+      // property; any drift means the LP engine or the model changed.
+      if (HaveExpectRoot &&
+          std::abs(S.Solve.RootObjective - ExpectRoot) > 1e-6) {
+        std::fprintf(stderr, "%s: root objective %.9g != expected %.9g\n",
+                     Name, S.Solve.RootObjective, ExpectRoot);
+        return 1;
+      }
       if (T == 1) {
         SerialSeconds = S.Solve.TotalSeconds;
         SerialObjective = S.Objective;

@@ -38,4 +38,13 @@ fun main(base : word, n : word) {
 EOF
 echo "== 2-thread MIP smoke solve =="
 "$BUILD/src/driver/novac" --mip-threads 2 --mip-deterministic --stats "$SMOKE"
+
+# Time-boxed solver smoke on the real NAT model: the root relaxation
+# objective is a deterministic property of the model + LP engine, so any
+# drift fails the run. NAT is the smallest of the three apps (~60s was
+# the pre-sparse-LU budget; the sparse engine solves it in well under a
+# second, so 120s only guards against a hang).
+echo "== NAT solver smoke (root objective check) =="
+timeout 120 "$BUILD/bench/fig7_solver" --only NAT --mip-threads 1 \
+  --no-compare --json "$BUILD/BENCH_smoke.json" --expect-root 2.2381627
 echo "tier-1 verify: OK"

@@ -24,8 +24,9 @@ static void usage() {
       "  --stats           print Figure 5/6/7 style statistics\n"
       "  --spill-model     always build the spill-aware ILP model\n"
       "  --time-limit <s>  ILP solve budget in seconds (default 600)\n"
-      "  --mip-threads <n> branch & bound worker threads (default 1,\n"
-      "                    0 = one per hardware thread)\n"
+      "  --mip-threads <n> branch & bound worker threads (default 0 =\n"
+      "                    one per hardware thread; always clamped to the\n"
+      "                    available cores)\n"
       "  --mip-deterministic  reproducible parallel search (fixed-order\n"
       "                    node expansion at synchronization points)\n");
 }
@@ -35,6 +36,7 @@ int main(int argc, char **argv) {
   bool Stats = false;
   driver::CompileOptions Opts;
   Opts.Alloc.Mip.TimeLimitSeconds = 600.0;
+  Opts.Alloc.Mip.Threads = 0; // auto: one worker per hardware thread
   const char *File = nullptr;
 
   for (int I = 1; I != argc; ++I) {

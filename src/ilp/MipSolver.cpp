@@ -551,8 +551,14 @@ MipResult MipSolver::solve() {
     return Result;
   }
 
-  unsigned NumWorkers =
+  // Never run more workers than the machine has hardware threads: the
+  // extra workers only time-slice, and the resulting interleaving makes
+  // the asynchronous search expand speculative nodes a single-threaded
+  // run would have pruned (more nodes *and* more wall clock).
+  unsigned Requested =
       Opts.Threads == 0 ? ThreadPool::defaultThreads() : Opts.Threads;
+  unsigned Hardware = std::max(1u, std::thread::hardware_concurrency());
+  unsigned NumWorkers = std::max(1u, std::min(Requested, Hardware));
   Result.Stats.Threads = NumWorkers;
 
   SearchShared S(P.Reduced, Opts, NumWorkers);
@@ -620,6 +626,15 @@ MipResult MipSolver::solve() {
     Result.Stats.LpIterations += W->Stats.LpIterations;
     Result.Stats.Workers.push_back(W->Stats);
   }
+  auto addLpStats = [&](const Simplex &Lp) {
+    SimplexStats LS = Lp.stats();
+    Result.Stats.Factorizations += LS.Factorizations;
+    Result.Stats.EtaPivots += LS.EtaPivots;
+    Result.Stats.PricingPasses += LS.PricingPasses;
+  };
+  addLpStats(RootLp);
+  for (const Simplex &Lp : ExtraLps)
+    addLpStats(Lp);
 
   bool Complete = !S.HitLimit.load() && !S.Trouble.load();
   finishTimes();

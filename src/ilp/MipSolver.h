@@ -79,6 +79,10 @@ struct MipStats {
   unsigned ReducedConstraints = 0;
   unsigned Threads = 1;  ///< workers the search actually used
   unsigned Steals = 0;   ///< total cross-worker subtree steals
+  // LP-engine counters summed over all worker Simplex instances.
+  unsigned Factorizations = 0; ///< sparse LU rebuilds
+  unsigned EtaPivots = 0;      ///< pivots absorbed into eta files
+  unsigned PricingPasses = 0;  ///< full reduced-cost recomputations
   std::vector<MipWorkerStats> Workers;
 };
 

@@ -20,10 +20,15 @@ namespace {
 constexpr double FeasTol = 1e-7;
 constexpr double CostTol = 1e-7;
 constexpr double PivotTol = 1e-9;
+/// Entries of a transformed column below this magnitude are treated as
+/// structurally zero (cancellation noise from the sparse solves).
+constexpr double ZeroTol = 1e-12;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 constexpr unsigned DegenerateLimit = 400;
 /// Recompute basic values from scratch this often to bound drift.
 constexpr unsigned RefreshPeriod = 512;
+/// Devex weights above this trigger a reference-framework reset.
+constexpr double DevexResetLimit = 1e8;
 } // namespace
 
 Simplex::Simplex(const Model &Mdl) {
@@ -63,8 +68,20 @@ Simplex::Simplex(const Model &Mdl) {
       break;
     }
   }
-  WorkY.resize(M);
-  WorkW.resize(M);
+  // Row-wise mirror of the column store: lets the pivot-row pass touch
+  // only the rows the BTRAN result actually reaches.
+  Rows.resize(M);
+  for (unsigned J = 0; J != N; ++J)
+    for (const Term &T : Cols[J])
+      Rows[T.Var.Index].push_back({VarId{J}, T.Coeff});
+
+  Fact.setup(M);
+  Dj.assign(N, 0.0);
+  DevexW.assign(N, 1.0);
+  WorkCol.setup(M);
+  WorkDual.setup(M);
+  WorkRhs.setup(M);
+  WorkPrice.setup(N);
 }
 
 void Simplex::setVarBounds(VarId Var, double NewLower, double NewUpper) {
@@ -101,18 +118,17 @@ void Simplex::installSlackBasis() {
     RowOf[SlackCol] = I;
     VarState[SlackCol] = State::Basic;
   }
-  // Slack basis inverse is the identity.
-  Binv.assign(static_cast<size_t>(M) * M, 0.0);
-  for (unsigned I = 0; I != M; ++I)
-    Binv[static_cast<size_t>(I) * M + I] = 1.0;
   BasicVal.assign(M, 0.0);
-  computeBasicValues();
+  refactorize(); // the slack basis is the identity: always succeeds
   HasBasis = true;
 }
 
 void Simplex::computeBasicValues() {
-  // r = Rhs - sum over nonbasic columns of A_j * x_j.
-  std::vector<double> R = Rhs;
+  // Solve B * xB = Rhs - sum over nonbasic columns of A_j * x_j.
+  WorkRhs.clear();
+  for (unsigned I = 0; I != M; ++I)
+    if (Rhs[I] != 0.0)
+      WorkRhs.set(I, Rhs[I]);
   for (unsigned J = 0; J != N; ++J) {
     if (RowOf[J] != ~0u)
       continue;
@@ -120,118 +136,64 @@ void Simplex::computeBasicValues() {
     if (X == 0.0)
       continue;
     for (const Term &T : Cols[J])
-      R[T.Var.Index] -= T.Coeff * X;
+      WorkRhs.add(T.Var.Index, -T.Coeff * X);
   }
-  // xB = Binv * r, accumulated column-wise for contiguous access.
-  std::fill(BasicVal.begin(), BasicVal.end(), 0.0);
-  for (unsigned K = 0; K != M; ++K) {
-    double RK = R[K];
-    if (RK == 0.0)
-      continue;
-    const double *Col = &Binv[static_cast<size_t>(K) * M];
-    for (unsigned I = 0; I != M; ++I)
-      BasicVal[I] += RK * Col[I];
-  }
+  Fact.ftran(WorkRhs);
+  for (unsigned I = 0; I != M; ++I)
+    BasicVal[I] = WorkRhs[I];
+  WorkRhs.clear();
 }
 
 bool Simplex::refactorize() {
-  // Rebuild Binv by Gauss-Jordan elimination of the basis matrix. O(m^3);
-  // called only on detected numerical trouble.
-  std::vector<double> B(static_cast<size_t>(M) * M, 0.0); // row-major
-  for (unsigned I = 0; I != M; ++I)
-    for (const Term &T : Cols[Basic[I]])
-      B[static_cast<size_t>(T.Var.Index) * M + I] = T.Coeff;
-  std::vector<double> Inv(static_cast<size_t>(M) * M, 0.0); // row-major
-  for (unsigned I = 0; I != M; ++I)
-    Inv[static_cast<size_t>(I) * M + I] = 1.0;
-  for (unsigned ColIdx = 0; ColIdx != M; ++ColIdx) {
-    // Partial pivoting.
-    unsigned Piv = ColIdx;
-    double Best = std::fabs(B[static_cast<size_t>(ColIdx) * M + ColIdx]);
-    for (unsigned R = ColIdx + 1; R != M; ++R) {
-      double A = std::fabs(B[static_cast<size_t>(R) * M + ColIdx]);
-      if (A > Best) {
-        Best = A;
-        Piv = R;
-      }
+  auto Deficient = Fact.factorize(Cols, Basic);
+  // A numerically singular basis is repaired by swapping the slack of each
+  // uncovered row into the slot that could not be pivoted; the displaced
+  // variable is parked on a bound. The repaired basis contains fresh unit
+  // columns, so a couple of rounds always converge (or the repair is
+  // impossible and the caller gives up).
+  unsigned Attempts = 0;
+  while (!Deficient.empty() && Attempts++ < 3) {
+    for (auto [Slot, Row] : Deficient) {
+      unsigned Displaced = Basic[Slot];
+      unsigned Slack = NumStructural + Row;
+      if (RowOf[Slack] != ~0u)
+        return false; // slack basic elsewhere: cannot repair
+      RowOf[Displaced] = ~0u;
+      VarState[Displaced] =
+          std::isfinite(Lower[Displaced]) || !std::isfinite(Upper[Displaced])
+              ? State::AtLower
+              : State::AtUpper;
+      Basic[Slot] = Slack;
+      RowOf[Slack] = Slot;
+      VarState[Slack] = State::Basic;
     }
-    if (Best < PivotTol)
-      return false;
-    if (Piv != ColIdx) {
-      for (unsigned K = 0; K != M; ++K) {
-        std::swap(B[static_cast<size_t>(Piv) * M + K],
-                  B[static_cast<size_t>(ColIdx) * M + K]);
-        std::swap(Inv[static_cast<size_t>(Piv) * M + K],
-                  Inv[static_cast<size_t>(ColIdx) * M + K]);
-      }
-    }
-    double PivVal = B[static_cast<size_t>(ColIdx) * M + ColIdx];
-    for (unsigned K = 0; K != M; ++K) {
-      B[static_cast<size_t>(ColIdx) * M + K] /= PivVal;
-      Inv[static_cast<size_t>(ColIdx) * M + K] /= PivVal;
-    }
-    for (unsigned R = 0; R != M; ++R) {
-      if (R == ColIdx)
-        continue;
-      double F = B[static_cast<size_t>(R) * M + ColIdx];
-      if (F == 0.0)
-        continue;
-      for (unsigned K = 0; K != M; ++K) {
-        B[static_cast<size_t>(R) * M + K] -=
-            F * B[static_cast<size_t>(ColIdx) * M + K];
-        Inv[static_cast<size_t>(R) * M + K] -=
-            F * Inv[static_cast<size_t>(ColIdx) * M + K];
-      }
-    }
+    Deficient = Fact.factorize(Cols, Basic);
   }
-  // Transpose row-major Inv into the column-major Binv store.
-  for (unsigned I = 0; I != M; ++I)
-    for (unsigned K = 0; K != M; ++K)
-      Binv[static_cast<size_t>(K) * M + I] = Inv[static_cast<size_t>(I) * M + K];
+  if (!Deficient.empty())
+    return false;
+  DjValid = false;
   computeBasicValues();
   return true;
 }
 
-void Simplex::applyEta(const std::vector<double> &W, unsigned PivotRow) {
-  double PivotInv = 1.0 / W[PivotRow];
-  for (unsigned K = 0; K != M; ++K) {
-    double *Col = &Binv[static_cast<size_t>(K) * M];
-    double Scaled = Col[PivotRow] * PivotInv;
-    if (Scaled == 0.0)
-      continue;
-    Col[PivotRow] = Scaled;
-    for (unsigned I = 0; I != M; ++I)
-      if (I != PivotRow)
-        Col[I] -= W[I] * Scaled;
+void Simplex::recomputeDj() {
+  // y = cB * Binv via BTRAN, then one pass over the columns.
+  WorkDual.clear();
+  for (unsigned I = 0; I != M; ++I) {
+    double C = Cost[Basic[I]];
+    if (C != 0.0)
+      WorkDual.set(I, C);
   }
-}
-
-void Simplex::priceInto(const std::vector<double> &CB,
-                        std::vector<double> &Y) const {
-  for (unsigned K = 0; K != M; ++K) {
-    const double *Col = &Binv[static_cast<size_t>(K) * M];
-    double Sum = 0.0;
-    for (unsigned I = 0; I != M; ++I)
-      Sum += CB[I] * Col[I];
-    Y[K] = Sum;
+  Fact.btran(WorkDual);
+  for (unsigned J = 0; J != N; ++J) {
+    double D = Cost[J];
+    for (const Term &T : Cols[J])
+      D -= WorkDual[T.Var.Index] * T.Coeff;
+    Dj[J] = D;
   }
-}
-
-double Simplex::reducedCost(unsigned Col, const std::vector<double> &Y) const {
-  double D = 0.0;
-  for (const Term &T : Cols[Col])
-    D -= Y[T.Var.Index] * T.Coeff;
-  return D;
-}
-
-void Simplex::ftran(unsigned Col, std::vector<double> &W) const {
-  std::fill(W.begin(), W.end(), 0.0);
-  for (const Term &T : Cols[Col]) {
-    const double *BCol = &Binv[static_cast<size_t>(T.Var.Index) * M];
-    double C = T.Coeff;
-    for (unsigned I = 0; I != M; ++I)
-      W[I] += C * BCol[I];
-  }
+  WorkDual.clear();
+  DjValid = true;
+  ++Stats.PricingPasses;
 }
 
 double Simplex::infeasibilitySum() const {
@@ -246,94 +208,200 @@ double Simplex::infeasibilitySum() const {
   return Sum;
 }
 
+void Simplex::pivotRowUpdate(unsigned Entering, unsigned Leaving,
+                             unsigned LeaveRow, bool PhaseOne) {
+  // rho = e_r * Binv of the outgoing basis (this pivot's eta is pushed
+  // after this call), then alpha_r = rho * A over the rows rho touches.
+  WorkDual.clear();
+  WorkDual.set(LeaveRow, 1.0);
+  Fact.btran(WorkDual);
+  WorkPrice.clear();
+  for (uint32_t R : WorkDual.indices()) {
+    double Y = WorkDual[R];
+    if (Y == 0.0)
+      continue;
+    for (const Term &T : Rows[R])
+      WorkPrice.add(T.Var.Index, Y * T.Coeff);
+  }
+  double Aq = WorkCol[LeaveRow]; // pivot element alpha_rq
+  double Wq = DevexW[Entering];
+  bool TrackDj = DjValid && !PhaseOne;
+  double ThetaD = TrackDj ? Dj[Entering] / Aq : 0.0;
+  double MaxW = 1.0;
+  for (uint32_t J : WorkPrice.indices()) {
+    if (RowOf[J] != ~0u)
+      continue; // the entering column is basic by now
+    double A = WorkPrice[J];
+    if (A == 0.0)
+      continue;
+    if (TrackDj)
+      Dj[J] -= ThetaD * A;
+    double Ratio = A / Aq;
+    double Cand = Ratio * Ratio * Wq;
+    if (Cand > DevexW[J])
+      DevexW[J] = Cand;
+    if (DevexW[J] > MaxW)
+      MaxW = DevexW[J];
+  }
+  if (TrackDj)
+    Dj[Entering] = 0.0;
+  double WLeave = std::max(Wq / (Aq * Aq), 1.0);
+  DevexW[Leaving] = WLeave;
+  if (WLeave > MaxW)
+    MaxW = WLeave;
+  if (MaxW > DevexResetLimit) {
+    // Reference framework reset: restart Devex from the current basis.
+    std::fill(DevexW.begin(), DevexW.end(), 1.0);
+    ++Stats.DevexResets;
+  }
+}
+
 LpStatus Simplex::iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit) {
-  std::vector<double> CB(M);
   unsigned DegenerateRun = 0;
   bool Bland = false;
   unsigned SinceRefresh = 0;
+  if (!PhaseOne)
+    DjValid = false; // the phase's cost vector just changed
 
   while (true) {
     if (Iters >= IterLimit)
       return LpStatus::IterationLimit;
+    if (Fact.shouldRefactorize()) {
+      if (!refactorize())
+        return LpStatus::IterationLimit; // numerical trouble: caller bails
+      SinceRefresh = 0;
+    }
     if (++SinceRefresh >= RefreshPeriod) {
       SinceRefresh = 0;
       computeBasicValues();
     }
 
-    // Build the objective on basic variables.
+    // --- Pricing: pick the entering column ---
+    unsigned Entering = ~0u;
+    int EnterDir = 0; // +1 entering increases, -1 decreases
+    bool FreshDj = false;
+
     if (PhaseOne) {
+      // Composite objective: the cost on basic variables is the
+      // subgradient of the infeasibility sum, so the duals are the BTRAN
+      // of a (usually very sparse) +-1 vector and only the columns
+      // reached by those rows can have a nonzero reduced cost.
+      WorkDual.clear();
       double Infeas = 0.0;
       for (unsigned I = 0; I != M; ++I) {
         unsigned B = Basic[I];
         if (BasicVal[I] < Lower[B] - FeasTol) {
-          CB[I] = -1.0;
+          WorkDual.set(I, -1.0);
           Infeas += Lower[B] - BasicVal[I];
         } else if (BasicVal[I] > Upper[B] + FeasTol) {
-          CB[I] = 1.0;
+          WorkDual.set(I, 1.0);
           Infeas += BasicVal[I] - Upper[B];
-        } else {
-          CB[I] = 0.0;
         }
       }
       if (Infeas <= FeasTol)
         return LpStatus::Optimal; // Feasible; caller proceeds to phase II.
-    } else {
-      for (unsigned I = 0; I != M; ++I)
-        CB[I] = Cost[Basic[I]];
-    }
-
-    priceInto(CB, WorkY);
-
-    // Pricing: Dantzig rule (most negative effective reduced cost), or
-    // Bland's smallest-index rule when escaping degeneracy.
-    unsigned Entering = ~0u;
-    double BestScore = CostTol;
-    int EnterDir = 0; // +1 entering increases, -1 decreases
-    for (unsigned J = 0; J != N; ++J) {
-      if (RowOf[J] != ~0u || Lower[J] == Upper[J])
-        continue;
-      double D = reducedCost(J, WorkY);
-      if (!PhaseOne)
-        D += Cost[J];
-      double Score = 0.0;
-      int Dir = 0;
-      if (VarState[J] == State::AtLower && D < -CostTol) {
-        Score = -D;
-        Dir = 1;
-      } else if (VarState[J] == State::AtUpper && D > CostTol) {
-        Score = D;
-        Dir = -1;
-      } else {
-        continue;
+      Fact.btran(WorkDual);
+      WorkPrice.clear();
+      for (uint32_t R : WorkDual.indices()) {
+        double Y = WorkDual[R];
+        if (Y == 0.0)
+          continue;
+        for (const Term &T : Rows[R])
+          WorkPrice.add(T.Var.Index, -Y * T.Coeff);
       }
-      if (Bland) {
-        Entering = J;
-        EnterDir = Dir;
-        break;
+      double BestScore = 0.0;
+      for (uint32_t J : WorkPrice.indices()) {
+        if (RowOf[J] != ~0u || Lower[J] == Upper[J])
+          continue;
+        double D = WorkPrice[J];
+        double Mag;
+        int Dir;
+        if (VarState[J] == State::AtLower && D < -CostTol) {
+          Mag = -D;
+          Dir = 1;
+        } else if (VarState[J] == State::AtUpper && D > CostTol) {
+          Mag = D;
+          Dir = -1;
+        } else {
+          continue;
+        }
+        if (Bland) {
+          if (Entering == ~0u || J < Entering) {
+            Entering = J;
+            EnterDir = Dir;
+          }
+          continue;
+        }
+        double Score = Mag * Mag / DevexW[J];
+        if (Score > BestScore) {
+          BestScore = Score;
+          Entering = J;
+          EnterDir = Dir;
+        }
       }
-      if (Score > BestScore) {
-        BestScore = Score;
-        Entering = J;
-        EnterDir = Dir;
-      }
-    }
-    if (Entering == ~0u) {
-      if (PhaseOne)
+      if (Entering == ~0u)
         return LpStatus::Infeasible; // Still infeasible, no improving column.
-      return LpStatus::Optimal;
+    } else {
+      if (!DjValid) {
+        recomputeDj();
+        FreshDj = true;
+      }
+      double BestScore = 0.0;
+      for (unsigned J = 0; J != N; ++J) {
+        if (RowOf[J] != ~0u || Lower[J] == Upper[J])
+          continue;
+        double D = Dj[J];
+        double Mag;
+        int Dir;
+        if (VarState[J] == State::AtLower && D < -CostTol) {
+          Mag = -D;
+          Dir = 1;
+        } else if (VarState[J] == State::AtUpper && D > CostTol) {
+          Mag = D;
+          Dir = -1;
+        } else {
+          continue;
+        }
+        if (Bland) {
+          Entering = J;
+          EnterDir = Dir;
+          break;
+        }
+        double Score = Mag * Mag / DevexW[J];
+        if (Score > BestScore) {
+          BestScore = Score;
+          Entering = J;
+          EnterDir = Dir;
+        }
+      }
+      if (Entering == ~0u) {
+        // The maintained reduced costs drift; only a fresh pricing pass
+        // may declare optimality.
+        if (FreshDj)
+          return LpStatus::Optimal;
+        DjValid = false;
+        continue;
+      }
     }
 
-    ftran(Entering, WorkW);
+    // --- FTRAN the entering column ---
+    WorkCol.clear();
+    for (const Term &T : Cols[Entering])
+      WorkCol.add(T.Var.Index, T.Coeff);
+    Fact.ftran(WorkCol);
+    WorkCol.compact(ZeroTol);
 
-    // Ratio test. The entering variable moves by Sign*T, T >= 0; basic
-    // value i changes by -Sign*W[i]*T.
+    // --- Ratio test over the nonzeros of the transformed column. The
+    // entering variable moves by Sign*T, T >= 0; basic value i changes by
+    // -Sign*W[i]*T. ---
     double Sign = EnterDir;
     double LimitT = Inf;
     unsigned LeaveRow = ~0u;
     State LeaveState = State::AtLower;
     double BestPivot = 0.0;
-    for (unsigned I = 0; I != M; ++I) {
-      double Delta = Sign * WorkW[I];
+    for (uint32_t I : WorkCol.indices()) {
+      double W = WorkCol[I];
+      double Delta = Sign * W;
       if (std::fabs(Delta) <= PivotTol)
         continue;
       unsigned B = Basic[I];
@@ -369,7 +437,7 @@ LpStatus Simplex::iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit) {
         continue;
       T = std::max(T, 0.0);
       bool Better = T < LimitT - FeasTol ||
-                    (T < LimitT + FeasTol && std::fabs(WorkW[I]) > BestPivot);
+                    (T < LimitT + FeasTol && std::fabs(W) > BestPivot);
       if (Bland)
         Better = T < LimitT - 1e-12 ||
                  (LeaveRow != ~0u && T <= LimitT && Basic[I] < Basic[LeaveRow]);
@@ -377,7 +445,7 @@ LpStatus Simplex::iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit) {
         LimitT = T;
         LeaveRow = I;
         LeaveState = HitState;
-        BestPivot = std::fabs(WorkW[I]);
+        BestPivot = std::fabs(W);
       }
     }
     // Bound flip limit for the entering variable itself.
@@ -385,15 +453,16 @@ LpStatus Simplex::iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit) {
     if (std::isfinite(Lower[Entering]) && std::isfinite(Upper[Entering]))
       FlipT = Upper[Entering] - Lower[Entering];
     if (FlipT < LimitT) {
-      // Flip: no basis change.
+      // Flip: no basis change, reduced costs unchanged.
       double T = FlipT;
-      for (unsigned I = 0; I != M; ++I)
-        BasicVal[I] -= Sign * WorkW[I] * T;
-      VarState[Entering] =
-          VarState[Entering] == State::AtLower ? State::AtUpper
-                                               : State::AtLower;
+      for (uint32_t I : WorkCol.indices())
+        BasicVal[I] -= Sign * WorkCol[I] * T;
+      VarState[Entering] = VarState[Entering] == State::AtLower
+                               ? State::AtUpper
+                               : State::AtLower;
       ++Iters;
       ++TotalIters;
+      ++Stats.BoundFlips;
       DegenerateRun = 0;
       Bland = false;
       continue;
@@ -401,20 +470,23 @@ LpStatus Simplex::iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit) {
     if (LeaveRow == ~0u)
       return PhaseOne ? LpStatus::Infeasible : LpStatus::Unbounded;
 
-    // Pivot.
+    // --- Pivot ---
     double T = LimitT;
-    for (unsigned I = 0; I != M; ++I)
-      BasicVal[I] -= Sign * WorkW[I] * T;
+    for (uint32_t I : WorkCol.indices())
+      BasicVal[I] -= Sign * WorkCol[I] * T;
     double EnterVal = nonbasicValue(Entering) + Sign * T;
     unsigned Leaving = Basic[LeaveRow];
     VarState[Leaving] = LeaveState;
-    // Snap the leaving variable exactly onto its bound.
     RowOf[Leaving] = ~0u;
     Basic[LeaveRow] = Entering;
     RowOf[Entering] = LeaveRow;
     VarState[Entering] = State::Basic;
     BasicVal[LeaveRow] = EnterVal;
-    applyEta(WorkW, LeaveRow);
+
+    // Pivot-row pass (Devex weights + maintained reduced costs), then
+    // absorb the pivot into the eta file.
+    pivotRowUpdate(Entering, Leaving, LeaveRow, PhaseOne);
+    Fact.update(WorkCol, LeaveRow);
 
     ++Iters;
     ++TotalIters;
@@ -430,10 +502,20 @@ LpStatus Simplex::iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit) {
 
 LpResult Simplex::solve() {
   LpResult Result;
-  if (!HasBasis)
+  if (!HasBasis) {
     installSlackBasis();
-  else
+  } else if (!Fact.valid()) {
+    if (!refactorize()) {
+      Result.Status = LpStatus::Infeasible;
+      return Result;
+    }
+  } else {
     computeBasicValues();
+  }
+  // Devex restarts from the warm basis each solve; branching changes the
+  // geometry enough that stale weights are not worth carrying over.
+  std::fill(DevexW.begin(), DevexW.end(), 1.0);
+  DjValid = false;
 
   unsigned IterLimit = 20000 + 50 * (M + N);
   unsigned Iters = 0;

@@ -1,0 +1,591 @@
+//===- dense_lp_ref.h - Dense reference simplex (tests only) ----*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The previous generation of the LP engine, kept verbatim as a test
+/// oracle: a bounded-variable revised simplex whose basis inverse is a
+/// dense column-major m*m matrix updated by eta pivots and rebuilt by
+/// Gauss-Jordan elimination. The production engine (ilp/Simplex.h) moved
+/// to a sparse LU factorization; the randomized tests solve the same LPs
+/// with both and require identical optimal objectives.
+///
+/// Do not use outside tests: every iteration costs O(m^2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESTS_DENSE_LP_REF_H
+#define TESTS_DENSE_LP_REF_H
+
+#include "ilp/Model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace nova {
+namespace ilp {
+namespace denseref {
+
+enum class DenseLpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/// Result of one LP solve.
+struct DenseLpResult {
+  DenseLpStatus Status = DenseLpStatus::IterationLimit;
+  double Objective = 0.0;
+  unsigned Iterations = 0;
+};
+
+class DenseSimplex {
+public:
+  /// Builds the LP relaxation of \p M (integrality dropped).
+  explicit DenseSimplex(const Model &M);
+
+  /// Overrides the bounds of structural variable \p Var for subsequent
+  /// solves. Used by branch-and-bound; does not modify the Model.
+  void setVarBounds(VarId Var, double Lower, double Upper);
+
+  /// Current working bounds of a structural variable.
+  double lowerBound(VarId Var) const { return Lower[Var.Index]; }
+  double upperBound(VarId Var) const { return Upper[Var.Index]; }
+
+  /// Solves from the current basis (cold start on first call).
+  DenseLpResult solve();
+
+  /// Value of a structural variable in the last solved basis.
+  double value(VarId Var) const;
+
+  /// Values of all structural variables.
+  std::vector<double> values() const;
+
+  unsigned numRows() const { return M; }
+  unsigned numCols() const { return NumStructural; }
+
+  /// Total simplex iterations across all solve() calls.
+  unsigned totalIterations() const { return TotalIters; }
+
+private:
+  enum class State : uint8_t { Basic, AtLower, AtUpper };
+
+  // Problem data. Columns 0..NumStructural-1 are structural, the rest are
+  // slacks (one per row).
+  unsigned M = 0;             ///< number of rows
+  unsigned N = 0;             ///< total columns incl. slacks
+  unsigned NumStructural = 0; ///< structural column count
+  std::vector<std::vector<Term>> Cols; ///< sparse columns (row, coeff)
+  std::vector<double> Cost;            ///< phase-II objective
+  std::vector<double> Lower, Upper;    ///< working bounds per column
+  std::vector<double> Rhs;             ///< row right-hand sides
+
+  // Basis state.
+  bool HasBasis = false;
+  std::vector<uint32_t> Basic;  ///< Basic[i] = column basic in row i
+  std::vector<State> VarState;  ///< per-column state
+  std::vector<uint32_t> RowOf;  ///< RowOf[col] = basic row, or ~0u
+  std::vector<double> BasicVal; ///< value of basic var per row
+  std::vector<double> Binv;     ///< dense column-major m*m basis inverse
+  unsigned TotalIters = 0;
+
+  // Scratch.
+  std::vector<double> WorkY, WorkW;
+
+  double nonbasicValue(unsigned Col) const;
+  void installSlackBasis();
+  void computeBasicValues();
+  bool refactorize();
+  void applyEta(const std::vector<double> &W, unsigned PivotRow);
+  void priceInto(const std::vector<double> &CB, std::vector<double> &Y) const;
+  double reducedCost(unsigned Col, const std::vector<double> &Y) const;
+  void ftran(unsigned Col, std::vector<double> &W) const;
+  double infeasibilitySum() const;
+
+  /// One phase of the simplex loop. \p PhaseOne selects the composite
+  /// infeasibility objective. Returns the terminating status.
+  DenseLpStatus iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit);
+};
+
+namespace {
+constexpr double FeasTol = 1e-7;
+constexpr double CostTol = 1e-7;
+constexpr double PivotTol = 1e-9;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+constexpr unsigned DegenerateLimit = 400;
+/// Recompute basic values from scratch this often to bound drift.
+constexpr unsigned RefreshPeriod = 512;
+} // namespace
+
+inline DenseSimplex::DenseSimplex(const Model &Mdl) {
+  M = Mdl.numConstraints();
+  NumStructural = Mdl.numVars();
+  N = NumStructural + M;
+  Cols.resize(N);
+  Cost.assign(N, 0.0);
+  Lower.assign(N, 0.0);
+  Upper.assign(N, 0.0);
+  Rhs.assign(M, 0.0);
+
+  for (unsigned J = 0; J != NumStructural; ++J) {
+    const Variable &V = Mdl.var(VarId{J});
+    Cost[J] = V.Objective;
+    Lower[J] = V.Lower;
+    Upper[J] = V.Upper;
+  }
+  for (unsigned I = 0; I != M; ++I) {
+    const Constraint &C = Mdl.constraints()[I];
+    for (const Term &T : C.Terms)
+      Cols[T.Var.Index].push_back({VarId{I}, T.Coeff});
+    Rhs[I] = C.Rhs;
+    unsigned SlackCol = NumStructural + I;
+    Cols[SlackCol].push_back({VarId{I}, 1.0});
+    switch (C.Relation) {
+    case Rel::LE:
+      Lower[SlackCol] = 0.0;
+      Upper[SlackCol] = Inf;
+      break;
+    case Rel::GE:
+      Lower[SlackCol] = -Inf;
+      Upper[SlackCol] = 0.0;
+      break;
+    case Rel::EQ:
+      Lower[SlackCol] = Upper[SlackCol] = 0.0;
+      break;
+    }
+  }
+  WorkY.resize(M);
+  WorkW.resize(M);
+}
+
+inline void DenseSimplex::setVarBounds(VarId Var, double NewLower, double NewUpper) {
+  assert(Var.Index < NumStructural && "not a structural variable");
+  assert(NewLower <= NewUpper && "inverted bounds");
+  Lower[Var.Index] = NewLower;
+  Upper[Var.Index] = NewUpper;
+  // A nonbasic variable must sit on a bound that still exists; snap it to
+  // the nearest finite bound so the next solve starts consistent.
+  if (HasBasis && RowOf[Var.Index] == ~0u) {
+    if (VarState[Var.Index] == State::AtLower && !std::isfinite(NewLower))
+      VarState[Var.Index] = State::AtUpper;
+    if (VarState[Var.Index] == State::AtUpper && !std::isfinite(NewUpper))
+      VarState[Var.Index] = State::AtLower;
+  }
+}
+
+inline double DenseSimplex::nonbasicValue(unsigned Col) const {
+  if (VarState[Col] == State::AtUpper)
+    return std::isfinite(Upper[Col]) ? Upper[Col] : 0.0;
+  return std::isfinite(Lower[Col]) ? Lower[Col] : 0.0;
+}
+
+inline void DenseSimplex::installSlackBasis() {
+  Basic.resize(M);
+  RowOf.assign(N, ~0u);
+  VarState.assign(N, State::AtLower);
+  for (unsigned J = 0; J != NumStructural; ++J)
+    if (!std::isfinite(Lower[J]) && std::isfinite(Upper[J]))
+      VarState[J] = State::AtUpper;
+  for (unsigned I = 0; I != M; ++I) {
+    unsigned SlackCol = NumStructural + I;
+    Basic[I] = SlackCol;
+    RowOf[SlackCol] = I;
+    VarState[SlackCol] = State::Basic;
+  }
+  // Slack basis inverse is the identity.
+  Binv.assign(static_cast<size_t>(M) * M, 0.0);
+  for (unsigned I = 0; I != M; ++I)
+    Binv[static_cast<size_t>(I) * M + I] = 1.0;
+  BasicVal.assign(M, 0.0);
+  computeBasicValues();
+  HasBasis = true;
+}
+
+inline void DenseSimplex::computeBasicValues() {
+  // r = Rhs - sum over nonbasic columns of A_j * x_j.
+  std::vector<double> R = Rhs;
+  for (unsigned J = 0; J != N; ++J) {
+    if (RowOf[J] != ~0u)
+      continue;
+    double X = nonbasicValue(J);
+    if (X == 0.0)
+      continue;
+    for (const Term &T : Cols[J])
+      R[T.Var.Index] -= T.Coeff * X;
+  }
+  // xB = Binv * r, accumulated column-wise for contiguous access.
+  std::fill(BasicVal.begin(), BasicVal.end(), 0.0);
+  for (unsigned K = 0; K != M; ++K) {
+    double RK = R[K];
+    if (RK == 0.0)
+      continue;
+    const double *Col = &Binv[static_cast<size_t>(K) * M];
+    for (unsigned I = 0; I != M; ++I)
+      BasicVal[I] += RK * Col[I];
+  }
+}
+
+inline bool DenseSimplex::refactorize() {
+  // Rebuild Binv by Gauss-Jordan elimination of the basis matrix. O(m^3);
+  // called only on detected numerical trouble.
+  std::vector<double> B(static_cast<size_t>(M) * M, 0.0); // row-major
+  for (unsigned I = 0; I != M; ++I)
+    for (const Term &T : Cols[Basic[I]])
+      B[static_cast<size_t>(T.Var.Index) * M + I] = T.Coeff;
+  std::vector<double> Inv(static_cast<size_t>(M) * M, 0.0); // row-major
+  for (unsigned I = 0; I != M; ++I)
+    Inv[static_cast<size_t>(I) * M + I] = 1.0;
+  for (unsigned ColIdx = 0; ColIdx != M; ++ColIdx) {
+    // Partial pivoting.
+    unsigned Piv = ColIdx;
+    double Best = std::fabs(B[static_cast<size_t>(ColIdx) * M + ColIdx]);
+    for (unsigned R = ColIdx + 1; R != M; ++R) {
+      double A = std::fabs(B[static_cast<size_t>(R) * M + ColIdx]);
+      if (A > Best) {
+        Best = A;
+        Piv = R;
+      }
+    }
+    if (Best < PivotTol)
+      return false;
+    if (Piv != ColIdx) {
+      for (unsigned K = 0; K != M; ++K) {
+        std::swap(B[static_cast<size_t>(Piv) * M + K],
+                  B[static_cast<size_t>(ColIdx) * M + K]);
+        std::swap(Inv[static_cast<size_t>(Piv) * M + K],
+                  Inv[static_cast<size_t>(ColIdx) * M + K]);
+      }
+    }
+    double PivVal = B[static_cast<size_t>(ColIdx) * M + ColIdx];
+    for (unsigned K = 0; K != M; ++K) {
+      B[static_cast<size_t>(ColIdx) * M + K] /= PivVal;
+      Inv[static_cast<size_t>(ColIdx) * M + K] /= PivVal;
+    }
+    for (unsigned R = 0; R != M; ++R) {
+      if (R == ColIdx)
+        continue;
+      double F = B[static_cast<size_t>(R) * M + ColIdx];
+      if (F == 0.0)
+        continue;
+      for (unsigned K = 0; K != M; ++K) {
+        B[static_cast<size_t>(R) * M + K] -=
+            F * B[static_cast<size_t>(ColIdx) * M + K];
+        Inv[static_cast<size_t>(R) * M + K] -=
+            F * Inv[static_cast<size_t>(ColIdx) * M + K];
+      }
+    }
+  }
+  // Transpose row-major Inv into the column-major Binv store.
+  for (unsigned I = 0; I != M; ++I)
+    for (unsigned K = 0; K != M; ++K)
+      Binv[static_cast<size_t>(K) * M + I] = Inv[static_cast<size_t>(I) * M + K];
+  computeBasicValues();
+  return true;
+}
+
+inline void DenseSimplex::applyEta(const std::vector<double> &W, unsigned PivotRow) {
+  double PivotInv = 1.0 / W[PivotRow];
+  for (unsigned K = 0; K != M; ++K) {
+    double *Col = &Binv[static_cast<size_t>(K) * M];
+    double Scaled = Col[PivotRow] * PivotInv;
+    if (Scaled == 0.0)
+      continue;
+    Col[PivotRow] = Scaled;
+    for (unsigned I = 0; I != M; ++I)
+      if (I != PivotRow)
+        Col[I] -= W[I] * Scaled;
+  }
+}
+
+inline void DenseSimplex::priceInto(const std::vector<double> &CB,
+                        std::vector<double> &Y) const {
+  for (unsigned K = 0; K != M; ++K) {
+    const double *Col = &Binv[static_cast<size_t>(K) * M];
+    double Sum = 0.0;
+    for (unsigned I = 0; I != M; ++I)
+      Sum += CB[I] * Col[I];
+    Y[K] = Sum;
+  }
+}
+
+inline double DenseSimplex::reducedCost(unsigned Col, const std::vector<double> &Y) const {
+  double D = 0.0;
+  for (const Term &T : Cols[Col])
+    D -= Y[T.Var.Index] * T.Coeff;
+  return D;
+}
+
+inline void DenseSimplex::ftran(unsigned Col, std::vector<double> &W) const {
+  std::fill(W.begin(), W.end(), 0.0);
+  for (const Term &T : Cols[Col]) {
+    const double *BCol = &Binv[static_cast<size_t>(T.Var.Index) * M];
+    double C = T.Coeff;
+    for (unsigned I = 0; I != M; ++I)
+      W[I] += C * BCol[I];
+  }
+}
+
+inline double DenseSimplex::infeasibilitySum() const {
+  double Sum = 0.0;
+  for (unsigned I = 0; I != M; ++I) {
+    unsigned B = Basic[I];
+    if (BasicVal[I] < Lower[B] - FeasTol)
+      Sum += Lower[B] - BasicVal[I];
+    else if (BasicVal[I] > Upper[B] + FeasTol)
+      Sum += BasicVal[I] - Upper[B];
+  }
+  return Sum;
+}
+
+inline DenseLpStatus DenseSimplex::iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit) {
+  std::vector<double> CB(M);
+  unsigned DegenerateRun = 0;
+  bool Bland = false;
+  unsigned SinceRefresh = 0;
+
+  while (true) {
+    if (Iters >= IterLimit)
+      return DenseLpStatus::IterationLimit;
+    if (++SinceRefresh >= RefreshPeriod) {
+      SinceRefresh = 0;
+      computeBasicValues();
+    }
+
+    // Build the objective on basic variables.
+    if (PhaseOne) {
+      double Infeas = 0.0;
+      for (unsigned I = 0; I != M; ++I) {
+        unsigned B = Basic[I];
+        if (BasicVal[I] < Lower[B] - FeasTol) {
+          CB[I] = -1.0;
+          Infeas += Lower[B] - BasicVal[I];
+        } else if (BasicVal[I] > Upper[B] + FeasTol) {
+          CB[I] = 1.0;
+          Infeas += BasicVal[I] - Upper[B];
+        } else {
+          CB[I] = 0.0;
+        }
+      }
+      if (Infeas <= FeasTol)
+        return DenseLpStatus::Optimal; // Feasible; caller proceeds to phase II.
+    } else {
+      for (unsigned I = 0; I != M; ++I)
+        CB[I] = Cost[Basic[I]];
+    }
+
+    priceInto(CB, WorkY);
+
+    // Pricing: Dantzig rule (most negative effective reduced cost), or
+    // Bland's smallest-index rule when escaping degeneracy.
+    unsigned Entering = ~0u;
+    double BestScore = CostTol;
+    int EnterDir = 0; // +1 entering increases, -1 decreases
+    for (unsigned J = 0; J != N; ++J) {
+      if (RowOf[J] != ~0u || Lower[J] == Upper[J])
+        continue;
+      double D = reducedCost(J, WorkY);
+      if (!PhaseOne)
+        D += Cost[J];
+      double Score = 0.0;
+      int Dir = 0;
+      if (VarState[J] == State::AtLower && D < -CostTol) {
+        Score = -D;
+        Dir = 1;
+      } else if (VarState[J] == State::AtUpper && D > CostTol) {
+        Score = D;
+        Dir = -1;
+      } else {
+        continue;
+      }
+      if (Bland) {
+        Entering = J;
+        EnterDir = Dir;
+        break;
+      }
+      if (Score > BestScore) {
+        BestScore = Score;
+        Entering = J;
+        EnterDir = Dir;
+      }
+    }
+    if (Entering == ~0u) {
+      if (PhaseOne)
+        return DenseLpStatus::Infeasible; // Still infeasible, no improving column.
+      return DenseLpStatus::Optimal;
+    }
+
+    ftran(Entering, WorkW);
+
+    // Ratio test. The entering variable moves by Sign*T, T >= 0; basic
+    // value i changes by -Sign*W[i]*T.
+    double Sign = EnterDir;
+    double LimitT = Inf;
+    unsigned LeaveRow = ~0u;
+    State LeaveState = State::AtLower;
+    double BestPivot = 0.0;
+    for (unsigned I = 0; I != M; ++I) {
+      double Delta = Sign * WorkW[I];
+      if (std::fabs(Delta) <= PivotTol)
+        continue;
+      unsigned B = Basic[I];
+      double T = Inf;
+      State HitState = State::AtLower;
+      bool BelowLower = BasicVal[I] < Lower[B] - FeasTol;
+      bool AboveUpper = BasicVal[I] > Upper[B] + FeasTol;
+      if (PhaseOne && BelowLower) {
+        // Infeasible below: blocks only when climbing back up to Lower.
+        if (Delta < 0 && std::isfinite(Lower[B])) {
+          T = (BasicVal[I] - Lower[B]) / Delta;
+          HitState = State::AtLower;
+        }
+      } else if (PhaseOne && AboveUpper) {
+        if (Delta > 0 && std::isfinite(Upper[B])) {
+          T = (BasicVal[I] - Upper[B]) / Delta;
+          HitState = State::AtUpper;
+        }
+      } else if (Delta > 0) {
+        // Basic value decreasing toward its lower bound.
+        if (std::isfinite(Lower[B])) {
+          T = (BasicVal[I] - Lower[B]) / Delta;
+          HitState = State::AtLower;
+        }
+      } else {
+        // Basic value increasing toward its upper bound.
+        if (std::isfinite(Upper[B])) {
+          T = (BasicVal[I] - Upper[B]) / Delta;
+          HitState = State::AtUpper;
+        }
+      }
+      if (!std::isfinite(T))
+        continue;
+      T = std::max(T, 0.0);
+      bool Better = T < LimitT - FeasTol ||
+                    (T < LimitT + FeasTol && std::fabs(WorkW[I]) > BestPivot);
+      if (Bland)
+        Better = T < LimitT - 1e-12 ||
+                 (LeaveRow != ~0u && T <= LimitT && Basic[I] < Basic[LeaveRow]);
+      if (Better) {
+        LimitT = T;
+        LeaveRow = I;
+        LeaveState = HitState;
+        BestPivot = std::fabs(WorkW[I]);
+      }
+    }
+    // Bound flip limit for the entering variable itself.
+    double FlipT = Inf;
+    if (std::isfinite(Lower[Entering]) && std::isfinite(Upper[Entering]))
+      FlipT = Upper[Entering] - Lower[Entering];
+    if (FlipT < LimitT) {
+      // Flip: no basis change.
+      double T = FlipT;
+      for (unsigned I = 0; I != M; ++I)
+        BasicVal[I] -= Sign * WorkW[I] * T;
+      VarState[Entering] =
+          VarState[Entering] == State::AtLower ? State::AtUpper
+                                               : State::AtLower;
+      ++Iters;
+      ++TotalIters;
+      DegenerateRun = 0;
+      Bland = false;
+      continue;
+    }
+    if (LeaveRow == ~0u)
+      return PhaseOne ? DenseLpStatus::Infeasible : DenseLpStatus::Unbounded;
+
+    // Pivot.
+    double T = LimitT;
+    for (unsigned I = 0; I != M; ++I)
+      BasicVal[I] -= Sign * WorkW[I] * T;
+    double EnterVal = nonbasicValue(Entering) + Sign * T;
+    unsigned Leaving = Basic[LeaveRow];
+    VarState[Leaving] = LeaveState;
+    // Snap the leaving variable exactly onto its bound.
+    RowOf[Leaving] = ~0u;
+    Basic[LeaveRow] = Entering;
+    RowOf[Entering] = LeaveRow;
+    VarState[Entering] = State::Basic;
+    BasicVal[LeaveRow] = EnterVal;
+    applyEta(WorkW, LeaveRow);
+
+    ++Iters;
+    ++TotalIters;
+    if (T <= FeasTol) {
+      if (++DegenerateRun >= DegenerateLimit)
+        Bland = true;
+    } else {
+      DegenerateRun = 0;
+      Bland = false;
+    }
+  }
+}
+
+inline DenseLpResult DenseSimplex::solve() {
+  DenseLpResult Result;
+  if (!HasBasis)
+    installSlackBasis();
+  else
+    computeBasicValues();
+
+  unsigned IterLimit = 20000 + 50 * (M + N);
+  unsigned Iters = 0;
+
+  if (infeasibilitySum() > FeasTol) {
+    DenseLpStatus S = iterate(/*PhaseOne=*/true, Iters, IterLimit);
+    if (S != DenseLpStatus::Optimal) {
+      // Retry once from a fresh factorization in case of numerical drift.
+      if (S == DenseLpStatus::Infeasible && refactorize() &&
+          infeasibilitySum() > FeasTol)
+        S = iterate(/*PhaseOne=*/true, Iters, IterLimit);
+      if (S != DenseLpStatus::Optimal || infeasibilitySum() > FeasTol) {
+        Result.Status = S == DenseLpStatus::IterationLimit ? S : DenseLpStatus::Infeasible;
+        Result.Iterations = Iters;
+        return Result;
+      }
+    }
+  }
+
+  DenseLpStatus S = iterate(/*PhaseOne=*/false, Iters, IterLimit);
+  Result.Status = S;
+  Result.Iterations = Iters;
+  if (S == DenseLpStatus::Optimal) {
+    // Phase II can drift a basic variable slightly out of bounds; verify
+    // and clean up once with a fresh factorization if needed.
+    computeBasicValues();
+    if (infeasibilitySum() > 1e-5) {
+      refactorize();
+      if (infeasibilitySum() > FeasTol &&
+          iterate(/*PhaseOne=*/true, Iters, IterLimit) == DenseLpStatus::Optimal)
+        iterate(/*PhaseOne=*/false, Iters, IterLimit);
+      Result.Iterations = Iters;
+    }
+    double Obj = 0.0;
+    for (unsigned I = 0; I != M; ++I)
+      Obj += Cost[Basic[I]] * BasicVal[I];
+    for (unsigned J = 0; J != N; ++J)
+      if (RowOf[J] == ~0u && Cost[J] != 0.0)
+        Obj += Cost[J] * nonbasicValue(J);
+    Result.Objective = Obj;
+  }
+  return Result;
+}
+
+inline double DenseSimplex::value(VarId Var) const {
+  assert(Var.Index < NumStructural && "not a structural variable");
+  assert(HasBasis && "no solve yet");
+  unsigned Row = RowOf[Var.Index];
+  return Row != ~0u ? BasicVal[Row] : nonbasicValue(Var.Index);
+}
+
+inline std::vector<double> DenseSimplex::values() const {
+  std::vector<double> X(NumStructural);
+  for (unsigned J = 0; J != NumStructural; ++J)
+    X[J] = value(VarId{J});
+  return X;
+}
+
+} // namespace denseref
+} // namespace ilp
+} // namespace nova
+
+#endif // TESTS_DENSE_LP_REF_H

@@ -7,6 +7,7 @@
 
 #include "ilp/Simplex.h"
 
+#include "dense_lp_ref.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -231,3 +232,349 @@ TEST_P(SimplexRandomLp, SolutionIsConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomLp, ::testing::Range(0, 40));
+
+namespace {
+
+/// Random bounded-variable LP with mixed row senses. Infeasible and
+/// unbounded instances are intentionally possible: the oracle comparison
+/// below requires the two engines to agree on the status too.
+Model randomBoundedLp(Rng &R, std::vector<VarId> &Vars) {
+  unsigned NumVars = 2 + R.below(10);
+  unsigned NumRows = 1 + R.below(10);
+  Model M;
+  Vars.clear();
+  for (unsigned J = 0; J != NumVars; ++J) {
+    double Lo = static_cast<double>(R.range(-4, 2));
+    double Hi = Lo + 1.0 + R.below(8);
+    if (R.chance(1, 10))
+      Hi = Inf; // occasional one-sided variable
+    Vars.push_back(M.addContinuous("v" + std::to_string(J), Lo, Hi,
+                                   static_cast<double>(R.range(-5, 5))));
+  }
+  for (unsigned I = 0; I != NumRows; ++I) {
+    LinExpr E;
+    unsigned Nnz = 0;
+    for (unsigned J = 0; J != NumVars; ++J)
+      if (R.chance(1, 2)) {
+        int C = R.range(-4, 4);
+        if (C == 0)
+          continue;
+        E.add(Vars[J], static_cast<double>(C));
+        ++Nnz;
+      }
+    if (Nnz == 0)
+      E.add(Vars[0], 1.0);
+    Rel Sense = R.chance(1, 4) ? (R.chance(1, 2) ? Rel::GE : Rel::EQ)
+                               : Rel::LE;
+    M.addConstraint(std::move(E), Rel(Sense),
+                    static_cast<double>(R.range(-6, 12)));
+  }
+  return M;
+}
+
+} // namespace
+
+// Oracle fuzz: the sparse-LU engine and the retired dense-inverse engine
+// (tests/dense_lp_ref.h, the previous production code kept verbatim) must
+// agree on status and, when optimal, on the objective — over LPs with
+// negative lower bounds, one-sided variables and mixed row senses.
+class SimplexVsDenseOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexVsDenseOracle, StatusAndObjectiveMatch) {
+  Rng R(GetParam() * 6271 + 101);
+  std::vector<VarId> Vars;
+  Model M = randomBoundedLp(R, Vars);
+
+  Simplex Sparse(M);
+  denseref::DenseSimplex Dense(M);
+  LpResult A = Sparse.solve();
+  denseref::DenseLpResult B = Dense.solve();
+
+  EXPECT_EQ(static_cast<int>(A.Status), static_cast<int>(B.Status));
+  if (A.Status == LpStatus::Optimal &&
+      B.Status == denseref::DenseLpStatus::Optimal)
+    EXPECT_NEAR(A.Objective, B.Objective, 1e-6);
+}
+
+// Warm-start oracle fuzz: after the initial solve, drive both engines
+// through the same branch-like bound-change chain. Each re-solve must
+// keep the engines in agreement, exercising basis reuse, eta-file growth
+// and the periodic refactorization path.
+TEST_P(SimplexVsDenseOracle, WarmStartChainMatches) {
+  Rng R(GetParam() * 28001 + 7);
+  std::vector<VarId> Vars;
+  Model M = randomBoundedLp(R, Vars);
+
+  Simplex Sparse(M);
+  denseref::DenseSimplex Dense(M);
+  Sparse.solve();
+  Dense.solve();
+
+  for (unsigned Step = 0; Step != 12; ++Step) {
+    VarId V = Vars[R.below(static_cast<uint32_t>(Vars.size()))];
+    double Lo = M.var(V).Lower;
+    double Hi = M.var(V).Upper;
+    if (R.chance(1, 2) && std::isfinite(Lo)) {
+      // Fix to a point inside the original range.
+      double X = Lo + R.below(3);
+      Sparse.setVarBounds(V, X, X);
+      Dense.setVarBounds(V, X, X);
+    } else {
+      // Restore the model bounds.
+      Sparse.setVarBounds(V, Lo, Hi);
+      Dense.setVarBounds(V, Lo, Hi);
+    }
+    LpResult A = Sparse.solve();
+    denseref::DenseLpResult B = Dense.solve();
+    ASSERT_EQ(static_cast<int>(A.Status), static_cast<int>(B.Status))
+        << "step " << Step;
+    if (A.Status == LpStatus::Optimal)
+      ASSERT_NEAR(A.Objective, B.Objective, 1e-6) << "step " << Step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVsDenseOracle, ::testing::Range(0, 100));
+
+namespace {
+
+/// y = B * x where slot s of the basis holds Cols[Basic[s]] and x is
+/// slot-indexed: the direct product used to check the factored solves.
+std::vector<double> multiplyBasis(const std::vector<std::vector<Term>> &Cols,
+                                  const std::vector<uint32_t> &Basic,
+                                  const std::vector<double> &X) {
+  std::vector<double> Y(Basic.size(), 0.0);
+  for (unsigned S = 0; S != Basic.size(); ++S)
+    for (const Term &T : Cols[Basic[S]])
+      Y[T.Var.Index] += T.Coeff * X[S];
+  return Y;
+}
+
+/// Random diagonally dominant m*m column set (guaranteed nonsingular).
+std::vector<std::vector<Term>> randomDominantCols(Rng &R, unsigned M) {
+  std::vector<std::vector<Term>> Cols(M);
+  for (unsigned J = 0; J != M; ++J) {
+    Cols[J].push_back({VarId{J}, 4.0 + static_cast<double>(R.below(3))});
+    for (unsigned I = 0; I != M; ++I)
+      if (I != J && R.chance(1, 4))
+        Cols[J].push_back(
+            {VarId{I}, static_cast<double>(R.range(-1, 1)) * 0.5});
+  }
+  return Cols;
+}
+
+} // namespace
+
+TEST(Basis, FtranBtranRoundtrip) {
+  Rng R(12345);
+  for (unsigned Trial = 0; Trial != 20; ++Trial) {
+    unsigned M = 3 + R.below(20);
+    std::vector<std::vector<Term>> Cols = randomDominantCols(R, M);
+    std::vector<uint32_t> Basic(M);
+    for (unsigned I = 0; I != M; ++I)
+      Basic[I] = I;
+
+    Basis B;
+    B.setup(M);
+    ASSERT_TRUE(B.factorize(Cols, Basic).empty());
+    ASSERT_TRUE(B.valid());
+
+    // FTRAN: B * x = b.
+    IndexedVector X;
+    X.setup(M);
+    std::vector<double> Rhs(M, 0.0);
+    for (unsigned I = 0; I != M; ++I)
+      if (R.chance(1, 2)) {
+        Rhs[I] = static_cast<double>(R.range(-5, 5));
+        if (Rhs[I] != 0.0)
+          X.set(I, Rhs[I]);
+      }
+    B.ftran(X);
+    std::vector<double> Sol(M, 0.0);
+    for (unsigned S = 0; S != M; ++S)
+      Sol[S] = X[S];
+    std::vector<double> Back = multiplyBasis(Cols, Basic, Sol);
+    for (unsigned I = 0; I != M; ++I)
+      EXPECT_NEAR(Back[I], Rhs[I], 1e-9) << "trial " << Trial;
+
+    // BTRAN: y * B = c, checked column by column.
+    IndexedVector Y;
+    Y.setup(M);
+    std::vector<double> C(M, 0.0);
+    for (unsigned S = 0; S != M; ++S)
+      if (R.chance(1, 2)) {
+        C[S] = static_cast<double>(R.range(-5, 5));
+        if (C[S] != 0.0)
+          Y.set(S, C[S]);
+      }
+    B.btran(Y);
+    for (unsigned S = 0; S != M; ++S) {
+      double Dot = 0.0;
+      for (const Term &T : Cols[Basic[S]])
+        Dot += Y[T.Var.Index] * T.Coeff;
+      EXPECT_NEAR(Dot, C[S], 1e-9) << "trial " << Trial;
+    }
+  }
+}
+
+TEST(Basis, SingularBasisReportsDeficiency) {
+  // Columns 0 and 1 are identical: any basis using both is singular.
+  std::vector<std::vector<Term>> Cols(4);
+  Cols[0] = {{VarId{0}, 1.0}, {VarId{1}, 1.0}};
+  Cols[1] = {{VarId{0}, 1.0}, {VarId{1}, 1.0}};
+  Cols[2] = {{VarId{2}, 1.0}};
+  Cols[3] = {{VarId{1}, 1.0}}; // unit column used for the repair
+
+  std::vector<uint32_t> Basic = {0, 1, 2};
+  Basis B;
+  B.setup(3);
+  auto Deficient = B.factorize(Cols, Basic);
+  ASSERT_EQ(Deficient.size(), 1u);
+  EXPECT_FALSE(B.valid());
+  auto [Slot, Row] = Deficient[0];
+  EXPECT_TRUE(Slot == 0 || Slot == 1);
+  EXPECT_TRUE(Row == 0 || Row == 1);
+
+  // Patch the deficient slot the way Simplex::refactorize does (with a
+  // unit column covering the uncovered row) and refactorize.
+  ASSERT_EQ(Row, 1u) << "rows 0 and 1 differ only via the dup columns";
+  Basic[Slot] = 3;
+  ASSERT_TRUE(B.factorize(Cols, Basic).empty());
+  EXPECT_TRUE(B.valid());
+
+  // The repaired basis must actually solve.
+  IndexedVector X;
+  X.setup(3);
+  X.set(0, 2.0);
+  X.set(1, 3.0);
+  X.set(2, 5.0);
+  B.ftran(X);
+  std::vector<double> Sol = {X[0], X[1], X[2]};
+  std::vector<double> Back = multiplyBasis(Cols, Basic, Sol);
+  EXPECT_NEAR(Back[0], 2.0, 1e-12);
+  EXPECT_NEAR(Back[1], 3.0, 1e-12);
+  EXPECT_NEAR(Back[2], 5.0, 1e-12);
+}
+
+TEST(Basis, EtaUpdateMatchesReplacedBasis) {
+  Rng R(999);
+  for (unsigned Trial = 0; Trial != 10; ++Trial) {
+    unsigned M = 4 + R.below(12);
+    std::vector<std::vector<Term>> Cols = randomDominantCols(R, M);
+    std::vector<uint32_t> Basic(M);
+    for (unsigned I = 0; I != M; ++I)
+      Basic[I] = I;
+
+    Basis B;
+    B.setup(M);
+    ASSERT_TRUE(B.factorize(Cols, Basic).empty());
+
+    // Entering column: a fresh column appended to the matrix.
+    Cols.emplace_back();
+    for (unsigned I = 0; I != M; ++I)
+      if (R.chance(1, 3))
+        Cols.back().push_back({VarId{I}, static_cast<double>(R.range(-3, 3)) +
+                                             0.25});
+    if (Cols.back().empty())
+      Cols.back().push_back({VarId{0}, 1.0});
+
+    IndexedVector W;
+    W.setup(M);
+    for (const Term &T : Cols.back())
+      W.add(T.Var.Index, T.Coeff);
+    B.ftran(W);
+    // Pivot on the largest transformed entry (mirrors the ratio test
+    // preferring large pivots).
+    uint32_t Pivot = 0;
+    double Best = 0.0;
+    for (unsigned S = 0; S != M; ++S)
+      if (std::fabs(W[S]) > Best) {
+        Best = std::fabs(W[S]);
+        Pivot = S;
+      }
+    ASSERT_GT(Best, 1e-9);
+    B.update(W, Pivot);
+    Basic[Pivot] = M; // the appended column
+
+    // FTRAN through LU + eta must solve the *replaced* basis.
+    IndexedVector X;
+    X.setup(M);
+    std::vector<double> Rhs(M, 0.0);
+    for (unsigned I = 0; I != M; ++I) {
+      Rhs[I] = static_cast<double>(R.range(-4, 4));
+      if (Rhs[I] != 0.0)
+        X.set(I, Rhs[I]);
+    }
+    B.ftran(X);
+    std::vector<double> Sol(M, 0.0);
+    for (unsigned S = 0; S != M; ++S)
+      Sol[S] = X[S];
+    std::vector<double> Back = multiplyBasis(Cols, Basic, Sol);
+    for (unsigned I = 0; I != M; ++I)
+      EXPECT_NEAR(Back[I], Rhs[I], 1e-8) << "trial " << Trial;
+
+    // BTRAN through the eta file as well.
+    IndexedVector Y;
+    Y.setup(M);
+    Y.set(Pivot, 1.0);
+    B.btran(Y);
+    for (unsigned S = 0; S != M; ++S) {
+      double Dot = 0.0;
+      for (const Term &T : Cols[Basic[S]])
+        Dot += Y[T.Var.Index] * T.Coeff;
+      EXPECT_NEAR(Dot, S == Pivot ? 1.0 : 0.0, 1e-8) << "trial " << Trial;
+    }
+  }
+}
+
+// Long warm-start chain on one structured LP: enough pivots to overflow
+// the eta file repeatedly, so the periodic refactorization and the
+// basic-value refresh paths are exercised, with the dense engine as the
+// oracle at every step.
+TEST(Simplex, RefactorizationDriftLongChain) {
+  Rng R(424242);
+  Model M;
+  std::vector<VarId> Vars;
+  const unsigned NumVars = 40, NumRows = 25;
+  for (unsigned J = 0; J != NumVars; ++J)
+    Vars.push_back(M.addContinuous("v" + std::to_string(J), 0.0,
+                                   2.0 + R.below(6),
+                                   static_cast<double>(R.range(-5, 5))));
+  for (unsigned I = 0; I != NumRows; ++I) {
+    LinExpr E;
+    for (unsigned J = 0; J != NumVars; ++J)
+      if (R.chance(1, 3))
+        E.add(Vars[J], static_cast<double>(R.range(-3, 3)));
+    E.add(Vars[I % NumVars], 1.0);
+    M.addConstraint(std::move(E), Rel::LE, 4.0 + R.below(10));
+  }
+
+  Simplex Sparse(M);
+  denseref::DenseSimplex Dense(M);
+  ASSERT_EQ(static_cast<int>(Sparse.solve().Status),
+            static_cast<int>(Dense.solve().Status));
+
+  unsigned Optimal = 0;
+  for (unsigned Step = 0; Step != 120; ++Step) {
+    VarId V = Vars[R.below(NumVars)];
+    if (R.chance(1, 2)) {
+      double X = static_cast<double>(R.below(3));
+      Sparse.setVarBounds(V, X, X);
+      Dense.setVarBounds(V, X, X);
+    } else {
+      Sparse.setVarBounds(V, M.var(V).Lower, M.var(V).Upper);
+      Dense.setVarBounds(V, M.var(V).Lower, M.var(V).Upper);
+    }
+    LpResult A = Sparse.solve();
+    denseref::DenseLpResult B = Dense.solve();
+    ASSERT_EQ(static_cast<int>(A.Status), static_cast<int>(B.Status))
+        << "step " << Step;
+    if (A.Status == LpStatus::Optimal) {
+      ASSERT_NEAR(A.Objective, B.Objective, 1e-6) << "step " << Step;
+      ++Optimal;
+    }
+  }
+  EXPECT_GT(Optimal, 60u); // the chain must not degenerate to infeasible
+  // The chain is long enough that the eta file must have been rebuilt.
+  EXPECT_GT(Sparse.stats().Factorizations, 2u);
+  EXPECT_GT(Sparse.stats().EtaPivots, 100u);
+}
