@@ -100,7 +100,7 @@ int main(int argc, char **argv) {
     }
     alloc::BaselineResult B = alloc::allocateBaseline(C->Machine);
     if (!B.Ok) {
-      std::fprintf(stderr, "%s baseline: %s\n", P.Name, B.Error.c_str());
+      std::fprintf(stderr, "%s baseline: %s\n", P.Name, B.Error.render().c_str());
       return 1;
     }
     auto V1 = alloc::verifyAllocated(C->Alloc.Prog);

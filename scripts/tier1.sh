@@ -47,4 +47,19 @@ echo "== 2-thread MIP smoke solve =="
 echo "== NAT solver smoke (root objective check) =="
 timeout 120 "$BUILD/bench/fig7_solver" --only NAT --mip-threads 1 \
   --no-compare --json "$BUILD/BENCH_smoke.json" --expect-root 2.2381627
+
+# ASan+UBSan pass over the degradation ladder and the support layer: the
+# fault-injection paths (LU repair, refactorize-on-drift, incumbent
+# salvage, baseline fallback) are exactly where stale pointers and
+# overflow bugs would hide. Time-boxed so a hung rung fails CI fast
+# instead of stalling it; the ladder's own watchdog deadlines keep each
+# rung well under this ceiling.
+SAN_BUILD="${SAN_BUILD_DIR:-$ROOT/build-asan}"
+echo "== ASan+UBSan degradation tests =="
+cmake -B "$SAN_BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build "$SAN_BUILD" -j"$JOBS" --target degradation_test support_test
+timeout 900 "$SAN_BUILD/tests/degradation_test"
+timeout 120 "$SAN_BUILD/tests/support_test"
 echo "tier-1 verify: OK"

@@ -7,11 +7,15 @@
 
 #include "alloc/Allocator.h"
 
+#include "alloc/Baseline.h"
+#include "alloc/Verifier.h"
 #include "ixp/Frequency.h"
 #include "support/StringUtils.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -769,12 +773,57 @@ bool Extractor::run(AllocatedProgram &Out, std::string &Error) {
 // Driver
 //===----------------------------------------------------------------------===//
 
+const char *alloc::onIlpFailureName(OnIlpFailure P) {
+  switch (P) {
+  case OnIlpFailure::Error:     return "error";
+  case OnIlpFailure::Incumbent: return "incumbent";
+  case OnIlpFailure::Baseline:  return "baseline";
+  }
+  return "unknown";
+}
+
+const char *alloc::rungName(AllocRung R) {
+  switch (R) {
+  case AllocRung::Optimal:    return "optimal";
+  case AllocRung::Incumbent:  return "incumbent";
+  case AllocRung::SpillRetry: return "spill-retry";
+  case AllocRung::Baseline:   return "baseline";
+  }
+  return "unknown";
+}
+
+bool alloc::parseOnIlpFailure(const std::string &Text, OnIlpFailure &Out) {
+  if (Text == "error")
+    Out = OnIlpFailure::Error;
+  else if (Text == "incumbent")
+    Out = OnIlpFailure::Incumbent;
+  else if (Text == "baseline")
+    Out = OnIlpFailure::Baseline;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+/// How one rung of the ladder ended; drives the descent decision.
+enum class Attempt {
+  Accepted,   ///< verified program produced
+  Infeasible, ///< model has no integer point (the classic spill trigger)
+  Budget,     ///< time/node budget exhausted (or incumbent rejected by policy)
+  Structural  ///< model build, extraction, or verification failed
+};
+
+} // namespace
+
 AllocationResult alloc::allocate(const MachineProgram &M,
                                  DiagnosticEngine &Diags,
                                  const AllocOptions &Opts) {
   AllocationResult Result;
   if (M.EntryParams.size() > 15) {
-    Result.Error = "entry takes more than 15 arguments (bank A capacity)";
+    Result.Error =
+        Status::error(StatusCode::InvalidArgument, Phase::ModelBuild,
+                      "entry takes more than 15 arguments (bank A capacity)");
     return Result;
   }
 
@@ -782,29 +831,67 @@ AllocationResult alloc::allocate(const MachineProgram &M,
   PointMap Points(M, LV);
   FrequencyInfo Freq(M);
 
-  auto TryOnce = [&](bool WithSpills,
-                     AllocationResult &R) -> ilp::MipStatus {
+  const bool MayDescend = Opts.FailurePolicy != OnIlpFailure::Error;
+  const bool MayBaseline = Opts.FailurePolicy == OnIlpFailure::Baseline;
+
+  // Watchdog deadlines: carve the caller's --time-limit so a hung rung
+  // cannot starve the fallbacks below it. The spill-free fast path gets
+  // 60% of the wall clock; the spill-aware retry gets what is left (with
+  // a floor so it is never started with a zero budget). Baseline is
+  // combinatorial-search-free and needs no carve-out.
+  const double Total = Opts.Mip.TimeLimitSeconds;
+  const bool Finite = std::isfinite(Total) && Total > 0.0;
+  Deadline Overall = Finite ? Deadline::after(Total) : Deadline::never();
+
+  unsigned Attempts = 0;
+  unsigned Violations = 0;
+
+  auto TryOnce = [&](bool WithSpills, double BudgetSeconds,
+                     AllocationResult &R) -> Attempt {
+    ++Attempts;
     ModelOptions MO = Opts.Model;
     MO.AllowSpills = WithSpills;
     BankAnalysis Banks(M, WithSpills);
     AllocModel Model(M, LV, Points, Freq, Banks, MO);
     if (!Model.build(Diags)) {
-      R.Error = "model construction failed (see diagnostics)";
-      return ilp::MipStatus::Infeasible;
+      R.Error = Status::error(StatusCode::ModelBuildFailed, Phase::ModelBuild,
+                              "model construction failed (see diagnostics)");
+      return Attempt::Structural;
     }
     R.Stats.Build = Model.stats();
     R.Stats.IlpSize = Model.model().stats();
 
-    ilp::MipSolver Solver(Model.model(), Opts.Mip);
+    ilp::MipOptions MipOpts = Opts.Mip;
+    if (Finite)
+      MipOpts.TimeLimitSeconds = BudgetSeconds;
+    ilp::MipSolver Solver(Model.model(), MipOpts);
     ilp::MipResult Mip = Solver.solve();
     R.Stats.Solve = Mip.Stats;
     R.Stats.UsedSpillModel = WithSpills;
+    if (Mip.Status == ilp::MipStatus::Infeasible) {
+      R.Error = Status::error(StatusCode::IlpInfeasible, Phase::Solve,
+                              WithSpills ? "spill-aware ILP infeasible"
+                                         : "spill-free ILP infeasible");
+      return Attempt::Infeasible;
+    }
     if (Mip.Status != ilp::MipStatus::Optimal &&
         Mip.Status != ilp::MipStatus::Feasible) {
-      R.Error = Mip.Status == ilp::MipStatus::Infeasible
-                    ? "ILP infeasible"
-                    : "ILP solve hit a limit without a solution";
-      return Mip.Status;
+      R.Error = Status::error(
+                    StatusCode::IlpBudgetExceeded, Phase::Solve,
+                    "ILP solve hit its time/node budget without a solution")
+                    .addHint("raise --time-limit or --node-limit");
+      return Attempt::Budget;
+    }
+    const bool Proved = Mip.Status == ilp::MipStatus::Optimal;
+    if (!Proved && !MayDescend) {
+      R.Error =
+          Status::error(StatusCode::IlpNonOptimal, Phase::Solve,
+                        "a feasible incumbent exists but optimality was not "
+                        "proved within the budget")
+              .addHint("raise --time-limit")
+              .addHint("rerun with --on-ilp-failure=incumbent to accept the "
+                       "incumbent");
+      return Attempt::Budget;
     }
     R.Stats.Objective = Mip.Objective;
     R.Stats.Moves = Model.countMoves(Mip.X);
@@ -818,23 +905,106 @@ AllocationResult alloc::allocate(const MachineProgram &M,
     std::string Error;
     AllocatedProgram Prog;
     if (!Ext.run(Prog, Error)) {
-      R.Error = "extraction failed: " + Error;
-      return ilp::MipStatus::NoSolution;
+      R.Error = Status::error(StatusCode::ExtractFailed, Phase::Extract,
+                              "extraction failed: " + Error);
+      return Attempt::Structural;
+    }
+    // Gate every rung on the legality verifier: nothing unverified may
+    // escape the allocator, no matter how the ladder got here.
+    std::vector<std::string> Found = verifyAllocated(Prog);
+    if (!Found.empty()) {
+      Violations += Found.size();
+      R.Error = Status::error(StatusCode::VerifyFailed, Phase::Verify,
+                              "verifier rejected the allocation: " + Found[0]);
+      return Attempt::Structural;
     }
     R.Prog = std::move(Prog);
     R.Ok = true;
-    return Mip.Status;
+    R.Stats.ProvedOptimal = Proved;
+    return Attempt::Accepted;
   };
 
+  auto Finalize = [&](AllocationResult &R, AllocRung Rung) {
+    R.Stats.Rung = Rung;
+    R.Stats.LadderAttempts = Attempts;
+    R.Stats.VerifierViolations = Violations;
+  };
+
+  // Rung 1: the paper's spill-free fast path.
+  Attempt First = Attempt::Infeasible; // ForceSpillModel skips straight down
   if (!Opts.ForceSpillModel) {
-    ilp::MipStatus S = TryOnce(/*WithSpills=*/false, Result);
-    if (Result.Ok)
+    double FastBudget = Finite ? Total * 0.6 : 0.0;
+    First = TryOnce(/*WithSpills=*/false, FastBudget, Result);
+    if (First == Attempt::Accepted) {
+      Finalize(Result, Result.Stats.ProvedOptimal ? AllocRung::Optimal
+                                                  : AllocRung::Incumbent);
       return Result;
-    if (S != ilp::MipStatus::Infeasible)
-      return Result; // structural or budget failure: do not retry
-    // Spill-free model infeasible: retry with the spill-aware model.
-    Result = AllocationResult();
+    }
+    // Descend to the spill-aware model when the spill-free model is
+    // infeasible (the paper's two-phase refinement) or, under a lenient
+    // policy, as *recovery* from a budget/structural failure.
+    if (First != Attempt::Infeasible && !MayDescend) {
+      Finalize(Result, AllocRung::Optimal);
+      return Result;
+    }
   }
-  TryOnce(/*WithSpills=*/true, Result);
-  return Result;
+
+  // Rung 2: the spill-aware model, on the remaining wall clock.
+  Status FastError = Result.Error;
+  AllocationResult SpillResult;
+  double SpillBudget =
+      Finite ? std::max(Overall.remaining(), Total * 0.1) : 0.0;
+  Attempt Second = TryOnce(/*WithSpills=*/true, SpillBudget, SpillResult);
+  if (Second == Attempt::Accepted) {
+    // Rescuing a budget/structural failure is a degradation (SpillRetry);
+    // the classic infeasible -> spill path is the normal pipeline and
+    // keeps its rung determined by proof quality alone.
+    AllocRung Rung = First != Attempt::Infeasible ? AllocRung::SpillRetry
+                     : SpillResult.Stats.ProvedOptimal ? AllocRung::Optimal
+                                                       : AllocRung::Incumbent;
+    Finalize(SpillResult, Rung);
+    return SpillResult;
+  }
+
+  // Rung 3: the heuristic memory-home allocator, if the policy allows.
+  if (!MayBaseline) {
+    if (!FastError.ok())
+      SpillResult.Error.addHint("spill-free attempt: " + FastError.render());
+    SpillResult.Error.addHint(
+        "rerun with --on-ilp-failure=baseline to fall back to the heuristic "
+        "allocator");
+    Finalize(SpillResult, AllocRung::Optimal);
+    return SpillResult;
+  }
+
+  ++Attempts;
+  AllocationResult Fallback;
+  Fallback.Stats = SpillResult.Stats; // keep the failed solve's telemetry
+  BaselineResult B = allocateBaseline(M, Opts.SpillBase);
+  if (!B.Ok) {
+    Fallback.Error =
+        Status::error(StatusCode::BaselineFailed, Phase::Baseline,
+                      "baseline allocation failed: " + B.Error.render())
+            .addHint("ILP attempt: " + SpillResult.Error.render());
+    Finalize(Fallback, AllocRung::Baseline);
+    return Fallback;
+  }
+  std::vector<std::string> Found = verifyAllocated(B.Prog);
+  if (!Found.empty()) {
+    Violations += Found.size();
+    Fallback.Error = Status::error(
+        StatusCode::VerifyFailed, Phase::Verify,
+        "verifier rejected the baseline allocation: " + Found[0]);
+    Finalize(Fallback, AllocRung::Baseline);
+    return Fallback;
+  }
+  Fallback.Prog = std::move(B.Prog);
+  Fallback.Ok = true;
+  Fallback.Stats.Objective = 0.0;
+  Fallback.Stats.Moves = 0;
+  Fallback.Stats.Spills = Fallback.Prog.NumSpillSlots;
+  Fallback.Stats.UsedSpillModel = false;
+  Fallback.Stats.ProvedOptimal = false;
+  Finalize(Fallback, AllocRung::Baseline);
+  return Fallback;
 }

@@ -28,9 +28,33 @@
 #include "alloc/Allocated.h"
 #include "alloc/IlpModel.h"
 #include "ilp/MipSolver.h"
+#include "support/Status.h"
 
 namespace nova {
 namespace alloc {
+
+/// How far down the degradation ladder the allocator may descend when the
+/// ILP does not deliver a proved optimum. Each policy admits every rung
+/// of the one before it.
+enum class OnIlpFailure : uint8_t {
+  Error,     ///< proved optimum or nothing: any other exit is an error
+  Incumbent, ///< also accept a feasible incumbent / spill-aware recovery
+  Baseline   ///< also fall back to the heuristic memory-home allocator
+};
+
+/// Which rung of the ladder produced the accepted program.
+enum class AllocRung : uint8_t {
+  Optimal,    ///< ILP solved to proved optimality (the paper's pipeline)
+  Incumbent,  ///< best feasible incumbent at the time/node limit
+  SpillRetry, ///< spill-aware model rescued a failed spill-free solve
+  Baseline    ///< heuristic memory-home allocation (correct, but slow code)
+};
+
+const char *onIlpFailureName(OnIlpFailure P);
+const char *rungName(AllocRung R);
+
+/// Parses "error" / "incumbent" / "baseline"; false on anything else.
+bool parseOnIlpFailure(const std::string &Text, OnIlpFailure &Out);
 
 struct AllocOptions {
   ModelOptions Model;
@@ -39,9 +63,12 @@ struct AllocOptions {
   /// Skip the spill-free fast path and always build the full spill-aware
   /// model (ablation).
   bool ForceSpillModel = false;
+  /// Deepest ladder rung the caller is willing to accept.
+  OnIlpFailure FailurePolicy = OnIlpFailure::Incumbent;
 };
 
-/// Everything the paper's Figures 6 and 7 report, per program.
+/// Everything the paper's Figures 6 and 7 report, per program, plus the
+/// degradation-ladder outcome.
 struct AllocStats {
   BuildStats Build;
   ilp::ModelStats IlpSize;
@@ -50,11 +77,21 @@ struct AllocStats {
   unsigned Moves = 0;
   unsigned Spills = 0;
   bool UsedSpillModel = false;
+  /// Ladder rung that produced the accepted program (meaningful when the
+  /// allocation succeeded).
+  AllocRung Rung = AllocRung::Optimal;
+  /// True iff the solver proved the accepted solution optimal.
+  bool ProvedOptimal = false;
+  /// Solve attempts the ladder made (model builds + baseline).
+  unsigned LadderAttempts = 0;
+  /// Verifier violations seen across *rejected* rungs. The accepted
+  /// program always has zero: no rung may emit unverified code.
+  unsigned VerifierViolations = 0;
 };
 
 struct AllocationResult {
   bool Ok = false;
-  std::string Error;
+  Status Error;
   AllocatedProgram Prog;
   AllocStats Stats;
 };

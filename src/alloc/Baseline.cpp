@@ -35,7 +35,8 @@ public:
     R.Prog.SpillBase = SpillBase;
     R.Prog.Blocks.resize(M.Blocks.size());
     if (M.EntryParams.size() > 15) {
-      R.Error = "too many entry parameters";
+      R.Error = Status::error(StatusCode::InvalidArgument, Phase::Baseline,
+                              "too many entry parameters");
       return R;
     }
     for (const Block &Blk : M.Blocks) {

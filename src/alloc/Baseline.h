@@ -23,15 +23,14 @@
 #define ALLOC_BASELINE_H
 
 #include "alloc/Allocated.h"
-
-#include <string>
+#include "support/Status.h"
 
 namespace nova {
 namespace alloc {
 
 struct BaselineResult {
   bool Ok = false;
-  std::string Error;
+  Status Error;
   AllocatedProgram Prog;
 };
 

@@ -60,7 +60,7 @@ driver::compileNova(const std::string &Source, const std::string &Name,
   if (Opts.Allocate) {
     R->Alloc = alloc::allocate(R->Machine, *R->Diags, Opts.Alloc);
     if (!R->Alloc.Ok) {
-      R->ErrorText = R->Alloc.Error + "\n" + R->Diags->render();
+      R->ErrorText = R->Alloc.Error.render() + "\n" + R->Diags->render();
       R->Ok = false;
       return R;
     }

@@ -7,6 +7,8 @@
 
 #include "ilp/Basis.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -344,6 +346,13 @@ void Basis::update(const IndexedVector &W, uint32_t PivotSlot) {
   assert(Valid && "no factorization");
   double Pv = W[PivotSlot];
   assert(Pv != 0.0 && "zero pivot in eta update");
+  if (FaultInjector::armed() &&
+      FaultInjector::instance().shouldFire(FaultKind::EtaDrift)) {
+    // Corrupt this eta's pivot so FTRAN/BTRAN through the file silently
+    // drift; Simplex's post-optimal primal-residual check must catch it
+    // and refactorize from scratch.
+    Pv *= 1.0 + FaultInjector::instance().magnitude(FaultKind::EtaDrift, 1e-3);
+  }
   EtaHdr.push_back({PivotSlot, static_cast<uint32_t>(EtaEnt.size()), Pv});
   for (uint32_t I : W.indices())
     if (I != PivotSlot && W[I] != 0.0)

@@ -24,6 +24,7 @@
 
 #include "ilp/MipSolver.h"
 
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -361,6 +362,20 @@ void asyncWorkerLoop(Worker &W) {
     }
     IdleSpins = 0;
     unsigned Count = S.NodeCount.fetch_add(1) + 1;
+    if (FaultInjector::armed()) {
+      FaultInjector &FI = FaultInjector::instance();
+      if (FI.shouldFire(FaultKind::WorkerStall))
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            FI.magnitude(FaultKind::WorkerStall, 0.02)));
+      if (FI.shouldFire(FaultKind::MipTimeout)) {
+        // Behave exactly as a tripped wall clock: flag the limit and let
+        // the shared-state epilogue salvage whatever incumbent exists.
+        S.HitLimit.store(true);
+        S.Stop.store(true);
+        S.Outstanding.fetch_sub(1);
+        break;
+      }
+    }
     if (Count > S.Opts.NodeLimit || S.timedOut()) {
       S.HitLimit.store(true);
       S.Stop.store(true);
@@ -429,6 +444,16 @@ void deterministicSearch(SearchShared &S, ThreadPool &Pool,
     }
     if (K == 0)
       break;
+    if (FaultInjector::armed()) {
+      FaultInjector &FI = FaultInjector::instance();
+      if (FI.shouldFire(FaultKind::WorkerStall))
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            FI.magnitude(FaultKind::WorkerStall, 0.02)));
+      if (FI.shouldFire(FaultKind::MipTimeout)) {
+        S.HitLimit.store(true);
+        break;
+      }
+    }
     if (S.NodeCount.load() + K > S.Opts.NodeLimit || S.timedOut()) {
       S.HitLimit.store(true);
       break;

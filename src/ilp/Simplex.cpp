@@ -8,6 +8,7 @@
 #include "ilp/Simplex.h"
 
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <cassert>
@@ -146,6 +147,18 @@ void Simplex::computeBasicValues() {
 
 bool Simplex::refactorize() {
   auto Deficient = Fact.factorize(Cols, Basic);
+  if (FaultInjector::armed() && Deficient.empty() &&
+      FaultInjector::instance().shouldFire(FaultKind::SingularBasis)) {
+    // Fabricate a singularity: report a slot holding a structural column
+    // as unpivotable, paired with a row whose slack is nonbasic so the
+    // repair below can patch it in. The repair then refactorizes for
+    // real, exercising the same path a genuinely singular basis takes.
+    for (uint32_t Slot = 0; Slot != M; ++Slot)
+      if (Basic[Slot] < NumStructural && RowOf[NumStructural + Slot] == ~0u) {
+        Deficient.push_back({Slot, Slot});
+        break;
+      }
+  }
   // A numerically singular basis is repaired by swapping the slack of each
   // uncovered row into the slot that could not be pivoted; the displaced
   // variable is parked on a bound. The repaired basis contains fresh unit
@@ -502,6 +515,14 @@ LpStatus Simplex::iterate(bool PhaseOne, unsigned &Iters, unsigned IterLimit) {
 
 LpResult Simplex::solve() {
   LpResult Result;
+  if (FaultInjector::armed() &&
+      FaultInjector::instance().shouldFire(FaultKind::LpInfeasible)) {
+    // Report spurious infeasibility without touching the basis: the MIP
+    // layer prunes (or, at the root, declares the model infeasible) and
+    // the allocator's degradation ladder must take over.
+    Result.Status = LpStatus::Infeasible;
+    return Result;
+  }
   if (!HasBasis) {
     installSlackBasis();
   } else if (!Fact.valid()) {

@@ -1,0 +1,157 @@
+//===- FaultInjection.cpp -------------------------------------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdlib>
+
+using namespace nova;
+
+std::atomic<bool> FaultInjector::ArmedFlag{false};
+
+const char *nova::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::SingularBasis: return "singular-basis";
+  case FaultKind::EtaDrift:      return "eta-drift";
+  case FaultKind::LpInfeasible:  return "lp-infeasible";
+  case FaultKind::MipTimeout:    return "mip-timeout";
+  case FaultKind::WorkerStall:   return "worker-stall";
+  }
+  return "unknown";
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector I;
+  return I;
+}
+
+void FaultInjector::arm(std::vector<FaultSpec> Specs) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (Slot &S : Slots)
+    S = Slot();
+  for (const FaultSpec &Spec : Specs) {
+    Slot &S = Slots[static_cast<unsigned>(Spec.Kind)];
+    S.Spec = Spec;
+    S.Active = true;
+    // SplitMix64 state; offset so Seed 0 still produces a usable stream.
+    S.RngState = Spec.Seed + 0x9e3779b97f4a7c15ull;
+  }
+  ArmedFlag.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ArmedFlag.store(false, std::memory_order_relaxed);
+  for (Slot &S : Slots)
+    S = Slot();
+}
+
+static double nextUnit(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  Z = Z ^ (Z >> 31);
+  return static_cast<double>(Z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool FaultInjector::shouldFire(FaultKind K) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Slot &S = Slots[static_cast<unsigned>(K)];
+  if (!S.Active)
+    return false;
+  unsigned Opportunity = S.Opportunities++;
+  if (Opportunity < S.Spec.After)
+    return false;
+  if (S.Fired >= S.Spec.Times)
+    return false;
+  if (S.Spec.Probability < 1.0 && nextUnit(S.RngState) >= S.Spec.Probability)
+    return false;
+  ++S.Fired;
+  return true;
+}
+
+double FaultInjector::magnitude(FaultKind K, double Default) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const Slot &S = Slots[static_cast<unsigned>(K)];
+  if (!S.Active || S.Spec.Magnitude == 0.0)
+    return Default;
+  return S.Spec.Magnitude;
+}
+
+unsigned FaultInjector::fired(FaultKind K) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Slots[static_cast<unsigned>(K)].Fired;
+}
+
+unsigned FaultInjector::opportunities(FaultKind K) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Slots[static_cast<unsigned>(K)].Opportunities;
+}
+
+bool nova::parseFaultSpec(const std::string &Text, FaultSpec &Out,
+                          std::string &Error) {
+  // Grammar: kind[@after][xTimes][~magnitude]; suffixes in that order.
+  size_t End = Text.find_first_of("@x~");
+  std::string Kind = Text.substr(0, End);
+  FaultSpec Spec;
+  if (Kind == "singular-basis")
+    Spec.Kind = FaultKind::SingularBasis;
+  else if (Kind == "eta-drift")
+    Spec.Kind = FaultKind::EtaDrift;
+  else if (Kind == "lp-infeasible")
+    Spec.Kind = FaultKind::LpInfeasible;
+  else if (Kind == "mip-timeout")
+    Spec.Kind = FaultKind::MipTimeout;
+  else if (Kind == "worker-stall")
+    Spec.Kind = FaultKind::WorkerStall;
+  else {
+    Error = "unknown fault kind '" + Kind +
+            "' (expected singular-basis, eta-drift, lp-infeasible, "
+            "mip-timeout, or worker-stall)";
+    return false;
+  }
+
+  size_t Pos = (End == std::string::npos) ? Text.size() : End;
+  while (Pos < Text.size()) {
+    char Tag = Text[Pos++];
+    size_t Next = Text.find_first_of("@x~", Pos);
+    std::string Field =
+        Text.substr(Pos, Next == std::string::npos ? Next : Next - Pos);
+    if (Field.empty()) {
+      Error = std::string("empty value after '") + Tag + "' in fault spec '" +
+              Text + "'";
+      return false;
+    }
+    const char *Begin = Field.c_str();
+    char *Parsed = nullptr;
+    if (Tag == '@' || Tag == 'x') {
+      unsigned long V = std::strtoul(Begin, &Parsed, 10);
+      if (Parsed == Begin || *Parsed != '\0') {
+        Error = std::string("malformed count '") + Field + "' in fault spec '" +
+                Text + "'";
+        return false;
+      }
+      if (Tag == '@')
+        Spec.After = static_cast<unsigned>(V);
+      else
+        Spec.Times = static_cast<unsigned>(V);
+    } else { // '~'
+      double V = std::strtod(Begin, &Parsed);
+      if (Parsed == Begin || *Parsed != '\0') {
+        Error = std::string("malformed magnitude '") + Field +
+                "' in fault spec '" + Text + "'";
+        return false;
+      }
+      Spec.Magnitude = V;
+    }
+    Pos = (Next == std::string::npos) ? Text.size() : Next;
+  }
+
+  Out = Spec;
+  return true;
+}

@@ -1,0 +1,138 @@
+//===- FaultInjection.h - Deterministic solver fault injection --*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seedable fault-injection harness for the solver stack. Hooks in
+/// Simplex, Basis, and MipSolver consult an armed FaultInjector and, when
+/// a spec fires, force the failure modes a production compiler must
+/// survive: singular bases (LU repair), eta-file drift (refactorize on
+/// drift), spurious LP infeasibility (spill retry / baseline fallback),
+/// branch-and-bound timeouts at chosen node counts (incumbent salvage),
+/// and worker-thread stalls (work stealing / watchdog deadlines).
+///
+/// Firing is deterministic: each spec counts *opportunities* (times its
+/// hook site was reached) and fires from opportunity `After` on, at most
+/// `Times` times, optionally gated by a seeded Bernoulli draw. Tests arm
+/// a plan with ScopedFaultInjection, run the pipeline, and assert both
+/// the recovery rung taken and that the emitted code still runs packets
+/// correctly.
+///
+/// The disarmed fast path is one relaxed atomic load, so the hooks are
+/// free in production use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_FAULTINJECTION_H
+#define SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nova {
+
+enum class FaultKind : uint8_t {
+  SingularBasis, ///< Basis factorization reports a fabricated deficiency
+  EtaDrift,      ///< an eta-file pivot value is perturbed by Magnitude
+  LpInfeasible,  ///< Simplex::solve reports Infeasible without solving
+  MipTimeout,    ///< branch & bound behaves as if the time limit tripped
+  WorkerStall    ///< a search worker sleeps Magnitude seconds mid-loop
+};
+
+const char *faultKindName(FaultKind K);
+
+/// One injection rule. At most one spec per kind is active at a time
+/// (arming replaces the whole plan).
+struct FaultSpec {
+  FaultKind Kind = FaultKind::LpInfeasible;
+  /// Opportunities to let pass before the first fire (0 = fire on the
+  /// first one). For MipTimeout this is "time out at node After+1".
+  unsigned After = 0;
+  /// Maximum number of fires; ~0u = unlimited.
+  unsigned Times = ~0u;
+  /// Kind-specific knob: relative pivot perturbation for EtaDrift
+  /// (default 1e-3), stall seconds for WorkerStall (default 0.02).
+  double Magnitude = 0.0;
+  /// Bernoulli gate applied after the After/Times window; 1.0 = always.
+  double Probability = 1.0;
+  /// Seed for the gate's deterministic PRNG.
+  uint64_t Seed = 0x5eedf417u;
+};
+
+/// Parses a CLI fault spec: `kind[@after][xTimes][~magnitude]`, e.g.
+/// "mip-timeout@5", "eta-drift@100x3~1e-3". Returns false (with a
+/// message) on malformed input. Kinds: singular-basis, eta-drift,
+/// lp-infeasible, mip-timeout, worker-stall.
+bool parseFaultSpec(const std::string &Text, FaultSpec &Out,
+                    std::string &Error);
+
+/// Process-wide injection registry. Thread-safe; deterministic for a
+/// fixed plan and a serial (or deterministic-mode) solve.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// True when any plan is armed — the only check on hot paths.
+  static bool armed() {
+    return ArmedFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Installs \p Specs as the active plan, resetting all counters.
+  void arm(std::vector<FaultSpec> Specs);
+
+  /// Removes the plan; hooks go back to the single-load fast path.
+  void disarm();
+
+  /// Records an opportunity for \p K and decides whether it fires.
+  bool shouldFire(FaultKind K);
+
+  /// Magnitude of the active spec for \p K, or \p Default when the kind
+  /// is not armed / the spec left it 0.
+  double magnitude(FaultKind K, double Default) const;
+
+  /// Total fires of \p K since the last arm() — test observability.
+  unsigned fired(FaultKind K) const;
+
+  /// Total opportunities seen for \p K since the last arm().
+  unsigned opportunities(FaultKind K) const;
+
+private:
+  FaultInjector() = default;
+
+  struct Slot {
+    FaultSpec Spec;
+    bool Active = false;
+    unsigned Opportunities = 0;
+    unsigned Fired = 0;
+    uint64_t RngState = 0;
+  };
+
+  static constexpr unsigned NumKinds = 5;
+  static std::atomic<bool> ArmedFlag;
+
+  mutable std::mutex Mu;
+  Slot Slots[NumKinds];
+};
+
+/// RAII plan installer for tests: arms on construction, disarms on
+/// destruction (restoring the free fast path for subsequent tests).
+class ScopedFaultInjection {
+public:
+  explicit ScopedFaultInjection(std::vector<FaultSpec> Specs) {
+    FaultInjector::instance().arm(std::move(Specs));
+  }
+  ~ScopedFaultInjection() { FaultInjector::instance().disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+  ScopedFaultInjection &operator=(const ScopedFaultInjection &) = delete;
+};
+
+} // namespace nova
+
+#endif // SUPPORT_FAULTINJECTION_H

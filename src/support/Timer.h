@@ -14,6 +14,7 @@
 #define SUPPORT_TIMER_H
 
 #include <chrono>
+#include <limits>
 
 namespace nova {
 
@@ -32,6 +33,37 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
+};
+
+/// A wall-clock watchdog: a budget in seconds fixed at construction. The
+/// degradation ladder hands each rung a Deadline carved out of the user's
+/// overall --time-limit, so one hung rung cannot starve the fallbacks
+/// below it.
+class Deadline {
+public:
+  /// A deadline that never expires.
+  static Deadline never() { return Deadline(Inf()); }
+
+  /// Expires \p Seconds of wall clock from now.
+  static Deadline after(double Seconds) { return Deadline(Seconds); }
+
+  /// Seconds left; never negative, infinite for never().
+  double remaining() const {
+    double Left = Budget - Clock.seconds();
+    return Left > 0.0 ? Left : 0.0;
+  }
+
+  bool expired() const { return remaining() <= 0.0; }
+
+  /// The full budget this deadline was created with.
+  double budget() const { return Budget; }
+
+private:
+  static double Inf() { return std::numeric_limits<double>::infinity(); }
+  explicit Deadline(double Seconds) : Budget(Seconds) {}
+
+  Timer Clock;
+  double Budget;
 };
 
 } // namespace nova

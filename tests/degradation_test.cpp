@@ -1,0 +1,284 @@
+//===- degradation_test.cpp - The allocation ladder under injected faults -===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+// Drives every rung of the allocator's graceful-degradation ladder by
+// injecting solver faults (spurious LP infeasibility, branch-and-bound
+// timeouts at chosen node counts, singular bases, eta-file drift, worker
+// stalls) while compiling the paper's three applications, then checks
+// that the chosen rung is recorded, the emitted program passes the
+// legality verifier, and the simulator still produces the same packets
+// as the fault-free optimal build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Verifier.h"
+#include "apps/AppSources.h"
+#include "driver/Compiler.h"
+#include "sim/Simulator.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+using namespace nova;
+
+namespace {
+
+struct AppCase {
+  const char *Name;
+  std::string Source;
+  std::vector<uint32_t> Args;
+  sim::Memory Input; ///< memory image with the packet already stored
+};
+
+/// One packet per app, taken from the apps_test correctness vectors.
+std::vector<AppCase> &appCases() {
+  static std::vector<AppCase> *Cases = [] {
+    auto *CS = new std::vector<AppCase>();
+    {
+      AppCase C;
+      C.Name = "aes.nova";
+      C.Source = apps::aesNovaSource();
+      C.Args = {0x100, 0x400, 16};
+      apps::loadAesEnvironment(C.Input);
+      apps::storePacket(C.Input.Sdram, 0x100,
+                        {0x45000024, 0x12344000, 0x40110000, 0x0A000001,
+                         0x0A000002, 0x00112233, 0x44556677, 0x8899AABB,
+                         0xCCDDEEFF});
+      CS->push_back(std::move(C));
+    }
+    {
+      AppCase C;
+      C.Name = "kasumi.nova";
+      C.Source = apps::kasumiNovaSource();
+      C.Args = {0x300, 0x500};
+      apps::loadKasumiEnvironment(C.Input);
+      C.Input.Sdram[0x300] = 0xFEDCBA09;
+      C.Input.Sdram[0x301] = 0x87654321;
+      CS->push_back(std::move(C));
+    }
+    {
+      AppCase C;
+      C.Name = "nat.nova";
+      C.Source = apps::natNovaSource();
+      C.Args = {0x100, 0x800};
+      std::vector<uint32_t> Pkt(10, 0);
+      Pkt[0] = (6u << 28) | (2u << 24) | 0x12345;
+      Pkt[1] = (40u << 16) | (17u << 8) | 64; // payload 40B, UDP, hops 64
+      Pkt[2] = 0x20010DB8;
+      Pkt[5] = 0x0A000001;
+      Pkt[6] = 0x20010DB8;
+      Pkt[8] = 1;
+      Pkt[9] = 0x0A000002;
+      for (uint32_t I = 0; I != 10; ++I)
+        Pkt.push_back(0xD0000000 + I);
+      apps::storePacket(C.Input.Sdram, 0x100, Pkt);
+      CS->push_back(std::move(C));
+    }
+    return CS;
+  }();
+  return *Cases;
+}
+
+/// Fault-free optimal compile, cached for the whole process (these are
+/// the reference builds every degraded run is compared against).
+driver::CompileResult &optimalApp(const AppCase &C) {
+  static std::map<std::string, std::unique_ptr<driver::CompileResult>>
+      Cache;
+  auto It = Cache.find(C.Name);
+  if (It == Cache.end()) {
+    driver::CompileOptions Opts;
+    It = Cache.emplace(C.Name, driver::compileNova(C.Source, C.Name, Opts))
+             .first;
+    EXPECT_TRUE((*It->second).Ok) << (*It->second).ErrorText;
+  }
+  return *It->second;
+}
+
+/// Compiles \p C with \p Faults armed for the duration of the compile.
+/// When \p FiredOut is given, it receives how often the first fault's
+/// kind actually fired (read before the plan is disarmed).
+std::unique_ptr<driver::CompileResult>
+compileWithFaults(const AppCase &C, std::vector<FaultSpec> Faults,
+                  alloc::OnIlpFailure Policy, unsigned *FiredOut = nullptr) {
+  driver::CompileOptions Opts;
+  Opts.Alloc.FailurePolicy = Policy;
+  FaultKind First = Faults.empty() ? FaultKind::LpInfeasible : Faults[0].Kind;
+  ScopedFaultInjection Armed(std::move(Faults));
+  auto R = driver::compileNova(C.Source, C.Name, Opts);
+  if (FiredOut)
+    *FiredOut = FaultInjector::instance().fired(First);
+  return R;
+}
+
+/// Runs \p Prog on the case's packet; returns (halt, final memory).
+std::pair<uint32_t, sim::Memory> runOn(const AppCase &C,
+                                       const alloc::AllocatedProgram &Prog) {
+  sim::Memory Mem = C.Input;
+  sim::RunResult R = sim::runAllocated(Prog, C.Args, Mem);
+  EXPECT_TRUE(R.Ok) << C.Name << ": " << R.Error;
+  EXPECT_EQ(R.HaltValues.size(), 1u) << C.Name;
+  return {R.HaltValues.empty() ? 0 : R.HaltValues[0], std::move(Mem)};
+}
+
+/// The correctness bar for every rung: verifier-clean code whose run
+/// leaves SDRAM byte-identical to the optimal build's run (Scratch is
+/// excluded on purpose: spill homes legitimately differ per allocation)
+/// and halts with the same value.
+void expectMatchesOptimal(const AppCase &C, driver::CompileResult &Degraded) {
+  ASSERT_TRUE(Degraded.Ok) << C.Name << ": " << Degraded.ErrorText;
+  EXPECT_TRUE(verifyAllocated(Degraded.Alloc.Prog).empty()) << C.Name;
+  auto [HaltOpt, MemOpt] = runOn(C, optimalApp(C).Alloc.Prog);
+  auto [HaltDeg, MemDeg] = runOn(C, Degraded.Alloc.Prog);
+  EXPECT_EQ(HaltDeg, HaltOpt) << C.Name;
+  EXPECT_EQ(MemDeg.Sdram, MemOpt.Sdram) << C.Name;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Baseline rung: forced ILP failure on every app
+//===----------------------------------------------------------------------===//
+
+TEST(Degradation, BaselineRungRunsPacketsOnAllApps) {
+  for (const AppCase &C : appCases()) {
+    // Unlimited lp-infeasible kills the spill-free solve *and* the
+    // spill-aware retry; only the heuristic allocator is left.
+    auto R = compileWithFaults(C, {{FaultKind::LpInfeasible}},
+                               alloc::OnIlpFailure::Baseline);
+    ASSERT_TRUE(R->Ok) << C.Name << ": " << R->ErrorText;
+    EXPECT_EQ(R->Alloc.Stats.Rung, alloc::AllocRung::Baseline) << C.Name;
+    EXPECT_FALSE(R->Alloc.Stats.ProvedOptimal) << C.Name;
+    EXPECT_GE(R->Alloc.Stats.LadderAttempts, 3u) << C.Name;
+    EXPECT_GT(R->Alloc.Stats.Spills, 0u) << C.Name; // memory-home strategy
+    expectMatchesOptimal(C, *R);
+  }
+}
+
+TEST(Degradation, ErrorPolicyRefusesToDegrade) {
+  const AppCase &C = appCases()[2]; // NAT: fastest solve
+  auto R = compileWithFaults(C, {{FaultKind::LpInfeasible}},
+                             alloc::OnIlpFailure::Error);
+  ASSERT_FALSE(R->Ok);
+  EXPECT_EQ(R->Alloc.Error.code(), StatusCode::IlpInfeasible);
+  // The failure text must teach the recovery flag.
+  EXPECT_NE(R->ErrorText.find("--on-ilp-failure=baseline"), std::string::npos)
+      << R->ErrorText;
+}
+
+TEST(Degradation, IncumbentPolicyStopsAboveBaseline) {
+  const AppCase &C = appCases()[2]; // NAT
+  auto R = compileWithFaults(C, {{FaultKind::LpInfeasible}},
+                             alloc::OnIlpFailure::Incumbent);
+  ASSERT_FALSE(R->Ok);
+  EXPECT_EQ(R->Alloc.Error.code(), StatusCode::IlpInfeasible);
+}
+
+//===----------------------------------------------------------------------===//
+// Incumbent rung: timeout at a chosen node count
+//===----------------------------------------------------------------------===//
+
+TEST(Degradation, TimeoutAtNodeSalvagesIncumbentOnAllApps) {
+  for (const AppCase &C : appCases()) {
+    // Time out at the first branch-and-bound node: the root dive's
+    // incumbent must be salvaged instead of discarded. (After must stay
+    // below the app's total node count or the fault never fires.)
+    FaultSpec Timeout;
+    Timeout.Kind = FaultKind::MipTimeout;
+    Timeout.After = 0;
+    auto R = compileWithFaults(C, {Timeout}, alloc::OnIlpFailure::Incumbent);
+    ASSERT_TRUE(R->Ok) << C.Name << ": " << R->ErrorText;
+    EXPECT_FALSE(R->Alloc.Stats.ProvedOptimal) << C.Name;
+    EXPECT_NE(R->Alloc.Stats.Rung, alloc::AllocRung::Optimal) << C.Name;
+    EXPECT_NE(R->Alloc.Stats.Rung, alloc::AllocRung::Baseline) << C.Name;
+    expectMatchesOptimal(C, *R);
+  }
+}
+
+TEST(Degradation, ErrorPolicyRejectsUnprovedIncumbent) {
+  const AppCase &C = appCases()[2]; // NAT
+  FaultSpec Timeout;
+  Timeout.Kind = FaultKind::MipTimeout;
+  Timeout.After = 10;
+  auto R = compileWithFaults(C, {Timeout}, alloc::OnIlpFailure::Error);
+  ASSERT_FALSE(R->Ok);
+  EXPECT_EQ(R->Alloc.Error.code(), StatusCode::IlpNonOptimal);
+  EXPECT_NE(R->ErrorText.find("--on-ilp-failure=incumbent"),
+            std::string::npos)
+      << R->ErrorText;
+}
+
+//===----------------------------------------------------------------------===//
+// Numerical faults the LP engine must absorb without degrading at all
+//===----------------------------------------------------------------------===//
+
+TEST(Degradation, SingularBasisIsRepairedTransparently) {
+  const AppCase &C = appCases()[2]; // NAT
+  FaultSpec Singular;
+  Singular.Kind = FaultKind::SingularBasis;
+  Singular.After = 2;
+  Singular.Times = 2;
+  unsigned Fired = 0;
+  auto R =
+      compileWithFaults(C, {Singular}, alloc::OnIlpFailure::Error, &Fired);
+  // The LU repair path patches slacks and refactorizes: same optimum,
+  // no rung change, nothing for the ladder to do.
+  ASSERT_TRUE(R->Ok) << C.Name << ": " << R->ErrorText;
+  EXPECT_GT(Fired, 0u);
+  EXPECT_EQ(R->Alloc.Stats.Rung, alloc::AllocRung::Optimal);
+  EXPECT_TRUE(R->Alloc.Stats.ProvedOptimal);
+  EXPECT_DOUBLE_EQ(R->Alloc.Stats.Objective,
+                   optimalApp(C).Alloc.Stats.Objective);
+  expectMatchesOptimal(C, *R);
+}
+
+TEST(Degradation, EtaDriftTriggersRefactorizeNotDegradation) {
+  const AppCase &C = appCases()[2]; // NAT
+  FaultSpec Drift;
+  Drift.Kind = FaultKind::EtaDrift;
+  Drift.After = 40;
+  Drift.Times = 1;
+  Drift.Magnitude = 2e-3;
+  unsigned Fired = 0;
+  auto R = compileWithFaults(C, {Drift}, alloc::OnIlpFailure::Error, &Fired);
+  ASSERT_TRUE(R->Ok) << C.Name << ": " << R->ErrorText;
+  EXPECT_EQ(Fired, 1u);
+  EXPECT_EQ(R->Alloc.Stats.Rung, alloc::AllocRung::Optimal);
+  EXPECT_DOUBLE_EQ(R->Alloc.Stats.Objective,
+                   optimalApp(C).Alloc.Stats.Objective);
+  expectMatchesOptimal(C, *R);
+}
+
+TEST(Degradation, WorkerStallOnlyCostsTime) {
+  const AppCase &C = appCases()[2]; // NAT
+  FaultSpec Stall;
+  Stall.Kind = FaultKind::WorkerStall;
+  Stall.Times = 3;
+  Stall.Magnitude = 0.01;
+  unsigned Fired = 0;
+  auto R = compileWithFaults(C, {Stall}, alloc::OnIlpFailure::Error, &Fired);
+  ASSERT_TRUE(R->Ok) << C.Name << ": " << R->ErrorText;
+  EXPECT_GT(Fired, 0u);
+  EXPECT_EQ(R->Alloc.Stats.Rung, alloc::AllocRung::Optimal);
+  EXPECT_DOUBLE_EQ(R->Alloc.Stats.Objective,
+                   optimalApp(C).Alloc.Stats.Objective);
+}
+
+//===----------------------------------------------------------------------===//
+// Ladder bookkeeping
+//===----------------------------------------------------------------------===//
+
+TEST(Degradation, OptimalBuildsRecordTheTopRung) {
+  for (const AppCase &C : appCases()) {
+    driver::CompileResult &App = optimalApp(C);
+    ASSERT_TRUE(App.Ok) << App.ErrorText;
+    EXPECT_EQ(App.Alloc.Stats.Rung, alloc::AllocRung::Optimal) << C.Name;
+    EXPECT_TRUE(App.Alloc.Stats.ProvedOptimal) << C.Name;
+    EXPECT_EQ(App.Alloc.Stats.LadderAttempts, 1u) << C.Name;
+    EXPECT_EQ(App.Alloc.Stats.VerifierViolations, 0u) << C.Name;
+  }
+}

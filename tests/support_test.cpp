@@ -6,8 +6,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Diagnostics.h"
+#include "support/FaultInjection.h"
 #include "support/Rng.h"
 #include "support/SourceManager.h"
+#include "support/Status.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
@@ -154,4 +156,137 @@ TEST(Timer, MeasuresForwardTime) {
   EXPECT_GE(B, A);
   T.reset();
   EXPECT_GE(T.seconds(), 0.0);
+}
+
+TEST(Deadline, NeverDoesNotExpire) {
+  Deadline D = Deadline::never();
+  EXPECT_FALSE(D.expired());
+  EXPECT_GT(D.remaining(), 1e18);
+}
+
+TEST(Deadline, AfterCountsDown) {
+  Deadline D = Deadline::after(100.0);
+  EXPECT_FALSE(D.expired());
+  EXPECT_LE(D.remaining(), 100.0);
+  EXPECT_GT(D.remaining(), 0.0);
+  EXPECT_EQ(D.budget(), 100.0);
+  Deadline Past = Deadline::after(0.0);
+  EXPECT_TRUE(Past.expired());
+  EXPECT_EQ(Past.remaining(), 0.0);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::Ok);
+  EXPECT_EQ(S.render(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodePhaseAndHints) {
+  Status S = Status::error(StatusCode::IlpBudgetExceeded, Phase::Solve,
+                           "node limit hit")
+                 .addHint("raise --time-limit");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::IlpBudgetExceeded);
+  EXPECT_EQ(S.phase(), Phase::Solve);
+  EXPECT_EQ(S.message(), "node limit hit");
+  ASSERT_EQ(S.hints().size(), 1u);
+  EXPECT_EQ(S.render(), "solve: ilp-budget-exceeded: node limit hit\n"
+                        "  hint: raise --time-limit");
+}
+
+TEST(Status, NamesAreStable) {
+  EXPECT_STREQ(statusCodeName(StatusCode::VerifyFailed), "verify-failed");
+  EXPECT_STREQ(statusCodeName(StatusCode::IlpInfeasible), "ilp-infeasible");
+  EXPECT_STREQ(phaseName(Phase::Baseline), "baseline");
+}
+
+TEST(FaultInjection, DisarmedNeverFires) {
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_FALSE(FI.shouldFire(FaultKind::LpInfeasible));
+}
+
+TEST(FaultInjection, AfterAndTimesWindow) {
+  FaultSpec Spec;
+  Spec.Kind = FaultKind::MipTimeout;
+  Spec.After = 2;
+  Spec.Times = 3;
+  ScopedFaultInjection Armed({Spec});
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_TRUE(FaultInjector::armed());
+  // Opportunities 0 and 1 pass, 2..4 fire, 5+ are exhausted.
+  EXPECT_FALSE(FI.shouldFire(FaultKind::MipTimeout));
+  EXPECT_FALSE(FI.shouldFire(FaultKind::MipTimeout));
+  EXPECT_TRUE(FI.shouldFire(FaultKind::MipTimeout));
+  EXPECT_TRUE(FI.shouldFire(FaultKind::MipTimeout));
+  EXPECT_TRUE(FI.shouldFire(FaultKind::MipTimeout));
+  EXPECT_FALSE(FI.shouldFire(FaultKind::MipTimeout));
+  EXPECT_EQ(FI.fired(FaultKind::MipTimeout), 3u);
+  EXPECT_EQ(FI.opportunities(FaultKind::MipTimeout), 6u);
+  // Other kinds are not armed by this plan.
+  EXPECT_FALSE(FI.shouldFire(FaultKind::EtaDrift));
+}
+
+TEST(FaultInjection, ScopedDisarmRestoresFastPath) {
+  {
+    ScopedFaultInjection Armed({FaultSpec{}});
+    EXPECT_TRUE(FaultInjector::armed());
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_EQ(FaultInjector::instance().fired(FaultKind::LpInfeasible), 0u);
+}
+
+TEST(FaultInjection, ProbabilityGateIsDeterministic) {
+  auto CountFires = [](uint64_t Seed) {
+    FaultSpec Spec;
+    Spec.Kind = FaultKind::EtaDrift;
+    Spec.Probability = 0.5;
+    Spec.Seed = Seed;
+    ScopedFaultInjection Armed({Spec});
+    unsigned Fires = 0;
+    for (int I = 0; I != 200; ++I)
+      Fires += FaultInjector::instance().shouldFire(FaultKind::EtaDrift);
+    return Fires;
+  };
+  unsigned A = CountFires(42), B = CountFires(42), C = CountFires(7);
+  EXPECT_EQ(A, B);           // same seed, same stream
+  EXPECT_GT(A, 50u);         // roughly half of 200
+  EXPECT_LT(A, 150u);
+  EXPECT_NE(A, 0u);
+  (void)C; // different seed may or may not differ; only determinism matters
+}
+
+TEST(FaultInjection, MagnitudeFallsBackToDefault) {
+  FaultSpec Spec;
+  Spec.Kind = FaultKind::WorkerStall;
+  Spec.Magnitude = 0.25;
+  ScopedFaultInjection Armed({Spec});
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_EQ(FI.magnitude(FaultKind::WorkerStall, 0.02), 0.25);
+  EXPECT_EQ(FI.magnitude(FaultKind::EtaDrift, 1e-3), 1e-3); // not armed
+}
+
+TEST(FaultInjection, ParsesCliSpecs) {
+  FaultSpec S;
+  std::string Err;
+  ASSERT_TRUE(parseFaultSpec("mip-timeout@5", S, Err)) << Err;
+  EXPECT_EQ(S.Kind, FaultKind::MipTimeout);
+  EXPECT_EQ(S.After, 5u);
+  EXPECT_EQ(S.Times, ~0u);
+
+  ASSERT_TRUE(parseFaultSpec("eta-drift@100x3~1e-3", S, Err)) << Err;
+  EXPECT_EQ(S.Kind, FaultKind::EtaDrift);
+  EXPECT_EQ(S.After, 100u);
+  EXPECT_EQ(S.Times, 3u);
+  EXPECT_DOUBLE_EQ(S.Magnitude, 1e-3);
+
+  ASSERT_TRUE(parseFaultSpec("singular-basis", S, Err)) << Err;
+  EXPECT_EQ(S.Kind, FaultKind::SingularBasis);
+
+  EXPECT_FALSE(parseFaultSpec("bad-kind", S, Err));
+  EXPECT_NE(Err.find("unknown fault kind"), std::string::npos);
+  EXPECT_FALSE(parseFaultSpec("mip-timeout@", S, Err));
+  EXPECT_FALSE(parseFaultSpec("mip-timeout@abc", S, Err));
+  EXPECT_FALSE(parseFaultSpec("eta-drift~zzz", S, Err));
 }
