@@ -121,7 +121,7 @@ int main(int argc, char **argv) {
     sim::RunResult R2 = sim::runAllocated(B.Prog, P.Args, M2);
     if (!R1.Ok || !R2.Ok) {
       std::fprintf(stderr, "%s: run failed (%s%s)\n", P.Name,
-                   R1.Error.c_str(), R2.Error.c_str());
+                   R1.Error.render().c_str(), R2.Error.render().c_str());
       return 1;
     }
     if (R1.HaltValues != R2.HaltValues) {

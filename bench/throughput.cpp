@@ -50,7 +50,7 @@ uint64_t aesCycles(driver::CompileResult &App, unsigned PayloadBytes,
                                        {0x100, 0x800, PayloadBytes}, Mem,
                                        Lat);
   if (!R.Ok) {
-    std::fprintf(stderr, "aes run failed: %s\n", R.Error.c_str());
+    std::fprintf(stderr, "aes run failed: %s\n", R.Error.render().c_str());
     return 0;
   }
   return R.Cycles;
@@ -70,7 +70,7 @@ uint64_t kasumiCycles(driver::CompileResult &App, unsigned PayloadBytes,
     sim::RunResult R =
         sim::runAllocated(App.Alloc.Prog, {0x300, 0x500}, Mem, Lat);
     if (!R.Ok) {
-      std::fprintf(stderr, "kasumi run failed: %s\n", R.Error.c_str());
+      std::fprintf(stderr, "kasumi run failed: %s\n", R.Error.render().c_str());
       return 0;
     }
     Total += R.Cycles;

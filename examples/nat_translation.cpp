@@ -45,7 +45,7 @@ int main() {
   apps::storePacket(Mem.Sdram, 0x100, Pkt);
   sim::RunResult Run = sim::runAllocated(R->Alloc.Prog, {0x100, 0x800}, Mem);
   if (!Run.Ok) {
-    std::fprintf(stderr, "run failed: %s\n", Run.Error.c_str());
+    std::fprintf(stderr, "run failed: %s\n", Run.Error.render().c_str());
     return 1;
   }
 

@@ -48,7 +48,7 @@ int main() {
   sim::RunResult Run =
       sim::runAllocated(R->Alloc.Prog, {0x100, 0x400, PayloadBytes}, Mem);
   if (!Run.Ok) {
-    std::fprintf(stderr, "run failed: %s\n", Run.Error.c_str());
+    std::fprintf(stderr, "run failed: %s\n", Run.Error.render().c_str());
     return 1;
   }
 

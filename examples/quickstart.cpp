@@ -68,7 +68,7 @@ fun main(pkt : word) {
   Mem.Sram[101] = 7;
   sim::RunResult Run = sim::runAllocated(R->Alloc.Prog, {100}, Mem);
   if (!Run.Ok) {
-    std::fprintf(stderr, "run failed: %s\n", Run.Error.c_str());
+    std::fprintf(stderr, "run failed: %s\n", Run.Error.render().c_str());
     return 1;
   }
   std::printf("\n=== Execution ===\n");

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Nightly adversarial soak: millions of seeded packets per application
+# with the differential oracle on every packet, writing the stream
+# statistics (drop taxonomy, cycle percentiles, goodput under
+# degradation) to BENCH_soak.json at the repo root.
+#
+#   scripts/soak_nightly.sh                 # 1M packets/app, seed 42
+#   scripts/soak_nightly.sh 5000000 7       # packets and seed
+#   BUILD_DIR=/tmp/b scripts/soak_nightly.sh
+#
+# Exit codes follow novasoak: 0 clean, 1 oracle divergence (the log
+# contains the seed, packet index, and shrunk reproducer).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+PACKETS="${1:-1000000}"
+SEED="${2:-42}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j"$JOBS" --target novasoak
+
+exec "$BUILD/tools/novasoak" --packets "$PACKETS" --seed "$SEED" \
+  --json "$ROOT/BENCH_soak.json"

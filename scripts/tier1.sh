@@ -48,6 +48,27 @@ echo "== NAT solver smoke (root objective check) =="
 timeout 120 "$BUILD/bench/fig7_solver" --only NAT --mip-threads 1 \
   --no-compare --json "$BUILD/BENCH_smoke.json" --expect-root 2.2381627
 
+# Adversarial soak smoke: fixed seed, all three apps, the differential
+# oracle (allocated vs functional vs CPS evaluator) on every packet. Any
+# divergence exits 1 and fails the run. Time-boxed well above the ~10s
+# it takes so only a hang trips the timeout.
+echo "== adversarial soak smoke (oracle on every packet) =="
+timeout 120 "$BUILD/tools/novasoak" --packets 2000 --seed 7 \
+  --json "$BUILD/BENCH_soak_smoke.json"
+
+# Negative control: an injected ALU bit flip in the allocated simulator
+# must be *caught* by the oracle (exit 1, with a shrunk reproducer). A
+# clean exit here means the oracle is blind — fail loudly.
+echo "== soak negative control (injected bit flip must be caught) =="
+SOAK_RC=0
+timeout 120 "$BUILD/tools/novasoak" --app nat --packets 50 --seed 3 \
+  --inject-fault sim-bitflip@40 --fail-fast --quiet || SOAK_RC=$?
+if [ "$SOAK_RC" -ne 1 ]; then
+  echo "soak negative control FAILED: expected exit 1 (divergence caught)," \
+       "got $SOAK_RC" >&2
+  exit 1
+fi
+
 # ASan+UBSan pass over the degradation ladder and the support layer: the
 # fault-injection paths (LU repair, refactorize-on-drift, incumbent
 # salvage, baseline fallback) are exactly where stale pointers and

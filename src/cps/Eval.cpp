@@ -90,30 +90,14 @@ struct Machine {
     return {};
   }
 
+  // ALU and comparison semantics are the shared definitions in cps/Ir.h;
+  // the oracle must agree with the simulator by construction.
   static uint32_t evalPrim(PrimOp Op, uint32_t A, uint32_t B) {
-    switch (Op) {
-    case PrimOp::Add: return A + B;
-    case PrimOp::Sub: return A - B;
-    case PrimOp::And: return A & B;
-    case PrimOp::Or:  return A | B;
-    case PrimOp::Xor: return A ^ B;
-    case PrimOp::Shl: return B >= 32 ? 0 : A << B;
-    case PrimOp::Shr: return B >= 32 ? 0 : A >> B;
-    case PrimOp::Not: return ~A;
-    }
-    return 0;
+    return cps::evalPrim(Op, A, B);
   }
 
   static bool evalCmp(CmpOp Op, uint32_t A, uint32_t B) {
-    switch (Op) {
-    case CmpOp::Eq: return A == B;
-    case CmpOp::Ne: return A != B;
-    case CmpOp::Lt: return A < B;
-    case CmpOp::Gt: return A > B;
-    case CmpOp::Le: return A <= B;
-    case CmpOp::Ge: return A >= B;
-    }
-    return false;
+    return cps::evalCmp(Op, A, B);
   }
 
   void run(const std::vector<uint32_t> &Args, unsigned MaxSteps) {
@@ -146,17 +130,26 @@ struct Machine {
       }
       case ExpKind::MemRead: {
         uint32_t Addr = atom(Env, E->Args[0]).Data;
-        auto &M = Mem.space(E->Space);
+        auto *M = Mem.space(E->Space);
+        if (!M) {
+          Result.Error = "memory read from an invalid space";
+          return;
+        }
         for (unsigned I = 0; I != E->Results.size(); ++I)
-          Env->Vals[E->Results[I]] = {M[Addr + I], NoFunc, nullptr};
+          Env->Vals[E->Results[I]] = {EvalMemory::load(*M, Addr + I),
+                                      NoFunc, nullptr};
         E = E->Cont;
         break;
       }
       case ExpKind::MemWrite: {
         uint32_t Addr = atom(Env, E->Args[0]).Data;
-        auto &M = Mem.space(E->Space);
+        auto *M = Mem.space(E->Space);
+        if (!M) {
+          Result.Error = "memory write to an invalid space";
+          return;
+        }
         for (unsigned I = 1; I != E->Args.size(); ++I)
-          M[Addr + I - 1] = atom(Env, E->Args[I]).Data;
+          (*M)[Addr + I - 1] = atom(Env, E->Args[I]).Data;
         E = E->Cont;
         break;
       }
@@ -168,8 +161,13 @@ struct Machine {
       case ExpKind::BitTestSet: {
         uint32_t Addr = atom(Env, E->Args[0]).Data;
         uint32_t Bits = atom(Env, E->Args[1]).Data;
-        uint32_t Old = Mem.space(E->Space)[Addr];
-        Mem.space(E->Space)[Addr] = Old | Bits;
+        auto *M = Mem.space(E->Space);
+        if (!M) {
+          Result.Error = "bit-test-set in an invalid space";
+          return;
+        }
+        uint32_t Old = EvalMemory::load(*M, Addr);
+        (*M)[Addr] = Old | Bits;
         Env->Vals[E->Results[0]] = {Old, NoFunc, nullptr};
         E = E->Cont;
         break;

@@ -18,6 +18,7 @@
 
 #include "cps/Ir.h"
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -32,13 +33,24 @@ struct EvalMemory {
   std::map<uint32_t, uint32_t> Sdram;
   std::map<uint32_t, uint32_t> Scratch;
 
-  std::map<uint32_t, uint32_t> &space(MemSpace S) {
+  /// The backing map for \p S, or nullptr on an out-of-enum space — the
+  /// evaluator reports that as an error rather than silently coercing to
+  /// SRAM (mirrors sim::Memory::space; asserts in debug builds).
+  std::map<uint32_t, uint32_t> *space(MemSpace S) {
     switch (S) {
-    case MemSpace::Sram:    return Sram;
-    case MemSpace::Sdram:   return Sdram;
-    case MemSpace::Scratch: return Scratch;
+    case MemSpace::Sram:    return &Sram;
+    case MemSpace::Sdram:   return &Sdram;
+    case MemSpace::Scratch: return &Scratch;
     }
-    return Sram;
+    assert(false && "invalid MemSpace");
+    return nullptr;
+  }
+
+  /// Non-inserting read (absent words are 0), matching sim::Memory::load
+  /// so a differential comparison of final images sees identical maps.
+  static uint32_t load(const std::map<uint32_t, uint32_t> &M, uint32_t A) {
+    auto It = M.find(A);
+    return It == M.end() ? 0 : It->second;
   }
 };
 

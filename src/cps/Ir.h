@@ -37,6 +37,46 @@ enum class PrimOp : uint8_t { Add, Sub, And, Or, Xor, Shl, Shr, Not };
 /// Branch comparisons; all unsigned 32-bit.
 enum class CmpOp : uint8_t { Eq, Ne, Lt, Gt, Le, Ge };
 
+/// True when \p Op is a shift whose count operand \p B falls outside the
+/// architectural range [0, 32). Out-of-range shifts are well-defined in
+/// this language (they yield 0, see evalPrim), but the simulator's strict
+/// mode can be asked to trap on them instead (C's UB would hide here).
+inline bool shiftOutOfRange(PrimOp Op, uint32_t B) {
+  return (Op == PrimOp::Shl || Op == PrimOp::Shr) && B >= 32;
+}
+
+/// THE definition of ALU semantics, shared by the CPS evaluator, the
+/// constant folder, instruction selection, and both simulator modes so
+/// the stages cannot drift apart (DESIGN.md "ALU and shift semantics").
+/// All arithmetic is unsigned 32-bit with wraparound; shift counts of 32
+/// or more yield 0 rather than C's undefined behavior.
+inline uint32_t evalPrim(PrimOp Op, uint32_t A, uint32_t B) {
+  switch (Op) {
+  case PrimOp::Add: return A + B;
+  case PrimOp::Sub: return A - B;
+  case PrimOp::And: return A & B;
+  case PrimOp::Or:  return A | B;
+  case PrimOp::Xor: return A ^ B;
+  case PrimOp::Shl: return B >= 32 ? 0 : A << B;
+  case PrimOp::Shr: return B >= 32 ? 0 : A >> B;
+  case PrimOp::Not: return ~A;
+  }
+  return 0;
+}
+
+/// Shared comparison semantics (unsigned), same rationale as evalPrim.
+inline bool evalCmp(CmpOp Op, uint32_t A, uint32_t B) {
+  switch (Op) {
+  case CmpOp::Eq: return A == B;
+  case CmpOp::Ne: return A != B;
+  case CmpOp::Lt: return A < B;
+  case CmpOp::Gt: return A > B;
+  case CmpOp::Le: return A <= B;
+  case CmpOp::Ge: return A >= B;
+  }
+  return false;
+}
+
 /// An operand: a temporary, an immediate constant, or a function label
 /// (labels appear when exceptions/continuations are passed as values; the
 /// optimizer resolves them before instruction selection).

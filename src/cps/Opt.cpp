@@ -19,33 +19,9 @@ using namespace nova::cps;
 
 namespace {
 
-/// Logical shifts with counts >= 32 produce 0 (the folder, the CPS
-/// evaluator, and the micro-engine simulator all agree on this).
-uint32_t evalPrim(PrimOp Op, uint32_t A, uint32_t B) {
-  switch (Op) {
-  case PrimOp::Add: return A + B;
-  case PrimOp::Sub: return A - B;
-  case PrimOp::And: return A & B;
-  case PrimOp::Or:  return A | B;
-  case PrimOp::Xor: return A ^ B;
-  case PrimOp::Shl: return B >= 32 ? 0 : A << B;
-  case PrimOp::Shr: return B >= 32 ? 0 : A >> B;
-  case PrimOp::Not: return ~A;
-  }
-  return 0;
-}
-
-bool evalCmp(CmpOp Op, uint32_t A, uint32_t B) {
-  switch (Op) {
-  case CmpOp::Eq: return A == B;
-  case CmpOp::Ne: return A != B;
-  case CmpOp::Lt: return A < B;
-  case CmpOp::Gt: return A > B;
-  case CmpOp::Le: return A <= B;
-  case CmpOp::Ge: return A >= B;
-  }
-  return false;
-}
+// Constant folding uses the shared ALU/compare semantics from cps/Ir.h
+// directly (evalPrim/evalCmp); a fold may never change what the CPS
+// evaluator or the simulator would compute.
 
 /// The functions that act as traversal roots: the entry plus every
 /// function not declared by any Fix node (user functions are top-level).

@@ -193,17 +193,9 @@ void Selector::lower(BlockId B, const Exp *E) {
         // Both constant: the optimizer normally folds this; keep a
         // fallback for unoptimized programs.
         I.Op = MOp::Imm;
-        uint32_t A = E->Args[0].Value, Bv = E->Args[1].Value;
-        switch (E->Prim) {
-        case cps::PrimOp::Add: I.Imm = A + Bv; break;
-        case cps::PrimOp::Sub: I.Imm = A - Bv; break;
-        case cps::PrimOp::And: I.Imm = A & Bv; break;
-        case cps::PrimOp::Or:  I.Imm = A | Bv; break;
-        case cps::PrimOp::Xor: I.Imm = A ^ Bv; break;
-        case cps::PrimOp::Shl: I.Imm = Bv >= 32 ? 0 : A << Bv; break;
-        case cps::PrimOp::Shr: I.Imm = Bv >= 32 ? 0 : A >> Bv; break;
-        case cps::PrimOp::Not: break;
-        }
+        // Shared semantics from cps/Ir.h: isel's fold may never disagree
+        // with the CPS evaluator or the simulator.
+        I.Imm = cps::evalPrim(E->Prim, E->Args[0].Value, E->Args[1].Value);
         I.Dsts = {tempFor(E->Results[0])};
         emit(B, std::move(I));
         E = E->Cont;

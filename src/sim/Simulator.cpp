@@ -7,6 +7,7 @@
 
 #include "sim/Simulator.h"
 
+#include "support/FaultInjection.h"
 #include "support/HwHash.h"
 #include "support/StringUtils.h"
 
@@ -14,35 +15,127 @@ using namespace nova;
 using namespace nova::sim;
 using namespace nova::ixp;
 
-namespace {
-
-uint32_t evalAlu(cps::PrimOp Op, uint32_t A, uint32_t B) {
-  switch (Op) {
-  case cps::PrimOp::Add: return A + B;
-  case cps::PrimOp::Sub: return A - B;
-  case cps::PrimOp::And: return A & B;
-  case cps::PrimOp::Or:  return A | B;
-  case cps::PrimOp::Xor: return A ^ B;
-  case cps::PrimOp::Shl: return B >= 32 ? 0 : A << B;
-  case cps::PrimOp::Shr: return B >= 32 ? 0 : A >> B;
-  case cps::PrimOp::Not: return ~A;
+const char *sim::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:              return "none";
+  case TrapKind::IllegalRegister:   return "illegal-register";
+  case TrapKind::IllegalMemSpace:   return "illegal-mem-space";
+  case TrapKind::SramOutOfRange:    return "sram-out-of-range";
+  case TrapKind::SdramOutOfRange:   return "sdram-out-of-range";
+  case TrapKind::ScratchOutOfRange: return "scratch-out-of-range";
+  case TrapKind::Watchdog:          return "watchdog";
+  case TrapKind::ShiftRange:        return "shift-range";
+  case TrapKind::MalformedProgram:  return "malformed-program";
   }
-  return 0;
+  return "unknown";
 }
 
-bool evalCmp(cps::CmpOp Op, uint32_t A, uint32_t B) {
-  switch (Op) {
-  case cps::CmpOp::Eq: return A == B;
-  case cps::CmpOp::Ne: return A != B;
-  case cps::CmpOp::Lt: return A < B;
-  case cps::CmpOp::Gt: return A > B;
-  case cps::CmpOp::Le: return A <= B;
-  case cps::CmpOp::Ge: return A >= B;
+namespace {
+
+/// Sets the trap fields of \p R and returns it for `return trap(...)`.
+RunResult &trap(RunResult &R, TrapKind K, std::string Detail) {
+  R.Ok = false;
+  R.Trap = K;
+  R.Error = Status::error(
+      StatusCode::SimTrap, Phase::Execute,
+      formatf("%s: %s", sim::trapKindName(K), Detail.c_str()));
+  return R;
+}
+
+TrapKind rangeTrapFor(MemSpace S) {
+  switch (S) {
+  case MemSpace::Sram:    return TrapKind::SramOutOfRange;
+  case MemSpace::Sdram:   return TrapKind::SdramOutOfRange;
+  case MemSpace::Scratch: return TrapKind::ScratchOutOfRange;
   }
-  return false;
+  return TrapKind::IllegalMemSpace;
+}
+
+bool validSpace(MemSpace S) {
+  return S == MemSpace::Sram || S == MemSpace::Sdram ||
+         S == MemSpace::Scratch;
+}
+
+const char *spaceName(MemSpace S) {
+  switch (S) {
+  case MemSpace::Sram:    return "sram";
+  case MemSpace::Sdram:   return "sdram";
+  case MemSpace::Scratch: return "scratch";
+  }
+  return "?";
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Cycle histogram / stream stats
+//===----------------------------------------------------------------------===//
+
+unsigned CycleHistogram::bucketOf(uint64_t V) {
+  // 8 sub-buckets per power of two: exact for V < 256 would need 8
+  // buckets/decade starting at decade 3; below 16 the mapping is exact
+  // anyway because sub-bucket width is < 1.
+  if (V < 16)
+    return static_cast<unsigned>(V);
+  unsigned Decade = 63 - __builtin_clzll(V); // floor(log2 V), >= 4
+  uint64_t Base = 1ull << Decade;
+  unsigned Sub = static_cast<unsigned>((V - Base) / (Base / 8));
+  unsigned B = 16 + (Decade - 4) * 8 + Sub;
+  return B < NumBuckets ? B : NumBuckets - 1;
+}
+
+uint64_t CycleHistogram::bucketHigh(unsigned B) {
+  if (B < 16)
+    return B;
+  unsigned Decade = 4 + (B - 16) / 8;
+  unsigned Sub = (B - 16) % 8;
+  uint64_t Base = 1ull << Decade;
+  return Base + (Base / 8) * (Sub + 1) - 1;
+}
+
+void CycleHistogram::add(uint64_t Cycles) {
+  ++Buckets[bucketOf(Cycles)];
+  ++Total;
+}
+
+uint64_t CycleHistogram::quantile(double Q) const {
+  if (Total == 0)
+    return 0;
+  uint64_t Need = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  if (Need == 0)
+    Need = 1;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Need)
+      return bucketHigh(B);
+  }
+  return bucketHigh(NumBuckets - 1);
+}
+
+void RunStats::account(const RunResult &R, bool AppRejected,
+                       unsigned PayloadBytes) {
+  ++Packets;
+  TotalCycles += R.Cycles;
+  TotalInstructions += R.Instructions;
+  Cycles.add(R.Cycles);
+  if (!R.Ok) {
+    ++Drops;
+    ++Traps[static_cast<unsigned>(R.Trap)];
+  } else if (AppRejected) {
+    ++Rejected;
+  } else {
+    ++Delivered;
+    DeliveredPayloadBytes += PayloadBytes;
+  }
+}
+
+double RunStats::deliveredMbps(double ClockHz) const {
+  if (TotalCycles == 0)
+    return 0.0;
+  double Seconds = static_cast<double>(TotalCycles) / ClockHz;
+  return static_cast<double>(DeliveredPayloadBytes) * 8.0 / Seconds / 1e6;
+}
 
 double sim::throughputMbps(unsigned PayloadBytes, double CyclesPerPacket,
                            double ClockHz) {
@@ -52,237 +145,374 @@ double sim::throughputMbps(unsigned PayloadBytes, double CyclesPerPacket,
   return PacketsPerSec * PayloadBytes * 8.0 / 1e6;
 }
 
+//===----------------------------------------------------------------------===//
+// Allocated-mode execution
+//===----------------------------------------------------------------------===//
+
 RunResult sim::runAllocated(const alloc::AllocatedProgram &P,
                             const std::vector<uint32_t> &Args, Memory &Mem,
                             const LatencyModel &Lat,
                             uint64_t MaxInstructions) {
+  RunOptions Opts;
+  Opts.Lat = Lat;
+  Opts.MaxInstructions = MaxInstructions;
+  return runAllocated(P, Args, Mem, Opts);
+}
+
+RunResult sim::runAllocated(const alloc::AllocatedProgram &P,
+                            const std::vector<uint32_t> &Args, Memory &Mem,
+                            const RunOptions &Opts) {
   using alloc::AllocInstr;
   using alloc::AOperand;
   using alloc::PhysLoc;
 
+  const LatencyModel &Lat = Opts.Lat;
   RunResult R;
-  if (P.Entry == NoBlock) {
-    R.Error = "no entry block";
-    return R;
-  }
-  if (Args.size() > 15) {
-    R.Error = "too many entry arguments";
-    return R;
-  }
+  if (P.Entry == NoBlock || P.Entry >= P.Blocks.size())
+    return trap(R, TrapKind::MalformedProgram, "no entry block");
+  if (Args.size() > 15)
+    return trap(R, TrapKind::MalformedProgram, "too many entry arguments");
 
-  // Register files.
+  // Register files. Bank sizes are architectural: 16 GPRs per ALU bank,
+  // 8 per transfer bank (one thread's quarter of the 32-register files).
   uint32_t RegA[16] = {0}, RegB[16] = {0}, RegL[8] = {0}, RegS[8] = {0},
            RegLD[8] = {0}, RegSD[8] = {0};
-  auto RegFile = [&](Bank B) -> uint32_t * {
+  struct File {
+    uint32_t *Regs;
+    unsigned Size;
+  };
+  auto RegFile = [&](Bank B) -> File {
     switch (B) {
-    case Bank::A:  return RegA;
-    case Bank::B:  return RegB;
-    case Bank::L:  return RegL;
-    case Bank::S:  return RegS;
-    case Bank::LD: return RegLD;
-    case Bank::SD: return RegSD;
-    default:       return nullptr;
+    case Bank::A:  return {RegA, 16};
+    case Bank::B:  return {RegB, 16};
+    case Bank::L:  return {RegL, 8};
+    case Bank::S:  return {RegS, 8};
+    case Bank::LD: return {RegLD, 8};
+    case Bank::SD: return {RegSD, 8};
+    default:       return {nullptr, 0};
     }
   };
-  auto Read = [&](const AOperand &O, bool &Err) -> uint32_t {
+  // Reads/writes report illegal banks and out-of-file indices through
+  // Err; the main loop converts that into an IllegalRegister trap (the
+  // old code masked the index with &15, silently aliasing registers and
+  // reading off the end of the 8-entry transfer banks).
+  bool Err = false;
+  auto Read = [&](const AOperand &O) -> uint32_t {
     if (O.IsConst)
       return O.Value;
-    uint32_t *F = RegFile(O.Loc.B);
-    if (!F) {
+    File F = RegFile(O.Loc.B);
+    if (!F.Regs || O.Loc.Reg >= F.Size) {
       Err = true;
       return 0;
     }
-    return F[O.Loc.Reg & 15];
+    return F.Regs[O.Loc.Reg];
   };
-  auto Write = [&](PhysLoc L, uint32_t V, bool &Err) {
-    uint32_t *F = RegFile(L.B);
-    if (!F) {
+  auto WriteReg = [&](PhysLoc L, uint32_t V) {
+    File F = RegFile(L.B);
+    if (!F.Regs || L.Reg >= F.Size) {
       Err = true;
       return;
     }
-    F[L.Reg & 15] = V;
+    F.Regs[L.Reg] = V;
   };
 
   for (unsigned I = 0; I != Args.size(); ++I)
     RegA[I] = Args[I];
 
+  const bool Faults = FaultInjector::armed();
   BlockId B = P.Entry;
   unsigned Idx = 0;
   while (true) {
-    if (++R.Instructions > MaxInstructions) {
-      R.Error = "instruction limit exceeded";
-      return R;
-    }
-    if (Idx >= P.Blocks[B].Instrs.size()) {
-      R.Error = formatf("fell off the end of block b%u", B);
-      return R;
-    }
+    if (++R.Instructions > Opts.MaxInstructions)
+      return trap(R, TrapKind::Watchdog,
+                  formatf("instruction budget of %llu exhausted",
+                          (unsigned long long)Opts.MaxInstructions));
+    if (Idx >= P.Blocks[B].Instrs.size())
+      return trap(R, TrapKind::MalformedProgram,
+                  formatf("fell off the end of block b%u", B));
     const AllocInstr &I = P.Blocks[B].Instrs[Idx++];
-    bool Err = false;
+
+    // One validity check covers space(), memAccess(), and the range
+    // trap: an out-of-enum MemSpace can only come from corrupt code.
+    if ((I.Op == MOp::MemRead || I.Op == MOp::MemWrite ||
+         I.Op == MOp::BitTestSet) &&
+        !validSpace(I.Space))
+      return trap(R, TrapKind::IllegalMemSpace,
+                  formatf("memory space %u in block b%u",
+                          (unsigned)I.Space, B));
+
     switch (I.Op) {
     case MOp::Alu: {
-      uint32_t A = Read(I.Srcs[0], Err);
-      uint32_t Bv = I.Srcs.size() > 1 ? Read(I.Srcs[1], Err) : 0;
-      Write(I.Dsts[0], evalAlu(I.Alu, A, Bv), Err);
+      uint32_t A = Read(I.Srcs[0]);
+      uint32_t Bv = I.Srcs.size() > 1 ? Read(I.Srcs[1]) : 0;
+      if (Opts.TrapOnShiftRange && cps::shiftOutOfRange(I.Alu, Bv))
+        return trap(R, TrapKind::ShiftRange,
+                    formatf("shift count %u in block b%u", Bv, B));
+      uint32_t V = cps::evalPrim(I.Alu, A, Bv);
+      if (Faults &&
+          FaultInjector::instance().shouldFire(FaultKind::SimBitFlip))
+        V ^= 1u << (R.Instructions & 31);
+      WriteReg(I.Dsts[0], V);
       R.Cycles += Lat.Alu;
       break;
     }
     case MOp::Imm:
-      Write(I.Dsts[0], I.Imm, Err);
+      WriteReg(I.Dsts[0], I.Imm);
       // Large constants need two instructions on the IXP (paper §12).
       R.Cycles += I.Imm <= 0xFFFF || (I.Imm & 0xFFFF) == 0 ? Lat.Imm
                                                            : Lat.Imm + 1;
       break;
     case MOp::Move:
-      Write(I.Dsts[0], Read(I.Srcs[0], Err), Err);
+      WriteReg(I.Dsts[0], Read(I.Srcs[0]));
       R.Cycles += Lat.Alu;
       break;
     case MOp::MemRead: {
-      uint32_t Addr = Read(I.Srcs[0], Err);
-      auto &Space = Mem.space(I.Space);
+      uint32_t Addr = Read(I.Srcs[0]);
+      uint32_t Count = static_cast<uint32_t>(I.Dsts.size());
+      if (!Err && !Mem.inRange(I.Space, Addr, Count))
+        return trap(R, rangeTrapFor(I.Space),
+                    formatf("%s read of %u words at 0x%x (limit 0x%x)",
+                            spaceName(I.Space), Count, Addr,
+                            Mem.Limits.words(I.Space)));
+      auto &Space = *Mem.space(I.Space);
       for (unsigned K = 0; K != I.Dsts.size(); ++K)
-        Write(I.Dsts[K], Space[Addr + K], Err);
+        WriteReg(I.Dsts[K], Memory::load(Space, Addr + K));
       R.Cycles += Lat.memAccess(I.Space);
+      if (Faults &&
+          FaultInjector::instance().shouldFire(FaultKind::MemJitter))
+        R.Cycles +=
+            FaultInjector::instance().drawCycles(FaultKind::MemJitter, 16);
       break;
     }
     case MOp::MemWrite: {
-      uint32_t Addr = Read(I.Srcs[0], Err);
-      auto &Space = Mem.space(I.Space);
+      uint32_t Addr = Read(I.Srcs[0]);
+      uint32_t Count = static_cast<uint32_t>(I.Srcs.size() - 1);
+      if (!Err && !Mem.inRange(I.Space, Addr, Count))
+        return trap(R, rangeTrapFor(I.Space),
+                    formatf("%s write of %u words at 0x%x (limit 0x%x)",
+                            spaceName(I.Space), Count, Addr,
+                            Mem.Limits.words(I.Space)));
+      auto &Space = *Mem.space(I.Space);
       for (unsigned K = 1; K != I.Srcs.size(); ++K)
-        Space[Addr + K - 1] = Read(I.Srcs[K], Err);
+        Space[Addr + K - 1] = Read(I.Srcs[K]);
       R.Cycles += Lat.memAccess(I.Space);
+      if (Faults &&
+          FaultInjector::instance().shouldFire(FaultKind::MemJitter))
+        R.Cycles +=
+            FaultInjector::instance().drawCycles(FaultKind::MemJitter, 16);
       break;
     }
     case MOp::Hash:
-      Write(I.Dsts[0], hwHash(Read(I.Srcs[0], Err)), Err);
+      WriteReg(I.Dsts[0], hwHash(Read(I.Srcs[0])));
       R.Cycles += Lat.HashOp;
       break;
     case MOp::BitTestSet: {
-      uint32_t Addr = Read(I.Srcs[0], Err);
-      uint32_t Bits = Read(I.Srcs[1], Err);
-      auto &Space = Mem.space(I.Space);
-      uint32_t Old = Space[Addr];
+      uint32_t Addr = Read(I.Srcs[0]);
+      uint32_t Bits = Read(I.Srcs[1]);
+      if (!Err && !Mem.inRange(I.Space, Addr, 1))
+        return trap(R, rangeTrapFor(I.Space),
+                    formatf("%s bit-test-set at 0x%x (limit 0x%x)",
+                            spaceName(I.Space), Addr,
+                            Mem.Limits.words(I.Space)));
+      auto &Space = *Mem.space(I.Space);
+      uint32_t Old = Memory::load(Space, Addr);
       Space[Addr] = Old | Bits;
-      Write(I.Dsts[0], Old, Err);
+      WriteReg(I.Dsts[0], Old);
       R.Cycles += Lat.memAccess(I.Space);
       break;
     }
     case MOp::Clone:
-      R.Error = "clone pseudo in allocated code";
-      return R;
-    case MOp::Branch:
-      B = evalCmp(I.Cmp, Read(I.Srcs[0], Err), Read(I.Srcs[1], Err))
-              ? I.Target
-              : I.TargetElse;
+      return trap(R, TrapKind::MalformedProgram,
+                  "clone pseudo in allocated code");
+    case MOp::Branch: {
+      BlockId T = cps::evalCmp(I.Cmp, Read(I.Srcs[0]), Read(I.Srcs[1]))
+                      ? I.Target
+                      : I.TargetElse;
+      if (T >= P.Blocks.size())
+        return trap(R, TrapKind::MalformedProgram,
+                    formatf("branch in block b%u targets b%u", B, T));
+      B = T;
       Idx = 0;
       R.Cycles += Lat.Branch;
       break;
+    }
     case MOp::Jump:
+      if (I.Target >= P.Blocks.size())
+        return trap(R, TrapKind::MalformedProgram,
+                    formatf("jump in block b%u targets b%u", B, I.Target));
       B = I.Target;
       Idx = 0;
       R.Cycles += Lat.Branch;
       break;
     case MOp::Halt:
       for (const AOperand &S : I.Srcs)
-        R.HaltValues.push_back(Read(S, Err));
-      R.Ok = !Err;
+        R.HaltValues.push_back(Read(S));
       if (Err)
-        R.Error = "illegal register access at halt";
+        return trap(R, TrapKind::IllegalRegister,
+                    "illegal register access at halt");
+      R.Ok = true;
       return R;
     }
-    if (Err) {
-      R.Error = formatf("illegal register access in block b%u", B);
-      return R;
-    }
+    if (Err)
+      return trap(R, TrapKind::IllegalRegister,
+                  formatf("illegal register access in block b%u", B));
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Functional-mode execution
+//===----------------------------------------------------------------------===//
 
 RunResult sim::runFunctional(const MachineProgram &M,
                              const std::vector<uint32_t> &Args, Memory &Mem,
                              uint64_t MaxInstructions) {
-  RunResult R;
-  if (M.Entry == NoBlock) {
-    R.Error = "no entry block";
-    return R;
-  }
-  if (Args.size() != M.EntryParams.size()) {
-    R.Error = formatf("entry takes %zu args, got %zu",
-                      M.EntryParams.size(), Args.size());
-    return R;
-  }
-  std::vector<uint32_t> T(M.NumTemps, 0);
-  for (unsigned I = 0; I != Args.size(); ++I)
-    T[M.EntryParams[I]] = Args[I];
+  RunOptions Opts;
+  Opts.MaxInstructions = MaxInstructions;
+  return runFunctional(M, Args, Mem, Opts);
+}
 
-  auto Val = [&](const MOperand &O) { return O.IsConst ? O.Value : T[O.T]; };
+RunResult sim::runFunctional(const MachineProgram &M,
+                             const std::vector<uint32_t> &Args, Memory &Mem,
+                             const RunOptions &Opts) {
+  RunResult R;
+  if (M.Entry == NoBlock || M.Entry >= M.Blocks.size())
+    return trap(R, TrapKind::MalformedProgram, "no entry block");
+  if (Args.size() != M.EntryParams.size())
+    return trap(R, TrapKind::MalformedProgram,
+                formatf("entry takes %zu args, got %zu",
+                        M.EntryParams.size(), Args.size()));
+  std::vector<uint32_t> T(M.NumTemps, 0);
+  bool Err = false;
+  auto Val = [&](const MOperand &O) -> uint32_t {
+    if (O.IsConst)
+      return O.Value;
+    if (O.T >= T.size()) {
+      Err = true;
+      return 0;
+    }
+    return T[O.T];
+  };
+  auto Set = [&](Temp D, uint32_t V) {
+    if (D >= T.size()) {
+      Err = true;
+      return;
+    }
+    T[D] = V;
+  };
+  for (unsigned I = 0; I != Args.size(); ++I)
+    Set(M.EntryParams[I], Args[I]);
 
   BlockId B = M.Entry;
   unsigned Idx = 0;
   while (true) {
-    if (++R.Instructions > MaxInstructions) {
-      R.Error = "instruction limit exceeded";
-      return R;
-    }
-    if (Idx >= M.Blocks[B].Instrs.size()) {
-      R.Error = formatf("fell off the end of block b%u", B);
-      return R;
-    }
+    if (++R.Instructions > Opts.MaxInstructions)
+      return trap(R, TrapKind::Watchdog,
+                  formatf("instruction budget of %llu exhausted",
+                          (unsigned long long)Opts.MaxInstructions));
+    if (Idx >= M.Blocks[B].Instrs.size())
+      return trap(R, TrapKind::MalformedProgram,
+                  formatf("fell off the end of block b%u", B));
     const MachineInstr &I = M.Blocks[B].Instrs[Idx++];
+
+    if ((I.Op == MOp::MemRead || I.Op == MOp::MemWrite ||
+         I.Op == MOp::BitTestSet) &&
+        !validSpace(I.Space))
+      return trap(R, TrapKind::IllegalMemSpace,
+                  formatf("memory space %u in block b%u",
+                          (unsigned)I.Space, B));
+
     switch (I.Op) {
-    case MOp::Alu:
-      T[I.Dsts[0]] = evalAlu(I.Alu, Val(I.Srcs[0]),
-                             I.Srcs.size() > 1 ? Val(I.Srcs[1]) : 0);
+    case MOp::Alu: {
+      uint32_t A = Val(I.Srcs[0]);
+      uint32_t Bv = I.Srcs.size() > 1 ? Val(I.Srcs[1]) : 0;
+      if (Opts.TrapOnShiftRange && cps::shiftOutOfRange(I.Alu, Bv))
+        return trap(R, TrapKind::ShiftRange,
+                    formatf("shift count %u in block b%u", Bv, B));
+      Set(I.Dsts[0], cps::evalPrim(I.Alu, A, Bv));
       break;
+    }
     case MOp::Imm:
-      T[I.Dsts[0]] = I.Imm;
+      Set(I.Dsts[0], I.Imm);
       break;
     case MOp::Move:
-      T[I.Dsts[0]] = Val(I.Srcs[0]);
+      Set(I.Dsts[0], Val(I.Srcs[0]));
       break;
     case MOp::MemRead: {
       uint32_t Addr = Val(I.Srcs[0]);
-      auto &Space = Mem.space(I.Space);
+      uint32_t Count = static_cast<uint32_t>(I.Dsts.size());
+      if (!Err && !Mem.inRange(I.Space, Addr, Count))
+        return trap(R, rangeTrapFor(I.Space),
+                    formatf("%s read of %u words at 0x%x (limit 0x%x)",
+                            spaceName(I.Space), Count, Addr,
+                            Mem.Limits.words(I.Space)));
+      auto &Space = *Mem.space(I.Space);
       for (unsigned K = 0; K != I.Dsts.size(); ++K)
-        T[I.Dsts[K]] = Space[Addr + K];
+        Set(I.Dsts[K], Memory::load(Space, Addr + K));
       break;
     }
     case MOp::MemWrite: {
       uint32_t Addr = Val(I.Srcs[0]);
-      auto &Space = Mem.space(I.Space);
+      uint32_t Count = static_cast<uint32_t>(I.Srcs.size() - 1);
+      if (!Err && !Mem.inRange(I.Space, Addr, Count))
+        return trap(R, rangeTrapFor(I.Space),
+                    formatf("%s write of %u words at 0x%x (limit 0x%x)",
+                            spaceName(I.Space), Count, Addr,
+                            Mem.Limits.words(I.Space)));
+      auto &Space = *Mem.space(I.Space);
       for (unsigned K = 1; K != I.Srcs.size(); ++K)
         Space[Addr + K - 1] = Val(I.Srcs[K]);
       break;
     }
     case MOp::Hash:
-      T[I.Dsts[0]] = hwHash(Val(I.Srcs[0]));
+      Set(I.Dsts[0], hwHash(Val(I.Srcs[0])));
       break;
     case MOp::BitTestSet: {
       uint32_t Addr = Val(I.Srcs[0]);
       uint32_t Bits = Val(I.Srcs[1]);
-      auto &Space = Mem.space(I.Space);
-      uint32_t Old = Space[Addr];
+      if (!Err && !Mem.inRange(I.Space, Addr, 1))
+        return trap(R, rangeTrapFor(I.Space),
+                    formatf("%s bit-test-set at 0x%x (limit 0x%x)",
+                            spaceName(I.Space), Addr,
+                            Mem.Limits.words(I.Space)));
+      auto &Space = *Mem.space(I.Space);
+      uint32_t Old = Memory::load(Space, Addr);
       Space[Addr] = Old | Bits;
-      T[I.Dsts[0]] = Old;
+      Set(I.Dsts[0], Old);
       break;
     }
     case MOp::Clone:
       for (Temp D : I.Dsts)
-        T[D] = Val(I.Srcs[0]);
+        Set(D, Val(I.Srcs[0]));
       break;
-    case MOp::Branch:
-      B = evalCmp(I.Cmp, Val(I.Srcs[0]), Val(I.Srcs[1])) ? I.Target
-                                                         : I.TargetElse;
+    case MOp::Branch: {
+      BlockId Tgt = cps::evalCmp(I.Cmp, Val(I.Srcs[0]), Val(I.Srcs[1]))
+                        ? I.Target
+                        : I.TargetElse;
+      if (Tgt >= M.Blocks.size())
+        return trap(R, TrapKind::MalformedProgram,
+                    formatf("branch in block b%u targets b%u", B, Tgt));
+      B = Tgt;
       Idx = 0;
       break;
+    }
     case MOp::Jump:
+      if (I.Target >= M.Blocks.size())
+        return trap(R, TrapKind::MalformedProgram,
+                    formatf("jump in block b%u targets b%u", B, I.Target));
       B = I.Target;
       Idx = 0;
       break;
     case MOp::Halt:
       for (const MOperand &S : I.Srcs)
         R.HaltValues.push_back(Val(S));
+      if (Err)
+        return trap(R, TrapKind::MalformedProgram,
+                    "temporary id out of range at halt");
       R.Ok = true;
       return R;
     }
+    if (Err)
+      return trap(R, TrapKind::MalformedProgram,
+                  formatf("temporary id out of range in block b%u", B));
   }
 }

@@ -16,6 +16,12 @@
 ///    the memory-latency model, giving the throughput numbers of the
 ///    paper's Section 11.
 ///
+/// The runtime is hardened for hostile traffic: every failure is a typed
+/// trap (TrapKind) carried on a structured support::Status, memory
+/// accesses are bounds-checked against per-space limits, and execution is
+/// watchdog-bounded. A trap never aborts the process — the soak harness
+/// (src/soak) turns traps into packet drops and keeps streaming.
+///
 /// Cycle model (one thread, no overlap — the paper measured unoptimized
 /// single-threaded code): ALU/immediate/branch ops take 1 cycle; SRAM
 /// accesses ~20 cycles, SDRAM ~33, scratch ~12 (IXP1200 magnitudes).
@@ -27,7 +33,9 @@
 
 #include "alloc/Allocated.h"
 #include "ixp/MachineIr.h"
+#include "support/Status.h"
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -36,19 +44,80 @@
 namespace nova {
 namespace sim {
 
-/// Word-addressed memories (shared layout with cps::EvalMemory).
+/// Why a run stopped abnormally. The taxonomy is stable (tests, the soak
+/// harness, and bench scripts match on it); human-readable detail lives
+/// in RunResult::Error.
+enum class TrapKind : uint8_t {
+  None,             ///< run completed (RunResult::Ok)
+  IllegalRegister,  ///< bank with no register file, or index off its end
+  IllegalMemSpace,  ///< MemSpace operand outside the enum (corrupt code)
+  SramOutOfRange,   ///< SRAM access beyond Memory::Limits
+  SdramOutOfRange,  ///< SDRAM access beyond Memory::Limits
+  ScratchOutOfRange,///< scratch access beyond Memory::Limits
+  Watchdog,         ///< instruction budget exhausted (runaway loop)
+  ShiftRange,       ///< shift count >= 32 under RunOptions::TrapOnShiftRange
+  MalformedProgram, ///< no entry, bad block target, fell off a block end,
+                    ///< clone pseudo in allocated code, bad temp id, or
+                    ///< argument-count mismatch
+};
+
+inline constexpr unsigned NumTrapKinds = 9;
+const char *trapKindName(TrapKind K);
+
+/// Per-space word-address limits. Defaults are IXP1200-plausible
+/// magnitudes, comfortably above the apps' memory maps (the spill area
+/// sits at scratch 0x8000): SRAM 8 MB, SDRAM 64 MB, scratch 256 KB.
+struct MemLimits {
+  uint32_t SramWords = 1u << 21;
+  uint32_t SdramWords = 1u << 24;
+  uint32_t ScratchWords = 1u << 16;
+
+  uint32_t words(MemSpace S) const {
+    switch (S) {
+    case MemSpace::Sram:    return SramWords;
+    case MemSpace::Sdram:   return SdramWords;
+    case MemSpace::Scratch: return ScratchWords;
+    }
+    assert(false && "invalid MemSpace");
+    return 0;
+  }
+};
+
+/// Word-addressed memories (shared layout with cps::EvalMemory), plus the
+/// address limits the runtime enforces. The maps stay sparse; bounded
+/// addresses plus the instruction watchdog bound their growth per run.
 struct Memory {
   std::map<uint32_t, uint32_t> Sram;
   std::map<uint32_t, uint32_t> Sdram;
   std::map<uint32_t, uint32_t> Scratch;
+  MemLimits Limits;
 
-  std::map<uint32_t, uint32_t> &space(MemSpace S) {
+  /// The backing map for \p S, or nullptr when S is not a valid space —
+  /// an invalid space is a trap for the interpreter, never a silent
+  /// coercion to SRAM (and an assert under debug builds).
+  std::map<uint32_t, uint32_t> *space(MemSpace S) {
     switch (S) {
-    case MemSpace::Sram:    return Sram;
-    case MemSpace::Sdram:   return Sdram;
-    case MemSpace::Scratch: return Scratch;
+    case MemSpace::Sram:    return &Sram;
+    case MemSpace::Sdram:   return &Sdram;
+    case MemSpace::Scratch: return &Scratch;
     }
-    return Sram;
+    assert(false && "invalid MemSpace");
+    return nullptr;
+  }
+
+  /// True when the \p Count words starting at \p Addr lie within the
+  /// configured limit for \p S.
+  bool inRange(MemSpace S, uint32_t Addr, uint32_t Count) const {
+    uint32_t Bound = Limits.words(S);
+    return Count <= Bound && Addr <= Bound - Count;
+  }
+
+  /// Non-inserting read: absent words are 0 without growing the map, so
+  /// a read-heavy hostile packet cannot balloon the image and the final
+  /// maps of two agreeing executions compare equal entry-for-entry.
+  static uint32_t load(const std::map<uint32_t, uint32_t> &M, uint32_t A) {
+    auto It = M.find(A);
+    return It == M.end() ? 0 : It->second;
   }
 };
 
@@ -62,33 +131,108 @@ struct LatencyModel {
   unsigned ScratchAccess = 12;
   unsigned HashOp = 16;
 
+  /// Cost of an access to \p S. Invalid spaces are rejected by the
+  /// interpreter before latency is charged; asking anyway asserts in
+  /// debug builds and charges nothing in release (never silently SRAM).
   unsigned memAccess(MemSpace S) const {
     switch (S) {
     case MemSpace::Sram:    return SramAccess;
     case MemSpace::Sdram:   return SdramAccess;
     case MemSpace::Scratch: return ScratchAccess;
     }
-    return SramAccess;
+    assert(false && "invalid MemSpace");
+    return 0;
   }
+};
+
+/// Execution knobs shared by both modes.
+struct RunOptions {
+  LatencyModel Lat;
+  /// Watchdog: the run traps TrapKind::Watchdog after this many
+  /// instructions.
+  uint64_t MaxInstructions = 10'000'000;
+  /// Strict mode: trap on shift counts >= 32 instead of yielding the
+  /// architected 0 (for flushing out code that relies on the clamp).
+  bool TrapOnShiftRange = false;
 };
 
 struct RunResult {
   bool Ok = false;
-  std::string Error;
+  TrapKind Trap = TrapKind::None;
+  /// Structured trap detail (StatusCode::SimTrap, Phase::Execute); ok()
+  /// when the run completed.
+  Status Error;
   std::vector<uint32_t> HaltValues;
   uint64_t Cycles = 0;
   uint64_t Instructions = 0;
+};
+
+/// Fixed-footprint log-scale histogram of per-run cycle counts: 32
+/// power-of-two decades x 8 sub-buckets, exact below 256. Quantile
+/// queries return the upper edge of the containing bucket (<= 12.5%
+/// relative error), which is plenty for p50/p99 soak reporting.
+class CycleHistogram {
+public:
+  void add(uint64_t Cycles);
+  uint64_t count() const { return Total; }
+  /// Smallest recorded-bucket upper bound covering fraction \p Q of the
+  /// samples (0 < Q <= 1); 0 when empty.
+  uint64_t quantile(double Q) const;
+
+private:
+  static constexpr unsigned NumBuckets = 256;
+  static unsigned bucketOf(uint64_t V);
+  static uint64_t bucketHigh(unsigned B);
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Total = 0;
+};
+
+/// Stream-level accounting the soak harness (and anything else running
+/// packets in bulk) folds every RunResult into. Bounded memory
+/// regardless of stream length.
+struct RunStats {
+  uint64_t Packets = 0;
+  uint64_t Delivered = 0;       ///< completed runs (Ok)
+  uint64_t Rejected = 0;        ///< completed but app-level error result
+  uint64_t Drops = 0;           ///< trapped runs (== sum of Traps[])
+  uint64_t Traps[NumTrapKinds] = {};
+  uint64_t TotalCycles = 0;     ///< includes cycles burned by drops
+  uint64_t TotalInstructions = 0;
+  uint64_t DeliveredPayloadBytes = 0;
+  CycleHistogram Cycles;
+
+  /// Folds one run in. \p AppRejected marks a completed run whose result
+  /// the application itself flagged as an error (e.g. the 0xFFFFxxxx
+  /// handler codes of the benchmark apps); \p PayloadBytes counts toward
+  /// throughput only when delivered.
+  void account(const RunResult &R, bool AppRejected, unsigned PayloadBytes);
+
+  uint64_t p50Cycles() const { return Cycles.quantile(0.50); }
+  uint64_t p99Cycles() const { return Cycles.quantile(0.99); }
+  /// Delivered goodput at \p ClockHz over *all* cycles spent, including
+  /// those burned on dropped/rejected packets — throughput under
+  /// degradation, not best-case throughput.
+  double deliveredMbps(double ClockHz = 233e6) const;
 };
 
 /// Functional execution over virtual temporaries (no banks, no timing
 /// fidelity beyond instruction counting).
 RunResult runFunctional(const ixp::MachineProgram &M,
                         const std::vector<uint32_t> &Args, Memory &Mem,
+                        const RunOptions &Opts);
+RunResult runFunctional(const ixp::MachineProgram &M,
+                        const std::vector<uint32_t> &Args, Memory &Mem,
                         uint64_t MaxInstructions = 10'000'000);
 
 /// Executes register-allocated code on the modeled micro-engine:
-/// physical banks, runtime-enforced data-path legality, and cycle
-/// accounting. Arguments arrive in A0..A(n-1).
+/// physical banks, runtime-enforced data-path legality, bounds-checked
+/// memory, and cycle accounting. Arguments arrive in A0..A(n-1). When a
+/// FaultInjector plan is armed, mem-jitter inflates memory latencies and
+/// sim-bitflip perturbs ALU results (the soak oracle's injected
+/// divergence).
+RunResult runAllocated(const alloc::AllocatedProgram &P,
+                       const std::vector<uint32_t> &Args, Memory &Mem,
+                       const RunOptions &Opts);
 RunResult runAllocated(const alloc::AllocatedProgram &P,
                        const std::vector<uint32_t> &Args, Memory &Mem,
                        const LatencyModel &Lat = {},

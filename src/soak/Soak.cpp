@@ -1,0 +1,453 @@
+//===- Soak.cpp - Soak runner, differential oracle, shrinker --------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "soak/Soak.h"
+
+#include "apps/AppSources.h"
+#include "cps/Eval.h"
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <climits>
+
+using namespace nova;
+using namespace nova::soak;
+
+//===----------------------------------------------------------------------===//
+// AppHarness
+//===----------------------------------------------------------------------===//
+
+driver::CompileOptions AppHarness::defaultCompileOptions() {
+  driver::CompileOptions Opts;
+  // Soaking wants packets, not optimality proofs: bound the per-app ILP
+  // and accept the incumbent rung (the ladder guarantees verified code).
+  Opts.Alloc.Mip.TimeLimitSeconds = 60.0;
+  Opts.Alloc.FailurePolicy = alloc::OnIlpFailure::Incumbent;
+  return Opts;
+}
+
+std::unique_ptr<AppHarness>
+AppHarness::create(const std::string &Name, std::string &Error,
+                   const driver::CompileOptions &Opts) {
+  std::unique_ptr<AppHarness> H(new AppHarness());
+  H->Name = Name;
+  std::string Source;
+  if (Name == "aes") {
+    H->Id = AppId::Aes;
+    Source = apps::aesNovaSource();
+  } else if (Name == "kasumi") {
+    H->Id = AppId::Kasumi;
+    Source = apps::kasumiNovaSource();
+  } else if (Name == "nat") {
+    H->Id = AppId::Nat;
+    Source = apps::natNovaSource();
+  } else {
+    Error = "unknown application '" + Name + "' (expected aes, kasumi, nat)";
+    return nullptr;
+  }
+  H->App = driver::compileNova(Source, Name + ".nova", Opts);
+  if (!H->App->Ok) {
+    Error = H->App->ErrorText;
+    return nullptr;
+  }
+  switch (H->Id) {
+  case AppId::Aes:
+    apps::loadAesEnvironment(H->BaseSim);
+    apps::loadAesEnvironment(H->BaseEval);
+    break;
+  case AppId::Kasumi:
+    apps::loadKasumiEnvironment(H->BaseSim);
+    apps::loadKasumiEnvironment(H->BaseEval);
+    break;
+  case AppId::Nat:
+    break; // NAT needs no table environment
+  }
+  return H;
+}
+
+bool AppHarness::isAppReject(const std::vector<uint32_t> &Halt) const {
+  if (Halt.size() != 1)
+    return false;
+  // Kasumi's only handler codes are the two top values; its normal result
+  // l^r ranges over the whole word, so a high-half test would misfile
+  // one delivery in 2^16.
+  if (Id == AppId::Kasumi)
+    return Halt[0] >= 0xFFFFFFFEu;
+  return (Halt[0] >> 16) == 0xFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential oracle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// First difference between two final SDRAM images, or true when equal.
+bool sameImage(const std::map<uint32_t, uint32_t> &A,
+               const std::map<uint32_t, uint32_t> &B, const char *AName,
+               const char *BName, std::string &Why) {
+  auto IA = A.begin(), IB = B.begin();
+  while (IA != A.end() && IB != B.end()) {
+    if (IA->first != IB->first || IA->second != IB->second) {
+      Why = formatf("sdram differs: %s has [0x%x]=0x%x, %s has [0x%x]=0x%x",
+                    AName, IA->first, IA->second, BName, IB->first,
+                    IB->second);
+      return false;
+    }
+    ++IA;
+    ++IB;
+  }
+  if (IA != A.end() || IB != B.end()) {
+    bool ALeft = IA != A.end();
+    auto &It = ALeft ? IA : IB;
+    Why = formatf("sdram differs: only %s has [0x%x]=0x%x",
+                  ALeft ? AName : BName, It->first, It->second);
+    return false;
+  }
+  return true;
+}
+
+bool sameHalts(const std::vector<uint32_t> &A, const std::vector<uint32_t> &B,
+               const char *AName, const char *BName, std::string &Why) {
+  if (A.size() != B.size()) {
+    Why = formatf("halt arity differs: %s returned %zu values, %s %zu",
+                  AName, A.size(), BName, B.size());
+    return false;
+  }
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I] != B[I]) {
+      Why = formatf("halt value %zu differs: %s 0x%x, %s 0x%x", I, AName,
+                    A[I], BName, B[I]);
+      return false;
+    }
+  return true;
+}
+
+void storeWords(std::map<uint32_t, uint32_t> &Sdram, uint32_t Addr,
+                const std::vector<uint32_t> &Words) {
+  apps::storePacket(Sdram, Addr, Words);
+}
+
+} // namespace
+
+PacketOutcome soak::runPacket(const AppHarness &App, const SoakPacket &P,
+                              const SoakOptions &Opts, bool WithOracle) {
+  PacketOutcome O;
+  // Per-packet injection windows: a diverging packet reproduces
+  // stand-alone, which is what makes shrinking deterministic.
+  if (FaultInjector::armed())
+    FaultInjector::instance().rearm();
+
+  sim::RunOptions RO;
+  RO.Lat = Opts.Lat;
+  RO.MaxInstructions = Opts.Budget;
+
+  sim::Memory MA = App.baseSim();
+  storeWords(MA.Sdram, P.Args.empty() ? 0 : P.Args[0], P.Words);
+  O.Alloc = sim::runAllocated(App.compiled().Alloc.Prog, P.Args, MA, RO);
+  O.AppReject = O.Alloc.Ok && App.isAppReject(O.Alloc.HaltValues);
+  if (!WithOracle)
+    return O;
+
+  // Functional oracle: same machine semantics over virtual temporaries.
+  // 4x the instruction budget: no spill reload traffic, but also no
+  // reason to starve it into a false watchdog.
+  sim::RunOptions RF = RO;
+  RF.MaxInstructions = Opts.Budget * 4;
+  sim::Memory MF = App.baseSim();
+  storeWords(MF.Sdram, P.Args.empty() ? 0 : P.Args[0], P.Words);
+  sim::RunResult F =
+      sim::runFunctional(App.compiled().Machine, P.Args, MF, RF);
+
+  std::string Why;
+  if (!O.Alloc.Ok) {
+    // Drop path. Watchdog exhaustion is mode-specific by design (the
+    // budgets differ); every other trap must strike functionally too,
+    // with the same kind — a bit flip that redirects an address shows
+    // up right here.
+    if (O.Alloc.Trap == sim::TrapKind::Watchdog)
+      return O;
+    if (F.Ok) {
+      O.Diverged = true;
+      O.What = formatf("allocated trapped (%s) but functional delivered",
+                       sim::trapKindName(O.Alloc.Trap));
+    } else if (F.Trap != O.Alloc.Trap) {
+      O.Diverged = true;
+      O.What = formatf("trap kind differs: allocated %s, functional %s",
+                       sim::trapKindName(O.Alloc.Trap),
+                       sim::trapKindName(F.Trap));
+    }
+    return O;
+  }
+
+  if (!F.Ok) {
+    if (F.Trap == sim::TrapKind::Watchdog) {
+      O.OracleBudgetMiss = true;
+      return O;
+    }
+    O.Diverged = true;
+    O.What = formatf("functional trapped (%s) but allocated delivered",
+                     sim::trapKindName(F.Trap));
+    return O;
+  }
+  if (!sameHalts(O.Alloc.HaltValues, F.HaltValues, "allocated",
+                 "functional", Why) ||
+      !sameImage(MA.Sdram, MF.Sdram, "allocated", "functional", Why)) {
+    O.Diverged = true;
+    O.What = Why;
+    return O;
+  }
+
+  // CPS reference evaluator: the language's observable semantics. Only
+  // meaningful on delivered packets — the evaluator deliberately has no
+  // bounds model. Steps per machine instruction are not one-to-one, so
+  // it gets a generous multiple.
+  uint64_t Steps64 = Opts.Budget * 64;
+  unsigned MaxSteps = static_cast<unsigned>(
+      std::min<uint64_t>(Steps64, UINT_MAX));
+  cps::EvalMemory ME = App.baseEval();
+  storeWords(ME.Sdram, P.Args.empty() ? 0 : P.Args[0], P.Words);
+  cps::EvalResult E =
+      cps::evaluate(App.compiled().Cps, P.Args, ME, MaxSteps);
+  if (!E.Ok) {
+    if (E.Error.find("step limit") != std::string::npos) {
+      O.OracleBudgetMiss = true;
+      return O;
+    }
+    O.Diverged = true;
+    O.What = "cps evaluator failed: " + E.Error;
+    return O;
+  }
+  if (!sameHalts(O.Alloc.HaltValues, E.HaltValues, "allocated", "cps",
+                 Why) ||
+      !sameImage(MA.Sdram, ME.Sdram, "allocated", "cps", Why)) {
+    O.Diverged = true;
+    O.What = Why;
+  }
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Shrinker
+//===----------------------------------------------------------------------===//
+
+std::vector<uint32_t> soak::shrinkDivergence(const AppHarness &App,
+                                             const SoakPacket &P,
+                                             const SoakOptions &Opts,
+                                             unsigned &Runs) {
+  constexpr unsigned MaxRuns = 600;
+  std::vector<uint32_t> Cur = P.Words;
+  auto diverges = [&](const std::vector<uint32_t> &W) {
+    if (Runs >= MaxRuns)
+      return false;
+    ++Runs;
+    SoakPacket Q = P;
+    Q.Words = W;
+    return runPacket(App, Q, Opts, /*WithOracle=*/true).Diverged;
+  };
+  // Delta-debugging pass: drop chunks, halving the chunk size.
+  for (size_t Chunk = std::max<size_t>(Cur.size() / 2, 1);;) {
+    for (size_t Pos = 0; Pos + Chunk <= Cur.size();) {
+      std::vector<uint32_t> Cand(Cur.begin(), Cur.begin() + Pos);
+      Cand.insert(Cand.end(), Cur.begin() + Pos + Chunk, Cur.end());
+      if (diverges(Cand))
+        Cur = std::move(Cand);
+      else
+        Pos += Chunk;
+    }
+    if (Chunk == 1)
+      break;
+    Chunk /= 2;
+  }
+  // Simplification pass: zero every surviving word that tolerates it.
+  for (size_t I = 0; I != Cur.size(); ++I) {
+    if (Cur[I] == 0)
+      continue;
+    std::vector<uint32_t> Cand = Cur;
+    Cand[I] = 0;
+    if (diverges(Cand))
+      Cur = std::move(Cand);
+  }
+  return Cur;
+}
+
+//===----------------------------------------------------------------------===//
+// Stream runner
+//===----------------------------------------------------------------------===//
+
+SoakReport soak::runSoak(const AppHarness &App, const SoakOptions &Opts) {
+  SoakReport Rep;
+  Rep.App = App.name();
+  Rep.Seed = Opts.Seed;
+  Timer Clock;
+  for (uint64_t I = 0; I != Opts.Packets; ++I) {
+    SoakPacket P = App.generate(I, Opts.Seed, Opts.Mix);
+    ++Rep.ClassCounts[static_cast<unsigned>(P.Class)];
+    bool WithOracle = Opts.OracleEvery != 0 && I % Opts.OracleEvery == 0;
+    PacketOutcome O = runPacket(App, P, Opts, WithOracle);
+    Rep.Stats.account(O.Alloc, O.AppReject, P.PayloadBytes);
+    if (WithOracle)
+      ++Rep.OracleChecks;
+    if (O.OracleBudgetMiss)
+      ++Rep.OracleBudgetMisses;
+    if (O.Diverged) {
+      ++Rep.Divergences;
+      if (!Rep.First.Found) {
+        Rep.First.Found = true;
+        Rep.First.Index = P.Index;
+        Rep.First.Seed = P.Seed;
+        Rep.First.Class = P.Class;
+        Rep.First.What = O.What;
+        Rep.First.Words = P.Words;
+        Rep.First.Args = P.Args;
+        Rep.First.ShrunkWords =
+            Opts.Shrink
+                ? shrinkDivergence(App, P, Opts, Rep.First.ShrinkRuns)
+                : P.Words;
+      }
+      if (Opts.FailFast)
+        break;
+    }
+  }
+  Rep.WallSeconds = Clock.seconds();
+  return Rep;
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+std::string wordsJson(const std::vector<uint32_t> &W) {
+  std::string Out = "[";
+  for (size_t I = 0; I != W.size(); ++I)
+    Out += formatf("%s%u", I ? "," : "", W[I]);
+  return Out + "]";
+}
+
+} // namespace
+
+std::string soak::reportJson(const SoakReport &R) {
+  const sim::RunStats &S = R.Stats;
+  std::string J = "{";
+  J += formatf("\"app\":\"%s\",\"seed\":%llu,\"packets\":%llu,",
+               R.App.c_str(), (unsigned long long)R.Seed,
+               (unsigned long long)S.Packets);
+  J += "\"classes\":{";
+  for (unsigned C = 0; C != NumPacketClasses; ++C)
+    J += formatf("%s\"%s\":%llu", C ? "," : "",
+                 packetClassName(static_cast<PacketClass>(C)),
+                 (unsigned long long)R.ClassCounts[C]);
+  J += "},";
+  J += formatf("\"delivered\":%llu,\"rejected\":%llu,\"drops\":%llu,",
+               (unsigned long long)S.Delivered,
+               (unsigned long long)S.Rejected, (unsigned long long)S.Drops);
+  J += "\"traps\":{";
+  bool FirstTrap = true;
+  for (unsigned K = 1; K != sim::NumTrapKinds; ++K) {
+    J += formatf("%s\"%s\":%llu", FirstTrap ? "" : ",",
+                 sim::trapKindName(static_cast<sim::TrapKind>(K)),
+                 (unsigned long long)S.Traps[K]);
+    FirstTrap = false;
+  }
+  J += "},";
+  J += formatf("\"p50_cycles\":%llu,\"p99_cycles\":%llu,",
+               (unsigned long long)S.p50Cycles(),
+               (unsigned long long)S.p99Cycles());
+  J += formatf("\"total_cycles\":%llu,\"total_instructions\":%llu,",
+               (unsigned long long)S.TotalCycles,
+               (unsigned long long)S.TotalInstructions);
+  J += formatf("\"delivered_mbps\":%.3f,", S.deliveredMbps());
+  J += formatf("\"oracle_checks\":%llu,\"oracle_budget_misses\":%llu,"
+               "\"divergences\":%llu,",
+               (unsigned long long)R.OracleChecks,
+               (unsigned long long)R.OracleBudgetMisses,
+               (unsigned long long)R.Divergences);
+  J += formatf("\"wall_seconds\":%.3f,\"packets_per_sec\":%.1f,",
+               R.WallSeconds, R.packetsPerSec());
+  if (R.First.Found) {
+    J += formatf("\"first_divergence\":{\"index\":%llu,\"seed\":%llu,"
+                 "\"class\":\"%s\",\"what\":\"%s\",",
+                 (unsigned long long)R.First.Index,
+                 (unsigned long long)R.First.Seed,
+                 packetClassName(R.First.Class),
+                 jsonEscape(R.First.What).c_str());
+    J += "\"args\":" + wordsJson(R.First.Args) + ",";
+    J += "\"words\":" + wordsJson(R.First.Words) + ",";
+    J += "\"shrunk_words\":" + wordsJson(R.First.ShrunkWords) + ",";
+    J += formatf("\"shrink_runs\":%u}", R.First.ShrinkRuns);
+  } else {
+    J += "\"first_divergence\":null";
+  }
+  J += "}";
+  return J;
+}
+
+void soak::printReport(const SoakReport &R, std::FILE *Out) {
+  const sim::RunStats &S = R.Stats;
+  std::fprintf(Out, "== %s: %llu packets, seed %llu ==\n", R.App.c_str(),
+               (unsigned long long)S.Packets, (unsigned long long)R.Seed);
+  std::fprintf(Out, "  classes   :");
+  for (unsigned C = 0; C != NumPacketClasses; ++C)
+    std::fprintf(Out, " %s=%llu",
+                 packetClassName(static_cast<PacketClass>(C)),
+                 (unsigned long long)R.ClassCounts[C]);
+  std::fprintf(Out, "\n");
+  std::fprintf(Out,
+               "  outcome   : delivered=%llu rejected=%llu drops=%llu\n",
+               (unsigned long long)S.Delivered,
+               (unsigned long long)S.Rejected,
+               (unsigned long long)S.Drops);
+  std::fprintf(Out, "  traps     :");
+  for (unsigned K = 1; K != sim::NumTrapKinds; ++K)
+    if (S.Traps[K])
+      std::fprintf(Out, " %s=%llu",
+                   sim::trapKindName(static_cast<sim::TrapKind>(K)),
+                   (unsigned long long)S.Traps[K]);
+  std::fprintf(Out, "\n");
+  std::fprintf(Out,
+               "  cycles    : p50=%llu p99=%llu  goodput=%.1f Mbps\n",
+               (unsigned long long)S.p50Cycles(),
+               (unsigned long long)S.p99Cycles(), S.deliveredMbps());
+  std::fprintf(Out,
+               "  oracle    : checks=%llu budget-misses=%llu "
+               "divergences=%llu\n",
+               (unsigned long long)R.OracleChecks,
+               (unsigned long long)R.OracleBudgetMisses,
+               (unsigned long long)R.Divergences);
+  std::fprintf(Out, "  rate      : %.0f packets/s (%.2fs wall)\n",
+               R.packetsPerSec(), R.WallSeconds);
+  if (R.First.Found) {
+    std::fprintf(Out,
+                 "  DIVERGENCE at packet %llu (seed %llu, class %s):\n"
+                 "    %s\n    shrunk to %zu word(s) in %u runs:",
+                 (unsigned long long)R.First.Index,
+                 (unsigned long long)R.First.Seed,
+                 packetClassName(R.First.Class), R.First.What.c_str(),
+                 R.First.ShrunkWords.size(), R.First.ShrinkRuns);
+    for (uint32_t W : R.First.ShrunkWords)
+      std::fprintf(Out, " 0x%x", W);
+    std::fprintf(Out, "\n");
+  }
+}

@@ -1,0 +1,219 @@
+//===- Soak.h - Adversarial packet soak harness -----------------*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streams adversarial traffic through a compiled benchmark application
+/// and cross-checks every packet against the compiler's semantic oracles.
+/// Each application is compiled once (the expensive ILP allocation), then
+/// millions of packets flow through sim::runAllocated under a drop
+/// policy: a trap never aborts the stream, it becomes a typed drop in
+/// sim::RunStats.
+///
+/// Traffic classes (PacketClass) cover the hostile-input space: valid
+/// packets, truncated headers, oversized length fields (driving the
+/// watchdog), corrupted fields (driving the apps' raise/handle paths),
+/// and pure fuzz (including near-limit addresses that trip the
+/// bounds-checked memory).
+///
+/// Determinism: packet I of a stream with seed S is generated from the
+/// seed splitmix(S, I) alone, so any packet reproduces stand-alone from
+/// its (seed, index) pair, and the fault injector is re-armed before
+/// every run so @after/xTimes windows count per packet.
+///
+/// The differential oracle runs each delivered packet through three
+/// independent semantics — allocated (physical banks + cycle model),
+/// functional (virtual temporaries), and the CPS reference evaluator —
+/// and compares halt values and the final SDRAM images word-for-word.
+/// Trapped packets are cross-checked allocated-vs-functional for an
+/// identical trap kind (watchdog excluded: instruction counts are
+/// mode-specific by design; the CPS evaluator is excluded because it
+/// deliberately has no bounds model). A divergence is shrunk to a
+/// minimal reproducer by delta-debugging the packet words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOAK_SOAK_H
+#define SOAK_SOAK_H
+
+#include "cps/Eval.h"
+#include "driver/Compiler.h"
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nova {
+namespace soak {
+
+/// Traffic class of a generated packet.
+enum class PacketClass : uint8_t {
+  Valid,     ///< well-formed packet the app should deliver
+  Truncated, ///< header cut short; absent words read as zero
+  Oversized, ///< length field beyond any sane buffer (watchdog fodder)
+  Corrupt,   ///< one field corrupted (version, alignment, hop limit, ...)
+  Fuzz       ///< random words and occasionally near-limit addresses
+};
+inline constexpr unsigned NumPacketClasses = 5;
+const char *packetClassName(PacketClass C);
+
+/// Relative weights of the traffic classes (need not sum to 100).
+struct ClassMix {
+  unsigned Valid = 55;
+  unsigned Truncated = 15;
+  unsigned Oversized = 10;
+  unsigned Corrupt = 10;
+  unsigned Fuzz = 10;
+
+  unsigned total() const {
+    return Valid + Truncated + Oversized + Corrupt + Fuzz;
+  }
+};
+
+/// One generated packet: the words to store in SDRAM at Args[0] plus the
+/// entry arguments. Fully determined by (stream seed, Index).
+struct SoakPacket {
+  PacketClass Class = PacketClass::Valid;
+  uint64_t Index = 0;
+  uint64_t Seed = 0; ///< per-packet seed (splitmix of stream seed + index)
+  std::vector<uint32_t> Words; ///< stored at Args[0] in SDRAM
+  std::vector<uint32_t> Args;  ///< entry arguments (app calling convention)
+  unsigned PayloadBytes = 0;   ///< accounted on delivery
+};
+
+struct SoakOptions {
+  uint64_t Packets = 10'000;
+  uint64_t Seed = 1;
+  ClassMix Mix;
+  /// Per-packet instruction watchdog for the allocated run; the
+  /// functional oracle gets 4x and the CPS evaluator 64x (steps per
+  /// machine instruction are not one-to-one).
+  uint64_t Budget = 50'000;
+  /// Run the differential oracle on every Nth packet (1 = every packet,
+  /// 0 = never).
+  uint64_t OracleEvery = 1;
+  /// Delta-debug the first diverging packet to a minimal reproducer.
+  bool Shrink = true;
+  /// Stop the stream at the first divergence.
+  bool FailFast = false;
+  sim::LatencyModel Lat;
+};
+
+/// A reported oracle divergence with its reproducer.
+struct Divergence {
+  bool Found = false;
+  uint64_t Index = 0;
+  uint64_t Seed = 0;
+  PacketClass Class = PacketClass::Valid;
+  std::string What; ///< first mismatch, human-readable
+  std::vector<uint32_t> Words;
+  std::vector<uint32_t> Args;
+  /// Minimal diverging packet found by the shrinker (equals Words when
+  /// shrinking is off or nothing could be removed).
+  std::vector<uint32_t> ShrunkWords;
+  unsigned ShrinkRuns = 0; ///< candidate executions the shrinker spent
+};
+
+/// Everything one soak run produced.
+struct SoakReport {
+  std::string App;
+  uint64_t Seed = 0;
+  sim::RunStats Stats;
+  uint64_t ClassCounts[NumPacketClasses] = {};
+  uint64_t OracleChecks = 0;
+  /// Oracle runs skipped mid-check because the *oracle* side ran out of
+  /// budget while the allocated run completed (not a divergence).
+  uint64_t OracleBudgetMisses = 0;
+  uint64_t Divergences = 0;
+  Divergence First;
+  double WallSeconds = 0;
+
+  double packetsPerSec() const {
+    return WallSeconds > 0 ? double(Stats.Packets) / WallSeconds : 0;
+  }
+};
+
+/// A benchmark application compiled once and ready to run packets: the
+/// compile artifacts plus pristine base memory images with the app's
+/// tables loaded (each packet run copies the base, never mutates it).
+class AppHarness {
+public:
+  /// Compiles \p Name ("aes", "kasumi", or "nat"). Returns nullptr with
+  /// \p Error set on unknown names or compile/allocation failure.
+  static std::unique_ptr<AppHarness>
+  create(const std::string &Name, std::string &Error,
+         const driver::CompileOptions &Opts = defaultCompileOptions());
+
+  /// Compile options tuned for soaking: accept the incumbent ladder rung
+  /// rather than burning the full ILP time budget per app.
+  static driver::CompileOptions defaultCompileOptions();
+
+  const std::string &name() const { return Name; }
+  const driver::CompileResult &compiled() const { return *App; }
+  const sim::Memory &baseSim() const { return BaseSim; }
+  const cps::EvalMemory &baseEval() const { return BaseEval; }
+
+  /// Deterministically generates packet \p Index of the stream seeded
+  /// \p StreamSeed.
+  SoakPacket generate(uint64_t Index, uint64_t StreamSeed,
+                      const ClassMix &Mix) const;
+
+  /// True when a completed run's halt values are the app's own error
+  /// result (the 0xFFFFxxxx raise/handle codes).
+  bool isAppReject(const std::vector<uint32_t> &Halt) const;
+
+private:
+  enum class AppId { Aes, Kasumi, Nat };
+  AppHarness() = default;
+
+  std::string Name;
+  AppId Id = AppId::Aes;
+  std::unique_ptr<driver::CompileResult> App;
+  sim::Memory BaseSim;
+  cps::EvalMemory BaseEval;
+};
+
+/// Outcome of running one packet (exposed for tests; runSoak folds these
+/// into the report).
+struct PacketOutcome {
+  sim::RunResult Alloc;
+  bool AppReject = false;
+  bool Diverged = false;
+  bool OracleBudgetMiss = false;
+  std::string What; ///< divergence description when Diverged
+};
+
+/// Runs one packet through the allocated simulator and, when
+/// \p WithOracle, through the functional simulator and CPS evaluator.
+/// Re-arms the fault injector first so injection windows are per-packet.
+PacketOutcome runPacket(const AppHarness &App, const SoakPacket &P,
+                        const SoakOptions &Opts, bool WithOracle);
+
+/// Delta-debugs \p P.Words to a minimal subsequence that still diverges
+/// under runPacket. Returns the shrunk words; \p Runs counts candidate
+/// executions (bounded internally).
+std::vector<uint32_t> shrinkDivergence(const AppHarness &App,
+                                       const SoakPacket &P,
+                                       const SoakOptions &Opts,
+                                       unsigned &Runs);
+
+/// Streams Opts.Packets packets through \p App under the drop policy.
+SoakReport runSoak(const AppHarness &App, const SoakOptions &Opts);
+
+/// One JSON object per report (stable keys; consumed by scripts/ and
+/// BENCH_soak.json).
+std::string reportJson(const SoakReport &R);
+
+/// Human-readable summary table.
+void printReport(const SoakReport &R, std::FILE *Out);
+
+} // namespace soak
+} // namespace nova
+
+#endif // SOAK_SOAK_H

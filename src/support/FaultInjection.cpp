@@ -20,6 +20,8 @@ const char *nova::faultKindName(FaultKind K) {
   case FaultKind::LpInfeasible:  return "lp-infeasible";
   case FaultKind::MipTimeout:    return "mip-timeout";
   case FaultKind::WorkerStall:   return "worker-stall";
+  case FaultKind::MemJitter:     return "mem-jitter";
+  case FaultKind::SimBitFlip:    return "sim-bitflip";
   }
   return "unknown";
 }
@@ -48,6 +50,17 @@ void FaultInjector::disarm() {
   ArmedFlag.store(false, std::memory_order_relaxed);
   for (Slot &S : Slots)
     S = Slot();
+}
+
+void FaultInjector::rearm() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (Slot &S : Slots) {
+    if (!S.Active)
+      continue;
+    S.Opportunities = 0;
+    S.Fired = 0;
+    S.RngState = S.Spec.Seed + 0x9e3779b97f4a7c15ull;
+  }
 }
 
 static double nextUnit(uint64_t &State) {
@@ -83,6 +96,15 @@ double FaultInjector::magnitude(FaultKind K, double Default) const {
   return S.Spec.Magnitude;
 }
 
+unsigned FaultInjector::drawCycles(FaultKind K, double Default) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Slot &S = Slots[static_cast<unsigned>(K)];
+  double Mag = (!S.Active || S.Spec.Magnitude == 0.0) ? Default
+                                                      : S.Spec.Magnitude;
+  unsigned Max = Mag < 1.0 ? 1u : static_cast<unsigned>(Mag);
+  return 1u + static_cast<unsigned>(nextUnit(S.RngState) * Max) % Max;
+}
+
 unsigned FaultInjector::fired(FaultKind K) const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Slots[static_cast<unsigned>(K)].Fired;
@@ -109,10 +131,14 @@ bool nova::parseFaultSpec(const std::string &Text, FaultSpec &Out,
     Spec.Kind = FaultKind::MipTimeout;
   else if (Kind == "worker-stall")
     Spec.Kind = FaultKind::WorkerStall;
+  else if (Kind == "mem-jitter")
+    Spec.Kind = FaultKind::MemJitter;
+  else if (Kind == "sim-bitflip")
+    Spec.Kind = FaultKind::SimBitFlip;
   else {
     Error = "unknown fault kind '" + Kind +
             "' (expected singular-basis, eta-drift, lp-infeasible, "
-            "mip-timeout, or worker-stall)";
+            "mip-timeout, worker-stall, mem-jitter, or sim-bitflip)";
     return false;
   }
 

@@ -42,7 +42,13 @@ enum class FaultKind : uint8_t {
   EtaDrift,      ///< an eta-file pivot value is perturbed by Magnitude
   LpInfeasible,  ///< Simplex::solve reports Infeasible without solving
   MipTimeout,    ///< branch & bound behaves as if the time limit tripped
-  WorkerStall    ///< a search worker sleeps Magnitude seconds mid-loop
+  WorkerStall,   ///< a search worker sleeps Magnitude seconds mid-loop
+  MemJitter,     ///< SRAM/SDRAM access latency inflated by up to Magnitude
+                 ///< extra cycles in sim::runAllocated (timing only; never
+                 ///< changes values)
+  SimBitFlip     ///< an ALU result bit is flipped in sim::runAllocated —
+                 ///< a seeded "hardware" miscomputation the differential
+                 ///< oracle must catch and the soak shrinker must minimize
 };
 
 const char *faultKindName(FaultKind K);
@@ -68,7 +74,7 @@ struct FaultSpec {
 /// Parses a CLI fault spec: `kind[@after][xTimes][~magnitude]`, e.g.
 /// "mip-timeout@5", "eta-drift@100x3~1e-3". Returns false (with a
 /// message) on malformed input. Kinds: singular-basis, eta-drift,
-/// lp-infeasible, mip-timeout, worker-stall.
+/// lp-infeasible, mip-timeout, worker-stall, mem-jitter, sim-bitflip.
 bool parseFaultSpec(const std::string &Text, FaultSpec &Out,
                     std::string &Error);
 
@@ -89,12 +95,23 @@ public:
   /// Removes the plan; hooks go back to the single-load fast path.
   void disarm();
 
+  /// Resets opportunity/fire counters and RNG state while keeping the
+  /// armed plan. The soak harness calls this before every packet so a
+  /// spec's @after/xTimes window is counted per packet — a failing
+  /// packet then reproduces stand-alone, which is what makes shrinking
+  /// a divergence deterministic.
+  void rearm();
+
   /// Records an opportunity for \p K and decides whether it fires.
   bool shouldFire(FaultKind K);
 
   /// Magnitude of the active spec for \p K, or \p Default when the kind
   /// is not armed / the spec left it 0.
   double magnitude(FaultKind K, double Default) const;
+
+  /// Deterministic draw in [1, max(1, magnitude(K, Default))] from the
+  /// spec's seeded stream; the per-fire extra-cycle count for MemJitter.
+  unsigned drawCycles(FaultKind K, double Default);
 
   /// Total fires of \p K since the last arm() — test observability.
   unsigned fired(FaultKind K) const;
@@ -113,7 +130,7 @@ private:
     uint64_t RngState = 0;
   };
 
-  static constexpr unsigned NumKinds = 5;
+  static constexpr unsigned NumKinds = 7;
   static std::atomic<bool> ArmedFlag;
 
   mutable std::mutex Mu;

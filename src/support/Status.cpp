@@ -24,6 +24,7 @@ const char *nova::statusCodeName(StatusCode C) {
   case StatusCode::VerifyFailed:       return "verify-failed";
   case StatusCode::BaselineFailed:     return "baseline-failed";
   case StatusCode::IoError:            return "io-error";
+  case StatusCode::SimTrap:            return "sim-trap";
   case StatusCode::Internal:           return "internal";
   }
   return "unknown";
@@ -38,6 +39,7 @@ const char *nova::phaseName(Phase P) {
   case Phase::Extract:    return "extract";
   case Phase::Verify:     return "verify";
   case Phase::Baseline:   return "baseline";
+  case Phase::Execute:    return "execute";
   }
   return "unknown";
 }

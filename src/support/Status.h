@@ -43,6 +43,9 @@ enum class StatusCode : uint8_t {
   VerifyFailed,       ///< the legality verifier rejected the emitted code
   BaselineFailed,     ///< the last-resort heuristic allocator failed
   IoError,            ///< file system trouble in the driver
+  SimTrap,            ///< the micro-engine runtime trapped (sim::TrapKind
+                      ///< carries the taxonomy; this code carries it
+                      ///< through Status-typed plumbing)
   Internal            ///< invariant violation; always a bug
 };
 
@@ -55,7 +58,8 @@ enum class Phase : uint8_t {
   Solve,
   Extract,
   Verify,
-  Baseline
+  Baseline,
+  Execute ///< running compiled code on the micro-engine runtime
 };
 
 const char *statusCodeName(StatusCode C);

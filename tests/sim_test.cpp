@@ -131,7 +131,9 @@ TEST(AllocatedSim, InfiniteLoopHitsLimit) {
   sim::Memory Mem;
   sim::RunResult R = sim::runAllocated(P, {}, Mem, {}, 1000);
   EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("limit"), std::string::npos);
+  EXPECT_EQ(R.Trap, sim::TrapKind::Watchdog);
+  EXPECT_EQ(R.Error.code(), StatusCode::SimTrap);
+  EXPECT_NE(R.Error.message().find("budget"), std::string::npos);
 }
 
 TEST(Throughput, MbpsArithmetic) {

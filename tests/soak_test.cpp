@@ -1,0 +1,426 @@
+//===- soak_test.cpp - Trap model and soak harness tests -------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Three layers of coverage:
+//
+//  1. Trap taxonomy: hand-built allocated programs drive every TrapKind
+//     through sim::runAllocated and check the structured Status.
+//  2. Shared ALU semantics: the shift clamp (count >= 32 yields 0) is
+//     locked across cps::evalPrim, the CPS evaluator, the functional
+//     simulator, and the allocated simulator by compiling a Nova program
+//     with a runtime shift count and running it through all of them.
+//  3. Soak harness: per-app 10k-packet adversarial corpora under a fixed
+//     seed must produce zero divergences and exact drop accounting, and
+//     an injected ALU bit flip must be caught by the oracle and shrunk
+//     to a reproducer that still diverges.
+//
+// Like apps_test, this compiles the benchmark apps through the ILP
+// allocator (cached in-process), so it runs as one ctest entry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "soak/Soak.h"
+
+#include "cps/Eval.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace nova;
+using namespace nova::alloc;
+using namespace nova::ixp;
+
+namespace {
+
+AllocInstr imm(uint32_t V, PhysLoc Dst) {
+  AllocInstr I;
+  I.Op = MOp::Imm;
+  I.Imm = V;
+  I.Dsts = {Dst};
+  return I;
+}
+
+AllocInstr haltOf(std::vector<AOperand> Srcs) {
+  AllocInstr I;
+  I.Op = MOp::Halt;
+  I.Srcs = std::move(Srcs);
+  return I;
+}
+
+AllocatedProgram oneBlock(std::vector<AllocInstr> Instrs) {
+  AllocatedProgram P;
+  P.Entry = 0;
+  P.Blocks.push_back({std::move(Instrs)});
+  return P;
+}
+
+/// Compiles a benchmark app once per process (ILP-bound; shared across
+/// all soak tests below).
+soak::AppHarness &harness(const std::string &Name) {
+  static std::map<std::string, std::unique_ptr<soak::AppHarness>> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end()) {
+    driver::CompileOptions Opts = soak::AppHarness::defaultCompileOptions();
+    Opts.Alloc.Mip.TimeLimitSeconds = 30.0;
+    std::string Error;
+    auto H = soak::AppHarness::create(Name, Error, Opts);
+    if (!H) {
+      ADD_FAILURE() << "compiling " << Name << ": " << Error;
+      std::abort();
+    }
+    It = Cache.emplace(Name, std::move(H)).first;
+  }
+  return *It->second;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Trap taxonomy
+//===----------------------------------------------------------------------===//
+
+TEST(TrapModel, IllegalRegisterIndexTraps) {
+  // A-bank has 16 registers; reading A20 is a typed trap, not silent
+  // index masking.
+  AllocatedProgram P =
+      oneBlock({haltOf({AOperand::reg({Bank::A, 20})})});
+  sim::Memory Mem;
+  sim::RunResult R = sim::runAllocated(P, {}, Mem);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Trap, sim::TrapKind::IllegalRegister);
+  EXPECT_EQ(R.Error.code(), StatusCode::SimTrap);
+}
+
+TEST(TrapModel, IllegalMemSpaceTraps) {
+  AllocInstr Rd;
+  Rd.Op = MOp::MemRead;
+  Rd.Space = static_cast<MemSpace>(7);
+  Rd.Srcs = {AOperand::constant(0)};
+  Rd.Dsts = {{Bank::L, 0}};
+  AllocatedProgram P = oneBlock({Rd, haltOf({})});
+  sim::Memory Mem;
+  sim::RunResult R = sim::runAllocated(P, {}, Mem);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Trap, sim::TrapKind::IllegalMemSpace);
+}
+
+TEST(TrapModel, OutOfRangePerSpaceTraps) {
+  struct Case {
+    MemSpace Space;
+    sim::TrapKind Want;
+  } Cases[] = {
+      {MemSpace::Sram, sim::TrapKind::SramOutOfRange},
+      {MemSpace::Sdram, sim::TrapKind::SdramOutOfRange},
+      {MemSpace::Scratch, sim::TrapKind::ScratchOutOfRange},
+  };
+  for (const Case &C : Cases) {
+    sim::Memory Mem;
+    AllocInstr Wr;
+    Wr.Op = MOp::MemWrite;
+    Wr.Space = C.Space;
+    Wr.Srcs = {AOperand::constant(Mem.Limits.words(C.Space)),
+               AOperand::reg({Bank::A, 0})};
+    AllocatedProgram P = oneBlock({imm(1, {Bank::A, 0}), Wr, haltOf({})});
+    sim::RunResult R = sim::runAllocated(P, {}, Mem);
+    EXPECT_FALSE(R.Ok);
+    EXPECT_EQ(R.Trap, C.Want);
+    // One word below the limit is fine.
+    Wr.Srcs[0] = AOperand::constant(Mem.Limits.words(C.Space) - 1);
+    AllocatedProgram Q = oneBlock({imm(1, {Bank::A, 0}), Wr, haltOf({})});
+    EXPECT_TRUE(sim::runAllocated(Q, {}, Mem).Ok);
+  }
+}
+
+TEST(TrapModel, MultiWordAccessStraddlingLimitTraps) {
+  // A two-word read whose second word crosses the boundary.
+  sim::Memory Mem;
+  AllocInstr Rd;
+  Rd.Op = MOp::MemRead;
+  Rd.Space = MemSpace::Sdram;
+  Rd.Srcs = {AOperand::constant(Mem.Limits.SdramWords - 1)};
+  Rd.Dsts = {{Bank::L, 0}, {Bank::L, 1}};
+  AllocatedProgram P = oneBlock({Rd, haltOf({})});
+  sim::RunResult R = sim::runAllocated(P, {}, Mem);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Trap, sim::TrapKind::SdramOutOfRange);
+}
+
+TEST(TrapModel, MalformedJumpTargetTraps) {
+  AllocInstr J;
+  J.Op = MOp::Jump;
+  J.Target = 5; // only block 0 exists
+  AllocatedProgram P = oneBlock({J});
+  sim::Memory Mem;
+  sim::RunResult R = sim::runAllocated(P, {}, Mem);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Trap, sim::TrapKind::MalformedProgram);
+}
+
+TEST(TrapModel, ReadsDoNotGrowMemory) {
+  // Loads of absent words return 0 without inserting map entries, so a
+  // read-heavy hostile packet cannot balloon the image.
+  AllocInstr Rd;
+  Rd.Op = MOp::MemRead;
+  Rd.Space = MemSpace::Sram;
+  Rd.Srcs = {AOperand::constant(0x50)};
+  Rd.Dsts = {{Bank::L, 0}};
+  AllocatedProgram P =
+      oneBlock({Rd, haltOf({AOperand::reg({Bank::L, 0})})});
+  sim::Memory Mem;
+  sim::RunResult R = sim::runAllocated(P, {}, Mem);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.HaltValues[0], 0u);
+  EXPECT_TRUE(Mem.Sram.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Cycle histogram and stream accounting
+//===----------------------------------------------------------------------===//
+
+TEST(CycleHistogram, ExactForSmallValuesAndBoundedError) {
+  sim::CycleHistogram H;
+  H.add(5);
+  H.add(5);
+  H.add(5);
+  H.add(7);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.quantile(0.5), 5u);
+  EXPECT_EQ(H.quantile(1.0), 7u);
+  // Log-scale buckets: quantile error stays within 12.5% above the
+  // exact range.
+  for (uint64_t V : {1000ull, 123456ull, 99999999ull}) {
+    sim::CycleHistogram H2;
+    H2.add(V);
+    uint64_t Q = H2.quantile(1.0);
+    EXPECT_GE(Q, V);
+    EXPECT_LE(Q - V, V / 8);
+  }
+}
+
+TEST(RunStats, AccountsDeliveredRejectedAndDrops) {
+  sim::RunStats S;
+  sim::RunResult Ok;
+  Ok.Ok = true;
+  Ok.Cycles = 100;
+  S.account(Ok, /*AppRejected=*/false, /*PayloadBytes=*/64);
+  S.account(Ok, /*AppRejected=*/true, 64);
+  sim::RunResult Trapped;
+  Trapped.Ok = false;
+  Trapped.Trap = sim::TrapKind::Watchdog;
+  Trapped.Cycles = 50;
+  S.account(Trapped, false, 64);
+  EXPECT_EQ(S.Packets, 3u);
+  EXPECT_EQ(S.Delivered, 1u);
+  EXPECT_EQ(S.Rejected, 1u);
+  EXPECT_EQ(S.Drops, 1u);
+  EXPECT_EQ(S.Traps[static_cast<unsigned>(sim::TrapKind::Watchdog)], 1u);
+  EXPECT_EQ(S.TotalCycles, 250u);
+  EXPECT_EQ(S.DeliveredPayloadBytes, 64u); // rejected payload not counted
+  EXPECT_GT(S.deliveredMbps(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Shift semantics locked across all four semantic layers
+//===----------------------------------------------------------------------===//
+
+TEST(ShiftSemantics, SharedPrimClampsAtThirtyTwo) {
+  EXPECT_EQ(cps::evalPrim(cps::PrimOp::Shl, 0xDEADBEEF, 32), 0u);
+  EXPECT_EQ(cps::evalPrim(cps::PrimOp::Shr, 0xDEADBEEF, 33), 0u);
+  EXPECT_EQ(cps::evalPrim(cps::PrimOp::Shl, 1, 31), 0x80000000u);
+  EXPECT_EQ(cps::evalPrim(cps::PrimOp::Shr, 0x80000000u, 31), 1u);
+  EXPECT_TRUE(cps::shiftOutOfRange(cps::PrimOp::Shl, 32));
+  EXPECT_FALSE(cps::shiftOutOfRange(cps::PrimOp::Shl, 31));
+  EXPECT_FALSE(cps::shiftOutOfRange(cps::PrimOp::Add, 32));
+}
+
+TEST(ShiftSemantics, DifferentialAcrossEvaluatorAndBothSimModes) {
+  // A runtime shift count defeats constant folding, so every layer
+  // actually executes its shift at count 32.
+  auto App = driver::compileNova(
+      "fun main(x : word, s : word) { (x << s) + (x >> s) }", "shift.nova");
+  ASSERT_TRUE(App->Ok) << App->ErrorText;
+  for (uint32_t S : {0u, 1u, 31u, 32u, 33u, 63u, 255u}) {
+    uint32_t X = 0xDEADBEEF;
+    uint32_t Want = cps::evalPrim(cps::PrimOp::Shl, X, S) +
+                    cps::evalPrim(cps::PrimOp::Shr, X, S);
+    cps::EvalMemory EM;
+    cps::EvalResult E = cps::evaluate(App->Cps, {X, S}, EM);
+    ASSERT_TRUE(E.Ok) << E.Error;
+    ASSERT_EQ(E.HaltValues.size(), 1u);
+    EXPECT_EQ(E.HaltValues[0], Want) << "cps, s=" << S;
+
+    sim::Memory MF;
+    sim::RunResult F = sim::runFunctional(App->Machine, {X, S}, MF);
+    ASSERT_TRUE(F.Ok) << F.Error;
+    EXPECT_EQ(F.HaltValues[0], Want) << "functional, s=" << S;
+
+    sim::Memory MA;
+    sim::RunResult A = sim::runAllocated(App->Alloc.Prog, {X, S}, MA);
+    ASSERT_TRUE(A.Ok) << A.Error;
+    EXPECT_EQ(A.HaltValues[0], Want) << "allocated, s=" << S;
+  }
+}
+
+TEST(ShiftSemantics, StrictModeTrapsOutOfRangeShift) {
+  auto App = driver::compileNova(
+      "fun main(x : word, s : word) { (x << s) + (x >> s) }", "shift.nova");
+  ASSERT_TRUE(App->Ok) << App->ErrorText;
+  sim::RunOptions Strict;
+  Strict.TrapOnShiftRange = true;
+  sim::Memory Mem;
+  sim::RunResult R =
+      sim::runAllocated(App->Alloc.Prog, {1, 32}, Mem, Strict);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Trap, sim::TrapKind::ShiftRange);
+  // In-range shifts are untouched by strict mode.
+  sim::Memory Mem2;
+  EXPECT_TRUE(sim::runAllocated(App->Alloc.Prog, {1, 4}, Mem2, Strict).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Soak harness
+//===----------------------------------------------------------------------===//
+
+TEST(SoakHarness, PacketGenerationIsDeterministic) {
+  soak::AppHarness &H = harness("nat");
+  soak::ClassMix Mix;
+  for (uint64_t I = 0; I != 50; ++I) {
+    soak::SoakPacket A = H.generate(I, 99, Mix);
+    soak::SoakPacket B = H.generate(I, 99, Mix);
+    EXPECT_EQ(A.Seed, B.Seed);
+    EXPECT_EQ(A.Class, B.Class);
+    EXPECT_EQ(A.Words, B.Words);
+    EXPECT_EQ(A.Args, B.Args);
+  }
+  // Different stream seeds decorrelate immediately.
+  EXPECT_NE(H.generate(0, 99, Mix).Seed, H.generate(0, 100, Mix).Seed);
+}
+
+TEST(SoakHarness, AppRejectDetection) {
+  soak::AppHarness &Nat = harness("nat");
+  EXPECT_TRUE(Nat.isAppReject({0xFFFF0003u}));
+  EXPECT_TRUE(Nat.isAppReject({0xFFFFFFFEu}));
+  EXPECT_FALSE(Nat.isAppReject({0x123u}));
+  EXPECT_FALSE(Nat.isAppReject({}));
+  soak::AppHarness &Kas = harness("kasumi");
+  EXPECT_TRUE(Kas.isAppReject({0xFFFFFFFFu}));
+  EXPECT_TRUE(Kas.isAppReject({0xFFFFFFFEu}));
+  // Kasumi's normal result ranges over the whole word; a high half of
+  // 0xFFFF alone is not a reject.
+  EXPECT_FALSE(Kas.isAppReject({0xFFFF1234u}));
+}
+
+namespace {
+
+/// The ISSUE's corpus contract: zero divergences and exact accounting
+/// under a fixed seed.
+void checkCorpus(const std::string &App) {
+  soak::SoakOptions Opts;
+  Opts.Packets = 10'000;
+  Opts.Seed = 0xC0FFEE;
+  soak::SoakReport R = soak::runSoak(harness(App), Opts);
+  EXPECT_EQ(R.Divergences, 0u) << App << ": " << R.First.What;
+  EXPECT_EQ(R.Stats.Packets, 10'000u);
+  // Every packet is accounted exactly once.
+  EXPECT_EQ(R.Stats.Delivered + R.Stats.Rejected + R.Stats.Drops,
+            R.Stats.Packets);
+  uint64_t TrapSum = 0, ClassSum = 0;
+  for (unsigned K = 0; K != sim::NumTrapKinds; ++K)
+    TrapSum += R.Stats.Traps[K];
+  EXPECT_EQ(TrapSum, R.Stats.Drops) << App;
+  for (unsigned C = 0; C != soak::NumPacketClasses; ++C)
+    ClassSum += R.ClassCounts[C];
+  EXPECT_EQ(ClassSum, R.Stats.Packets);
+  EXPECT_EQ(R.OracleChecks, 10'000u);
+  // The adversarial mix must actually exercise the drop path.
+  EXPECT_GT(R.Stats.Drops, 0u) << App;
+  EXPECT_GT(R.Stats.Rejected, 0u) << App;
+  EXPECT_GT(R.Stats.Delivered, 0u) << App;
+}
+
+} // namespace
+
+TEST(SoakCorpus, AesTenThousandPacketsZeroDivergence) {
+  checkCorpus("aes");
+}
+TEST(SoakCorpus, KasumiTenThousandPacketsZeroDivergence) {
+  checkCorpus("kasumi");
+}
+TEST(SoakCorpus, NatTenThousandPacketsZeroDivergence) {
+  checkCorpus("nat");
+}
+
+TEST(SoakCorpus, AccountingIsReproducible) {
+  soak::SoakOptions Opts;
+  Opts.Packets = 2'000;
+  Opts.Seed = 7;
+  soak::SoakReport A = soak::runSoak(harness("kasumi"), Opts);
+  soak::SoakReport B = soak::runSoak(harness("kasumi"), Opts);
+  EXPECT_EQ(A.Stats.Delivered, B.Stats.Delivered);
+  EXPECT_EQ(A.Stats.Rejected, B.Stats.Rejected);
+  EXPECT_EQ(A.Stats.Drops, B.Stats.Drops);
+  for (unsigned K = 0; K != sim::NumTrapKinds; ++K)
+    EXPECT_EQ(A.Stats.Traps[K], B.Stats.Traps[K]);
+  EXPECT_EQ(A.Stats.TotalCycles, B.Stats.TotalCycles);
+}
+
+TEST(SoakOracle, InjectedBitFlipIsCaughtAndShrunk) {
+  // An ALU bit flip in allocated mode only: the differential oracle must
+  // flag it, and the shrinker must hand back a reproducer that still
+  // diverges stand-alone.
+  FaultSpec Spec;
+  std::string Error;
+  ASSERT_TRUE(parseFaultSpec("sim-bitflip@40", Spec, Error)) << Error;
+  ScopedFaultInjection Armed({Spec});
+
+  soak::SoakOptions Opts;
+  Opts.Packets = 50;
+  Opts.Seed = 3;
+  Opts.FailFast = true;
+  soak::AppHarness &H = harness("nat");
+  soak::SoakReport R = soak::runSoak(H, Opts);
+  ASSERT_GE(R.Divergences, 1u);
+  ASSERT_TRUE(R.First.Found);
+  EXPECT_FALSE(R.First.What.empty());
+  EXPECT_LE(R.First.ShrunkWords.size(), R.First.Words.size());
+
+  // The shrunk packet reproduces the divergence on its own.
+  soak::SoakPacket Q;
+  Q.Words = R.First.ShrunkWords;
+  Q.Args = R.First.Args;
+  EXPECT_TRUE(soak::runPacket(H, Q, Opts, /*WithOracle=*/true).Diverged);
+}
+
+TEST(SoakOracle, MemJitterNeverDiverges) {
+  // Latency jitter perturbs cycle counts, never values: zero
+  // divergences by construction.
+  FaultSpec Spec;
+  std::string Error;
+  ASSERT_TRUE(parseFaultSpec("mem-jitter~16", Spec, Error)) << Error;
+  ScopedFaultInjection Armed({Spec});
+  soak::SoakOptions Opts;
+  Opts.Packets = 500;
+  Opts.Seed = 11;
+  soak::SoakReport R = soak::runSoak(harness("kasumi"), Opts);
+  EXPECT_EQ(R.Divergences, 0u) << R.First.What;
+}
+
+TEST(SoakReport, JsonHasStableKeys) {
+  soak::SoakOptions Opts;
+  Opts.Packets = 100;
+  Opts.Seed = 5;
+  soak::SoakReport R = soak::runSoak(harness("kasumi"), Opts);
+  std::string J = soak::reportJson(R);
+  for (const char *Key :
+       {"\"app\":\"kasumi\"", "\"packets\":100", "\"classes\"",
+        "\"traps\"", "\"p50_cycles\"", "\"p99_cycles\"",
+        "\"delivered_mbps\"", "\"divergences\":0",
+        "\"first_divergence\":null"})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key << " in " << J;
+}

@@ -1,0 +1,250 @@
+//===- novasoak.cpp - Adversarial packet soak driver ----------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiles the paper's benchmark applications once, then streams seeded
+// adversarial traffic through the allocated code with the differential
+// oracle on. Exit codes: 0 clean soak, 1 oracle divergence found,
+// 2 usage error, 4 compile/allocation failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "soak/Soak.h"
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace nova;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: novasoak [options]\n"
+      "  --app <name>        aes, kasumi, nat, or all (default all)\n"
+      "  --packets <n>       packets per app (default 10000)\n"
+      "  --seed <s>          stream seed (default 1)\n"
+      "  --budget <n>        per-packet instruction watchdog (default "
+      "50000)\n"
+      "  --mix v,t,o,c,f     class weights: valid,truncated,oversized,\n"
+      "                      corrupt,fuzz (default 55,15,10,10,10)\n"
+      "  --oracle-every <n>  differential-check every nth packet\n"
+      "                      (default 1 = all; 0 disables the oracle)\n"
+      "  --no-shrink         keep the first diverging packet as-is\n"
+      "  --fail-fast         stop a stream at its first divergence\n"
+      "  --time-limit <s>    ILP budget per app compile (default 60)\n"
+      "  --inject-fault <kind>[@<after>][x<times>][~<mag>]\n"
+      "                      arm a runtime fault: mem-jitter (latency\n"
+      "                      noise) or sim-bitflip (ALU corruption the\n"
+      "                      oracle must catch); solver kinds also "
+      "accepted\n"
+      "  --json <file>       write per-app reports as a JSON array\n"
+      "  --quiet             suppress the per-app summary tables\n");
+}
+
+namespace {
+
+/// Same strict flag cracker as novac: "--flag value" and "--flag=value",
+/// malformed input is a usage error, never a silent zero.
+struct ArgParser {
+  int Argc;
+  char **Argv;
+  int I = 1;
+  bool Failed = false;
+
+  bool done() const { return I >= Argc || Failed; }
+  const char *current() const { return Argv[I]; }
+
+  bool valueFlag(const char *Name, std::string &Value) {
+    const char *Arg = Argv[I];
+    size_t Len = std::strlen(Name);
+    if (std::strncmp(Arg, Name, Len) != 0)
+      return false;
+    if (Arg[Len] == '=') {
+      Value = Arg + Len + 1;
+      ++I;
+      return true;
+    }
+    if (Arg[Len] != '\0')
+      return false;
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "novasoak: %s requires a value\n", Name);
+      Failed = true;
+      return true;
+    }
+    Value = Argv[++I];
+    ++I;
+    return true;
+  }
+
+  bool boolFlag(const char *Name) {
+    if (std::strcmp(Argv[I], Name) != 0)
+      return false;
+    ++I;
+    return true;
+  }
+
+  void fail(const char *Fmt, const std::string &Value) {
+    std::fprintf(stderr, Fmt, Value.c_str());
+    Failed = true;
+  }
+};
+
+bool parseU64(const std::string &Text, uint64_t &Out) {
+  std::optional<uint64_t> V = parseInteger(Text);
+  if (!V)
+    return false;
+  Out = *V;
+  return true;
+}
+
+bool parseMix(const std::string &Text, soak::ClassMix &Mix) {
+  uint64_t W[5];
+  size_t Pos = 0;
+  for (unsigned I = 0; I != 5; ++I) {
+    size_t Comma = I == 4 ? Text.size() : Text.find(',', Pos);
+    if (Comma == std::string::npos)
+      return false;
+    if (!parseU64(Text.substr(Pos, Comma - Pos), W[I]) || W[I] > 1000000)
+      return false;
+    Pos = Comma + 1;
+  }
+  Mix.Valid = static_cast<unsigned>(W[0]);
+  Mix.Truncated = static_cast<unsigned>(W[1]);
+  Mix.Oversized = static_cast<unsigned>(W[2]);
+  Mix.Corrupt = static_cast<unsigned>(W[3]);
+  Mix.Fuzz = static_cast<unsigned>(W[4]);
+  return Mix.total() != 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string AppName = "all";
+  std::string JsonPath;
+  bool Quiet = false;
+  std::vector<FaultSpec> Faults;
+  soak::SoakOptions Opts;
+  driver::CompileOptions COpts = soak::AppHarness::defaultCompileOptions();
+
+  ArgParser P{argc, argv};
+  while (!P.done()) {
+    std::string V;
+    if (P.valueFlag("--app", V))
+      AppName = V;
+    else if (P.valueFlag("--packets", V)) {
+      if (!P.Failed && (!parseU64(V, Opts.Packets) || Opts.Packets == 0))
+        P.fail("novasoak: --packets expects a positive integer, got "
+               "'%s'\n",
+               V);
+    } else if (P.valueFlag("--seed", V)) {
+      if (!P.Failed && !parseU64(V, Opts.Seed))
+        P.fail("novasoak: --seed expects an integer, got '%s'\n", V);
+    } else if (P.valueFlag("--budget", V)) {
+      if (!P.Failed && (!parseU64(V, Opts.Budget) || Opts.Budget == 0))
+        P.fail("novasoak: --budget expects a positive integer, got "
+               "'%s'\n",
+               V);
+    } else if (P.valueFlag("--mix", V)) {
+      if (!P.Failed && !parseMix(V, Opts.Mix))
+        P.fail("novasoak: --mix expects five comma-separated weights "
+               "with a nonzero sum, got '%s'\n",
+               V);
+    } else if (P.valueFlag("--oracle-every", V)) {
+      if (!P.Failed && !parseU64(V, Opts.OracleEvery))
+        P.fail("novasoak: --oracle-every expects an integer, got '%s'\n",
+               V);
+    } else if (P.boolFlag("--no-shrink"))
+      Opts.Shrink = false;
+    else if (P.boolFlag("--fail-fast"))
+      Opts.FailFast = true;
+    else if (P.boolFlag("--quiet"))
+      Quiet = true;
+    else if (P.valueFlag("--time-limit", V)) {
+      char *End = nullptr;
+      double S = std::strtod(V.c_str(), &End);
+      if (End == V.c_str() || *End != '\0' || !(S > 0.0))
+        P.fail("novasoak: --time-limit expects a positive number of "
+               "seconds, got '%s'\n",
+               V);
+      else
+        COpts.Alloc.Mip.TimeLimitSeconds = S;
+    } else if (P.valueFlag("--inject-fault", V)) {
+      if (!P.Failed) {
+        FaultSpec Spec;
+        std::string Error;
+        if (!parseFaultSpec(V, Spec, Error))
+          P.fail("novasoak: --inject-fault: %s\n", Error);
+        else
+          Faults.push_back(Spec);
+      }
+    } else if (P.valueFlag("--json", V)) {
+      if (!P.Failed)
+        JsonPath = V;
+    } else {
+      std::fprintf(stderr, "novasoak: unknown option '%s'\n", P.current());
+      P.Failed = true;
+    }
+  }
+  if (P.Failed) {
+    usage();
+    return 2;
+  }
+
+  std::vector<std::string> Apps;
+  if (AppName == "all")
+    Apps = {"aes", "kasumi", "nat"};
+  else
+    Apps = {AppName};
+
+  // Compile everything before arming faults: injection targets the
+  // packet runtime here, not the allocator.
+  std::vector<std::unique_ptr<soak::AppHarness>> Harnesses;
+  for (const std::string &Name : Apps) {
+    std::string Error;
+    auto H = soak::AppHarness::create(Name, Error, COpts);
+    if (!H) {
+      std::fprintf(stderr, "novasoak: %s: %s\n", Name.c_str(),
+                   Error.c_str());
+      return AppName == "all" || Name == "aes" || Name == "kasumi" ||
+                     Name == "nat"
+                 ? 4
+                 : 2;
+    }
+    Harnesses.push_back(std::move(H));
+  }
+
+  ScopedFaultInjection Armed(std::move(Faults));
+
+  bool AnyDivergence = false;
+  std::string Json = "[";
+  for (size_t I = 0; I != Harnesses.size(); ++I) {
+    soak::SoakReport Rep = soak::runSoak(*Harnesses[I], Opts);
+    if (!Quiet)
+      soak::printReport(Rep, stdout);
+    if (Rep.Divergences)
+      AnyDivergence = true;
+    Json += (I ? "," : "") + soak::reportJson(Rep);
+  }
+  Json += "]";
+
+  if (!JsonPath.empty()) {
+    std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "novasoak: cannot write %s\n",
+                   JsonPath.c_str());
+      return 2;
+    }
+    std::fprintf(F, "%s\n", Json.c_str());
+    std::fclose(F);
+  }
+
+  return AnyDivergence ? 1 : 0;
+}
