@@ -21,5 +21,12 @@ SEED="${2:-42}"
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target novasoak
 
-exec "$BUILD/tools/novasoak" --packets "$PACKETS" --seed "$SEED" \
+"$BUILD/tools/novasoak" --packets "$PACKETS" --seed "$SEED" \
   --json "$ROOT/BENCH_soak.json"
+
+# Whole-chip nightly: the same adversarial stream through the full
+# 6-engine chip model (sampled oracle every packet at this scale is the
+# point of nightly: it is the deepest contention + isolation soak we
+# run). Chip goodput, stalls, and per-ME utilization land in the JSON.
+exec "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --packets "$PACKETS" --seed "$SEED" --json "$ROOT/BENCH_chip_soak.json"

@@ -56,6 +56,13 @@ echo "== adversarial soak smoke (oracle on every packet) =="
 timeout 120 "$BUILD/tools/novasoak" --packets 2000 --seed 7 \
   --json "$BUILD/BENCH_soak_smoke.json"
 
+# Whole-chip smoke: 2k packets through the 3-engine chip model with the
+# sampled three-way oracle, trap=>drop accounting, and the chip-vs-
+# standalone outcome cross-check. Any divergence or deadlock exits 1.
+echo "== whole-chip soak smoke (6 MEs x 4 contexts, sampled oracle) =="
+timeout 300 "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --packets 2000 --seed 7 --json "$BUILD/BENCH_chip_smoke.json"
+
 # Negative control: an injected ALU bit flip in the allocated simulator
 # must be *caught* by the oracle (exit 1, with a shrunk reproducer). A
 # clean exit here means the oracle is blind — fail loudly.
@@ -83,4 +90,16 @@ cmake -B "$SAN_BUILD" -S "$ROOT" \
 cmake --build "$SAN_BUILD" -j"$JOBS" --target degradation_test support_test
 timeout 900 "$SAN_BUILD/tests/degradation_test"
 timeout 120 "$SAN_BUILD/tests/support_test"
+
+# TSan pass over the chip scheduler: the discrete-event kernel is
+# single-threaded by design, so a clean TSan run plus deterministic
+# double-run hashes (asserted inside chip_test) is the evidence that no
+# hidden shared-state races or iteration-order dependences crept in.
+TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+echo "== TSan chip scheduler tests =="
+cmake -B "$TSAN_BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build "$TSAN_BUILD" -j"$JOBS" --target chip_test
+timeout 300 "$TSAN_BUILD/tests/chip_test"
 echo "tier-1 verify: OK"

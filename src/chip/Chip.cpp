@@ -1,0 +1,689 @@
+//===- Chip.cpp - Whole-chip discrete-event simulation --------------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Event-driven kernel. Everything runs on one OS thread off a priority
+// queue ordered by (time, insertion order), so a run is a deterministic
+// function of (params, programs, base memory, packet stream). The moving
+// parts:
+//
+//   RX agent      pulls packets from the source, allocates an SDRAM slot,
+//                 scrubs it, rebases pointer args into it, DMAs the packet
+//                 image (SDRAM issue slots), and pushes a descriptor into
+//                 the target ME's input ring (round-robin by sequence).
+//   HwCtx         one hardware context: pops a descriptor (scratch txn),
+//                 executes via sim::AllocContext — the ME swaps it out at
+//                 every memory reference and serves its ready queue FIFO —
+//                 then pushes the completion into the shared TX ring.
+//   TX agent      drains the TX ring (scratch txns), reorders completions
+//                 into arrival order, retires them, and frees slots.
+//
+// Blocking discipline: rings change state at event time; the issuer pays
+// the scratch transaction afterward. A parked party (consumer on empty
+// ring, producer on full ring, RX on slots or full rings) is woken by
+// scheduling a retry event that re-checks — wakeups can be consumed by a
+// faster party, but every state change wakes someone, so nothing is
+// lost. Hostile packets whose pointers cannot be rebased into a slot
+// run quarantined on a private copy of the pristine base image, so they
+// contend for time but are data-isolated and never serialize the chip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chip/Chip.h"
+
+#include "sim/ExecContext.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <queue>
+#include <set>
+
+using namespace nova;
+using namespace nova::chip;
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+static Status configError(std::string Msg) {
+  return Status::error(StatusCode::InvalidArgument, Phase::Driver,
+                       std::move(Msg));
+}
+
+Status ChipParams::validate() const {
+  if (MP.MeCount < 1 || MP.MeCount > 8)
+    return configError(
+        formatf("me-count %u out of range 1..8", MP.MeCount));
+  if (MP.ContextsPerMe < 1 || MP.ContextsPerMe > 8)
+    return configError(
+        formatf("contexts %u out of range 1..8", MP.ContextsPerMe));
+  if (RingDepth < 1 || RingDepth > 64)
+    return configError(
+        formatf("ring-depth %u out of range 1..64", RingDepth));
+  if (Budget == 0)
+    return configError("per-packet budget must be positive");
+  if (SlotStride < (1u << 16))
+    return configError(
+        formatf("slot stride 0x%x below minimum 0x10000", SlotStride));
+  if (!(MP.ClockHz > 0))
+    return configError("clock must be positive");
+  return Status();
+}
+
+Status chip::validateChipSetup(const ChipParams &P,
+                               const alloc::AllocatedProgram &Prog,
+                               const sim::MemLimits &Limits) {
+  if (Status S = P.validate(); !S.ok())
+    return S;
+  if (P.SlotStride > Limits.SdramWords)
+    return configError(
+        formatf("slot stride 0x%x exceeds SDRAM limit 0x%x", P.SlotStride,
+                Limits.SdramWords));
+  // Each hardware context gets a private copy of the program's spill
+  // window in shared scratch; all of them must fit under the limit.
+  uint64_t Step = std::max<uint64_t>(64, Prog.NumSpillSlots);
+  uint64_t Total = P.MP.totalContexts();
+  uint64_t End = Prog.SpillBase + (Total - 1) * Step + Prog.NumSpillSlots;
+  if (End > Limits.ScratchWords)
+    return configError(
+        formatf("%llu spill windows of %llu words from 0x%x overflow the "
+                "scratch limit 0x%x",
+                (unsigned long long)Total, (unsigned long long)Step,
+                Prog.SpillBase, Limits.ScratchWords));
+  return Status();
+}
+
+//===----------------------------------------------------------------------===//
+// Impl state
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A memory channel: finite issue bandwidth (one transaction accepted
+/// every IssueInterval cycles), pipelined latency. Queue delay beyond
+/// the caller's issue time is recorded as contention stall.
+struct Channel {
+  unsigned IssueInterval = 1;
+  unsigned Latency = 1;
+  uint64_t FreeAt = 0;
+  ChannelStats St;
+
+  /// Full transaction: returns data-completion time.
+  uint64_t submit(uint64_t Now) {
+    uint64_t Start = std::max(Now, FreeAt);
+    St.StallCycles += Start - Now;
+    ++St.Transactions;
+    FreeAt = Start + IssueInterval;
+    return Start + Latency;
+  }
+
+  /// Issue-slot-only transaction (RX DMA streaming: the FIFO engine does
+  /// not wait for data return). Returns when the channel accepted it.
+  uint64_t submitIssueOnly(uint64_t Now) {
+    uint64_t Start = std::max(Now, FreeAt);
+    St.StallCycles += Start - Now;
+    ++St.Transactions;
+    FreeAt = Start + IssueInterval;
+    return FreeAt;
+  }
+};
+
+enum class Ev : uint8_t { MeRun, CtxResume, RxStep, TxPopDone };
+
+struct Event {
+  uint64_t Time = 0;
+  uint64_t Order = 0; ///< insertion order: total determinism on time ties
+  Ev K = Ev::MeRun;
+  unsigned Me = 0;
+  unsigned Ctx = 0;
+  uint64_t A = 0;
+};
+
+struct EventAfter {
+  bool operator()(const Event &X, const Event &Y) const {
+    if (X.Time != Y.Time)
+      return X.Time > Y.Time;
+    return X.Order > Y.Order;
+  }
+};
+
+/// Where a context is in its packet loop (each context has at most one
+/// outstanding event, so the phase disambiguates CtxResume).
+enum class CtxPh : uint8_t {
+  ParkedRing, ///< waiting for its ME's input ring to become nonempty
+  PopWait,    ///< input-ring pop scratch transaction in flight
+  StartReady, ///< in the ME ready queue, packet not yet started
+  RunReady,   ///< in the ME ready queue mid-packet
+  MemWait,    ///< swapped out on a memory reference
+  PushWait,   ///< TX-ring push scratch transaction in flight
+  ParkedTx,   ///< waiting for TX-ring space
+  RetryPop,   ///< woken to re-attempt an input-ring pop
+  RetryPush   ///< woken to re-attempt a TX-ring push
+};
+
+struct HwCtx {
+  sim::AllocContext Exec;
+  CtxPh Ph = CtxPh::ParkedRing;
+  uint64_t CurSeq = 0;
+};
+
+struct MeState {
+  uint64_t FreeAt = 0;
+  uint64_t Busy = 0;
+  std::deque<unsigned> Ready;
+  std::vector<HwCtx> Ctx;
+};
+
+struct InFlightRec {
+  ChipPacket Pkt;
+  std::vector<uint32_t> RebasedArgs;
+  sim::RunResult Result;
+  unsigned Me = 0, Ctx = 0;
+  bool Tail = false;
+  uint32_t SlotIdx = 0;
+  uint32_t SlotBase = 0;
+  uint64_t DispatchTime = 0;
+  uint64_t CompleteTime = 0;
+  /// Quarantine image for a tail packet: a private copy of the pristine
+  /// base memory. Null for slotted packets (they run on shared memory).
+  std::unique_ptr<sim::Memory> PrivMem;
+};
+
+enum class RxPh : uint8_t { Dispatch, Push };
+enum class RxWait : uint8_t { None, Slot, RingFull };
+
+} // namespace
+
+struct Chip::Impl {
+  ChipParams P;
+  std::vector<const alloc::AllocatedProgram *> Progs;
+  sim::Memory Mem;
+  /// Pristine copy of the base image; quarantined tail packets run on a
+  /// private copy of this (never of the live, packet-dirtied Mem).
+  sim::Memory BaseImage;
+  sim::RunOptions Opts;
+
+  Channel SramCh, SdramCh, ScratchCh;
+  std::vector<MeState> Mes;
+  std::vector<Ring> In;                         ///< per-ME input ring
+  std::vector<std::deque<unsigned>> Consumers;  ///< per-ME parked contexts
+  Ring Tx;
+  bool TxIdle = true;
+  std::deque<std::pair<unsigned, unsigned>> TxProducers;
+
+  std::map<uint64_t, InFlightRec> InFlight;
+  std::map<uint64_t, InFlightRec> Reorder;
+  uint64_t NextRetire = 0;
+  uint64_t NextDispatch = 0;
+  std::set<uint32_t> FreeSlots;
+  uint64_t InFlightCount = 0;
+
+  // RX agent
+  RxPh RxPhase = RxPh::Dispatch;
+  RxWait RxWaiting = RxWait::None;
+  bool RxDone = false, RxHave = false;
+  bool RxPktTail = false;
+  ChipPacket RxPkt;
+  uint64_t RxPendSeq = 0;
+  unsigned RxTarget = 0;
+  uint64_t RxGen = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> Q;
+  uint64_t OrderCtr = 0;
+  uint64_t LastTime = 0;
+  bool Ran = false;
+
+  const Source *Src = nullptr;
+  const RetireFn *Retire = nullptr;
+
+  ChipRunStats St;
+  uint64_t RetireFold = 0xcbf29ce484222325ull;
+
+  Impl(const ChipParams &Params,
+       std::vector<const alloc::AllocatedProgram *> Programs,
+       sim::Memory Base)
+      : P(Params), Progs(std::move(Programs)), Mem(std::move(Base)),
+        BaseImage(Mem), Tx(Params.RingDepth) {
+    assert(P.validate().ok() && "invalid ChipParams (see validateChipSetup)");
+    assert(Progs.size() == P.MP.MeCount && "one program per processing ME");
+    Opts.Lat = P.latency();
+    Opts.MaxInstructions = P.Budget;
+
+    SramCh = {P.MP.SramIssueInterval, P.MP.SramAccessCycles, 0, {}};
+    SdramCh = {P.MP.SdramIssueInterval, P.MP.SdramAccessCycles, 0, {}};
+    ScratchCh = {P.MP.ScratchIssueInterval, P.MP.ScratchAccessCycles, 0, {}};
+
+    // Every context gets a disjoint spill window; one step for the whole
+    // chip keeps the geometry independent of which ME runs which program.
+    uint32_t Step = 64;
+    for (const alloc::AllocatedProgram *Pr : Progs)
+      Step = std::max<uint32_t>(Step, Pr->NumSpillSlots);
+
+    Mes.resize(P.MP.MeCount);
+    Consumers.resize(P.MP.MeCount);
+    for (unsigned M = 0; M != P.MP.MeCount; ++M) {
+      In.emplace_back(P.RingDepth);
+      Mes[M].Ctx.resize(P.MP.ContextsPerMe);
+      for (unsigned C = 0; C != P.MP.ContextsPerMe; ++C) {
+        Mes[M].Ctx[C].Exec.setProgram(Progs[M]);
+        Mes[M].Ctx[C].Exec.setSpillRebase((M * P.MP.ContextsPerMe + C) *
+                                          Step);
+        Consumers[M].push_back(C); // all contexts start parked, in order
+      }
+    }
+
+    // In-flight slots: the window of packets that can be in the chip at
+    // once. Slots recycle at TX pop, so the pool needs to cover the
+    // contexts plus the queued descriptors, with headroom for completed
+    // packets waiting in the reorder buffer behind a slow head.
+    uint32_t ByMem = Mem.Limits.SdramWords / P.SlotStride;
+    uint32_t Wanted =
+        4 * P.MP.MeCount * (P.MP.ContextsPerMe + P.RingDepth) + 64;
+    uint32_t NumSlots = std::max(1u, std::min(ByMem, Wanted));
+    for (uint32_t S = 0; S != NumSlots; ++S)
+      FreeSlots.insert(S);
+
+    St.MeBusyCycles.assign(P.MP.MeCount, 0);
+    St.CtxPackets.assign(P.MP.MeCount,
+                         std::vector<uint64_t>(P.MP.ContextsPerMe, 0));
+  }
+
+  void sched(uint64_t T, Ev K, unsigned Me = 0, unsigned Ctx = 0,
+             uint64_t A = 0) {
+    Q.push({T, ++OrderCtr, K, Me, Ctx, A});
+  }
+
+  Channel &chan(MemSpace S) {
+    switch (S) {
+    case MemSpace::Sram:    return SramCh;
+    case MemSpace::Sdram:   return SdramCh;
+    case MemSpace::Scratch: return ScratchCh;
+    }
+    assert(false && "invalid MemSpace reached the channel model");
+    return SramCh;
+  }
+
+  void scrubSdram(uint32_t Lo, uint64_t Hi) {
+    auto &M = Mem.Sdram;
+    auto E = Hi > 0xFFFFFFFFull ? M.end()
+                                : M.lower_bound(static_cast<uint32_t>(Hi));
+    M.erase(M.lower_bound(Lo), E);
+  }
+
+  //===--- RX agent --------------------------------------------------------===//
+
+  void schedRx(uint64_t T) { sched(T, Ev::RxStep, 0, 0, ++RxGen); }
+
+  bool pktNeedsTail(const ChipPacket &Pk) const {
+    for (unsigned I = 0; I != Pk.Args.size() && I < 32; ++I)
+      if ((Pk.PtrArgMask >> I) & 1 && Pk.Args[I] >= P.SlotStride)
+        return true;
+    return false;
+  }
+
+  void rxStep(uint64_t T, uint64_t Gen) {
+    if (Gen != RxGen || RxDone)
+      return; // stale wakeup
+    if (RxPhase == RxPh::Dispatch)
+      rxDispatch(T);
+    else
+      rxPush(T);
+  }
+
+  void rxDispatch(uint64_t T) {
+    if (!RxHave) {
+      ChipPacket Pk;
+      if (!(*Src)(Pk)) {
+        RxDone = true;
+        return;
+      }
+      assert(Pk.Seq == NextDispatch && "packet Seq must be 0,1,2,...");
+      ++NextDispatch;
+      RxPkt = std::move(Pk);
+      RxHave = true;
+      RxPktTail = pktNeedsTail(RxPkt);
+    }
+    InFlightRec Rec;
+    if (RxPktTail) {
+      // Quarantine: pointers we cannot rebase run at their original
+      // addresses on a private copy of the pristine base image. The
+      // packet contends for channels and contexts like any other but is
+      // data-isolated by construction, so it neither drains the chip
+      // nor consumes an SDRAM slot.
+      Rec.Tail = true;
+      Rec.SlotIdx = 0;
+      Rec.SlotBase = 0;
+      Rec.PrivMem = std::make_unique<sim::Memory>(BaseImage);
+      Rec.RebasedArgs = RxPkt.Args;
+      ++St.TailPackets;
+    } else {
+      if (FreeSlots.empty()) {
+        RxWaiting = RxWait::Slot;
+        return;
+      }
+      Rec.SlotIdx = *FreeSlots.begin();
+      FreeSlots.erase(FreeSlots.begin());
+      Rec.SlotBase = Rec.SlotIdx * P.SlotStride;
+      scrubSdram(Rec.SlotBase, uint64_t(Rec.SlotBase) + P.SlotStride);
+      Rec.RebasedArgs = RxPkt.Args;
+      for (unsigned I = 0; I != Rec.RebasedArgs.size() && I < 32; ++I)
+        if ((RxPkt.PtrArgMask >> I) & 1)
+          Rec.RebasedArgs[I] += Rec.SlotBase;
+    }
+
+    // DMA the packet image into the slot: data lands now, and the FIFO
+    // engine consumes SDRAM issue slots in 8-word bursts (it streams —
+    // no latency wait), so heavy ingress contends with the apps.
+    uint64_t Td = T;
+    if (!RxPkt.Words.empty() && !Rec.RebasedArgs.empty()) {
+      sim::Memory &DM = Rec.PrivMem ? *Rec.PrivMem : Mem;
+      uint32_t Base = Rec.RebasedArgs[0];
+      for (uint32_t I = 0; I != RxPkt.Words.size(); ++I)
+        DM.Sdram[Base + I] = RxPkt.Words[I]; // mirrors apps::storePacket
+      unsigned Bursts = (static_cast<unsigned>(RxPkt.Words.size()) + 7) / 8;
+      for (unsigned I = 0; I != Bursts; ++I)
+        Td = SdramCh.submitIssueOnly(Td);
+      St.RxDmaTransactions += Bursts;
+    }
+
+    Rec.DispatchTime = T;
+    RxPendSeq = RxPkt.Seq;
+    Rec.Pkt = std::move(RxPkt);
+    InFlight.emplace(RxPendSeq, std::move(Rec));
+    ++InFlightCount;
+    ++St.PacketsDispatched;
+
+    RxPhase = RxPh::Push;
+    schedRx(Td);
+  }
+
+  void rxPush(uint64_t T) {
+    // Least-occupied input ring wins, scanning from the packet's natural
+    // round-robin position so ties rotate across engines. Picking at
+    // push time (not dispatch) and by load (not sequence) keeps one slow
+    // engine's full ring from head-of-line-blocking the whole RX stage.
+    RxTarget = static_cast<unsigned>(RxPendSeq % P.MP.MeCount);
+    for (unsigned I = 1; I != P.MP.MeCount; ++I) {
+      unsigned M =
+          static_cast<unsigned>((RxPendSeq + I) % P.MP.MeCount);
+      if (In[M].size() < In[RxTarget].size())
+        RxTarget = M;
+    }
+    Ring &Rg = In[RxTarget];
+    if (Rg.full()) { // least-occupied is full => every ring is full
+      RxWaiting = RxWait::RingFull;
+      return;
+    }
+    Rg.push(RxPendSeq, T);
+    wakeOneConsumer(RxTarget, T);
+    uint64_t Tc = ScratchCh.submit(T);
+    RxHave = false;
+    RxPhase = RxPh::Dispatch;
+    schedRx(Tc);
+  }
+
+  void wakeRxIfSlotFreed(uint64_t T) {
+    if (RxWaiting == RxWait::Slot && !FreeSlots.empty()) {
+      RxWaiting = RxWait::None;
+      schedRx(T);
+    }
+  }
+
+  void wakeRxIfRingFreed(unsigned Me, uint64_t T) {
+    // RX only parks on RingFull when every ring is full, so any pop is a
+    // valid wake; the retry re-picks the least-occupied target.
+    (void)Me;
+    if (RxWaiting == RxWait::RingFull) {
+      RxWaiting = RxWait::None;
+      schedRx(T);
+    }
+  }
+
+  //===--- Context packet loop ----------------------------------------------===//
+
+  void wakeOneConsumer(unsigned Me, uint64_t T) {
+    if (Consumers[Me].empty())
+      return;
+    unsigned C = Consumers[Me].front();
+    Consumers[Me].pop_front();
+    Mes[Me].Ctx[C].Ph = CtxPh::RetryPop;
+    sched(T, Ev::CtxResume, Me, C);
+  }
+
+  void wantPop(unsigned Me, unsigned C, uint64_t T) {
+    HwCtx &Cx = Mes[Me].Ctx[C];
+    Ring &Rg = In[Me];
+    if (Rg.empty()) {
+      Cx.Ph = CtxPh::ParkedRing;
+      Consumers[Me].push_back(C);
+      return;
+    }
+    Cx.CurSeq = Rg.pop(T);
+    wakeRxIfRingFreed(Me, T);
+    Cx.Ph = CtxPh::PopWait;
+    sched(ScratchCh.submit(T), Ev::CtxResume, Me, C);
+  }
+
+  void wantPushTx(unsigned Me, unsigned C, uint64_t T) {
+    HwCtx &Cx = Mes[Me].Ctx[C];
+    if (Tx.full()) {
+      Cx.Ph = CtxPh::ParkedTx;
+      TxProducers.emplace_back(Me, C);
+      return;
+    }
+    Tx.push(Cx.CurSeq, T);
+    Cx.Ph = CtxPh::PushWait;
+    sched(ScratchCh.submit(T), Ev::CtxResume, Me, C);
+    if (TxIdle)
+      txStartPop(T);
+  }
+
+  void ctxReady(unsigned Me, unsigned C, uint64_t T) {
+    Mes[Me].Ready.push_back(C);
+    sched(std::max(T, Mes[Me].FreeAt), Ev::MeRun, Me);
+  }
+
+  void onCtxResume(unsigned Me, unsigned C, uint64_t T) {
+    HwCtx &Cx = Mes[Me].Ctx[C];
+    switch (Cx.Ph) {
+    case CtxPh::PopWait:
+      Cx.Ph = CtxPh::StartReady;
+      ctxReady(Me, C, T);
+      break;
+    case CtxPh::MemWait:
+      Cx.Ph = CtxPh::RunReady;
+      ctxReady(Me, C, T);
+      break;
+    case CtxPh::PushWait:
+    case CtxPh::RetryPop:
+      wantPop(Me, C, T);
+      break;
+    case CtxPh::RetryPush:
+      wantPushTx(Me, C, T);
+      break;
+    default:
+      assert(false && "CtxResume in an unexpected phase");
+    }
+  }
+
+  void onMeRun(unsigned Me, uint64_t T) {
+    MeState &M = Mes[Me];
+    if (M.FreeAt > T || M.Ready.empty())
+      return; // still busy, or a duplicate wakeup already served
+    unsigned C = M.Ready.front();
+    M.Ready.pop_front();
+    HwCtx &Cx = M.Ctx[C];
+
+    InFlightRec &Rec = InFlight.at(Cx.CurSeq);
+    if (Cx.Ph == CtxPh::StartReady) {
+      Rec.Me = Me;
+      Rec.Ctx = C;
+      Cx.Exec.reset(Rec.RebasedArgs);
+      Cx.Ph = CtxPh::RunReady;
+    }
+
+    uint64_t End = T;
+    if (!Cx.Exec.done()) {
+      // Quarantined tail packets execute against their private image;
+      // everyone else shares the chip's memory.
+      sim::AllocContext::Yield Y =
+          Cx.Exec.resume(Rec.PrivMem ? *Rec.PrivMem : Mem, Opts);
+      End = T + Y.Cycles;
+      M.Busy += Y.Cycles;
+      St.MeBusyCycles[Me] += Y.Cycles;
+      M.FreeAt = End;
+      sched(End, Ev::MeRun, Me); // serve the next ready context
+      if (Y.K == sim::AllocContext::Yield::Kind::Mem) {
+        // The swap point: issue the reference, park the context until
+        // the data returns, and let another context have the engine.
+        uint64_t Tc = chan(Y.Space).submit(End);
+        Cx.Exec.charge(Tc - End); // latency + queueing delay
+        Cx.Ph = CtxPh::MemWait;
+        sched(Tc, Ev::CtxResume, Me, C);
+        return;
+      }
+    } else {
+      sched(T, Ev::MeRun, Me); // entry trap: engine stays free
+    }
+
+    // Packet finished (halt or trap): record and hand to TX.
+    Rec.Result = Cx.Exec.takeResult();
+    Rec.CompleteTime = End;
+    ++St.CtxPackets[Me][C];
+    wantPushTx(Me, C, End);
+  }
+
+  //===--- TX agent --------------------------------------------------------===//
+
+  void txStartPop(uint64_t T) {
+    TxIdle = false;
+    uint64_t Seq = Tx.pop(T);
+    if (!TxProducers.empty()) {
+      auto [M, C] = TxProducers.front();
+      TxProducers.pop_front();
+      Mes[M].Ctx[C].Ph = CtxPh::RetryPush;
+      sched(T, Ev::CtxResume, M, C);
+    }
+    sched(ScratchCh.submit(T), Ev::TxPopDone, 0, 0, Seq);
+  }
+
+  void onTxPopDone(uint64_t Seq, uint64_t T) {
+    auto It = InFlight.find(Seq);
+    assert(It != InFlight.end() && "TX popped an unknown packet");
+    // TX has pulled the completion off the ring: the packet is done
+    // executing and its descriptor is in TX's hands, so its SDRAM slot
+    // recycles NOW — not at in-order retirement. Holding slots to
+    // retirement would let one slow (watchdog-bound) head packet stall
+    // every context behind it; freeing at TX pop keeps the execution
+    // window bounded only by contexts and rings. The reorder buffer
+    // below re-sequences descriptors for the in-order hand-off.
+    if (!It->second.Tail)
+      FreeSlots.insert(It->second.SlotIdx);
+    --InFlightCount;
+    Reorder.emplace(Seq, std::move(It->second));
+    InFlight.erase(It);
+    St.ReorderHighWater = std::max(
+        St.ReorderHighWater, static_cast<unsigned>(Reorder.size()));
+
+    while (!Reorder.empty() && Reorder.begin()->first == NextRetire) {
+      InFlightRec Rec = std::move(Reorder.begin()->second);
+      Reorder.erase(Reorder.begin());
+      ++St.PacketsRetired;
+      RetireFold = traceFold(RetireFold, NextRetire);
+      RetireFold = traceFold(RetireFold, T);
+      ++NextRetire;
+
+      RetiredPacket RP;
+      RP.Pkt = std::move(Rec.Pkt);
+      RP.RebasedArgs = std::move(Rec.RebasedArgs);
+      RP.Result = std::move(Rec.Result);
+      RP.Me = Rec.Me;
+      RP.Ctx = Rec.Ctx;
+      RP.Tail = Rec.Tail;
+      RP.SlotBase = Rec.SlotBase;
+      RP.DispatchTime = Rec.DispatchTime;
+      RP.CompleteTime = Rec.CompleteTime;
+      RP.RetireTime = T;
+      (*Retire)(std::move(RP));
+    }
+    wakeRxIfSlotFreed(T);
+
+    if (!Tx.empty())
+      txStartPop(T);
+    else
+      TxIdle = true;
+  }
+
+  //===--- Event loop ------------------------------------------------------===//
+
+  ChipRunStats runAll(const Source &S, const RetireFn &R) {
+    assert(!Ran && "Chip::run is single-shot");
+    Ran = true;
+    Src = &S;
+    Retire = &R;
+    schedRx(0);
+
+    while (!Q.empty()) {
+      Event E = Q.top();
+      Q.pop();
+      LastTime = std::max(LastTime, E.Time);
+      switch (E.K) {
+      case Ev::MeRun:
+        onMeRun(E.Me, E.Time);
+        break;
+      case Ev::CtxResume:
+        onCtxResume(E.Me, E.Ctx, E.Time);
+        break;
+      case Ev::RxStep:
+        rxStep(E.Time, E.A);
+        break;
+      case Ev::TxPopDone:
+        onTxPopDone(E.A, E.Time);
+        break;
+      }
+    }
+
+    St.FinalCycles = LastTime;
+    St.Deadlock =
+        InFlightCount != 0 || !Reorder.empty() || RxHave || !RxDone;
+    St.Sram = SramCh.St;
+    St.Sdram = SdramCh.St;
+    St.Scratch = ScratchCh.St;
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (const Ring &Rg : In) {
+      St.InputRings.push_back({Rg.capacity(), Rg.highWater(), Rg.pushes(),
+                               Rg.pops(), Rg.traceHash()});
+      H = traceFold(H, Rg.traceHash());
+    }
+    St.TxRing = {Tx.capacity(), Tx.highWater(), Tx.pushes(), Tx.pops(),
+                 Tx.traceHash()};
+    H = traceFold(H, Tx.traceHash());
+    H = traceFold(H, RetireFold);
+    St.TraceHash = H;
+    return St;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Public surface
+//===----------------------------------------------------------------------===//
+
+Chip::Chip(const ChipParams &P,
+           std::vector<const alloc::AllocatedProgram *> ProgramPerMe,
+           sim::Memory Base)
+    : I(std::make_unique<Impl>(P, std::move(ProgramPerMe),
+                               std::move(Base))) {}
+
+Chip::~Chip() = default;
+
+ChipRunStats Chip::run(const Source &Src, const RetireFn &Retire) {
+  return I->runAll(Src, Retire);
+}
+
+sim::Memory &Chip::memory() { return I->Mem; }

@@ -28,6 +28,8 @@
 #ifndef IXP_MACHINE_H
 #define IXP_MACHINE_H
 
+#include "ixp/MachineParams.h"
+
 #include <array>
 #include <vector>
 #include <cstdint>
@@ -81,11 +83,14 @@ inline bool isAluOutputBank(Bank B) {
 }
 
 /// Cost parameters of the paper's objective function (Section 7).
+/// Defaults read the shared chip description (MachineParams), so the ILP
+/// cost model, the simulator, and the chip contention model agree on one
+/// definition of the machine's constants.
 struct CostModel {
-  double MoveCost = 1.0;    ///< mvC: register-register move
-  double LoadCost = 200.0;  ///< ldC: reload from spill memory
-  double StoreCost = 200.0; ///< stC: store to spill memory
-  double BBias = 1.01;      ///< bias against B-bank moves
+  double MoveCost = MachineParams{}.MoveCost;   ///< mvC: reg-reg move
+  double LoadCost = MachineParams{}.SpillLoadCost;   ///< ldC: spill reload
+  double StoreCost = MachineParams{}.SpillStoreCost; ///< stC: spill store
+  double BBias = MachineParams{}.BBias; ///< bias against B-bank moves
 };
 
 /// Cost of moving a value from \p From to \p To along the cheapest legal

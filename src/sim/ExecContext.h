@@ -1,0 +1,113 @@
+//===- ExecContext.h - Re-entrant allocated-mode hardware context -*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One IXP hardware context as a resumable interpreter. The single-ME
+/// runAllocated loop was factored into this class so the whole-chip
+/// simulator (src/chip) can context-swap a thread whenever it issues a
+/// memory reference — the IXP's signature latency-hiding trick — while
+/// runAllocated remains a thin driver with bit-identical behaviour.
+///
+/// resume() executes instructions until the run completes (halt or trap)
+/// or a memory reference is issued. Memory *data* effects apply at issue,
+/// in the issuing context's program order; the caller decides what the
+/// reference costs (flat LatencyModel charge for the single-threaded
+/// simulator, transaction-queue completion time for the contended chip)
+/// and pays it with charge(). Each context owns a private quarter of the
+/// register files, exactly like the hardware.
+///
+/// Spill isolation: allocated code addresses its spill slots as absolute
+/// scratch words from AllocatedProgram::SpillBase. On a chip, several
+/// contexts run the same program image concurrently, so each context gets
+/// a private spill window: setSpillRebase() shifts every scratch access
+/// that lands inside the program's spill window by a per-context offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIM_EXECCONTEXT_H
+#define SIM_EXECCONTEXT_H
+
+#include "sim/Simulator.h"
+
+namespace nova {
+namespace sim {
+
+/// A resumable allocated-mode execution: private register files, a
+/// program counter, and the in-progress RunResult accounting.
+class AllocContext {
+public:
+  /// Why resume() returned.
+  struct Yield {
+    enum class Kind : uint8_t {
+      Done, ///< run completed (halt or trap) — see result()
+      Mem   ///< a memory reference to Space was issued (data already
+            ///< applied); charge() its latency, then resume() again
+    };
+    Kind K = Kind::Done;
+    MemSpace Space = MemSpace::Sram;
+    /// Cycles accrued onto the result during this burst (the context's
+    /// compute time between swap points; excludes whatever the caller
+    /// charges for the memory reference itself).
+    uint64_t Cycles = 0;
+  };
+
+  AllocContext() = default;
+  explicit AllocContext(const alloc::AllocatedProgram *P) : Prog(P) {}
+
+  void setProgram(const alloc::AllocatedProgram *P) { Prog = P; }
+  const alloc::AllocatedProgram *program() const { return Prog; }
+
+  /// Per-context spill window displacement in scratch words (see file
+  /// comment). 0 = run at the program's own spill addresses.
+  void setSpillRebase(uint32_t Words) { SpillRebase = Words; }
+
+  /// Re-targets the context at a fresh run: clears the register files and
+  /// accounting, loads \p Args into A0..A(n-1), and validates the entry.
+  /// On a malformed entry the context is immediately done() with the
+  /// trap in result().
+  void reset(const std::vector<uint32_t> &Args);
+
+  /// True when the current run has completed (halt or trap) — result()
+  /// is final and resume() must not be called again.
+  bool done() const { return Finished; }
+
+  const RunResult &result() const { return R; }
+  RunResult takeResult() { return std::move(R); }
+
+  /// Adds externally-decided cycles (memory latency, queueing delay) to
+  /// the run's cycle count.
+  void charge(uint64_t Cycles) { R.Cycles += Cycles; }
+
+  /// Executes until the next swap point (see Yield). Requires !done().
+  Yield resume(Memory &Mem, const RunOptions &Opts);
+
+private:
+  const alloc::AllocatedProgram *Prog = nullptr;
+  RunResult R;
+  bool Finished = true; ///< no run in progress until reset()
+  bool Err = false;     ///< illegal-register latch (checked at swap points)
+  uint32_t SpillRebase = 0;
+  ixp::BlockId B = 0;
+  unsigned Idx = 0;
+  // Register files. Bank sizes are architectural: 16 GPRs per ALU bank,
+  // 8 per transfer bank (one context's quarter of the 32-register files).
+  uint32_t RegA[16] = {0}, RegB[16] = {0}, RegL[8] = {0}, RegS[8] = {0},
+           RegLD[8] = {0}, RegSD[8] = {0};
+
+  struct File {
+    uint32_t *Regs;
+    unsigned Size;
+  };
+  File regFile(ixp::Bank Bk);
+  uint32_t read(const alloc::AOperand &O);
+  void writeReg(alloc::PhysLoc L, uint32_t V);
+};
+
+} // namespace sim
+} // namespace nova
+
+#endif // SIM_EXECCONTEXT_H

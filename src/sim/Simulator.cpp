@@ -7,12 +7,13 @@
 
 #include "sim/Simulator.h"
 
-#include "support/FaultInjection.h"
+#include "sim/SimUtil.h"
 #include "support/HwHash.h"
 #include "support/StringUtils.h"
 
 using namespace nova;
 using namespace nova::sim;
+using namespace nova::sim::detail;
 using namespace nova::ixp;
 
 const char *sim::trapKindName(TrapKind K) {
@@ -29,43 +30,6 @@ const char *sim::trapKindName(TrapKind K) {
   }
   return "unknown";
 }
-
-namespace {
-
-/// Sets the trap fields of \p R and returns it for `return trap(...)`.
-RunResult &trap(RunResult &R, TrapKind K, std::string Detail) {
-  R.Ok = false;
-  R.Trap = K;
-  R.Error = Status::error(
-      StatusCode::SimTrap, Phase::Execute,
-      formatf("%s: %s", sim::trapKindName(K), Detail.c_str()));
-  return R;
-}
-
-TrapKind rangeTrapFor(MemSpace S) {
-  switch (S) {
-  case MemSpace::Sram:    return TrapKind::SramOutOfRange;
-  case MemSpace::Sdram:   return TrapKind::SdramOutOfRange;
-  case MemSpace::Scratch: return TrapKind::ScratchOutOfRange;
-  }
-  return TrapKind::IllegalMemSpace;
-}
-
-bool validSpace(MemSpace S) {
-  return S == MemSpace::Sram || S == MemSpace::Sdram ||
-         S == MemSpace::Scratch;
-}
-
-const char *spaceName(MemSpace S) {
-  switch (S) {
-  case MemSpace::Sram:    return "sram";
-  case MemSpace::Sdram:   return "sdram";
-  case MemSpace::Scratch: return "scratch";
-  }
-  return "?";
-}
-
-} // namespace
 
 //===----------------------------------------------------------------------===//
 // Cycle histogram / stream stats
@@ -146,218 +110,10 @@ double sim::throughputMbps(unsigned PayloadBytes, double CyclesPerPacket,
 }
 
 //===----------------------------------------------------------------------===//
-// Allocated-mode execution
+// Allocated-mode execution lives in ExecContext.cpp: the step loop is a
+// resumable AllocContext (one IXP hardware context) that the chip
+// simulator multiplexes, and runAllocated is a thin driver over it.
 //===----------------------------------------------------------------------===//
-
-RunResult sim::runAllocated(const alloc::AllocatedProgram &P,
-                            const std::vector<uint32_t> &Args, Memory &Mem,
-                            const LatencyModel &Lat,
-                            uint64_t MaxInstructions) {
-  RunOptions Opts;
-  Opts.Lat = Lat;
-  Opts.MaxInstructions = MaxInstructions;
-  return runAllocated(P, Args, Mem, Opts);
-}
-
-RunResult sim::runAllocated(const alloc::AllocatedProgram &P,
-                            const std::vector<uint32_t> &Args, Memory &Mem,
-                            const RunOptions &Opts) {
-  using alloc::AllocInstr;
-  using alloc::AOperand;
-  using alloc::PhysLoc;
-
-  const LatencyModel &Lat = Opts.Lat;
-  RunResult R;
-  if (P.Entry == NoBlock || P.Entry >= P.Blocks.size())
-    return trap(R, TrapKind::MalformedProgram, "no entry block");
-  if (Args.size() > 15)
-    return trap(R, TrapKind::MalformedProgram, "too many entry arguments");
-
-  // Register files. Bank sizes are architectural: 16 GPRs per ALU bank,
-  // 8 per transfer bank (one thread's quarter of the 32-register files).
-  uint32_t RegA[16] = {0}, RegB[16] = {0}, RegL[8] = {0}, RegS[8] = {0},
-           RegLD[8] = {0}, RegSD[8] = {0};
-  struct File {
-    uint32_t *Regs;
-    unsigned Size;
-  };
-  auto RegFile = [&](Bank B) -> File {
-    switch (B) {
-    case Bank::A:  return {RegA, 16};
-    case Bank::B:  return {RegB, 16};
-    case Bank::L:  return {RegL, 8};
-    case Bank::S:  return {RegS, 8};
-    case Bank::LD: return {RegLD, 8};
-    case Bank::SD: return {RegSD, 8};
-    default:       return {nullptr, 0};
-    }
-  };
-  // Reads/writes report illegal banks and out-of-file indices through
-  // Err; the main loop converts that into an IllegalRegister trap (the
-  // old code masked the index with &15, silently aliasing registers and
-  // reading off the end of the 8-entry transfer banks).
-  bool Err = false;
-  auto Read = [&](const AOperand &O) -> uint32_t {
-    if (O.IsConst)
-      return O.Value;
-    File F = RegFile(O.Loc.B);
-    if (!F.Regs || O.Loc.Reg >= F.Size) {
-      Err = true;
-      return 0;
-    }
-    return F.Regs[O.Loc.Reg];
-  };
-  auto WriteReg = [&](PhysLoc L, uint32_t V) {
-    File F = RegFile(L.B);
-    if (!F.Regs || L.Reg >= F.Size) {
-      Err = true;
-      return;
-    }
-    F.Regs[L.Reg] = V;
-  };
-
-  for (unsigned I = 0; I != Args.size(); ++I)
-    RegA[I] = Args[I];
-
-  const bool Faults = FaultInjector::armed();
-  BlockId B = P.Entry;
-  unsigned Idx = 0;
-  while (true) {
-    if (++R.Instructions > Opts.MaxInstructions)
-      return trap(R, TrapKind::Watchdog,
-                  formatf("instruction budget of %llu exhausted",
-                          (unsigned long long)Opts.MaxInstructions));
-    if (Idx >= P.Blocks[B].Instrs.size())
-      return trap(R, TrapKind::MalformedProgram,
-                  formatf("fell off the end of block b%u", B));
-    const AllocInstr &I = P.Blocks[B].Instrs[Idx++];
-
-    // One validity check covers space(), memAccess(), and the range
-    // trap: an out-of-enum MemSpace can only come from corrupt code.
-    if ((I.Op == MOp::MemRead || I.Op == MOp::MemWrite ||
-         I.Op == MOp::BitTestSet) &&
-        !validSpace(I.Space))
-      return trap(R, TrapKind::IllegalMemSpace,
-                  formatf("memory space %u in block b%u",
-                          (unsigned)I.Space, B));
-
-    switch (I.Op) {
-    case MOp::Alu: {
-      uint32_t A = Read(I.Srcs[0]);
-      uint32_t Bv = I.Srcs.size() > 1 ? Read(I.Srcs[1]) : 0;
-      if (Opts.TrapOnShiftRange && cps::shiftOutOfRange(I.Alu, Bv))
-        return trap(R, TrapKind::ShiftRange,
-                    formatf("shift count %u in block b%u", Bv, B));
-      uint32_t V = cps::evalPrim(I.Alu, A, Bv);
-      if (Faults &&
-          FaultInjector::instance().shouldFire(FaultKind::SimBitFlip))
-        V ^= 1u << (R.Instructions & 31);
-      WriteReg(I.Dsts[0], V);
-      R.Cycles += Lat.Alu;
-      break;
-    }
-    case MOp::Imm:
-      WriteReg(I.Dsts[0], I.Imm);
-      // Large constants need two instructions on the IXP (paper §12).
-      R.Cycles += I.Imm <= 0xFFFF || (I.Imm & 0xFFFF) == 0 ? Lat.Imm
-                                                           : Lat.Imm + 1;
-      break;
-    case MOp::Move:
-      WriteReg(I.Dsts[0], Read(I.Srcs[0]));
-      R.Cycles += Lat.Alu;
-      break;
-    case MOp::MemRead: {
-      uint32_t Addr = Read(I.Srcs[0]);
-      uint32_t Count = static_cast<uint32_t>(I.Dsts.size());
-      if (!Err && !Mem.inRange(I.Space, Addr, Count))
-        return trap(R, rangeTrapFor(I.Space),
-                    formatf("%s read of %u words at 0x%x (limit 0x%x)",
-                            spaceName(I.Space), Count, Addr,
-                            Mem.Limits.words(I.Space)));
-      auto &Space = *Mem.space(I.Space);
-      for (unsigned K = 0; K != I.Dsts.size(); ++K)
-        WriteReg(I.Dsts[K], Memory::load(Space, Addr + K));
-      R.Cycles += Lat.memAccess(I.Space);
-      if (Faults &&
-          FaultInjector::instance().shouldFire(FaultKind::MemJitter))
-        R.Cycles +=
-            FaultInjector::instance().drawCycles(FaultKind::MemJitter, 16);
-      break;
-    }
-    case MOp::MemWrite: {
-      uint32_t Addr = Read(I.Srcs[0]);
-      uint32_t Count = static_cast<uint32_t>(I.Srcs.size() - 1);
-      if (!Err && !Mem.inRange(I.Space, Addr, Count))
-        return trap(R, rangeTrapFor(I.Space),
-                    formatf("%s write of %u words at 0x%x (limit 0x%x)",
-                            spaceName(I.Space), Count, Addr,
-                            Mem.Limits.words(I.Space)));
-      auto &Space = *Mem.space(I.Space);
-      for (unsigned K = 1; K != I.Srcs.size(); ++K)
-        Space[Addr + K - 1] = Read(I.Srcs[K]);
-      R.Cycles += Lat.memAccess(I.Space);
-      if (Faults &&
-          FaultInjector::instance().shouldFire(FaultKind::MemJitter))
-        R.Cycles +=
-            FaultInjector::instance().drawCycles(FaultKind::MemJitter, 16);
-      break;
-    }
-    case MOp::Hash:
-      WriteReg(I.Dsts[0], hwHash(Read(I.Srcs[0])));
-      R.Cycles += Lat.HashOp;
-      break;
-    case MOp::BitTestSet: {
-      uint32_t Addr = Read(I.Srcs[0]);
-      uint32_t Bits = Read(I.Srcs[1]);
-      if (!Err && !Mem.inRange(I.Space, Addr, 1))
-        return trap(R, rangeTrapFor(I.Space),
-                    formatf("%s bit-test-set at 0x%x (limit 0x%x)",
-                            spaceName(I.Space), Addr,
-                            Mem.Limits.words(I.Space)));
-      auto &Space = *Mem.space(I.Space);
-      uint32_t Old = Memory::load(Space, Addr);
-      Space[Addr] = Old | Bits;
-      WriteReg(I.Dsts[0], Old);
-      R.Cycles += Lat.memAccess(I.Space);
-      break;
-    }
-    case MOp::Clone:
-      return trap(R, TrapKind::MalformedProgram,
-                  "clone pseudo in allocated code");
-    case MOp::Branch: {
-      BlockId T = cps::evalCmp(I.Cmp, Read(I.Srcs[0]), Read(I.Srcs[1]))
-                      ? I.Target
-                      : I.TargetElse;
-      if (T >= P.Blocks.size())
-        return trap(R, TrapKind::MalformedProgram,
-                    formatf("branch in block b%u targets b%u", B, T));
-      B = T;
-      Idx = 0;
-      R.Cycles += Lat.Branch;
-      break;
-    }
-    case MOp::Jump:
-      if (I.Target >= P.Blocks.size())
-        return trap(R, TrapKind::MalformedProgram,
-                    formatf("jump in block b%u targets b%u", B, I.Target));
-      B = I.Target;
-      Idx = 0;
-      R.Cycles += Lat.Branch;
-      break;
-    case MOp::Halt:
-      for (const AOperand &S : I.Srcs)
-        R.HaltValues.push_back(Read(S));
-      if (Err)
-        return trap(R, TrapKind::IllegalRegister,
-                    "illegal register access at halt");
-      R.Ok = true;
-      return R;
-    }
-    if (Err)
-      return trap(R, TrapKind::IllegalRegister,
-                  formatf("illegal register access in block b%u", B));
-  }
-}
 
 //===----------------------------------------------------------------------===//
 // Functional-mode execution

@@ -23,8 +23,12 @@
 /// (src/soak) turns traps into packet drops and keeps streaming.
 ///
 /// Cycle model (one thread, no overlap — the paper measured unoptimized
-/// single-threaded code): ALU/immediate/branch ops take 1 cycle; SRAM
-/// accesses ~20 cycles, SDRAM ~33, scratch ~12 (IXP1200 magnitudes).
+/// single-threaded code): the latency constants come from the shared chip
+/// description ixp::MachineParams (SRAM ~20 cycles, SDRAM ~33, scratch
+/// ~12, IXP1200 magnitudes), which the chip contention model (src/chip)
+/// and the ILP cost model read too. For the whole-chip simulation — 6
+/// micro-engines x 4 hardware contexts with context swap on memory
+/// references and contended memory channels — see src/chip.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +37,7 @@
 
 #include "alloc/Allocated.h"
 #include "ixp/MachineIr.h"
+#include "ixp/MachineParams.h"
 #include "support/Status.h"
 
 #include <cassert>
@@ -121,15 +126,18 @@ struct Memory {
   }
 };
 
-/// Latency model in micro-engine cycles.
+/// Latency model in micro-engine cycles. Defaults are the shared chip
+/// description's (ixp::MachineParams) — one definition for the
+/// simulator, the chip contention model, and the ILP cost model.
 struct LatencyModel {
-  unsigned Alu = 1;
-  unsigned Branch = 1;
-  unsigned Imm = 1;       ///< 1-2 per paper §12; large constants cost 2
-  unsigned SramAccess = 20;
-  unsigned SdramAccess = 33;
-  unsigned ScratchAccess = 12;
-  unsigned HashOp = 16;
+  unsigned Alu = ixp::MachineParams{}.AluCycles;
+  unsigned Branch = ixp::MachineParams{}.BranchCycles;
+  /// 1-2 per paper §12; large constants cost 2.
+  unsigned Imm = ixp::MachineParams{}.ImmCycles;
+  unsigned SramAccess = ixp::MachineParams{}.SramAccessCycles;
+  unsigned SdramAccess = ixp::MachineParams{}.SdramAccessCycles;
+  unsigned ScratchAccess = ixp::MachineParams{}.ScratchAccessCycles;
+  unsigned HashOp = ixp::MachineParams{}.HashCycles;
 
   /// Cost of an access to \p S. Invalid spaces are rejected by the
   /// interpreter before latency is charged; asking anyway asserts in
@@ -212,7 +220,7 @@ struct RunStats {
   /// Delivered goodput at \p ClockHz over *all* cycles spent, including
   /// those burned on dropped/rejected packets — throughput under
   /// degradation, not best-case throughput.
-  double deliveredMbps(double ClockHz = 233e6) const;
+  double deliveredMbps(double ClockHz = ixp::MachineParams{}.ClockHz) const;
 };
 
 /// Functional execution over virtual temporaries (no banks, no timing
@@ -239,9 +247,10 @@ RunResult runAllocated(const alloc::AllocatedProgram &P,
                        uint64_t MaxInstructions = 10'000'000);
 
 /// Throughput in megabits per second for a packet of \p PayloadBytes
-/// processed in \p CyclesPerPacket cycles at the IXP1200's 233 MHz.
+/// processed in \p CyclesPerPacket cycles at the IXP1200's 233 MHz
+/// (ixp::MachineParams::ClockHz).
 double throughputMbps(unsigned PayloadBytes, double CyclesPerPacket,
-                      double ClockHz = 233e6);
+                      double ClockHz = ixp::MachineParams{}.ClockHz);
 
 } // namespace sim
 } // namespace nova

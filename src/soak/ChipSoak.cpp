@@ -1,0 +1,244 @@
+//===- ChipSoak.cpp - Whole-chip soak runner and reporting ----------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "soak/ChipSoak.h"
+
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace nova;
+using namespace nova::soak;
+
+ChipSoakReport soak::runChipSoak(const AppHarness &App,
+                                 const ChipSoakOptions &Opts) {
+  ChipSoakReport Rep;
+  Rep.Base.App = App.name();
+  Rep.Base.Seed = Opts.Base.Seed;
+
+  chip::ChipParams CP = Opts.Chip;
+  // One watchdog for chip and oracle: the standalone re-run is then
+  // instruction-identical, so even watchdog traps must agree.
+  CP.Budget = Opts.Base.Budget;
+  Rep.Params = CP;
+  Rep.Setup = chip::validateChipSetup(CP, App.compiled().Alloc.Prog,
+                                      App.baseSim().Limits);
+  if (!Rep.Setup.ok())
+    return Rep;
+
+  SoakOptions SO = Opts.Base;
+  SO.Lat = CP.latency();
+
+  Timer Clock;
+  std::vector<const alloc::AllocatedProgram *> Progs(
+      CP.MP.MeCount, &App.compiled().Alloc.Prog);
+  chip::Chip C(CP, Progs, App.baseSim());
+
+  uint64_t Next = 0;
+  const uint32_t PtrMask = App.pointerArgMask();
+  chip::Chip::Source Src = [&](chip::ChipPacket &Out) {
+    if (Next == SO.Packets)
+      return false;
+    SoakPacket P = App.generate(Next, SO.Seed, SO.Mix);
+    ++Rep.Base.ClassCounts[static_cast<unsigned>(P.Class)];
+    Out = chip::ChipPacket();
+    Out.Seq = Next++;
+    Out.Words = std::move(P.Words);
+    Out.Args = std::move(P.Args);
+    Out.PtrArgMask = PtrMask;
+    Out.PayloadBytes = P.PayloadBytes;
+    Out.ClassTag = static_cast<uint8_t>(P.Class);
+    return true;
+  };
+
+  chip::Chip::RetireFn Retire = [&](chip::RetiredPacket &&RP) {
+    bool Reject = RP.Result.Ok && App.isAppReject(RP.Result.HaltValues);
+    // The histogram gets residence time (dispatch -> in-order retire);
+    // instruction counts stay the run's own.
+    sim::RunResult Acct = RP.Result;
+    Acct.Cycles = RP.RetireTime - RP.DispatchTime;
+    Rep.Base.Stats.account(Acct, Reject, RP.Pkt.PayloadBytes);
+
+    bool WithOracle =
+        SO.OracleEvery != 0 && RP.Pkt.Seq % SO.OracleEvery == 0;
+    if (!WithOracle)
+      return;
+    ++Rep.Base.OracleChecks;
+
+    // Standalone re-run of the exact rebased packet on fresh base
+    // memory: three-way differential oracle plus the chip cross-check.
+    SoakPacket Q;
+    Q.Class = static_cast<PacketClass>(RP.Pkt.ClassTag);
+    Q.Index = RP.Pkt.Seq;
+    // The per-packet seed is only needed for the reproducer record;
+    // regenerate it (deterministic and cheap, and only on sampled
+    // packets).
+    Q.Seed = App.generate(RP.Pkt.Seq, SO.Seed, SO.Mix).Seed;
+    Q.Words = std::move(RP.Pkt.Words);
+    Q.Args = RP.RebasedArgs;
+    Q.PayloadBytes = RP.Pkt.PayloadBytes;
+    PacketOutcome O = runPacket(App, Q, SO, /*WithOracle=*/true);
+    if (O.OracleBudgetMiss)
+      ++Rep.Base.OracleBudgetMisses;
+
+    std::string What;
+    bool Mismatch = false;
+    if (O.Diverged) {
+      What = O.What;
+    } else if (O.Alloc.Ok != RP.Result.Ok ||
+               O.Alloc.Trap != RP.Result.Trap) {
+      Mismatch = true;
+      What = formatf(
+          "chip outcome differs from standalone: chip %s(%s), "
+          "standalone %s(%s)",
+          RP.Result.Ok ? "ok" : "trap", sim::trapKindName(RP.Result.Trap),
+          O.Alloc.Ok ? "ok" : "trap", sim::trapKindName(O.Alloc.Trap));
+    } else if (O.Alloc.Ok && O.Alloc.HaltValues != RP.Result.HaltValues) {
+      Mismatch = true;
+      What = "chip halt values differ from standalone allocated run";
+    }
+    if (What.empty())
+      return;
+
+    ++Rep.Base.Divergences;
+    if (Mismatch)
+      ++Rep.ChipOutcomeMismatches;
+    if (!Rep.Base.First.Found) {
+      Rep.Base.First.Found = true;
+      Rep.Base.First.Index = Q.Index;
+      Rep.Base.First.Seed = Q.Seed;
+      Rep.Base.First.Class = Q.Class;
+      Rep.Base.First.What = What;
+      Rep.Base.First.Words = Q.Words;
+      Rep.Base.First.Args = Q.Args;
+      // Shrinking targets the standalone differential; a pure chip
+      // mismatch keeps the packet as-is.
+      Rep.Base.First.ShrunkWords =
+          (O.Diverged && SO.Shrink)
+              ? shrinkDivergence(App, Q, SO, Rep.Base.First.ShrinkRuns)
+              : Q.Words;
+    }
+  };
+
+  Rep.Chip = C.run(Src, Retire);
+  Rep.Base.WallSeconds = Clock.seconds();
+
+  if (Rep.Chip.FinalCycles) {
+    double Seconds =
+        static_cast<double>(Rep.Chip.FinalCycles) / CP.MP.ClockHz;
+    Rep.GoodputMbps =
+        static_cast<double>(Rep.Base.Stats.DeliveredPayloadBytes) * 8.0 /
+        Seconds / 1e6;
+  }
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const auto &[Addr, Val] : C.memory().Sdram) {
+    H = chip::traceFold(H, Addr);
+    H = chip::traceFold(H, Val);
+  }
+  Rep.ImageHash = H;
+  // A drained event queue with work in flight is a scheduler bug; make
+  // it impossible to miss.
+  if (Rep.Chip.Deadlock)
+    ++Rep.Base.Divergences;
+  return Rep;
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+std::string soak::chipReportJson(const ChipSoakReport &R) {
+  if (!R.Setup.ok()) {
+    return formatf("{\"app\":\"%s\",\"chip_setup_error\":\"%s\"}",
+                   R.Base.App.c_str(), R.Setup.message().c_str());
+  }
+  std::string J = reportJson(R.Base);
+  assert(!J.empty() && J.back() == '}');
+  J.pop_back();
+  const chip::ChipRunStats &C = R.Chip;
+  J += ",\"chip\":{";
+  J += formatf("\"me_count\":%u,\"contexts\":%u,\"ring_depth\":%u,",
+               R.Params.MP.MeCount, R.Params.MP.ContextsPerMe,
+               R.Params.RingDepth);
+  J += formatf("\"final_cycles\":%llu,\"goodput_mbps\":%.3f,",
+               (unsigned long long)C.FinalCycles, R.GoodputMbps);
+  J += formatf("\"packets_dispatched\":%llu,\"packets_retired\":%llu,"
+               "\"tail_packets\":%llu,",
+               (unsigned long long)C.PacketsDispatched,
+               (unsigned long long)C.PacketsRetired,
+               (unsigned long long)C.TailPackets);
+  J += "\"me_utilization\":[";
+  for (unsigned M = 0; M != C.MeBusyCycles.size(); ++M)
+    J += formatf("%s%.4f", M ? "," : "", C.utilization(M));
+  J += "],\"me_busy_cycles\":[";
+  for (unsigned M = 0; M != C.MeBusyCycles.size(); ++M)
+    J += formatf("%s%llu", M ? "," : "",
+                 (unsigned long long)C.MeBusyCycles[M]);
+  J += "],\"input_ring_high_water\":[";
+  for (unsigned M = 0; M != C.InputRings.size(); ++M)
+    J += formatf("%s%u", M ? "," : "", C.InputRings[M].HighWater);
+  J += formatf("],\"tx_ring_high_water\":%u,\"reorder_high_water\":%u,",
+               C.TxRing.HighWater, C.ReorderHighWater);
+  J += formatf("\"stall_cycles\":{\"sram\":%llu,\"sdram\":%llu,"
+               "\"scratch\":%llu},",
+               (unsigned long long)C.Sram.StallCycles,
+               (unsigned long long)C.Sdram.StallCycles,
+               (unsigned long long)C.Scratch.StallCycles);
+  J += formatf("\"channel_transactions\":{\"sram\":%llu,\"sdram\":%llu,"
+               "\"scratch\":%llu},",
+               (unsigned long long)C.Sram.Transactions,
+               (unsigned long long)C.Sdram.Transactions,
+               (unsigned long long)C.Scratch.Transactions);
+  J += formatf("\"rx_dma_transactions\":%llu,",
+               (unsigned long long)C.RxDmaTransactions);
+  J += formatf("\"trace_hash\":\"%016llx\",\"image_hash\":\"%016llx\",",
+               (unsigned long long)C.TraceHash,
+               (unsigned long long)R.ImageHash);
+  J += formatf("\"chip_outcome_mismatches\":%llu,\"deadlock\":%s}",
+               (unsigned long long)R.ChipOutcomeMismatches,
+               C.Deadlock ? "true" : "false");
+  J += "}";
+  return J;
+}
+
+void soak::printChipReport(const ChipSoakReport &R, std::FILE *Out) {
+  if (!R.Setup.ok()) {
+    std::fprintf(Out, "== %s: chip setup error: %s ==\n",
+                 R.Base.App.c_str(), R.Setup.message().c_str());
+    return;
+  }
+  printReport(R.Base, Out);
+  const chip::ChipRunStats &C = R.Chip;
+  std::fprintf(Out,
+               "  chip      : me=%u ctx=%u ring=%u  final=%llu cycles  "
+               "goodput=%.1f Mbps%s\n",
+               R.Params.MP.MeCount, R.Params.MP.ContextsPerMe,
+               R.Params.RingDepth, (unsigned long long)C.FinalCycles,
+               R.GoodputMbps, C.Deadlock ? "  DEADLOCK" : "");
+  std::fprintf(Out,
+               "  stalls    : sram=%llu sdram=%llu scratch=%llu cycles "
+               "(txns %llu/%llu/%llu)\n",
+               (unsigned long long)C.Sram.StallCycles,
+               (unsigned long long)C.Sdram.StallCycles,
+               (unsigned long long)C.Scratch.StallCycles,
+               (unsigned long long)C.Sram.Transactions,
+               (unsigned long long)C.Sdram.Transactions,
+               (unsigned long long)C.Scratch.Transactions);
+  std::fprintf(Out, "  util      :");
+  for (unsigned M = 0; M != C.MeBusyCycles.size(); ++M)
+    std::fprintf(Out, " me%u=%.2f", M, C.utilization(M));
+  std::fprintf(Out, "\n  rings     : in-hw=[");
+  for (unsigned M = 0; M != C.InputRings.size(); ++M)
+    std::fprintf(Out, "%s%u", M ? "," : "", C.InputRings[M].HighWater);
+  std::fprintf(Out, "] tx-hw=%u reorder-hw=%u tail=%llu\n",
+               C.TxRing.HighWater, C.ReorderHighWater,
+               (unsigned long long)C.TailPackets);
+  if (R.ChipOutcomeMismatches)
+    std::fprintf(Out, "  CHIP MISMATCHES: %llu (chip vs standalone)\n",
+                 (unsigned long long)R.ChipOutcomeMismatches);
+}

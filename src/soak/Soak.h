@@ -168,6 +168,11 @@ public:
   /// result (the 0xFFFFxxxx raise/handle codes).
   bool isAppReject(const std::vector<uint32_t> &Halt) const;
 
+  /// Bit i set => entry argument i is an SDRAM pointer. The chip's RX
+  /// scheduler rebases these into per-packet slots (all three benchmark
+  /// apps take {in, out, ...} with any further args non-pointers).
+  uint32_t pointerArgMask() const { return 0b11; }
+
 private:
   enum class AppId { Aes, Kasumi, Nat };
   AppHarness() = default;

@@ -23,6 +23,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "soak/ChipSoak.h"
 #include "soak/Soak.h"
 
 #include "cps/Eval.h"
@@ -409,6 +410,87 @@ TEST(SoakOracle, MemJitterNeverDiverges) {
   Opts.Seed = 11;
   soak::SoakReport R = soak::runSoak(harness("kasumi"), Opts);
   EXPECT_EQ(R.Divergences, 0u) << R.First.What;
+}
+
+//===----------------------------------------------------------------------===//
+// Chip-mode soak: the whole-chip pipeline under adversarial traffic
+//===----------------------------------------------------------------------===//
+
+TEST(ChipSoak, NatTwoThousandPacketsZeroDivergence) {
+  soak::ChipSoakOptions Opts;
+  Opts.Base.Packets = 2'000;
+  Opts.Base.Seed = 0xC0FFEE;
+  Opts.Chip.MP.MeCount = 2;
+  soak::ChipSoakReport R = soak::runChipSoak(harness("nat"), Opts);
+  ASSERT_TRUE(R.Setup.ok()) << R.Setup.message();
+  EXPECT_EQ(R.Base.Divergences, 0u) << R.Base.First.What;
+  EXPECT_EQ(R.ChipOutcomeMismatches, 0u);
+  EXPECT_FALSE(R.Chip.Deadlock);
+  EXPECT_EQ(R.Base.Stats.Packets, 2'000u);
+  EXPECT_EQ(R.Chip.PacketsRetired, 2'000u);
+  // Every packet is accounted exactly once and every drop is typed.
+  EXPECT_EQ(R.Base.Stats.Delivered + R.Base.Stats.Rejected +
+                R.Base.Stats.Drops,
+            R.Base.Stats.Packets);
+  uint64_t TrapSum = 0;
+  for (unsigned K = 0; K != sim::NumTrapKinds; ++K)
+    TrapSum += R.Base.Stats.Traps[K];
+  EXPECT_EQ(TrapSum, R.Base.Stats.Drops);
+  // The adversarial stream exercised both engines and the shared
+  // channels.
+  EXPECT_GT(R.Base.Stats.Drops, 0u);
+  EXPECT_GT(R.Chip.totalStallCycles(), 0u);
+  EXPECT_GT(R.Chip.CtxPackets[0][0], 0u);
+  EXPECT_GT(R.Chip.CtxPackets[1][0], 0u);
+  EXPECT_GT(R.GoodputMbps, 0.0);
+}
+
+TEST(ChipSoak, AccountingAndTracesAreReproducible) {
+  soak::ChipSoakOptions Opts;
+  Opts.Base.Packets = 800;
+  Opts.Base.Seed = 7;
+  Opts.Base.OracleEvery = 0; // determinism of the chip itself
+  Opts.Chip.MP.MeCount = 3;
+  soak::ChipSoakReport A = soak::runChipSoak(harness("nat"), Opts);
+  soak::ChipSoakReport B = soak::runChipSoak(harness("nat"), Opts);
+  ASSERT_TRUE(A.Setup.ok());
+  EXPECT_EQ(A.Chip.TraceHash, B.Chip.TraceHash);
+  EXPECT_EQ(A.ImageHash, B.ImageHash);
+  EXPECT_EQ(A.Chip.FinalCycles, B.Chip.FinalCycles);
+  EXPECT_EQ(A.Chip.MeBusyCycles, B.Chip.MeBusyCycles);
+  EXPECT_EQ(A.Base.Stats.Delivered, B.Base.Stats.Delivered);
+  EXPECT_EQ(A.Base.Stats.Drops, B.Base.Stats.Drops);
+  for (unsigned K = 0; K != sim::NumTrapKinds; ++K)
+    EXPECT_EQ(A.Base.Stats.Traps[K], B.Base.Stats.Traps[K]);
+  EXPECT_EQ(A.GoodputMbps, B.GoodputMbps);
+}
+
+TEST(ChipSoak, SetupErrorsAreReportedNotFatal) {
+  soak::ChipSoakOptions Opts;
+  Opts.Base.Packets = 10;
+  Opts.Chip.MP.MeCount = 0;
+  soak::ChipSoakReport R = soak::runChipSoak(harness("nat"), Opts);
+  EXPECT_FALSE(R.Setup.ok());
+  EXPECT_EQ(R.Base.Stats.Packets, 0u);
+  // The JSON path stays usable for the CLI's error reporting.
+  std::string J = soak::chipReportJson(R);
+  EXPECT_NE(J.find("chip_setup_error"), std::string::npos);
+}
+
+TEST(ChipSoak, JsonHasStableChipKeys) {
+  soak::ChipSoakOptions Opts;
+  Opts.Base.Packets = 150;
+  Opts.Base.Seed = 5;
+  Opts.Chip.MP.MeCount = 2;
+  soak::ChipSoakReport R = soak::runChipSoak(harness("nat"), Opts);
+  ASSERT_TRUE(R.Setup.ok());
+  std::string J = soak::chipReportJson(R);
+  for (const char *Key :
+       {"\"chip\":{", "\"me_count\":2", "\"contexts\":4",
+        "\"final_cycles\"", "\"goodput_mbps\"", "\"me_utilization\"",
+        "\"input_ring_high_water\"", "\"stall_cycles\"", "\"trace_hash\"",
+        "\"image_hash\"", "\"deadlock\":false"})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key << " in " << J;
 }
 
 TEST(SoakReport, JsonHasStableKeys) {

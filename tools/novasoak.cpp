@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "soak/ChipSoak.h"
 #include "soak/Soak.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
@@ -46,7 +47,17 @@ static void usage() {
       "                      oracle must catch); solver kinds also "
       "accepted\n"
       "  --json <file>       write per-app reports as a JSON array\n"
-      "  --quiet             suppress the per-app summary tables\n");
+      "  --quiet             suppress the per-app summary tables\n"
+      "  --chip              run the whole-chip simulator: RX sharding\n"
+      "                      across micro-engines, hardware contexts\n"
+      "                      swapping on memory references, contended\n"
+      "                      channels, in-order TX retirement\n"
+      "  --me-count <n>      processing micro-engines, 1..8 (chip mode\n"
+      "                      only; default 6)\n"
+      "  --contexts <n>      hardware contexts per ME, 1..8 (chip mode\n"
+      "                      only; default 4)\n"
+      "  --ring-depth <n>    scratch ring capacity, 1..64 (chip mode\n"
+      "                      only; default 4)\n");
 }
 
 namespace {
@@ -130,6 +141,9 @@ int main(int argc, char **argv) {
   std::string AppName = "all";
   std::string JsonPath;
   bool Quiet = false;
+  bool ChipMode = false;
+  bool SawMeCount = false, SawContexts = false, SawRingDepth = false;
+  chip::ChipParams Chip;
   std::vector<FaultSpec> Faults;
   soak::SoakOptions Opts;
   driver::CompileOptions COpts = soak::AppHarness::defaultCompileOptions();
@@ -188,10 +202,59 @@ int main(int argc, char **argv) {
     } else if (P.valueFlag("--json", V)) {
       if (!P.Failed)
         JsonPath = V;
+    } else if (P.boolFlag("--chip"))
+      ChipMode = true;
+    else if (P.valueFlag("--me-count", V)) {
+      SawMeCount = true;
+      uint64_t N;
+      if (!P.Failed && (!parseU64(V, N) || N < 1 || N > 8))
+        P.fail("novasoak: --me-count expects an integer in 1..8, got "
+               "'%s'\n",
+               V);
+      else if (!P.Failed)
+        Chip.MP.MeCount = static_cast<unsigned>(N);
+    } else if (P.valueFlag("--contexts", V)) {
+      SawContexts = true;
+      uint64_t N;
+      if (!P.Failed && (!parseU64(V, N) || N < 1 || N > 8))
+        P.fail("novasoak: --contexts expects an integer in 1..8, got "
+               "'%s'\n",
+               V);
+      else if (!P.Failed)
+        Chip.MP.ContextsPerMe = static_cast<unsigned>(N);
+    } else if (P.valueFlag("--ring-depth", V)) {
+      SawRingDepth = true;
+      uint64_t N;
+      if (!P.Failed && (!parseU64(V, N) || N < 1 || N > 64))
+        P.fail("novasoak: --ring-depth expects an integer in 1..64, got "
+               "'%s'\n",
+               V);
+      else if (!P.Failed)
+        Chip.RingDepth = static_cast<unsigned>(N);
     } else {
       std::fprintf(stderr, "novasoak: unknown option '%s'\n", P.current());
       P.Failed = true;
     }
+  }
+  // Chip-mode combination rules, enforced before any compile work: the
+  // topology flags only mean something with --chip, faults inject into a
+  // global runtime hook that would also corrupt the chip's oracle
+  // re-runs, and a single-shot chip run cannot stop mid-stream.
+  if (!ChipMode && (SawMeCount || SawContexts || SawRingDepth)) {
+    std::fprintf(stderr, "novasoak: --me-count/--contexts/--ring-depth "
+                         "require --chip\n");
+    P.Failed = true;
+  }
+  if (ChipMode && !Faults.empty()) {
+    std::fprintf(stderr,
+                 "novasoak: --inject-fault is incompatible with --chip\n");
+    P.Failed = true;
+  }
+  if (ChipMode && Opts.FailFast) {
+    std::fprintf(stderr,
+                 "novasoak: --fail-fast is incompatible with --chip "
+                 "(a chip run drains its whole stream)\n");
+    P.Failed = true;
   }
   if (P.Failed) {
     usage();
@@ -224,8 +287,27 @@ int main(int argc, char **argv) {
   ScopedFaultInjection Armed(std::move(Faults));
 
   bool AnyDivergence = false;
+  bool SetupError = false;
   std::string Json = "[";
   for (size_t I = 0; I != Harnesses.size(); ++I) {
+    if (ChipMode) {
+      soak::ChipSoakOptions CO;
+      CO.Base = Opts;
+      CO.Chip = Chip;
+      soak::ChipSoakReport Rep = soak::runChipSoak(*Harnesses[I], CO);
+      if (!Rep.Setup.ok()) {
+        std::fprintf(stderr, "novasoak: %s: %s\n",
+                     Harnesses[I]->name().c_str(),
+                     Rep.Setup.message().c_str());
+        SetupError = true;
+      }
+      if (!Quiet)
+        soak::printChipReport(Rep, stdout);
+      if (Rep.Base.Divergences)
+        AnyDivergence = true;
+      Json += (I ? "," : "") + soak::chipReportJson(Rep);
+      continue;
+    }
     soak::SoakReport Rep = soak::runSoak(*Harnesses[I], Opts);
     if (!Quiet)
       soak::printReport(Rep, stdout);
@@ -246,5 +328,7 @@ int main(int argc, char **argv) {
     std::fclose(F);
   }
 
+  if (SetupError)
+    return 2;
   return AnyDivergence ? 1 : 0;
 }
