@@ -21,8 +21,21 @@ SEED="${2:-42}"
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target novasoak
 
+# Both execution modes land in BENCH_soak.json: the per-packet
+# interpreter (oracle on every packet) and the translating fast path
+# (threaded; interpreter + functional + CPS oracle sampled 1-in-10).
+# The stream statistics must be bit-identical between the two — the
+# threaded driver compares every sampled packet, and tests lock the
+# whole-report equality.
 "$BUILD/tools/novasoak" --packets "$PACKETS" --seed "$SEED" \
-  --json "$ROOT/BENCH_soak.json"
+  --json "$BUILD/BENCH_soak_interp.json"
+"$BUILD/tools/novasoak" --packets "$PACKETS" --seed "$SEED" \
+  --exec threaded --oracle-rate 10 \
+  --json "$BUILD/BENCH_soak_threaded.json"
+INTERP_JSON="$(cat "$BUILD/BENCH_soak_interp.json")"
+THREADED_JSON="$(cat "$BUILD/BENCH_soak_threaded.json")"
+printf '%s,%s\n' "${INTERP_JSON%]}" "${THREADED_JSON#[}" \
+  > "$ROOT/BENCH_soak.json"
 
 # Whole-chip nightly: the same adversarial stream through the full
 # 6-engine chip model (sampled oracle every packet at this scale is the

@@ -76,6 +76,29 @@ if [ "$SOAK_RC" -ne 1 ]; then
   exit 1
 fi
 
+# Threaded (translating fast path) soak smoke: the same adversarial
+# stream executed by fastpath::Engine with every 10th packet re-run on
+# the interpreter + functional + CPS oracles. The fast path must stay
+# bit-identical to the interpreter; any mismatch exits 1.
+echo "== threaded soak smoke (fast path, sampled oracle) =="
+timeout 120 "$BUILD/tools/novasoak" --packets 2000 --seed 7 \
+  --exec threaded --oracle-rate 10 \
+  --json "$BUILD/BENCH_soak_threaded_smoke.json"
+
+# Threaded negative control: the bit flip fires inside fastpath::Engine
+# too (it shares the injector), and the sampled interpreter re-run must
+# catch it. Oracle every packet so the 50-packet window always samples.
+echo "== threaded negative control (bit flip must be caught on the fast path) =="
+SOAK_RC=0
+timeout 120 "$BUILD/tools/novasoak" --app nat --packets 50 --seed 3 \
+  --exec threaded --oracle-rate 1 \
+  --inject-fault sim-bitflip@40 --fail-fast --quiet || SOAK_RC=$?
+if [ "$SOAK_RC" -ne 1 ]; then
+  echo "threaded negative control FAILED: expected exit 1 (divergence" \
+       "caught), got $SOAK_RC" >&2
+  exit 1
+fi
+
 # ASan+UBSan pass over the degradation ladder and the support layer: the
 # fault-injection paths (LU repair, refactorize-on-drift, incumbent
 # salvage, baseline fallback) are exactly where stale pointers and

@@ -105,6 +105,7 @@ struct ChipPacket {
   uint32_t PtrArgMask = 0;         ///< bit i set => Args[i] is an SDRAM pointer
   unsigned PayloadBytes = 0;       ///< goodput accounting when delivered
   uint8_t ClassTag = 0;            ///< generator class (opaque to the chip)
+  uint64_t SeedTag = 0;            ///< generator per-packet seed (opaque)
 };
 
 /// A packet leaving the chip at TX, in Seq order.

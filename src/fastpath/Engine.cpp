@@ -1,0 +1,497 @@
+//===- Engine.cpp - Threaded-dispatch execution of translated code --------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Two execution tiers, chosen per block at BlockEntry:
+//
+//  - the threaded fast tier: computed-goto dispatch over the pre-decoded
+//    stream, operands as direct frame indices, no per-instruction
+//    counters. Exits (branch/jump/halt/trap) reconstruct the exact
+//    interpreter instruction/cycle counts from the per-op cold data
+//    relative to the counters saved at block entry;
+//
+//  - the slow tier (slowBlock): a line-for-line mirror of
+//    sim::AllocContext::resume over the original AllocInstrs, taken when
+//    the fault injector is armed, strict shift trapping is on, the block
+//    has a statically illegal register operand, or the watchdog could
+//    fire inside the block. It preserves the interpreter's observable
+//    schedule: the Err latch traps at the bottom of the iteration for
+//    ALU-class ops but only after the memory charge for memory ops, the
+//    bit-flip uses the live instruction count, and the injector's
+//    shouldFire/drawCycles call order is unchanged.
+//
+// The two tiers interleave freely: control returns to BlockEntry at
+// every block boundary with exact counters either way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fastpath/FastPath.h"
+
+#include "sim/SimUtil.h"
+#include "support/FaultInjection.h"
+#include "support/HwHash.h"
+#include "support/StringUtils.h"
+
+#include <cstring>
+
+using namespace nova;
+using namespace nova::fastpath;
+using namespace nova::sim::detail;
+using alloc::AllocInstr;
+using alloc::AOperand;
+using alloc::PhysLoc;
+using ixp::MOp;
+
+Engine::Engine(const Translated &Tr)
+    : T(&Tr), Frame(Tr.frameSize(), 0) {
+  std::copy(Tr.Consts.begin(), Tr.Consts.end(), Frame.begin() + FrameRegs);
+}
+
+//===----------------------------------------------------------------------===//
+// Slow tier: per-instruction execution of one block, interpreter-exact.
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct RegFile {
+  uint32_t *Regs;
+  unsigned Size;
+};
+} // namespace
+
+bool Engine::slowBlock(uint32_t B, BatchMemory &Mem,
+                       const sim::RunOptions &Opts, sim::RunResult &R,
+                       uint32_t &NextB) {
+  const alloc::AllocatedProgram &P = *T->Prog;
+  const sim::LatencyModel &Lat = Opts.Lat;
+  uint32_t *F = Frame.data();
+  bool Err = false;
+  const bool Faults = FaultInjector::armed();
+
+  auto file = [&](ixp::Bank Bk) -> RegFile {
+    switch (Bk) {
+    case ixp::Bank::A:  return {F + 0, 16};
+    case ixp::Bank::B:  return {F + 16, 16};
+    case ixp::Bank::L:  return {F + 32, 8};
+    case ixp::Bank::S:  return {F + 40, 8};
+    case ixp::Bank::LD: return {F + 48, 8};
+    case ixp::Bank::SD: return {F + 56, 8};
+    default:            return {nullptr, 0};
+    }
+  };
+  auto read = [&](const AOperand &O) -> uint32_t {
+    if (O.IsConst)
+      return O.Value;
+    RegFile RF = file(O.Loc.B);
+    if (!RF.Regs || O.Loc.Reg >= RF.Size) {
+      Err = true;
+      return 0;
+    }
+    return RF.Regs[O.Loc.Reg];
+  };
+  auto writeReg = [&](PhysLoc L, uint32_t V) {
+    RegFile RF = file(L.B);
+    if (!RF.Regs || L.Reg >= RF.Size) {
+      Err = true;
+      return;
+    }
+    RF.Regs[L.Reg] = V;
+  };
+
+  unsigned Idx = 0;
+  while (true) {
+    if (++R.Instructions > Opts.MaxInstructions) {
+      trap(R, sim::TrapKind::Watchdog,
+           formatf("instruction budget of %llu exhausted",
+                   (unsigned long long)Opts.MaxInstructions));
+      return false;
+    }
+    if (Idx >= P.Blocks[B].Instrs.size()) {
+      trap(R, sim::TrapKind::MalformedProgram,
+           formatf("fell off the end of block b%u", B));
+      return false;
+    }
+    const AllocInstr &I = P.Blocks[B].Instrs[Idx++];
+
+    if ((I.Op == MOp::MemRead || I.Op == MOp::MemWrite ||
+         I.Op == MOp::BitTestSet) &&
+        !validSpace(I.Space)) {
+      trap(R, sim::TrapKind::IllegalMemSpace,
+           formatf("memory space %u in block b%u", (unsigned)I.Space, B));
+      return false;
+    }
+
+    switch (I.Op) {
+    case MOp::Alu: {
+      uint32_t A = read(I.Srcs[0]);
+      uint32_t Bv = I.Srcs.size() > 1 ? read(I.Srcs[1]) : 0;
+      if (Opts.TrapOnShiftRange && cps::shiftOutOfRange(I.Alu, Bv)) {
+        trap(R, sim::TrapKind::ShiftRange,
+             formatf("shift count %u in block b%u", Bv, B));
+        return false;
+      }
+      uint32_t V = cps::evalPrim(I.Alu, A, Bv);
+      if (Faults &&
+          FaultInjector::instance().shouldFire(FaultKind::SimBitFlip))
+        V ^= 1u << (R.Instructions & 31);
+      writeReg(I.Dsts[0], V);
+      R.Cycles += Lat.Alu;
+      break;
+    }
+    case MOp::Imm:
+      writeReg(I.Dsts[0], I.Imm);
+      R.Cycles += I.Imm <= 0xFFFF || (I.Imm & 0xFFFF) == 0 ? Lat.Imm
+                                                           : Lat.Imm + 1;
+      break;
+    case MOp::Move:
+      writeReg(I.Dsts[0], read(I.Srcs[0]));
+      R.Cycles += Lat.Alu;
+      break;
+    case MOp::MemRead: {
+      uint32_t Addr = read(I.Srcs[0]);
+      uint32_t Count = static_cast<uint32_t>(I.Dsts.size());
+      if (!Err && !Mem.inRange(I.Space, Addr, Count)) {
+        trap(R, rangeTrapFor(I.Space),
+             formatf("%s read of %u words at 0x%x (limit 0x%x)",
+                     spaceName(I.Space), Count, Addr,
+                     Mem.limits().words(I.Space)));
+        return false;
+      }
+      for (unsigned K = 0; K != I.Dsts.size(); ++K)
+        writeReg(I.Dsts[K], Mem.load(I.Space, Addr + K));
+      if (Faults &&
+          FaultInjector::instance().shouldFire(FaultKind::MemJitter))
+        R.Cycles +=
+            FaultInjector::instance().drawCycles(FaultKind::MemJitter, 16);
+      // The single-threaded driver charges the flat latency right after
+      // the Mem yield; an Err latched above traps at the next resume —
+      // i.e. at the bottom-of-iteration check below, after this charge.
+      R.Cycles += Lat.memAccess(I.Space);
+      break;
+    }
+    case MOp::MemWrite: {
+      uint32_t Addr = read(I.Srcs[0]);
+      uint32_t Count = static_cast<uint32_t>(I.Srcs.size() - 1);
+      if (!Err && !Mem.inRange(I.Space, Addr, Count)) {
+        trap(R, rangeTrapFor(I.Space),
+             formatf("%s write of %u words at 0x%x (limit 0x%x)",
+                     spaceName(I.Space), Count, Addr,
+                     Mem.limits().words(I.Space)));
+        return false;
+      }
+      for (unsigned K = 1; K != I.Srcs.size(); ++K)
+        Mem.store(I.Space, Addr + K - 1, read(I.Srcs[K]));
+      if (Faults &&
+          FaultInjector::instance().shouldFire(FaultKind::MemJitter))
+        R.Cycles +=
+            FaultInjector::instance().drawCycles(FaultKind::MemJitter, 16);
+      R.Cycles += Lat.memAccess(I.Space);
+      break;
+    }
+    case MOp::Hash:
+      writeReg(I.Dsts[0], hwHash(read(I.Srcs[0])));
+      R.Cycles += Lat.HashOp;
+      break;
+    case MOp::BitTestSet: {
+      uint32_t Addr = read(I.Srcs[0]);
+      uint32_t Bits = read(I.Srcs[1]);
+      if (!Err && !Mem.inRange(I.Space, Addr, 1)) {
+        trap(R, rangeTrapFor(I.Space),
+             formatf("%s bit-test-set at 0x%x (limit 0x%x)",
+                     spaceName(I.Space), Addr,
+                     Mem.limits().words(I.Space)));
+        return false;
+      }
+      uint32_t Old = Mem.load(I.Space, Addr);
+      Mem.store(I.Space, Addr, Old | Bits);
+      writeReg(I.Dsts[0], Old);
+      R.Cycles += Lat.memAccess(I.Space); // no jitter draw for BitTestSet
+      break;
+    }
+    case MOp::Clone:
+      trap(R, sim::TrapKind::MalformedProgram,
+           "clone pseudo in allocated code");
+      return false;
+    case MOp::Branch: {
+      ixp::BlockId Tgt =
+          cps::evalCmp(I.Cmp, read(I.Srcs[0]), read(I.Srcs[1]))
+              ? I.Target
+              : I.TargetElse;
+      if (Tgt >= P.Blocks.size()) {
+        trap(R, sim::TrapKind::MalformedProgram,
+             formatf("branch in block b%u targets b%u", B, Tgt));
+        return false;
+      }
+      R.Cycles += Lat.Branch;
+      if (Err) {
+        // The interpreter re-targets B before its bottom-of-iteration
+        // check, so the message names the *taken* block.
+        trap(R, sim::TrapKind::IllegalRegister,
+             formatf("illegal register access in block b%u", Tgt));
+        return false;
+      }
+      NextB = Tgt;
+      return true;
+    }
+    case MOp::Jump:
+      if (I.Target >= P.Blocks.size()) {
+        trap(R, sim::TrapKind::MalformedProgram,
+             formatf("jump in block b%u targets b%u", B, I.Target));
+        return false;
+      }
+      R.Cycles += Lat.Branch;
+      NextB = I.Target;
+      return true;
+    case MOp::Halt:
+      for (const AOperand &S : I.Srcs)
+        R.HaltValues.push_back(read(S));
+      if (Err) {
+        trap(R, sim::TrapKind::IllegalRegister,
+             "illegal register access at halt");
+        return false;
+      }
+      R.Ok = true;
+      return false;
+    }
+    if (Err) {
+      trap(R, sim::TrapKind::IllegalRegister,
+           formatf("illegal register access in block b%u", B));
+      return false;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fast tier: the threaded dispatch loop.
+//===----------------------------------------------------------------------===//
+
+// Computed goto (threaded code) under GCC/Clang; a switch-in-a-loop
+// elsewhere. NOVA_FASTPATH_NO_CGOTO forces the portable loop (used to
+// compile-test it).
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(NOVA_FASTPATH_NO_CGOTO)
+#define NOVA_FP_CGOTO 1
+#endif
+
+#ifdef NOVA_FP_CGOTO
+#define VM_CASE(K) L_##K:
+#define VM_DISPATCH() goto *JT[static_cast<unsigned>(Ops[PC].Kind)]
+#else
+#define VM_CASE(K) case FOp::K:
+#define VM_DISPATCH() continue
+#endif
+
+sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
+                           BatchMemory &Mem, const sim::RunOptions &Opts) {
+  sim::RunResult R;
+  std::memset(Frame.data(), 0, FrameRegs * sizeof(uint32_t));
+
+  if (!T->EntryValid) {
+    trap(R, sim::TrapKind::MalformedProgram, "no entry block");
+    return R;
+  }
+  if (Args.size() > 15) {
+    trap(R, sim::TrapKind::MalformedProgram, "too many entry arguments");
+    return R;
+  }
+  for (unsigned I = 0; I != Args.size(); ++I)
+    Frame[I] = Args[I];
+
+  const FastOp *Ops = T->Ops.data();
+  const ColdInfo *ColdA = T->Cold.data();
+  const uint16_t *Pool = T->Pool.data();
+  const BlockMeta *Meta = T->Meta.data();
+  uint32_t *F = Frame.data();
+  const uint64_t MaxIns = Opts.MaxInstructions;
+  const unsigned BranchCost = Opts.Lat.Branch;
+  const bool SlowAll =
+      FaultInjector::armed() || Opts.TrapOnShiftRange;
+
+  // Live counters: exact at every block boundary. Interior fast ops
+  // never touch them; exits rebuild them from Start + cold data.
+  uint64_t Ins = 0, Cyc = 0;
+  uint64_t StartIns = 0, StartCyc = 0;
+  uint32_t PC = Meta[T->Prog->Entry].FirstOp;
+
+#ifdef NOVA_FP_CGOTO
+  static const void *JT[] = {
+      &&L_BlockEntry, &&L_AluAdd,    &&L_AluSub,   &&L_AluAnd,
+      &&L_AluOr,      &&L_AluXor,    &&L_AluShl,   &&L_AluShr,
+      &&L_AluNot,     &&L_Copy,      &&L_Hash,     &&L_MemRead,
+      &&L_MemWrite,   &&L_BitTestSet, &&L_BranchEq, &&L_BranchNe,
+      &&L_BranchLt,   &&L_BranchGt,  &&L_BranchLe, &&L_BranchGe,
+      &&L_Jump,       &&L_Halt,      &&L_TrapStatic,
+  };
+  VM_DISPATCH();
+#else
+  for (;;)
+    switch (Ops[PC].Kind) {
+#endif
+
+  VM_CASE(BlockEntry) {
+    const FastOp &O = Ops[PC];
+    const BlockMeta &M = Meta[O.X];
+    if (SlowAll || M.ForceSlow || Ins + M.MaxPath > MaxIns) {
+      R.Instructions = Ins;
+      R.Cycles = Cyc;
+      uint32_t NextB;
+      if (!slowBlock(O.X, Mem, Opts, R, NextB))
+        return R;
+      Ins = R.Instructions;
+      Cyc = R.Cycles;
+      PC = Meta[NextB].FirstOp;
+      VM_DISPATCH();
+    }
+    StartIns = Ins;
+    StartCyc = Cyc;
+    ++PC;
+    VM_DISPATCH();
+  }
+
+#define ALU_CASE(NAME, PRIM)                                              \
+  VM_CASE(NAME) {                                                         \
+    const FastOp &O = Ops[PC];                                            \
+    F[O.D] = cps::evalPrim(cps::PrimOp::PRIM, F[O.A], F[O.B]);            \
+    ++PC;                                                                 \
+    VM_DISPATCH();                                                        \
+  }
+  ALU_CASE(AluAdd, Add)
+  ALU_CASE(AluSub, Sub)
+  ALU_CASE(AluAnd, And)
+  ALU_CASE(AluOr, Or)
+  ALU_CASE(AluXor, Xor)
+  ALU_CASE(AluShl, Shl)
+  ALU_CASE(AluShr, Shr)
+  ALU_CASE(AluNot, Not)
+#undef ALU_CASE
+
+  VM_CASE(Copy) {
+    const FastOp &O = Ops[PC];
+    F[O.D] = F[O.A];
+    ++PC;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(Hash) {
+    const FastOp &O = Ops[PC];
+    F[O.D] = hwHash(F[O.A]);
+    ++PC;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(MemRead) {
+    const FastOp &O = Ops[PC];
+    MemSpace S = static_cast<MemSpace>(O.Aux);
+    uint32_t Addr = F[O.A];
+    if (!Mem.inRange(S, Addr, O.N)) {
+      const ColdInfo &C = ColdA[PC];
+      R.Instructions = StartIns + C.InsDelta;
+      R.Cycles = StartCyc + C.CycPrefix;
+      trap(R, rangeTrapFor(S),
+           formatf("%s read of %u words at 0x%x (limit 0x%x)",
+                   spaceName(S), O.N, Addr, Mem.limits().words(S)));
+      return R;
+    }
+    const uint16_t *Dst = Pool + O.X;
+    for (uint32_t K = 0; K != O.N; ++K)
+      F[Dst[K]] = Mem.load(S, Addr + K);
+    ++PC;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(MemWrite) {
+    const FastOp &O = Ops[PC];
+    MemSpace S = static_cast<MemSpace>(O.Aux);
+    uint32_t Addr = F[O.A];
+    if (!Mem.inRange(S, Addr, O.N)) {
+      const ColdInfo &C = ColdA[PC];
+      R.Instructions = StartIns + C.InsDelta;
+      R.Cycles = StartCyc + C.CycPrefix;
+      trap(R, rangeTrapFor(S),
+           formatf("%s write of %u words at 0x%x (limit 0x%x)",
+                   spaceName(S), O.N, Addr, Mem.limits().words(S)));
+      return R;
+    }
+    const uint16_t *Src = Pool + O.X;
+    for (uint32_t K = 0; K != O.N; ++K)
+      Mem.store(S, Addr + K, F[Src[K]]);
+    ++PC;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(BitTestSet) {
+    const FastOp &O = Ops[PC];
+    MemSpace S = static_cast<MemSpace>(O.Aux);
+    uint32_t Addr = F[O.A];
+    if (!Mem.inRange(S, Addr, 1)) {
+      const ColdInfo &C = ColdA[PC];
+      R.Instructions = StartIns + C.InsDelta;
+      R.Cycles = StartCyc + C.CycPrefix;
+      trap(R, rangeTrapFor(S),
+           formatf("%s bit-test-set at 0x%x (limit 0x%x)", spaceName(S),
+                   Addr, Mem.limits().words(S)));
+      return R;
+    }
+    uint32_t Old = Mem.load(S, Addr);
+    Mem.store(S, Addr, Old | F[O.B]);
+    F[O.D] = Old;
+    ++PC;
+    VM_DISPATCH();
+  }
+
+#define BRANCH_CASE(NAME, CMP)                                            \
+  VM_CASE(NAME) {                                                         \
+    const FastOp &O = Ops[PC];                                            \
+    const ColdInfo &C = ColdA[PC];                                        \
+    Ins = StartIns + C.InsDelta;                                          \
+    Cyc = StartCyc + C.CycPrefix + BranchCost;                            \
+    PC = cps::evalCmp(cps::CmpOp::CMP, F[O.A], F[O.B]) ? O.X : O.Y;       \
+    VM_DISPATCH();                                                        \
+  }
+  BRANCH_CASE(BranchEq, Eq)
+  BRANCH_CASE(BranchNe, Ne)
+  BRANCH_CASE(BranchLt, Lt)
+  BRANCH_CASE(BranchGt, Gt)
+  BRANCH_CASE(BranchLe, Le)
+  BRANCH_CASE(BranchGe, Ge)
+#undef BRANCH_CASE
+
+  VM_CASE(Jump) {
+    const FastOp &O = Ops[PC];
+    const ColdInfo &C = ColdA[PC];
+    Ins = StartIns + C.InsDelta;
+    Cyc = StartCyc + C.CycPrefix + BranchCost;
+    PC = O.X;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(Halt) {
+    const FastOp &O = Ops[PC];
+    const ColdInfo &C = ColdA[PC];
+    R.Instructions = StartIns + C.InsDelta;
+    R.Cycles = StartCyc + C.CycPrefix;
+    const uint16_t *Src = Pool + O.X;
+    for (uint32_t K = 0; K != O.N; ++K)
+      R.HaltValues.push_back(F[Src[K]]);
+    R.Ok = true;
+    return R;
+  }
+
+  VM_CASE(TrapStatic) {
+    const FastOp &O = Ops[PC];
+    const ColdInfo &C = ColdA[PC];
+    R.Instructions = StartIns + C.InsDelta;
+    R.Cycles = StartCyc + C.CycPrefix;
+    trap(R, static_cast<sim::TrapKind>(O.Aux), T->Messages[O.X]);
+    return R;
+  }
+
+#ifndef NOVA_FP_CGOTO
+    }
+#endif
+}
+
+#undef VM_CASE
+#undef VM_DISPATCH

@@ -1,0 +1,157 @@
+//===- FastPath.h - Translating fast path for allocated code ----*- C++ -*-===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A translating execution mode for alloc::AllocatedProgram: each program
+/// is pre-translated once into a flat, pre-decoded op stream executed by
+/// a computed-goto dispatch loop (src/fastpath/Engine.cpp). The fast path
+/// is itself a compiler, so it plugs into the soak harness's differential
+/// oracle with the interpreter (sim::AllocContext) as the reference — the
+/// contract is *bit-identical* RunResults: same trap kinds and message
+/// strings, same instruction and cycle counts at the trap point, same
+/// halt values and final memory images, same fault-injector draw
+/// sequences.
+///
+/// Translation scheme:
+///  - operands become direct offsets into a flat register frame (the six
+///    banks at fixed bases) with constants folded into frame slots, so
+///    an operand read is one unchecked array index;
+///  - PrimOp/CmpOp are folded into specialized opcodes (AluAdd..AluNot,
+///    BranchEq..BranchGe) whose handlers call the centralized
+///    cps::evalPrim/evalCmp with a compile-time op;
+///  - block targets resolve to op indices; a branch edge to an invalid
+///    block resolves to a pre-formatted trap op, so the runtime check
+///    disappears;
+///  - instruction and cycle accounting is block-aggregated: interior ops
+///    touch no counters. Every exit op (branch, jump, halt, trap)
+///    reconstructs the exact interpreter counts from per-op cold data
+///    (index in block, exclusive cycle prefix sum) relative to the
+///    counters saved at block entry. Latency costs (including the
+///    per-Imm 1-vs-2-cycle split) are folded at translation time, which
+///    is why the translation is specific to one LatencyModel.
+///
+/// Exactness escape hatches: a block whose code can observe per-
+/// instruction state — a statically illegal register operand (the Err
+/// latch), an armed fault injector, strict shift trapping, or a watchdog
+/// that may fire inside the block — is executed by a per-instruction
+/// slow path that mirrors sim::AllocContext::resume line for line (same
+/// Err-latch timing, same injector draw order). Everything else runs on
+/// the threaded dispatch loop with zero per-instruction bookkeeping.
+///
+/// Not supported (by design): spill-window rebasing — the fast path
+/// serves the single-context soak loop; the whole-chip simulator keeps
+/// the resumable interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FASTPATH_FASTPATH_H
+#define FASTPATH_FASTPATH_H
+
+#include "fastpath/BatchMemory.h"
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nova {
+namespace fastpath {
+
+/// Frame layout: 64 register slots — A at 0 (16), B at 16 (16), L at 32
+/// (8), S at 40 (8), LD at 48 (8), SD at 56 (8) — then folded constants.
+inline constexpr unsigned FrameRegs = 64;
+
+/// Specialized opcodes of the pre-decoded stream.
+enum class FOp : uint8_t {
+  BlockEntry, ///< X=block id: watchdog/slow-path gate, saves counters
+  AluAdd, AluSub, AluAnd, AluOr, AluXor, AluShl, AluShr, AluNot,
+  Copy,       ///< Frame[D] = Frame[A] (Move, and Imm via a const slot)
+  Hash,       ///< Frame[D] = hwHash(Frame[A])
+  MemRead,    ///< Aux=space, A=addr slot, N dsts at Pool[X]
+  MemWrite,   ///< Aux=space, A=addr slot, N srcs at Pool[X]
+  BitTestSet, ///< Aux=space, A=addr, B=bits, D=old value
+  BranchEq, BranchNe, BranchLt, BranchGt, BranchLe, BranchGe,
+              ///< A,B compared; goto op X (then) / Y (else)
+  Jump,       ///< goto op X
+  Halt,       ///< push N frame slots at Pool[X]; Ok
+  TrapStatic, ///< Aux=TrapKind, X=message index; counts from cold data
+};
+
+struct FastOp {
+  FOp Kind = FOp::TrapStatic;
+  uint8_t Aux = 0;  ///< MemSpace for memory ops, TrapKind for TrapStatic
+  uint16_t A = 0;   ///< frame slot: src0 / address
+  uint16_t B = 0;   ///< frame slot: src1 / bits
+  uint16_t D = 0;   ///< frame slot: destination
+  uint32_t N = 0;   ///< word count (MemRead/MemWrite/Halt)
+  uint32_t X = 0;   ///< target op / pool offset / message index
+  uint32_t Y = 0;   ///< branch else-target op
+};
+
+/// Cold per-op data consulted only on block exits and traps.
+struct ColdInfo {
+  uint32_t InsDelta = 0;  ///< instructions from block entry through this op
+  uint32_t CycPrefix = 0; ///< cycles charged by the ops before this one
+};
+
+struct BlockMeta {
+  uint32_t FirstOp = 0; ///< index of the block's BlockEntry op
+  uint32_t MaxPath = 0; ///< max instruction count a traversal can consume
+  bool ForceSlow = false; ///< statically illegal register operand inside
+};
+
+/// A translated program. Holds a pointer to the source program (for the
+/// per-instruction slow path), so the AllocatedProgram must outlive it.
+struct Translated {
+  const alloc::AllocatedProgram *Prog = nullptr;
+  sim::LatencyModel Lat; ///< the model the cycle folding assumed
+  std::vector<FastOp> Ops;
+  std::vector<ColdInfo> Cold;     ///< parallel to Ops
+  std::vector<uint16_t> Pool;     ///< operand lists (frame slots)
+  std::vector<uint32_t> Consts;   ///< frame slots FrameRegs..
+  std::vector<std::string> Messages;
+  std::vector<BlockMeta> Meta;
+  bool EntryValid = false;
+  unsigned SlowBlocks = 0; ///< blocks pinned to the slow path
+
+  unsigned frameSize() const {
+    return FrameRegs + static_cast<unsigned>(Consts.size());
+  }
+};
+
+/// Translates \p P for execution under \p Lat. Never fails: malformed
+/// constructs translate to trap ops with the interpreter's exact
+/// messages.
+Translated translate(const alloc::AllocatedProgram &P,
+                     const sim::LatencyModel &Lat);
+
+/// Executes a Translated program. Reusable across packets; owns only the
+/// register frame.
+class Engine {
+public:
+  explicit Engine(const Translated &T);
+
+  /// Runs one packet: arguments in A0.., memory state in \p Mem.
+  /// Opts.Lat must be the model the program was translated with.
+  /// Bit-identical to sim::runAllocated on a sim::Memory holding the
+  /// same image (the fast path ignores spill rebasing, which
+  /// runAllocated never uses either).
+  sim::RunResult run(const std::vector<uint32_t> &Args, BatchMemory &Mem,
+                     const sim::RunOptions &Opts);
+
+private:
+  const Translated *T;
+  std::vector<uint32_t> Frame;
+
+  bool slowBlock(uint32_t B, BatchMemory &Mem, const sim::RunOptions &Opts,
+                 sim::RunResult &R, uint32_t &NextB);
+};
+
+} // namespace fastpath
+} // namespace nova
+
+#endif // FASTPATH_FASTPATH_H

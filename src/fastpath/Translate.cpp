@@ -1,0 +1,344 @@
+//===- Translate.cpp - AllocatedProgram -> flat pre-decoded op stream -----===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// One pass per block, stopping at the first terminal instruction (branch,
+// jump, halt, clone pseudo, invalid memory space): everything past it is
+// unreachable — blocks have a single entry and execute linearly. Ops past
+// the terminal therefore never inflate the block's watchdog bound. Blocks
+// that contain a statically illegal register operand are pinned to the
+// per-instruction slow path (Meta.ForceSlow): the Err-latch timing of the
+// interpreter is observable (which instruction traps, whether a memory
+// charge lands first), so those blocks keep the interpreter's exact
+// step-by-step schedule. Real allocator output never contains them; the
+// hostile hand-built programs in the test suite do.
+//
+// Branch edges to invalid blocks resolve to appendix trap ops that carry
+// the branch's own cold data and a pre-formatted message — the taken-edge
+// check costs nothing at runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fastpath/FastPath.h"
+
+#include "sim/SimUtil.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace nova;
+using namespace nova::fastpath;
+using namespace nova::sim::detail;
+using alloc::AllocInstr;
+using alloc::AOperand;
+using alloc::PhysLoc;
+using ixp::MOp;
+
+namespace {
+
+/// Frame base of a bank, or -1 for banks with no register file (M, C).
+int bankBase(ixp::Bank B) {
+  switch (B) {
+  case ixp::Bank::A:  return 0;
+  case ixp::Bank::B:  return 16;
+  case ixp::Bank::L:  return 32;
+  case ixp::Bank::S:  return 40;
+  case ixp::Bank::LD: return 48;
+  case ixp::Bank::SD: return 56;
+  default:            return -1;
+  }
+}
+
+unsigned bankSize(ixp::Bank B) {
+  return B == ixp::Bank::A || B == ixp::Bank::B ? 16 : 8;
+}
+
+int regSlot(PhysLoc L) {
+  int Base = bankBase(L.B);
+  if (Base < 0 || L.Reg >= bankSize(L.B))
+    return -1;
+  return Base + L.Reg;
+}
+
+/// True when \p I ends the block's linear execution unconditionally.
+bool isTerminal(const AllocInstr &I) {
+  if (I.Op == MOp::Branch || I.Op == MOp::Jump || I.Op == MOp::Halt ||
+      I.Op == MOp::Clone)
+    return true;
+  // An invalid memory space traps before operands are read.
+  if ((I.Op == MOp::MemRead || I.Op == MOp::MemWrite ||
+       I.Op == MOp::BitTestSet) &&
+      !validSpace(I.Space))
+    return true;
+  return false;
+}
+
+struct Translator {
+  const alloc::AllocatedProgram &P;
+  const sim::LatencyModel &Lat;
+  Translated T;
+  std::map<uint32_t, uint16_t> ConstSlots;
+
+  /// Pending branch/jump edges: resolved to op indices once every block
+  /// has a FirstOp.
+  struct Edge {
+    uint32_t OpIdx;
+    uint32_t Block;   ///< block the branch/jump lives in (for messages)
+    bool HasElse;
+  };
+  std::vector<Edge> Edges;
+
+  Translator(const alloc::AllocatedProgram &Prog,
+             const sim::LatencyModel &L)
+      : P(Prog), Lat(L) {}
+
+  uint16_t constSlot(uint32_t V) {
+    auto It = ConstSlots.find(V);
+    if (It != ConstSlots.end())
+      return It->second;
+    uint16_t S = static_cast<uint16_t>(FrameRegs + T.Consts.size());
+    ConstSlots.emplace(V, S);
+    T.Consts.push_back(V);
+    return S;
+  }
+
+  int srcSlot(const AOperand &O) {
+    return O.IsConst ? constSlot(O.Value) : regSlot(O.Loc);
+  }
+
+  uint32_t message(std::string M) {
+    T.Messages.push_back(std::move(M));
+    return static_cast<uint32_t>(T.Messages.size() - 1);
+  }
+
+  void emit(const FastOp &O, const ColdInfo &C) {
+    T.Ops.push_back(O);
+    T.Cold.push_back(C);
+  }
+
+  /// True when every register operand \p I names exists (constants are
+  /// always fine). Terminal-before-read cases never reach here.
+  bool operandsLegal(const AllocInstr &I) {
+    for (const AOperand &S : I.Srcs)
+      if (!S.IsConst && regSlot(S.Loc) < 0)
+        return false;
+    for (PhysLoc D : I.Dsts)
+      if (regSlot(D) < 0)
+        return false;
+    return true;
+  }
+
+  unsigned costOf(const AllocInstr &I) const {
+    switch (I.Op) {
+    case MOp::Alu:
+    case MOp::Move:
+      return Lat.Alu;
+    case MOp::Imm:
+      // Large constants need two instructions on the IXP (paper §12).
+      return I.Imm <= 0xFFFF || (I.Imm & 0xFFFF) == 0 ? Lat.Imm
+                                                      : Lat.Imm + 1;
+    case MOp::Hash:
+      return Lat.HashOp;
+    case MOp::MemRead:
+    case MOp::MemWrite:
+    case MOp::BitTestSet:
+      return Lat.memAccess(I.Space);
+    default:
+      return 0; // Branch/Jump charge at the exit op; Halt/Clone charge 0
+    }
+  }
+
+  void translateBlock(uint32_t B) {
+    const std::vector<AllocInstr> &Instrs = P.Blocks[B].Instrs;
+    BlockMeta &M = T.Meta[B];
+    M.FirstOp = static_cast<uint32_t>(T.Ops.size());
+
+    FastOp Entry;
+    Entry.Kind = FOp::BlockEntry;
+    Entry.X = B;
+    emit(Entry, {});
+
+    // Legality pre-scan: one statically illegal register pins the whole
+    // block to the slow path (the Err latch makes per-instruction timing
+    // observable from the first instruction that touches it).
+    for (const AllocInstr &I : Instrs) {
+      bool Terminal = isTerminal(I);
+      bool ReadsOperands =
+          I.Op != MOp::Clone &&
+          !((I.Op == MOp::MemRead || I.Op == MOp::MemWrite ||
+             I.Op == MOp::BitTestSet) &&
+            !validSpace(I.Space));
+      if (ReadsOperands && !operandsLegal(I)) {
+        M.ForceSlow = true;
+        ++T.SlowBlocks;
+        M.MaxPath = static_cast<uint32_t>(Instrs.size()) + 1;
+        return;
+      }
+      if (Terminal)
+        break;
+    }
+
+    uint32_t CycPrefix = 0;
+    for (uint32_t K = 0; K != Instrs.size(); ++K) {
+      const AllocInstr &I = Instrs[K];
+      ColdInfo C{K + 1, CycPrefix};
+      FastOp O;
+
+      if ((I.Op == MOp::MemRead || I.Op == MOp::MemWrite ||
+           I.Op == MOp::BitTestSet) &&
+          !validSpace(I.Space)) {
+        O.Kind = FOp::TrapStatic;
+        O.Aux = static_cast<uint8_t>(sim::TrapKind::IllegalMemSpace);
+        O.X = message(
+            formatf("memory space %u in block b%u", (unsigned)I.Space, B));
+        emit(O, C);
+        M.MaxPath = K + 1;
+        return;
+      }
+
+      switch (I.Op) {
+      case MOp::Alu:
+        O.Kind = static_cast<FOp>(static_cast<unsigned>(FOp::AluAdd) +
+                                  static_cast<unsigned>(I.Alu));
+        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+        O.B = static_cast<uint16_t>(
+            I.Srcs.size() > 1 ? srcSlot(I.Srcs[1]) : constSlot(0));
+        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+        break;
+      case MOp::Imm:
+        O.Kind = FOp::Copy;
+        O.A = constSlot(I.Imm);
+        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+        break;
+      case MOp::Move:
+        O.Kind = FOp::Copy;
+        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+        break;
+      case MOp::Hash:
+        O.Kind = FOp::Hash;
+        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+        break;
+      case MOp::MemRead:
+        O.Kind = FOp::MemRead;
+        O.Aux = static_cast<uint8_t>(I.Space);
+        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+        O.N = static_cast<uint32_t>(I.Dsts.size());
+        O.X = static_cast<uint32_t>(T.Pool.size());
+        for (PhysLoc D : I.Dsts)
+          T.Pool.push_back(static_cast<uint16_t>(regSlot(D)));
+        break;
+      case MOp::MemWrite:
+        O.Kind = FOp::MemWrite;
+        O.Aux = static_cast<uint8_t>(I.Space);
+        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+        O.N = static_cast<uint32_t>(I.Srcs.size() - 1);
+        O.X = static_cast<uint32_t>(T.Pool.size());
+        for (size_t S = 1; S != I.Srcs.size(); ++S)
+          T.Pool.push_back(static_cast<uint16_t>(srcSlot(I.Srcs[S])));
+        break;
+      case MOp::BitTestSet:
+        O.Kind = FOp::BitTestSet;
+        O.Aux = static_cast<uint8_t>(I.Space);
+        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+        O.B = static_cast<uint16_t>(srcSlot(I.Srcs[1]));
+        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+        break;
+      case MOp::Clone:
+        O.Kind = FOp::TrapStatic;
+        O.Aux = static_cast<uint8_t>(sim::TrapKind::MalformedProgram);
+        O.X = message("clone pseudo in allocated code");
+        emit(O, C);
+        M.MaxPath = K + 1;
+        return;
+      case MOp::Branch:
+        O.Kind = static_cast<FOp>(static_cast<unsigned>(FOp::BranchEq) +
+                                  static_cast<unsigned>(I.Cmp));
+        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+        O.B = static_cast<uint16_t>(srcSlot(I.Srcs[1]));
+        O.X = I.Target;     // block ids until the patch pass
+        O.Y = I.TargetElse;
+        Edges.push_back({static_cast<uint32_t>(T.Ops.size()), B, true});
+        emit(O, C);
+        M.MaxPath = K + 1;
+        return;
+      case MOp::Jump:
+        O.Kind = FOp::Jump;
+        O.X = I.Target;
+        Edges.push_back({static_cast<uint32_t>(T.Ops.size()), B, false});
+        emit(O, C);
+        M.MaxPath = K + 1;
+        return;
+      case MOp::Halt:
+        O.Kind = FOp::Halt;
+        O.N = static_cast<uint32_t>(I.Srcs.size());
+        O.X = static_cast<uint32_t>(T.Pool.size());
+        for (const AOperand &S : I.Srcs)
+          T.Pool.push_back(static_cast<uint16_t>(srcSlot(S)));
+        emit(O, C);
+        M.MaxPath = K + 1;
+        return;
+      }
+      emit(O, C);
+      CycPrefix += costOf(I);
+    }
+
+    // Fell off the end: one more instruction fetch, then the trap.
+    FastOp O;
+    O.Kind = FOp::TrapStatic;
+    O.Aux = static_cast<uint8_t>(sim::TrapKind::MalformedProgram);
+    O.X = message(formatf("fell off the end of block b%u", B));
+    emit(O, {static_cast<uint32_t>(Instrs.size()) + 1, CycPrefix});
+    M.MaxPath = static_cast<uint32_t>(Instrs.size()) + 1;
+  }
+
+  /// Resolves one stored block id to an op index, appending a trap op
+  /// for edges that leave the program.
+  uint32_t resolveEdge(uint32_t TargetBlock, const Edge &E,
+                       const char *What) {
+    if (TargetBlock < T.Meta.size())
+      return T.Meta[TargetBlock].FirstOp;
+    FastOp O;
+    O.Kind = FOp::TrapStatic;
+    O.Aux = static_cast<uint8_t>(sim::TrapKind::MalformedProgram);
+    O.X = message(
+        formatf("%s in block b%u targets b%u", What, E.Block, TargetBlock));
+    uint32_t Idx = static_cast<uint32_t>(T.Ops.size());
+    ColdInfo C = T.Cold[E.OpIdx]; // taken-branch counts, sans branch cost
+    emit(O, C);
+    return Idx;
+  }
+
+  Translated run() {
+    T.Prog = &P;
+    T.Lat = Lat;
+    T.Meta.resize(P.Blocks.size());
+    T.EntryValid =
+        P.Entry != ixp::NoBlock && P.Entry < P.Blocks.size();
+    for (uint32_t B = 0; B != P.Blocks.size(); ++B)
+      translateBlock(B);
+    for (const Edge &E : Edges) {
+      const char *What = E.HasElse ? "branch" : "jump";
+      // resolveEdge may append an op and reallocate T.Ops — re-index
+      // after every call rather than holding a reference.
+      uint32_t X = resolveEdge(T.Ops[E.OpIdx].X, E, What);
+      T.Ops[E.OpIdx].X = X;
+      if (E.HasElse) {
+        uint32_t Y = resolveEdge(T.Ops[E.OpIdx].Y, E, What);
+        T.Ops[E.OpIdx].Y = Y;
+      }
+    }
+    return std::move(T);
+  }
+};
+
+} // namespace
+
+Translated fastpath::translate(const alloc::AllocatedProgram &P,
+                               const sim::LatencyModel &Lat) {
+  return Translator(P, Lat).run();
+}

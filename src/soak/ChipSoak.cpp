@@ -20,6 +20,7 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
   ChipSoakReport Rep;
   Rep.Base.App = App.name();
   Rep.Base.Seed = Opts.Base.Seed;
+  Rep.Base.OracleEvery = Opts.Base.OracleEvery;
 
   chip::ChipParams CP = Opts.Chip;
   // One watchdog for chip and oracle: the standalone re-run is then
@@ -53,6 +54,7 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
     Out.PtrArgMask = PtrMask;
     Out.PayloadBytes = P.PayloadBytes;
     Out.ClassTag = static_cast<uint8_t>(P.Class);
+    Out.SeedTag = P.Seed;
     return true;
   };
 
@@ -75,10 +77,9 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
     SoakPacket Q;
     Q.Class = static_cast<PacketClass>(RP.Pkt.ClassTag);
     Q.Index = RP.Pkt.Seq;
-    // The per-packet seed is only needed for the reproducer record;
-    // regenerate it (deterministic and cheap, and only on sampled
-    // packets).
-    Q.Seed = App.generate(RP.Pkt.Seq, SO.Seed, SO.Mix).Seed;
+    // The per-packet seed rides along in the ChipPacket record, so the
+    // reproducer needs no regeneration here.
+    Q.Seed = RP.Pkt.SeedTag;
     Q.Words = std::move(RP.Pkt.Words);
     Q.Args = RP.RebasedArgs;
     Q.PayloadBytes = RP.Pkt.PayloadBytes;

@@ -9,6 +9,7 @@
 
 #include "apps/AppSources.h"
 #include "cps/Eval.h"
+#include "fastpath/FastPath.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
@@ -18,6 +19,10 @@
 
 using namespace nova;
 using namespace nova::soak;
+
+const char *soak::execModeName(ExecMode M) {
+  return M == ExecMode::Threaded ? "threaded" : "interp";
+}
 
 //===----------------------------------------------------------------------===//
 // AppHarness
@@ -88,15 +93,16 @@ bool AppHarness::isAppReject(const std::vector<uint32_t> &Halt) const {
 
 namespace {
 
-/// First difference between two final SDRAM images, or true when equal.
+/// First difference between two final memory images, or true when equal.
 bool sameImage(const std::map<uint32_t, uint32_t> &A,
                const std::map<uint32_t, uint32_t> &B, const char *AName,
-               const char *BName, std::string &Why) {
+               const char *BName, std::string &Why,
+               const char *What = "sdram") {
   auto IA = A.begin(), IB = B.begin();
   while (IA != A.end() && IB != B.end()) {
     if (IA->first != IB->first || IA->second != IB->second) {
-      Why = formatf("sdram differs: %s has [0x%x]=0x%x, %s has [0x%x]=0x%x",
-                    AName, IA->first, IA->second, BName, IB->first,
+      Why = formatf("%s differs: %s has [0x%x]=0x%x, %s has [0x%x]=0x%x",
+                    What, AName, IA->first, IA->second, BName, IB->first,
                     IB->second);
       return false;
     }
@@ -106,7 +112,7 @@ bool sameImage(const std::map<uint32_t, uint32_t> &A,
   if (IA != A.end() || IB != B.end()) {
     bool ALeft = IA != A.end();
     auto &It = ALeft ? IA : IB;
-    Why = formatf("sdram differs: only %s has [0x%x]=0x%x",
+    Why = formatf("%s differs: only %s has [0x%x]=0x%x", What,
                   ALeft ? AName : BName, It->first, It->second);
     return false;
   }
@@ -134,10 +140,9 @@ void storeWords(std::map<uint32_t, uint32_t> &Sdram, uint32_t Addr,
   apps::storePacket(Sdram, Addr, Words);
 }
 
-} // namespace
-
-PacketOutcome soak::runPacket(const AppHarness &App, const SoakPacket &P,
-                              const SoakOptions &Opts, bool WithOracle) {
+PacketOutcome runPacketInner(const AppHarness &App, const SoakPacket &P,
+                             const SoakOptions &Opts, bool WithOracle,
+                             sim::Memory &MA) {
   PacketOutcome O;
   // Per-packet injection windows: a diverging packet reproduces
   // stand-alone, which is what makes shrinking deterministic.
@@ -148,7 +153,6 @@ PacketOutcome soak::runPacket(const AppHarness &App, const SoakPacket &P,
   RO.Lat = Opts.Lat;
   RO.MaxInstructions = Opts.Budget;
 
-  sim::Memory MA = App.baseSim();
   storeWords(MA.Sdram, P.Args.empty() ? 0 : P.Args[0], P.Words);
   O.Alloc = sim::runAllocated(App.compiled().Alloc.Prog, P.Args, MA, RO);
   O.AppReject = O.Alloc.Ok && App.isAppReject(O.Alloc.HaltValues);
@@ -233,14 +237,79 @@ PacketOutcome soak::runPacket(const AppHarness &App, const SoakPacket &P,
   return O;
 }
 
+} // namespace
+
+PacketOutcome soak::runPacket(const AppHarness &App, const SoakPacket &P,
+                              const SoakOptions &Opts, bool WithOracle) {
+  sim::Memory MA = App.baseSim();
+  PacketOutcome O = runPacketInner(App, P, Opts, WithOracle, MA);
+  O.AllocMem = std::move(MA); // map moves: O(1), no image copies
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Fast-path vs interpreter comparison (threaded mode)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Holds the fast path to its contract: bit-identical RunResult and
+/// memory effects vs the interpreter's run of the same packet.
+bool fastMatches(const sim::RunResult &FR, const fastpath::BatchMemory &BM,
+                 const PacketOutcome &O, std::string &Why) {
+  const sim::RunResult &IR = O.Alloc;
+  if (FR.Ok != IR.Ok) {
+    Why = formatf("fastpath %s but interpreter %s",
+                  FR.Ok ? "delivered" : "trapped",
+                  IR.Ok ? "delivered" : "trapped");
+    return false;
+  }
+  if (FR.Trap != IR.Trap) {
+    Why = formatf("trap kind differs: fastpath %s, interpreter %s",
+                  sim::trapKindName(FR.Trap), sim::trapKindName(IR.Trap));
+    return false;
+  }
+  if (FR.Error.message() != IR.Error.message()) {
+    Why = formatf("trap message differs: fastpath \"%s\", interpreter "
+                  "\"%s\"",
+                  FR.Error.message().c_str(), IR.Error.message().c_str());
+    return false;
+  }
+  if (FR.Instructions != IR.Instructions) {
+    Why = formatf("instruction count differs: fastpath %llu, interpreter "
+                  "%llu",
+                  (unsigned long long)FR.Instructions,
+                  (unsigned long long)IR.Instructions);
+    return false;
+  }
+  if (FR.Cycles != IR.Cycles) {
+    Why = formatf("cycle count differs: fastpath %llu, interpreter %llu",
+                  (unsigned long long)FR.Cycles,
+                  (unsigned long long)IR.Cycles);
+    return false;
+  }
+  if (!sameHalts(FR.HaltValues, IR.HaltValues, "fastpath", "interpreter",
+                 Why))
+    return false;
+  const std::map<uint32_t, uint32_t> *IM[3] = {
+      &O.AllocMem.Sram, &O.AllocMem.Sdram, &O.AllocMem.Scratch};
+  static const char *const SpaceNames[3] = {"sram", "sdram", "scratch"};
+  for (unsigned S = 0; S != 3; ++S)
+    if (!sameImage(BM.image(static_cast<MemSpace>(S)), *IM[S], "fastpath",
+                   "interpreter", Why, SpaceNames[S]))
+      return false;
+  return true;
+}
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Shrinker
 //===----------------------------------------------------------------------===//
 
-std::vector<uint32_t> soak::shrinkDivergence(const AppHarness &App,
-                                             const SoakPacket &P,
-                                             const SoakOptions &Opts,
-                                             unsigned &Runs) {
+std::vector<uint32_t> soak::shrinkDivergenceWith(
+    const SoakPacket &P, unsigned &Runs,
+    const std::function<bool(const SoakPacket &)> &Diverges) {
   constexpr unsigned MaxRuns = 600;
   std::vector<uint32_t> Cur = P.Words;
   auto diverges = [&](const std::vector<uint32_t> &W) {
@@ -249,7 +318,7 @@ std::vector<uint32_t> soak::shrinkDivergence(const AppHarness &App,
     ++Runs;
     SoakPacket Q = P;
     Q.Words = W;
-    return runPacket(App, Q, Opts, /*WithOracle=*/true).Diverged;
+    return Diverges(Q);
   };
   // Delta-debugging pass: drop chunks, halving the chunk size.
   for (size_t Chunk = std::max<size_t>(Cur.size() / 2, 1);;) {
@@ -277,14 +346,133 @@ std::vector<uint32_t> soak::shrinkDivergence(const AppHarness &App,
   return Cur;
 }
 
+std::vector<uint32_t> soak::shrinkDivergence(const AppHarness &App,
+                                             const SoakPacket &P,
+                                             const SoakOptions &Opts,
+                                             unsigned &Runs) {
+  return shrinkDivergenceWith(P, Runs, [&](const SoakPacket &Q) {
+    return runPacket(App, Q, Opts, /*WithOracle=*/true).Diverged;
+  });
+}
+
 //===----------------------------------------------------------------------===//
 // Stream runner
 //===----------------------------------------------------------------------===//
 
-SoakReport soak::runSoak(const AppHarness &App, const SoakOptions &Opts) {
+namespace {
+
+/// Threaded mode: translate once, run batches on the fast path, sample
+/// the interpreter + functional + CPS oracles every OracleEvery'th
+/// packet. The sampled interpreter run doubles as the bit-exactness
+/// check on the fast path itself (fastMatches).
+SoakReport runSoakThreaded(const AppHarness &App, const SoakOptions &Opts) {
   SoakReport Rep;
   Rep.App = App.name();
   Rep.Seed = Opts.Seed;
+  Rep.Exec = ExecMode::Threaded;
+  Rep.OracleEvery = Opts.OracleEvery;
+  Timer Clock;
+
+  Timer TranslateClock;
+  fastpath::Translated T =
+      fastpath::translate(App.compiled().Alloc.Prog, Opts.Lat);
+  fastpath::Engine Eng(T);
+  fastpath::BatchMemory BM(App.baseSim());
+  Rep.TranslateSeconds = TranslateClock.seconds();
+
+  sim::RunOptions RO;
+  RO.Lat = Opts.Lat;
+  RO.MaxInstructions = Opts.Budget;
+  const bool Armed = FaultInjector::armed();
+
+  // Re-runs packet Q on both executions; true when anything disagrees
+  // (the 3-way oracle or the fast-vs-interpreter contract). Used for
+  // shrinking, so every run re-arms the injector first.
+  auto threadedDiverges = [&](const SoakPacket &Q) {
+    if (Armed)
+      FaultInjector::instance().rearm();
+    BM.reset();
+    BM.storePacket(Q.Args.empty() ? 0 : Q.Args[0], Q.Words);
+    sim::RunResult QR = Eng.run(Q.Args, BM, RO);
+    PacketOutcome QO = runPacket(App, Q, Opts, /*WithOracle=*/true);
+    std::string QWhy;
+    return QO.Diverged || !fastMatches(QR, BM, QO, QWhy);
+  };
+
+  constexpr uint64_t BatchSize = 256;
+  std::vector<SoakPacket> Batch;
+  Batch.reserve(BatchSize);
+  bool Stop = false;
+
+  for (uint64_t Base = 0; Base < Opts.Packets && !Stop;
+       Base += BatchSize) {
+    const uint64_t N = std::min<uint64_t>(BatchSize, Opts.Packets - Base);
+    Batch.clear();
+    for (uint64_t K = 0; K != N; ++K)
+      Batch.push_back(App.generate(Base + K, Opts.Seed, Opts.Mix));
+
+    for (uint64_t K = 0; K != N; ++K) {
+      const SoakPacket &P = Batch[K];
+      ++Rep.ClassCounts[static_cast<unsigned>(P.Class)];
+      if (Armed)
+        FaultInjector::instance().rearm();
+      BM.reset();
+      BM.storePacket(P.Args.empty() ? 0 : P.Args[0], P.Words);
+      sim::RunResult FR = Eng.run(P.Args, BM, RO);
+      Rep.Stats.account(FR, FR.Ok && App.isAppReject(FR.HaltValues),
+                        P.PayloadBytes);
+
+      bool WithOracle =
+          Opts.OracleEvery != 0 && (Base + K) % Opts.OracleEvery == 0;
+      if (!WithOracle)
+        continue;
+      ++Rep.OracleChecks;
+      // The oracle rerun re-arms the injector itself, so the
+      // interpreter replays the exact draw sequence the fast path saw.
+      PacketOutcome O = runPacket(App, P, Opts, /*WithOracle=*/true);
+      if (O.OracleBudgetMiss)
+        ++Rep.OracleBudgetMisses;
+      std::string Why;
+      if (!O.Diverged && !fastMatches(FR, BM, O, Why)) {
+        O.Diverged = true;
+        O.What = "fastpath vs interpreter: " + Why;
+      }
+      if (O.Diverged) {
+        ++Rep.Divergences;
+        if (!Rep.First.Found) {
+          Rep.First.Found = true;
+          Rep.First.Index = P.Index;
+          Rep.First.Seed = P.Seed;
+          Rep.First.Class = P.Class;
+          Rep.First.What = O.What;
+          Rep.First.Words = P.Words;
+          Rep.First.Args = P.Args;
+          Rep.First.ShrunkWords =
+              Opts.Shrink ? shrinkDivergenceWith(P, Rep.First.ShrinkRuns,
+                                                 threadedDiverges)
+                          : P.Words;
+        }
+        if (Opts.FailFast) {
+          Stop = true;
+          break;
+        }
+      }
+    }
+  }
+  Rep.WallSeconds = Clock.seconds();
+  return Rep;
+}
+
+} // namespace
+
+SoakReport soak::runSoak(const AppHarness &App, const SoakOptions &Opts) {
+  if (Opts.Exec == ExecMode::Threaded)
+    return runSoakThreaded(App, Opts);
+  SoakReport Rep;
+  Rep.App = App.name();
+  Rep.Seed = Opts.Seed;
+  Rep.Exec = ExecMode::Interp;
+  Rep.OracleEvery = Opts.OracleEvery;
   Timer Clock;
   for (uint64_t I = 0; I != Opts.Packets; ++I) {
     SoakPacket P = App.generate(I, Opts.Seed, Opts.Mix);
@@ -379,6 +567,10 @@ std::string soak::reportJson(const SoakReport &R) {
                (unsigned long long)S.TotalCycles,
                (unsigned long long)S.TotalInstructions);
   J += formatf("\"delivered_mbps\":%.3f,", S.deliveredMbps());
+  J += formatf("\"exec_mode\":\"%s\",\"oracle_rate\":%llu,"
+               "\"translate_seconds\":%.6f,",
+               execModeName(R.Exec), (unsigned long long)R.OracleEvery,
+               R.TranslateSeconds);
   J += formatf("\"oracle_checks\":%llu,\"oracle_budget_misses\":%llu,"
                "\"divergences\":%llu,",
                (unsigned long long)R.OracleChecks,
@@ -408,6 +600,11 @@ void soak::printReport(const SoakReport &R, std::FILE *Out) {
   const sim::RunStats &S = R.Stats;
   std::fprintf(Out, "== %s: %llu packets, seed %llu ==\n", R.App.c_str(),
                (unsigned long long)S.Packets, (unsigned long long)R.Seed);
+  std::fprintf(Out, "  exec      : %s  oracle-rate=%llu",
+               execModeName(R.Exec), (unsigned long long)R.OracleEvery);
+  if (R.Exec == ExecMode::Threaded)
+    std::fprintf(Out, "  translate=%.3fs", R.TranslateSeconds);
+  std::fprintf(Out, "\n");
   std::fprintf(Out, "  classes   :");
   for (unsigned C = 0; C != NumPacketClasses; ++C)
     std::fprintf(Out, " %s=%llu",

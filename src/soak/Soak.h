@@ -45,6 +45,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,10 +88,22 @@ struct SoakPacket {
   unsigned PayloadBytes = 0;   ///< accounted on delivery
 };
 
+/// How the soak stream executes allocated code.
+enum class ExecMode : uint8_t {
+  Interp,  ///< sim::runAllocated per packet (the reference)
+  Threaded ///< fastpath::Engine batches with a sampled interpreter oracle
+};
+const char *execModeName(ExecMode M);
+
 struct SoakOptions {
   uint64_t Packets = 10'000;
   uint64_t Seed = 1;
   ClassMix Mix;
+  /// Threaded mode translates the program once and runs batches on the
+  /// fast path; every OracleEvery'th packet is re-run on the interpreter
+  /// (which must match the fast path bit-for-bit) plus the functional
+  /// and CPS oracles.
+  ExecMode Exec = ExecMode::Interp;
   /// Per-packet instruction watchdog for the allocated run; the
   /// functional oracle gets 4x and the CPS evaluator 64x (steps per
   /// machine instruction are not one-to-one).
@@ -124,6 +137,11 @@ struct Divergence {
 struct SoakReport {
   std::string App;
   uint64_t Seed = 0;
+  ExecMode Exec = ExecMode::Interp;
+  uint64_t OracleEvery = 1; ///< sampling rate the run used (0 = never)
+  /// One-time cost of translating the program for the fast path
+  /// (threaded mode only).
+  double TranslateSeconds = 0;
   sim::RunStats Stats;
   uint64_t ClassCounts[NumPacketClasses] = {};
   uint64_t OracleChecks = 0;
@@ -188,6 +206,10 @@ private:
 /// into the report).
 struct PacketOutcome {
   sim::RunResult Alloc;
+  /// Final memory state of the allocated run — all three spaces. The
+  /// threaded driver compares these against BatchMemory::image to hold
+  /// the fast path to bit-identical memory effects.
+  sim::Memory AllocMem;
   bool AppReject = false;
   bool Diverged = false;
   bool OracleBudgetMiss = false;
@@ -207,6 +229,13 @@ std::vector<uint32_t> shrinkDivergence(const AppHarness &App,
                                        const SoakPacket &P,
                                        const SoakOptions &Opts,
                                        unsigned &Runs);
+
+/// Generalized shrinker: minimizes \p P.Words against an arbitrary
+/// "still diverges" predicate (the threaded driver passes one that
+/// re-runs the packet on both the fast path and the interpreter).
+std::vector<uint32_t>
+shrinkDivergenceWith(const SoakPacket &P, unsigned &Runs,
+                     const std::function<bool(const SoakPacket &)> &Diverges);
 
 /// Streams Opts.Packets packets through \p App under the drop policy.
 SoakReport runSoak(const AppHarness &App, const SoakOptions &Opts);

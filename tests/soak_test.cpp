@@ -502,7 +502,8 @@ TEST(SoakReport, JsonHasStableKeys) {
   for (const char *Key :
        {"\"app\":\"kasumi\"", "\"packets\":100", "\"classes\"",
         "\"traps\"", "\"p50_cycles\"", "\"p99_cycles\"",
-        "\"delivered_mbps\"", "\"divergences\":0",
-        "\"first_divergence\":null"})
+        "\"delivered_mbps\"", "\"exec_mode\":\"interp\"",
+        "\"oracle_rate\":1", "\"translate_seconds\"",
+        "\"divergences\":0", "\"first_divergence\":null"})
     EXPECT_NE(J.find(Key), std::string::npos) << Key << " in " << J;
 }

@@ -36,8 +36,13 @@ static void usage() {
       "50000)\n"
       "  --mix v,t,o,c,f     class weights: valid,truncated,oversized,\n"
       "                      corrupt,fuzz (default 55,15,10,10,10)\n"
+      "  --exec <mode>       interp (reference, default) or threaded\n"
+      "                      (translate once, computed-goto dispatch,\n"
+      "                      sampled interpreter oracle)\n"
       "  --oracle-every <n>  differential-check every nth packet\n"
-      "                      (default 1 = all; 0 disables the oracle)\n"
+      "                      (default 1 = all; 0 disables the oracle;\n"
+      "                      threaded mode defaults to 10)\n"
+      "  --oracle-rate <n>   alias for --oracle-every\n"
       "  --no-shrink         keep the first diverging packet as-is\n"
       "  --fail-fast         stop a stream at its first divergence\n"
       "  --time-limit <s>    ILP budget per app compile (default 60)\n"
@@ -142,6 +147,7 @@ int main(int argc, char **argv) {
   std::string JsonPath;
   bool Quiet = false;
   bool ChipMode = false;
+  bool SawExec = false, SawOracleEvery = false;
   bool SawMeCount = false, SawContexts = false, SawRingDepth = false;
   chip::ChipParams Chip;
   std::vector<FaultSpec> Faults;
@@ -171,7 +177,21 @@ int main(int argc, char **argv) {
         P.fail("novasoak: --mix expects five comma-separated weights "
                "with a nonzero sum, got '%s'\n",
                V);
-    } else if (P.valueFlag("--oracle-every", V)) {
+    } else if (P.valueFlag("--exec", V)) {
+      SawExec = true;
+      if (!P.Failed) {
+        if (V == "interp")
+          Opts.Exec = soak::ExecMode::Interp;
+        else if (V == "threaded")
+          Opts.Exec = soak::ExecMode::Threaded;
+        else
+          P.fail("novasoak: --exec expects 'interp' or 'threaded', got "
+                 "'%s'\n",
+                 V);
+      }
+    } else if (P.valueFlag("--oracle-every", V) ||
+               P.valueFlag("--oracle-rate", V)) {
+      SawOracleEvery = true;
       if (!P.Failed && !parseU64(V, Opts.OracleEvery))
         P.fail("novasoak: --oracle-every expects an integer, got '%s'\n",
                V);
@@ -256,6 +276,17 @@ int main(int argc, char **argv) {
                  "(a chip run drains its whole stream)\n");
     P.Failed = true;
   }
+  if (ChipMode && SawExec && Opts.Exec == soak::ExecMode::Threaded) {
+    std::fprintf(stderr,
+                 "novasoak: --exec threaded is incompatible with --chip "
+                 "(the chip simulator needs the resumable interpreter)\n");
+    P.Failed = true;
+  }
+  // The fast path exists to amortize the oracle: checking every packet
+  // in threaded mode would be interpreter-bound, so default to 1-in-10
+  // unless the user picked a rate.
+  if (!SawOracleEvery && Opts.Exec == soak::ExecMode::Threaded)
+    Opts.OracleEvery = 10;
   if (P.Failed) {
     usage();
     return 2;
