@@ -20,6 +20,7 @@
 #include "support/StringUtils.h"
 
 #include <cstring>
+#include <map>
 #include <string>
 
 using namespace nova;
@@ -59,67 +60,99 @@ int main(int argc, char **argv) {
   std::printf("Whole-chip scaling: %s, %llu packets, seed %llu\n",
               App.c_str(), (unsigned long long)Packets,
               (unsigned long long)Seed);
-  std::printf("%4s | %10s %8s | %10s %10s | %8s %8s | %6s\n", "MEs",
-              "cycles", "Mbps", "sdram-st", "scr-st", "in-hw", "reord",
-              "util0");
+  std::printf("%8s | %4s | %10s %8s %8s | %10s %10s | %8s %8s | %6s\n",
+              "exec", "MEs", "cycles", "Mbps", "wall-s", "sdram-st",
+              "scr-st", "in-hw", "reord", "util0");
 
+  // Both execution models sweep the same ME counts. The simulated
+  // schedule is identical by construction (chip_test locks whole-report
+  // equality); the trace hashes are cross-checked here too, so the
+  // wall-clock ratio is measured on verified-identical simulations.
   std::string Json = "[";
-  double OneMe = 0;
   bool First = true;
-  for (unsigned Mes : {1u, 2u, 4u, 6u}) {
-    soak::ChipSoakOptions Opts;
-    Opts.Base.Packets = Packets;
-    Opts.Base.Seed = Seed;
-    Opts.Base.OracleEvery = 0; // measured run; correctness lives in tests
-    Opts.Chip.MP.MeCount = Mes;
-    soak::ChipSoakReport R = soak::runChipSoak(*H, Opts);
-    if (!R.Setup.ok()) {
-      std::fprintf(stderr, "chip_scaling: %s\n", R.Setup.message().c_str());
-      return 1;
-    }
-    if (R.Chip.Deadlock || R.Base.Divergences) {
-      std::fprintf(stderr, "chip_scaling: me=%u run not clean\n", Mes);
-      return 1;
-    }
-    if (Mes == 1)
-      OneMe = R.GoodputMbps;
-    unsigned MaxInHw = 0;
-    std::string InHw = "[";
-    for (unsigned M = 0; M != R.Chip.InputRings.size(); ++M) {
-      if (R.Chip.InputRings[M].HighWater > MaxInHw)
-        MaxInHw = R.Chip.InputRings[M].HighWater;
-      InHw += formatf("%s%u", M ? "," : "", R.Chip.InputRings[M].HighWater);
-    }
-    InHw += "]";
-    std::printf("%4u | %10llu %8.1f | %10llu %10llu | %8u %8u | %5.2f\n",
-                Mes, (unsigned long long)R.Chip.FinalCycles, R.GoodputMbps,
-                (unsigned long long)R.Chip.Sdram.StallCycles,
-                (unsigned long long)R.Chip.Scratch.StallCycles, MaxInHw,
-                R.Chip.ReorderHighWater, R.Chip.utilization(0));
+  std::map<unsigned, uint64_t> InterpHash;
+  std::map<unsigned, double> InterpWall;
+  double OneMe = 0, SixMeRatio = 0;
+  for (chip::ExecModel Exec :
+       {chip::ExecModel::Interp, chip::ExecModel::Threaded}) {
+    bool Threaded = Exec == chip::ExecModel::Threaded;
+    for (unsigned Mes : {1u, 2u, 4u, 6u}) {
+      soak::ChipSoakOptions Opts;
+      Opts.Base.Packets = Packets;
+      Opts.Base.Seed = Seed;
+      Opts.Base.OracleEvery = 0; // measured run; correctness lives in tests
+      Opts.Chip.MP.MeCount = Mes;
+      Opts.Chip.Exec = Exec;
+      soak::ChipSoakReport R = soak::runChipSoak(*H, Opts);
+      if (!R.Setup.ok()) {
+        std::fprintf(stderr, "chip_scaling: %s\n", R.Setup.message().c_str());
+        return 1;
+      }
+      if (R.Chip.Deadlock || R.Base.Divergences) {
+        std::fprintf(stderr, "chip_scaling: me=%u run not clean\n", Mes);
+        return 1;
+      }
+      if (!Threaded) {
+        InterpHash[Mes] = R.Chip.TraceHash;
+        InterpWall[Mes] = R.Base.WallSeconds;
+      } else if (R.Chip.TraceHash != InterpHash[Mes]) {
+        std::fprintf(stderr,
+                     "chip_scaling: me=%u trace hash diverges between exec "
+                     "models (%016llx vs %016llx)\n",
+                     Mes, (unsigned long long)InterpHash[Mes],
+                     (unsigned long long)R.Chip.TraceHash);
+        return 1;
+      }
+      if (!Threaded && Mes == 1)
+        OneMe = R.GoodputMbps;
+      unsigned MaxInHw = 0;
+      std::string InHw = "[";
+      for (unsigned M = 0; M != R.Chip.InputRings.size(); ++M) {
+        if (R.Chip.InputRings[M].HighWater > MaxInHw)
+          MaxInHw = R.Chip.InputRings[M].HighWater;
+        InHw += formatf("%s%u", M ? "," : "", R.Chip.InputRings[M].HighWater);
+      }
+      InHw += "]";
+      std::printf(
+          "%8s | %4u | %10llu %8.1f %8.3f | %10llu %10llu | %8u %8u | %5.2f\n",
+          Threaded ? "threaded" : "interp", Mes,
+          (unsigned long long)R.Chip.FinalCycles, R.GoodputMbps,
+          R.Base.WallSeconds, (unsigned long long)R.Chip.Sdram.StallCycles,
+          (unsigned long long)R.Chip.Scratch.StallCycles, MaxInHw,
+          R.Chip.ReorderHighWater, R.Chip.utilization(0));
 
-    Json += formatf(
-        "%s{\"app\":\"%s\",\"packets\":%llu,\"seed\":%llu,"
-        "\"me_count\":%u,\"contexts\":%u,\"final_cycles\":%llu,"
-        "\"goodput_mbps\":%.3f,"
-        "\"stall_cycles\":{\"sram\":%llu,\"sdram\":%llu,\"scratch\":%llu},"
-        "\"input_ring_high_water\":%s,\"tx_ring_high_water\":%u,"
-        "\"reorder_high_water\":%u,\"tail_packets\":%llu,"
-        "\"trace_hash\":\"%016llx\"}",
-        First ? "" : ",", App.c_str(), (unsigned long long)Packets,
-        (unsigned long long)Seed, Mes, Opts.Chip.MP.ContextsPerMe,
-        (unsigned long long)R.Chip.FinalCycles, R.GoodputMbps,
-        (unsigned long long)R.Chip.Sram.StallCycles,
-        (unsigned long long)R.Chip.Sdram.StallCycles,
-        (unsigned long long)R.Chip.Scratch.StallCycles, InHw.c_str(),
-        R.Chip.TxRing.HighWater, R.Chip.ReorderHighWater,
-        (unsigned long long)R.Chip.TailPackets,
-        (unsigned long long)R.Chip.TraceHash);
-    First = false;
-    if (Mes == 6 && OneMe > 0)
-      std::printf("\n6-ME/1-ME goodput ratio: %.2fx\n",
-                  R.GoodputMbps / OneMe);
+      Json += formatf(
+          "%s{\"app\":\"%s\",\"packets\":%llu,\"seed\":%llu,"
+          "\"exec_mode\":\"%s\",\"wall_seconds\":%.6f,"
+          "\"superblocks\":%llu,\"superblock_ops\":%llu,"
+          "\"me_count\":%u,\"contexts\":%u,\"final_cycles\":%llu,"
+          "\"goodput_mbps\":%.3f,"
+          "\"stall_cycles\":{\"sram\":%llu,\"sdram\":%llu,\"scratch\":%llu},"
+          "\"input_ring_high_water\":%s,\"tx_ring_high_water\":%u,"
+          "\"reorder_high_water\":%u,\"tail_packets\":%llu,"
+          "\"trace_hash\":\"%016llx\"}",
+          First ? "" : ",", App.c_str(), (unsigned long long)Packets,
+          (unsigned long long)Seed, Threaded ? "threaded" : "interp",
+          R.Base.WallSeconds, (unsigned long long)R.Chip.Superblocks,
+          (unsigned long long)R.Chip.SuperblockOps, Mes,
+          Opts.Chip.MP.ContextsPerMe, (unsigned long long)R.Chip.FinalCycles,
+          R.GoodputMbps, (unsigned long long)R.Chip.Sram.StallCycles,
+          (unsigned long long)R.Chip.Sdram.StallCycles,
+          (unsigned long long)R.Chip.Scratch.StallCycles, InHw.c_str(),
+          R.Chip.TxRing.HighWater, R.Chip.ReorderHighWater,
+          (unsigned long long)R.Chip.TailPackets,
+          (unsigned long long)R.Chip.TraceHash);
+      First = false;
+      if (Threaded && Mes == 6 && R.Base.WallSeconds > 0)
+        SixMeRatio = InterpWall[Mes] / R.Base.WallSeconds;
+      if (!Threaded && Mes == 6 && OneMe > 0)
+        std::printf("\n6-ME/1-ME goodput ratio: %.2fx\n\n",
+                    R.GoodputMbps / OneMe);
+    }
   }
   Json += "]";
+  if (SixMeRatio > 0)
+    std::printf("\n6-ME threaded/interp wall speedup: %.2fx\n", SixMeRatio);
 
   std::FILE *F = std::fopen(JsonPath.c_str(), "w");
   if (!F) {

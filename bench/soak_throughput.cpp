@@ -23,9 +23,11 @@
 
 #include "soak/Soak.h"
 #include "support/StringUtils.h"
+#include "support/Timer.h"
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace nova;
 
@@ -66,12 +68,43 @@ int main(int argc, char **argv) {
   std::printf("%9s | %11s | %10s %9s | %10s\n", "exec", "oracle-rate",
               "pkt/s", "wall-s", "checks");
 
+  // Generator-only baseline: the same batched stream with execution
+  // stubbed out entirely. This is the hard ceiling any exec mode is
+  // measured against — generator cost is recorded, not inferred from
+  // the gap between modes.
+  std::string Json = "[";
+  bool First = true;
+  {
+    soak::ClassMix Mix;
+    soak::PacketTemplateCache Cache;
+    std::vector<soak::SoakPacket> Batch;
+    uint64_t WordSink = 0;
+    Timer Clock;
+    for (uint64_t Base = 0; Base < Packets;) {
+      uint64_t N = Packets - Base < 256 ? Packets - Base : 256;
+      H->generateBatch(Base, N, Seed, Mix, Cache, Batch);
+      // Touch each packet so the generator's writes cannot be elided.
+      for (uint64_t I = 0; I != N; ++I)
+        WordSink += Batch[I].Words.size() + Batch[I].Args.size();
+      Base += N;
+    }
+    double Wall = Clock.seconds();
+    double Rate = Wall > 0 ? double(Packets) / Wall : 0;
+    std::printf("%9s | %11s | %10.1f %9.3f | %10s\n", "gen-only", "-", Rate,
+                Wall, "-");
+    Json += formatf("{\"app\":\"%s\",\"packets\":%llu,\"seed\":%llu,"
+                    "\"exec_mode\":\"generator-only\",\"wall_seconds\":%.6f,"
+                    "\"pkts_per_sec\":%.1f,\"word_sink\":%llu}",
+                    App.c_str(), (unsigned long long)Packets,
+                    (unsigned long long)Seed, Wall, Rate,
+                    (unsigned long long)WordSink);
+    First = false;
+  }
+
   // Oracle rate 0 is the execution-speed ceiling (no oracle at all);
   // 1/10/100 match the EXPERIMENTS.md table. Interp at rate 0 is the
   // pure interpreter; threaded at rate 0 is the pure fast path.
   const uint64_t Rates[] = {0, 100, 10, 1};
-  std::string Json = "[";
-  bool First = true;
   for (soak::ExecMode Mode :
        {soak::ExecMode::Interp, soak::ExecMode::Threaded}) {
     for (uint64_t Rate : Rates) {

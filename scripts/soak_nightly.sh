@@ -40,6 +40,16 @@ printf '%s,%s\n' "${INTERP_JSON%]}" "${THREADED_JSON#[}" \
 # Whole-chip nightly: the same adversarial stream through the full
 # 6-engine chip model (sampled oracle every packet at this scale is the
 # point of nightly: it is the deepest contention + isolation soak we
-# run). Chip goodput, stalls, and per-ME utilization land in the JSON.
-exec "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
-  --packets "$PACKETS" --seed "$SEED" --json "$ROOT/BENCH_chip_soak.json"
+# run). Both execution models are recorded — the interpreted chip and
+# the chip whose contexts run on the segmented fast path — and their
+# reports must be bit-identical (trace hash, stalls, drop taxonomy).
+"$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --packets "$PACKETS" --seed "$SEED" \
+  --json "$BUILD/BENCH_chip_interp.json"
+"$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --exec threaded --packets "$PACKETS" --seed "$SEED" \
+  --json "$BUILD/BENCH_chip_threaded.json"
+CHIP_INTERP_JSON="$(cat "$BUILD/BENCH_chip_interp.json")"
+CHIP_THREADED_JSON="$(cat "$BUILD/BENCH_chip_threaded.json")"
+printf '%s,%s\n' "${CHIP_INTERP_JSON%]}" "${CHIP_THREADED_JSON#[}" \
+  > "$ROOT/BENCH_chip_soak.json"

@@ -99,6 +99,32 @@ if [ "$SOAK_RC" -ne 1 ]; then
   exit 1
 fi
 
+# Chip-threaded smoke: the same 6-ME chip stream, but every context
+# executes on the segmented fast path (superblocks + resumable
+# segments). The schedule — and therefore the trace hash, stall
+# counters, and drop taxonomy — must stay bit-identical to the
+# interpreted chip; chip_test locks the whole-report equality, this
+# smoke proves the oracle stays clean end-to-end through the CLI.
+echo "== whole-chip threaded smoke (segmented fast path, sampled oracle) =="
+timeout 300 "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --exec threaded --packets 2000 --seed 7 \
+  --json "$BUILD/BENCH_chip_threaded_smoke.json"
+
+# Chip-threaded negative control: arming the injector pins both the
+# chip contexts and the oracle re-runs to the interpreter-exact slow
+# tier, and the x1 budget spends the flip before the retire-time
+# re-run — so the oracle must catch it (exit 1).
+echo "== chip-threaded negative control (bit flip must be caught) =="
+SOAK_RC=0
+timeout 300 "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --exec threaded --packets 500 --seed 42 --oracle-rate 1 \
+  --inject-fault 'sim-bitflip@1000x1' --quiet || SOAK_RC=$?
+if [ "$SOAK_RC" -ne 1 ]; then
+  echo "chip-threaded negative control FAILED: expected exit 1" \
+       "(divergence caught), got $SOAK_RC" >&2
+  exit 1
+fi
+
 # ASan+UBSan pass over the degradation ladder and the support layer: the
 # fault-injection paths (LU repair, refactorize-on-drift, incumbent
 # salvage, baseline fallback) are exactly where stale pointers and
@@ -123,6 +149,14 @@ echo "== TSan chip scheduler tests =="
 cmake -B "$TSAN_BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
-cmake --build "$TSAN_BUILD" -j"$JOBS" --target chip_test
+cmake --build "$TSAN_BUILD" -j"$JOBS" --target chip_test novasoak
 timeout 300 "$TSAN_BUILD/tests/chip_test"
+
+# TSan soak over the batched generator + segmented fast path: the
+# template cache and reused packet buffers are single-threaded by
+# design; a clean run here plus the byte-identity tests is the evidence
+# nothing aliases across packets.
+echo "== TSan threaded soak (batched generator path) =="
+timeout 300 "$TSAN_BUILD/tools/novasoak" --app nat --packets 500 \
+  --exec threaded --oracle-rate 10 --quiet
 echo "tier-1 verify: OK"

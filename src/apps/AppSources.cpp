@@ -348,9 +348,3 @@ void apps::loadKasumiEnvironment(sim::Memory &Mem) {
 void apps::loadKasumiEnvironment(cps::EvalMemory &Mem) {
   loadKasumiInto(Mem.Sram, Mem.Scratch);
 }
-
-void apps::storePacket(std::map<uint32_t, uint32_t> &Sdram, uint32_t Addr,
-                       const std::vector<uint32_t> &Words) {
-  for (unsigned I = 0; I != Words.size(); ++I)
-    Sdram[Addr + I] = Words[I];
-}

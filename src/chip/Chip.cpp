@@ -34,6 +34,7 @@
 
 #include "chip/Chip.h"
 
+#include "fastpath/Segment.h"
 #include "sim/ExecContext.h"
 #include "support/StringUtils.h"
 
@@ -167,10 +168,31 @@ enum class CtxPh : uint8_t {
   RetryPush   ///< woken to re-attempt a TX-ring push
 };
 
+/// One hardware context: either a resumable interpreter or a resumable
+/// fast-path segment executor, behind the same yield contract. Which one
+/// is live is a chip-wide choice (ChipParams::Exec), so a plain bool
+/// dispatch keeps the event handlers identical for both models.
 struct HwCtx {
   sim::AllocContext Exec;
+  fastpath::SegmentContext Seg;
+  bool Threaded = false;
   CtxPh Ph = CtxPh::ParkedRing;
   uint64_t CurSeq = 0;
+
+  void reset(const std::vector<uint32_t> &Args) {
+    Threaded ? Seg.reset(Args) : Exec.reset(Args);
+  }
+  bool done() const { return Threaded ? Seg.done() : Exec.done(); }
+  sim::AllocContext::Yield resume(sim::Memory &Mem,
+                                  const sim::RunOptions &Opts) {
+    return Threaded ? Seg.resume(Mem, Opts) : Exec.resume(Mem, Opts);
+  }
+  void charge(uint64_t Cycles) {
+    Threaded ? Seg.charge(Cycles) : Exec.charge(Cycles);
+  }
+  sim::RunResult takeResult() {
+    return Threaded ? Seg.takeResult() : Exec.takeResult();
+  }
 };
 
 struct MeState {
@@ -203,6 +225,9 @@ enum class RxWait : uint8_t { None, Slot, RingFull };
 struct Chip::Impl {
   ChipParams P;
   std::vector<const alloc::AllocatedProgram *> Progs;
+  /// Threaded mode: each unique program translated once, shared by every
+  /// context that runs it (the map keeps addresses stable).
+  std::map<const alloc::AllocatedProgram *, fastpath::Translated> Trans;
   sim::Memory Mem;
   /// Pristine copy of the base image; quarantined tail packets run on a
   /// private copy of this (never of the live, packet-dirtied Mem).
@@ -265,15 +290,27 @@ struct Chip::Impl {
     for (const alloc::AllocatedProgram *Pr : Progs)
       Step = std::max<uint32_t>(Step, Pr->NumSpillSlots);
 
+    if (P.Exec == ExecModel::Threaded)
+      for (const alloc::AllocatedProgram *Pr : Progs)
+        if (!Trans.count(Pr))
+          Trans.emplace(Pr, fastpath::translate(*Pr, Opts.Lat));
+
     Mes.resize(P.MP.MeCount);
     Consumers.resize(P.MP.MeCount);
     for (unsigned M = 0; M != P.MP.MeCount; ++M) {
       In.emplace_back(P.RingDepth);
       Mes[M].Ctx.resize(P.MP.ContextsPerMe);
       for (unsigned C = 0; C != P.MP.ContextsPerMe; ++C) {
-        Mes[M].Ctx[C].Exec.setProgram(Progs[M]);
-        Mes[M].Ctx[C].Exec.setSpillRebase((M * P.MP.ContextsPerMe + C) *
-                                          Step);
+        HwCtx &Cx = Mes[M].Ctx[C];
+        uint32_t Rebase = (M * P.MP.ContextsPerMe + C) * Step;
+        if (P.Exec == ExecModel::Threaded) {
+          Cx.Threaded = true;
+          Cx.Seg.setProgram(&Trans.at(Progs[M]));
+          Cx.Seg.setSpillRebase(Rebase);
+        } else {
+          Cx.Exec.setProgram(Progs[M]);
+          Cx.Exec.setSpillRebase(Rebase);
+        }
         Consumers[M].push_back(C); // all contexts start parked, in order
       }
     }
@@ -309,12 +346,7 @@ struct Chip::Impl {
     return SramCh;
   }
 
-  void scrubSdram(uint32_t Lo, uint64_t Hi) {
-    auto &M = Mem.Sdram;
-    auto E = Hi > 0xFFFFFFFFull ? M.end()
-                                : M.lower_bound(static_cast<uint32_t>(Hi));
-    M.erase(M.lower_bound(Lo), E);
-  }
+  void scrubSdram(uint32_t Lo, uint64_t Hi) { Mem.Sdram.eraseRange(Lo, Hi); }
 
   //===--- RX agent --------------------------------------------------------===//
 
@@ -524,16 +556,16 @@ struct Chip::Impl {
     if (Cx.Ph == CtxPh::StartReady) {
       Rec.Me = Me;
       Rec.Ctx = C;
-      Cx.Exec.reset(Rec.RebasedArgs);
+      Cx.reset(Rec.RebasedArgs);
       Cx.Ph = CtxPh::RunReady;
     }
 
     uint64_t End = T;
-    if (!Cx.Exec.done()) {
+    if (!Cx.done()) {
       // Quarantined tail packets execute against their private image;
       // everyone else shares the chip's memory.
       sim::AllocContext::Yield Y =
-          Cx.Exec.resume(Rec.PrivMem ? *Rec.PrivMem : Mem, Opts);
+          Cx.resume(Rec.PrivMem ? *Rec.PrivMem : Mem, Opts);
       End = T + Y.Cycles;
       M.Busy += Y.Cycles;
       St.MeBusyCycles[Me] += Y.Cycles;
@@ -543,7 +575,7 @@ struct Chip::Impl {
         // The swap point: issue the reference, park the context until
         // the data returns, and let another context have the engine.
         uint64_t Tc = chan(Y.Space).submit(End);
-        Cx.Exec.charge(Tc - End); // latency + queueing delay
+        Cx.charge(Tc - End); // latency + queueing delay
         Cx.Ph = CtxPh::MemWait;
         sched(Tc, Ev::CtxResume, Me, C);
         return;
@@ -553,7 +585,7 @@ struct Chip::Impl {
     }
 
     // Packet finished (halt or trap): record and hand to TX.
-    Rec.Result = Cx.Exec.takeResult();
+    Rec.Result = Cx.takeResult();
     Rec.CompleteTime = End;
     ++St.CtxPackets[Me][C];
     wantPushTx(Me, C, End);
@@ -666,6 +698,11 @@ struct Chip::Impl {
     H = traceFold(H, Tx.traceHash());
     H = traceFold(H, RetireFold);
     St.TraceHash = H;
+    St.Exec = P.Exec;
+    for (const auto &KV : Trans) {
+      St.Superblocks += KV.second.Superblocks;
+      St.SuperblockOps += KV.second.SuperblockOps;
+    }
     return St;
   }
 };

@@ -11,13 +11,13 @@ using namespace nova;
 using namespace nova::fastpath;
 
 BatchMemory::BatchMemory(const sim::Memory &Base) : Lim(Base.Limits) {
-  const std::map<uint32_t, uint32_t> *Maps[3] = {&Base.Sram, &Base.Sdram,
-                                                 &Base.Scratch};
+  const sim::WordMap *Maps[3] = {&Base.Sram, &Base.Sdram, &Base.Scratch};
   for (unsigned I = 0; I != 3; ++I) {
     Spc &P = Spaces[I];
     P.Bound = Lim.words(static_cast<MemSpace>(I));
     P.Pages.resize((size_t(P.Bound) + PageMask) >> PageShift);
-    P.Base = *Maps[I];
+    for (const auto &[A, V] : *Maps[I])
+      P.Base.emplace_hint(P.Base.end(), A, V);
     // Apply the table environment below the journal floor: reset()
     // replays the journal back onto these values, never past them.
     for (const auto &[A, V] : P.Base)

@@ -313,7 +313,7 @@ sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
   // never touch them; exits rebuild them from Start + cold data.
   uint64_t Ins = 0, Cyc = 0;
   uint64_t StartIns = 0, StartCyc = 0;
-  uint32_t PC = Meta[T->Prog->Entry].FirstOp;
+  uint32_t PC = Meta[T->Prog->Entry].EnterOp;
 
 #ifdef NOVA_FP_CGOTO
   static const void *JT[] = {
@@ -323,6 +323,12 @@ sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
       &&L_MemWrite,   &&L_BitTestSet, &&L_BranchEq, &&L_BranchNe,
       &&L_BranchLt,   &&L_BranchGt,  &&L_BranchLe, &&L_BranchGe,
       &&L_Jump,       &&L_Halt,      &&L_TrapStatic,
+      &&L_SuperEntry, &&L_GuardEq,   &&L_GuardNe,  &&L_GuardLt,
+      &&L_GuardGt,    &&L_GuardLe,   &&L_GuardGe,
+      &&L_FuseCopyAdd, &&L_FuseCopySub, &&L_FuseCopyAnd, &&L_FuseCopyOr,
+      &&L_FuseCopyXor, &&L_FuseCopyShl, &&L_FuseCopyShr, &&L_FuseCopyNot,
+      &&L_FuseCopyCopy, &&L_FuseShlAdd,
+      &&L_FuseCopyMemRead, &&L_FuseCopyMemWrite,
   };
   VM_DISPATCH();
 #else
@@ -341,7 +347,23 @@ sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
         return R;
       Ins = R.Instructions;
       Cyc = R.Cycles;
-      PC = Meta[NextB].FirstOp;
+      PC = Meta[NextB].EnterOp;
+      VM_DISPATCH();
+    }
+    StartIns = Ins;
+    StartCyc = Cyc;
+    ++PC;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(SuperEntry) {
+    const FastOp &O = Ops[PC];
+    // The chain's whole path must fit in the remaining budget (and the
+    // per-instruction escape hatches must be off); otherwise fall back
+    // to the head block's own stream, whose BlockEntry gate decides at
+    // block granularity.
+    if (SlowAll || Ins + O.Y > MaxIns) {
+      PC = Meta[O.X].FirstOp;
       VM_DISPATCH();
     }
     StartIns = Ins;
@@ -374,6 +396,87 @@ sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
     VM_DISPATCH();
   }
 
+// Fused pairs: the leading copy writes before the second op reads, so
+// a second op that reads (or overwrites) the copy's destination sees
+// exactly the unfused frame state.
+#define FUSE_CASE(NAME, PRIM)                                             \
+  VM_CASE(FuseCopy##NAME) {                                               \
+    const FastOp &O = Ops[PC];                                            \
+    F[O.X] = F[O.Y];                                                      \
+    F[O.D] = cps::evalPrim(cps::PrimOp::PRIM, F[O.A], F[O.B]);            \
+    ++PC;                                                                 \
+    VM_DISPATCH();                                                        \
+  }
+  FUSE_CASE(Add, Add)
+  FUSE_CASE(Sub, Sub)
+  FUSE_CASE(And, And)
+  FUSE_CASE(Or, Or)
+  FUSE_CASE(Xor, Xor)
+  FUSE_CASE(Shl, Shl)
+  FUSE_CASE(Shr, Shr)
+  FUSE_CASE(Not, Not)
+#undef FUSE_CASE
+
+  VM_CASE(FuseCopyCopy) {
+    const FastOp &O = Ops[PC];
+    F[O.X] = F[O.Y];
+    F[O.D] = F[O.A];
+    ++PC;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(FuseShlAdd) {
+    const FastOp &O = Ops[PC];
+    F[O.D] = cps::evalPrim(cps::PrimOp::Add, F[O.X],
+                           cps::evalPrim(cps::PrimOp::Shl, F[O.A], F[O.B]));
+    ++PC;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(FuseCopyMemRead) {
+    const FastOp &O = Ops[PC];
+    F[O.D] = F[O.B]; // leading copy retires before the memory op issues
+    MemSpace S = static_cast<MemSpace>(O.Aux);
+    uint32_t Addr = F[O.A];
+    if (!Mem.inRange(S, Addr, O.N)) {
+      const ColdInfo &C = ColdA[PC];
+      R.Instructions = StartIns + C.InsDelta;
+      R.Cycles = StartCyc + C.CycPrefix;
+      trap(R, rangeTrapFor(S),
+           formatf("%s read of %u words at 0x%x (limit 0x%x)",
+                   spaceName(S), O.N, Addr, Mem.limits().words(S)));
+      return R;
+    }
+    const uint16_t *Dst = Pool + O.X;
+    for (uint32_t K = 0; K != O.N; ++K)
+      F[Dst[K]] = Mem.load(S, Addr + K);
+    StartCyc += O.Y;
+    ++PC;
+    VM_DISPATCH();
+  }
+
+  VM_CASE(FuseCopyMemWrite) {
+    const FastOp &O = Ops[PC];
+    F[O.D] = F[O.B];
+    MemSpace S = static_cast<MemSpace>(O.Aux);
+    uint32_t Addr = F[O.A];
+    if (!Mem.inRange(S, Addr, O.N)) {
+      const ColdInfo &C = ColdA[PC];
+      R.Instructions = StartIns + C.InsDelta;
+      R.Cycles = StartCyc + C.CycPrefix;
+      trap(R, rangeTrapFor(S),
+           formatf("%s write of %u words at 0x%x (limit 0x%x)",
+                   spaceName(S), O.N, Addr, Mem.limits().words(S)));
+      return R;
+    }
+    const uint16_t *Src = Pool + O.X;
+    for (uint32_t K = 0; K != O.N; ++K)
+      Mem.store(S, Addr + K, F[Src[K]]);
+    StartCyc += O.Y;
+    ++PC;
+    VM_DISPATCH();
+  }
+
   VM_CASE(Hash) {
     const FastOp &O = Ops[PC];
     F[O.D] = hwHash(F[O.A]);
@@ -397,6 +500,7 @@ sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
     const uint16_t *Dst = Pool + O.X;
     for (uint32_t K = 0; K != O.N; ++K)
       F[Dst[K]] = Mem.load(S, Addr + K);
+    StartCyc += O.Y; // flat memory cost: charged only once in range
     ++PC;
     VM_DISPATCH();
   }
@@ -417,6 +521,7 @@ sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
     const uint16_t *Src = Pool + O.X;
     for (uint32_t K = 0; K != O.N; ++K)
       Mem.store(S, Addr + K, F[Src[K]]);
+    StartCyc += O.Y;
     ++PC;
     VM_DISPATCH();
   }
@@ -437,6 +542,7 @@ sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
     uint32_t Old = Mem.load(S, Addr);
     Mem.store(S, Addr, Old | F[O.B]);
     F[O.D] = Old;
+    StartCyc += O.Y;
     ++PC;
     VM_DISPATCH();
   }
@@ -457,6 +563,31 @@ sim::RunResult Engine::run(const std::vector<uint32_t> &Args,
   BRANCH_CASE(BranchLe, Le)
   BRANCH_CASE(BranchGe, Ge)
 #undef BRANCH_CASE
+
+// Superblock side-exit: fall through to the next op while execution
+// stays on the chain; on exit, reconstruct cumulative counts (cold data
+// is relative to the SuperEntry) and leave. Aux is the polarity of the
+// comparison that continues the chain.
+#define GUARD_CASE(NAME, CMP)                                             \
+  VM_CASE(NAME) {                                                         \
+    const FastOp &O = Ops[PC];                                            \
+    if (cps::evalCmp(cps::CmpOp::CMP, F[O.A], F[O.B]) == (O.Aux != 0)) {  \
+      ++PC;                                                               \
+      VM_DISPATCH();                                                      \
+    }                                                                     \
+    const ColdInfo &C = ColdA[PC];                                        \
+    Ins = StartIns + C.InsDelta;                                          \
+    Cyc = StartCyc + C.CycPrefix + BranchCost;                            \
+    PC = O.X;                                                             \
+    VM_DISPATCH();                                                        \
+  }
+  GUARD_CASE(GuardEq, Eq)
+  GUARD_CASE(GuardNe, Ne)
+  GUARD_CASE(GuardLt, Lt)
+  GUARD_CASE(GuardGt, Gt)
+  GUARD_CASE(GuardLe, Le)
+  GUARD_CASE(GuardGe, Ge)
+#undef GUARD_CASE
 
   VM_CASE(Jump) {
     const FastOp &O = Ops[PC];

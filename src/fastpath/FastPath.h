@@ -32,7 +32,19 @@
 ///    (index in block, exclusive cycle prefix sum) relative to the
 ///    counters saved at block entry. Latency costs (including the
 ///    per-Imm 1-vs-2-cycle split) are folded at translation time, which
-///    is why the translation is specific to one LatencyModel.
+///    is why the translation is specific to one LatencyModel;
+///  - adjacent simple ops fuse into one dispatch (FuseCopy*/FuseShlAdd):
+///    interior op indices are never control-flow targets and interior
+///    ops touch no counters, so merging two ops is invisible to both
+///    control flow and the reconstructed counts.
+///
+/// Superblocks: hot single-predecessor block chains are additionally
+/// collapsed into superblock streams (SuperEntry + interior ops with
+/// cumulative cold data + Guard side-exits), so interior block
+/// boundaries cost nothing. Every block keeps its standalone per-block
+/// stream — the superblock is an alternate entry used by resolved edges;
+/// the watchdog gate at SuperEntry falls back to the per-block stream
+/// whenever the whole chain might not fit in the remaining budget.
 ///
 /// Exactness escape hatches: a block whose code can observe per-
 /// instruction state — a statically illegal register operand (the Err
@@ -42,9 +54,14 @@
 /// Err-latch timing, same injector draw order). Everything else runs on
 /// the threaded dispatch loop with zero per-instruction bookkeeping.
 ///
-/// Not supported (by design): spill-window rebasing — the fast path
-/// serves the single-context soak loop; the whole-chip simulator keeps
-/// the resumable interpreter.
+/// Memory-access cycle costs are *not* folded into the cold prefix sums:
+/// each memory op carries its flat cost in FastOp::Y, charged into the
+/// block-entry cycle base as the op executes. That split is what makes
+/// the stream resumable: Engine charges Y itself (standalone soak, flat
+/// latency), while SegmentContext (Segment.h) yields to the whole-chip
+/// scheduler instead and absorbs whatever contention-dependent charge
+/// the caller applied — including spill-window rebasing — keeping the
+/// chip's discrete-event schedule bit-identical to the interpreted chip.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -79,17 +96,33 @@ enum class FOp : uint8_t {
   Jump,       ///< goto op X
   Halt,       ///< push N frame slots at Pool[X]; Ok
   TrapStatic, ///< Aux=TrapKind, X=message index; counts from cold data
+  SuperEntry, ///< X=head block id, Y=chain max path: superblock gate
+  GuardEq, GuardNe, GuardLt, GuardGt, GuardLe, GuardGe,
+              ///< superblock side-exit: continue when cmp == Aux,
+              ///< else exit to op X with cumulative counts + branch cost
+  FuseCopyAdd, FuseCopySub, FuseCopyAnd, FuseCopyOr, FuseCopyXor,
+  FuseCopyShl, FuseCopyShr, FuseCopyNot,
+              ///< fused pair: Frame[X] = Frame[Y], then the ALU op
+              ///< A,B -> D — both writes in program order, one dispatch
+  FuseCopyCopy, ///< fused pair: Frame[X] = Frame[Y]; Frame[D] = Frame[A]
+  FuseShlAdd,   ///< fused address idiom: D = Frame[X] + (Frame[A]<<Frame[B])
+  FuseCopyMemRead, FuseCopyMemWrite,
+              ///< Frame[D] = Frame[B], then the memory op (A=addr, N,
+              ///< X=pool, Y=cost, Aux=space); carries the memory op's
+              ///< cold data — it is a trap and yield point
 };
 
 struct FastOp {
   FOp Kind = FOp::TrapStatic;
-  uint8_t Aux = 0;  ///< MemSpace for memory ops, TrapKind for TrapStatic
+  uint8_t Aux = 0;  ///< MemSpace for memory ops, TrapKind for TrapStatic,
+                    ///< continue-polarity for Guard ops
   uint16_t A = 0;   ///< frame slot: src0 / address
   uint16_t B = 0;   ///< frame slot: src1 / bits
   uint16_t D = 0;   ///< frame slot: destination
   uint32_t N = 0;   ///< word count (MemRead/MemWrite/Halt)
   uint32_t X = 0;   ///< target op / pool offset / message index
-  uint32_t Y = 0;   ///< branch else-target op
+  uint32_t Y = 0;   ///< branch else-target op; flat cycle cost for memory
+                    ///< ops; chain max path for SuperEntry
 };
 
 /// Cold per-op data consulted only on block exits and traps.
@@ -100,8 +133,19 @@ struct ColdInfo {
 
 struct BlockMeta {
   uint32_t FirstOp = 0; ///< index of the block's BlockEntry op
+  uint32_t EnterOp = 0; ///< entry from a block boundary: the superblock
+                        ///< entry when this block heads a chain, else
+                        ///< FirstOp
   uint32_t MaxPath = 0; ///< max instruction count a traversal can consume
   bool ForceSlow = false; ///< statically illegal register operand inside
+};
+
+/// Translation knobs. The default — superblocks on — is what both the
+/// soak harness and the chip use; the differential fuzz also exercises
+/// the plain per-block translation to triangulate.
+struct TranslateOptions {
+  bool Superblocks = true; ///< collapse single-predecessor chains
+  unsigned MaxChain = 32;  ///< longest chain merged into one superblock
 };
 
 /// A translated program. Holds a pointer to the source program (for the
@@ -116,7 +160,10 @@ struct Translated {
   std::vector<std::string> Messages;
   std::vector<BlockMeta> Meta;
   bool EntryValid = false;
-  unsigned SlowBlocks = 0; ///< blocks pinned to the slow path
+  unsigned SlowBlocks = 0;    ///< blocks pinned to the slow path
+  unsigned Superblocks = 0;   ///< single-predecessor chains collapsed
+  unsigned SuperblockOps = 0; ///< ops emitted into superblock streams
+  unsigned FusedOps = 0;      ///< adjacent op pairs merged into one dispatch
 
   unsigned frameSize() const {
     return FrameRegs + static_cast<unsigned>(Consts.size());
@@ -128,6 +175,9 @@ struct Translated {
 /// messages.
 Translated translate(const alloc::AllocatedProgram &P,
                      const sim::LatencyModel &Lat);
+Translated translate(const alloc::AllocatedProgram &P,
+                     const sim::LatencyModel &Lat,
+                     const TranslateOptions &Options);
 
 /// Executes a Translated program. Reusable across packets; owns only the
 /// register frame.

@@ -20,6 +20,18 @@
 // the branch's own cold data and a pre-formatted message — the taken-edge
 // check costs nothing at runtime.
 //
+// Superblocks (TranslateOptions::Superblocks, on by default): after the
+// per-block pass, single-predecessor chains of non-ForceSlow blocks are
+// re-emitted as one linear stream headed by a SuperEntry gate. Interior
+// jumps vanish (their instruction+branch cost folds into the cumulative
+// cold bases), interior branches become Guard side-exits, and every op's
+// cold data is cumulative from the superblock entry, so any exit still
+// reconstructs exact interpreter counts. The per-block streams survive
+// unchanged — they are the watchdog/slow-path fallback and the target of
+// edges into chain interiors. Predecessor counts include a virtual edge
+// into the program entry, which is exactly what keeps a chain from being
+// extended *into* the entry block.
+//
 //===----------------------------------------------------------------------===//
 
 #include "fastpath/FastPath.h"
@@ -79,21 +91,23 @@ bool isTerminal(const AllocInstr &I) {
 struct Translator {
   const alloc::AllocatedProgram &P;
   const sim::LatencyModel &Lat;
+  const TranslateOptions &Options;
   Translated T;
   std::map<uint32_t, uint16_t> ConstSlots;
 
-  /// Pending branch/jump edges: resolved to op indices once every block
-  /// has a FirstOp.
+  /// Pending branch/jump/guard edges: resolved to op indices once every
+  /// block has its entry ops placed.
   struct Edge {
+    enum Kind : uint8_t { KBranch, KJump, KGuard };
     uint32_t OpIdx;
     uint32_t Block;   ///< block the branch/jump lives in (for messages)
-    bool HasElse;
+    Kind K;
   };
   std::vector<Edge> Edges;
 
-  Translator(const alloc::AllocatedProgram &Prog,
-             const sim::LatencyModel &L)
-      : P(Prog), Lat(L) {}
+  Translator(const alloc::AllocatedProgram &Prog, const sim::LatencyModel &L,
+             const TranslateOptions &O)
+      : P(Prog), Lat(L), Options(O) {}
 
   uint16_t constSlot(uint32_t V) {
     auto It = ConstSlots.find(V);
@@ -114,9 +128,81 @@ struct Translator {
     return static_cast<uint32_t>(T.Messages.size() - 1);
   }
 
+  /// Index of the last emitted op while it is still a fusion candidate
+  /// (a Copy or AluShl with nothing emitted after it), else -1.
+  int Pending = -1;
+
   void emit(const FastOp &O, const ColdInfo &C) {
+    Pending = -1;
     T.Ops.push_back(O);
     T.Cold.push_back(C);
+  }
+
+  /// Emission with pairwise fusion: two stream-adjacent simple ops
+  /// collapse into one dispatch. Legal because interior op indices are
+  /// never control-flow targets (all transfers land on BlockEntry/
+  /// SuperEntry or appendix traps) and interior ops touch no counters —
+  /// cold data reconstructs exact counts at exits either way. The fused
+  /// handlers perform both writes in program order, so the pair stays
+  /// exact even when the second op reads or overwrites the first's
+  /// destination. Pending survives a superblock's interior jump on
+  /// purpose: the stream is linear across that boundary too.
+  void emitFusible(const FastOp &O, const ColdInfo &C) {
+    if (Pending >= 0) {
+      FastOp &Pr = T.Ops[static_cast<size_t>(Pending)];
+      bool SecondIsAlu = O.Kind >= FOp::AluAdd && O.Kind <= FOp::AluNot;
+      if (Pr.Kind == FOp::Copy && (SecondIsAlu || O.Kind == FOp::Copy)) {
+        FastOp N = O;
+        N.Kind = O.Kind == FOp::Copy
+                     ? FOp::FuseCopyCopy
+                     : static_cast<FOp>(
+                           static_cast<unsigned>(FOp::FuseCopyAdd) +
+                           (static_cast<unsigned>(O.Kind) -
+                            static_cast<unsigned>(FOp::AluAdd)));
+        N.X = Pr.D; // copy destination
+        N.Y = Pr.A; // copy source
+        Pr = N;
+        ++T.FusedOps;
+        Pending = -1;
+        return;
+      }
+      // A copy staging a memory op's address or data: the mem op's B and
+      // D fields are free, and its cold data moves onto the fused op —
+      // unlike pure-ALU fusions it can trap and (in SegmentContext)
+      // yield, and both read ColdA at the op's own index.
+      if (Pr.Kind == FOp::Copy &&
+          (O.Kind == FOp::MemRead || O.Kind == FOp::MemWrite)) {
+        FastOp N = O;
+        N.Kind = O.Kind == FOp::MemRead ? FOp::FuseCopyMemRead
+                                        : FOp::FuseCopyMemWrite;
+        N.B = Pr.A; // copy source
+        N.D = Pr.D; // copy destination
+        Pr = N;
+        T.Cold[static_cast<size_t>(Pending)] = C;
+        ++T.FusedOps;
+        Pending = -1;
+        return;
+      }
+      // Address idiom: the shifted value feeds exactly one add operand
+      // and dies into the add's destination, so it needs no frame slot.
+      if (Pr.Kind == FOp::AluShl && O.Kind == FOp::AluAdd && O.D == Pr.D &&
+          ((O.A == Pr.D) != (O.B == Pr.D))) {
+        FastOp N;
+        N.Kind = FOp::FuseShlAdd;
+        N.A = Pr.A;
+        N.B = Pr.B;
+        N.D = O.D;
+        N.X = O.A == Pr.D ? O.B : O.A; // the add's other operand
+        Pr = N;
+        ++T.FusedOps;
+        Pending = -1;
+        return;
+      }
+    }
+    int Idx = static_cast<int>(T.Ops.size());
+    emit(O, C);
+    if (O.Kind == FOp::Copy || O.Kind == FOp::AluShl)
+      Pending = Idx;
   }
 
   /// True when every register operand \p I names exists (constants are
@@ -142,13 +228,75 @@ struct Translator {
                                                       : Lat.Imm + 1;
     case MOp::Hash:
       return Lat.HashOp;
-    case MOp::MemRead:
-    case MOp::MemWrite:
-    case MOp::BitTestSet:
-      return Lat.memAccess(I.Space);
     default:
-      return 0; // Branch/Jump charge at the exit op; Halt/Clone charge 0
+      // Memory ops charge their flat cost at runtime (FastOp::Y) so the
+      // stream stays resumable; Branch/Jump charge at the exit op;
+      // Halt/Clone charge 0.
+      return 0;
     }
+  }
+
+  /// Decodes a non-terminal instruction into a FastOp. Terminals and
+  /// invalid-space memory ops never reach here; operands are legal (the
+  /// block passed the pre-scan).
+  FastOp decodeSimple(const AllocInstr &I) {
+    FastOp O;
+    switch (I.Op) {
+    case MOp::Alu:
+      O.Kind = static_cast<FOp>(static_cast<unsigned>(FOp::AluAdd) +
+                                static_cast<unsigned>(I.Alu));
+      O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+      O.B = static_cast<uint16_t>(
+          I.Srcs.size() > 1 ? srcSlot(I.Srcs[1]) : constSlot(0));
+      O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+      break;
+    case MOp::Imm:
+      O.Kind = FOp::Copy;
+      O.A = constSlot(I.Imm);
+      O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+      break;
+    case MOp::Move:
+      O.Kind = FOp::Copy;
+      O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+      O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+      break;
+    case MOp::Hash:
+      O.Kind = FOp::Hash;
+      O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+      O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+      break;
+    case MOp::MemRead:
+      O.Kind = FOp::MemRead;
+      O.Aux = static_cast<uint8_t>(I.Space);
+      O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+      O.N = static_cast<uint32_t>(I.Dsts.size());
+      O.X = static_cast<uint32_t>(T.Pool.size());
+      O.Y = Lat.memAccess(I.Space);
+      for (PhysLoc D : I.Dsts)
+        T.Pool.push_back(static_cast<uint16_t>(regSlot(D)));
+      break;
+    case MOp::MemWrite:
+      O.Kind = FOp::MemWrite;
+      O.Aux = static_cast<uint8_t>(I.Space);
+      O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+      O.N = static_cast<uint32_t>(I.Srcs.size() - 1);
+      O.X = static_cast<uint32_t>(T.Pool.size());
+      O.Y = Lat.memAccess(I.Space);
+      for (size_t S = 1; S != I.Srcs.size(); ++S)
+        T.Pool.push_back(static_cast<uint16_t>(srcSlot(I.Srcs[S])));
+      break;
+    case MOp::BitTestSet:
+      O.Kind = FOp::BitTestSet;
+      O.Aux = static_cast<uint8_t>(I.Space);
+      O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+      O.B = static_cast<uint16_t>(srcSlot(I.Srcs[1]));
+      O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
+      O.Y = Lat.memAccess(I.Space);
+      break;
+    default:
+      break; // unreachable: terminals handled by callers
+    }
+    return O;
   }
 
   void translateBlock(uint32_t B) {
@@ -200,54 +348,6 @@ struct Translator {
       }
 
       switch (I.Op) {
-      case MOp::Alu:
-        O.Kind = static_cast<FOp>(static_cast<unsigned>(FOp::AluAdd) +
-                                  static_cast<unsigned>(I.Alu));
-        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
-        O.B = static_cast<uint16_t>(
-            I.Srcs.size() > 1 ? srcSlot(I.Srcs[1]) : constSlot(0));
-        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
-        break;
-      case MOp::Imm:
-        O.Kind = FOp::Copy;
-        O.A = constSlot(I.Imm);
-        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
-        break;
-      case MOp::Move:
-        O.Kind = FOp::Copy;
-        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
-        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
-        break;
-      case MOp::Hash:
-        O.Kind = FOp::Hash;
-        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
-        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
-        break;
-      case MOp::MemRead:
-        O.Kind = FOp::MemRead;
-        O.Aux = static_cast<uint8_t>(I.Space);
-        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
-        O.N = static_cast<uint32_t>(I.Dsts.size());
-        O.X = static_cast<uint32_t>(T.Pool.size());
-        for (PhysLoc D : I.Dsts)
-          T.Pool.push_back(static_cast<uint16_t>(regSlot(D)));
-        break;
-      case MOp::MemWrite:
-        O.Kind = FOp::MemWrite;
-        O.Aux = static_cast<uint8_t>(I.Space);
-        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
-        O.N = static_cast<uint32_t>(I.Srcs.size() - 1);
-        O.X = static_cast<uint32_t>(T.Pool.size());
-        for (size_t S = 1; S != I.Srcs.size(); ++S)
-          T.Pool.push_back(static_cast<uint16_t>(srcSlot(I.Srcs[S])));
-        break;
-      case MOp::BitTestSet:
-        O.Kind = FOp::BitTestSet;
-        O.Aux = static_cast<uint8_t>(I.Space);
-        O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
-        O.B = static_cast<uint16_t>(srcSlot(I.Srcs[1]));
-        O.D = static_cast<uint16_t>(regSlot(I.Dsts[0]));
-        break;
       case MOp::Clone:
         O.Kind = FOp::TrapStatic;
         O.Aux = static_cast<uint8_t>(sim::TrapKind::MalformedProgram);
@@ -262,14 +362,16 @@ struct Translator {
         O.B = static_cast<uint16_t>(srcSlot(I.Srcs[1]));
         O.X = I.Target;     // block ids until the patch pass
         O.Y = I.TargetElse;
-        Edges.push_back({static_cast<uint32_t>(T.Ops.size()), B, true});
+        Edges.push_back(
+            {static_cast<uint32_t>(T.Ops.size()), B, Edge::KBranch});
         emit(O, C);
         M.MaxPath = K + 1;
         return;
       case MOp::Jump:
         O.Kind = FOp::Jump;
         O.X = I.Target;
-        Edges.push_back({static_cast<uint32_t>(T.Ops.size()), B, false});
+        Edges.push_back(
+            {static_cast<uint32_t>(T.Ops.size()), B, Edge::KJump});
         emit(O, C);
         M.MaxPath = K + 1;
         return;
@@ -282,9 +384,11 @@ struct Translator {
         emit(O, C);
         M.MaxPath = K + 1;
         return;
+      default:
+        emitFusible(decodeSimple(I), C);
+        CycPrefix += costOf(I);
+        break;
       }
-      emit(O, C);
-      CycPrefix += costOf(I);
     }
 
     // Fell off the end: one more instruction fetch, then the trap.
@@ -296,12 +400,205 @@ struct Translator {
     M.MaxPath = static_cast<uint32_t>(Instrs.size()) + 1;
   }
 
+  /// The first terminal instruction of \p B, or null when the block
+  /// falls off its end.
+  const AllocInstr *terminalOf(uint32_t B) const {
+    for (const AllocInstr &I : P.Blocks[B].Instrs)
+      if (isTerminal(I))
+        return &I;
+    return nullptr;
+  }
+
+  /// Superblock formation: collapse single-predecessor chains into one
+  /// linear stream with cumulative cold data and Guard side-exits. Every
+  /// block keeps its standalone stream; Meta.EnterOp redirects resolved
+  /// edges at chain heads into the superblock.
+  void buildSuperblocks() {
+    const uint32_t N = static_cast<uint32_t>(P.Blocks.size());
+    std::vector<uint32_t> Pred(N, 0);
+    if (T.EntryValid)
+      ++Pred[P.Entry]; // virtual edge: keeps chains out of the entry
+    for (uint32_t B = 0; B != N; ++B) {
+      const AllocInstr *I = terminalOf(B);
+      if (!I)
+        continue;
+      if (I->Op == MOp::Jump) {
+        if (I->Target < N)
+          ++Pred[I->Target];
+      } else if (I->Op == MOp::Branch) {
+        // Target == TargetElse counts twice on purpose: a degenerate
+        // guard (exit == continue) is never worth forming.
+        if (I->Target < N)
+          ++Pred[I->Target];
+        if (I->TargetElse < N)
+          ++Pred[I->TargetElse];
+      }
+    }
+
+    std::vector<uint8_t> InChain(N, 0);
+    auto eligible = [&](uint32_t S, uint32_t Head) {
+      return S < N && S != Head && !InChain[S] && !T.Meta[S].ForceSlow &&
+             Pred[S] == 1;
+    };
+    for (uint32_t B = 0; B != N; ++B) {
+      if (InChain[B] || T.Meta[B].ForceSlow)
+        continue;
+      std::vector<uint32_t> Chain{B};
+      uint32_t Cur = B;
+      while (Chain.size() < Options.MaxChain) {
+        const AllocInstr *I = terminalOf(Cur);
+        uint32_t Next = ixp::NoBlock;
+        if (I && I->Op == MOp::Jump && eligible(I->Target, B)) {
+          Next = I->Target;
+        } else if (I && I->Op == MOp::Branch) {
+          if (eligible(I->Target, B))
+            Next = I->Target;
+          else if (eligible(I->TargetElse, B))
+            Next = I->TargetElse;
+        }
+        if (Next == ixp::NoBlock)
+          break;
+        Chain.push_back(Next);
+        InChain[Next] = 1;
+        Cur = Next;
+      }
+      if (Chain.size() < 2)
+        continue;
+      InChain[B] = 1;
+      emitSuperblock(Chain);
+    }
+  }
+
+  void emitSuperblock(const std::vector<uint32_t> &Chain) {
+    uint32_t EntryIdx = static_cast<uint32_t>(T.Ops.size());
+    uint64_t CumPath = 0;
+    for (uint32_t B : Chain)
+      CumPath += T.Meta[B].MaxPath;
+
+    FastOp E;
+    E.Kind = FOp::SuperEntry;
+    E.X = Chain.front();
+    E.Y = static_cast<uint32_t>(CumPath);
+    emit(E, {});
+
+    // Cumulative bases: instructions retired and cycles charged by the
+    // chain *before* the current block (memory-op costs excluded — they
+    // accrue into the runtime cycle base as the ops execute).
+    uint32_t InsBase = 0, CycBase = 0;
+    for (size_t J = 0; J != Chain.size(); ++J) {
+      uint32_t B = Chain[J];
+      bool Last = J + 1 == Chain.size();
+      uint32_t NextB = Last ? ixp::NoBlock : Chain[J + 1];
+      const std::vector<AllocInstr> &Instrs = P.Blocks[B].Instrs;
+      uint32_t CycPrefix = 0;
+      bool Terminated = false;
+      for (uint32_t K = 0; K != Instrs.size() && !Terminated; ++K) {
+        const AllocInstr &I = Instrs[K];
+        ColdInfo C{InsBase + K + 1, CycBase + CycPrefix};
+        FastOp O;
+
+        if ((I.Op == MOp::MemRead || I.Op == MOp::MemWrite ||
+             I.Op == MOp::BitTestSet) &&
+            !validSpace(I.Space)) {
+          O.Kind = FOp::TrapStatic;
+          O.Aux = static_cast<uint8_t>(sim::TrapKind::IllegalMemSpace);
+          O.X = message(formatf("memory space %u in block b%u",
+                                (unsigned)I.Space, B));
+          emit(O, C);
+          Terminated = true;
+          break;
+        }
+
+        switch (I.Op) {
+        case MOp::Clone:
+          O.Kind = FOp::TrapStatic;
+          O.Aux = static_cast<uint8_t>(sim::TrapKind::MalformedProgram);
+          O.X = message("clone pseudo in allocated code");
+          emit(O, C);
+          Terminated = true;
+          break;
+        case MOp::Branch:
+          if (!Last && (NextB == I.Target || NextB == I.TargetElse)) {
+            // Interior branch: a Guard that continues into the next
+            // chain block and side-exits with cumulative counts.
+            bool ContinueOnTrue = NextB == I.Target;
+            O.Kind = static_cast<FOp>(static_cast<unsigned>(FOp::GuardEq) +
+                                      static_cast<unsigned>(I.Cmp));
+            O.Aux = ContinueOnTrue ? 1 : 0;
+            O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+            O.B = static_cast<uint16_t>(srcSlot(I.Srcs[1]));
+            O.X = ContinueOnTrue ? I.TargetElse : I.Target;
+            Edges.push_back(
+                {static_cast<uint32_t>(T.Ops.size()), B, Edge::KGuard});
+            emit(O, C);
+            InsBase += K + 1;
+            CycBase += CycPrefix + Lat.Branch;
+          } else {
+            O.Kind = static_cast<FOp>(static_cast<unsigned>(FOp::BranchEq) +
+                                      static_cast<unsigned>(I.Cmp));
+            O.A = static_cast<uint16_t>(srcSlot(I.Srcs[0]));
+            O.B = static_cast<uint16_t>(srcSlot(I.Srcs[1]));
+            O.X = I.Target;
+            O.Y = I.TargetElse;
+            Edges.push_back(
+                {static_cast<uint32_t>(T.Ops.size()), B, Edge::KBranch});
+            emit(O, C);
+          }
+          Terminated = true;
+          break;
+        case MOp::Jump:
+          if (!Last && NextB == I.Target) {
+            // Interior jump: no op at all — the instruction fetch and
+            // branch cost fold into the cumulative bases.
+            InsBase += K + 1;
+            CycBase += CycPrefix + Lat.Branch;
+          } else {
+            O.Kind = FOp::Jump;
+            O.X = I.Target;
+            Edges.push_back(
+                {static_cast<uint32_t>(T.Ops.size()), B, Edge::KJump});
+            emit(O, C);
+          }
+          Terminated = true;
+          break;
+        case MOp::Halt:
+          O.Kind = FOp::Halt;
+          O.N = static_cast<uint32_t>(I.Srcs.size());
+          O.X = static_cast<uint32_t>(T.Pool.size());
+          for (const AOperand &S : I.Srcs)
+            T.Pool.push_back(static_cast<uint16_t>(srcSlot(S)));
+          emit(O, C);
+          Terminated = true;
+          break;
+        default:
+          emitFusible(decodeSimple(I), C);
+          CycPrefix += costOf(I);
+          break;
+        }
+      }
+      if (!Terminated) {
+        // Fell off the end (only possible in the last chain block: a
+        // block with no terminal has no successor).
+        FastOp O;
+        O.Kind = FOp::TrapStatic;
+        O.Aux = static_cast<uint8_t>(sim::TrapKind::MalformedProgram);
+        O.X = message(formatf("fell off the end of block b%u", B));
+        emit(O, {InsBase + static_cast<uint32_t>(Instrs.size()) + 1,
+                 CycBase + CycPrefix});
+      }
+    }
+
+    T.Meta[Chain.front()].EnterOp = EntryIdx;
+    ++T.Superblocks;
+    T.SuperblockOps += static_cast<uint32_t>(T.Ops.size()) - EntryIdx;
+  }
+
   /// Resolves one stored block id to an op index, appending a trap op
   /// for edges that leave the program.
   uint32_t resolveEdge(uint32_t TargetBlock, const Edge &E,
                        const char *What) {
     if (TargetBlock < T.Meta.size())
-      return T.Meta[TargetBlock].FirstOp;
+      return T.Meta[TargetBlock].EnterOp;
     FastOp O;
     O.Kind = FOp::TrapStatic;
     O.Aux = static_cast<uint8_t>(sim::TrapKind::MalformedProgram);
@@ -321,13 +618,17 @@ struct Translator {
         P.Entry != ixp::NoBlock && P.Entry < P.Blocks.size();
     for (uint32_t B = 0; B != P.Blocks.size(); ++B)
       translateBlock(B);
+    for (uint32_t B = 0; B != P.Blocks.size(); ++B)
+      T.Meta[B].EnterOp = T.Meta[B].FirstOp;
+    if (Options.Superblocks)
+      buildSuperblocks();
     for (const Edge &E : Edges) {
-      const char *What = E.HasElse ? "branch" : "jump";
+      const char *What = E.K == Edge::KJump ? "jump" : "branch";
       // resolveEdge may append an op and reallocate T.Ops — re-index
       // after every call rather than holding a reference.
       uint32_t X = resolveEdge(T.Ops[E.OpIdx].X, E, What);
       T.Ops[E.OpIdx].X = X;
-      if (E.HasElse) {
+      if (E.K == Edge::KBranch) {
         uint32_t Y = resolveEdge(T.Ops[E.OpIdx].Y, E, What);
         T.Ops[E.OpIdx].Y = Y;
       }
@@ -340,5 +641,11 @@ struct Translator {
 
 Translated fastpath::translate(const alloc::AllocatedProgram &P,
                                const sim::LatencyModel &Lat) {
-  return Translator(P, Lat).run();
+  return translate(P, Lat, TranslateOptions());
+}
+
+Translated fastpath::translate(const alloc::AllocatedProgram &P,
+                               const sim::LatencyModel &Lat,
+                               const TranslateOptions &Options) {
+  return Translator(P, Lat, Options).run();
 }

@@ -38,6 +38,7 @@
 #include "alloc/Allocated.h"
 #include "ixp/MachineIr.h"
 #include "ixp/MachineParams.h"
+#include "sim/WordMap.h"
 #include "support/Status.h"
 
 #include <cassert>
@@ -88,19 +89,22 @@ struct MemLimits {
   }
 };
 
-/// Word-addressed memories (shared layout with cps::EvalMemory), plus the
-/// address limits the runtime enforces. The maps stay sparse; bounded
-/// addresses plus the instruction watchdog bound their growth per run.
+/// Word-addressed memories (shared observable semantics with
+/// cps::EvalMemory's sparse maps), plus the address limits the runtime
+/// enforces. The images stay sparse; bounded addresses plus the
+/// instruction watchdog bound their growth per run. Backed by WordMap so
+/// the per-word load/store on the simulator and chip hot paths is O(1)
+/// instead of a red-black-tree walk.
 struct Memory {
-  std::map<uint32_t, uint32_t> Sram;
-  std::map<uint32_t, uint32_t> Sdram;
-  std::map<uint32_t, uint32_t> Scratch;
+  WordMap Sram;
+  WordMap Sdram;
+  WordMap Scratch;
   MemLimits Limits;
 
   /// The backing map for \p S, or nullptr when S is not a valid space —
   /// an invalid space is a trap for the interpreter, never a silent
   /// coercion to SRAM (and an assert under debug builds).
-  std::map<uint32_t, uint32_t> *space(MemSpace S) {
+  WordMap *space(MemSpace S) {
     switch (S) {
     case MemSpace::Sram:    return &Sram;
     case MemSpace::Sdram:   return &Sdram;
@@ -120,10 +124,7 @@ struct Memory {
   /// Non-inserting read: absent words are 0 without growing the map, so
   /// a read-heavy hostile packet cannot balloon the image and the final
   /// maps of two agreeing executions compare equal entry-for-entry.
-  static uint32_t load(const std::map<uint32_t, uint32_t> &M, uint32_t A) {
-    auto It = M.find(A);
-    return It == M.end() ? 0 : It->second;
-  }
+  static uint32_t load(const WordMap &M, uint32_t A) { return M.get(A); }
 };
 
 /// Latency model in micro-engine cycles. Defaults are the shared chip

@@ -21,6 +21,9 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
   Rep.Base.App = App.name();
   Rep.Base.Seed = Opts.Base.Seed;
   Rep.Base.OracleEvery = Opts.Base.OracleEvery;
+  Rep.Base.Exec = Opts.Chip.Exec == chip::ExecModel::Threaded
+                      ? ExecMode::Threaded
+                      : ExecMode::Interp;
 
   chip::ChipParams CP = Opts.Chip;
   // One watchdog for chip and oracle: the standalone re-run is then
@@ -39,13 +42,19 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
   std::vector<const alloc::AllocatedProgram *> Progs(
       CP.MP.MeCount, &App.compiled().Alloc.Prog);
   chip::Chip C(CP, Progs, App.baseSim());
+  // Chip construction covers the one-time program translation in
+  // threaded mode; report it like the standalone soak does.
+  if (CP.Exec == chip::ExecModel::Threaded)
+    Rep.Base.TranslateSeconds = Clock.seconds();
 
   uint64_t Next = 0;
   const uint32_t PtrMask = App.pointerArgMask();
+  PacketTemplateCache Tmpl;
+  SoakPacket P; // reused staging packet; the chip gets moved-out buffers
   chip::Chip::Source Src = [&](chip::ChipPacket &Out) {
     if (Next == SO.Packets)
       return false;
-    SoakPacket P = App.generate(Next, SO.Seed, SO.Mix);
+    App.generateInto(Next, SO.Seed, SO.Mix, Tmpl, P);
     ++Rep.Base.ClassCounts[static_cast<unsigned>(P.Class)];
     Out = chip::ChipPacket();
     Out.Seq = Next++;
@@ -58,6 +67,7 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
     return true;
   };
 
+  SoakPacket Q; // reused oracle-rerun packet across retirements
   chip::Chip::RetireFn Retire = [&](chip::RetiredPacket &&RP) {
     bool Reject = RP.Result.Ok && App.isAppReject(RP.Result.HaltValues);
     // The histogram gets residence time (dispatch -> in-order retire);
@@ -74,7 +84,6 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
 
     // Standalone re-run of the exact rebased packet on fresh base
     // memory: three-way differential oracle plus the chip cross-check.
-    SoakPacket Q;
     Q.Class = static_cast<PacketClass>(RP.Pkt.ClassTag);
     Q.Index = RP.Pkt.Seq;
     // The per-packet seed rides along in the ChipPacket record, so the
@@ -197,6 +206,11 @@ std::string soak::chipReportJson(const ChipSoakReport &R) {
                (unsigned long long)C.Scratch.Transactions);
   J += formatf("\"rx_dma_transactions\":%llu,",
                (unsigned long long)C.RxDmaTransactions);
+  J += formatf("\"exec_mode\":\"%s\",\"superblocks\":%llu,"
+               "\"superblock_ops\":%llu,",
+               C.Exec == chip::ExecModel::Threaded ? "threaded" : "interp",
+               (unsigned long long)C.Superblocks,
+               (unsigned long long)C.SuperblockOps);
   J += formatf("\"trace_hash\":\"%016llx\",\"image_hash\":\"%016llx\",",
                (unsigned long long)C.TraceHash,
                (unsigned long long)R.ImageHash);
@@ -216,11 +230,13 @@ void soak::printChipReport(const ChipSoakReport &R, std::FILE *Out) {
   printReport(R.Base, Out);
   const chip::ChipRunStats &C = R.Chip;
   std::fprintf(Out,
-               "  chip      : me=%u ctx=%u ring=%u  final=%llu cycles  "
-               "goodput=%.1f Mbps%s\n",
+               "  chip      : me=%u ctx=%u ring=%u exec=%s  final=%llu "
+               "cycles  goodput=%.1f Mbps%s\n",
                R.Params.MP.MeCount, R.Params.MP.ContextsPerMe,
-               R.Params.RingDepth, (unsigned long long)C.FinalCycles,
-               R.GoodputMbps, C.Deadlock ? "  DEADLOCK" : "");
+               R.Params.RingDepth,
+               C.Exec == chip::ExecModel::Threaded ? "threaded" : "interp",
+               (unsigned long long)C.FinalCycles, R.GoodputMbps,
+               C.Deadlock ? "  DEADLOCK" : "");
   std::fprintf(Out,
                "  stalls    : sram=%llu sdram=%llu scratch=%llu cycles "
                "(txns %llu/%llu/%llu)\n",

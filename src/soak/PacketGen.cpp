@@ -66,10 +66,25 @@ void fillRandom(Rng &R, std::vector<uint32_t> &W, unsigned N) {
     W[I] = static_cast<uint32_t>(R.next());
 }
 
+/// PacketTemplateCache::PrimedFor tags, one per generator.
+enum { TmplAes = 0, TmplKasumi = 1, TmplNat = 2 };
+
+/// Installs the app's constant argument skeleton in \p Cache (once per
+/// (app, stream)) and copies it into \p P, reusing P's buffer. Varying
+/// fields are patched by the caller.
+void stampArgs(PacketTemplateCache &Cache, int Tag,
+               std::initializer_list<uint32_t> Skeleton, SoakPacket &P) {
+  if (Cache.PrimedFor != Tag) {
+    Cache.Args = Skeleton;
+    Cache.PrimedFor = Tag;
+  }
+  P.Args = Cache.Args;
+}
+
 /// AES calling convention: {pkt, outp, len}; packet = 6 header words
 /// (IPv4-ish, version nibble must be 4) followed by len bytes of payload.
 void genAes(Rng &R, PacketClass C, const sim::MemLimits &Lim,
-            SoakPacket &P) {
+            PacketTemplateCache &Cache, SoakPacket &P) {
   constexpr uint32_t In = 0x100, Out = 0x400;
   uint32_t Len = 16 * static_cast<uint32_t>(R.range(1, 16));
   auto header = [&](std::vector<uint32_t> &W) {
@@ -78,7 +93,8 @@ void genAes(Rng &R, PacketClass C, const sim::MemLimits &Lim,
     for (unsigned I = 1; I != 6; ++I)
       W[I] = static_cast<uint32_t>(R.next());
   };
-  P.Args = {In, Out, Len};
+  stampArgs(Cache, TmplAes, {In, Out, 0}, P);
+  P.Args[2] = Len;
   P.PayloadBytes = Len;
   switch (C) {
   case PacketClass::Valid: {
@@ -90,7 +106,7 @@ void genAes(Rng &R, PacketClass C, const sim::MemLimits &Lim,
   case PacketClass::Truncated: {
     // Header cut mid-way: the missing words read as zero, so the version
     // nibble is 0 for empty stores and the app rejects.
-    std::vector<uint32_t> Full;
+    std::vector<uint32_t> &Full = Cache.Scratch;
     header(Full);
     Full.resize(R.below(6));
     P.Words = Full;
@@ -145,9 +161,9 @@ void genAes(Rng &R, PacketClass C, const sim::MemLimits &Lim,
 
 /// Kasumi calling convention: {pkt, outp}; packet = one 64-bit block.
 void genKasumi(Rng &R, PacketClass C, const sim::MemLimits &Lim,
-               SoakPacket &P) {
+               PacketTemplateCache &Cache, SoakPacket &P) {
   constexpr uint32_t In = 0x300, Out = 0x500;
-  P.Args = {In, Out};
+  stampArgs(Cache, TmplKasumi, {In, Out}, P);
   P.PayloadBytes = 8;
   uint32_t Hi = static_cast<uint32_t>(R.next());
   uint32_t Lo = static_cast<uint32_t>(R.next());
@@ -155,7 +171,7 @@ void genKasumi(Rng &R, PacketClass C, const sim::MemLimits &Lim,
     Hi = 1; // all-zero blocks belong to the Corrupt class
   switch (C) {
   case PacketClass::Valid:
-    P.Words = {Hi, Lo};
+    P.Words.assign({Hi, Lo});
     break;
   case PacketClass::Truncated:
     // 0 or 1 stored words; the absent half reads as zero.
@@ -165,11 +181,11 @@ void genKasumi(Rng &R, PacketClass C, const sim::MemLimits &Lim,
   case PacketClass::Oversized:
     // The block is fine but the output buffer sits on the SDRAM edge:
     // the second output word lands out of range in every mode.
-    P.Words = {Hi, Lo};
+    P.Words.assign({Hi, Lo});
     P.Args[1] = Lim.SdramWords - 1;
     break;
   case PacketClass::Corrupt:
-    P.Words = {0, 0}; // raise Empty -> 0xFFFFFFFF
+    P.Words.assign({0u, 0u}); // raise Empty -> 0xFFFFFFFF
     break;
   case PacketClass::Fuzz:
     fillRandom(R, P.Words, static_cast<unsigned>(R.below(5)));
@@ -183,9 +199,9 @@ void genKasumi(Rng &R, PacketClass C, const sim::MemLimits &Lim,
 /// NAT calling convention: {pkt, outp}; packet = 10-word IPv6 header,
 /// then the payload the copy loop shifts (c0, c1, then word pairs).
 void genNat(Rng &R, PacketClass C, const sim::MemLimits &Lim,
-            SoakPacket &P) {
+            PacketTemplateCache &Cache, SoakPacket &P) {
   constexpr uint32_t In = 0x100, Out = 0x800;
-  P.Args = {In, Out};
+  stampArgs(Cache, TmplNat, {In, Out}, P);
   uint32_t PayLen = 8 * static_cast<uint32_t>(R.below(33)); // 0..256 bytes
   auto header = [&](std::vector<uint32_t> &W, uint32_t Pl) {
     W.resize(10);
@@ -208,7 +224,7 @@ void genNat(Rng &R, PacketClass C, const sim::MemLimits &Lim,
     break;
   }
   case PacketClass::Truncated: {
-    std::vector<uint32_t> Full;
+    std::vector<uint32_t> &Full = Cache.Scratch;
     header(Full, PayLen);
     Full.resize(R.below(10));
     P.Words = Full;
@@ -271,20 +287,40 @@ const char *soak::packetClassName(PacketClass C) {
 SoakPacket AppHarness::generate(uint64_t Index, uint64_t StreamSeed,
                                 const ClassMix &Mix) const {
   SoakPacket P;
+  PacketTemplateCache Cache;
+  generateInto(Index, StreamSeed, Mix, Cache, P);
+  return P;
+}
+
+void AppHarness::generateInto(uint64_t Index, uint64_t StreamSeed,
+                              const ClassMix &Mix,
+                              PacketTemplateCache &Cache,
+                              SoakPacket &P) const {
+  // Every generator path fully rewrites Words, Args, and PayloadBytes,
+  // so a reused P carries no state between packets.
   P.Index = Index;
   P.Seed = packetSeed(StreamSeed, Index);
   Rng R(P.Seed);
   P.Class = drawClass(R, Mix);
   switch (Id) {
   case AppId::Aes:
-    genAes(R, P.Class, BaseSim.Limits, P);
+    genAes(R, P.Class, BaseSim.Limits, Cache, P);
     break;
   case AppId::Kasumi:
-    genKasumi(R, P.Class, BaseSim.Limits, P);
+    genKasumi(R, P.Class, BaseSim.Limits, Cache, P);
     break;
   case AppId::Nat:
-    genNat(R, P.Class, BaseSim.Limits, P);
+    genNat(R, P.Class, BaseSim.Limits, Cache, P);
     break;
   }
-  return P;
+}
+
+void AppHarness::generateBatch(uint64_t FirstIndex, uint64_t Count,
+                               uint64_t StreamSeed, const ClassMix &Mix,
+                               PacketTemplateCache &Cache,
+                               std::vector<SoakPacket> &Out) const {
+  if (Out.size() < Count)
+    Out.resize(Count);
+  for (uint64_t K = 0; K != Count; ++K)
+    generateInto(FirstIndex + K, StreamSeed, Mix, Cache, Out[K]);
 }

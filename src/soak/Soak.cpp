@@ -94,8 +94,11 @@ bool AppHarness::isAppReject(const std::vector<uint32_t> &Halt) const {
 namespace {
 
 /// First difference between two final memory images, or true when equal.
-bool sameImage(const std::map<uint32_t, uint32_t> &A,
-               const std::map<uint32_t, uint32_t> &B, const char *AName,
+/// Templated over the image type: the simulator's sim::WordMap and the
+/// CPS evaluator's std::map iterate the same ascending (address, value)
+/// sequence.
+template <typename ImgA, typename ImgB>
+bool sameImage(const ImgA &A, const ImgB &B, const char *AName,
                const char *BName, std::string &Why,
                const char *What = "sdram") {
   auto IA = A.begin(), IB = B.begin();
@@ -111,9 +114,10 @@ bool sameImage(const std::map<uint32_t, uint32_t> &A,
   }
   if (IA != A.end() || IB != B.end()) {
     bool ALeft = IA != A.end();
-    auto &It = ALeft ? IA : IB;
+    uint32_t Addr = ALeft ? IA->first : IB->first;
+    uint32_t Val = ALeft ? IA->second : IB->second;
     Why = formatf("%s differs: only %s has [0x%x]=0x%x", What,
-                  ALeft ? AName : BName, It->first, It->second);
+                  ALeft ? AName : BName, Addr, Val);
     return false;
   }
   return true;
@@ -135,7 +139,8 @@ bool sameHalts(const std::vector<uint32_t> &A, const std::vector<uint32_t> &B,
   return true;
 }
 
-void storeWords(std::map<uint32_t, uint32_t> &Sdram, uint32_t Addr,
+template <typename SdramT>
+void storeWords(SdramT &Sdram, uint32_t Addr,
                 const std::vector<uint32_t> &Words) {
   apps::storePacket(Sdram, Addr, Words);
 }
@@ -291,8 +296,8 @@ bool fastMatches(const sim::RunResult &FR, const fastpath::BatchMemory &BM,
   if (!sameHalts(FR.HaltValues, IR.HaltValues, "fastpath", "interpreter",
                  Why))
     return false;
-  const std::map<uint32_t, uint32_t> *IM[3] = {
-      &O.AllocMem.Sram, &O.AllocMem.Sdram, &O.AllocMem.Scratch};
+  const sim::WordMap *IM[3] = {&O.AllocMem.Sram, &O.AllocMem.Sdram,
+                               &O.AllocMem.Scratch};
   static const char *const SpaceNames[3] = {"sram", "sdram", "scratch"};
   for (unsigned S = 0; S != 3; ++S)
     if (!sameImage(BM.image(static_cast<MemSpace>(S)), *IM[S], "fastpath",
@@ -312,11 +317,11 @@ std::vector<uint32_t> soak::shrinkDivergenceWith(
     const std::function<bool(const SoakPacket &)> &Diverges) {
   constexpr unsigned MaxRuns = 600;
   std::vector<uint32_t> Cur = P.Words;
+  SoakPacket Q = P; // reused candidate: only Words vary per run
   auto diverges = [&](const std::vector<uint32_t> &W) {
     if (Runs >= MaxRuns)
       return false;
     ++Runs;
-    SoakPacket Q = P;
     Q.Words = W;
     return Diverges(Q);
   };
@@ -401,15 +406,15 @@ SoakReport runSoakThreaded(const AppHarness &App, const SoakOptions &Opts) {
 
   constexpr uint64_t BatchSize = 256;
   std::vector<SoakPacket> Batch;
-  Batch.reserve(BatchSize);
+  PacketTemplateCache Tmpl;
   bool Stop = false;
 
   for (uint64_t Base = 0; Base < Opts.Packets && !Stop;
        Base += BatchSize) {
     const uint64_t N = std::min<uint64_t>(BatchSize, Opts.Packets - Base);
-    Batch.clear();
-    for (uint64_t K = 0; K != N; ++K)
-      Batch.push_back(App.generate(Base + K, Opts.Seed, Opts.Mix));
+    // Batch slots and their Words/Args buffers are reused across
+    // batches; only the first batch allocates.
+    App.generateBatch(Base, N, Opts.Seed, Opts.Mix, Tmpl, Batch);
 
     for (uint64_t K = 0; K != N; ++K) {
       const SoakPacket &P = Batch[K];
@@ -474,8 +479,10 @@ SoakReport soak::runSoak(const AppHarness &App, const SoakOptions &Opts) {
   Rep.Exec = ExecMode::Interp;
   Rep.OracleEvery = Opts.OracleEvery;
   Timer Clock;
+  SoakPacket P;
+  PacketTemplateCache Tmpl;
   for (uint64_t I = 0; I != Opts.Packets; ++I) {
-    SoakPacket P = App.generate(I, Opts.Seed, Opts.Mix);
+    App.generateInto(I, Opts.Seed, Opts.Mix, Tmpl, P);
     ++Rep.ClassCounts[static_cast<unsigned>(P.Class)];
     bool WithOracle = Opts.OracleEvery != 0 && I % Opts.OracleEvery == 0;
     PacketOutcome O = runPacket(App, P, Opts, WithOracle);

@@ -88,6 +88,18 @@ struct SoakPacket {
   unsigned PayloadBytes = 0;   ///< accounted on delivery
 };
 
+/// Reused state for the batched generator: the per-app calling-convention
+/// skeleton (constant pointer arguments, built once per (app, stream) and
+/// patched per packet) plus a staging buffer for the truncated classes'
+/// full-header temporary. With a cache, generateInto stops allocating
+/// once the stream's high-water packet shape has been seen — the ~4 us
+/// per-packet generation cost is almost entirely vector churn.
+struct PacketTemplateCache {
+  std::vector<uint32_t> Args;    ///< app skeleton; varying fields patched
+  std::vector<uint32_t> Scratch; ///< truncated-class full-header staging
+  int PrimedFor = -1;            ///< generator tag Args was built for
+};
+
 /// How the soak stream executes allocated code.
 enum class ExecMode : uint8_t {
   Interp,  ///< sim::runAllocated per packet (the reference)
@@ -181,6 +193,20 @@ public:
   /// \p StreamSeed.
   SoakPacket generate(uint64_t Index, uint64_t StreamSeed,
                       const ClassMix &Mix) const;
+
+  /// Byte-identical to generate(), but writes into \p P and reuses
+  /// \p Cache across calls, so the steady state allocates nothing.
+  void generateInto(uint64_t Index, uint64_t StreamSeed, const ClassMix &Mix,
+                    PacketTemplateCache &Cache, SoakPacket &P) const;
+
+  /// Fills Out[0..Count) with packets FirstIndex..FirstIndex+Count-1 of
+  /// the stream, reusing Out's slots (grown when needed, never shrunk —
+  /// a short final batch leaves stale trailing slots the caller must not
+  /// read past Count).
+  void generateBatch(uint64_t FirstIndex, uint64_t Count,
+                     uint64_t StreamSeed, const ClassMix &Mix,
+                     PacketTemplateCache &Cache,
+                     std::vector<SoakPacket> &Out) const;
 
   /// True when a completed run's halt values are the app's own error
   /// result (the 0xFFFFxxxx raise/handle codes).

@@ -42,7 +42,11 @@ void FaultInjector::arm(std::vector<FaultSpec> Specs) {
     // SplitMix64 state; offset so Seed 0 still produces a usable stream.
     S.RngState = Spec.Seed + 0x9e3779b97f4a7c15ull;
   }
-  ArmedFlag.store(true, std::memory_order_relaxed);
+  // An empty plan arms nothing: armed() gates the fast path's
+  // per-instruction slow tier (and a mutex on every draw), so arming
+  // without any active fault would silently cost an order of magnitude
+  // in throughput for a guaranteed no-op.
+  ArmedFlag.store(!Specs.empty(), std::memory_order_relaxed);
 }
 
 void FaultInjector::disarm() {

@@ -466,6 +466,128 @@ TEST(ChipRun, DoubleRunIsBitIdentical) {
   }
 }
 
+namespace {
+
+/// classify(in, out): read *in, branch on its low bit through two
+/// single-predecessor arms (a superblock-forming shape), then a few
+/// dependent SDRAM reads so the packet swaps several times, then
+/// *out = tag. Exercises guards, side exits, and mem yields from
+/// inside a superblock.
+AllocatedProgram branchyProgram() {
+  AllocatedProgram P;
+  P.Entry = 0;
+  P.NumEntryArgs = 2;
+  AllocInstr And;
+  And.Op = MOp::Alu;
+  And.Alu = cps::PrimOp::And;
+  And.Srcs = {AOperand::reg({Bank::S, 0}), AOperand::constant(1)};
+  And.Dsts = {{Bank::S, 1}};
+  AllocInstr Br;
+  Br.Op = MOp::Branch;
+  Br.Cmp = cps::CmpOp::Eq;
+  Br.Srcs = {AOperand::reg({Bank::S, 1}), AOperand::constant(0)};
+  Br.Target = 1;
+  Br.TargetElse = 2;
+  AllocInstr J3;
+  J3.Op = MOp::Jump;
+  J3.Target = 3;
+  P.Blocks.push_back(
+      {{sdramRead(AOperand::reg({Bank::A, 0}), {Bank::S, 0}), And, Br}});
+  P.Blocks.push_back({{imm(0xEE000000u, {Bank::L, 0}), J3}});
+  P.Blocks.push_back({{imm(0xDD000000u, {Bank::L, 0}), J3}});
+  P.Blocks.push_back(
+      {{sdramRead(AOperand::reg({Bank::A, 0}), {Bank::L, 1}),
+        sdramRead(AOperand::reg({Bank::A, 0}), {Bank::L, 1}),
+        sdramWrite(AOperand::reg({Bank::A, 1}), AOperand::reg({Bank::L, 0})),
+        haltOf({AOperand::reg({Bank::L, 0})})}});
+  return P;
+}
+
+/// Runs the same stream under both execution models and requires every
+/// observable — schedule, stalls, ring traces, per-packet results, and
+/// the final SDRAM image — to be bit-identical.
+void expectThreadedMatchesInterp(const AllocatedProgram &Prog,
+                                 chip::ChipParams CP, uint64_t N,
+                                 uint64_t Budget = 50'000) {
+  CP.Exec = chip::ExecModel::Interp;
+  DriveResult A = drive(Prog, CP, N, Budget);
+  CP.Exec = chip::ExecModel::Threaded;
+  DriveResult B = drive(Prog, CP, N, Budget);
+
+  EXPECT_EQ(A.Stats.Exec, chip::ExecModel::Interp);
+  EXPECT_EQ(B.Stats.Exec, chip::ExecModel::Threaded);
+  EXPECT_EQ(A.Stats.Superblocks, 0u);
+  EXPECT_EQ(A.Stats.TraceHash, B.Stats.TraceHash);
+  EXPECT_EQ(A.Stats.FinalCycles, B.Stats.FinalCycles);
+  EXPECT_EQ(A.Stats.PacketsDispatched, B.Stats.PacketsDispatched);
+  EXPECT_EQ(A.Stats.PacketsRetired, B.Stats.PacketsRetired);
+  EXPECT_EQ(A.Stats.TailPackets, B.Stats.TailPackets);
+  EXPECT_EQ(A.Stats.MeBusyCycles, B.Stats.MeBusyCycles);
+  EXPECT_EQ(A.Stats.CtxPackets, B.Stats.CtxPackets);
+  EXPECT_EQ(A.Stats.Sram.Transactions, B.Stats.Sram.Transactions);
+  EXPECT_EQ(A.Stats.Sram.StallCycles, B.Stats.Sram.StallCycles);
+  EXPECT_EQ(A.Stats.Sdram.Transactions, B.Stats.Sdram.Transactions);
+  EXPECT_EQ(A.Stats.Sdram.StallCycles, B.Stats.Sdram.StallCycles);
+  EXPECT_EQ(A.Stats.Scratch.Transactions, B.Stats.Scratch.Transactions);
+  EXPECT_EQ(A.Stats.Scratch.StallCycles, B.Stats.Scratch.StallCycles);
+  EXPECT_EQ(A.Stats.ReorderHighWater, B.Stats.ReorderHighWater);
+  EXPECT_EQ(A.Stats.RxDmaTransactions, B.Stats.RxDmaTransactions);
+  ASSERT_EQ(A.Stats.InputRings.size(), B.Stats.InputRings.size());
+  for (size_t I = 0; I != A.Stats.InputRings.size(); ++I)
+    EXPECT_EQ(A.Stats.InputRings[I].TraceHash,
+              B.Stats.InputRings[I].TraceHash);
+  EXPECT_EQ(A.Stats.TxRing.TraceHash, B.Stats.TxRing.TraceHash);
+  EXPECT_EQ(A.ImageHash, B.ImageHash);
+  ASSERT_EQ(A.Retired.size(), B.Retired.size());
+  for (size_t I = 0; I != A.Retired.size(); ++I) {
+    EXPECT_EQ(A.Retired[I].Me, B.Retired[I].Me);
+    EXPECT_EQ(A.Retired[I].Ctx, B.Retired[I].Ctx);
+    EXPECT_EQ(A.Retired[I].RetireTime, B.Retired[I].RetireTime);
+    EXPECT_EQ(A.Retired[I].CompleteTime, B.Retired[I].CompleteTime);
+    EXPECT_EQ(A.Retired[I].Result.Ok, B.Retired[I].Result.Ok);
+    EXPECT_EQ(A.Retired[I].Result.Cycles, B.Retired[I].Result.Cycles);
+    EXPECT_EQ(A.Retired[I].Result.Instructions,
+              B.Retired[I].Result.Instructions);
+    EXPECT_EQ(A.Retired[I].Result.HaltValues, B.Retired[I].Result.HaltValues);
+  }
+}
+
+} // namespace
+
+TEST(ChipRun, ThreadedMatchesInterpStraightLine) {
+  // Single-block program: the fast path runs it as one stream with mem
+  // yields; the whole schedule must be bit-identical to the interpreter.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 3;
+  CP.MP.ContextsPerMe = 4;
+  expectThreadedMatchesInterp(heavyProgram(12), CP, 60);
+}
+
+TEST(ChipRun, ThreadedMatchesInterpThroughSuperblocks) {
+  // Branchy program that actually forms superblocks: guard exits and
+  // mem yields from inside the collapsed chain must reconstruct the
+  // interpreter's exact instruction and cycle totals.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 4;
+  CP.MP.ContextsPerMe = 4;
+  AllocatedProgram Prog = branchyProgram();
+  CP.Exec = chip::ExecModel::Threaded;
+  DriveResult B = drive(Prog, CP, 96);
+  EXPECT_GT(B.Stats.Superblocks, 0u);
+  EXPECT_GT(B.Stats.SuperblockOps, 0u);
+  expectThreadedMatchesInterp(Prog, CP, 96);
+}
+
+TEST(ChipRun, ThreadedMatchesInterpUnderWatchdog) {
+  // Watchdog-bound spin packets: the fast path's per-block budget gate
+  // falls back to the slow tier, whose instruction counting must hit
+  // the same watchdog trap at the same point.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 4;
+  expectThreadedMatchesInterp(spinProgram(), CP, 12, 2'000);
+}
+
 TEST(ChipRun, PerContextSpillWindowsDoNotCollide) {
   // A program that spills through scratch: every context uses the same
   // nominal spill addresses, the per-context rebase must keep them

@@ -444,7 +444,11 @@ soak::AppHarness &harness(const std::string &Name) {
 }
 
 /// Streams \p Seeds adversarial stream seeds (x \p PerSeed packets)
-/// through both executions and requires bit-identical results.
+/// through three executions — superblock fast path, per-block-only fast
+/// path, interpreter — and requires bit-identical results from all of
+/// them. The per-block translation triangulates: a bug in superblock
+/// formation diverges from it, a bug in the shared decoding diverges
+/// from the interpreter.
 void fuzzApp(const std::string &Name, uint64_t Seeds, uint64_t PerSeed) {
   soak::AppHarness &App = harness(Name);
   soak::SoakOptions SOpts;
@@ -454,8 +458,17 @@ void fuzzApp(const std::string &Name, uint64_t Seeds, uint64_t PerSeed) {
 
   fastpath::Translated T =
       fastpath::translate(App.compiled().Alloc.Prog, RO.Lat);
+  EXPECT_GT(T.Superblocks, 0u) << Name;
   fastpath::Engine Eng(T);
   fastpath::BatchMemory BM(App.baseSim());
+
+  fastpath::TranslateOptions NoSB;
+  NoSB.Superblocks = false;
+  fastpath::Translated TP =
+      fastpath::translate(App.compiled().Alloc.Prog, RO.Lat, NoSB);
+  EXPECT_EQ(TP.Superblocks, 0u) << Name;
+  fastpath::Engine EngP(TP);
+  fastpath::BatchMemory BMP(App.baseSim());
 
   unsigned Mismatches = 0;
   for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
@@ -464,6 +477,9 @@ void fuzzApp(const std::string &Name, uint64_t Seeds, uint64_t PerSeed) {
       BM.reset();
       BM.storePacket(P.Args.empty() ? 0 : P.Args[0], P.Words);
       sim::RunResult FR = Eng.run(P.Args, BM, RO);
+      BMP.reset();
+      BMP.storePacket(P.Args.empty() ? 0 : P.Args[0], P.Words);
+      sim::RunResult PR = EngP.run(P.Args, BMP, RO);
       // Interpreter reference (no 3-way oracle needed here).
       soak::PacketOutcome O =
           soak::runPacket(App, P, SOpts, /*WithOracle=*/false);
@@ -481,6 +497,20 @@ void fuzzApp(const std::string &Name, uint64_t Seeds, uint64_t PerSeed) {
                       << ": fastpath diverges from interpreter ("
                       << FR.Error.message() << " vs "
                       << O.Alloc.Error.message() << ")";
+      bool SameP =
+          FR.Ok == PR.Ok && FR.Trap == PR.Trap &&
+          FR.Error.message() == PR.Error.message() &&
+          FR.Instructions == PR.Instructions && FR.Cycles == PR.Cycles &&
+          FR.HaltValues == PR.HaltValues &&
+          BM.image(MemSpace::Sram) == BMP.image(MemSpace::Sram) &&
+          BM.image(MemSpace::Sdram) == BMP.image(MemSpace::Sdram) &&
+          BM.image(MemSpace::Scratch) == BMP.image(MemSpace::Scratch);
+      if (!SameP && ++Mismatches <= 3)
+        ADD_FAILURE() << Name << " seed " << Seed << " packet " << I
+                      << ": superblock translation diverges from "
+                         "per-block translation ("
+                      << FR.Error.message() << " vs "
+                      << PR.Error.message() << ")";
     }
   }
   EXPECT_EQ(Mismatches, 0u) << Name;

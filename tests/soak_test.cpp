@@ -303,6 +303,97 @@ TEST(SoakHarness, PacketGenerationIsDeterministic) {
   EXPECT_NE(H.generate(0, 99, Mix).Seed, H.generate(0, 100, Mix).Seed);
 }
 
+namespace {
+
+uint64_t foldHash(uint64_t H, uint64_t V) {
+  H ^= V;
+  H *= 0x100000001b3ull;
+  return H;
+}
+
+uint64_t foldPacket(uint64_t H, const soak::SoakPacket &P) {
+  H = foldHash(H, static_cast<uint64_t>(P.Class));
+  H = foldHash(H, P.Index);
+  H = foldHash(H, P.Seed);
+  H = foldHash(H, P.PayloadBytes);
+  H = foldHash(H, P.Words.size());
+  for (uint32_t W : P.Words)
+    H = foldHash(H, W);
+  H = foldHash(H, P.Args.size());
+  for (uint32_t A : P.Args)
+    H = foldHash(H, A);
+  return H;
+}
+
+void expectSamePacket(const soak::SoakPacket &A, const soak::SoakPacket &B,
+                      uint64_t I) {
+  EXPECT_EQ(A.Class, B.Class) << "packet " << I;
+  EXPECT_EQ(A.Index, B.Index) << "packet " << I;
+  EXPECT_EQ(A.Seed, B.Seed) << "packet " << I;
+  EXPECT_EQ(A.PayloadBytes, B.PayloadBytes) << "packet " << I;
+  EXPECT_EQ(A.Words, B.Words) << "packet " << I;
+  EXPECT_EQ(A.Args, B.Args) << "packet " << I;
+}
+
+} // namespace
+
+// The template-cache generator must be a pure function of (seed, index):
+// reusing one packet and one cache across calls leaves no state behind.
+TEST(SoakHarness, BatchedGeneratorMatchesUnbatchedByteForByte) {
+  for (const char *Name : {"aes", "kasumi", "nat"}) {
+    soak::AppHarness &H = harness(Name);
+    soak::ClassMix Mix;
+    soak::PacketTemplateCache Cache;
+    soak::SoakPacket P;
+    for (uint64_t I = 0; I != 512; ++I) {
+      H.generateInto(I, 7, Mix, Cache, P);
+      expectSamePacket(H.generate(I, 7, Mix), P, I);
+    }
+  }
+}
+
+TEST(SoakHarness, GenerateBatchReusesBuffersAndMatches) {
+  soak::AppHarness &H = harness("nat");
+  soak::ClassMix Mix;
+  soak::PacketTemplateCache Cache;
+  std::vector<soak::SoakPacket> Batch;
+  // Two chunks into the same vector: the second fully overwrites the
+  // first's reused buffers.
+  for (uint64_t Base : {0ull, 256ull}) {
+    H.generateBatch(Base, 256, 5, Mix, Cache, Batch);
+    for (uint64_t I = 0; I != 256; ++I)
+      expectSamePacket(H.generate(Base + I, 5, Mix), Batch[I], Base + I);
+  }
+}
+
+// Golden corpus hashes pinned at the generator rewrite (PR 5 semantics):
+// any byte-level drift in the packet streams — class draws, payload
+// words, argument blocks — moves one of these folds.
+TEST(SoakHarness, GeneratorCorpusHashesArePinned) {
+  struct Golden {
+    const char *App;
+    uint64_t Seed;
+    uint64_t Hash;
+  };
+  const Golden Pins[] = {
+      {"aes", 1, 0xce8d1fee0abec8feull},    {"aes", 42, 0xc9c667ba12c16049ull},
+      {"kasumi", 1, 0x235782d5c97c5ea2ull}, {"kasumi", 42, 0x0177faf1ee253113ull},
+      {"nat", 1, 0x0fd9f6928cdb493eull},    {"nat", 42, 0x0a7f54fb07a0134dull},
+  };
+  soak::ClassMix Mix;
+  for (const Golden &G : Pins) {
+    soak::AppHarness &H = harness(G.App);
+    soak::PacketTemplateCache Cache;
+    soak::SoakPacket P;
+    uint64_t Acc = 0xcbf29ce484222325ull;
+    for (uint64_t I = 0; I != 4096; ++I) {
+      H.generateInto(I, G.Seed, Mix, Cache, P);
+      Acc = foldPacket(Acc, P);
+    }
+    EXPECT_EQ(Acc, G.Hash) << G.App << " seed " << G.Seed;
+  }
+}
+
 TEST(SoakHarness, AppRejectDetection) {
   soak::AppHarness &Nat = harness("nat");
   EXPECT_TRUE(Nat.isAppReject({0xFFFF0003u}));

@@ -38,7 +38,9 @@ static void usage() {
       "                      corrupt,fuzz (default 55,15,10,10,10)\n"
       "  --exec <mode>       interp (reference, default) or threaded\n"
       "                      (translate once, computed-goto dispatch,\n"
-      "                      sampled interpreter oracle)\n"
+      "                      sampled interpreter oracle); with --chip,\n"
+      "                      threaded runs contexts on the segmented\n"
+      "                      fast path, bit-identical to interp\n"
       "  --oracle-every <n>  differential-check every nth packet\n"
       "                      (default 1 = all; 0 disables the oracle;\n"
       "                      threaded mode defaults to 10)\n"
@@ -147,7 +149,7 @@ int main(int argc, char **argv) {
   std::string JsonPath;
   bool Quiet = false;
   bool ChipMode = false;
-  bool SawExec = false, SawOracleEvery = false;
+  bool SawOracleEvery = false;
   bool SawMeCount = false, SawContexts = false, SawRingDepth = false;
   chip::ChipParams Chip;
   std::vector<FaultSpec> Faults;
@@ -178,7 +180,6 @@ int main(int argc, char **argv) {
                "with a nonzero sum, got '%s'\n",
                V);
     } else if (P.valueFlag("--exec", V)) {
-      SawExec = true;
       if (!P.Failed) {
         if (V == "interp")
           Opts.Exec = soak::ExecMode::Interp;
@@ -257,29 +258,21 @@ int main(int argc, char **argv) {
     }
   }
   // Chip-mode combination rules, enforced before any compile work: the
-  // topology flags only mean something with --chip, faults inject into a
-  // global runtime hook that would also corrupt the chip's oracle
-  // re-runs, and a single-shot chip run cannot stop mid-stream.
+  // topology flags only mean something with --chip, and a single-shot
+  // chip run cannot stop mid-stream. --exec threaded composes with
+  // --chip since segmented fast-path execution (fastpath::Segment) keeps
+  // the discrete-event schedule bit-identical; --inject-fault composes
+  // too — an armed injector pins execution to the interpreter-exact slow
+  // tier in both modes, so the retire-time oracle still catches flips.
   if (!ChipMode && (SawMeCount || SawContexts || SawRingDepth)) {
     std::fprintf(stderr, "novasoak: --me-count/--contexts/--ring-depth "
                          "require --chip\n");
-    P.Failed = true;
-  }
-  if (ChipMode && !Faults.empty()) {
-    std::fprintf(stderr,
-                 "novasoak: --inject-fault is incompatible with --chip\n");
     P.Failed = true;
   }
   if (ChipMode && Opts.FailFast) {
     std::fprintf(stderr,
                  "novasoak: --fail-fast is incompatible with --chip "
                  "(a chip run drains its whole stream)\n");
-    P.Failed = true;
-  }
-  if (ChipMode && SawExec && Opts.Exec == soak::ExecMode::Threaded) {
-    std::fprintf(stderr,
-                 "novasoak: --exec threaded is incompatible with --chip "
-                 "(the chip simulator needs the resumable interpreter)\n");
     P.Failed = true;
   }
   // The fast path exists to amortize the oracle: checking every packet
@@ -325,6 +318,9 @@ int main(int argc, char **argv) {
       soak::ChipSoakOptions CO;
       CO.Base = Opts;
       CO.Chip = Chip;
+      CO.Chip.Exec = Opts.Exec == soak::ExecMode::Threaded
+                         ? chip::ExecModel::Threaded
+                         : chip::ExecModel::Interp;
       soak::ChipSoakReport Rep = soak::runChipSoak(*Harnesses[I], CO);
       if (!Rep.Setup.ok()) {
         std::fprintf(stderr, "novasoak: %s: %s\n",
@@ -336,7 +332,9 @@ int main(int argc, char **argv) {
         soak::printChipReport(Rep, stdout);
       if (Rep.Base.Divergences)
         AnyDivergence = true;
-      Json += (I ? "," : "") + soak::chipReportJson(Rep);
+      if (I)
+        Json += ",";
+      Json += soak::chipReportJson(Rep);
       continue;
     }
     soak::SoakReport Rep = soak::runSoak(*Harnesses[I], Opts);
@@ -344,7 +342,9 @@ int main(int argc, char **argv) {
       soak::printReport(Rep, stdout);
     if (Rep.Divergences)
       AnyDivergence = true;
-    Json += (I ? "," : "") + soak::reportJson(Rep);
+    if (I)
+      Json += ",";
+    Json += soak::reportJson(Rep);
   }
   Json += "]";
 
