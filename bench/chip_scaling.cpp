@@ -13,10 +13,17 @@
 // contention effect the paper's falling Kasumi series shows.
 //
 //   bench/chip_scaling [--app nat] [--packets N] [--seed S] [--json F]
+//                      [--fault-schedule kind@rate[~mag],...]
+//
+// With --fault-schedule the sweep measures goodput *under* faults (the
+// degradation curve in EXPERIMENTS.md); the interp/threaded trace-hash
+// cross-check still holds because fault firing is a pure function of
+// deterministic opportunity ordinals.
 //
 //===----------------------------------------------------------------------===//
 
 #include "soak/ChipSoak.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <cstring>
@@ -30,6 +37,7 @@ int main(int argc, char **argv) {
   uint64_t Packets = 20'000;
   uint64_t Seed = 42;
   std::string JsonPath = "BENCH_chip.json";
+  FaultSchedule Faults;
   for (int I = 1; I < argc; ++I) {
     auto want = [&](const char *Flag) {
       return std::strcmp(argv[I], Flag) == 0 && I + 1 < argc;
@@ -42,9 +50,18 @@ int main(int argc, char **argv) {
       Seed = std::strtoull(argv[++I], nullptr, 10);
     else if (want("--json"))
       JsonPath = argv[++I];
-    else {
-      std::fprintf(stderr, "usage: chip_scaling [--app name] [--packets n] "
-                           "[--seed s] [--json file]\n");
+    else if (want("--fault-schedule")) {
+      std::string Error;
+      if (!parseFaultSchedule(argv[++I], Faults, Error)) {
+        std::fprintf(stderr, "chip_scaling: --fault-schedule: %s\n",
+                     Error.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: chip_scaling [--app name] [--packets n] "
+                   "[--seed s] [--json file] "
+                   "[--fault-schedule kind@rate[~mag],...]\n");
       return 2;
     }
   }
@@ -83,6 +100,7 @@ int main(int argc, char **argv) {
       Opts.Base.OracleEvery = 0; // measured run; correctness lives in tests
       Opts.Chip.MP.MeCount = Mes;
       Opts.Chip.Exec = Exec;
+      Opts.Chip.Faults = Faults;
       soak::ChipSoakReport R = soak::runChipSoak(*H, Opts);
       if (!R.Setup.ok()) {
         std::fprintf(stderr, "chip_scaling: %s\n", R.Setup.message().c_str());
@@ -130,6 +148,8 @@ int main(int argc, char **argv) {
           "\"stall_cycles\":{\"sram\":%llu,\"sdram\":%llu,\"scratch\":%llu},"
           "\"input_ring_high_water\":%s,\"tx_ring_high_water\":%u,"
           "\"reorder_high_water\":%u,\"tail_packets\":%llu,"
+          "\"lockups_injected\":%llu,\"packets_recovered\":%llu,"
+          "\"lockup_drops\":%llu,\"backpressure_drops\":%llu,"
           "\"trace_hash\":\"%016llx\"}",
           First ? "" : ",", App.c_str(), (unsigned long long)Packets,
           (unsigned long long)Seed, Threaded ? "threaded" : "interp",
@@ -141,6 +161,10 @@ int main(int argc, char **argv) {
           (unsigned long long)R.Chip.Scratch.StallCycles, InHw.c_str(),
           R.Chip.TxRing.HighWater, R.Chip.ReorderHighWater,
           (unsigned long long)R.Chip.TailPackets,
+          (unsigned long long)R.Chip.Recovery.LockupsInjected,
+          (unsigned long long)R.Chip.Recovery.PacketsRecovered,
+          (unsigned long long)R.Chip.Recovery.LockupDrops,
+          (unsigned long long)R.Chip.Recovery.BackpressureDrops,
           (unsigned long long)R.Chip.TraceHash);
       First = false;
       if (Threaded && Mes == 6 && R.Base.WallSeconds > 0)

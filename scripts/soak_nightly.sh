@@ -7,9 +7,15 @@
 #   scripts/soak_nightly.sh                 # 1M packets/app, seed 42
 #   scripts/soak_nightly.sh 5000000 7       # packets and seed
 #   BUILD_DIR=/tmp/b scripts/soak_nightly.sh
+#   SOAK_TIMEOUT=7200 scripts/soak_nightly.sh   # per-run ceiling (s)
 #
-# Exit codes follow novasoak: 0 clean, 1 oracle divergence (the log
-# contains the seed, packet index, and shrunk reproducer).
+# Every soak runs under a hard timeout and gets exactly one retry; a
+# run that fails twice is recorded as a structured failure object in
+# the merged BENCH JSON (so the nightly dashboard sees *which* soak
+# died and how, instead of a missing file) and the script exits 1.
+#
+# Exit codes: 0 clean, 1 any soak failed twice (oracle divergence,
+# timeout, or crash — the log and the failure record hold the detail).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -17,9 +23,39 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 PACKETS="${1:-1000000}"
 SEED="${2:-42}"
+# Generous per-run ceiling: nightly runs are long, but a hang must not
+# eat the whole window.
+SOAK_TIMEOUT="${SOAK_TIMEOUT:-10800}"
 
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target novasoak
+
+NIGHTLY_FAILED=0
+
+# run_soak <name> <json-path> <novasoak args...>
+# Hard-timeboxed novasoak with one retry. On double failure, writes a
+# structured failure record to <json-path> (keeping the merged BENCH
+# arrays parseable) and marks the nightly failed.
+run_soak() {
+  local NAME="$1" JSON="$2"
+  shift 2
+  local ATTEMPT RC
+  for ATTEMPT in 1 2; do
+    RC=0
+    timeout "$SOAK_TIMEOUT" "$BUILD/tools/novasoak" "$@" \
+      --json "$JSON" || RC=$?
+    if [ "$RC" -eq 0 ]; then
+      return 0
+    fi
+    echo "soak_nightly: $NAME attempt $ATTEMPT failed (exit $RC)" >&2
+  done
+  # 124 is timeout(1)'s kill exit; anything else is novasoak's own code
+  # (1 = divergence, 2 = usage, 4 = compile failure) or a crash signal.
+  printf '[{"run":"%s","failed":true,"exit_code":%d,"attempts":2,"timeout_seconds":%d,"argv":"%s"}]\n' \
+    "$NAME" "$RC" "$SOAK_TIMEOUT" "$*" > "$JSON"
+  NIGHTLY_FAILED=1
+  return 0
+}
 
 # Both execution modes land in BENCH_soak.json: the per-packet
 # interpreter (oracle on every packet) and the translating fast path
@@ -27,11 +63,10 @@ cmake --build "$BUILD" -j"$JOBS" --target novasoak
 # The stream statistics must be bit-identical between the two — the
 # threaded driver compares every sampled packet, and tests lock the
 # whole-report equality.
-"$BUILD/tools/novasoak" --packets "$PACKETS" --seed "$SEED" \
-  --json "$BUILD/BENCH_soak_interp.json"
-"$BUILD/tools/novasoak" --packets "$PACKETS" --seed "$SEED" \
-  --exec threaded --oracle-rate 10 \
-  --json "$BUILD/BENCH_soak_threaded.json"
+run_soak soak-interp "$BUILD/BENCH_soak_interp.json" \
+  --packets "$PACKETS" --seed "$SEED"
+run_soak soak-threaded "$BUILD/BENCH_soak_threaded.json" \
+  --packets "$PACKETS" --seed "$SEED" --exec threaded --oracle-rate 10
 INTERP_JSON="$(cat "$BUILD/BENCH_soak_interp.json")"
 THREADED_JSON="$(cat "$BUILD/BENCH_soak_threaded.json")"
 printf '%s,%s\n' "${INTERP_JSON%]}" "${THREADED_JSON#[}" \
@@ -43,13 +78,30 @@ printf '%s,%s\n' "${INTERP_JSON%]}" "${THREADED_JSON#[}" \
 # run). Both execution models are recorded — the interpreted chip and
 # the chip whose contexts run on the segmented fast path — and their
 # reports must be bit-identical (trace hash, stalls, drop taxonomy).
-"$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+run_soak chip-interp "$BUILD/BENCH_chip_interp.json" \
+  --chip --me-count 6 --app nat --packets "$PACKETS" --seed "$SEED"
+run_soak chip-threaded "$BUILD/BENCH_chip_threaded.json" \
+  --chip --me-count 6 --app nat --exec threaded \
+  --packets "$PACKETS" --seed "$SEED"
+
+# Fault-recovery nightly: the acceptance schedule at production rates.
+# The supervisor must keep the stream flowing (exit 0), recover or
+# typed-drop every fault, and the recovery ledger lands in the merged
+# JSON for trend tracking.
+run_soak chip-faults "$BUILD/BENCH_chip_faults.json" \
+  --chip --me-count 6 --app nat --exec threaded \
   --packets "$PACKETS" --seed "$SEED" \
-  --json "$BUILD/BENCH_chip_interp.json"
-"$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
-  --exec threaded --packets "$PACKETS" --seed "$SEED" \
-  --json "$BUILD/BENCH_chip_threaded.json"
+  --fault-schedule 'ctx-lockup@5000,chan-brownout@10000~4'
+
 CHIP_INTERP_JSON="$(cat "$BUILD/BENCH_chip_interp.json")"
 CHIP_THREADED_JSON="$(cat "$BUILD/BENCH_chip_threaded.json")"
-printf '%s,%s\n' "${CHIP_INTERP_JSON%]}" "${CHIP_THREADED_JSON#[}" \
-  > "$ROOT/BENCH_chip_soak.json"
+CHIP_FAULTS_JSON="$(cat "$BUILD/BENCH_chip_faults.json")"
+printf '%s,%s,%s\n' "${CHIP_INTERP_JSON%]}" \
+  "$(T="${CHIP_THREADED_JSON#[}"; printf '%s' "${T%]}")" \
+  "${CHIP_FAULTS_JSON#[}" > "$ROOT/BENCH_chip_soak.json"
+
+if [ "$NIGHTLY_FAILED" -ne 0 ]; then
+  echo "soak_nightly: one or more soaks failed twice; see failure" \
+       "records in BENCH JSON" >&2
+  exit 1
+fi

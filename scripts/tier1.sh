@@ -125,6 +125,44 @@ if [ "$SOAK_RC" -ne 1 ]; then
   exit 1
 fi
 
+# Chip fault smoke: the acceptance schedule (context lockups + an SDRAM
+# brownout) through both execution models. The supervisor must recover
+# every fault (exit 0, zero divergences), the ledger must balance, and
+# both runs must report at least one recovery — a zero here means the
+# schedule silently stopped firing.
+echo "== chip fault smoke (supervisor recovery, interp + threaded) =="
+for EXEC in interp threaded; do
+  timeout 300 "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+    --exec "$EXEC" --packets 2000 --seed 42 \
+    --fault-schedule 'ctx-lockup@500,chan-brownout@1000~4' \
+    --json "$BUILD/BENCH_chip_fault_${EXEC}.json"
+  if ! grep -q '"packets_recovered":[1-9]' \
+      "$BUILD/BENCH_chip_fault_${EXEC}.json"; then
+    echo "chip fault smoke FAILED ($EXEC): no recoveries recorded" >&2
+    exit 1
+  fi
+  if ! grep -q '"all_accounted":true' \
+      "$BUILD/BENCH_chip_fault_${EXEC}.json"; then
+    echo "chip fault smoke FAILED ($EXEC): recovery ledger unbalanced" >&2
+    exit 1
+  fi
+done
+
+# Chip fault negative control: sdram-bitflip is the one chip fault the
+# supervisor cannot see (post-DMA corruption). The sampled retire-time
+# oracle must catch it — exit 1. A clean exit means the oracle went
+# blind to chip-level corruption.
+echo "== chip fault negative control (sdram-bitflip must be caught) =="
+SOAK_RC=0
+timeout 300 "$BUILD/tools/novasoak" --chip --me-count 2 --app nat \
+  --packets 400 --seed 42 --oracle-rate 1 \
+  --fault-schedule 'sdram-bitflip@10' --quiet || SOAK_RC=$?
+if [ "$SOAK_RC" -ne 1 ]; then
+  echo "chip fault negative control FAILED: expected exit 1 (corruption" \
+       "caught), got $SOAK_RC" >&2
+  exit 1
+fi
+
 # ASan+UBSan pass over the degradation ladder and the support layer: the
 # fault-injection paths (LU repair, refactorize-on-drift, incumbent
 # salvage, baseline fallback) are exactly where stale pointers and
@@ -136,9 +174,14 @@ echo "== ASan+UBSan degradation tests =="
 cmake -B "$SAN_BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
-cmake --build "$SAN_BUILD" -j"$JOBS" --target degradation_test support_test
+cmake --build "$SAN_BUILD" -j"$JOBS" --target degradation_test support_test \
+  chip_fault_test
 timeout 900 "$SAN_BUILD/tests/degradation_test"
 timeout 120 "$SAN_BUILD/tests/support_test"
+# The supervisor's abort/restart path frees and rebuilds per-packet
+# state (slot scrub, re-DMA, spill-window erase) — exactly where
+# use-after-free would hide.
+timeout 300 "$SAN_BUILD/tests/chip_fault_test"
 
 # TSan pass over the chip scheduler: the discrete-event kernel is
 # single-threaded by design, so a clean TSan run plus deterministic
@@ -149,8 +192,10 @@ echo "== TSan chip scheduler tests =="
 cmake -B "$TSAN_BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
-cmake --build "$TSAN_BUILD" -j"$JOBS" --target chip_test novasoak
+cmake --build "$TSAN_BUILD" -j"$JOBS" --target chip_test chip_fault_test \
+  novasoak
 timeout 300 "$TSAN_BUILD/tests/chip_test"
+timeout 300 "$TSAN_BUILD/tests/chip_fault_test"
 
 # TSan soak over the batched generator + segmented fast path: the
 # template cache and reused packet buffers are single-threaded by

@@ -74,6 +74,19 @@ Status ChipParams::validate() const {
         formatf("slot stride 0x%x below minimum 0x10000", SlotStride));
   if (!(MP.ClockHz > 0))
     return configError("clock must be positive");
+  for (const FaultScheduleEntry &E : Faults) {
+    if (faultKindDomain(E.Kind) != FaultDomain::Chip)
+      return configError(
+          formatf("fault kind '%s' is not chip-domain", faultKindName(E.Kind)));
+    if (E.Rate < 1)
+      return configError(
+          formatf("fault rate for '%s' must be >= 1", faultKindName(E.Kind)));
+  }
+  if (!Faults.empty() &&
+      (Sup.WatchdogPeriod == 0 || Sup.LockupThreshold == 0 ||
+       Sup.BackoffBase == 0 || Sup.BackpressureThreshold == 0 ||
+       Sup.BrownoutWindow == 0))
+    return configError("supervisor thresholds must be positive");
   return Status();
 }
 
@@ -135,7 +148,16 @@ struct Channel {
   }
 };
 
-enum class Ev : uint8_t { MeRun, CtxResume, RxStep, TxPopDone };
+enum class Ev : uint8_t {
+  MeRun,
+  CtxResume,
+  RxStep,
+  TxPopDone,
+  SupTick,     ///< supervisor watchdog scan + RX backpressure check
+  CtxRestart,  ///< backoff expired: restore packet state, requeue
+  BrownoutEnd, ///< SDRAM issue bandwidth recovers
+  RingUnstall  ///< a ring-stall window ended; wake parked producers
+};
 
 struct Event {
   uint64_t Time = 0;
@@ -165,7 +187,10 @@ enum class CtxPh : uint8_t {
   PushWait,   ///< TX-ring push scratch transaction in flight
   ParkedTx,   ///< waiting for TX-ring space
   RetryPop,   ///< woken to re-attempt an input-ring pop
-  RetryPush   ///< woken to re-attempt a TX-ring push
+  RetryPush,  ///< woken to re-attempt a TX-ring push
+  Wedged,     ///< ctx-lockup: the memory completion was lost; only the
+              ///< supervisor watchdog can move the context again
+  RestartWait ///< aborted by the supervisor; CtxRestart pending (backoff)
 };
 
 /// One hardware context: either a resumable interpreter or a resumable
@@ -178,10 +203,12 @@ struct HwCtx {
   bool Threaded = false;
   CtxPh Ph = CtxPh::ParkedRing;
   uint64_t CurSeq = 0;
+  uint64_t WedgeTime = 0; ///< when the lost completion was issued
 
   void reset(const std::vector<uint32_t> &Args) {
     Threaded ? Seg.reset(Args) : Exec.reset(Args);
   }
+  void abort() { Threaded ? Seg.abort() : Exec.abort(); }
   bool done() const { return Threaded ? Seg.done() : Exec.done(); }
   sim::AllocContext::Yield resume(sim::Memory &Mem,
                                   const sim::RunOptions &Opts) {
@@ -215,6 +242,12 @@ struct InFlightRec {
   /// Quarantine image for a tail packet: a private copy of the pristine
   /// base memory. Null for slotted packets (they run on shared memory).
   std::unique_ptr<sim::Memory> PrivMem;
+  // Fault-injection state (all inert when no schedule is armed).
+  unsigned Attempts = 1;        ///< execution attempts started
+  unsigned PlannedLockups = 0;  ///< attempts fated to wedge
+  bool SdramFlip = false;       ///< corrupt one slot word after DMA
+  bool Wedged = false;          ///< wedged at least once
+  DropReason Drop = DropReason::None;
 };
 
 enum class RxPh : uint8_t { Dispatch, Push };
@@ -259,6 +292,14 @@ struct Chip::Impl {
   unsigned RxTarget = 0;
   uint64_t RxGen = 0;
 
+  // Fault model + recovery policy (inert when the schedule is empty).
+  Supervisor Sup;
+  uint32_t SpillStep = 64;       ///< per-context spill window stride
+  unsigned SdramBaseInterval = 1; ///< pristine issue interval (brownouts)
+  bool BrownoutActive = false;
+  bool RxStuck = false;          ///< parked on uniformly-full rings
+  uint64_t RxStuckSince = 0;
+
   std::priority_queue<Event, std::vector<Event>, EventAfter> Q;
   uint64_t OrderCtr = 0;
   uint64_t LastTime = 0;
@@ -284,11 +325,15 @@ struct Chip::Impl {
     SdramCh = {P.MP.SdramIssueInterval, P.MP.SdramAccessCycles, 0, {}};
     ScratchCh = {P.MP.ScratchIssueInterval, P.MP.ScratchAccessCycles, 0, {}};
 
+    Sup = Supervisor(P.Faults, P.Sup);
+    SdramBaseInterval = P.MP.SdramIssueInterval;
+
     // Every context gets a disjoint spill window; one step for the whole
     // chip keeps the geometry independent of which ME runs which program.
     uint32_t Step = 64;
     for (const alloc::AllocatedProgram *Pr : Progs)
       Step = std::max<uint32_t>(Step, Pr->NumSpillSlots);
+    SpillStep = Step;
 
     if (P.Exec == ExecModel::Threaded)
       for (const alloc::AllocatedProgram *Pr : Progs)
@@ -409,24 +454,45 @@ struct Chip::Impl {
           Rec.RebasedArgs[I] += Rec.SlotBase;
     }
 
-    // DMA the packet image into the slot: data lands now, and the FIFO
-    // engine consumes SDRAM issue slots in 8-word bursts (it streams —
-    // no latency wait), so heavy ingress contends with the apps.
-    uint64_t Td = T;
-    if (!RxPkt.Words.empty() && !Rec.RebasedArgs.empty()) {
-      sim::Memory &DM = Rec.PrivMem ? *Rec.PrivMem : Mem;
-      uint32_t Base = Rec.RebasedArgs[0];
-      for (uint32_t I = 0; I != RxPkt.Words.size(); ++I)
-        DM.Sdram[Base + I] = RxPkt.Words[I]; // mirrors apps::storePacket
-      unsigned Bursts = (static_cast<unsigned>(RxPkt.Words.size()) + 7) / 8;
-      for (unsigned I = 0; I != Bursts; ++I)
-        Td = SdramCh.submitIssueOnly(Td);
-      St.RxDmaTransactions += Bursts;
-    }
-
     Rec.DispatchTime = T;
     RxPendSeq = RxPkt.Seq;
     Rec.Pkt = std::move(RxPkt);
+
+    // Per-packet fault plan: pure in Seq, so a divergence replayed
+    // standalone sees the same corruption.
+    bool DmaLost = false;
+    if (Sup.enabled()) {
+      Supervisor::PacketPlan Plan = Sup.planPacket(Rec.Pkt.Seq);
+      Rec.PlannedLockups = Plan.LockupAttempts;
+      Rec.SdramFlip = Plan.SdramFlip;
+      DmaLost = !rxDma(Rec, T, Plan.DmaFailures);
+    } else {
+      (void)rxDma(Rec, T, 0);
+    }
+    uint64_t Td = RxDmaEnd;
+
+    if (DmaLost) {
+      // The packet image never made it into memory: a typed ingress
+      // drop, retired in arrival order like every other packet.
+      if (!Rec.Tail)
+        FreeSlots.insert(Rec.SlotIdx);
+      Rec.PrivMem.reset();
+      Rec.Drop = DropReason::DmaDrop;
+      Rec.Result = sim::RunResult();
+      Rec.Result.Ok = false;
+      Rec.CompleteTime = Td;
+      ++St.PacketsDispatched;
+      ++Sup.stats().DmaDropPackets;
+      Reorder.emplace(Rec.Pkt.Seq, std::move(Rec));
+      St.ReorderHighWater = std::max(
+          St.ReorderHighWater, static_cast<unsigned>(Reorder.size()));
+      drainReorder(Td);
+      RxHave = false;
+      RxPhase = RxPh::Dispatch;
+      schedRx(Td);
+      return;
+    }
+
     InFlight.emplace(RxPendSeq, std::move(Rec));
     ++InFlightCount;
     ++St.PacketsDispatched;
@@ -435,29 +501,115 @@ struct Chip::Impl {
     schedRx(Td);
   }
 
+  /// One DMA burst set's issue-slot cost (the FIFO engine streams — no
+  /// latency wait — but contends for SDRAM issue bandwidth).
+  uint64_t chargeDmaBursts(size_t NumWords, uint64_t T) {
+    unsigned Bursts = (static_cast<unsigned>(NumWords) + 7) / 8;
+    uint64_t Td = T;
+    for (unsigned I = 0; I != Bursts; ++I)
+      Td = SdramCh.submitIssueOnly(Td);
+    St.RxDmaTransactions += Bursts;
+    return Td;
+  }
+
+  /// DMA completion time of the last rxDma/restart transfer.
+  uint64_t RxDmaEnd = 0;
+
+  /// DMAs the packet image into its slot (or private image), surviving
+  /// \p Failures silently-lost attempts via the RX engine's completion
+  /// count check: each lost burst set is re-issued, up to DmaRetryLimit
+  /// redos. Returns false when the image is lost for good. Applies the
+  /// packet's planned SdramBitFlip after a successful transfer (the
+  /// corruption happens on the wire, every time the data moves).
+  bool rxDma(InFlightRec &Rec, uint64_t T, unsigned Failures) {
+    uint64_t Td = T;
+    RxDmaEnd = T;
+    if (Rec.Pkt.Words.empty() || Rec.RebasedArgs.empty())
+      return true; // nothing to transfer; nothing can be lost
+    RecoveryStats &RS = Sup.stats();
+    if (Failures) {
+      ++RS.DmaFaultPackets;
+      RS.DmaFaultsInjected += Failures;
+    }
+    unsigned MaxAttempts = Sup.config().DmaRetryLimit + 1;
+    for (unsigned A = 1; A <= Failures; ++A) {
+      // Lost in flight: the engine streamed the burst set (issue slots
+      // burned) but the data vanished; the completion check notices.
+      Td = chargeDmaBursts(Rec.Pkt.Words.size(), Td);
+      if (A == MaxAttempts) {
+        RxDmaEnd = Td;
+        return false;
+      }
+      ++RS.DmaRetries;
+    }
+    Td = chargeDmaBursts(Rec.Pkt.Words.size(), Td);
+    sim::Memory &DM = Rec.PrivMem ? *Rec.PrivMem : Mem;
+    uint32_t Base = Rec.RebasedArgs[0];
+    for (uint32_t I = 0; I != Rec.Pkt.Words.size(); ++I)
+      DM.Sdram[Base + I] = Rec.Pkt.Words[I]; // mirrors apps::storePacket
+    if (Rec.SdramFlip) {
+      uint32_t NumWords = static_cast<uint32_t>(Rec.Pkt.Words.size());
+      uint32_t W = Supervisor::flipWordIndex(Rec.Pkt.Seq, NumWords);
+      uint32_t B = Supervisor::flipBit(Rec.Pkt.Seq);
+      DM.Sdram[Base + W] = Rec.Pkt.Words[W] ^ (1u << B);
+      ++RS.SdramBitFlipsInjected;
+    }
+    if (Failures)
+      ++RS.DmaRecoveredPackets;
+    RxDmaEnd = Td;
+    return true;
+  }
+
   void rxPush(uint64_t T) {
     // Least-occupied input ring wins, scanning from the packet's natural
     // round-robin position so ties rotate across engines. Picking at
     // push time (not dispatch) and by load (not sequence) keeps one slow
     // engine's full ring from head-of-line-blocking the whole RX stage.
+    // A stalled ring (injected NAK window) counts as full in the scan.
+    auto EffSize = [&](unsigned M) {
+      return In[M].stalled(T) ? In[M].capacity() : In[M].size();
+    };
     RxTarget = static_cast<unsigned>(RxPendSeq % P.MP.MeCount);
     for (unsigned I = 1; I != P.MP.MeCount; ++I) {
       unsigned M =
           static_cast<unsigned>((RxPendSeq + I) % P.MP.MeCount);
-      if (In[M].size() < In[RxTarget].size())
+      if (EffSize(M) < EffSize(RxTarget))
         RxTarget = M;
     }
     Ring &Rg = In[RxTarget];
-    if (Rg.full()) { // least-occupied is full => every ring is full
+    maybeStallRing(Rg, RxTarget, T);
+    if (Rg.full() || Rg.stalled(T)) {
+      // least-occupied is full => every ring is full (or NAKing)
       RxWaiting = RxWait::RingFull;
+      if (!RxStuck) {
+        RxStuck = true;
+        RxStuckSince = T;
+      }
       return;
     }
     Rg.push(RxPendSeq, T);
+    RxStuck = false;
     wakeOneConsumer(RxTarget, T);
     uint64_t Tc = ScratchCh.submit(T);
     RxHave = false;
     RxPhase = RxPh::Dispatch;
     schedRx(Tc);
+  }
+
+  /// Counts one push attempt against the ring-stall schedule; when it
+  /// fires, ring \p Id (MeCount = the TX ring) NAKs pushes for the
+  /// injected window and a wake is scheduled at the stall end.
+  void maybeStallRing(Ring &Rg, unsigned Id, uint64_t T) {
+    if (!Sup.enabled())
+      return;
+    uint64_t Cycles = Sup.ringStallCycles();
+    if (!Cycles)
+      return;
+    Rg.stallUntil(T + Cycles);
+    RecoveryStats &RS = Sup.stats();
+    ++RS.RingStallsInjected;
+    RS.RingStallCycles += Cycles;
+    sched(Rg.stallEnd(), Ev::RingUnstall, Id);
   }
 
   void wakeRxIfSlotFreed(uint64_t T) {
@@ -504,7 +656,8 @@ struct Chip::Impl {
 
   void wantPushTx(unsigned Me, unsigned C, uint64_t T) {
     HwCtx &Cx = Mes[Me].Ctx[C];
-    if (Tx.full()) {
+    maybeStallRing(Tx, P.MP.MeCount, T);
+    if (Tx.full() || Tx.stalled(T)) {
       Cx.Ph = CtxPh::ParkedTx;
       TxProducers.emplace_back(Me, C);
       return;
@@ -574,8 +727,24 @@ struct Chip::Impl {
       if (Y.K == sim::AllocContext::Yield::Kind::Mem) {
         // The swap point: issue the reference, park the context until
         // the data returns, and let another context have the engine.
+        if (Sup.enabled() && Y.Space == MemSpace::Sdram)
+          maybeBrownout(End);
         uint64_t Tc = chan(Y.Space).submit(End);
         Cx.charge(Tc - End); // latency + queueing delay
+        if (Sup.enabled() && Rec.PlannedLockups >= Rec.Attempts) {
+          // ctx-lockup: the reference went out but its completion
+          // signal is lost — the context freezes with no resume event;
+          // only the supervisor's watchdog can recover it.
+          RecoveryStats &RS = Sup.stats();
+          ++RS.LockupsInjected;
+          if (!Rec.Wedged) {
+            Rec.Wedged = true;
+            ++RS.PacketsWedged;
+          }
+          Cx.Ph = CtxPh::Wedged;
+          Cx.WedgeTime = End;
+          return;
+        }
         Cx.Ph = CtxPh::MemWait;
         sched(Tc, Ev::CtxResume, Me, C);
         return;
@@ -587,8 +756,25 @@ struct Chip::Impl {
     // Packet finished (halt or trap): record and hand to TX.
     Rec.Result = Cx.takeResult();
     Rec.CompleteTime = End;
+    if (Rec.Wedged)
+      ++Sup.stats().PacketsRecovered;
     ++St.CtxPackets[Me][C];
     wantPushTx(Me, C, End);
+  }
+
+  /// Counts one application SDRAM reference against the chan-brownout
+  /// schedule; when it fires (and no window is already active) the SDRAM
+  /// channel's issue interval degrades for BrownoutWindow cycles.
+  void maybeBrownout(uint64_t T) {
+    unsigned Factor = Sup.brownoutFactor();
+    if (!Factor || BrownoutActive)
+      return;
+    BrownoutActive = true;
+    SdramCh.IssueInterval = SdramBaseInterval * Factor;
+    RecoveryStats &RS = Sup.stats();
+    ++RS.BrownoutsInjected;
+    RS.BrownoutCycles += Sup.config().BrownoutWindow;
+    sched(T + Sup.config().BrownoutWindow, Ev::BrownoutEnd);
   }
 
   //===--- TX agent --------------------------------------------------------===//
@@ -623,6 +809,20 @@ struct Chip::Impl {
     St.ReorderHighWater = std::max(
         St.ReorderHighWater, static_cast<unsigned>(Reorder.size()));
 
+    drainReorder(T);
+    wakeRxIfSlotFreed(T);
+
+    if (!Tx.empty())
+      txStartPop(T);
+    else
+      TxIdle = true;
+  }
+
+  /// Retires every in-order completion at the head of the reorder
+  /// buffer. Shared by the TX pop path and the recovery paths that
+  /// synthesize typed drops (backpressure, exhausted DMA) directly into
+  /// the reorder buffer.
+  void drainReorder(uint64_t T) {
     while (!Reorder.empty() && Reorder.begin()->first == NextRetire) {
       InFlightRec Rec = std::move(Reorder.begin()->second);
       Reorder.erase(Reorder.begin());
@@ -642,14 +842,134 @@ struct Chip::Impl {
       RP.DispatchTime = Rec.DispatchTime;
       RP.CompleteTime = Rec.CompleteTime;
       RP.RetireTime = T;
+      RP.Drop = Rec.Drop;
+      RP.Attempts = Rec.Attempts;
       (*Retire)(std::move(RP));
     }
-    wakeRxIfSlotFreed(T);
+  }
 
-    if (!Tx.empty())
-      txStartPop(T);
+  //===--- Supervisor ------------------------------------------------------===//
+
+  /// Watchdog scan + RX backpressure check. Scheduled only when a fault
+  /// schedule is armed, so fault-free runs stay event-for-event
+  /// identical to an unsupervised chip.
+  void onSupTick(uint64_t T) {
+    const SupervisorConfig &C = Sup.config();
+    RecoveryStats &RS = Sup.stats();
+
+    // Retire-progress watchdog: a context whose outstanding memory
+    // reference never completed and that has made no progress for
+    // LockupThreshold cycles is declared locked up. Recovery aborts
+    // it; the packet either requeues (bounded retries, exponential
+    // backoff) or retires dead as a typed Lockup drop — in order.
+    for (unsigned M = 0; M != P.MP.MeCount; ++M) {
+      for (unsigned Cn = 0; Cn != P.MP.ContextsPerMe; ++Cn) {
+        HwCtx &Cx = Mes[M].Ctx[Cn];
+        if (Cx.Ph != CtxPh::Wedged || T - Cx.WedgeTime < C.LockupThreshold)
+          continue;
+        ++RS.LockupsDetected;
+        Cx.abort();
+        ++RS.CtxResets;
+        InFlightRec &Rec = InFlight.at(Cx.CurSeq);
+        if (Rec.Attempts - 1 >= C.MaxRetries) {
+          // Retries exhausted: declare the packet dead and push the
+          // typed drop through the normal TX path so retirement stays
+          // in arrival order.
+          ++RS.LockupDrops;
+          Rec.Drop = DropReason::Lockup;
+          Rec.Result = sim::RunResult();
+          Rec.Result.Ok = false;
+          Rec.CompleteTime = T;
+          ++St.CtxPackets[M][Cn];
+          wantPushTx(M, Cn, T);
+        } else {
+          uint64_t Delay = Sup.backoff(Rec.Attempts);
+          RS.MaxBackoffCycles = std::max(RS.MaxBackoffCycles, Delay);
+          ++RS.PacketRequeues;
+          Cx.Ph = CtxPh::RestartWait;
+          sched(T + Delay, Ev::CtxRestart, M, Cn);
+        }
+      }
+    }
+
+    // RX backpressure: when every input ring has stayed full (or
+    // NAKing) past the threshold, drop the pending packet instead of
+    // waiting unboundedly — ingress loss is typed and bounded, and RX
+    // moves on to the next arrival.
+    if (RxWaiting == RxWait::RingFull && RxStuck &&
+        T - RxStuckSince >= C.BackpressureThreshold) {
+      auto It = InFlight.find(RxPendSeq);
+      assert(It != InFlight.end() && "backpressure drop of unknown packet");
+      InFlightRec Rec = std::move(It->second);
+      InFlight.erase(It);
+      --InFlightCount;
+      if (!Rec.Tail)
+        FreeSlots.insert(Rec.SlotIdx);
+      Rec.PrivMem.reset();
+      Rec.Drop = DropReason::Backpressure;
+      Rec.Result = sim::RunResult();
+      Rec.Result.Ok = false;
+      Rec.CompleteTime = T;
+      ++RS.BackpressureDrops;
+      Reorder.emplace(Rec.Pkt.Seq, std::move(Rec));
+      St.ReorderHighWater = std::max(
+          St.ReorderHighWater, static_cast<unsigned>(Reorder.size()));
+      drainReorder(T);
+      RxStuck = false;
+      RxWaiting = RxWait::None;
+      RxHave = false;
+      RxPhase = RxPh::Dispatch;
+      schedRx(T);
+    }
+
+    // Keep ticking while anything is still moving through the chip.
+    if (!RxDone || RxHave || InFlightCount != 0 || !Reorder.empty())
+      sched(T + C.WatchdogPeriod, Ev::SupTick);
+  }
+
+  /// Backoff expired: restore the packet's pristine input state (slot
+  /// scrub + re-DMA, fresh quarantine image for tail packets, spill
+  /// window scrub) and requeue it on its context. Apps never write
+  /// SRAM/scratch outside their spill window, so a restart is
+  /// idempotent: the retry sees exactly the state a first run sees.
+  void onCtxRestart(unsigned Me, unsigned C, uint64_t T) {
+    HwCtx &Cx = Mes[Me].Ctx[C];
+    assert(Cx.Ph == CtxPh::RestartWait && "CtxRestart in unexpected phase");
+    InFlightRec &Rec = InFlight.at(Cx.CurSeq);
+    ++Rec.Attempts;
+    if (Rec.Tail)
+      Rec.PrivMem = std::make_unique<sim::Memory>(BaseImage);
     else
-      TxIdle = true;
+      scrubSdram(Rec.SlotBase, uint64_t(Rec.SlotBase) + P.SlotStride);
+    (void)rxDma(Rec, T, 0); // restart re-DMA never re-fires dma-drop
+    uint64_t Td = RxDmaEnd;
+    const alloc::AllocatedProgram *Pr = Progs[Me];
+    uint32_t SpillLo =
+        Pr->SpillBase + (Me * P.MP.ContextsPerMe + C) * SpillStep;
+    Mem.Scratch.eraseRange(SpillLo, uint64_t(SpillLo) + Pr->NumSpillSlots);
+    Cx.Ph = CtxPh::StartReady;
+    ctxReady(Me, C, Td);
+  }
+
+  void onBrownoutEnd() {
+    SdramCh.IssueInterval = SdramBaseInterval;
+    BrownoutActive = false;
+  }
+
+  /// A ring-stall window ended: wake whoever was parked on the ring.
+  void onRingUnstall(unsigned RingId, uint64_t T) {
+    if (RingId >= P.MP.MeCount) {
+      // TX ring: wake one parked producer (each successful push then
+      // triggers pops, and each pop wakes the next producer).
+      if (!TxProducers.empty() && !Tx.full() && !Tx.stalled(T)) {
+        auto [M, Cn] = TxProducers.front();
+        TxProducers.pop_front();
+        Mes[M].Ctx[Cn].Ph = CtxPh::RetryPush;
+        sched(T, Ev::CtxResume, M, Cn);
+      }
+      return;
+    }
+    wakeRxIfRingFreed(RingId, T);
   }
 
   //===--- Event loop ------------------------------------------------------===//
@@ -660,6 +980,8 @@ struct Chip::Impl {
     Src = &S;
     Retire = &R;
     schedRx(0);
+    if (Sup.enabled())
+      sched(Sup.config().WatchdogPeriod, Ev::SupTick);
 
     while (!Q.empty()) {
       Event E = Q.top();
@@ -677,6 +999,18 @@ struct Chip::Impl {
         break;
       case Ev::TxPopDone:
         onTxPopDone(E.A, E.Time);
+        break;
+      case Ev::SupTick:
+        onSupTick(E.Time);
+        break;
+      case Ev::CtxRestart:
+        onCtxRestart(E.Me, E.Ctx, E.Time);
+        break;
+      case Ev::BrownoutEnd:
+        onBrownoutEnd();
+        break;
+      case Ev::RingUnstall:
+        onRingUnstall(E.Me, E.Time);
         break;
       }
     }
@@ -699,6 +1033,7 @@ struct Chip::Impl {
     H = traceFold(H, RetireFold);
     St.TraceHash = H;
     St.Exec = P.Exec;
+    St.Recovery = Sup.stats();
     for (const auto &KV : Trans) {
       St.Superblocks += KV.second.Superblocks;
       St.SuperblockOps += KV.second.SuperblockOps;

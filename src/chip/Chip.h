@@ -51,6 +51,7 @@
 
 #include "alloc/Allocated.h"
 #include "chip/Ring.h"
+#include "chip/Supervisor.h"
 #include "sim/Simulator.h"
 #include "support/Status.h"
 
@@ -89,6 +90,14 @@ struct ChipParams {
   /// later packets keep the contexts busy while a slow (watchdog-bound)
   /// packet heads the in-order retirement queue.
   uint32_t SlotStride = 0x10000;
+
+  /// Armed chip-grade fault schedule (empty = no faults, no supervisor
+  /// ticks: the run is event-for-event identical to an unsupervised
+  /// chip). See chip::Supervisor for the fault kinds and policy.
+  FaultSchedule Faults;
+  /// Detection/recovery thresholds; only consulted when Faults is
+  /// non-empty.
+  SupervisorConfig Sup;
 
   /// The single-ME latency model this chip implies (same constants the
   /// standalone simulator reads from MachineParams).
@@ -132,6 +141,13 @@ struct RetiredPacket {
   uint64_t DispatchTime = 0;         ///< RX began the slot DMA
   uint64_t CompleteTime = 0;         ///< context finished executing
   uint64_t RetireTime = 0;           ///< TX retired it in order
+  /// Why the recovery machinery killed it (None = normal completion,
+  /// including ordinary app traps). Typed drops carry a default-false
+  /// Result and never executed to completion.
+  DropReason Drop = DropReason::None;
+  /// Execution attempts consumed (1 = clean first run; >1 = the
+  /// supervisor requeued it after context lockups).
+  unsigned Attempts = 1;
 };
 
 struct ChannelStats {
@@ -164,6 +180,9 @@ struct ChipRunStats {
   ExecModel Exec = ExecModel::Interp; ///< how contexts executed
   uint64_t Superblocks = 0;    ///< chains collapsed (threaded mode only)
   uint64_t SuperblockOps = 0;  ///< ops in superblock streams (threaded)
+  /// Fault-injection + supervisor recovery ledger (all zero when no
+  /// schedule was armed).
+  RecoveryStats Recovery;
   /// Folds the ring trace hashes and the (seq, time) retire sequence;
   /// equal across runs iff the runs interleaved identically.
   uint64_t TraceHash = 0;

@@ -49,6 +49,27 @@ public:
   uint64_t pushes() const { return Pushes; }
   uint64_t pops() const { return Pops; }
 
+  /// Fault injection: the ring refuses pushes until simulation time
+  /// \p Until (a `ring-stall` fault — the scratch controller NAKs the
+  /// enqueue). Producers treat a stalled ring exactly like a full one;
+  /// the chip schedules a wake at the stall end. Extending an active
+  /// stall keeps the later deadline.
+  void stallUntil(uint64_t Until) {
+    if (Until > StallEnd) {
+      StallEnd = Until;
+      ++Stalls;
+    }
+  }
+
+  /// True when a stall is active at time \p Time (pushes must park).
+  bool stalled(uint64_t Time) const { return Time < StallEnd; }
+
+  /// The simulation time the current/last stall ends.
+  uint64_t stallEnd() const { return StallEnd; }
+
+  /// Number of distinct stall windows injected on this ring.
+  uint64_t stalls() const { return Stalls; }
+
   /// Trace hash over the full operation history: every push and pop
   /// folds (time, op, value, occupancy-after). Two deterministic runs
   /// produce equal hashes; any reordering changes them.
@@ -93,6 +114,8 @@ private:
   unsigned HighWater = 0;
   uint64_t Pushes = 0;
   uint64_t Pops = 0;
+  uint64_t StallEnd = 0;
+  uint64_t Stalls = 0;
   uint64_t Hash = 0xcbf29ce484222325ull; // FNV offset basis
 };
 

@@ -1,0 +1,107 @@
+//===- Supervisor.cpp - Chip fault model + self-healing policy ------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "chip/Supervisor.h"
+
+#include "chip/Ring.h"
+
+using namespace nova;
+using namespace nova::chip;
+
+const char *chip::dropReasonName(DropReason R) {
+  switch (R) {
+  case DropReason::None:         return "none";
+  case DropReason::Lockup:       return "lockup";
+  case DropReason::Backpressure: return "backpressure";
+  case DropReason::DmaDrop:      return "dma-drop";
+  }
+  return "unknown";
+}
+
+/// SplitMix64 finalizer: the same mixing the FaultInjector's seeded
+/// streams use, applied statelessly so per-packet draws are pure in Seq.
+static uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+Supervisor::Supervisor(const FaultSchedule &Sched, const SupervisorConfig &C)
+    : Cfg(C) {
+  for (const FaultScheduleEntry &E : Sched) {
+    Entry &Slot = Entries[static_cast<unsigned>(E.Kind)];
+    Slot.Armed = true;
+    Slot.Rate = E.Rate;
+    Slot.Magnitude = E.Magnitude;
+    Enabled = true;
+  }
+}
+
+Supervisor::PacketPlan Supervisor::planPacket(uint64_t Seq) const {
+  PacketPlan Plan;
+  const Entry &Lock = entry(FaultKind::CtxLockup);
+  if (Lock.Armed && (Seq + 1) % Lock.Rate == 0)
+    Plan.LockupAttempts = Lock.Magnitude > 0
+                              ? static_cast<unsigned>(Lock.Magnitude)
+                              : Cfg.DefaultLockupAttempts;
+  const Entry &Dma = entry(FaultKind::DmaDrop);
+  if (Dma.Armed && (Seq + 1) % Dma.Rate == 0)
+    Plan.DmaFailures = Dma.Magnitude > 0
+                           ? static_cast<unsigned>(Dma.Magnitude)
+                           : Cfg.DefaultDmaFailures;
+  const Entry &Flip = entry(FaultKind::SdramBitFlip);
+  if (Flip.Armed && (Seq + 1) % Flip.Rate == 0)
+    Plan.SdramFlip = true;
+  return Plan;
+}
+
+uint32_t Supervisor::flipWordIndex(uint64_t Seq, uint32_t NumWords) {
+  if (NumWords == 0)
+    return 0;
+  return static_cast<uint32_t>(mix(Seq * 2 + 1) % NumWords);
+}
+
+uint32_t Supervisor::flipBit(uint64_t Seq) {
+  return static_cast<uint32_t>(mix(Seq * 2 + 2) & 31);
+}
+
+uint64_t Supervisor::ringStallCycles() {
+  const Entry &E = entry(FaultKind::RingStall);
+  if (!E.Armed)
+    return 0;
+  if (++RingPushCtr % E.Rate != 0)
+    return 0;
+  return E.Magnitude > 0 ? static_cast<uint64_t>(E.Magnitude)
+                         : Cfg.DefaultRingStallCycles;
+}
+
+unsigned Supervisor::brownoutFactor() {
+  const Entry &E = entry(FaultKind::ChanBrownout);
+  if (!E.Armed)
+    return 0;
+  if (++SdramRefCtr % E.Rate != 0)
+    return 0;
+  unsigned Factor = E.Magnitude > 1 ? static_cast<unsigned>(E.Magnitude)
+                                    : Cfg.DefaultBrownoutFactor;
+  return Factor;
+}
+
+uint64_t RecoveryStats::fold() const {
+  uint64_t H = 0xcbf29ce484222325ull;
+  const uint64_t Fields[] = {
+      LockupsInjected,   LockupsDetected,  CtxResets,
+      PacketRequeues,    PacketsWedged,    PacketsRecovered,
+      LockupDrops,       MaxBackoffCycles, BackpressureDrops,
+      RingStallsInjected, RingStallCycles, BrownoutsInjected,
+      BrownoutCycles,    DmaFaultsInjected, DmaRetries,
+      DmaFaultPackets,   DmaRecoveredPackets, DmaDropPackets,
+      SdramBitFlipsInjected};
+  for (uint64_t F : Fields)
+    H = traceFold(H, F);
+  return H;
+}

@@ -66,6 +66,25 @@ public:
   const sim::RunResult &result() const { return R; }
   sim::RunResult takeResult() { return std::move(R); }
 
+  /// Discards an in-progress run, mirroring sim::AllocContext::abort():
+  /// the context becomes done() with an empty (non-Ok) result, all
+  /// resume bookkeeping (slow-tier position, fast-yield latch, cold-data
+  /// bases) is cleared, and reset() starts a fresh attempt. The chip
+  /// supervisor's recovery path relies on this working identically in
+  /// both exec modes.
+  void abort() {
+    Finished = true;
+    InSlow = false;
+    FastYield = false;
+    Err = false;
+    PC = YieldPC = 0;
+    Ins = Cyc = StartIns = StartCyc = 0;
+    SB = 0;
+    SIdx = 0;
+    R = sim::RunResult();
+    R.Ok = false;
+  }
+
   /// Adds externally-decided cycles (memory latency, queueing delay) to
   /// the run's cycle count.
   void charge(uint64_t Cycles) { R.Cycles += Cycles; }

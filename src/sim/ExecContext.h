@@ -75,6 +75,16 @@ public:
   /// is final and resume() must not be called again.
   bool done() const { return Finished; }
 
+  /// Discards an in-progress run: the context becomes done() with an
+  /// empty (non-Ok) result and may be reset() for a fresh attempt. The
+  /// chip supervisor uses this to recover a wedged hardware context
+  /// before requeueing its packet. No-op when already done().
+  void abort() {
+    Finished = true;
+    R = RunResult();
+    R.Ok = false;
+  }
+
   const RunResult &result() const { return R; }
   RunResult takeResult() { return std::move(R); }
 

@@ -67,6 +67,14 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
     return true;
   };
 
+  // Recovery-aware oracle policy: packets the fault model killed (typed
+  // Lockup/Backpressure/DmaDrop retirements) never executed to
+  // completion, so a standalone re-run cannot be compared against them.
+  // The supervisor's own plan tells us which sampled packets carry a
+  // deliberate sdram-bitflip: those are the negative control — the
+  // cross-check MUST diverge, and the shrinker replays the flip.
+  chip::Supervisor Plan(CP.Faults, CP.Sup);
+
   SoakPacket Q; // reused oracle-rerun packet across retirements
   chip::Chip::RetireFn Retire = [&](chip::RetiredPacket &&RP) {
     bool Reject = RP.Result.Ok && App.isAppReject(RP.Result.HaltValues);
@@ -75,6 +83,9 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
     sim::RunResult Acct = RP.Result;
     Acct.Cycles = RP.RetireTime - RP.DispatchTime;
     Rep.Base.Stats.account(Acct, Reject, RP.Pkt.PayloadBytes);
+
+    if (RP.Drop != chip::DropReason::None)
+      return; // typed recovery drop: there is no execution to oracle
 
     bool WithOracle =
         SO.OracleEvery != 0 && RP.Pkt.Seq % SO.OracleEvery == 0;
@@ -126,12 +137,39 @@ ChipSoakReport soak::runChipSoak(const AppHarness &App,
       Rep.Base.First.What = What;
       Rep.Base.First.Words = Q.Words;
       Rep.Base.First.Args = Q.Args;
-      // Shrinking targets the standalone differential; a pure chip
-      // mismatch keeps the packet as-is.
-      Rep.Base.First.ShrunkWords =
-          (O.Diverged && SO.Shrink)
-              ? shrinkDivergence(App, Q, SO, Rep.Base.First.ShrinkRuns)
-              : Q.Words;
+      if (O.Diverged && SO.Shrink) {
+        // Shrinking targets the standalone differential.
+        Rep.Base.First.ShrunkWords =
+            shrinkDivergence(App, Q, SO, Rep.Base.First.ShrinkRuns);
+      } else if (Mismatch && SO.Shrink &&
+                 Plan.planPacket(RP.Pkt.Seq).SdramFlip) {
+        // A chip-vs-standalone mismatch on a packet the fault schedule
+        // deliberately corrupted: delta-debug the packet against a
+        // predicate that replays the flip (flipped run vs clean run),
+        // so the reproducer isolates the corruption-sensitive words.
+        uint64_t Seq = RP.Pkt.Seq;
+        SoakPacket Flip; // reused candidate staging
+        auto FlipDiverges = [&](const SoakPacket &Cand) {
+          if (Cand.Words.empty())
+            return false;
+          Flip = Cand;
+          uint32_t NumWords = static_cast<uint32_t>(Flip.Words.size());
+          uint32_t W = chip::Supervisor::flipWordIndex(Seq, NumWords);
+          uint32_t B = chip::Supervisor::flipBit(Seq);
+          Flip.Words[W] ^= 1u << B;
+          PacketOutcome OF = runPacket(App, Flip, SO, /*WithOracle=*/false);
+          PacketOutcome OC = runPacket(App, Cand, SO, /*WithOracle=*/false);
+          return OF.Alloc.Ok != OC.Alloc.Ok ||
+                 OF.Alloc.Trap != OC.Alloc.Trap ||
+                 (OF.Alloc.Ok && OF.Alloc.HaltValues != OC.Alloc.HaltValues);
+        };
+        Rep.Base.First.ShrunkWords = shrinkDivergenceWith(
+            Q, Rep.Base.First.ShrinkRuns, FlipDiverges);
+      } else {
+        // A pure chip mismatch with no known injected corruption keeps
+        // the packet as-is.
+        Rep.Base.First.ShrunkWords = Q.Words;
+      }
     }
   };
 
@@ -214,6 +252,41 @@ std::string soak::chipReportJson(const ChipSoakReport &R) {
   J += formatf("\"trace_hash\":\"%016llx\",\"image_hash\":\"%016llx\",",
                (unsigned long long)C.TraceHash,
                (unsigned long long)R.ImageHash);
+  const chip::RecoveryStats &RS = C.Recovery;
+  J += "\"recovery\":{";
+  J += formatf("\"lockups_injected\":%llu,\"lockups_detected\":%llu,"
+               "\"ctx_resets\":%llu,\"packet_requeues\":%llu,",
+               (unsigned long long)RS.LockupsInjected,
+               (unsigned long long)RS.LockupsDetected,
+               (unsigned long long)RS.CtxResets,
+               (unsigned long long)RS.PacketRequeues);
+  J += formatf("\"packets_wedged\":%llu,\"packets_recovered\":%llu,"
+               "\"lockup_drops\":%llu,\"max_backoff_cycles\":%llu,",
+               (unsigned long long)RS.PacketsWedged,
+               (unsigned long long)RS.PacketsRecovered,
+               (unsigned long long)RS.LockupDrops,
+               (unsigned long long)RS.MaxBackoffCycles);
+  J += formatf("\"backpressure_drops\":%llu,",
+               (unsigned long long)RS.BackpressureDrops);
+  J += formatf("\"ring_stalls_injected\":%llu,\"ring_stall_cycles\":%llu,",
+               (unsigned long long)RS.RingStallsInjected,
+               (unsigned long long)RS.RingStallCycles);
+  J += formatf("\"brownouts_injected\":%llu,\"brownout_cycles\":%llu,",
+               (unsigned long long)RS.BrownoutsInjected,
+               (unsigned long long)RS.BrownoutCycles);
+  J += formatf("\"dma_faults_injected\":%llu,\"dma_retries\":%llu,"
+               "\"dma_fault_packets\":%llu,\"dma_recovered_packets\":%llu,"
+               "\"dma_drop_packets\":%llu,",
+               (unsigned long long)RS.DmaFaultsInjected,
+               (unsigned long long)RS.DmaRetries,
+               (unsigned long long)RS.DmaFaultPackets,
+               (unsigned long long)RS.DmaRecoveredPackets,
+               (unsigned long long)RS.DmaDropPackets);
+  J += formatf("\"sdram_bitflips_injected\":%llu,"
+               "\"recovery_fold\":\"%016llx\",\"all_accounted\":%s},",
+               (unsigned long long)RS.SdramBitFlipsInjected,
+               (unsigned long long)RS.fold(),
+               RS.allAccounted() ? "true" : "false");
   J += formatf("\"chip_outcome_mismatches\":%llu,\"deadlock\":%s}",
                (unsigned long long)R.ChipOutcomeMismatches,
                C.Deadlock ? "true" : "false");
@@ -255,6 +328,28 @@ void soak::printChipReport(const ChipSoakReport &R, std::FILE *Out) {
   std::fprintf(Out, "] tx-hw=%u reorder-hw=%u tail=%llu\n",
                C.TxRing.HighWater, C.ReorderHighWater,
                (unsigned long long)C.TailPackets);
+  const chip::RecoveryStats &RS = C.Recovery;
+  if (RS.anyInjected()) {
+    std::fprintf(Out,
+                 "  recovery  : lockups=%llu detected=%llu recovered=%llu "
+                 "lockup-drops=%llu bp-drops=%llu\n",
+                 (unsigned long long)RS.LockupsInjected,
+                 (unsigned long long)RS.LockupsDetected,
+                 (unsigned long long)RS.PacketsRecovered,
+                 (unsigned long long)RS.LockupDrops,
+                 (unsigned long long)RS.BackpressureDrops);
+    std::fprintf(Out,
+                 "  faults    : ring-stalls=%llu brownouts=%llu "
+                 "dma-faults=%llu (retries=%llu drops=%llu) bitflips=%llu "
+                 "accounted=%s\n",
+                 (unsigned long long)RS.RingStallsInjected,
+                 (unsigned long long)RS.BrownoutsInjected,
+                 (unsigned long long)RS.DmaFaultsInjected,
+                 (unsigned long long)RS.DmaRetries,
+                 (unsigned long long)RS.DmaDropPackets,
+                 (unsigned long long)RS.SdramBitFlipsInjected,
+                 RS.allAccounted() ? "yes" : "NO");
+  }
   if (R.ChipOutcomeMismatches)
     std::fprintf(Out, "  CHIP MISMATCHES: %llu (chip vs standalone)\n",
                  (unsigned long long)R.ChipOutcomeMismatches);

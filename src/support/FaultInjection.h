@@ -46,12 +46,39 @@ enum class FaultKind : uint8_t {
   MemJitter,     ///< SRAM/SDRAM access latency inflated by up to Magnitude
                  ///< extra cycles in sim::runAllocated (timing only; never
                  ///< changes values)
-  SimBitFlip     ///< an ALU result bit is flipped in sim::runAllocated —
+  SimBitFlip,    ///< an ALU result bit is flipped in sim::runAllocated —
                  ///< a seeded "hardware" miscomputation the differential
                  ///< oracle must catch and the soak shrinker must minimize
+  //===--- Chip-grade kinds (consumed by chip::Supervisor via a
+  //===--- FaultSchedule, never by the global injector) ------------------===//
+  CtxLockup,     ///< a hardware context stops retiring: its outstanding
+                 ///< memory reference never completes, the supervisor's
+                 ///< retire-progress watchdog must recover it
+  RingStall,     ///< a scratch ring refuses pushes for Magnitude cycles
+  ChanBrownout,  ///< the SDRAM channel's issue bandwidth degrades by a
+                 ///< factor of Magnitude for a bounded window
+  SdramBitFlip,  ///< post-DMA word corruption in a packet's SDRAM slot —
+                 ///< invisible to the supervisor, the sampled retire-time
+                 ///< oracle must catch it
+  DmaDrop        ///< an RX DMA burst is lost in flight; the RX engine's
+                 ///< completion count check detects it and redoes the DMA
+                 ///< (bounded retries, then a typed ingress drop)
 };
 
 const char *faultKindName(FaultKind K);
+
+/// Which layer a fault kind perturbs — the basis for strict CLI
+/// validation: novac accepts Solver kinds, novasoak --inject-fault
+/// accepts Sim kinds, and novasoak --chip --fault-schedule accepts Chip
+/// kinds; everything else is a usage error, never a silent no-op.
+enum class FaultDomain : uint8_t {
+  Solver, ///< fires inside Simplex/Basis/MipSolver hooks
+  Sim,    ///< fires inside the micro-engine runtime (both exec modes)
+  Chip    ///< fires inside the whole-chip scheduler (chip::Supervisor)
+};
+
+FaultDomain faultKindDomain(FaultKind K);
+const char *faultDomainName(FaultDomain D);
 
 /// One injection rule. At most one spec per kind is active at a time
 /// (arming replaces the whole plan).
@@ -77,6 +104,31 @@ struct FaultSpec {
 /// lp-infeasible, mip-timeout, worker-stall, mem-jitter, sim-bitflip.
 bool parseFaultSpec(const std::string &Text, FaultSpec &Out,
                     std::string &Error);
+
+/// One entry of a chip fault schedule: kind fires every `Rate`th
+/// opportunity (packet for CtxLockup/SdramBitFlip/DmaDrop, channel
+/// transaction for ChanBrownout, ring push for RingStall), with a
+/// kind-specific magnitude. Firing is a pure function of the
+/// opportunity ordinal, so a (seed, schedule) pair replays
+/// bit-identically regardless of exec mode.
+struct FaultScheduleEntry {
+  FaultKind Kind = FaultKind::CtxLockup;
+  /// Fire on every Rate-th opportunity (1 = every one). Must be >= 1.
+  uint64_t Rate = 1;
+  /// Kind-specific knob, 0 = kind default: wedge attempts for
+  /// CtxLockup, stall cycles for RingStall, bandwidth divisor for
+  /// ChanBrownout, dropped bursts for DmaDrop; unused for SdramBitFlip.
+  double Magnitude = 0.0;
+};
+
+using FaultSchedule = std::vector<FaultScheduleEntry>;
+
+/// Parses `kind@rate[~magnitude],...` (e.g.
+/// "ctx-lockup@5000,chan-brownout@10000~4") into a chip fault
+/// schedule. Rejects non-chip-domain kinds, rate < 1, duplicate kinds,
+/// and malformed numbers — returning false with a message.
+bool parseFaultSchedule(const std::string &Text, FaultSchedule &Out,
+                        std::string &Error);
 
 /// Process-wide injection registry. Thread-safe; deterministic for a
 /// fixed plan and a serial (or deterministic-mode) solve.
@@ -130,7 +182,7 @@ private:
     uint64_t RngState = 0;
   };
 
-  static constexpr unsigned NumKinds = 7;
+  static constexpr unsigned NumKinds = 12;
   static std::atomic<bool> ArmedFlag;
 
   mutable std::mutex Mu;

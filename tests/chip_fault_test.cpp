@@ -1,0 +1,529 @@
+//===- chip_fault_test.cpp - Chip fault model + supervisor tests ------------===//
+//
+// Part of the nova-ixp project: a reproduction of "Taming the IXP Network
+// Processor" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Coverage for the chip-grade fault model and the self-healing
+// supervisor:
+//
+//  1. Policy layer: FaultSchedule validation inside ChipParams, the
+//     Supervisor's pure per-packet plans, and the bounded exponential
+//     backoff curve.
+//  2. Recovery mechanics: ctx-lockup wedges are detected by the
+//     retire-progress watchdog and recovered (correct results, recorded
+//     attempts) or typed-dropped when retries exhaust; dma-drop redoes
+//     ingress DMA within its retry budget; ring-stall and chan-brownout
+//     degrade timing without losing packets; RX backpressure converts
+//     unbounded waits into typed in-order drops under a lockup storm.
+//  3. Determinism: a (seed, schedule) pair replays bit-identically —
+//     double runs agree on trace hash, recovery ledger, and final image,
+//     and the interpreter and translated fast path agree under the same
+//     schedule (the abort/restart path works in both exec modes).
+//  4. sdram-bitflip stays supervisor-invisible: the ledger records the
+//     injection but no detection, and the corrupted word is exactly the
+//     deterministic (word, bit) target the retire-time oracle recomputes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chip/Chip.h"
+
+#include <gtest/gtest.h>
+
+using namespace nova;
+using namespace nova::alloc;
+using namespace nova::ixp;
+
+namespace {
+
+AllocInstr haltOf(std::vector<AOperand> Srcs) {
+  AllocInstr I;
+  I.Op = MOp::Halt;
+  I.Srcs = std::move(Srcs);
+  return I;
+}
+
+AllocInstr sdramRead(AOperand Addr, PhysLoc Dst) {
+  AllocInstr I;
+  I.Op = MOp::MemRead;
+  I.Space = MemSpace::Sdram;
+  I.Srcs = {Addr};
+  I.Dsts = {Dst};
+  return I;
+}
+
+AllocInstr sdramWrite(AOperand Addr, AOperand Val) {
+  AllocInstr I;
+  I.Op = MOp::MemWrite;
+  I.Space = MemSpace::Sdram;
+  I.Srcs = {Addr, Val};
+  return I;
+}
+
+/// copy(in, out): *out = *in; halt(*in) — the canonical two-pointer
+/// packet shape.
+AllocatedProgram copyProgram() {
+  AllocatedProgram P;
+  P.Entry = 0;
+  P.NumEntryArgs = 2;
+  P.Blocks.push_back({{sdramRead(AOperand::reg({Bank::A, 0}), {Bank::S, 0}),
+                       sdramWrite(AOperand::reg({Bank::A, 1}),
+                                  AOperand::reg({Bank::S, 0})),
+                       haltOf({AOperand::reg({Bank::S, 0})})}});
+  return P;
+}
+
+/// heavy(in, out): N dependent SDRAM reads then *out = *in — many swap
+/// points per packet, so lockups land mid-flight and brownouts bite.
+AllocatedProgram heavyProgram(unsigned Reads) {
+  AllocatedProgram P;
+  P.Entry = 0;
+  P.NumEntryArgs = 2;
+  std::vector<AllocInstr> Is;
+  for (unsigned I = 0; I != Reads; ++I)
+    Is.push_back(sdramRead(AOperand::reg({Bank::A, 0}), {Bank::S, 0}));
+  Is.push_back(sdramWrite(AOperand::reg({Bank::A, 1}),
+                          AOperand::reg({Bank::S, 0})));
+  Is.push_back(haltOf({AOperand::reg({Bank::S, 0})}));
+  P.Blocks.push_back({std::move(Is)});
+  return P;
+}
+
+FaultSchedule schedule(const std::string &Spec) {
+  FaultSchedule S;
+  std::string Error;
+  EXPECT_TRUE(parseFaultSchedule(Spec, S, Error)) << Error;
+  return S;
+}
+
+/// Tight thresholds so watchdog detection and backpressure fire within
+/// small test streams instead of production-scale cycle counts.
+chip::SupervisorConfig quickSup() {
+  chip::SupervisorConfig C;
+  C.WatchdogPeriod = 128;
+  C.LockupThreshold = 256;
+  C.BackoffBase = 32;
+  C.BackpressureThreshold = 1024;
+  C.BrownoutWindow = 512;
+  return C;
+}
+
+struct DriveResult {
+  chip::ChipRunStats Stats;
+  std::vector<chip::RetiredPacket> Retired;
+  uint64_t ImageHash = 0;
+};
+
+DriveResult drive(const AllocatedProgram &Prog, chip::ChipParams CP,
+                  uint64_t N, uint64_t Budget = 50'000) {
+  CP.Budget = Budget;
+  std::vector<const AllocatedProgram *> Progs(CP.MP.MeCount, &Prog);
+  chip::Chip C(CP, Progs, sim::Memory{});
+  uint64_t Next = 0;
+  DriveResult R;
+  R.Stats = C.run(
+      [&](chip::ChipPacket &Out) {
+        if (Next == N)
+          return false;
+        Out = chip::ChipPacket();
+        Out.Seq = Next;
+        Out.Words = {static_cast<uint32_t>(0xC0DE0000u + Next)};
+        Out.Args = {0, 1};
+        Out.PtrArgMask = 0b11;
+        Out.PayloadBytes = 4;
+        ++Next;
+        return true;
+      },
+      [&](chip::RetiredPacket &&RP) { R.Retired.push_back(std::move(RP)); });
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const auto &[Addr, Val] : C.memory().Sdram) {
+    H = chip::traceFold(H, Addr);
+    H = chip::traceFold(H, Val);
+  }
+  R.ImageHash = H;
+  return R;
+}
+
+/// Retirement must stay in arrival order no matter how packets died.
+void expectInOrder(const std::vector<chip::RetiredPacket> &Retired) {
+  for (uint64_t I = 0; I != Retired.size(); ++I)
+    EXPECT_EQ(Retired[I].Pkt.Seq, I);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Policy layer
+//===----------------------------------------------------------------------===//
+
+TEST(ChipFaultParams, ValidateRejectsBadSchedules) {
+  chip::ChipParams P;
+  P.Faults = schedule("ctx-lockup@100,dma-drop@50~2");
+  EXPECT_TRUE(P.validate().ok());
+
+  chip::ChipParams Bad = P;
+  Bad.Faults[0].Kind = FaultKind::MemJitter; // sim-domain, not chip
+  EXPECT_FALSE(Bad.validate().ok());
+  Bad = P;
+  Bad.Faults[0].Rate = 0;
+  EXPECT_FALSE(Bad.validate().ok());
+  Bad = P;
+  Bad.Sup.WatchdogPeriod = 0;
+  EXPECT_FALSE(Bad.validate().ok());
+  Bad = P;
+  Bad.Sup.LockupThreshold = 0;
+  EXPECT_FALSE(Bad.validate().ok());
+  // Zero thresholds are fine while no schedule is armed.
+  Bad.Faults.clear();
+  EXPECT_TRUE(Bad.validate().ok());
+}
+
+TEST(ChipFaultPolicy, PacketPlansArePureAndPeriodic) {
+  chip::Supervisor S(schedule("ctx-lockup@4~2,sdram-bitflip@6,dma-drop@10~3"),
+                     chip::SupervisorConfig{});
+  ASSERT_TRUE(S.enabled());
+  for (uint64_t Seq = 0; Seq != 120; ++Seq) {
+    chip::Supervisor::PacketPlan P = S.planPacket(Seq);
+    EXPECT_EQ(P.LockupAttempts, (Seq + 1) % 4 == 0 ? 2u : 0u) << Seq;
+    EXPECT_EQ(P.SdramFlip, (Seq + 1) % 6 == 0) << Seq;
+    EXPECT_EQ(P.DmaFailures, (Seq + 1) % 10 == 0 ? 3u : 0u) << Seq;
+    // Pure: asking again gives the same answer.
+    chip::Supervisor::PacketPlan Q = S.planPacket(Seq);
+    EXPECT_EQ(P.LockupAttempts, Q.LockupAttempts);
+  }
+  // Omitted magnitude falls back to the kind default.
+  chip::Supervisor D(schedule("ctx-lockup@1"), chip::SupervisorConfig{});
+  EXPECT_EQ(D.planPacket(0).LockupAttempts,
+            chip::SupervisorConfig{}.DefaultLockupAttempts);
+}
+
+TEST(ChipFaultPolicy, BackoffDoublesAndSaturates) {
+  chip::SupervisorConfig C;
+  C.BackoffBase = 100;
+  chip::Supervisor S(schedule("ctx-lockup@1"), C);
+  EXPECT_EQ(S.backoff(1), 100u);
+  EXPECT_EQ(S.backoff(2), 200u);
+  EXPECT_EQ(S.backoff(3), 400u);
+  EXPECT_EQ(S.backoff(5), 1600u);
+  // The shift saturates instead of overflowing into UB.
+  EXPECT_EQ(S.backoff(200), 100ull << 32);
+}
+
+TEST(ChipFaultPolicy, EmptyScheduleDisablesSupervisor) {
+  chip::Supervisor S;
+  EXPECT_FALSE(S.enabled());
+  EXPECT_EQ(S.planPacket(0).LockupAttempts, 0u);
+  EXPECT_FALSE(S.stats().anyInjected());
+  EXPECT_TRUE(S.stats().allAccounted());
+}
+
+//===----------------------------------------------------------------------===//
+// Recovery mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(ChipFaultRun, LockupRecoveredWithCorrectResults) {
+  // Every 3rd packet wedges its first two attempts; MaxRetries=2 allows
+  // a third attempt, which succeeds. All packets must complete with the
+  // right halt value, and the faulted ones must record their attempts.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 2;
+  CP.Faults = schedule("ctx-lockup@3~2");
+  CP.Sup = quickSup();
+  DriveResult R = drive(copyProgram(), CP, 24);
+
+  ASSERT_EQ(R.Retired.size(), 24u);
+  expectInOrder(R.Retired);
+  EXPECT_FALSE(R.Stats.Deadlock);
+  for (const chip::RetiredPacket &RP : R.Retired) {
+    ASSERT_TRUE(RP.Result.Ok) << "seq " << RP.Pkt.Seq;
+    EXPECT_EQ(RP.Result.HaltValues[0], 0xC0DE0000u + RP.Pkt.Seq);
+    EXPECT_EQ(RP.Drop, chip::DropReason::None);
+    bool Faulted = (RP.Pkt.Seq + 1) % 3 == 0;
+    EXPECT_EQ(RP.Attempts, Faulted ? 3u : 1u) << "seq " << RP.Pkt.Seq;
+  }
+  const chip::RecoveryStats &RS = R.Stats.Recovery;
+  EXPECT_EQ(RS.PacketsWedged, 8u);
+  EXPECT_EQ(RS.PacketsRecovered, 8u);
+  EXPECT_EQ(RS.LockupDrops, 0u);
+  EXPECT_EQ(RS.LockupsInjected, 16u); // two wedges per faulted packet
+  EXPECT_EQ(RS.LockupsDetected, RS.CtxResets);
+  EXPECT_EQ(RS.PacketRequeues, 16u);
+  EXPECT_GE(RS.MaxBackoffCycles, 2 * CP.Sup.BackoffBase);
+  EXPECT_TRUE(RS.allAccounted());
+}
+
+TEST(ChipFaultRun, RetryExhaustionBecomesTypedLockupDrop) {
+  // Magnitude 9 wedges every attempt; after MaxRetries the supervisor
+  // must retire the packet as a typed Lockup drop — in order, default
+  // Result — instead of hanging the chip.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 2;
+  CP.Faults = schedule("ctx-lockup@4~9");
+  CP.Sup = quickSup();
+  DriveResult R = drive(copyProgram(), CP, 20);
+
+  ASSERT_EQ(R.Retired.size(), 20u);
+  expectInOrder(R.Retired);
+  EXPECT_FALSE(R.Stats.Deadlock);
+  unsigned Drops = 0;
+  for (const chip::RetiredPacket &RP : R.Retired) {
+    if ((RP.Pkt.Seq + 1) % 4 == 0) {
+      EXPECT_EQ(RP.Drop, chip::DropReason::Lockup) << "seq " << RP.Pkt.Seq;
+      EXPECT_FALSE(RP.Result.Ok);
+      EXPECT_EQ(RP.Attempts, 1u + CP.Sup.MaxRetries);
+      ++Drops;
+    } else {
+      EXPECT_EQ(RP.Drop, chip::DropReason::None);
+      EXPECT_TRUE(RP.Result.Ok);
+    }
+  }
+  const chip::RecoveryStats &RS = R.Stats.Recovery;
+  EXPECT_EQ(Drops, 5u);
+  EXPECT_EQ(RS.LockupDrops, 5u);
+  EXPECT_EQ(RS.PacketsRecovered, 0u);
+  EXPECT_EQ(RS.PacketsWedged, 5u);
+  EXPECT_TRUE(RS.allAccounted());
+}
+
+TEST(ChipFaultRun, DmaDropRecoversWithinRetryBudget) {
+  // One lost burst per 5th packet (default magnitude): the RX engine's
+  // redo must recover every packet; the ledger shows the retries.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 2;
+  CP.Faults = schedule("dma-drop@5");
+  CP.Sup = quickSup();
+  DriveResult R = drive(copyProgram(), CP, 25);
+
+  ASSERT_EQ(R.Retired.size(), 25u);
+  expectInOrder(R.Retired);
+  for (const chip::RetiredPacket &RP : R.Retired) {
+    ASSERT_TRUE(RP.Result.Ok) << "seq " << RP.Pkt.Seq;
+    EXPECT_EQ(RP.Result.HaltValues[0], 0xC0DE0000u + RP.Pkt.Seq);
+  }
+  const chip::RecoveryStats &RS = R.Stats.Recovery;
+  EXPECT_EQ(RS.DmaFaultPackets, 5u);
+  EXPECT_EQ(RS.DmaRecoveredPackets, 5u);
+  EXPECT_EQ(RS.DmaDropPackets, 0u);
+  EXPECT_EQ(RS.DmaRetries, 5u);
+  EXPECT_TRUE(RS.allAccounted());
+}
+
+TEST(ChipFaultRun, DmaRetryExhaustionBecomesTypedIngressDrop) {
+  // Magnitude 9 loses more bursts than DmaRetryLimit allows: the packet
+  // never reaches a context and retires as a typed DmaDrop, still in
+  // order among its neighbours.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 2;
+  CP.Faults = schedule("dma-drop@6~9");
+  CP.Sup = quickSup();
+  DriveResult R = drive(copyProgram(), CP, 24);
+
+  ASSERT_EQ(R.Retired.size(), 24u);
+  expectInOrder(R.Retired);
+  for (const chip::RetiredPacket &RP : R.Retired) {
+    bool Faulted = (RP.Pkt.Seq + 1) % 6 == 0;
+    EXPECT_EQ(RP.Drop,
+              Faulted ? chip::DropReason::DmaDrop : chip::DropReason::None);
+    EXPECT_EQ(RP.Result.Ok, !Faulted);
+  }
+  const chip::RecoveryStats &RS = R.Stats.Recovery;
+  EXPECT_EQ(RS.DmaFaultPackets, 4u);
+  EXPECT_EQ(RS.DmaDropPackets, 4u);
+  EXPECT_EQ(RS.DmaRecoveredPackets, 0u);
+  EXPECT_TRUE(RS.allAccounted());
+}
+
+TEST(ChipFaultRun, RingStallsDelayButLoseNothing) {
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 2;
+  DriveResult Clean = drive(heavyProgram(6), CP, 40);
+
+  CP.Faults = schedule("ring-stall@5~400");
+  CP.Sup = quickSup();
+  DriveResult R = drive(heavyProgram(6), CP, 40);
+
+  ASSERT_EQ(R.Retired.size(), 40u);
+  expectInOrder(R.Retired);
+  for (const chip::RetiredPacket &RP : R.Retired)
+    EXPECT_TRUE(RP.Result.Ok);
+  EXPECT_GT(R.Stats.Recovery.RingStallsInjected, 0u);
+  EXPECT_GT(R.Stats.Recovery.RingStallCycles, 0u);
+  // Stalled rings cost time but never packets.
+  EXPECT_GT(R.Stats.FinalCycles, Clean.Stats.FinalCycles);
+  EXPECT_EQ(R.Stats.PacketsRetired, Clean.Stats.PacketsRetired);
+  EXPECT_TRUE(R.Stats.Recovery.allAccounted());
+}
+
+TEST(ChipFaultRun, BrownoutDegradesBandwidthTransiently) {
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 4;
+  DriveResult Clean = drive(heavyProgram(8), CP, 48);
+
+  CP.Faults = schedule("chan-brownout@64~8");
+  CP.Sup = quickSup();
+  DriveResult R = drive(heavyProgram(8), CP, 48);
+
+  ASSERT_EQ(R.Retired.size(), 48u);
+  for (const chip::RetiredPacket &RP : R.Retired)
+    EXPECT_TRUE(RP.Result.Ok);
+  EXPECT_GT(R.Stats.Recovery.BrownoutsInjected, 0u);
+  EXPECT_GT(R.Stats.FinalCycles, Clean.Stats.FinalCycles);
+  EXPECT_TRUE(R.Stats.Recovery.allAccounted());
+}
+
+TEST(ChipFaultRun, LockupStormBackpressureDropsAreTypedAndInOrder) {
+  // Every packet wedges past its retry budget on a tiny topology: the
+  // input rings jam, and RX must convert its unbounded wait into typed
+  // Backpressure drops. The stream still drains, retirement order
+  // holds, and every packet is accounted as some typed drop.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 1;
+  CP.MP.ContextsPerMe = 2;
+  CP.RingDepth = 2;
+  CP.Faults = schedule("ctx-lockup@1~9");
+  CP.Sup = quickSup();
+  CP.Sup.MaxRetries = 1;
+  // Detection (512 cycles) far slower than the drop deadline (200): the
+  // jammed rings starve RX long enough that backpressure must fire.
+  CP.Sup.LockupThreshold = 512;
+  CP.Sup.BackpressureThreshold = 200;
+  DriveResult R = drive(copyProgram(), CP, 16);
+
+  ASSERT_EQ(R.Retired.size(), 16u);
+  expectInOrder(R.Retired);
+  EXPECT_FALSE(R.Stats.Deadlock);
+  uint64_t Lockups = 0, Bp = 0;
+  for (const chip::RetiredPacket &RP : R.Retired) {
+    EXPECT_FALSE(RP.Result.Ok);
+    ASSERT_NE(RP.Drop, chip::DropReason::None) << "seq " << RP.Pkt.Seq;
+    if (RP.Drop == chip::DropReason::Lockup)
+      ++Lockups;
+    else if (RP.Drop == chip::DropReason::Backpressure)
+      ++Bp;
+  }
+  const chip::RecoveryStats &RS = R.Stats.Recovery;
+  EXPECT_EQ(Lockups, RS.LockupDrops);
+  EXPECT_EQ(Bp, RS.BackpressureDrops);
+  EXPECT_EQ(Lockups + Bp, 16u);
+  EXPECT_GT(Bp, 0u) << "storm never exercised RX backpressure";
+  EXPECT_TRUE(RS.allAccounted());
+}
+
+TEST(ChipFaultRun, SdramBitFlipIsSupervisorInvisibleButDeterministic) {
+  // The flip corrupts the DMA image after the RX engine's completion
+  // check, so the supervisor must record the injection and nothing
+  // else; the corrupted halt value is exactly the (word, bit) target
+  // the retire-time oracle recomputes from Seq.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 2;
+  CP.Faults = schedule("sdram-bitflip@4");
+  CP.Sup = quickSup();
+  DriveResult R = drive(copyProgram(), CP, 16);
+
+  ASSERT_EQ(R.Retired.size(), 16u);
+  for (const chip::RetiredPacket &RP : R.Retired) {
+    ASSERT_TRUE(RP.Result.Ok);
+    uint32_t Want = static_cast<uint32_t>(0xC0DE0000u + RP.Pkt.Seq);
+    if ((RP.Pkt.Seq + 1) % 4 == 0)
+      Want ^= 1u << chip::Supervisor::flipBit(RP.Pkt.Seq);
+    EXPECT_EQ(RP.Result.HaltValues[0], Want) << "seq " << RP.Pkt.Seq;
+  }
+  const chip::RecoveryStats &RS = R.Stats.Recovery;
+  EXPECT_EQ(RS.SdramBitFlipsInjected, 4u);
+  EXPECT_EQ(RS.LockupsDetected, 0u);
+  EXPECT_EQ(RS.CtxResets, 0u);
+  EXPECT_EQ(RS.LockupDrops + RS.BackpressureDrops + RS.DmaDropPackets, 0u);
+  EXPECT_TRUE(RS.allAccounted());
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectSameRun(const DriveResult &A, const DriveResult &B) {
+  EXPECT_EQ(A.Stats.TraceHash, B.Stats.TraceHash);
+  EXPECT_EQ(A.Stats.FinalCycles, B.Stats.FinalCycles);
+  EXPECT_EQ(A.Stats.Recovery.fold(), B.Stats.Recovery.fold());
+  EXPECT_EQ(A.Stats.Recovery.LockupsInjected,
+            B.Stats.Recovery.LockupsInjected);
+  EXPECT_EQ(A.Stats.Recovery.PacketsRecovered,
+            B.Stats.Recovery.PacketsRecovered);
+  EXPECT_EQ(A.Stats.Recovery.LockupDrops, B.Stats.Recovery.LockupDrops);
+  EXPECT_EQ(A.Stats.Recovery.BackpressureDrops,
+            B.Stats.Recovery.BackpressureDrops);
+  EXPECT_EQ(A.Stats.CtxPackets, B.Stats.CtxPackets);
+  EXPECT_EQ(A.ImageHash, B.ImageHash);
+  ASSERT_EQ(A.Retired.size(), B.Retired.size());
+  for (size_t I = 0; I != A.Retired.size(); ++I) {
+    EXPECT_EQ(A.Retired[I].Me, B.Retired[I].Me);
+    EXPECT_EQ(A.Retired[I].Ctx, B.Retired[I].Ctx);
+    EXPECT_EQ(A.Retired[I].RetireTime, B.Retired[I].RetireTime);
+    EXPECT_EQ(A.Retired[I].Attempts, B.Retired[I].Attempts);
+    EXPECT_EQ(A.Retired[I].Drop, B.Retired[I].Drop);
+    EXPECT_EQ(A.Retired[I].Result.Ok, B.Retired[I].Result.Ok);
+    EXPECT_EQ(A.Retired[I].Result.HaltValues,
+              B.Retired[I].Result.HaltValues);
+  }
+}
+
+chip::ChipParams stormyParams() {
+  chip::ChipParams CP;
+  CP.MP.MeCount = 3;
+  CP.MP.ContextsPerMe = 4;
+  CP.Faults =
+      schedule("ctx-lockup@6~2,ring-stall@9~300,chan-brownout@80~4,"
+               "dma-drop@11,sdram-bitflip@17");
+  CP.Sup = quickSup();
+  return CP;
+}
+
+} // namespace
+
+TEST(ChipFaultRun, DoubleRunUnderFaultsIsBitIdentical) {
+  AllocatedProgram Prog = heavyProgram(8);
+  chip::ChipParams CP = stormyParams();
+  DriveResult A = drive(Prog, CP, 64);
+  DriveResult B = drive(Prog, CP, 64);
+  EXPECT_TRUE(A.Stats.Recovery.anyInjected());
+  EXPECT_GT(A.Stats.Recovery.PacketsRecovered, 0u);
+  EXPECT_TRUE(A.Stats.Recovery.allAccounted());
+  expectSameRun(A, B);
+}
+
+TEST(ChipFaultRun, ThreadedMatchesInterpUnderFaults) {
+  // The abort/restart path exists in both execution models; the same
+  // schedule must produce the same event sequence, recovery ledger, and
+  // per-packet outcomes whether contexts run interpreted or translated.
+  AllocatedProgram Prog = heavyProgram(8);
+  chip::ChipParams CP = stormyParams();
+  CP.Exec = chip::ExecModel::Interp;
+  DriveResult A = drive(Prog, CP, 64);
+  CP.Exec = chip::ExecModel::Threaded;
+  DriveResult B = drive(Prog, CP, 64);
+  EXPECT_EQ(A.Stats.Exec, chip::ExecModel::Interp);
+  EXPECT_EQ(B.Stats.Exec, chip::ExecModel::Threaded);
+  EXPECT_TRUE(A.Stats.Recovery.anyInjected());
+  expectSameRun(A, B);
+}
+
+TEST(ChipFaultRun, FaultFreeRunsCarryNoSupervisorArtifacts) {
+  // An empty schedule must leave the run event-for-event identical to a
+  // chip that never heard of the supervisor: zero ledger, no ticks.
+  chip::ChipParams CP;
+  CP.MP.MeCount = 2;
+  CP.MP.ContextsPerMe = 2;
+  DriveResult R = drive(copyProgram(), CP, 16);
+  EXPECT_FALSE(R.Stats.Recovery.anyInjected());
+  EXPECT_EQ(R.Stats.Recovery.fold(), chip::RecoveryStats{}.fold());
+  EXPECT_TRUE(R.Stats.Recovery.allAccounted());
+}

@@ -584,6 +584,102 @@ TEST(ChipSoak, JsonHasStableChipKeys) {
     EXPECT_NE(J.find(Key), std::string::npos) << Key << " in " << J;
 }
 
+TEST(ChipSoak, FaultScheduleRecoversWithZeroDivergences) {
+  // Real app, real adversarial stream, chip faults armed: the
+  // supervisor must recover or typed-drop every faulted packet, the
+  // sampled oracle must stay silent (typed drops are excluded from it),
+  // and the whole run must replay bit-identically — including the
+  // recovery ledger — in both execution models.
+  soak::ChipSoakOptions Opts;
+  Opts.Base.Packets = 2'000;
+  Opts.Base.Seed = 42;
+  Opts.Chip.MP.MeCount = 2;
+  std::string Error;
+  ASSERT_TRUE(parseFaultSchedule("ctx-lockup@150,chan-brownout@400~4",
+                                 Opts.Chip.Faults, Error))
+      << Error;
+  soak::ChipSoakReport A = soak::runChipSoak(harness("nat"), Opts);
+  ASSERT_TRUE(A.Setup.ok()) << A.Setup.message();
+  EXPECT_EQ(A.Base.Divergences, 0u) << A.Base.First.What;
+  EXPECT_EQ(A.ChipOutcomeMismatches, 0u);
+  EXPECT_FALSE(A.Chip.Deadlock);
+  EXPECT_EQ(A.Chip.PacketsRetired, 2'000u);
+  const chip::RecoveryStats &RS = A.Chip.Recovery;
+  EXPECT_GT(RS.LockupsInjected, 0u);
+  EXPECT_GT(RS.PacketsRecovered + RS.LockupDrops, 0u);
+  EXPECT_GT(RS.BrownoutsInjected, 0u);
+  EXPECT_TRUE(RS.allAccounted());
+
+  soak::ChipSoakReport B = soak::runChipSoak(harness("nat"), Opts);
+  EXPECT_EQ(A.Chip.TraceHash, B.Chip.TraceHash);
+  EXPECT_EQ(A.ImageHash, B.ImageHash);
+  EXPECT_EQ(A.Chip.Recovery.fold(), B.Chip.Recovery.fold());
+
+  // Same schedule, translated fast path: identical schedule and ledger.
+  Opts.Chip.Exec = chip::ExecModel::Threaded;
+  Opts.Base.OracleEvery = 10;
+  soak::ChipSoakReport T = soak::runChipSoak(harness("nat"), Opts);
+  ASSERT_TRUE(T.Setup.ok()) << T.Setup.message();
+  EXPECT_EQ(T.Base.Divergences, 0u) << T.Base.First.What;
+  EXPECT_EQ(T.Chip.TraceHash, A.Chip.TraceHash);
+  EXPECT_EQ(T.Chip.FinalCycles, A.Chip.FinalCycles);
+  EXPECT_EQ(T.Chip.Recovery.fold(), A.Chip.Recovery.fold());
+}
+
+TEST(ChipSoak, SdramBitFlipIsCaughtAndShrunk) {
+  // The one chip fault the supervisor cannot see: post-DMA corruption.
+  // The sampled retire-time oracle must flag it as a divergence, and
+  // the ddmin shrinker must produce a still-diverging witness by
+  // replaying the flip against the shrunk packet.
+  soak::ChipSoakOptions Opts;
+  Opts.Base.Packets = 400;
+  Opts.Base.Seed = 42;
+  Opts.Base.OracleEvery = 1; // sample every retirement: no escapes
+  Opts.Chip.MP.MeCount = 2;
+  std::string Error;
+  // Rate 10 => 40 flips; only flips landing on outcome-affecting words
+  // diverge (NAT ignores parts of its payload), so density matters.
+  ASSERT_TRUE(
+      parseFaultSchedule("sdram-bitflip@10", Opts.Chip.Faults, Error))
+      << Error;
+  soak::ChipSoakReport R = soak::runChipSoak(harness("nat"), Opts);
+  ASSERT_TRUE(R.Setup.ok()) << R.Setup.message();
+  EXPECT_GT(R.Chip.Recovery.SdramBitFlipsInjected, 0u);
+  EXPECT_GT(R.Base.Divergences, 0u)
+      << "oracle missed every injected corruption";
+  // The shrunk witness still diverges and is no larger than the
+  // original packet.
+  EXPECT_FALSE(R.Base.First.What.empty());
+  EXPECT_GT(R.Base.First.ShrinkRuns, 0u);
+  // Detection is the oracle's job alone; the supervisor ledger shows
+  // the injections and nothing else.
+  EXPECT_EQ(R.Chip.Recovery.LockupsDetected, 0u);
+  EXPECT_TRUE(R.Chip.Recovery.allAccounted());
+}
+
+TEST(ChipSoak, JsonCarriesRecoveryLedger) {
+  soak::ChipSoakOptions Opts;
+  Opts.Base.Packets = 300;
+  Opts.Base.Seed = 9;
+  Opts.Chip.MP.MeCount = 2;
+  std::string Error;
+  ASSERT_TRUE(
+      parseFaultSchedule("ctx-lockup@50,dma-drop@70", Opts.Chip.Faults,
+                         Error))
+      << Error;
+  soak::ChipSoakReport R = soak::runChipSoak(harness("nat"), Opts);
+  ASSERT_TRUE(R.Setup.ok()) << R.Setup.message();
+  std::string J = soak::chipReportJson(R);
+  for (const char *Key :
+       {"\"recovery\":{", "\"lockups_injected\"", "\"lockups_detected\"",
+        "\"ctx_resets\"", "\"packet_requeues\"", "\"packets_recovered\"",
+        "\"lockup_drops\"", "\"backpressure_drops\"",
+        "\"dma_fault_packets\"", "\"dma_recovered_packets\"",
+        "\"sdram_bitflips_injected\"", "\"recovery_fold\"",
+        "\"all_accounted\":true"})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key << " in " << J;
+}
+
 TEST(SoakReport, JsonHasStableKeys) {
   soak::SoakOptions Opts;
   Opts.Packets = 100;

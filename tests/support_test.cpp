@@ -290,3 +290,79 @@ TEST(FaultInjection, ParsesCliSpecs) {
   EXPECT_FALSE(parseFaultSpec("mip-timeout@abc", S, Err));
   EXPECT_FALSE(parseFaultSpec("eta-drift~zzz", S, Err));
 }
+
+TEST(FaultInjection, SpecParserRejectsChipDomainKinds) {
+  // Chip-grade kinds only fire inside the whole-chip scheduler; a spec
+  // naming one is a usage error pointing at --fault-schedule, never a
+  // silently-ignored no-op.
+  FaultSpec S;
+  std::string Err;
+  EXPECT_FALSE(parseFaultSpec("ctx-lockup", S, Err));
+  EXPECT_NE(Err.find("chip-domain"), std::string::npos);
+  EXPECT_FALSE(parseFaultSpec("dma-drop@5", S, Err));
+  EXPECT_FALSE(parseFaultSpec("sdram-bitflip", S, Err));
+}
+
+TEST(FaultInjection, KindDomainsPartitionTheEnum) {
+  using FD = FaultDomain;
+  EXPECT_EQ(faultKindDomain(FaultKind::SingularBasis), FD::Solver);
+  EXPECT_EQ(faultKindDomain(FaultKind::EtaDrift), FD::Solver);
+  EXPECT_EQ(faultKindDomain(FaultKind::LpInfeasible), FD::Solver);
+  EXPECT_EQ(faultKindDomain(FaultKind::MipTimeout), FD::Solver);
+  EXPECT_EQ(faultKindDomain(FaultKind::WorkerStall), FD::Solver);
+  EXPECT_EQ(faultKindDomain(FaultKind::MemJitter), FD::Sim);
+  EXPECT_EQ(faultKindDomain(FaultKind::SimBitFlip), FD::Sim);
+  EXPECT_EQ(faultKindDomain(FaultKind::CtxLockup), FD::Chip);
+  EXPECT_EQ(faultKindDomain(FaultKind::RingStall), FD::Chip);
+  EXPECT_EQ(faultKindDomain(FaultKind::ChanBrownout), FD::Chip);
+  EXPECT_EQ(faultKindDomain(FaultKind::SdramBitFlip), FD::Chip);
+  EXPECT_EQ(faultKindDomain(FaultKind::DmaDrop), FD::Chip);
+  EXPECT_STREQ(faultDomainName(FD::Solver), "solver");
+  EXPECT_STREQ(faultDomainName(FD::Sim), "sim");
+  EXPECT_STREQ(faultDomainName(FD::Chip), "chip");
+}
+
+TEST(FaultInjection, ParsesFaultSchedules) {
+  FaultSchedule S;
+  std::string Err;
+  ASSERT_TRUE(
+      parseFaultSchedule("ctx-lockup@5000,chan-brownout@10000~4", S, Err))
+      << Err;
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S[0].Kind, FaultKind::CtxLockup);
+  EXPECT_EQ(S[0].Rate, 5000u);
+  EXPECT_DOUBLE_EQ(S[0].Magnitude, 0.0);
+  EXPECT_EQ(S[1].Kind, FaultKind::ChanBrownout);
+  EXPECT_EQ(S[1].Rate, 10000u);
+  EXPECT_DOUBLE_EQ(S[1].Magnitude, 4.0);
+
+  ASSERT_TRUE(parseFaultSchedule("sdram-bitflip@1", S, Err)) << Err;
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_EQ(S[0].Rate, 1u);
+
+  ASSERT_TRUE(parseFaultSchedule(
+      "ctx-lockup@2~3,ring-stall@7~250,dma-drop@9", S, Err))
+      << Err;
+  EXPECT_EQ(S.size(), 3u);
+}
+
+TEST(FaultInjection, ScheduleParserRejectsMalformedInput) {
+  FaultSchedule S;
+  std::string Err;
+  // Rate is mandatory and must be >= 1.
+  EXPECT_FALSE(parseFaultSchedule("ctx-lockup", S, Err));
+  EXPECT_FALSE(parseFaultSchedule("ctx-lockup@0", S, Err));
+  EXPECT_FALSE(parseFaultSchedule("ctx-lockup@abc", S, Err));
+  // Non-chip kinds belong to other front doors.
+  EXPECT_FALSE(parseFaultSchedule("mem-jitter@5", S, Err));
+  EXPECT_NE(Err.find("chip"), std::string::npos);
+  EXPECT_FALSE(parseFaultSchedule("mip-timeout@5", S, Err));
+  // Duplicates, unknown kinds, bad magnitudes, empty entries.
+  EXPECT_FALSE(parseFaultSchedule("ctx-lockup@5,ctx-lockup@9", S, Err));
+  EXPECT_FALSE(parseFaultSchedule("no-such-kind@5", S, Err));
+  EXPECT_FALSE(parseFaultSchedule("ctx-lockup@5~zzz", S, Err));
+  EXPECT_FALSE(parseFaultSchedule("ctx-lockup@5~-2", S, Err));
+  EXPECT_FALSE(parseFaultSchedule("", S, Err));
+  EXPECT_FALSE(parseFaultSchedule(",", S, Err));
+  EXPECT_FALSE(parseFaultSchedule("ctx-lockup@5,", S, Err));
+}

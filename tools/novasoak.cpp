@@ -49,10 +49,22 @@ static void usage() {
       "  --fail-fast         stop a stream at its first divergence\n"
       "  --time-limit <s>    ILP budget per app compile (default 60)\n"
       "  --inject-fault <kind>[@<after>][x<times>][~<mag>]\n"
-      "                      arm a runtime fault: mem-jitter (latency\n"
-      "                      noise) or sim-bitflip (ALU corruption the\n"
-      "                      oracle must catch); solver kinds also "
-      "accepted\n"
+      "                      arm a sim-domain runtime fault: mem-jitter\n"
+      "                      (latency noise) or sim-bitflip (ALU\n"
+      "                      corruption the oracle must catch). Solver\n"
+      "                      kinds belong to novac and chip kinds to\n"
+      "                      --fault-schedule; both are usage errors "
+      "here\n"
+      "  --fault-schedule <kind>@<rate>[~<mag>][,...]\n"
+      "                      chip-domain fault schedule (requires "
+      "--chip):\n"
+      "                      ctx-lockup, ring-stall, chan-brownout,\n"
+      "                      sdram-bitflip, dma-drop; each kind fires\n"
+      "                      every rate-th opportunity. The supervisor\n"
+      "                      recovers (watchdog + bounded retries) and\n"
+      "                      accounts every fault in the --json "
+      "recovery\n"
+      "                      object\n"
       "  --json <file>       write per-app reports as a JSON array\n"
       "  --quiet             suppress the per-app summary tables\n"
       "  --chip              run the whole-chip simulator: RX sharding\n"
@@ -151,6 +163,7 @@ int main(int argc, char **argv) {
   bool ChipMode = false;
   bool SawOracleEvery = false;
   bool SawMeCount = false, SawContexts = false, SawRingDepth = false;
+  bool SawFaultSchedule = false;
   chip::ChipParams Chip;
   std::vector<FaultSpec> Faults;
   soak::SoakOptions Opts;
@@ -217,8 +230,21 @@ int main(int argc, char **argv) {
         std::string Error;
         if (!parseFaultSpec(V, Spec, Error))
           P.fail("novasoak: --inject-fault: %s\n", Error);
+        else if (faultKindDomain(Spec.Kind) != FaultDomain::Sim)
+          // Strict rejection instead of the old silent no-op: a
+          // solver-domain kind never reaches a packet runtime hook.
+          P.fail("novasoak: --inject-fault: fault kind '%s' is "
+                 "solver-domain (use novac --inject-fault)\n",
+                 faultKindName(Spec.Kind));
         else
           Faults.push_back(Spec);
+      }
+    } else if (P.valueFlag("--fault-schedule", V)) {
+      SawFaultSchedule = true;
+      if (!P.Failed) {
+        std::string Error;
+        if (!parseFaultSchedule(V, Chip.Faults, Error))
+          P.fail("novasoak: --fault-schedule: %s\n", Error);
       }
     } else if (P.valueFlag("--json", V)) {
       if (!P.Failed)
@@ -267,6 +293,12 @@ int main(int argc, char **argv) {
   if (!ChipMode && (SawMeCount || SawContexts || SawRingDepth)) {
     std::fprintf(stderr, "novasoak: --me-count/--contexts/--ring-depth "
                          "require --chip\n");
+    P.Failed = true;
+  }
+  // Chip-domain faults only exist inside the whole-chip scheduler; a
+  // schedule without --chip would be a silent no-op, so reject it.
+  if (!ChipMode && SawFaultSchedule) {
+    std::fprintf(stderr, "novasoak: --fault-schedule requires --chip\n");
     P.Failed = true;
   }
   if (ChipMode && Opts.FailFast) {
