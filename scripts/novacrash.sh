@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Crash-recovery harness: proves the checkpoint/restore path reproduces
+# an uninterrupted soak bit-for-bit after real mid-run deaths.
+#
+#   scripts/novacrash.sh                  # nat, 20k packets, 5 crashes
+#   scripts/novacrash.sh 50000 7 10       # packets, seed, crash rounds
+#   BUILD_DIR=/tmp/b scripts/novacrash.sh
+#   NOVACRASH_CHIP=0 scripts/novacrash.sh # standalone instead of chip
+#
+# Protocol, per execution mode (interp and threaded):
+#   1. Reference: one uninterrupted run -> stable JSON + trace hash.
+#   2. Crash loop: run with --checkpoint-every and --kill-after at a
+#      seeded-random point; the process dies by SIGKILL mid-stream.
+#      Resume from the newest valid checkpoint and kill again, until
+#      the final resume completes the stream.
+#   3. The survivor's stable JSON must equal the reference byte-for-byte
+#      (trace hash, recovery fold, and drop taxonomy included).
+#   4. Negative control: corrupt every snapshot in a checkpoint
+#      directory and assert --resume fails with exit 5 (typed
+#      CheckpointCorrupt), never a silent fresh start.
+#
+# Exit codes: 0 all modes byte-identical + negative control holds,
+# 1 any mismatch or unexpected exit.
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+PACKETS="${1:-20000}"
+SEED="${2:-42}"
+ROUNDS="${3:-5}"
+CHIP="${NOVACRASH_CHIP:-1}"
+NOVASOAK="$BUILD/tools/novasoak"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/novacrash.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+[ -x "$NOVASOAK" ] || { echo "novacrash: build novasoak first ($NOVASOAK)" >&2; exit 1; }
+
+FAILED=0
+
+# Deterministic pseudo-random kill points: the harness itself must be
+# reproducible, so derive them from the seed instead of $RANDOM.
+kill_point() { # kill_point <round> -> 1..PACKETS-1
+  local R="$1"
+  echo $(( ( (SEED * 2654435761 + R * 40503 + 12345) % (PACKETS - 1) ) + 1 ))
+}
+
+run_mode() { # run_mode <exec>
+  local EXEC="$1"
+  local TAG="crash-$EXEC"
+  local ARGS=(--app nat --packets "$PACKETS" --seed "$SEED" --exec "$EXEC" --quiet)
+  if [ "$CHIP" -eq 1 ]; then
+    ARGS+=(--chip --me-count 6 --fault-schedule 'ctx-lockup@5000,chan-brownout@10000~4')
+  fi
+  local EVERY=$(( PACKETS / 10 > 1 ? PACKETS / 10 : 1 ))
+  local CKDIR="$WORK/$TAG.ckpt"
+  local REF="$WORK/$TAG.ref.json" OUT="$WORK/$TAG.out.json"
+
+  echo "novacrash: [$TAG] reference run ($PACKETS packets)"
+  "$NOVASOAK" "${ARGS[@]}" --stable-json --json "$REF" >/dev/null 2>&1
+  local RC=$?
+  if [ "$RC" -ne 0 ] && [ "$RC" -ne 1 ]; then
+    echo "novacrash: [$TAG] reference run failed (exit $RC)" >&2
+    FAILED=1
+    return
+  fi
+
+  rm -rf "$CKDIR"
+  local ROUND DONE=0
+  for ROUND in $(seq 1 "$ROUNDS"); do
+    local KILL_AT
+    KILL_AT="$(kill_point "$ROUND")"
+    local RESUME=()
+    [ "$ROUND" -gt 1 ] && RESUME=(--resume "$CKDIR")
+    echo "novacrash: [$TAG] round $ROUND: SIGKILL at ~$KILL_AT retired"
+    "$NOVASOAK" "${ARGS[@]}" "${RESUME[@]}" \
+      --checkpoint-every "$EVERY" --checkpoint-dir "$CKDIR" \
+      --kill-after "$KILL_AT" --stable-json --json "$OUT" >/dev/null 2>&1
+    RC=$?
+    if [ "$RC" -eq 0 ] || [ "$RC" -eq 1 ]; then
+      DONE=1
+      break # the kill point landed past the end: the stream completed
+    fi
+    if [ "$RC" -ne 137 ]; then
+      echo "novacrash: [$TAG] round $ROUND: expected SIGKILL (137) or" \
+           "completion, got exit $RC" >&2
+      FAILED=1
+      return
+    fi
+  done
+  if [ "$DONE" -eq 0 ]; then
+    echo "novacrash: [$TAG] final resume to completion"
+    "$NOVASOAK" "${ARGS[@]}" --resume "$CKDIR" \
+      --checkpoint-every "$EVERY" \
+      --stable-json --json "$OUT" >/dev/null 2>&1
+    RC=$?
+    if [ "$RC" -ne 0 ] && [ "$RC" -ne 1 ]; then
+      echo "novacrash: [$TAG] final resume failed (exit $RC)" >&2
+      FAILED=1
+      return
+    fi
+  fi
+
+  if cmp -s "$REF" "$OUT"; then
+    echo "novacrash: [$TAG] OK: resumed report is byte-identical"
+  else
+    echo "novacrash: [$TAG] FAIL: resumed report differs from reference" >&2
+    diff <(tr ',' '\n' < "$REF") <(tr ',' '\n' < "$OUT") | head -20 >&2
+    FAILED=1
+  fi
+}
+
+run_mode interp
+run_mode threaded
+
+# Negative control: flip bytes inside every snapshot of a real
+# checkpoint directory; --resume must detect the checksum mismatch on
+# each candidate and fail with the typed checkpoint exit code.
+NEG="$WORK/negative.ckpt"
+NEGEVERY=$(( PACKETS / 10 > 1 ? PACKETS / 10 : 1 ))
+"$NOVASOAK" --app nat --packets "$PACKETS" --seed "$SEED" --quiet \
+  --checkpoint-every "$NEGEVERY" --checkpoint-dir "$NEG" \
+  --kill-after $(( PACKETS / 2 )) >/dev/null 2>&1
+if ! ls "$NEG"/ckpt-*.nova-ckpt >/dev/null 2>&1; then
+  echo "novacrash: negative control produced no checkpoints" >&2
+  FAILED=1
+else
+  for F in "$NEG"/ckpt-*.nova-ckpt; do
+    printf '\xde\xad' | dd of="$F" bs=1 seek=64 conv=notrunc 2>/dev/null
+  done
+  "$NOVASOAK" --app nat --packets "$PACKETS" --seed "$SEED" --quiet \
+    --resume "$NEG" >/dev/null 2>&1
+  RC=$?
+  if [ "$RC" -eq 5 ]; then
+    echo "novacrash: OK: corrupt checkpoints rejected with exit 5"
+  else
+    echo "novacrash: FAIL: corrupt checkpoints gave exit $RC, expected 5" >&2
+    FAILED=1
+  fi
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "novacrash: FAILED" >&2
+  exit 1
+fi
+echo "novacrash: all checks passed"

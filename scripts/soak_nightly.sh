@@ -8,11 +8,20 @@
 #   scripts/soak_nightly.sh 5000000 7       # packets and seed
 #   BUILD_DIR=/tmp/b scripts/soak_nightly.sh
 #   SOAK_TIMEOUT=7200 scripts/soak_nightly.sh   # per-run ceiling (s)
+#   CKPT_EVERY=50000 scripts/soak_nightly.sh    # snapshot cadence
 #
-# Every soak runs under a hard timeout and gets exactly one retry; a
-# run that fails twice is recorded as a structured failure object in
-# the merged BENCH JSON (so the nightly dashboard sees *which* soak
-# died and how, instead of a missing file) and the script exits 1.
+# Every soak runs under a hard timeout, snapshots its resumable state
+# every CKPT_EVERY retired packets, and gets exactly one retry. The
+# retry resumes from the newest valid checkpoint when one exists (a
+# timed-out or crashed run continues instead of starting over — a
+# resumed run's report is byte-identical to an uninterrupted one), and
+# starts fresh otherwise. A run that fails twice is recorded as a
+# structured failure object in the merged BENCH JSON — including the
+# checkpoint it resumed from, so the dashboard sees how far it got —
+# and the script exits 1.
+#
+# Standalone soaks run one app per invocation (checkpoint directories
+# are per-stream); the merged BENCH arrays keep their old shape.
 #
 # Exit codes: 0 clean, 1 any soak failed twice (oracle divergence,
 # timeout, or crash — the log and the failure record hold the detail).
@@ -26,6 +35,9 @@ SEED="${2:-42}"
 # Generous per-run ceiling: nightly runs are long, but a hang must not
 # eat the whole window.
 SOAK_TIMEOUT="${SOAK_TIMEOUT:-10800}"
+# Snapshot cadence: ~20 snapshots per run, never more often than every
+# 1000 packets (checkpoint overhead stays in the noise).
+CKPT_EVERY="${CKPT_EVERY:-$(( PACKETS / 20 > 1000 ? PACKETS / 20 : 1000 ))}"
 
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target novasoak
@@ -33,28 +45,59 @@ cmake --build "$BUILD" -j"$JOBS" --target novasoak
 NIGHTLY_FAILED=0
 
 # run_soak <name> <json-path> <novasoak args...>
-# Hard-timeboxed novasoak with one retry. On double failure, writes a
-# structured failure record to <json-path> (keeping the merged BENCH
-# arrays parseable) and marks the nightly failed.
+# Hard-timeboxed novasoak with one retry; the retry resumes from the
+# newest checkpoint when the first attempt left one. On double failure,
+# writes a structured failure record to <json-path> (keeping the merged
+# BENCH arrays parseable) and marks the nightly failed.
 run_soak() {
   local NAME="$1" JSON="$2"
   shift 2
-  local ATTEMPT RC
+  local CKDIR="$BUILD/ckpt-nightly/$NAME"
+  rm -rf "$CKDIR"
+  local ATTEMPT RC RESUMED_FROM="null"
   for ATTEMPT in 1 2; do
+    local RESUME_ARGS=(--checkpoint-every "$CKPT_EVERY" --checkpoint-dir "$CKDIR")
+    if [ "$ATTEMPT" -gt 1 ] && ls "$CKDIR"/ckpt-*.nova-ckpt >/dev/null 2>&1; then
+      local LATEST
+      LATEST="$(ls "$CKDIR"/ckpt-*.nova-ckpt | sort -t- -k2 -n | tail -1)"
+      RESUME_ARGS+=(--resume "$CKDIR")
+      RESUMED_FROM="\"$LATEST\""
+      echo "soak_nightly: $NAME retrying from $LATEST" >&2
+    fi
     RC=0
     timeout "$SOAK_TIMEOUT" "$BUILD/tools/novasoak" "$@" \
-      --json "$JSON" || RC=$?
+      "${RESUME_ARGS[@]}" --json "$JSON" || RC=$?
     if [ "$RC" -eq 0 ]; then
+      rm -rf "$CKDIR"
       return 0
     fi
     echo "soak_nightly: $NAME attempt $ATTEMPT failed (exit $RC)" >&2
   done
   # 124 is timeout(1)'s kill exit; anything else is novasoak's own code
-  # (1 = divergence, 2 = usage, 4 = compile failure) or a crash signal.
-  printf '[{"run":"%s","failed":true,"exit_code":%d,"attempts":2,"timeout_seconds":%d,"argv":"%s"}]\n' \
-    "$NAME" "$RC" "$SOAK_TIMEOUT" "$*" > "$JSON"
+  # (1 = divergence, 2 = usage, 4 = compile failure, 5 = checkpoint
+  # failure) or a crash signal.
+  printf '[{"run":"%s","failed":true,"exit_code":%d,"attempts":2,"timeout_seconds":%d,"resumed_from":%s,"argv":"%s"}]\n' \
+    "$NAME" "$RC" "$SOAK_TIMEOUT" "$RESUMED_FROM" "$*" > "$JSON"
   NIGHTLY_FAILED=1
   return 0
+}
+
+# merge_json <out> <in...>: concatenates JSON arrays (failure records
+# included) into one array.
+merge_json() {
+  local OUT="$1"
+  shift
+  python3 - "$OUT" "$@" <<'EOF'
+import json, sys
+out, paths = sys.argv[1], sys.argv[2:]
+merged = []
+for p in paths:
+    with open(p) as f:
+        merged.extend(json.load(f))
+with open(out, "w") as f:
+    json.dump(merged, f, separators=(",", ":"))
+    f.write("\n")
+EOF
 }
 
 # Both execution modes land in BENCH_soak.json: the per-packet
@@ -62,15 +105,20 @@ run_soak() {
 # (threaded; interpreter + functional + CPS oracle sampled 1-in-10).
 # The stream statistics must be bit-identical between the two — the
 # threaded driver compares every sampled packet, and tests lock the
-# whole-report equality.
-run_soak soak-interp "$BUILD/BENCH_soak_interp.json" \
-  --packets "$PACKETS" --seed "$SEED"
-run_soak soak-threaded "$BUILD/BENCH_soak_threaded.json" \
-  --packets "$PACKETS" --seed "$SEED" --exec threaded --oracle-rate 10
-INTERP_JSON="$(cat "$BUILD/BENCH_soak_interp.json")"
-THREADED_JSON="$(cat "$BUILD/BENCH_soak_threaded.json")"
-printf '%s,%s\n' "${INTERP_JSON%]}" "${THREADED_JSON#[}" \
-  > "$ROOT/BENCH_soak.json"
+# whole-report equality. One app per run so every stream checkpoints.
+STANDALONE_JSONS=()
+for APP in aes kasumi nat; do
+  run_soak "soak-interp-$APP" "$BUILD/BENCH_soak_interp_$APP.json" \
+    --app "$APP" --packets "$PACKETS" --seed "$SEED"
+  STANDALONE_JSONS+=("$BUILD/BENCH_soak_interp_$APP.json")
+done
+for APP in aes kasumi nat; do
+  run_soak "soak-threaded-$APP" "$BUILD/BENCH_soak_threaded_$APP.json" \
+    --app "$APP" --packets "$PACKETS" --seed "$SEED" \
+    --exec threaded --oracle-rate 10
+  STANDALONE_JSONS+=("$BUILD/BENCH_soak_threaded_$APP.json")
+done
+merge_json "$ROOT/BENCH_soak.json" "${STANDALONE_JSONS[@]}"
 
 # Whole-chip nightly: the same adversarial stream through the full
 # 6-engine chip model (sampled oracle every packet at this scale is the
@@ -86,19 +134,18 @@ run_soak chip-threaded "$BUILD/BENCH_chip_threaded.json" \
 
 # Fault-recovery nightly: the acceptance schedule at production rates.
 # The supervisor must keep the stream flowing (exit 0), recover or
-# typed-drop every fault, and the recovery ledger lands in the merged
-# JSON for trend tracking.
+# typed-drop every fault, and the recovery ledger — including the
+# recovery_fold digest and the all_accounted invariant — lands in the
+# merged JSON for trend tracking.
 run_soak chip-faults "$BUILD/BENCH_chip_faults.json" \
   --chip --me-count 6 --app nat --exec threaded \
   --packets "$PACKETS" --seed "$SEED" \
   --fault-schedule 'ctx-lockup@5000,chan-brownout@10000~4'
 
-CHIP_INTERP_JSON="$(cat "$BUILD/BENCH_chip_interp.json")"
-CHIP_THREADED_JSON="$(cat "$BUILD/BENCH_chip_threaded.json")"
-CHIP_FAULTS_JSON="$(cat "$BUILD/BENCH_chip_faults.json")"
-printf '%s,%s,%s\n' "${CHIP_INTERP_JSON%]}" \
-  "$(T="${CHIP_THREADED_JSON#[}"; printf '%s' "${T%]}")" \
-  "${CHIP_FAULTS_JSON#[}" > "$ROOT/BENCH_chip_soak.json"
+merge_json "$ROOT/BENCH_chip_soak.json" \
+  "$BUILD/BENCH_chip_interp.json" \
+  "$BUILD/BENCH_chip_threaded.json" \
+  "$BUILD/BENCH_chip_faults.json"
 
 if [ "$NIGHTLY_FAILED" -ne 0 ]; then
   echo "soak_nightly: one or more soaks failed twice; see failure" \

@@ -163,6 +163,51 @@ if [ "$SOAK_RC" -ne 1 ]; then
   exit 1
 fi
 
+# Checkpoint kill/resume smoke: snapshot every 500 packets, SIGKILL the
+# run mid-stream at ~1k retired, resume from the newest snapshot, and
+# require the finished stable JSON — trace hash included — to be
+# byte-identical to an uninterrupted run.
+echo "== checkpoint kill/resume smoke (byte-identical resumed report) =="
+CKPT_DIR="$BUILD/ckpt-smoke"
+rm -rf "$CKPT_DIR"
+timeout 300 "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --packets 2000 --seed 7 --quiet --stable-json \
+  --json "$BUILD/BENCH_ckpt_ref.json"
+SOAK_RC=0
+timeout 300 "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --packets 2000 --seed 7 --quiet \
+  --checkpoint-every 500 --checkpoint-dir "$CKPT_DIR" \
+  --kill-after 1000 || SOAK_RC=$?
+if [ "$SOAK_RC" -ne 137 ]; then
+  echo "checkpoint smoke FAILED: expected SIGKILL (exit 137), got $SOAK_RC" >&2
+  exit 1
+fi
+timeout 300 "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --packets 2000 --seed 7 --quiet --stable-json \
+  --resume "$CKPT_DIR" --checkpoint-every 500 \
+  --json "$BUILD/BENCH_ckpt_resumed.json"
+if ! cmp -s "$BUILD/BENCH_ckpt_ref.json" "$BUILD/BENCH_ckpt_resumed.json"; then
+  echo "checkpoint smoke FAILED: resumed report differs from" \
+       "uninterrupted run" >&2
+  exit 1
+fi
+
+# Checkpoint negative control: corrupt every snapshot; --resume must
+# fail with the typed checkpoint exit code (5), never start fresh and
+# silently report success.
+echo "== checkpoint negative control (corrupt snapshots must be rejected) =="
+for F in "$CKPT_DIR"/ckpt-*.nova-ckpt; do
+  printf '\xff\xff' | dd of="$F" bs=1 seek=64 conv=notrunc 2>/dev/null
+done
+SOAK_RC=0
+timeout 300 "$BUILD/tools/novasoak" --chip --me-count 6 --app nat \
+  --packets 2000 --seed 7 --quiet --resume "$CKPT_DIR" || SOAK_RC=$?
+if [ "$SOAK_RC" -ne 5 ]; then
+  echo "checkpoint negative control FAILED: expected exit 5" \
+       "(CheckpointCorrupt), got $SOAK_RC" >&2
+  exit 1
+fi
+
 # ASan+UBSan pass over the degradation ladder and the support layer: the
 # fault-injection paths (LU repair, refactorize-on-drift, incumbent
 # salvage, baseline fallback) are exactly where stale pointers and

@@ -253,6 +253,110 @@ struct InFlightRec {
 enum class RxPh : uint8_t { Dispatch, Push };
 enum class RxWait : uint8_t { None, Slot, RingFull };
 
+//===----------------------------------------------------------------------===//
+// Checkpoint serialization helpers
+//===----------------------------------------------------------------------===//
+
+void saveChannel(BinWriter &W, const Channel &C) {
+  W.u32(C.IssueInterval);
+  W.u32(C.Latency);
+  W.u64(C.FreeAt);
+  W.u64(C.St.Transactions);
+  W.u64(C.St.StallCycles);
+}
+
+void restoreChannel(BinReader &R, Channel &C) {
+  C.IssueInterval = R.u32();
+  C.Latency = R.u32();
+  C.FreeAt = R.u64();
+  C.St.Transactions = R.u64();
+  C.St.StallCycles = R.u64();
+}
+
+void savePacket(BinWriter &W, const ChipPacket &Pk) {
+  W.u64(Pk.Seq);
+  W.vec32(Pk.Words);
+  W.vec32(Pk.Args);
+  W.u32(Pk.PtrArgMask);
+  W.u32(Pk.PayloadBytes);
+  W.u8(Pk.ClassTag);
+  W.u64(Pk.SeedTag);
+}
+
+void restorePacket(BinReader &R, ChipPacket &Pk) {
+  Pk.Seq = R.u64();
+  Pk.Words = R.vec32();
+  Pk.Args = R.vec32();
+  Pk.PtrArgMask = R.u32();
+  Pk.PayloadBytes = R.u32();
+  Pk.ClassTag = R.u8();
+  Pk.SeedTag = R.u64();
+}
+
+void saveRec(BinWriter &W, const InFlightRec &Rec) {
+  savePacket(W, Rec.Pkt);
+  W.vec32(Rec.RebasedArgs);
+  Rec.Result.saveState(W);
+  W.u32(Rec.Me);
+  W.u32(Rec.Ctx);
+  W.b(Rec.Tail);
+  W.u32(Rec.SlotIdx);
+  W.u32(Rec.SlotBase);
+  W.u64(Rec.DispatchTime);
+  W.u64(Rec.CompleteTime);
+  W.b(Rec.PrivMem != nullptr);
+  if (Rec.PrivMem)
+    Rec.PrivMem->saveState(W);
+  W.u32(Rec.Attempts);
+  W.u32(Rec.PlannedLockups);
+  W.b(Rec.SdramFlip);
+  W.b(Rec.Wedged);
+  W.u8(static_cast<uint8_t>(Rec.Drop));
+}
+
+void restoreRec(BinReader &R, InFlightRec &Rec) {
+  restorePacket(R, Rec.Pkt);
+  Rec.RebasedArgs = R.vec32();
+  Rec.Result.restoreState(R);
+  Rec.Me = R.u32();
+  Rec.Ctx = R.u32();
+  Rec.Tail = R.b();
+  Rec.SlotIdx = R.u32();
+  Rec.SlotBase = R.u32();
+  Rec.DispatchTime = R.u64();
+  Rec.CompleteTime = R.u64();
+  if (R.b()) {
+    Rec.PrivMem = std::make_unique<sim::Memory>();
+    Rec.PrivMem->restoreState(R);
+  } else {
+    Rec.PrivMem.reset();
+  }
+  Rec.Attempts = R.u32();
+  Rec.PlannedLockups = R.u32();
+  Rec.SdramFlip = R.b();
+  Rec.Wedged = R.b();
+  Rec.Drop = static_cast<DropReason>(R.u8());
+}
+
+void saveRecMap(BinWriter &W, const std::map<uint64_t, InFlightRec> &M) {
+  W.u64(M.size());
+  for (const auto &[Seq, Rec] : M) {
+    W.u64(Seq);
+    saveRec(W, Rec);
+  }
+}
+
+void restoreRecMap(BinReader &R, std::map<uint64_t, InFlightRec> &M) {
+  M.clear();
+  uint64_t N = R.u64();
+  for (uint64_t I = 0; I != N && !R.failed(); ++I) {
+    uint64_t Seq = R.u64();
+    InFlightRec Rec;
+    restoreRec(R, Rec);
+    M.emplace(Seq, std::move(Rec));
+  }
+}
+
 } // namespace
 
 struct Chip::Impl {
@@ -300,13 +404,29 @@ struct Chip::Impl {
   bool RxStuck = false;          ///< parked on uniformly-full rings
   uint64_t RxStuckSince = 0;
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> Q;
+  /// The event queue with its container exposed: the heap vector is a
+  /// deterministic function of the run and is a valid heap verbatim, so
+  /// checkpointing saves and restores it as-is.
+  struct ExposedQ
+      : std::priority_queue<Event, std::vector<Event>, EventAfter> {
+    std::vector<Event> &raw() { return c; }
+    const std::vector<Event> &raw() const { return c; }
+  };
+  ExposedQ Q;
   uint64_t OrderCtr = 0;
   uint64_t LastTime = 0;
   bool Ran = false;
 
   const Source *Src = nullptr;
   const RetireFn *Retire = nullptr;
+
+  // Checkpoint plumbing: the retire hook fires between events whenever
+  // PacketsRetired advanced; Restored makes runAll continue a restored
+  // event stream instead of scheduling the initial RX/supervisor events.
+  RetireHook Hook;
+  uint64_t LastHookRetired = 0;
+  bool Restored = false;
+  bool Stopped = false;
 
   ChipRunStats St;
   uint64_t RetireFold = 0xcbf29ce484222325ull;
@@ -972,6 +1092,189 @@ struct Chip::Impl {
     wakeRxIfRingFreed(RingId, T);
   }
 
+  //===--- Checkpoint ------------------------------------------------------===//
+
+  // Serializes every mutable field of the simulation, in declaration
+  // order. Construction-derived state (P, Progs, Trans, BaseImage,
+  // Opts, SpillStep, SdramBaseInterval, spill rebases, ring/slot
+  // geometry) is rebuilt deterministically by the constructor and NOT
+  // saved; Ran/Src/Retire/Hook are per-run wiring.
+  void saveState(BinWriter &W) const {
+    saveChannel(W, SramCh);
+    saveChannel(W, SdramCh);
+    saveChannel(W, ScratchCh);
+    for (const MeState &M : Mes) {
+      W.u64(M.FreeAt);
+      W.u64(M.Busy);
+      W.u32(static_cast<uint32_t>(M.Ready.size()));
+      for (unsigned C : M.Ready)
+        W.u32(C);
+      for (const HwCtx &Cx : M.Ctx) {
+        if (Cx.Threaded)
+          Cx.Seg.saveState(W);
+        else
+          Cx.Exec.saveState(W);
+        W.u8(static_cast<uint8_t>(Cx.Ph));
+        W.u64(Cx.CurSeq);
+        W.u64(Cx.WedgeTime);
+      }
+    }
+    for (const Ring &Rg : In)
+      Rg.saveState(W);
+    for (const std::deque<unsigned> &D : Consumers) {
+      W.u32(static_cast<uint32_t>(D.size()));
+      for (unsigned C : D)
+        W.u32(C);
+    }
+    Tx.saveState(W);
+    W.b(TxIdle);
+    W.u32(static_cast<uint32_t>(TxProducers.size()));
+    for (const auto &[M, C] : TxProducers) {
+      W.u32(M);
+      W.u32(C);
+    }
+    saveRecMap(W, InFlight);
+    saveRecMap(W, Reorder);
+    W.u64(NextRetire);
+    W.u64(NextDispatch);
+    W.u64(FreeSlots.size());
+    for (uint32_t S : FreeSlots)
+      W.u32(S);
+    W.u64(InFlightCount);
+    W.u8(static_cast<uint8_t>(RxPhase));
+    W.u8(static_cast<uint8_t>(RxWaiting));
+    W.b(RxDone);
+    W.b(RxHave);
+    W.b(RxPktTail);
+    savePacket(W, RxPkt);
+    W.u64(RxPendSeq);
+    W.u32(RxTarget);
+    W.u64(RxGen);
+    W.u64(RxDmaEnd);
+    Sup.saveState(W);
+    W.b(BrownoutActive);
+    W.b(RxStuck);
+    W.u64(RxStuckSince);
+    Mem.saveState(W);
+    const std::vector<Event> &H = Q.raw();
+    W.u64(H.size());
+    for (const Event &E : H) {
+      W.u64(E.Time);
+      W.u64(E.Order);
+      W.u8(static_cast<uint8_t>(E.K));
+      W.u32(E.Me);
+      W.u32(E.Ctx);
+      W.u64(E.A);
+    }
+    W.u64(OrderCtr);
+    W.u64(LastTime);
+    // ChipRunStats accumulators (the derived fields — FinalCycles,
+    // channel/ring summaries, TraceHash, Recovery — are produced at
+    // finalization from state serialized above).
+    W.u64(St.PacketsDispatched);
+    W.u64(St.PacketsRetired);
+    W.u64(St.TailPackets);
+    for (uint64_t V : St.MeBusyCycles)
+      W.u64(V);
+    for (const std::vector<uint64_t> &Row : St.CtxPackets)
+      for (uint64_t V : Row)
+        W.u64(V);
+    W.u32(St.ReorderHighWater);
+    W.u64(St.RxDmaTransactions);
+    W.u64(RetireFold);
+  }
+
+  void restoreState(BinReader &R) {
+    restoreChannel(R, SramCh);
+    restoreChannel(R, SdramCh);
+    restoreChannel(R, ScratchCh);
+    for (MeState &M : Mes) {
+      M.FreeAt = R.u64();
+      M.Busy = R.u64();
+      M.Ready.clear();
+      uint32_t NR = R.u32();
+      for (uint32_t I = 0; I != NR && !R.failed(); ++I)
+        M.Ready.push_back(R.u32());
+      for (HwCtx &Cx : M.Ctx) {
+        if (Cx.Threaded)
+          Cx.Seg.restoreState(R);
+        else
+          Cx.Exec.restoreState(R);
+        Cx.Ph = static_cast<CtxPh>(R.u8());
+        Cx.CurSeq = R.u64();
+        Cx.WedgeTime = R.u64();
+      }
+    }
+    for (Ring &Rg : In)
+      Rg.restoreState(R);
+    for (std::deque<unsigned> &D : Consumers) {
+      D.clear();
+      uint32_t N = R.u32();
+      for (uint32_t I = 0; I != N && !R.failed(); ++I)
+        D.push_back(R.u32());
+    }
+    Tx.restoreState(R);
+    TxIdle = R.b();
+    TxProducers.clear();
+    uint32_t NTx = R.u32();
+    for (uint32_t I = 0; I != NTx && !R.failed(); ++I) {
+      unsigned M = R.u32();
+      unsigned C = R.u32();
+      TxProducers.emplace_back(M, C);
+    }
+    restoreRecMap(R, InFlight);
+    restoreRecMap(R, Reorder);
+    NextRetire = R.u64();
+    NextDispatch = R.u64();
+    FreeSlots.clear();
+    uint64_t NS = R.u64();
+    for (uint64_t I = 0; I != NS && !R.failed(); ++I)
+      FreeSlots.insert(R.u32());
+    InFlightCount = R.u64();
+    RxPhase = static_cast<RxPh>(R.u8());
+    RxWaiting = static_cast<RxWait>(R.u8());
+    RxDone = R.b();
+    RxHave = R.b();
+    RxPktTail = R.b();
+    restorePacket(R, RxPkt);
+    RxPendSeq = R.u64();
+    RxTarget = R.u32();
+    RxGen = R.u64();
+    RxDmaEnd = R.u64();
+    Sup.restoreState(R);
+    BrownoutActive = R.b();
+    RxStuck = R.b();
+    RxStuckSince = R.u64();
+    Mem.restoreState(R);
+    Q.raw().clear();
+    uint64_t NQ = R.u64();
+    for (uint64_t I = 0; I != NQ && !R.failed(); ++I) {
+      Event E;
+      E.Time = R.u64();
+      E.Order = R.u64();
+      E.K = static_cast<Ev>(R.u8());
+      E.Me = R.u32();
+      E.Ctx = R.u32();
+      E.A = R.u64();
+      Q.raw().push_back(E);
+    }
+    OrderCtr = R.u64();
+    LastTime = R.u64();
+    St.PacketsDispatched = R.u64();
+    St.PacketsRetired = R.u64();
+    St.TailPackets = R.u64();
+    for (uint64_t &V : St.MeBusyCycles)
+      V = R.u64();
+    for (std::vector<uint64_t> &Row : St.CtxPackets)
+      for (uint64_t &V : Row)
+        V = R.u64();
+    St.ReorderHighWater = R.u32();
+    St.RxDmaTransactions = R.u64();
+    RetireFold = R.u64();
+    LastHookRetired = St.PacketsRetired;
+    Restored = true;
+  }
+
   //===--- Event loop ------------------------------------------------------===//
 
   ChipRunStats runAll(const Source &S, const RetireFn &R) {
@@ -979,9 +1282,11 @@ struct Chip::Impl {
     Ran = true;
     Src = &S;
     Retire = &R;
-    schedRx(0);
-    if (Sup.enabled())
-      sched(Sup.config().WatchdogPeriod, Ev::SupTick);
+    if (!Restored) {
+      schedRx(0);
+      if (Sup.enabled())
+        sched(Sup.config().WatchdogPeriod, Ev::SupTick);
+    }
 
     while (!Q.empty()) {
       Event E = Q.top();
@@ -1012,6 +1317,13 @@ struct Chip::Impl {
       case Ev::RingUnstall:
         onRingUnstall(E.Me, E.Time);
         break;
+      }
+      if (Hook && St.PacketsRetired != LastHookRetired) {
+        LastHookRetired = St.PacketsRetired;
+        if (Hook(St.PacketsRetired, LastTime)) {
+          Stopped = true;
+          return St; // partial: the caller treats this run as crashed
+        }
       }
     }
 
@@ -1059,3 +1371,11 @@ ChipRunStats Chip::run(const Source &Src, const RetireFn &Retire) {
 }
 
 sim::Memory &Chip::memory() { return I->Mem; }
+
+void Chip::setRetireHook(RetireHook H) { I->Hook = std::move(H); }
+
+bool Chip::stopped() const { return I->Stopped; }
+
+void Chip::saveState(BinWriter &W) const { I->saveState(W); }
+
+void Chip::restoreState(BinReader &R) { I->restoreState(R); }

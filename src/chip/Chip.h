@@ -235,6 +235,37 @@ public:
   /// state; deterministic across same-seed runs).
   sim::Memory &memory();
 
+  /// Called between events whenever the retired-packet count advanced,
+  /// with the count and the current chip time. The event loop is
+  /// quiescent during the call — every event handler has run to
+  /// completion — so saveState() from inside the hook captures a
+  /// coherent simulation state. Return true to stop the run right
+  /// there (crash-simulation in tests; the process-level kill path
+  /// never returns at all).
+  using RetireHook = std::function<bool(uint64_t PacketsRetired, uint64_t Time)>;
+  void setRetireHook(RetireHook H);
+
+  /// True when the last run() was stopped early by the retire hook —
+  /// the returned stats are partial and the run never finalized.
+  bool stopped() const;
+
+  /// Checkpoint: serializes the complete mutable simulation state —
+  /// event queue and insertion counter, every hardware context, rings,
+  /// channels, in-flight and reorder buffers, RX agent, supervisor
+  /// ledger, the live memory image, and the stats accumulators. Taken
+  /// between events (see RetireHook), a snapshot plus the same packet
+  /// source replays the remaining event stream bit-identically.
+  /// Construction-time state (programs, translations, topology, the
+  /// pristine base image) is NOT saved; restore into a Chip freshly
+  /// constructed from the identical (params, programs, base) triple.
+  void saveState(BinWriter &W) const;
+
+  /// Restores a saveState() image into this not-yet-run chip; run()
+  /// then continues the interrupted event stream. The caller is
+  /// responsible for re-arming an equivalent Source positioned at the
+  /// serialized dispatch cursor.
+  void restoreState(BinReader &R);
+
 private:
   struct Impl;
   std::unique_ptr<Impl> I;

@@ -21,6 +21,8 @@
 #ifndef CHIP_RING_H
 #define CHIP_RING_H
 
+#include "support/BinIO.h"
+
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -98,6 +100,33 @@ public:
     ++Pops;
     fold(Time, /*Op=*/1, V);
     return V;
+  }
+
+  /// Checkpoint serialization of the full ring state (contents, stats,
+  /// stall window, trace hash). Capacity is construction-time topology
+  /// and is NOT saved — restore into a ring built with the same
+  /// capacity.
+  void saveState(BinWriter &W) const {
+    W.vec64(Buf);
+    W.u32(Head);
+    W.u32(Count);
+    W.u32(HighWater);
+    W.u64(Pushes);
+    W.u64(Pops);
+    W.u64(StallEnd);
+    W.u64(Stalls);
+    W.u64(Hash);
+  }
+  void restoreState(BinReader &R) {
+    Buf = R.vec64();
+    Head = R.u32();
+    Count = R.u32();
+    HighWater = R.u32();
+    Pushes = R.u64();
+    Pops = R.u64();
+    StallEnd = R.u64();
+    Stalls = R.u64();
+    Hash = R.u64();
   }
 
 private:

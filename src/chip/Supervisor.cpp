@@ -105,3 +105,41 @@ uint64_t RecoveryStats::fold() const {
     H = traceFold(H, F);
   return H;
 }
+
+void RecoveryStats::saveState(BinWriter &W) const {
+  const uint64_t Fields[] = {
+      LockupsInjected,   LockupsDetected,  CtxResets,
+      PacketRequeues,    PacketsWedged,    PacketsRecovered,
+      LockupDrops,       MaxBackoffCycles, BackpressureDrops,
+      RingStallsInjected, RingStallCycles, BrownoutsInjected,
+      BrownoutCycles,    DmaFaultsInjected, DmaRetries,
+      DmaFaultPackets,   DmaRecoveredPackets, DmaDropPackets,
+      SdramBitFlipsInjected};
+  for (uint64_t F : Fields)
+    W.u64(F);
+}
+
+void RecoveryStats::restoreState(BinReader &R) {
+  uint64_t *Fields[] = {
+      &LockupsInjected,   &LockupsDetected,  &CtxResets,
+      &PacketRequeues,    &PacketsWedged,    &PacketsRecovered,
+      &LockupDrops,       &MaxBackoffCycles, &BackpressureDrops,
+      &RingStallsInjected, &RingStallCycles, &BrownoutsInjected,
+      &BrownoutCycles,    &DmaFaultsInjected, &DmaRetries,
+      &DmaFaultPackets,   &DmaRecoveredPackets, &DmaDropPackets,
+      &SdramBitFlipsInjected};
+  for (uint64_t *F : Fields)
+    *F = R.u64();
+}
+
+void Supervisor::saveState(BinWriter &W) const {
+  W.u64(RingPushCtr);
+  W.u64(SdramRefCtr);
+  Rec.saveState(W);
+}
+
+void Supervisor::restoreState(BinReader &R) {
+  RingPushCtr = R.u64();
+  SdramRefCtr = R.u64();
+  Rec.restoreState(R);
+}

@@ -35,6 +35,7 @@
 #ifndef CHIP_SUPERVISOR_H
 #define CHIP_SUPERVISOR_H
 
+#include "support/BinIO.h"
 #include "support/FaultInjection.h"
 
 #include <cstdint>
@@ -128,6 +129,10 @@ struct RecoveryStats {
 
   /// Order-independent digest for double-run equality assertions.
   uint64_t fold() const;
+
+  /// Checkpoint serialization of every counter.
+  void saveState(BinWriter &W) const;
+  void restoreState(BinReader &R);
 };
 
 /// The policy half of the fault model: owns the armed schedule, decides
@@ -177,6 +182,14 @@ public:
 
   RecoveryStats &stats() { return Rec; }
   const RecoveryStats &stats() const { return Rec; }
+
+  /// Checkpoint serialization of the mutable policy state: the
+  /// opportunity ordinals (ring-push and SDRAM-reference counters) and
+  /// the RecoveryStats ledger. The armed schedule and config are
+  /// construction-time and NOT saved — restore into a Supervisor built
+  /// from the same (schedule, config) pair.
+  void saveState(BinWriter &W) const;
+  void restoreState(BinReader &R);
 
 private:
   struct Entry {

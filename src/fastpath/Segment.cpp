@@ -582,3 +582,41 @@ SegmentContext::Yield SegmentContext::resume(sim::Memory &Mem,
     }
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Checkpoint serialization
+//===----------------------------------------------------------------------===//
+
+void SegmentContext::saveState(BinWriter &W) const {
+  W.vec32(Frame);
+  R.saveState(W);
+  W.b(Finished);
+  W.b(Err);
+  W.b(InSlow);
+  W.b(FastYield);
+  W.u32(PC);
+  W.u32(YieldPC);
+  W.u64(Ins);
+  W.u64(Cyc);
+  W.u64(StartIns);
+  W.u64(StartCyc);
+  W.u32(SB);
+  W.u32(SIdx);
+}
+
+void SegmentContext::restoreState(BinReader &Rd) {
+  Frame = Rd.vec32();
+  R.restoreState(Rd);
+  Finished = Rd.b();
+  Err = Rd.b();
+  InSlow = Rd.b();
+  FastYield = Rd.b();
+  PC = Rd.u32();
+  YieldPC = Rd.u32();
+  Ins = Rd.u64();
+  Cyc = Rd.u64();
+  StartIns = Rd.u64();
+  StartCyc = Rd.u64();
+  SB = Rd.u32();
+  SIdx = Rd.u32();
+}

@@ -93,6 +93,14 @@ public:
   /// be the model the program was translated with.
   Yield resume(sim::Memory &Mem, const sim::RunOptions &Opts);
 
+  /// Checkpoint serialization of the resumable run state (frame, PCs,
+  /// cold-data bases, accounting). The Translated binding and spill
+  /// rebase are construction-time configuration and are NOT saved —
+  /// restore into a context already wired via setProgram() to the same
+  /// (deterministically re-translated) program.
+  void saveState(BinWriter &W) const;
+  void restoreState(BinReader &R);
+
 private:
   const Translated *T = nullptr;
   std::vector<uint32_t> Frame;

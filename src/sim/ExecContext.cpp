@@ -318,3 +318,47 @@ RunResult sim::runAllocated(const alloc::AllocatedProgram &P,
   }
   return C.takeResult();
 }
+
+//===----------------------------------------------------------------------===//
+// Checkpoint serialization
+//===----------------------------------------------------------------------===//
+
+void AllocContext::saveState(BinWriter &W) const {
+  R.saveState(W);
+  W.b(Finished);
+  W.b(Err);
+  W.u32(B);
+  W.u32(Idx);
+  for (uint32_t V : RegA)
+    W.u32(V);
+  for (uint32_t V : RegB)
+    W.u32(V);
+  for (uint32_t V : RegL)
+    W.u32(V);
+  for (uint32_t V : RegS)
+    W.u32(V);
+  for (uint32_t V : RegLD)
+    W.u32(V);
+  for (uint32_t V : RegSD)
+    W.u32(V);
+}
+
+void AllocContext::restoreState(BinReader &Rd) {
+  R.restoreState(Rd);
+  Finished = Rd.b();
+  Err = Rd.b();
+  B = Rd.u32();
+  Idx = Rd.u32();
+  for (uint32_t &V : RegA)
+    V = Rd.u32();
+  for (uint32_t &V : RegB)
+    V = Rd.u32();
+  for (uint32_t &V : RegL)
+    V = Rd.u32();
+  for (uint32_t &V : RegS)
+    V = Rd.u32();
+  for (uint32_t &V : RegLD)
+    V = Rd.u32();
+  for (uint32_t &V : RegSD)
+    V = Rd.u32();
+}

@@ -95,6 +95,13 @@ public:
   /// Executes until the next swap point (see Yield). Requires !done().
   Yield resume(Memory &Mem, const RunOptions &Opts);
 
+  /// Checkpoint serialization of the resumable run state: register
+  /// files, position, accounting. The program binding and spill rebase
+  /// are construction-time configuration and are NOT saved — restore
+  /// into a context already wired to the same program.
+  void saveState(BinWriter &W) const;
+  void restoreState(BinReader &R);
+
 private:
   const alloc::AllocatedProgram *Prog = nullptr;
   RunResult R;

@@ -125,6 +125,10 @@ struct Memory {
   /// a read-heavy hostile packet cannot balloon the image and the final
   /// maps of two agreeing executions compare equal entry-for-entry.
   static uint32_t load(const WordMap &M, uint32_t A) { return M.get(A); }
+
+  /// Checkpoint serialization: all three images plus the limits.
+  void saveState(BinWriter &W) const;
+  void restoreState(BinReader &R);
 };
 
 /// Latency model in micro-engine cycles. Defaults are the shared chip
@@ -174,6 +178,10 @@ struct RunResult {
   std::vector<uint32_t> HaltValues;
   uint64_t Cycles = 0;
   uint64_t Instructions = 0;
+
+  /// Checkpoint serialization (in-flight packets carry partial results).
+  void saveState(BinWriter &W) const;
+  void restoreState(BinReader &R);
 };
 
 /// Fixed-footprint log-scale histogram of per-run cycle counts: 32
@@ -187,6 +195,10 @@ public:
   /// Smallest recorded-bucket upper bound covering fraction \p Q of the
   /// samples (0 < Q <= 1); 0 when empty.
   uint64_t quantile(double Q) const;
+
+  /// Checkpoint serialization of the bucket counts.
+  void saveState(BinWriter &W) const;
+  void restoreState(BinReader &R);
 
 private:
   static constexpr unsigned NumBuckets = 256;
@@ -215,6 +227,10 @@ struct RunStats {
   /// handler codes of the benchmark apps); \p PayloadBytes counts toward
   /// throughput only when delivered.
   void account(const RunResult &R, bool AppRejected, unsigned PayloadBytes);
+
+  /// Checkpoint serialization of the whole fold (histogram included).
+  void saveState(BinWriter &W) const;
+  void restoreState(BinReader &R);
 
   uint64_t p50Cycles() const { return Cycles.quantile(0.50); }
   uint64_t p99Cycles() const { return Cycles.quantile(0.99); }

@@ -38,6 +38,8 @@
 #ifndef SIM_WORDMAP_H
 #define SIM_WORDMAP_H
 
+#include "support/BinIO.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -224,6 +226,28 @@ public:
 
   const_iterator begin() const { return const_iterator(this, false); }
   const_iterator end() const { return const_iterator(this, true); }
+
+  /// Checkpoint serialization: the ascending (address, value) entry
+  /// sequence — the map's entire observable state. Restoring rebuilds
+  /// pages by insertion, so internal page-table shape may differ from
+  /// the saved instance while iteration, get(), and equality agree
+  /// entry-for-entry.
+  void saveState(BinWriter &W) const {
+    W.u64(size());
+    for (const auto &[A, V] : *this) {
+      W.u32(A);
+      W.u32(V);
+    }
+  }
+  void restoreState(BinReader &R) {
+    clear();
+    uint64_t N = R.u64();
+    for (uint64_t I = 0; I != N && !R.failed(); ++I) {
+      uint32_t A = R.u32();
+      uint32_t V = R.u32();
+      (*this)[A] = V;
+    }
+  }
 
 private:
   /// First present dense address >= From, or DenseBound when none.

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <csignal>
 
 using namespace nova;
 using namespace nova::soak;
@@ -361,6 +362,174 @@ std::vector<uint32_t> soak::shrinkDivergence(const AppHarness &App,
 }
 
 //===----------------------------------------------------------------------===//
+// Checkpoint progress serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void saveDivergence(BinWriter &W, const Divergence &D) {
+  W.b(D.Found);
+  W.u64(D.Index);
+  W.u64(D.Seed);
+  W.u8(static_cast<uint8_t>(D.Class));
+  W.str(D.What);
+  W.vec32(D.Words);
+  W.vec32(D.Args);
+  W.vec32(D.ShrunkWords);
+  W.u32(D.ShrinkRuns);
+}
+
+void restoreDivergence(BinReader &R, Divergence &D) {
+  D.Found = R.b();
+  D.Index = R.u64();
+  D.Seed = R.u64();
+  D.Class = static_cast<PacketClass>(R.u8());
+  D.What = R.str();
+  D.Words = R.vec32();
+  D.Args = R.vec32();
+  D.ShrunkWords = R.vec32();
+  D.ShrinkRuns = R.u32();
+}
+
+} // namespace
+
+void soak::saveSoakProgress(BinWriter &W, const SoakReport &R,
+                            uint64_t Cursor) {
+  W.u64(Cursor);
+  for (uint64_t C : R.ClassCounts)
+    W.u64(C);
+  R.Stats.saveState(W);
+  W.u64(R.OracleChecks);
+  W.u64(R.OracleBudgetMisses);
+  W.u64(R.Divergences);
+  saveDivergence(W, R.First);
+}
+
+void soak::restoreSoakProgress(BinReader &R, SoakReport &Rep,
+                               uint64_t &Cursor) {
+  Cursor = R.u64();
+  for (uint64_t &C : Rep.ClassCounts)
+    C = R.u64();
+  Rep.Stats.restoreState(R);
+  Rep.OracleChecks = R.u64();
+  Rep.OracleBudgetMisses = R.u64();
+  Rep.Divergences = R.u64();
+  restoreDivergence(R, Rep.First);
+}
+
+ckpt::CheckpointMeta soak::checkpointMeta(const AppHarness &App,
+                                          const SoakOptions &Opts) {
+  ckpt::CheckpointMeta M;
+  M.App = App.name();
+  M.Seed = Opts.Seed;
+  M.Exec = static_cast<uint8_t>(Opts.Exec);
+  M.Chip = false;
+  M.Packets = Opts.Packets;
+  M.OracleEvery = Opts.OracleEvery;
+  M.Budget = Opts.Budget;
+  M.Mix[0] = Opts.Mix.Valid;
+  M.Mix[1] = Opts.Mix.Truncated;
+  M.Mix[2] = Opts.Mix.Oversized;
+  M.Mix[3] = Opts.Mix.Corrupt;
+  M.Mix[4] = Opts.Mix.Fuzz;
+  M.CodeHash = ckpt::codeHash(App.compiled().Alloc.Prog);
+  return M;
+}
+
+void soak::progressHeartbeat(const std::string &App, uint64_t Retired,
+                             double WallSeconds, uint64_t LastCheckpoint) {
+  double Rate = WallSeconds > 0 ? double(Retired) / WallSeconds : 0;
+  std::fprintf(stderr,
+               "novasoak: progress: app=%s retired=%llu pkt/s=%.0f "
+               "last_checkpoint=%llu\n",
+               App.c_str(), (unsigned long long)Retired, Rate,
+               (unsigned long long)LastCheckpoint);
+  std::fflush(stderr);
+}
+
+namespace {
+
+/// The per-stream checkpoint driver shared by the interp and threaded
+/// runners (ChipSoak has its own copy of this logic wired through the
+/// chip's retire hook). Owns the thresholds; returns true from
+/// onRetired when the run must stop (StopAfter crash simulation).
+struct CkptDriver {
+  const CheckpointOptions &CK;
+  ckpt::CheckpointMeta Meta;
+  const SoakReport &Rep;
+  const Timer &Clock;
+  uint64_t NextCkpt = 0, NextProg = 0, LastCkpt = 0;
+
+  CkptDriver(const CheckpointOptions &CK, ckpt::CheckpointMeta Meta,
+             const SoakReport &Rep, const Timer &Clock, uint64_t Start)
+      : CK(CK), Meta(std::move(Meta)), Rep(Rep), Clock(Clock) {
+    if (CK.Every)
+      NextCkpt = (Start / CK.Every + 1) * CK.Every;
+    if (CK.ProgressEvery)
+      NextProg = (Start / CK.ProgressEvery + 1) * CK.ProgressEvery;
+    LastCkpt = Start;
+  }
+
+  bool onRetired(uint64_t Retired, uint64_t Cursor) {
+    if (NextCkpt && Retired >= NextCkpt) {
+      BinWriter W;
+      saveSoakProgress(W, Rep, Cursor);
+      Meta.PacketsRetired = Retired;
+      if (Status S = ckpt::writeCheckpoint(CK.Dir, Meta, W.bytes());
+          !S.ok())
+        std::fprintf(stderr, "novasoak: warning: checkpoint failed: %s\n",
+                     S.message().c_str());
+      else
+        LastCkpt = Retired;
+      NextCkpt = (Retired / CK.Every + 1) * CK.Every;
+    }
+    if (NextProg && Retired >= NextProg) {
+      progressHeartbeat(Rep.App, Retired, Clock.seconds(), LastCkpt);
+      NextProg = (Retired / CK.ProgressEvery + 1) * CK.ProgressEvery;
+    }
+    if (CK.KillAfter && Retired >= CK.KillAfter) {
+      // The crash harness wants a real mid-run death, not a clean exit:
+      // nothing is flushed, no destructor runs, the checkpoint directory
+      // is whatever the last atomic rename left behind.
+      std::raise(SIGKILL);
+    }
+    return CK.StopAfter != 0 && Retired >= CK.StopAfter;
+  }
+};
+
+/// Resumes \p Rep / \p Start from the newest valid snapshot in the
+/// checkpoint directory. False => hard failure recorded in
+/// Rep.CkptError (the caller returns the report untouched-but-failed).
+bool resumeSoak(const CheckpointOptions &CK, const ckpt::CheckpointMeta &Meta,
+                SoakReport &Rep, uint64_t &Start) {
+  ckpt::LoadedCheckpoint LC;
+  std::vector<std::string> Notes;
+  Status S = ckpt::findLatestValid(CK.Dir, Meta, LC, &Notes);
+  for (const std::string &N : Notes)
+    std::fprintf(stderr, "novasoak: warning: skipping checkpoint: %s\n",
+                 N.c_str());
+  if (!S.ok()) {
+    Rep.CkptError = S;
+    return false;
+  }
+  BinReader R = LC.stateReader();
+  restoreSoakProgress(R, Rep, Start);
+  if (R.failed() || R.remaining() != 0) {
+    Rep.CkptError = Status::error(
+        StatusCode::CheckpointCorrupt, Phase::Driver,
+        "checkpoint " + LC.Path + ": state section malformed");
+    return false;
+  }
+  Rep.ResumedFrom = LC.Path;
+  std::fprintf(stderr, "novasoak: resumed %s from %s (%llu retired)\n",
+               Rep.App.c_str(), LC.Path.c_str(),
+               (unsigned long long)LC.Meta.PacketsRetired);
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
 // Stream runner
 //===----------------------------------------------------------------------===//
 
@@ -377,6 +546,13 @@ SoakReport runSoakThreaded(const AppHarness &App, const SoakOptions &Opts) {
   Rep.Exec = ExecMode::Threaded;
   Rep.OracleEvery = Opts.OracleEvery;
   Timer Clock;
+
+  const CheckpointOptions &CK = Opts.Ckpt;
+  ckpt::CheckpointMeta Meta = checkpointMeta(App, Opts);
+  uint64_t Start = 0;
+  if (CK.Resume && !resumeSoak(CK, Meta, Rep, Start))
+    return Rep;
+  CkptDriver CD(CK, Meta, Rep, Clock, Start);
 
   Timer TranslateClock;
   fastpath::Translated T =
@@ -409,7 +585,10 @@ SoakReport runSoakThreaded(const AppHarness &App, const SoakOptions &Opts) {
   PacketTemplateCache Tmpl;
   bool Stop = false;
 
-  for (uint64_t Base = 0; Base < Opts.Packets && !Stop;
+  // Resuming mid-stream is safe at any index: packet I is a pure
+  // function of (seed, I) and the oracle decision uses the absolute
+  // index, so batch alignment carries no state.
+  for (uint64_t Base = Start; Base < Opts.Packets && !Stop;
        Base += BatchSize) {
     const uint64_t N = std::min<uint64_t>(BatchSize, Opts.Packets - Base);
     // Batch slots and their Words/Args buffers are reused across
@@ -429,38 +608,45 @@ SoakReport runSoakThreaded(const AppHarness &App, const SoakOptions &Opts) {
 
       bool WithOracle =
           Opts.OracleEvery != 0 && (Base + K) % Opts.OracleEvery == 0;
-      if (!WithOracle)
-        continue;
-      ++Rep.OracleChecks;
-      // The oracle rerun re-arms the injector itself, so the
-      // interpreter replays the exact draw sequence the fast path saw.
-      PacketOutcome O = runPacket(App, P, Opts, /*WithOracle=*/true);
-      if (O.OracleBudgetMiss)
-        ++Rep.OracleBudgetMisses;
-      std::string Why;
-      if (!O.Diverged && !fastMatches(FR, BM, O, Why)) {
-        O.Diverged = true;
-        O.What = "fastpath vs interpreter: " + Why;
+      if (WithOracle) {
+        ++Rep.OracleChecks;
+        // The oracle rerun re-arms the injector itself, so the
+        // interpreter replays the exact draw sequence the fast path saw.
+        PacketOutcome O = runPacket(App, P, Opts, /*WithOracle=*/true);
+        if (O.OracleBudgetMiss)
+          ++Rep.OracleBudgetMisses;
+        std::string Why;
+        if (!O.Diverged && !fastMatches(FR, BM, O, Why)) {
+          O.Diverged = true;
+          O.What = "fastpath vs interpreter: " + Why;
+        }
+        if (O.Diverged) {
+          ++Rep.Divergences;
+          if (!Rep.First.Found) {
+            Rep.First.Found = true;
+            Rep.First.Index = P.Index;
+            Rep.First.Seed = P.Seed;
+            Rep.First.Class = P.Class;
+            Rep.First.What = O.What;
+            Rep.First.Words = P.Words;
+            Rep.First.Args = P.Args;
+            Rep.First.ShrunkWords =
+                Opts.Shrink ? shrinkDivergenceWith(P, Rep.First.ShrinkRuns,
+                                                   threadedDiverges)
+                            : P.Words;
+          }
+          if (Opts.FailFast) {
+            Stop = true;
+            break;
+          }
+        }
       }
-      if (O.Diverged) {
-        ++Rep.Divergences;
-        if (!Rep.First.Found) {
-          Rep.First.Found = true;
-          Rep.First.Index = P.Index;
-          Rep.First.Seed = P.Seed;
-          Rep.First.Class = P.Class;
-          Rep.First.What = O.What;
-          Rep.First.Words = P.Words;
-          Rep.First.Args = P.Args;
-          Rep.First.ShrunkWords =
-              Opts.Shrink ? shrinkDivergenceWith(P, Rep.First.ShrinkRuns,
-                                                 threadedDiverges)
-                          : P.Words;
-        }
-        if (Opts.FailFast) {
-          Stop = true;
-          break;
-        }
+      // Snapshot/heartbeat only after the packet's accounting (and any
+      // oracle bookkeeping) has fully landed in Rep.
+      if (CD.onRetired(Base + K + 1, Base + K + 1)) {
+        Rep.Stopped = true;
+        Stop = true;
+        break;
       }
     }
   }
@@ -479,9 +665,17 @@ SoakReport soak::runSoak(const AppHarness &App, const SoakOptions &Opts) {
   Rep.Exec = ExecMode::Interp;
   Rep.OracleEvery = Opts.OracleEvery;
   Timer Clock;
+
+  const CheckpointOptions &CK = Opts.Ckpt;
+  ckpt::CheckpointMeta Meta = checkpointMeta(App, Opts);
+  uint64_t Start = 0;
+  if (CK.Resume && !resumeSoak(CK, Meta, Rep, Start))
+    return Rep;
+  CkptDriver CD(CK, Meta, Rep, Clock, Start);
+
   SoakPacket P;
   PacketTemplateCache Tmpl;
-  for (uint64_t I = 0; I != Opts.Packets; ++I) {
+  for (uint64_t I = Start; I != Opts.Packets; ++I) {
     App.generateInto(I, Opts.Seed, Opts.Mix, Tmpl, P);
     ++Rep.ClassCounts[static_cast<unsigned>(P.Class)];
     bool WithOracle = Opts.OracleEvery != 0 && I % Opts.OracleEvery == 0;
@@ -508,6 +702,10 @@ SoakReport soak::runSoak(const AppHarness &App, const SoakOptions &Opts) {
       }
       if (Opts.FailFast)
         break;
+    }
+    if (CD.onRetired(I + 1, I + 1)) {
+      Rep.Stopped = true;
+      break;
     }
   }
   Rep.WallSeconds = Clock.seconds();
@@ -545,7 +743,7 @@ std::string wordsJson(const std::vector<uint32_t> &W) {
 
 std::string soak::reportJson(const SoakReport &R) {
   const sim::RunStats &S = R.Stats;
-  std::string J = "{";
+  std::string J = "{\"schema_version\":2,";
   J += formatf("\"app\":\"%s\",\"seed\":%llu,\"packets\":%llu,",
                R.App.c_str(), (unsigned long long)R.Seed,
                (unsigned long long)S.Packets);

@@ -39,6 +39,7 @@
 #ifndef SOAK_SOAK_H
 #define SOAK_SOAK_H
 
+#include "checkpoint/Checkpoint.h"
 #include "cps/Eval.h"
 #include "driver/Compiler.h"
 #include "sim/Simulator.h"
@@ -107,6 +108,26 @@ enum class ExecMode : uint8_t {
 };
 const char *execModeName(ExecMode M);
 
+/// Checkpoint / crash-recovery knobs (novasoak's --checkpoint-every,
+/// --checkpoint-dir, --resume, --progress, --kill-after). A soak run
+/// with Every > 0 snapshots its complete resumable state every N
+/// retired packets; Resume continues from the newest valid snapshot and
+/// must reproduce the uninterrupted run's final report byte-for-byte.
+struct CheckpointOptions {
+  uint64_t Every = 0;   ///< snapshot every N retired packets (0 = off)
+  std::string Dir;      ///< snapshot directory (required when active)
+  bool Resume = false;  ///< resume from the newest valid snapshot in Dir
+  uint64_t ProgressEvery = 0; ///< stderr heartbeat every N retired (0 = off)
+  /// Crash harness: raise(SIGKILL) as soon as N packets have retired —
+  /// a real mid-run kill for scripts/novacrash.sh (0 = off).
+  uint64_t KillAfter = 0;
+  /// In-process crash simulation for unit tests: stop the run cleanly
+  /// (state coherent, report marked Stopped) once N packets retired.
+  uint64_t StopAfter = 0;
+
+  bool active() const { return Every != 0 || Resume; }
+};
+
 struct SoakOptions {
   uint64_t Packets = 10'000;
   uint64_t Seed = 1;
@@ -128,6 +149,7 @@ struct SoakOptions {
   /// Stop the stream at the first divergence.
   bool FailFast = false;
   sim::LatencyModel Lat;
+  CheckpointOptions Ckpt;
 };
 
 /// A reported oracle divergence with its reproducer.
@@ -163,6 +185,17 @@ struct SoakReport {
   uint64_t Divergences = 0;
   Divergence First;
   double WallSeconds = 0;
+  /// Path of the snapshot this run resumed from (empty for a fresh
+  /// start). Surfaced on stderr and in nightly failure records, never
+  /// in the JSON report — a resumed run's report must be byte-identical
+  /// to an uninterrupted one.
+  std::string ResumedFrom;
+  /// True when CheckpointOptions::StopAfter ended the run early (crash
+  /// simulation); the report is partial and must not be compared.
+  bool Stopped = false;
+  /// Hard checkpoint/resume failure (corrupt-only directory, metadata
+  /// mismatch): nothing ran; novasoak maps this to exit code 5.
+  Status CkptError;
 
   double packetsPerSec() const {
     return WallSeconds > 0 ? double(Stats.Packets) / WallSeconds : 0;
@@ -265,6 +298,25 @@ shrinkDivergenceWith(const SoakPacket &P, unsigned &Runs,
 
 /// Streams Opts.Packets packets through \p App under the drop policy.
 SoakReport runSoak(const AppHarness &App, const SoakOptions &Opts);
+
+/// Checkpoint identity record for a standalone (non-chip) soak of
+/// \p App under \p Opts (chip topology fields stay zero).
+ckpt::CheckpointMeta checkpointMeta(const AppHarness &App,
+                                    const SoakOptions &Opts);
+
+/// Serializes the resumable progress of a soak stream: the generator
+/// cursor (next packet index) plus every report accumulator — the stats
+/// fold with its histogram, class counts, oracle counters, and the
+/// first-divergence record. Restoring into a fresh report and resuming
+/// the stream at the cursor reproduces the uninterrupted run's final
+/// report exactly.
+void saveSoakProgress(BinWriter &W, const SoakReport &R, uint64_t Cursor);
+void restoreSoakProgress(BinReader &R, SoakReport &Rep, uint64_t &Cursor);
+
+/// Stderr heartbeat line for --progress: packets retired, rate, and the
+/// last durable checkpoint.
+void progressHeartbeat(const std::string &App, uint64_t Retired,
+                       double WallSeconds, uint64_t LastCheckpoint);
 
 /// One JSON object per report (stable keys; consumed by scripts/ and
 /// BENCH_soak.json).

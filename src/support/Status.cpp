@@ -26,6 +26,8 @@ const char *nova::statusCodeName(StatusCode C) {
   case StatusCode::IoError:            return "io-error";
   case StatusCode::SimTrap:            return "sim-trap";
   case StatusCode::Internal:           return "internal";
+  case StatusCode::CheckpointCorrupt:  return "checkpoint-corrupt";
+  case StatusCode::CheckpointMismatch: return "checkpoint-mismatch";
   }
   return "unknown";
 }

@@ -46,7 +46,12 @@ enum class StatusCode : uint8_t {
   SimTrap,            ///< the micro-engine runtime trapped (sim::TrapKind
                       ///< carries the taxonomy; this code carries it
                       ///< through Status-typed plumbing)
-  Internal            ///< invariant violation; always a bug
+  Internal,           ///< invariant violation; always a bug
+  CheckpointCorrupt,  ///< checkpoint failed its checksum / framing checks
+                      ///< (truncated tail, bit flip, bad magic/version)
+  CheckpointMismatch  ///< a structurally valid checkpoint belongs to a
+                      ///< different invocation (seed, app, exec mode,
+                      ///< topology, fault schedule, or code hash differ)
 };
 
 /// Pipeline phase that produced a Status (coarser than source locations:

@@ -8,7 +8,9 @@
 // Compiles the paper's benchmark applications once, then streams seeded
 // adversarial traffic through the allocated code with the differential
 // oracle on. Exit codes: 0 clean soak, 1 oracle divergence found,
-// 2 usage error, 4 compile/allocation failure.
+// 2 usage error, 4 compile/allocation failure, 5 checkpoint/resume
+// failure (no valid snapshot, or the newest snapshot belongs to a
+// different run).
 //
 //===----------------------------------------------------------------------===//
 
@@ -76,7 +78,25 @@ static void usage() {
       "  --contexts <n>      hardware contexts per ME, 1..8 (chip mode\n"
       "                      only; default 4)\n"
       "  --ring-depth <n>    scratch ring capacity, 1..64 (chip mode\n"
-      "                      only; default 4)\n");
+      "                      only; default 4)\n"
+      "  --checkpoint-every <n>\n"
+      "                      snapshot resumable state every n retired\n"
+      "                      packets (requires --checkpoint-dir and a\n"
+      "                      single --app)\n"
+      "  --checkpoint-dir <dir>\n"
+      "                      directory for ckpt-<retired>.nova-ckpt\n"
+      "                      snapshots (atomic write+rename)\n"
+      "  --resume <dir>      resume from the newest valid snapshot in\n"
+      "                      dir; the finished report is byte-identical\n"
+      "                      to an uninterrupted run (exit 5 when no\n"
+      "                      valid matching snapshot exists)\n"
+      "  --progress <n>      stderr heartbeat every n retired packets:\n"
+      "                      packets, pkt/s, last durable checkpoint\n"
+      "  --kill-after <n>    crash harness: raise SIGKILL once n packets\n"
+      "                      have retired (tests mid-run death)\n"
+      "  --stable-json       zero wall-clock fields in --json output so\n"
+      "                      resumed and uninterrupted runs compare\n"
+      "                      byte-for-byte\n");
 }
 
 namespace {
@@ -160,6 +180,7 @@ int main(int argc, char **argv) {
   std::string AppName = "all";
   std::string JsonPath;
   bool Quiet = false;
+  bool StableJson = false;
   bool ChipMode = false;
   bool SawOracleEvery = false;
   bool SawMeCount = false, SawContexts = false, SawRingDepth = false;
@@ -278,7 +299,35 @@ int main(int argc, char **argv) {
                V);
       else if (!P.Failed)
         Chip.RingDepth = static_cast<unsigned>(N);
-    } else {
+    } else if (P.valueFlag("--checkpoint-every", V)) {
+      if (!P.Failed &&
+          (!parseU64(V, Opts.Ckpt.Every) || Opts.Ckpt.Every == 0))
+        P.fail("novasoak: --checkpoint-every expects a positive integer, "
+               "got '%s'\n",
+               V);
+    } else if (P.valueFlag("--checkpoint-dir", V)) {
+      if (!P.Failed)
+        Opts.Ckpt.Dir = V;
+    } else if (P.valueFlag("--resume", V)) {
+      if (!P.Failed) {
+        Opts.Ckpt.Dir = V;
+        Opts.Ckpt.Resume = true;
+      }
+    } else if (P.valueFlag("--progress", V)) {
+      if (!P.Failed && (!parseU64(V, Opts.Ckpt.ProgressEvery) ||
+                        Opts.Ckpt.ProgressEvery == 0))
+        P.fail("novasoak: --progress expects a positive integer, got "
+               "'%s'\n",
+               V);
+    } else if (P.valueFlag("--kill-after", V)) {
+      if (!P.Failed &&
+          (!parseU64(V, Opts.Ckpt.KillAfter) || Opts.Ckpt.KillAfter == 0))
+        P.fail("novasoak: --kill-after expects a positive integer, got "
+               "'%s'\n",
+               V);
+    } else if (P.boolFlag("--stable-json"))
+      StableJson = true;
+    else {
       std::fprintf(stderr, "novasoak: unknown option '%s'\n", P.current());
       P.Failed = true;
     }
@@ -305,6 +354,21 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "novasoak: --fail-fast is incompatible with --chip "
                  "(a chip run drains its whole stream)\n");
+    P.Failed = true;
+  }
+  // Checkpoints are per-stream: one directory holds one (app, seed,
+  // config) run's snapshots, so multi-app invocations would interleave
+  // incompatible files. Require a single app.
+  if ((Opts.Ckpt.active() || Opts.Ckpt.KillAfter != 0) &&
+      AppName == "all") {
+    std::fprintf(stderr, "novasoak: --checkpoint-every/--resume/"
+                         "--kill-after require a single --app\n");
+    P.Failed = true;
+  }
+  if (Opts.Ckpt.Every != 0 && Opts.Ckpt.Dir.empty()) {
+    std::fprintf(stderr,
+                 "novasoak: --checkpoint-every requires --checkpoint-dir "
+                 "(or --resume)\n");
     P.Failed = true;
   }
   // The fast path exists to amortize the oracle: checking every packet
@@ -354,11 +418,22 @@ int main(int argc, char **argv) {
                          ? chip::ExecModel::Threaded
                          : chip::ExecModel::Interp;
       soak::ChipSoakReport Rep = soak::runChipSoak(*Harnesses[I], CO);
+      if (!Rep.Base.CkptError.ok()) {
+        std::fprintf(stderr, "novasoak: %s\n",
+                     Rep.Base.CkptError.message().c_str());
+        for (const std::string &H : Rep.Base.CkptError.hints())
+          std::fprintf(stderr, "novasoak: hint: %s\n", H.c_str());
+        return 5;
+      }
       if (!Rep.Setup.ok()) {
         std::fprintf(stderr, "novasoak: %s: %s\n",
                      Harnesses[I]->name().c_str(),
                      Rep.Setup.message().c_str());
         SetupError = true;
+      }
+      if (StableJson) {
+        Rep.Base.WallSeconds = 0;
+        Rep.Base.TranslateSeconds = 0;
       }
       if (!Quiet)
         soak::printChipReport(Rep, stdout);
@@ -370,6 +445,16 @@ int main(int argc, char **argv) {
       continue;
     }
     soak::SoakReport Rep = soak::runSoak(*Harnesses[I], Opts);
+    if (!Rep.CkptError.ok()) {
+      std::fprintf(stderr, "novasoak: %s\n", Rep.CkptError.message().c_str());
+      for (const std::string &H : Rep.CkptError.hints())
+        std::fprintf(stderr, "novasoak: hint: %s\n", H.c_str());
+      return 5;
+    }
+    if (StableJson) {
+      Rep.WallSeconds = 0;
+      Rep.TranslateSeconds = 0;
+    }
     if (!Quiet)
       soak::printReport(Rep, stdout);
     if (Rep.Divergences)
